@@ -1,0 +1,111 @@
+// Ablation A2 (§3.3) — encapsulation scheme overhead.
+//
+// "this overhead can be minimized by use of Generic Routing Encapsulation
+// [RFC1702] or Minimal Encapsulation [Per95]". We compare the three
+// schemes end-to-end: bytes on the wire for a fixed workload, goodput over
+// a tunnel, and where each scheme's fragmentation crossover sits.
+#include "common.h"
+
+#include "net/fragmentation.h"
+#include "tunnel/encapsulator.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+tunnel::EncapScheme kSchemes[] = {tunnel::EncapScheme::IpInIp, tunnel::EncapScheme::Minimal,
+                                  tunnel::EncapScheme::Gre};
+
+void print_figure() {
+    bench::print_header(
+        "Ablation A2 (§3.3): encapsulation scheme comparison",
+        "End-to-end Out-IE TCP transfer of 64 KiB through each tunnel\n"
+        "scheme; wire bytes include every IPv4 byte on every hop.");
+
+    std::printf("%-15s  %9s  %12s  %11s  %14s\n", "scheme", "overhead", "wire-bytes",
+                "duration", "goodput(kb/s)");
+    for (auto scheme : kSchemes) {
+        WorldConfig cfg;
+        cfg.foreign_egress_antispoof = true;  // make tunneling mandatory
+        cfg.home_agent.encap_scheme = scheme;
+        World world{cfg};
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        ch.tcp().listen(7200, [](transport::TcpConnection&) {});
+
+        MobileHostConfig mcfg = world.mobile_config();
+        mcfg.encap_scheme = scheme;
+        MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+        if (!world.attach_mobile_foreign()) continue;
+        mh.force_mode(ch.address(), OutMode::IE);
+
+        const auto r =
+            bench::measure_tcp_transfer(world, mh.tcp(), ch.address(), 7200, 64 * 1024);
+        const auto encap = tunnel::make_encapsulator(scheme);
+        const auto probe = net::make_packet(world.mh_home_addr(), ch.address(),
+                                            net::IpProto::Tcp,
+                                            std::vector<std::uint8_t>(1000, 0));
+        std::printf("%-15s  %8zuB  %12zu  %9.1fms  %14.1f\n",
+                    tunnel::to_string(scheme).c_str(),
+                    encap->encapsulate(probe, world.mh_care_of_addr(),
+                                       world.home_agent_addr())
+                            .wire_size() -
+                        probe.wire_size(),
+                    r.ip_bytes, r.duration_ms, r.goodput_kbps);
+    }
+
+    std::printf("\nFragmentation crossover (largest TCP payload that still fits one\n");
+    std::printf("1500-byte MTU frame after tunnel overhead):\n");
+    for (auto scheme : kSchemes) {
+        const auto encap = tunnel::make_encapsulator(scheme);
+        std::size_t best = 0;
+        for (std::size_t payload = 1400; payload <= 1480; ++payload) {
+            const auto inner = net::make_packet(
+                net::Ipv4Address::must_parse("10.1.0.10"),
+                net::Ipv4Address::must_parse("10.3.0.2"), net::IpProto::Tcp,
+                std::vector<std::uint8_t>(payload, 0));
+            const auto outer =
+                encap->encapsulate(inner, net::Ipv4Address::must_parse("10.2.0.10"),
+                                   net::Ipv4Address::must_parse("10.1.0.2"));
+            if (net::fragment(outer, 1500).size() == 1) best = payload;
+        }
+        std::printf("  %-15s %zu bytes (plain IPv4: 1480)\n",
+                    tunnel::to_string(scheme).c_str(), best);
+    }
+    std::printf(
+        "\nShape check: minimal encapsulation carries the least overhead (12 B\n"
+        "vs 20 B IP-in-IP vs 24 B GRE), so it moves the fewest wire bytes and\n"
+        "keeps the largest un-fragmented payload.\n\n");
+}
+
+void BM_TunneledTransfer(benchmark::State& state) {
+    const auto scheme = kSchemes[state.range(0)];
+    std::size_t total_bytes = 0;
+    for (auto _ : state) {
+        WorldConfig cfg;
+        cfg.foreign_egress_antispoof = true;
+        cfg.home_agent.encap_scheme = scheme;
+        World world{cfg};
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        ch.tcp().listen(7200, [](transport::TcpConnection&) {});
+        MobileHostConfig mcfg = world.mobile_config();
+        mcfg.encap_scheme = scheme;
+        MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+        if (!world.attach_mobile_foreign()) {
+            state.SkipWithError("registration failed");
+            return;
+        }
+        mh.force_mode(ch.address(), OutMode::IE);
+        const auto r =
+            bench::measure_tcp_transfer(world, mh.tcp(), ch.address(), 7200, 16 * 1024);
+        total_bytes += r.ip_bytes;
+    }
+    state.SetLabel(tunnel::to_string(scheme));
+    state.counters["wire_bytes"] = benchmark::Counter(
+        static_cast<double>(total_bytes) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TunneledTransfer)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
+
+}  // namespace
+
+M4X4_BENCH_MAIN(print_figure)

@@ -1,0 +1,101 @@
+// Ablation A7 (§7.1.2) — delivery-failure detection: retransmission
+// inference vs explicit ICMP feedback.
+//
+// The paper proposes inferring failure from the transport's original-vs-
+// retransmission hints, noting that "in current operating systems this
+// information is not readily available". An alternative the routers could
+// provide is an explicit ICMP administratively-prohibited notice per
+// filtered packet. We compare convergence of the aggressive-first policy
+// under both regimes.
+#include "common.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+struct Outcome {
+    bool connected = false;
+    double connect_ms = 0.0;
+    std::size_t wasted_segments = 0;
+    std::size_t icmp_signals = 0;
+};
+
+Outcome run_case(bool feedback, sim::Duration rto) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;  // Out-DH and Out-DE must fail
+    cfg.filter_feedback = feedback;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    ch.tcp().listen(7400, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.rto = rto;
+    mcfg.tcp.max_retries = 16;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    if (!world.attach_mobile_foreign()) return {};
+
+    Outcome out;
+    const auto start = world.sim.now();
+    auto& conn = mh.tcp().connect(ch.address(), 7400);
+    const auto deadline = start + sim::seconds(180);
+    while (!conn.established() && conn.alive() && world.sim.now() < deadline) {
+        world.run_for(sim::milliseconds(20));
+    }
+    out.connected = conn.established();
+    out.connect_ms = sim::to_milliseconds(world.sim.now() - start);
+    out.wasted_segments = conn.stats().retransmissions;
+    out.icmp_signals = mh.stats().icmp_feedback_signals;
+    return out;
+}
+
+void print_figure() {
+    bench::print_header(
+        "Ablation A7 (§7.1.2): failure detection — RTO inference vs ICMP notice",
+        "Aggressive-first policy connecting through a filtering visited\n"
+        "network (fallback chain DH -> DE -> IE), by detection mechanism\n"
+        "and transport RTO.");
+
+    std::printf("%-24s  %8s  %9s  %12s  %7s  %12s\n", "detection", "rto(ms)",
+                "connected", "connect(ms)", "waste", "icmp-signals");
+    for (const auto rto : {sim::milliseconds(100), sim::milliseconds(500),
+                           sim::milliseconds(2000)}) {
+        for (const bool feedback : {false, true}) {
+            const auto o = run_case(feedback, rto);
+            std::printf("%-24s  %8.0f  %9s  %12.1f  %7zu  %12zu\n",
+                        feedback ? "ICMP admin-prohibited" : "RTO inference",
+                        sim::to_milliseconds(rto), bench::yn(o.connected), o.connect_ms,
+                        o.wasted_segments, o.icmp_signals);
+        }
+    }
+    std::printf(
+        "\nShape check: RTO-based convergence scales with the retransmission\n"
+        "timeout (exponential backoff compounds it); explicit ICMP notices\n"
+        "make convergence nearly RTO-independent and waste fewer segments.\n"
+        "The paper assumes routers drop silently — this ablation shows what\n"
+        "that assumption costs.\n\n");
+}
+
+void BM_ConvergenceUnderFiltering(benchmark::State& state) {
+    const bool feedback = state.range(0) != 0;
+    double total_ms = 0;
+    std::size_t connected = 0;
+    for (auto _ : state) {
+        const auto o = run_case(feedback, sim::milliseconds(500));
+        total_ms += o.connect_ms;
+        connected += o.connected;
+    }
+    state.SetLabel(feedback ? "icmp-feedback" : "rto-inference");
+    state.counters["sim_connect_ms"] =
+        benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+    state.counters["connected"] = benchmark::Counter(
+        static_cast<double>(connected) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ConvergenceUnderFiltering)->Arg(0)->Arg(1)->Iterations(1);
+
+}  // namespace
+
+M4X4_BENCH_MAIN(print_figure)

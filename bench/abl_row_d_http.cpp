@@ -1,0 +1,147 @@
+// Ablation A4 (Row D / §7.1.1) — forgoing Mobile IP for Web traffic.
+//
+// "In many cases the user may prefer the small risk of an occasional
+// incomplete image, rather than the large cost of slowing down all Web
+// browsing with the overhead of using Mobile IP for every connection."
+//
+// We fetch a series of short HTTP-like objects with (a) the port-80
+// heuristic enabled (Out-DT/In-DT, no Mobile IP) and (b) everything forced
+// through the home tunnel, and report per-object latency and wire cost —
+// plus what happens to in-flight fetches when the host moves.
+#include "common.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+constexpr std::uint16_t kHttpPort = 80;
+constexpr std::size_t kObjectSize = 8 * 1024;
+
+/// An HTTP-ish server: on any data, streams back one object and closes.
+void serve_objects(CorrespondentHost& ch) {
+    ch.tcp().listen(kHttpPort, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+            c.send(std::vector<std::uint8_t>(kObjectSize, 0x77));
+            c.close();
+        });
+    });
+}
+
+struct FetchSeries {
+    int completed = 0;
+    double avg_fetch_ms = 0.0;
+    std::size_t wire_bytes = 0;
+    std::size_t ha_packets = 0;  ///< home agent involvement (tunneled + reverse)
+};
+
+FetchSeries run_series(bool use_mobile_ip, int fetches) {
+    WorldConfig cfg;
+    cfg.backbone_routers = 6;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_objects(ch);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.enable_port_heuristics = !use_mobile_ip;
+    if (use_mobile_ip) {
+        mcfg.privacy_mode = true;  // everything through the home tunnel
+    }
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    if (!world.attach_mobile_foreign()) return {};
+
+    FetchSeries out;
+    double total_ms = 0;
+    world.trace.clear();
+    for (int i = 0; i < fetches; ++i) {
+        const auto start = world.sim.now();
+        auto& conn = mh.tcp().connect(ch.address(), kHttpPort);
+        std::size_t got = 0;
+        conn.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+        conn.send({'G', 'E', 'T', ' ', '/'});
+        while (got < kObjectSize && conn.alive() &&
+               world.sim.now() < start + sim::seconds(20)) {
+            world.run_for(sim::milliseconds(20));
+        }
+        if (got >= kObjectSize) {
+            ++out.completed;
+            total_ms += sim::to_milliseconds(world.sim.now() - start);
+        }
+        mh.tcp().reap();
+    }
+    out.avg_fetch_ms = out.completed ? total_ms / out.completed : 0.0;
+    out.wire_bytes = world.trace.ip_tx_bytes();
+    out.ha_packets = world.home_agent().stats().packets_tunneled +
+                     world.home_agent().stats().packets_reverse_forwarded;
+    return out;
+}
+
+void print_figure() {
+    bench::print_header(
+        "Ablation A4 (Row D, §7.1.1): Web browsing with and without Mobile IP",
+        "Ten sequential 8 KiB fetches from a Web server across the backbone.");
+
+    std::printf("%-26s  %10s  %13s  %12s  %10s\n", "policy", "completed",
+                "avg fetch(ms)", "wire-bytes", "HA-packets");
+    const auto direct = run_series(/*use_mobile_ip=*/false, 10);
+    const auto tunneled = run_series(/*use_mobile_ip=*/true, 10);
+    std::printf("%-26s  %8d/10  %13.1f  %12zu  %10zu\n", "Out-DT (port heuristic)",
+                direct.completed, direct.avg_fetch_ms, direct.wire_bytes,
+                direct.ha_packets);
+    std::printf("%-26s  %8d/10  %13.1f  %12zu  %10zu\n", "Out-IE (all via tunnel)",
+                tunneled.completed, tunneled.avg_fetch_ms, tunneled.wire_bytes,
+                tunneled.ha_packets);
+    if (direct.avg_fetch_ms > 0) {
+        std::printf("\nMobile IP cost for this workload: %.2fx latency, %+0.1f%% wire bytes\n",
+                    tunneled.avg_fetch_ms / direct.avg_fetch_ms,
+                    100.0 * (static_cast<double>(tunneled.wire_bytes) /
+                                 static_cast<double>(direct.wire_bytes) -
+                             1.0));
+    }
+
+    // The price of Out-DT: a fetch in flight across a move is lost, and the
+    // "user clicks Reload".
+    {
+        WorldConfig cfg;
+        cfg.backbone_routers = 6;
+        World world{cfg};
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        serve_objects(ch);
+        MobileHostConfig mcfg = world.mobile_config();
+        mcfg.tcp.max_retries = 4;
+        mcfg.tcp.rto = sim::milliseconds(100);
+        MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+        if (world.attach_mobile_foreign()) {
+            auto& conn = mh.tcp().connect(ch.address(), kHttpPort);
+            std::size_t got = 0;
+            conn.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+            conn.send({'G', 'E', 'T', ' ', '/'});
+            world.run_for(sim::milliseconds(120));  // move mid-fetch
+            mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                              world.corr_domain.prefix, world.corr_gateway_addr());
+            world.run_for(sim::seconds(30));
+            std::printf("\nmove mid-fetch (Out-DT): connection %s, %zu/%zu bytes — the\n"
+                        "browser shows a broken icon and the user may click Reload.\n\n",
+                        to_string(conn.state()).c_str(), got, kObjectSize);
+        }
+    }
+}
+
+void BM_HttpFetch(benchmark::State& state) {
+    const bool tunneled = state.range(0) != 0;
+    std::size_t completed = 0;
+    double total_ms = 0;
+    for (auto _ : state) {
+        const auto s = run_series(tunneled, 3);
+        completed += static_cast<std::size_t>(s.completed);
+        total_ms += s.avg_fetch_ms;
+    }
+    state.SetLabel(tunneled ? "via-home-tunnel" : "out-dt");
+    state.counters["sim_fetch_ms"] =
+        benchmark::Counter(total_ms / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_HttpFetch)->Arg(0)->Arg(1)->Iterations(1);
+
+}  // namespace
+
+M4X4_BENCH_MAIN(print_figure)

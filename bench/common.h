@@ -1,0 +1,111 @@
+// Shared measurement helpers for the per-figure benchmark harnesses.
+//
+// Each bench binary regenerates one figure of the paper: it builds the
+// figure's scenario on the simulator, measures deliverability / latency /
+// hops / wire bytes, prints the figure's table, and then runs its
+// google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+namespace bench {
+
+struct PingResult {
+    bool delivered = false;
+    double rtt_ms = 0.0;
+    std::size_t ip_hops = 0;   ///< IPv4 frame transmissions for the exchange
+    std::size_t ip_bytes = 0;  ///< IPv4 bytes on the wire for the exchange
+};
+
+/// Round-trips one ICMP echo from @p from to @p dst and reports latency and
+/// the wire cost of the whole exchange. By default a warm-up ping runs
+/// first so ARP resolution (and any binding learning) is excluded from the
+/// measurement; pass warm_up=false to observe cold-path behaviour.
+inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& from,
+                               mip::net::Ipv4Address dst,
+                               mip::net::Ipv4Address src = {}, bool warm_up = true,
+                               std::size_t payload = 56) {
+    mip::transport::Pinger pinger(from);
+    if (warm_up) {
+        pinger.ping(dst, [](auto) {}, mip::sim::seconds(5), payload, src);
+        world.run_for(mip::sim::seconds(6));
+    }
+    world.trace.clear();
+    PingResult result;
+    pinger.ping(
+        dst,
+        [&](std::optional<mip::sim::Duration> rtt) {
+            result.delivered = rtt.has_value();
+            if (rtt) result.rtt_ms = mip::sim::to_milliseconds(*rtt);
+        },
+        mip::sim::seconds(5), payload, src);
+    world.run_for(mip::sim::seconds(6));
+    result.ip_hops = world.trace.ip_hops();
+    result.ip_bytes = world.trace.ip_tx_bytes();
+    return result;
+}
+
+struct TransferResult {
+    bool completed = false;
+    double duration_ms = 0.0;
+    std::size_t ip_bytes = 0;
+    std::size_t retransmissions = 0;
+    double goodput_kbps = 0.0;
+};
+
+/// Opens a TCP connection from @p client to @p server_addr:@p port, pushes
+/// @p payload_bytes through it, and waits (bounded) for full acknowledgment.
+inline TransferResult measure_tcp_transfer(mip::core::World& world,
+                                           mip::transport::TcpService& client,
+                                           mip::net::Ipv4Address server_addr,
+                                           std::uint16_t port, std::size_t payload_bytes,
+                                           mip::sim::Duration limit = mip::sim::seconds(60)) {
+    world.trace.clear();
+    const auto start = world.sim.now();
+    auto& conn = client.connect(server_addr, port);
+    conn.send(std::vector<std::uint8_t>(payload_bytes, 0x55));
+
+    const auto deadline = start + limit;
+    while (world.sim.now() < deadline && conn.stats().bytes_acked < payload_bytes &&
+           conn.alive()) {
+        world.run_for(mip::sim::milliseconds(50));
+    }
+    TransferResult r;
+    r.completed = conn.stats().bytes_acked >= payload_bytes;
+    r.duration_ms = mip::sim::to_milliseconds(world.sim.now() - start);
+    r.ip_bytes = world.trace.ip_tx_bytes();
+    r.retransmissions = conn.stats().retransmissions;
+    if (r.completed && r.duration_ms > 0) {
+        r.goodput_kbps = static_cast<double>(payload_bytes) * 8.0 / r.duration_ms;
+    }
+    conn.close();
+    return r;
+}
+
+inline void print_header(const char* figure, const char* caption) {
+    std::printf("==============================================================================\n");
+    std::printf("%s\n%s\n", figure, caption);
+    std::printf("==============================================================================\n");
+}
+
+inline const char* yn(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace bench
+
+/// Standard main: print the figure's table, then run the registered
+/// google-benchmark microbenchmarks.
+#define M4X4_BENCH_MAIN(print_figure_fn)                       \
+    int main(int argc, char** argv) {                          \
+        print_figure_fn();                                     \
+        ::benchmark::Initialize(&argc, argv);                  \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+        ::benchmark::RunSpecifiedBenchmarks();                 \
+        ::benchmark::Shutdown();                               \
+        return 0;                                              \
+    }

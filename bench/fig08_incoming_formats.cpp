@@ -1,0 +1,132 @@
+// Figures 8 & 9 — Incoming packet formats.
+//
+// The four ways a correspondent (or the home agent on its behalf) can send
+// a packet to a mobile host, measured end-to-end on the simulator: what
+// actually crosses each wire, per mode.
+#include "common.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+struct InModeRow {
+    const char* name;
+    bool delivered = false;
+    double rtt_ms = 0;
+    std::size_t ip_hops = 0;
+    std::size_t ip_bytes = 0;
+};
+
+void print_figure() {
+    bench::print_header(
+        "Figures 8-9: Incoming packet formats — end-to-end wire cost",
+        "One 56-byte echo exchange per mode (request path is the mode under\n"
+        "test). ip-bytes counts every IPv4 byte placed on any wire.");
+
+    std::vector<InModeRow> rows;
+
+    // In-IE: conventional correspondent across the backbone.
+    {
+        World world;
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        world.create_mobile_host();
+        if (world.attach_mobile_foreign()) {
+            world.mobile_host().force_mode(ch.address(), OutMode::DH);
+            const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
+            rows.push_back({"In-IE (via home agent)", r.delivered, r.rtt_ms, r.ip_hops,
+                            r.ip_bytes});
+        }
+    }
+    // In-DE: mobile-aware correspondent across the backbone.
+    {
+        World world;
+        CorrespondentConfig ccfg;
+        ccfg.awareness = Awareness::MobileAware;
+        CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+        world.create_mobile_host();
+        if (world.attach_mobile_foreign()) {
+            world.mobile_host().force_mode(ch.address(), OutMode::DH);
+            ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(),
+                             sim::seconds(600));
+            const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
+            rows.push_back({"In-DE (direct, encapsulated)", r.delivered, r.rtt_ms,
+                            r.ip_hops, r.ip_bytes});
+        }
+    }
+    // In-DH: correspondent on the same segment.
+    {
+        World world;
+        CorrespondentConfig ccfg;
+        ccfg.awareness = Awareness::MobileAware;
+        CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::ForeignLan);
+        world.create_mobile_host();
+        if (world.attach_mobile_foreign()) {
+            world.mobile_host().force_mode(ch.address(), OutMode::DH);
+            ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(),
+                             sim::seconds(600));
+            const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
+            rows.push_back({"In-DH (same segment, home addr)", r.delivered, r.rtt_ms,
+                            r.ip_hops, r.ip_bytes});
+        }
+    }
+    // In-DT: plain packets to the care-of address (no Mobile IP).
+    {
+        World world;
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        world.create_mobile_host();
+        if (world.attach_mobile_foreign()) {
+            const auto r = bench::measure_ping(world, ch.stack(), world.mh_care_of_addr());
+            rows.push_back({"In-DT (direct, care-of addr)", r.delivered, r.rtt_ms,
+                            r.ip_hops, r.ip_bytes});
+        }
+    }
+
+    std::printf("%-34s  %9s  %10s  %8s  %9s\n", "mode", "delivered", "rtt(ms)",
+                "ip-hops", "ip-bytes");
+    for (const auto& row : rows) {
+        std::printf("%-34s  %9s  %10.3f  %8zu  %9zu\n", row.name, bench::yn(row.delivered),
+                    row.rtt_ms, row.ip_hops, row.ip_bytes);
+    }
+    std::printf(
+        "\nShape check: In-IE pays the longest path and the tunnel bytes;\n"
+        "In-DE trims the path but keeps encapsulation overhead; In-DH is two\n"
+        "LAN frames with zero router involvement; In-DT matches In-DH's\n"
+        "economy at distance but gives up the home address.\n\n");
+}
+
+void BM_InModeExchange(benchmark::State& state) {
+    // End-to-end exchange cost per In-mode (0=IE, 1=DE, 2=DH, 3=DT).
+    const int mode = static_cast<int>(state.range(0));
+    WorldConfig cfg;
+    World world{cfg};
+    CorrespondentConfig ccfg;
+    if (mode == 1 || mode == 2) ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(
+        ccfg, mode == 2 ? Placement::ForeignLan : Placement::CorrLan);
+    world.create_mobile_host();
+    if (!world.attach_mobile_foreign()) {
+        state.SkipWithError("registration failed");
+        return;
+    }
+    world.mobile_host().force_mode(ch.address(), OutMode::DH);
+    if (mode == 1 || mode == 2) {
+        ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(), sim::seconds(36000));
+    }
+    const auto target = mode == 3 ? world.mh_care_of_addr() : world.mh_home_addr();
+    transport::Pinger pinger(ch.stack());
+    std::size_t ok = 0;
+    for (auto _ : state) {
+        pinger.ping(target, [&](auto r) { ok += r.has_value(); }, sim::seconds(2));
+        world.run_for(sim::seconds(3));
+    }
+    static const char* kNames[] = {"In-IE", "In-DE", "In-DH", "In-DT"};
+    state.SetLabel(kNames[mode]);
+    state.counters["delivery_rate"] =
+        benchmark::Counter(static_cast<double>(ok) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_InModeExchange)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+M4X4_BENCH_MAIN(print_figure)

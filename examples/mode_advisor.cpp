@@ -1,0 +1,98 @@
+// Mode advisor: the abstract's "series of tests" as a runnable tool.
+//
+// A mobile host away from home probes three different correspondents —
+// one across an open backbone, one reachable only through filters, one
+// that can decapsulate — and prints, for each, which outgoing modes work
+// and which the policy should use. The recommendations are then applied
+// and verified with a real TCP conversation each.
+//
+//   $ ./examples/mode_advisor
+#include <cstdio>
+
+#include "core/capability_probe.h"
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
+    ch.tcp().listen(port, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+}
+}  // namespace
+
+int main() {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = false;  // the visited net is permissive...
+    World world{cfg};
+
+    // ...but one correspondent hides inside the filtering home institution,
+    // one is an ordinary host across the backbone, and one is decap-capable.
+    CorrespondentHost& open_ch = world.create_correspondent({}, Placement::CorrLan, 2);
+    CorrespondentConfig decap_cfg;
+    decap_cfg.awareness = Awareness::DecapCapable;
+    CorrespondentHost& decap_ch =
+        world.create_correspondent(decap_cfg, Placement::CorrLan, 3);
+    CorrespondentHost& guarded_ch = world.create_correspondent({}, Placement::HomeLan);
+    serve_echo(open_ch, 7);
+    serve_echo(decap_ch, 7);
+    serve_echo(guarded_ch, 7);
+
+    MobileHost& mh = world.create_mobile_host();
+    if (!world.attach_mobile_foreign()) {
+        std::puts("registration failed");
+        return 1;
+    }
+
+    struct Target {
+        const char* label;
+        CorrespondentHost* ch;
+    } targets[] = {
+        {"open host across backbone", &open_ch},
+        {"decap-capable host", &decap_ch},
+        {"host behind home filters", &guarded_ch},
+    };
+
+    CapabilityProber prober(mh);
+    std::puts("probing correspondents (the abstract's 'series of tests')...\n");
+    int pending = 0;
+    for (auto& t : targets) {
+        ++pending;
+        prober.probe(t.ch->address(),
+                     [&, label = t.label](const ProbeReport& r) {
+                         std::printf("%-28s %s\n", label, r.summary().c_str());
+                         --pending;
+                     },
+                     /*apply_to_cache=*/true);
+        // Sequential probing keeps per-destination state unambiguous.
+        world.run_for(sim::seconds(15));
+    }
+    if (pending != 0) {
+        std::puts("probing did not finish");
+        return 1;
+    }
+
+    std::puts("\nverifying the recommendations with live TCP conversations:");
+    bool all_ok = true;
+    for (auto& t : targets) {
+        auto& conn = mh.tcp().connect(t.ch->address(), 7);
+        std::size_t echoed = 0;
+        conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+        conn.send(std::vector<std::uint8_t>(512, 'p'));
+        world.run_for(sim::seconds(10));
+        const bool ok = conn.established() && echoed == 512;
+        all_ok = all_ok && ok;
+        std::printf("  %-28s mode %-7s -> %s\n", t.label,
+                    to_string(mh.mode_for(t.ch->address())).c_str(),
+                    ok ? "512 bytes echoed" : "FAILED");
+        conn.close();
+    }
+
+    std::puts(all_ok ? "\nSUCCESS: every conversation ran in its probed-best mode."
+                     : "\nFAILURE");
+    return all_ok ? 0 : 1;
+}

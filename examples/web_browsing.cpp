@@ -1,0 +1,111 @@
+// Web browsing: Row D of the grid — forgoing Mobile IP (§6.4, §7.1.1).
+//
+// "HTTP connections are frequently very short lived... the user may prefer
+// the small risk of an occasional incomplete image, rather than the large
+// cost of slowing down all Web browsing with the overhead of using Mobile
+// IP for every connection."
+//
+// The mobile host browses: DNS lookup (UDP 53) and HTTP fetches (TCP 80)
+// ride the port heuristics onto the temporary address; a telnet session
+// opened alongside automatically uses the home address and survives the
+// move that kills an in-flight fetch.
+//
+//   $ ./examples/web_browsing
+#include <cstdio>
+
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+
+int main() {
+    World world;
+    world.enable_dns();  // serves the mobile host's own records
+    world.dns_zone().add_a("www.corr.example", world.corr_domain.host(2));
+
+    CorrespondentHost& web = world.create_correspondent({}, Placement::CorrLan);
+    web.tcp().listen(80, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+            c.send(std::vector<std::uint8_t>(16 * 1024, 'Z'));  // one page
+            c.close();
+        });
+    });
+    web.tcp().listen(23, [](transport::TcpConnection& c) {  // telnet
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+
+    MobileHost& mh = world.create_mobile_host();
+    if (!world.attach_mobile_foreign()) return 1;
+
+    // DNS lookup — UDP port 53 rides the Out-DT heuristic.
+    dns::Resolver resolver(mh.udp(), world.dns_server_addr());
+    net::Ipv4Address www;
+    resolver.resolve("www.corr.example", dns::RecordType::A,
+                     [&](std::vector<dns::Record> rs) {
+                         if (!rs.empty()) www = rs.front().addr;
+                     });
+    world.run_for(sim::seconds(2));
+    std::printf("resolved www.corr.example -> %s (no Mobile IP involved:\n"
+                "  %zu packets ever touched the home agent)\n",
+                www.to_string().c_str(), world.home_agent().stats().packets_tunneled);
+
+    // A long-lived telnet session: port 23 is NOT in the heuristic list, so
+    // it gets the home address and is move-proof.
+    auto& telnet = mh.tcp().connect(www, 23);
+    std::size_t telnet_echo = 0;
+    telnet.set_data_callback([&](std::span<const std::uint8_t> d) { telnet_echo += d.size(); });
+    telnet.send({'l', 's', '\n'});
+    world.run_for(sim::seconds(2));
+    std::printf("telnet session endpoint: %s (home address)\n",
+                telnet.endpoints().local_addr.to_string().c_str());
+
+    // Browse three pages over Out-DT.
+    std::size_t pages = 0;
+    for (int i = 0; i < 3; ++i) {
+        auto& fetch = mh.tcp().connect(www, 80);
+        std::size_t got = 0;
+        fetch.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+        fetch.send({'G', 'E', 'T'});
+        world.run_for(sim::seconds(5));
+        pages += got >= 16 * 1024;
+        std::printf("page %d: %zu bytes from endpoint %s\n", i + 1, got,
+                    fetch.endpoints().local_addr.to_string().c_str());
+        mh.tcp().reap();
+    }
+
+    // Move mid-fetch: the Out-DT fetch breaks (click Reload); telnet lives.
+    auto& doomed = mh.tcp().connect(www, 80);
+    std::size_t doomed_got = 0;
+    doomed.set_data_callback([&](std::span<const std::uint8_t> d) { doomed_got += d.size(); });
+    doomed.send({'G', 'E', 'T'});
+    world.run_for(sim::milliseconds(45));
+    std::puts("\nmoving networks mid-fetch...");
+    mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                      world.corr_domain.prefix, world.corr_gateway_addr());
+    world.run_for(sim::seconds(45));
+
+    telnet.send({'p', 'w', 'd', '\n'});
+    world.run_for(sim::seconds(10));
+    std::printf("in-flight fetch: stalled at %zu/16384 bytes (state %s — a\n"
+                "  half-open connection; the server's retransmissions to the old\n"
+                "  address go nowhere) — the user clicks Reload\n",
+                doomed_got, to_string(doomed.state()).c_str());
+    auto& reload = mh.tcp().connect(www, 80);
+    std::size_t reload_got = 0;
+    reload.set_data_callback([&](std::span<const std::uint8_t> d) { reload_got += d.size(); });
+    reload.send({'G', 'E', 'T'});
+    world.run_for(sim::seconds(5));
+    std::printf("reload: %zu bytes from new endpoint %s\n", reload_got,
+                reload.endpoints().local_addr.to_string().c_str());
+    std::printf("telnet session after move: %s, echoed %zu bytes\n",
+                to_string(telnet.state()).c_str(), telnet_echo);
+
+    const bool ok = pages == 3 && reload_got >= 16 * 1024 && telnet.alive() &&
+                    telnet_echo == 7 && doomed_got < 16 * 1024;
+    std::puts(ok ? "\nSUCCESS: short flows skipped Mobile IP; the long-lived session "
+                   "survived the move."
+                 : "\nFAILURE");
+    return ok ? 0 : 1;
+}

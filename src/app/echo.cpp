@@ -1,0 +1,36 @@
+#include "app/echo.h"
+
+namespace mip::app {
+
+TcpEchoServer::TcpEchoServer(transport::TcpService& tcp, std::uint16_t port)
+    : tcp_(tcp), port_(port) {
+    tcp_.listen(port_, [this](transport::TcpConnection& conn) {
+        ++accepted_;
+        conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data) {
+            bytes_ += data.size();
+            conn.send(std::vector<std::uint8_t>(data.begin(), data.end()));
+        });
+        // Mirror the peer's close so both sides finish cleanly.
+        conn.set_state_callback([&conn](transport::TcpState s) {
+            if (s == transport::TcpState::CloseWait) {
+                conn.close();
+            }
+        });
+    });
+}
+
+TcpEchoServer::~TcpEchoServer() {
+    tcp_.stop_listening(port_);
+}
+
+UdpEchoServer::UdpEchoServer(transport::UdpService& udp, std::uint16_t port) {
+    socket_ = udp.open(port);
+    socket_->set_receiver([this](std::span<const std::uint8_t> data,
+                                 transport::UdpEndpoint from, net::Ipv4Address) {
+        ++count_;
+        socket_->send_to(from.addr, from.port,
+                         std::vector<std::uint8_t>(data.begin(), data.end()));
+    });
+}
+
+}  // namespace mip::app

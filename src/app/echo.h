@@ -1,0 +1,46 @@
+// Echo services — the workhorse applications of the test suite and the
+// paper's evaluation scenarios (an NFS request needs a response, a TCP
+// segment needs an acknowledgement; echo is the minimal such protocol).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "transport/tcp_service.h"
+#include "transport/udp_service.h"
+
+namespace mip::app {
+
+/// Accepts TCP connections on a port and echoes every byte back.
+class TcpEchoServer {
+public:
+    TcpEchoServer(transport::TcpService& tcp, std::uint16_t port);
+    ~TcpEchoServer();
+    TcpEchoServer(const TcpEchoServer&) = delete;
+    TcpEchoServer& operator=(const TcpEchoServer&) = delete;
+
+    std::uint16_t port() const noexcept { return port_; }
+    std::size_t connections_accepted() const noexcept { return accepted_; }
+    std::size_t bytes_echoed() const noexcept { return bytes_; }
+
+private:
+    transport::TcpService& tcp_;
+    std::uint16_t port_;
+    std::size_t accepted_ = 0;
+    std::size_t bytes_ = 0;
+};
+
+/// Echoes UDP datagrams back to their source.
+class UdpEchoServer {
+public:
+    UdpEchoServer(transport::UdpService& udp, std::uint16_t port);
+
+    std::uint16_t port() const noexcept { return socket_->port(); }
+    std::size_t datagrams_echoed() const noexcept { return count_; }
+
+private:
+    std::unique_ptr<transport::UdpSocket> socket_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace mip::app

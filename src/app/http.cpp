@@ -1,0 +1,142 @@
+#include "app/http.h"
+
+#include <charconv>
+
+namespace mip::app {
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> build_response(int status,
+                                         std::span<const std::uint8_t> body) {
+    std::string head = "HTTP/1.0 " + std::to_string(status) +
+                       "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    auto out = to_bytes(head);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(transport::TcpService& tcp, std::uint16_t port, Handler handler)
+    : tcp_(tcp), port_(port), handler_(std::move(handler)) {
+    tcp_.listen(port_, [this](transport::TcpConnection& conn) { on_connection(conn); });
+}
+
+HttpServer::~HttpServer() {
+    tcp_.stop_listening(port_);
+}
+
+HttpServer::Handler HttpServer::static_site(
+    std::map<std::string, std::vector<std::uint8_t>> pages) {
+    return [pages = std::move(pages)](
+               const std::string& path) -> std::optional<std::vector<std::uint8_t>> {
+        auto it = pages.find(path);
+        if (it == pages.end()) return std::nullopt;
+        return it->second;
+    };
+}
+
+void HttpServer::on_connection(transport::TcpConnection& conn) {
+    partial_.erase(&conn);
+    conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data) {
+        std::string& buf = partial_[&conn];
+        buf.append(reinterpret_cast<const char*>(data.data()), data.size());
+        const auto eol = buf.find("\r\n");
+        if (eol == std::string::npos) {
+            return;  // request line incomplete
+        }
+        const std::string line = buf.substr(0, eol);
+        partial_.erase(&conn);
+
+        std::string path;
+        if (line.rfind("GET ", 0) == 0) {
+            path = line.substr(4);
+        }
+        std::optional<std::vector<std::uint8_t>> body =
+            path.empty() ? std::nullopt : handler_(path);
+        if (body) {
+            ++served_;
+            conn.send(build_response(200, *body));
+        } else {
+            ++not_found_;
+            conn.send(build_response(404, {}));
+        }
+        conn.close();  // HTTP/1.0: one request per connection
+    });
+    conn.set_state_callback([&conn](transport::TcpState s) {
+        if (s == transport::TcpState::CloseWait) {
+            conn.close();
+        }
+    });
+}
+
+struct HttpClient::Fetch {
+    std::string buffer;
+    Callback done;
+    bool finished = false;
+
+    void finish(HttpResponse r) {
+        if (finished) return;
+        finished = true;
+        if (done) done(std::move(r));
+    }
+
+    /// Parses the buffered response once complete; returns nullopt until
+    /// all Content-Length bytes have arrived.
+    std::optional<HttpResponse> try_parse() const {
+        const auto header_end = buffer.find("\r\n\r\n");
+        if (header_end == std::string::npos) return std::nullopt;
+        HttpResponse r;
+        // Status line: "HTTP/1.0 NNN"
+        if (buffer.rfind("HTTP/1.0 ", 0) != 0 || header_end < 12) return HttpResponse{};
+        (void)std::from_chars(buffer.data() + 9, buffer.data() + 12, r.status);
+        // Content-Length header.
+        std::size_t content_length = 0;
+        const auto cl = buffer.find("Content-Length: ");
+        if (cl != std::string::npos && cl < header_end) {
+            const char* begin = buffer.data() + cl + 16;
+            (void)std::from_chars(begin, buffer.data() + header_end, content_length);
+        }
+        const std::size_t body_start = header_end + 4;
+        if (buffer.size() < body_start + content_length) return std::nullopt;
+        r.body.assign(buffer.begin() + static_cast<std::ptrdiff_t>(body_start),
+                      buffer.begin() + static_cast<std::ptrdiff_t>(body_start +
+                                                                   content_length));
+        return r;
+    }
+};
+
+void HttpClient::get(net::Ipv4Address server, std::uint16_t port, const std::string& path,
+                     Callback done, net::Ipv4Address bind_src) {
+    ++started_;
+    auto fetch = std::make_shared<Fetch>();
+    fetch->done = std::move(done);
+
+    auto& conn = tcp_.connect(server, port, bind_src);
+    conn.set_data_callback([fetch](std::span<const std::uint8_t> data) {
+        fetch->buffer.append(reinterpret_cast<const char*>(data.data()), data.size());
+        if (auto r = fetch->try_parse()) {
+            fetch->finish(std::move(*r));
+        }
+    });
+    conn.set_state_callback([fetch, &conn](transport::TcpState s) {
+        if (s == transport::TcpState::CloseWait) {
+            // Server finished sending: whatever we have is the response.
+            if (auto r = fetch->try_parse()) {
+                fetch->finish(std::move(*r));
+            } else {
+                fetch->finish(HttpResponse{});
+            }
+            conn.close();
+        } else if (s == transport::TcpState::Reset || s == transport::TcpState::Failed) {
+            fetch->finish(HttpResponse{});
+        }
+    });
+    conn.send(to_bytes("GET " + path + "\r\n"));
+}
+
+}  // namespace mip::app

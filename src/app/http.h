@@ -1,0 +1,77 @@
+// A 1996-grade HTTP: one request per connection, server closes after the
+// response — exactly the "frequently very short lived" connections the
+// paper's Row D discussion is about.
+//
+// Wire format (HTTP/1.0 subset):
+//   request:  "GET <path>\r\n"
+//   response: "HTTP/1.0 <status>\r\nContent-Length: <n>\r\n\r\n<body>"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/tcp_service.h"
+
+namespace mip::app {
+
+class HttpServer {
+public:
+    /// Returns the body for a path, or nullopt for 404.
+    using Handler = std::function<std::optional<std::vector<std::uint8_t>>(
+        const std::string& path)>;
+
+    HttpServer(transport::TcpService& tcp, std::uint16_t port, Handler handler);
+    ~HttpServer();
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Convenience: serve a fixed map of path -> body.
+    static Handler static_site(std::map<std::string, std::vector<std::uint8_t>> pages);
+
+    std::size_t requests_served() const noexcept { return served_; }
+    std::size_t not_found() const noexcept { return not_found_; }
+
+private:
+    void on_connection(transport::TcpConnection& conn);
+
+    transport::TcpService& tcp_;
+    std::uint16_t port_;
+    Handler handler_;
+    std::size_t served_ = 0;
+    std::size_t not_found_ = 0;
+    /// Per-connection request buffers (connections are owned by the
+    /// TcpService; we key on the connection address).
+    std::map<const transport::TcpConnection*, std::string> partial_;
+};
+
+struct HttpResponse {
+    int status = 0;  ///< 0 = transport failure (no response)
+    std::vector<std::uint8_t> body;
+    bool ok() const noexcept { return status == 200; }
+};
+
+class HttpClient {
+public:
+    using Callback = std::function<void(HttpResponse)>;
+
+    explicit HttpClient(transport::TcpService& tcp) : tcp_(tcp) {}
+
+    /// Fetches one object; @p done fires when the response is complete (the
+    /// server closes the connection) or the connection dies.
+    /// @p bind_src optionally pins the local endpoint (Out-DT by hand).
+    void get(net::Ipv4Address server, std::uint16_t port, const std::string& path,
+             Callback done, net::Ipv4Address bind_src = {});
+
+    std::size_t fetches_started() const noexcept { return started_; }
+
+private:
+    struct Fetch;
+    transport::TcpService& tcp_;
+    std::size_t started_ = 0;
+};
+
+}  // namespace mip::app

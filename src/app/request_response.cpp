@@ -1,0 +1,90 @@
+#include "app/request_response.h"
+
+#include "net/buffer.h"
+
+namespace mip::app {
+
+RpcClient::RpcClient(transport::UdpService& udp, RpcConfig config)
+    : udp_(udp), config_(config) {
+    socket_ = udp_.open();
+    socket_->set_receiver([this](std::span<const std::uint8_t> data,
+                                 transport::UdpEndpoint, net::Ipv4Address) {
+        on_datagram(data);
+    });
+}
+
+void RpcClient::call(net::Ipv4Address server, std::uint16_t port,
+                     std::vector<std::uint8_t> payload, Callback done) {
+    const std::uint32_t id = next_id_++;
+    Pending p;
+    p.server = server;
+    p.port = port;
+    net::BufferWriter w(4 + payload.size());
+    w.u32(id);
+    w.bytes(payload);
+    p.payload = w.take();
+    p.attempts = 1;
+    p.done = std::move(done);
+    pending_[id] = std::move(p);
+    ++started_;
+    transmit(id, /*retransmission=*/false);
+    pending_[id].timer = udp_.ip().simulator().schedule_in(
+        config_.timeout, [this, id] { on_timeout(id); });
+}
+
+void RpcClient::transmit(std::uint32_t id, bool retransmission) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    socket_->send_to(it->second.server, it->second.port, it->second.payload,
+                     retransmission);
+}
+
+void RpcClient::on_timeout(std::uint32_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    if (it->second.attempts >= config_.max_attempts) {
+        auto done = std::move(it->second.done);
+        pending_.erase(it);
+        if (done) done(std::nullopt);
+        return;
+    }
+    ++it->second.attempts;
+    ++retries_;
+    // The resend carries the §7.1.2 retransmission flag to the IP layer.
+    transmit(id, /*retransmission=*/true);
+    it->second.timer = udp_.ip().simulator().schedule_in(config_.timeout,
+                                                         [this, id] { on_timeout(id); });
+}
+
+void RpcClient::on_datagram(std::span<const std::uint8_t> data) {
+    if (data.size() < 4) return;
+    net::BufferReader r(data);
+    const std::uint32_t id = r.u32();
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // duplicate/late response
+    udp_.ip().simulator().cancel(it->second.timer);
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    const auto body = r.rest();
+    if (done) done(std::vector<std::uint8_t>(body.begin(), body.end()));
+}
+
+RpcServer::RpcServer(transport::UdpService& udp, std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+    socket_ = udp.open(port);
+    socket_->set_receiver([this](std::span<const std::uint8_t> data,
+                                 transport::UdpEndpoint from, net::Ipv4Address) {
+        if (data.size() < 4) return;
+        ++handled_;
+        net::BufferReader r(data);
+        const std::uint32_t id = r.u32();
+        const auto request = r.rest();
+        const auto response = handler_(request);
+        net::BufferWriter w(4 + response.size());
+        w.u32(id);
+        w.bytes(response);
+        socket_->send_to(from.addr, from.port, w.take());
+    });
+}
+
+}  // namespace mip::app

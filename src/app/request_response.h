@@ -1,0 +1,82 @@
+// A UDP request/response ("RPC") client with application-level retries —
+// the class of protocol the paper's §7.1.2 retransmission-signal proposal
+// is written for: every resend is flagged to the IP layer as a
+// retransmission, feeding the mobility policy's delivery-failure
+// detection without any transport-layer help.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "transport/udp_service.h"
+
+namespace mip::app {
+
+struct RpcConfig {
+    sim::Duration timeout = sim::milliseconds(500);
+    unsigned max_attempts = 4;  ///< 1 original + (max_attempts-1) flagged resends
+};
+
+class RpcClient {
+public:
+    /// Response payload, or nullopt after all attempts timed out.
+    using Callback = std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+    RpcClient(transport::UdpService& udp, RpcConfig config = {});
+
+    /// Sends @p payload to @p server:@p port; retries with the
+    /// retransmission flag until a response with the matching id arrives.
+    void call(net::Ipv4Address server, std::uint16_t port,
+              std::vector<std::uint8_t> payload, Callback done);
+
+    /// Pins the source address of all calls (unset = policy decides).
+    void bind_address(net::Ipv4Address addr) { socket_->bind_address(addr); }
+
+    std::size_t calls_started() const noexcept { return started_; }
+    std::size_t retries_sent() const noexcept { return retries_; }
+
+private:
+    struct Pending {
+        net::Ipv4Address server;
+        std::uint16_t port = 0;
+        std::vector<std::uint8_t> payload;  ///< id-prefixed wire form
+        unsigned attempts = 0;
+        Callback done;
+        sim::EventId timer = 0;
+    };
+
+    void transmit(std::uint32_t id, bool retransmission);
+    void on_timeout(std::uint32_t id);
+    void on_datagram(std::span<const std::uint8_t> data);
+
+    transport::UdpService& udp_;
+    RpcConfig config_;
+    std::unique_ptr<transport::UdpSocket> socket_;
+    std::map<std::uint32_t, Pending> pending_;
+    std::uint32_t next_id_ = 1;
+    std::size_t started_ = 0;
+    std::size_t retries_ = 0;
+};
+
+/// The matching server: answers every id-prefixed request through a
+/// user-supplied handler.
+class RpcServer {
+public:
+    using Handler = std::function<std::vector<std::uint8_t>(
+        std::span<const std::uint8_t> request)>;
+
+    RpcServer(transport::UdpService& udp, std::uint16_t port, Handler handler);
+
+    std::size_t requests_handled() const noexcept { return handled_; }
+
+private:
+    std::unique_ptr<transport::UdpSocket> socket_;
+    Handler handler_;
+    std::size_t handled_ = 0;
+};
+
+}  // namespace mip::app

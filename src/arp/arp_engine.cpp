@@ -1,0 +1,117 @@
+#include "arp/arp_engine.h"
+
+namespace mip::arp {
+
+ArpEngine::ArpEngine(sim::Simulator& simulator, sim::Nic& nic, ArpConfig config)
+    : simulator_(simulator), nic_(nic), config_(config) {}
+
+void ArpEngine::add_proxy(net::Ipv4Address addr) {
+    proxied_.insert(addr);
+}
+
+void ArpEngine::remove_proxy(net::Ipv4Address addr) {
+    proxied_.erase(addr);
+}
+
+std::optional<sim::MacAddress> ArpEngine::lookup(net::Ipv4Address target) const {
+    auto it = cache_.find(target);
+    if (it == cache_.end() || it->second.expires <= simulator_.now()) {
+        return std::nullopt;
+    }
+    return it->second.mac;
+}
+
+void ArpEngine::flush_cache() {
+    cache_.clear();
+}
+
+void ArpEngine::send_message(const ArpMessage& m, sim::MacAddress dst) {
+    net::BufferWriter w(kArpMessageSize);
+    m.serialize(w);
+    sim::Frame frame;
+    frame.dst = dst;
+    frame.type = net::EtherType::Arp;
+    frame.payload = w.take();
+    nic_.send(std::move(frame));
+}
+
+void ArpEngine::send_request(net::Ipv4Address target) {
+    ++requests_sent_;
+    send_message(ArpMessage::request(nic_.mac(), local_, target), sim::MacAddress::broadcast());
+}
+
+void ArpEngine::resolve(net::Ipv4Address target, ResolveCallback cb) {
+    if (auto mac = lookup(target)) {
+        cb(*mac);
+        return;
+    }
+    auto [it, inserted] = pending_.try_emplace(target);
+    it->second.callbacks.push_back(std::move(cb));
+    if (!inserted) {
+        return;  // request already outstanding; piggyback on it
+    }
+    it->second.attempts = 1;
+    send_request(target);
+    it->second.retry_event =
+        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); });
+}
+
+void ArpEngine::retry(net::Ipv4Address target) {
+    auto it = pending_.find(target);
+    if (it == pending_.end()) return;
+    if (it->second.attempts >= config_.max_retries) {
+        auto callbacks = std::move(it->second.callbacks);
+        pending_.erase(it);
+        for (auto& cb : callbacks) cb(std::nullopt);
+        return;
+    }
+    ++it->second.attempts;
+    send_request(target);
+    it->second.retry_event =
+        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); });
+}
+
+void ArpEngine::learn(net::Ipv4Address ip, sim::MacAddress mac) {
+    if (ip.is_unspecified()) return;
+    cache_[ip] = CacheEntry{mac, simulator_.now() + config_.cache_ttl};
+    auto it = pending_.find(ip);
+    if (it != pending_.end()) {
+        simulator_.cancel(it->second.retry_event);
+        auto callbacks = std::move(it->second.callbacks);
+        pending_.erase(it);
+        for (auto& cb : callbacks) cb(mac);
+    }
+}
+
+void ArpEngine::handle_frame(const sim::Frame& frame) {
+    ArpMessage m;
+    try {
+        net::BufferReader r(frame.payload);
+        m = ArpMessage::parse(r);
+    } catch (const net::ParseError&) {
+        return;  // malformed ARP: silently dropped, as real stacks do
+    }
+
+    // Learn the sender mapping from both requests and replies.
+    learn(m.sender_ip, m.sender_mac);
+
+    if (m.op != ArpOp::Request) {
+        return;
+    }
+    if (!local_.is_unspecified() && m.target_ip == local_) {
+        ++replies_sent_;
+        send_message(ArpMessage::reply(nic_.mac(), local_, m.sender_mac, m.sender_ip),
+                     m.sender_mac);
+    } else if (proxied_.contains(m.target_ip)) {
+        // Proxy ARP: answer with our own MAC on behalf of the absent host.
+        ++proxy_replies_sent_;
+        send_message(ArpMessage::reply(nic_.mac(), m.target_ip, m.sender_mac, m.sender_ip),
+                     m.sender_mac);
+    }
+}
+
+void ArpEngine::announce(net::Ipv4Address addr) {
+    send_message(ArpMessage::gratuitous(nic_.mac(), addr), sim::MacAddress::broadcast());
+}
+
+}  // namespace mip::arp

@@ -1,0 +1,98 @@
+// Per-interface ARP: cache, resolution with request retries and pending
+// queues, reply generation, gratuitous announcements, and proxy ARP.
+//
+// Proxy ARP is the home agent's capture mechanism (paper §2): while a
+// mobile host is away, its home agent answers ARP requests for the mobile
+// host's home address with the agent's own MAC, so every packet addressed
+// to the mobile host on the home segment lands at the agent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "arp/arp_message.h"
+#include "net/ipv4_address.h"
+#include "sim/nic.h"
+#include "sim/simulator.h"
+
+namespace mip::arp {
+
+struct ArpConfig {
+    sim::Duration cache_ttl = sim::seconds(300);
+    sim::Duration request_interval = sim::milliseconds(500);
+    unsigned max_retries = 3;
+};
+
+class ArpEngine {
+public:
+    using ResolveCallback = std::function<void(std::optional<sim::MacAddress>)>;
+
+    ArpEngine(sim::Simulator& simulator, sim::Nic& nic, ArpConfig config = {});
+
+    /// Sets the IP address this engine answers requests for (the
+    /// interface's own address). Unset/unspecified = answer nothing.
+    void set_local_address(net::Ipv4Address addr) { local_ = addr; }
+    net::Ipv4Address local_address() const noexcept { return local_; }
+
+    /// Adds/removes an address this engine answers ARP for *on behalf of
+    /// another node* (proxy ARP).
+    void add_proxy(net::Ipv4Address addr);
+    void remove_proxy(net::Ipv4Address addr);
+    bool is_proxied(net::Ipv4Address addr) const { return proxied_.contains(addr); }
+
+    /// Resolves @p target to a MAC. Invokes @p cb immediately on a cache
+    /// hit; otherwise broadcasts requests (with retries) and calls back on
+    /// reply or, with nullopt, after the final timeout.
+    void resolve(net::Ipv4Address target, ResolveCallback cb);
+
+    /// Feeds a received ARP frame payload to the engine.
+    void handle_frame(const sim::Frame& frame);
+
+    /// Broadcasts a gratuitous reply announcing @p addr at this NIC's MAC.
+    /// Every host on the segment updates its cache — this is how a home
+    /// agent hijacks (and a returning mobile host reclaims) a home address.
+    void announce(net::Ipv4Address addr);
+
+    /// Drops all cached entries (e.g. after the NIC moved to a new segment).
+    void flush_cache();
+
+    std::optional<sim::MacAddress> lookup(net::Ipv4Address target) const;
+
+    // Introspection counters for tests.
+    std::size_t requests_sent() const noexcept { return requests_sent_; }
+    std::size_t replies_sent() const noexcept { return replies_sent_; }
+    std::size_t proxy_replies_sent() const noexcept { return proxy_replies_sent_; }
+
+private:
+    struct CacheEntry {
+        sim::MacAddress mac;
+        sim::TimePoint expires;
+    };
+    struct PendingResolution {
+        std::vector<ResolveCallback> callbacks;
+        unsigned attempts = 0;
+        sim::EventId retry_event = 0;
+    };
+
+    void send_message(const ArpMessage& m, sim::MacAddress dst);
+    void send_request(net::Ipv4Address target);
+    void retry(net::Ipv4Address target);
+    void learn(net::Ipv4Address ip, sim::MacAddress mac);
+
+    sim::Simulator& simulator_;
+    sim::Nic& nic_;
+    ArpConfig config_;
+    net::Ipv4Address local_;
+    std::set<net::Ipv4Address> proxied_;
+    std::map<net::Ipv4Address, CacheEntry> cache_;
+    std::map<net::Ipv4Address, PendingResolution> pending_;
+    std::size_t requests_sent_ = 0;
+    std::size_t replies_sent_ = 0;
+    std::size_t proxy_replies_sent_ = 0;
+};
+
+}  // namespace mip::arp

@@ -1,0 +1,77 @@
+#include "arp/arp_message.h"
+
+namespace mip::arp {
+
+namespace {
+constexpr std::uint16_t kHtypeEthernet = 1;
+constexpr std::uint16_t kPtypeIpv4 = 0x0800;
+}  // namespace
+
+void ArpMessage::serialize(net::BufferWriter& w) const {
+    w.u16(kHtypeEthernet);
+    w.u16(kPtypeIpv4);
+    w.u8(6);  // hardware address length
+    w.u8(4);  // protocol address length
+    w.u16(static_cast<std::uint16_t>(op));
+    w.bytes(sender_mac.octets());
+    w.u32(sender_ip.value());
+    w.bytes(target_mac.octets());
+    w.u32(target_ip.value());
+}
+
+ArpMessage ArpMessage::parse(net::BufferReader& r) {
+    if (r.remaining() < kArpMessageSize) {
+        throw net::ParseError("ARP message truncated");
+    }
+    if (r.u16() != kHtypeEthernet || r.u16() != kPtypeIpv4) {
+        throw net::ParseError("ARP: unsupported hardware/protocol type");
+    }
+    if (r.u8() != 6 || r.u8() != 4) {
+        throw net::ParseError("ARP: unexpected address lengths");
+    }
+    ArpMessage m;
+    m.op = static_cast<ArpOp>(r.u16());
+    std::array<std::uint8_t, 6> mac{};
+    auto smac = r.bytes(6);
+    std::copy(smac.begin(), smac.end(), mac.begin());
+    m.sender_mac = sim::MacAddress(mac);
+    m.sender_ip = net::Ipv4Address(r.u32());
+    auto tmac = r.bytes(6);
+    std::copy(tmac.begin(), tmac.end(), mac.begin());
+    m.target_mac = sim::MacAddress(mac);
+    m.target_ip = net::Ipv4Address(r.u32());
+    return m;
+}
+
+ArpMessage ArpMessage::request(sim::MacAddress sender_mac, net::Ipv4Address sender_ip,
+                               net::Ipv4Address target_ip) {
+    ArpMessage m;
+    m.op = ArpOp::Request;
+    m.sender_mac = sender_mac;
+    m.sender_ip = sender_ip;
+    m.target_ip = target_ip;
+    return m;
+}
+
+ArpMessage ArpMessage::reply(sim::MacAddress sender_mac, net::Ipv4Address sender_ip,
+                             sim::MacAddress target_mac, net::Ipv4Address target_ip) {
+    ArpMessage m;
+    m.op = ArpOp::Reply;
+    m.sender_mac = sender_mac;
+    m.sender_ip = sender_ip;
+    m.target_mac = target_mac;
+    m.target_ip = target_ip;
+    return m;
+}
+
+ArpMessage ArpMessage::gratuitous(sim::MacAddress sender_mac, net::Ipv4Address ip) {
+    ArpMessage m;
+    m.op = ArpOp::Reply;
+    m.sender_mac = sender_mac;
+    m.sender_ip = ip;
+    m.target_mac = sim::MacAddress::broadcast();
+    m.target_ip = ip;
+    return m;
+}
+
+}  // namespace mip::arp

@@ -1,0 +1,40 @@
+// Ethernet/IPv4 ARP wire format (RFC 826) — 28-byte messages.
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.h"
+#include "net/ipv4_address.h"
+#include "sim/mac_address.h"
+
+namespace mip::arp {
+
+inline constexpr std::size_t kArpMessageSize = 28;
+
+enum class ArpOp : std::uint16_t {
+    Request = 1,
+    Reply = 2,
+};
+
+struct ArpMessage {
+    ArpOp op = ArpOp::Request;
+    sim::MacAddress sender_mac;
+    net::Ipv4Address sender_ip;
+    sim::MacAddress target_mac;  ///< all-zero in requests
+    net::Ipv4Address target_ip;
+
+    void serialize(net::BufferWriter& w) const;
+    static ArpMessage parse(net::BufferReader& r);
+
+    static ArpMessage request(sim::MacAddress sender_mac, net::Ipv4Address sender_ip,
+                              net::Ipv4Address target_ip);
+    static ArpMessage reply(sim::MacAddress sender_mac, net::Ipv4Address sender_ip,
+                            sim::MacAddress target_mac, net::Ipv4Address target_ip);
+
+    /// Gratuitous announcement: sender == target. Used by a home agent to
+    /// (re)claim a mobile host's home address (gratuitous proxy ARP,
+    /// RFC 1027), and by a returning mobile host to reclaim it back.
+    static ArpMessage gratuitous(sim::MacAddress sender_mac, net::Ipv4Address ip);
+};
+
+}  // namespace mip::arp

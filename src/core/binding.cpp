@@ -1,0 +1,36 @@
+#include "core/binding.h"
+
+namespace mip::core {
+
+void BindingTable::set(net::Ipv4Address home, net::Ipv4Address care_of,
+                       sim::TimePoint expires) {
+    bindings_[home] = Binding{home, care_of, expires};
+}
+
+void BindingTable::remove(net::Ipv4Address home) {
+    bindings_.erase(home);
+}
+
+std::optional<Binding> BindingTable::lookup(net::Ipv4Address home, sim::TimePoint now) const {
+    auto it = bindings_.find(home);
+    if (it == bindings_.end() || it->second.expires <= now) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::size_t BindingTable::expire(sim::TimePoint now) {
+    return std::erase_if(bindings_,
+                         [now](const auto& kv) { return kv.second.expires <= now; });
+}
+
+std::vector<Binding> BindingTable::snapshot() const {
+    std::vector<Binding> out;
+    out.reserve(bindings_.size());
+    for (const auto& [home, b] : bindings_) {
+        out.push_back(b);
+    }
+    return out;
+}
+
+}  // namespace mip::core

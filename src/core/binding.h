@@ -1,0 +1,42 @@
+// Mobility bindings: home address -> current care-of address, with expiry.
+// Used by the home agent (authoritative, from registrations) and by
+// mobile-aware correspondent hosts (a cache, from ICMP care-of adverts or
+// DNS TA lookups).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4_address.h"
+#include "sim/time.h"
+
+namespace mip::core {
+
+struct Binding {
+    net::Ipv4Address home_address;
+    net::Ipv4Address care_of_address;
+    sim::TimePoint expires = 0;
+};
+
+class BindingTable {
+public:
+    void set(net::Ipv4Address home, net::Ipv4Address care_of, sim::TimePoint expires);
+    void remove(net::Ipv4Address home);
+    void clear() { bindings_.clear(); }
+
+    /// Current care-of address for @p home, if registered and unexpired.
+    std::optional<Binding> lookup(net::Ipv4Address home, sim::TimePoint now) const;
+
+    /// Drops expired entries; returns how many were removed.
+    std::size_t expire(sim::TimePoint now);
+
+    std::size_t size() const noexcept { return bindings_.size(); }
+    std::vector<Binding> snapshot() const;
+
+private:
+    std::map<net::Ipv4Address, Binding> bindings_;
+};
+
+}  // namespace mip::core

@@ -1,0 +1,108 @@
+#include "core/capability_probe.h"
+
+namespace mip::core {
+
+namespace {
+constexpr std::array<OutMode, 4> kProbeOrder{OutMode::IE, OutMode::DE, OutMode::DH,
+                                             OutMode::DT};
+}
+
+struct CapabilityProber::Session {
+    net::Ipv4Address dst;
+    std::size_t next_mode = 0;
+    ProbeReport report;
+    Callback done;
+    bool apply_to_cache = false;
+    /// Whether the cache had an entry before probing (so we can restore a
+    /// clean slate afterwards).
+    bool had_entry = false;
+    DeliveryMethodCache::Entry saved_entry;
+};
+
+std::string ProbeReport::summary() const {
+    std::string out = correspondent.to_string() + ":";
+    for (OutMode m : kAllOutModes) {
+        out += " " + to_string(m) + "=";
+        out += works(m) ? "ok" : "no";
+    }
+    out += " -> " + to_string(recommended);
+    return out;
+}
+
+CapabilityProber::CapabilityProber(MobileHost& mh, ProbeConfig config)
+    : mh_(mh), config_(config), pinger_(mh.stack()) {}
+
+void CapabilityProber::probe(net::Ipv4Address correspondent, Callback done,
+                             bool apply_to_cache) {
+    auto s = std::make_shared<Session>();
+    s->dst = correspondent;
+    s->report.correspondent = correspondent;
+    s->done = std::move(done);
+    s->apply_to_cache = apply_to_cache;
+    if (const auto* entry = mh_.method_cache().find(correspondent)) {
+        s->had_entry = true;
+        s->saved_entry = *entry;
+    }
+    ++in_flight_;
+    // The session advances itself mode by mode through ping callbacks.
+    advance(std::move(s));
+}
+
+void CapabilityProber::advance(std::shared_ptr<Session> s) {
+    if (s->next_mode >= kProbeOrder.size()) {
+        // All probes done: recommend the most aggressive working home mode.
+        s->report.any_home_mode_works = s->report.works(OutMode::IE) ||
+                                        s->report.works(OutMode::DE) ||
+                                        s->report.works(OutMode::DH);
+        if (s->report.works(OutMode::DH)) {
+            s->report.recommended = OutMode::DH;
+        } else if (s->report.works(OutMode::DE)) {
+            s->report.recommended = OutMode::DE;
+        } else {
+            s->report.recommended = OutMode::IE;
+        }
+        if (s->apply_to_cache) {
+            mh_.force_mode(s->dst, s->report.recommended);
+        } else if (s->had_entry && s->saved_entry.forced) {
+            mh_.force_mode(s->dst, s->saved_entry.mode);
+        } else {
+            mh_.method_cache().reset(s->dst);
+        }
+        --in_flight_;
+        if (s->done) s->done(s->report);
+        return;
+    }
+
+    const OutMode mode = kProbeOrder[s->next_mode];
+    ++s->next_mode;
+
+    net::Ipv4Address src;
+    if (mode == OutMode::DT) {
+        src = mh_.care_of_address();
+        if (src.is_unspecified()) {
+            // No care-of address of our own (e.g. attached via a foreign
+            // agent): Out-DT is structurally unavailable.
+            advance(std::move(s));
+            return;
+        }
+    } else {
+        src = mh_.home_address();
+        mh_.force_mode(s->dst, mode);
+    }
+
+    const auto started = mh_.simulator().now();
+    pinger_.ping(
+        s->dst,
+        [this, s, mode, started](std::optional<sim::Duration> rtt) mutable {
+            (void)started;
+            const auto idx = static_cast<std::size_t>(mode);
+            s->report.mode_works[idx] = rtt.has_value();
+            if (rtt) {
+                s->report.mode_rtt_ms[idx] = sim::to_milliseconds(*rtt);
+            }
+            advance(std::move(s));
+        },
+        config_.per_mode_timeout, config_.payload, src);
+}
+
+}  // namespace mip::core

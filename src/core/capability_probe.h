@@ -1,0 +1,71 @@
+// The abstract's "series of tests": "This makes it easier for a mobile
+// host, through a series of tests, to determine which of the currently
+// available optimizations is the best to use for any given correspondent
+// host."
+//
+// CapabilityProber actively probes a correspondent with ICMP echoes forced
+// through each outgoing mode, observes which return, and recommends the
+// best available mode (most efficient working one, by the aggressive
+// ordering DH > DE > IE). The result can seed the delivery-method cache so
+// conversations start in the right mode instead of discovering it through
+// retransmissions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/mobile_host.h"
+#include "transport/pinger.h"
+
+namespace mip::core {
+
+struct ProbeConfig {
+    sim::Duration per_mode_timeout = sim::seconds(2);
+    /// Echo payload used for probes.
+    std::size_t payload = 32;
+};
+
+struct ProbeReport {
+    net::Ipv4Address correspondent;
+    /// Indexed by OutMode (IE, DE, DH, DT).
+    std::array<bool, 4> mode_works{};
+    std::array<double, 4> mode_rtt_ms{};
+    /// The best working home-address mode (DH > DE > IE); IE when nothing
+    /// was confirmed (the only mode that never needs probing).
+    OutMode recommended = OutMode::IE;
+    bool any_home_mode_works = false;
+
+    bool works(OutMode m) const { return mode_works[static_cast<std::size_t>(m)]; }
+    double rtt_ms(OutMode m) const { return mode_rtt_ms[static_cast<std::size_t>(m)]; }
+
+    /// One-line human-readable summary.
+    std::string summary() const;
+};
+
+class CapabilityProber {
+public:
+    using Callback = std::function<void(const ProbeReport&)>;
+
+    explicit CapabilityProber(MobileHost& mh, ProbeConfig config = {});
+
+    /// Probes @p correspondent through Out-IE, Out-DE, Out-DH and Out-DT in
+    /// parallel; invokes @p done once all probes conclude.
+    /// @p apply_to_cache seeds the delivery-method cache with the
+    /// recommendation (force-pinning it).
+    void probe(net::Ipv4Address correspondent, Callback done, bool apply_to_cache = false);
+
+    std::size_t probes_in_flight() const noexcept { return in_flight_; }
+
+private:
+    struct Session;
+    /// Launches the next unprobed mode, or finalizes the report.
+    void advance(std::shared_ptr<Session> s);
+
+    MobileHost& mh_;
+    ProbeConfig config_;
+    transport::Pinger pinger_;
+    std::size_t in_flight_ = 0;
+};
+
+}  // namespace mip::core

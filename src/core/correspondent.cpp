@@ -1,0 +1,156 @@
+#include "core/correspondent.h"
+
+namespace mip::core {
+
+std::string to_string(Awareness a) {
+    switch (a) {
+        case Awareness::Conventional: return "conventional";
+        case Awareness::DecapCapable: return "decap-capable";
+        case Awareness::MobileAware: return "mobile-aware";
+    }
+    return "?";
+}
+
+CorrespondentHost::CorrespondentHost(sim::Simulator& simulator, std::string name,
+                                     CorrespondentConfig config)
+    : stack::Host(simulator, std::move(name)),
+      config_(config),
+      encap_(tunnel::make_encapsulator(config.encap_scheme)) {
+    udp_ = std::make_unique<transport::UdpService>(stack());
+    tcp_ = std::make_unique<transport::TcpService>(stack());
+
+    if (config_.awareness != Awareness::Conventional) {
+        // Automatic decapsulation (paper §6.1 warns this weakens firewall
+        // protection, which is why it is opt-in via the awareness level).
+        for (auto scheme : {tunnel::EncapScheme::IpInIp, tunnel::EncapScheme::Minimal,
+                            tunnel::EncapScheme::Gre}) {
+            decapsulators_.push_back(tunnel::make_encapsulator(scheme));
+            const tunnel::Encapsulator& decap = *decapsulators_.back();
+            stack().register_protocol(decap.protocol(),
+                                      [this, &decap](const net::Packet& p, std::size_t) {
+                                          net::Packet inner;
+                                          try {
+                                              inner = decap.decapsulate(p);
+                                          } catch (const net::ParseError&) {
+                                              return;
+                                          }
+                                          ++stats_.decapsulated;
+                                          stack().deliver_local(
+                                              inner, stack::IpStack::kNoInterface);
+                                      });
+        }
+    }
+
+    if (config_.awareness == Awareness::MobileAware) {
+        // Route optimization: learn bindings from the home agent's ICMP
+        // care-of adverts (paper §3.2 mechanism 1).
+        stack().add_icmp_observer([this](const net::IcmpMessage& msg, const net::Packet&) {
+            if (msg.type != net::IcmpType::MobileCareOfAdvert) return;
+            try {
+                const net::Ipv4Address home = msg.advertised_home_address();
+                const net::Ipv4Address care_of = msg.advertised_care_of();
+                ++stats_.adverts_learned;
+                learn_binding(home, care_of, config_.advert_binding_ttl);
+            } catch (const net::ParseError&) {
+            }
+        });
+
+        // Virtual interface performing the In-DE encapsulation.
+        vif_direct_ = stack().add_virtual_interface("tun-ch", [this](net::Packet inner) {
+            const auto binding =
+                binding_cache_.lookup(inner.header().dst, this->simulator().now());
+            if (!binding) {
+                // Binding expired between route decision and transmission:
+                // fall back to the plain (In-IE) path.
+                stack().send(std::move(inner));
+                return;
+            }
+            // A locally-originated packet may reach us with an open source
+            // address (e.g. an ICMP reply): pin it to the address the route
+            // toward the care-of address would use.
+            if (inner.header().src.is_unspecified()) {
+                stack::FlowKey flow;
+                flow.dst = binding->care_of_address;
+                inner.header().src = stack().select_source(flow);
+            }
+            ++stats_.in_de_sent;
+            net::Packet outer = encap_->encapsulate(inner, inner.header().src,
+                                                    binding->care_of_address);
+            stack().send(std::move(outer));
+        });
+
+        stack().set_policy_resolver(this);
+    }
+}
+
+CorrespondentHost::~CorrespondentHost() {
+    stack().set_policy_resolver(nullptr);
+}
+
+void CorrespondentHost::learn_binding(net::Ipv4Address home, net::Ipv4Address care_of,
+                                      sim::Duration ttl) {
+    binding_cache_.set(home, care_of, simulator().now() + ttl);
+}
+
+void CorrespondentHost::discover_via_dns(dns::Resolver& resolver, const std::string& name,
+                                         std::function<void(net::Ipv4Address)> done) {
+    resolver.resolve(name, dns::RecordType::A, [this, &resolver, name,
+                                                done = std::move(done)](
+                                                   std::vector<dns::Record> a_records) {
+        if (a_records.empty()) {
+            if (done) done(net::Ipv4Address{});
+            return;
+        }
+        const net::Ipv4Address home = a_records.front().addr;
+        resolver.resolve(name, dns::RecordType::TA,
+                         [this, home, done = std::move(done)](std::vector<dns::Record> tas) {
+                             if (!tas.empty()) {
+                                 learn_binding(home, tas.front().addr,
+                                               sim::seconds(tas.front().ttl_seconds));
+                             }
+                             if (done) done(home);
+                         });
+    });
+}
+
+std::optional<std::size_t> CorrespondentHost::on_link_interface(net::Ipv4Address addr) const {
+    for (std::size_t i = 0; i < stack().interface_count(); ++i) {
+        const stack::Interface& ifc = stack().iface(i);
+        if (ifc.is_physical() && ifc.configured() && ifc.subnet().contains(addr)) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+InMode CorrespondentHost::mode_for(net::Ipv4Address mobile_home) const {
+    if (config_.awareness != Awareness::MobileAware) {
+        return InMode::IE;
+    }
+    const auto binding = binding_cache_.lookup(mobile_home, simulator().now());
+    if (!binding) {
+        return InMode::IE;
+    }
+    if (on_link_interface(binding->care_of_address)) {
+        return InMode::DH;
+    }
+    return InMode::DE;
+}
+
+std::optional<stack::Resolution> CorrespondentHost::resolve(const stack::FlowKey& flow) {
+    const auto binding = binding_cache_.lookup(flow.dst, simulator().now());
+    if (!binding) {
+        return std::nullopt;
+    }
+    // Row C: the mobile host is on one of our own segments — deliver the
+    // plain packet in a single link-layer hop, addressed (at the link
+    // layer) to the care-of address's MAC (paper §5 In-DH, §6.3).
+    if (auto ifc = on_link_interface(binding->care_of_address)) {
+        ++stats_.in_dh_sent;
+        return stack::Resolution::via_interface(*ifc, binding->care_of_address);
+    }
+    // Row B: encapsulate it ourselves (In-DE).
+    return stack::Resolution::via_interface(vif_direct_);
+}
+
+}  // namespace mip::core

@@ -1,0 +1,99 @@
+// Correspondent hosts at the paper's three levels of mobile-awareness (§5,
+// §7.2):
+//
+//  * Conventional — ordinary IP software; everything it sends to a mobile
+//    host travels In-IE via the home agent, and it needs no changes.
+//  * DecapCapable — "some operating systems, such as recent versions of
+//    Linux, have this capability built-in": can receive encapsulated
+//    packets (enabling the mobile host's Out-DE), but makes no routing
+//    decisions of its own.
+//  * MobileAware — additionally keeps a binding cache (fed by ICMP care-of
+//    adverts and/or DNS TA lookups) and encapsulates directly to the
+//    care-of address (In-DE); when it sees the mobile host is on the same
+//    segment it delivers in one link-layer hop instead (In-DH).
+#pragma once
+
+#include <memory>
+
+#include "core/binding.h"
+#include "core/modes.h"
+#include "dns/resolver.h"
+#include "stack/host.h"
+#include "transport/tcp_service.h"
+#include "transport/udp_service.h"
+#include "tunnel/encapsulator.h"
+
+namespace mip::core {
+
+enum class Awareness {
+    Conventional,
+    DecapCapable,
+    MobileAware,
+};
+
+std::string to_string(Awareness a);
+
+struct CorrespondentConfig {
+    Awareness awareness = Awareness::Conventional;
+    tunnel::EncapScheme encap_scheme = tunnel::EncapScheme::IpInIp;
+    /// Lifetime of bindings learned from ICMP care-of adverts.
+    sim::Duration advert_binding_ttl = sim::seconds(60);
+};
+
+class CorrespondentHost final : public stack::Host, private stack::RouteResolver {
+public:
+    CorrespondentHost(sim::Simulator& simulator, std::string name,
+                      CorrespondentConfig config = {});
+    ~CorrespondentHost() override;
+
+    Awareness awareness() const noexcept { return config_.awareness; }
+
+    // ---- binding cache (MobileAware only) ----------------------------------
+
+    BindingTable& binding_cache() noexcept { return binding_cache_; }
+    /// Installs a binding manually (e.g. from a DNS TA lookup the
+    /// application performed).
+    void learn_binding(net::Ipv4Address home, net::Ipv4Address care_of,
+                       sim::Duration ttl = sim::seconds(60));
+    void forget_binding(net::Ipv4Address home) { binding_cache_.remove(home); }
+
+    /// Resolves @p name through @p resolver, installing A->TA bindings —
+    /// the paper's DNS discovery path. @p done fires with the home address
+    /// (unspecified on failure).
+    void discover_via_dns(dns::Resolver& resolver, const std::string& name,
+                          std::function<void(net::Ipv4Address home)> done);
+
+    /// The In-mode this host would currently use toward @p mobile_home.
+    InMode mode_for(net::Ipv4Address mobile_home) const;
+
+    // ---- services -----------------------------------------------------------
+
+    transport::UdpService& udp() noexcept { return *udp_; }
+    transport::TcpService& tcp() noexcept { return *tcp_; }
+
+    struct Stats {
+        std::size_t in_de_sent = 0;       ///< packets tunneled to a care-of address
+        std::size_t in_dh_sent = 0;       ///< packets sent by link-layer same-segment delivery
+        std::size_t decapsulated = 0;     ///< encapsulated packets accepted (Out-DE)
+        std::size_t adverts_learned = 0;  ///< bindings learned from ICMP
+    };
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    std::optional<stack::Resolution> resolve(const stack::FlowKey& flow) override;
+
+    /// Interface index whose connected subnet contains @p addr, if any —
+    /// the Row C same-segment test.
+    std::optional<std::size_t> on_link_interface(net::Ipv4Address addr) const;
+
+    CorrespondentConfig config_;
+    std::unique_ptr<tunnel::Encapsulator> encap_;
+    std::vector<std::unique_ptr<tunnel::Encapsulator>> decapsulators_;
+    BindingTable binding_cache_;
+    std::unique_ptr<transport::UdpService> udp_;
+    std::unique_ptr<transport::TcpService> tcp_;
+    std::size_t vif_direct_ = stack::IpStack::kNoInterface;
+    Stats stats_;
+};
+
+}  // namespace mip::core

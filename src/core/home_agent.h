@@ -1,0 +1,90 @@
+// The home agent (paper §2): a host on the mobile host's home network that
+// acts as its proxy while it is away.
+//
+//  * Accepts registrations (UDP 434) and maintains the binding table.
+//  * Uses gratuitous proxy ARP to capture packets addressed to absent
+//    mobile hosts on the home segment.
+//  * Tunnels captured packets to the registered care-of address (In-IE).
+//  * Decapsulates reverse-tunneled packets from mobile hosts and re-sends
+//    the inner packet on their behalf (Out-IE, Figure 3).
+//  * Optionally notifies correspondents of the care-of address with an
+//    ICMP care-of advert, enabling route optimization (Figure 5).
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/binding.h"
+#include "core/registration.h"
+#include "stack/host.h"
+#include "transport/udp_service.h"
+#include "tunnel/encapsulator.h"
+
+namespace mip::core {
+
+struct HomeAgentConfig {
+    tunnel::EncapScheme encap_scheme = tunnel::EncapScheme::IpInIp;
+    /// Send ICMP care-of adverts to correspondents whose packets we tunnel
+    /// (the paper's first route-optimization discovery mechanism, §3.2).
+    bool send_care_of_adverts = false;
+    /// Minimum interval between adverts to the same correspondent.
+    sim::Duration advert_interval = sim::seconds(10);
+    /// Cap on granted binding lifetimes.
+    std::uint16_t max_lifetime_seconds = 600;
+
+    /// Shared registration key (RFC 2002's mobility security association,
+    /// simplified). 0 is a valid key; mobile hosts must be configured with
+    /// the same value or their registrations are denied.
+    std::uint64_t registration_key = 0;
+
+    /// Multicast groups the agent joins on the home network and relays,
+    /// tunneled, to every registered mobile host — the "virtual interface"
+    /// subscription of §6.4, implemented so its self-defeating cost can be
+    /// measured against joining on the visited network directly.
+    std::set<net::Ipv4Address> multicast_relay_groups;
+};
+
+class HomeAgent : public stack::Host {
+public:
+    HomeAgent(sim::Simulator& simulator, std::string name, HomeAgentConfig config = {});
+
+    /// Attach to the home segment (must be called before registrations
+    /// arrive). Thin wrapper over Host::attach that remembers the home
+    /// interface for proxy-ARP purposes.
+    std::size_t attach_home(sim::Link& link, net::Ipv4Address addr, net::Prefix subnet,
+                            std::optional<net::Ipv4Address> gateway = std::nullopt);
+
+    const BindingTable& bindings() const noexcept { return bindings_; }
+    bool is_registered(net::Ipv4Address home_addr) const;
+
+    struct Stats {
+        std::size_t registrations_accepted = 0;
+        std::size_t registrations_denied_auth = 0;
+        std::size_t deregistrations = 0;
+        std::size_t packets_tunneled = 0;      ///< captured & forwarded to COA
+        std::size_t packets_reverse_forwarded = 0;  ///< decapsulated & re-sent for MH
+        std::size_t adverts_sent = 0;
+        std::size_t multicast_relayed = 0;  ///< group packets re-tunneled to MHs
+    };
+    const Stats& stats() const noexcept { return stats_; }
+
+    const HomeAgentConfig& config() const noexcept { return config_; }
+    transport::UdpService& udp() noexcept { return *udp_; }
+
+private:
+    void on_registration(std::span<const std::uint8_t> data, transport::UdpEndpoint from);
+    bool intercept_forward(const net::Packet& packet, std::size_t in_interface);
+    void on_encapsulated(const net::Packet& packet);
+    void maybe_send_advert(net::Ipv4Address correspondent, const Binding& binding);
+
+    HomeAgentConfig config_;
+    std::unique_ptr<tunnel::Encapsulator> encap_;
+    std::unique_ptr<transport::UdpService> udp_;
+    std::unique_ptr<transport::UdpSocket> reg_socket_;
+    BindingTable bindings_;
+    std::size_t home_interface_ = stack::IpStack::kNoInterface;
+    std::map<net::Ipv4Address, sim::TimePoint> last_advert_;
+    Stats stats_;
+};
+
+}  // namespace mip::core

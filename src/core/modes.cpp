@@ -1,0 +1,68 @@
+#include "core/modes.h"
+
+namespace mip::core {
+
+GridCensus census() {
+    GridCensus c;
+    for (InMode in : kAllInModes) {
+        for (OutMode out : kAllOutModes) {
+            switch (classify_combo(in, out)) {
+                case ComboClass::Useful: ++c.useful; break;
+                case ComboClass::ValidUnused: ++c.valid_unused; break;
+                case ComboClass::Broken: ++c.broken; break;
+            }
+        }
+    }
+    return c;
+}
+
+std::string to_string(OutMode m) {
+    switch (m) {
+        case OutMode::IE: return "Out-IE";
+        case OutMode::DE: return "Out-DE";
+        case OutMode::DH: return "Out-DH";
+        case OutMode::DT: return "Out-DT";
+    }
+    return "?";
+}
+
+std::string to_string(InMode m) {
+    switch (m) {
+        case InMode::IE: return "In-IE";
+        case InMode::DE: return "In-DE";
+        case InMode::DH: return "In-DH";
+        case InMode::DT: return "In-DT";
+    }
+    return "?";
+}
+
+std::string to_string(ComboClass c) {
+    switch (c) {
+        case ComboClass::Useful: return "useful";
+        case ComboClass::ValidUnused: return "valid-unused";
+        case ComboClass::Broken: return "broken";
+    }
+    return "?";
+}
+
+std::string describe(OutMode m) {
+    switch (m) {
+        case OutMode::IE: return "Outgoing, Indirect, Encapsulated";
+        case OutMode::DE: return "Outgoing, Direct, Encapsulated";
+        case OutMode::DH: return "Outgoing, Direct, Home Address";
+        case OutMode::DT: return "Outgoing, Direct, Temporary Address";
+    }
+    return "?";
+}
+
+std::string describe(InMode m) {
+    switch (m) {
+        case InMode::IE: return "Incoming, Indirect, Encapsulated";
+        case InMode::DE: return "Incoming, Direct, Encapsulated";
+        case InMode::DH: return "Incoming, Direct, Home Address";
+        case InMode::DT: return "Incoming, Direct, Temporary Address";
+    }
+    return "?";
+}
+
+}  // namespace mip::core

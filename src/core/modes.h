@@ -1,0 +1,101 @@
+// The 4x4 grid (paper Figure 10): four ways a mobile host can send packets
+// crossed with four ways a correspondent host can send packets to it, and
+// the classification of which of the sixteen combinations are useful.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace mip::core {
+
+/// How the mobile host sends outgoing packets (paper §4).
+enum class OutMode {
+    IE,  ///< Indirect, Encapsulated — tunnel via the home agent (conservative)
+    DE,  ///< Direct, Encapsulated — tunnel straight to the correspondent
+    DH,  ///< Direct, Home address — plain packet, home source address
+    DT,  ///< Direct, Temporary address — plain packet, care-of source (no Mobile IP)
+};
+
+/// How the correspondent host sends incoming packets (paper §5).
+enum class InMode {
+    IE,  ///< Indirect, Encapsulated — naïve send to home; home agent tunnels
+    DE,  ///< Direct, Encapsulated — correspondent tunnels to the care-of address
+    DH,  ///< Direct, Home address — link-layer delivery on the same segment
+    DT,  ///< Direct, Temporary address — plain packet to the care-of address
+};
+
+inline constexpr std::array<OutMode, 4> kAllOutModes{OutMode::IE, OutMode::DE, OutMode::DH,
+                                                     OutMode::DT};
+inline constexpr std::array<InMode, 4> kAllInModes{InMode::IE, InMode::DE, InMode::DH,
+                                                   InMode::DT};
+
+/// Figure 10's shading.
+enum class ComboClass {
+    Useful,       ///< unshaded: a combination hosts should actually use
+    ValidUnused,  ///< lightly shaded: works with TCP but no reason to pick it
+    Broken,       ///< darkly shaded: does not work with current protocols
+};
+
+/// The grid as a pure function (paper §6, Figure 10).
+constexpr ComboClass classify_combo(InMode in, OutMode out) {
+    // Column Out-DT and row In-DT: mixing the temporary address with the
+    // permanent address as communication endpoints never works — "the use
+    // of the temporary care-of address for communication in one direction
+    // effectively mandates the use of the same address for the
+    // corresponding return communication" (§6.5) — except the matched pair
+    // In-DT/Out-DT, which is ordinary non-mobile IP.
+    if (out == OutMode::DT || in == InMode::DT) {
+        return (out == OutMode::DT && in == InMode::DT) ? ComboClass::Useful
+                                                        : ComboClass::Broken;
+    }
+    // Row B: In-DE/Out-IE is valid but unused — "if the correspondent host
+    // is able to send packets directly to the mobile host, then the mobile
+    // host should also send its replies directly" (§6.2).
+    if (in == InMode::DE && out == OutMode::IE) {
+        return ComboClass::ValidUnused;
+    }
+    // Row C: In-DH/Out-IE and In-DH/Out-DE are valid but unused — same
+    // reasoning, one link-layer hop deserves a direct reply (§6.3).
+    if (in == InMode::DH && (out == OutMode::IE || out == OutMode::DE)) {
+        return ComboClass::ValidUnused;
+    }
+    return ComboClass::Useful;
+}
+
+/// Number of combinations per class: 7 useful, 3 valid-unused, 6 broken.
+struct GridCensus {
+    int useful = 0;
+    int valid_unused = 0;
+    int broken = 0;
+};
+GridCensus census();
+
+// ---- per-mode attributes (the row/column properties in Figure 10) --------
+
+constexpr bool is_direct(OutMode m) { return m != OutMode::IE; }
+constexpr bool is_direct(InMode m) { return m != InMode::IE; }
+constexpr bool is_encapsulated(OutMode m) { return m == OutMode::IE || m == OutMode::DE; }
+constexpr bool is_encapsulated(InMode m) { return m == InMode::IE || m == InMode::DE; }
+/// Does this mode preserve location transparency (use the home address as
+/// the connection endpoint)?
+constexpr bool uses_home_address(OutMode m) { return m != OutMode::DT; }
+constexpr bool uses_home_address(InMode m) { return m != InMode::DT; }
+/// Will packets survive source-address ingress/egress filtering anywhere on
+/// the path? (Out-DH exposes the topologically-wrong home source address.)
+constexpr bool filter_safe(OutMode m) { return m != OutMode::DH; }
+/// Does the correspondent need decapsulation capability?
+constexpr bool needs_decap_correspondent(OutMode m) { return m == OutMode::DE; }
+/// Does the correspondent need full mobile-awareness (binding lookup)?
+constexpr bool needs_mobile_aware_correspondent(InMode m) { return m == InMode::DE; }
+/// Does this mode require both hosts on one network segment?
+constexpr bool needs_same_segment(InMode m) { return m == InMode::DH; }
+
+std::string to_string(OutMode m);
+std::string to_string(InMode m);
+std::string to_string(ComboClass c);
+
+/// Long-form names as used in the paper ("Outgoing, Indirect, Encapsulated").
+std::string describe(OutMode m);
+std::string describe(InMode m);
+
+}  // namespace mip::core

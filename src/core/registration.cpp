@@ -1,0 +1,99 @@
+#include "core/registration.h"
+
+namespace mip::core {
+
+std::uint64_t registration_mac(std::span<const std::uint8_t> body, std::uint64_t key) {
+    // FNV-1a over the body, then mixed with the key through two xor-fold
+    // rounds. Deterministic and collision-decent; NOT cryptographic.
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ key;
+    for (const std::uint8_t b : body) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    h ^= key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    return h;
+}
+
+namespace {
+void append_mac(net::BufferWriter& w, std::size_t body_start, std::uint64_t key) {
+    const auto body = w.view().subspan(body_start);
+    const std::uint64_t mac = registration_mac(body, key);
+    w.u32(static_cast<std::uint32_t>(mac >> 32));
+    w.u32(static_cast<std::uint32_t>(mac & 0xffffffff));
+}
+}  // namespace
+
+void RegistrationRequest::serialize(net::BufferWriter& w, std::uint64_t key) const {
+    const std::size_t start = w.size();
+    w.u8(static_cast<std::uint8_t>(RegistrationMessageType::Request));
+    w.u8(0);  // flags (S|B|D|M|G|V in RFC 2002; unused here)
+    w.u16(lifetime);
+    w.u32(home_address.value());
+    w.u32(home_agent.value());
+    w.u32(care_of_address.value());
+    w.u32(static_cast<std::uint32_t>(id >> 32));
+    w.u32(static_cast<std::uint32_t>(id & 0xffffffff));
+    append_mac(w, start, key);
+}
+
+RegistrationRequest RegistrationRequest::parse(net::BufferReader& r) {
+    if (r.remaining() < kRegistrationRequestSize) {
+        throw net::ParseError("registration request truncated");
+    }
+    if (r.u8() != static_cast<std::uint8_t>(RegistrationMessageType::Request)) {
+        throw net::ParseError("not a registration request");
+    }
+    r.skip(1);  // flags
+    RegistrationRequest req;
+    req.lifetime = r.u16();
+    req.home_address = net::Ipv4Address(r.u32());
+    req.home_agent = net::Ipv4Address(r.u32());
+    req.care_of_address = net::Ipv4Address(r.u32());
+    req.id = static_cast<std::uint64_t>(r.u32()) << 32 | r.u32();
+    r.skip(8);  // authenticator (verified separately over the raw datagram)
+    return req;
+}
+
+bool RegistrationRequest::authenticate(std::span<const std::uint8_t> datagram,
+                                       std::uint64_t key) {
+    if (datagram.size() < 8) return false;
+    const auto body = datagram.subspan(0, datagram.size() - 8);
+    const auto mac_bytes = datagram.subspan(datagram.size() - 8);
+    net::BufferReader r(mac_bytes);
+    const std::uint64_t mac = static_cast<std::uint64_t>(r.u32()) << 32 | r.u32();
+    return mac == registration_mac(body, key);
+}
+
+void RegistrationReply::serialize(net::BufferWriter& w, std::uint64_t key) const {
+    const std::size_t start = w.size();
+    w.u8(static_cast<std::uint8_t>(RegistrationMessageType::Reply));
+    w.u8(static_cast<std::uint8_t>(code));
+    w.u16(lifetime);
+    w.u32(home_address.value());
+    w.u32(home_agent.value());
+    w.u32(static_cast<std::uint32_t>(id >> 32));
+    w.u32(static_cast<std::uint32_t>(id & 0xffffffff));
+    append_mac(w, start, key);
+}
+
+RegistrationReply RegistrationReply::parse(net::BufferReader& r) {
+    if (r.remaining() < kRegistrationReplySize) {
+        throw net::ParseError("registration reply truncated");
+    }
+    if (r.u8() != static_cast<std::uint8_t>(RegistrationMessageType::Reply)) {
+        throw net::ParseError("not a registration reply");
+    }
+    RegistrationReply rep;
+    rep.code = static_cast<RegistrationCode>(r.u8());
+    rep.lifetime = r.u16();
+    rep.home_address = net::Ipv4Address(r.u32());
+    rep.home_agent = net::Ipv4Address(r.u32());
+    rep.id = static_cast<std::uint64_t>(r.u32()) << 32 | r.u32();
+    r.skip(8);  // authenticator
+    return rep;
+}
+
+}  // namespace mip::core

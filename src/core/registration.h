@@ -1,0 +1,83 @@
+// Mobile IP registration protocol (modelled on the IETF draft the paper
+// builds on [Per96a], later RFC 2002): UDP messages on port 434 between a
+// mobile host and its home agent, carrying a keyed authenticator.
+//
+// Registration is itself sent with the care-of address as the source —
+// the paper points out (§6.4) that "our Mobile IP support software itself
+// communicates using the temporary address when registering with the home
+// agent. It has no choice."
+//
+// The authenticator stands in for RFC 2002's MD5 mobile-home extension: a
+// keyed 64-bit MAC over the message body. It exists so the trust model is
+// explicit (a home agent must not accept bindings from strangers — that
+// would let anyone hijack a host's traffic); it is NOT cryptographically
+// strong and must not be copied into real systems.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/buffer.h"
+#include "net/ipv4_address.h"
+
+namespace mip::core {
+
+/// Fixed wire sizes including the trailing 64-bit authenticator.
+inline constexpr std::size_t kRegistrationRequestSize = 24 + 8;
+inline constexpr std::size_t kRegistrationReplySize = 20 + 8;
+
+enum class RegistrationMessageType : std::uint8_t {
+    Request = 1,
+    Reply = 3,
+};
+
+enum class RegistrationCode : std::uint8_t {
+    Accepted = 0,
+    DeniedUnspecified = 128,
+    DeniedBadAuthenticator = 131,
+    DeniedBadRequest = 134,
+};
+
+/// Keyed MAC over a serialized registration body (FNV-1a mixed with the
+/// shared key — a stand-in for the draft's keyed-MD5).
+std::uint64_t registration_mac(std::span<const std::uint8_t> body, std::uint64_t key);
+
+struct RegistrationRequest {
+    /// Seconds the binding should remain valid. 0 = deregistration.
+    std::uint16_t lifetime = 300;
+    net::Ipv4Address home_address;
+    net::Ipv4Address home_agent;
+    net::Ipv4Address care_of_address;
+    /// Matches replies to requests and provides replay ordering.
+    std::uint64_t id = 0;
+
+    bool is_deregistration() const noexcept {
+        return lifetime == 0 || care_of_address == home_address;
+    }
+
+    /// Serializes the message and appends the authenticator for @p key.
+    void serialize(net::BufferWriter& w, std::uint64_t key = 0) const;
+
+    /// Parses the body; does NOT verify the authenticator (the datagram is
+    /// needed for that — see authenticate()).
+    static RegistrationRequest parse(net::BufferReader& r);
+
+    /// Verifies the trailing authenticator of a serialized request/reply
+    /// datagram against @p key.
+    static bool authenticate(std::span<const std::uint8_t> datagram, std::uint64_t key);
+};
+
+struct RegistrationReply {
+    RegistrationCode code = RegistrationCode::Accepted;
+    std::uint16_t lifetime = 0;  ///< granted lifetime (may be shorter than asked)
+    net::Ipv4Address home_address;
+    net::Ipv4Address home_agent;
+    std::uint64_t id = 0;  ///< echoed from the request
+
+    bool accepted() const noexcept { return code == RegistrationCode::Accepted; }
+
+    void serialize(net::BufferWriter& w, std::uint64_t key = 0) const;
+    static RegistrationReply parse(net::BufferReader& r);
+};
+
+}  // namespace mip::core

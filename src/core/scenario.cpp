@@ -1,0 +1,282 @@
+#include "core/scenario.h"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace mip::core {
+
+namespace {
+int resolve_attach(int requested, int backbone_len) {
+    const int idx = requested < 0 ? backbone_len - 1 : requested;
+    if (idx < 0 || idx >= backbone_len) {
+        throw std::invalid_argument("backbone attach index out of range");
+    }
+    return idx;
+}
+}  // namespace
+
+World::World(WorldConfig config) : config_(std::move(config)) {
+    if (config_.backbone_routers < 1) {
+        throw std::invalid_argument("backbone needs at least one router");
+    }
+
+    home_lan_ = &make_link("home-lan", config_.lan_latency, config_.lan_bandwidth_bps,
+                           config_.lan_mtu);
+    foreign_lan_ = &make_link("foreign-lan", config_.lan_latency, config_.lan_bandwidth_bps,
+                              config_.lan_mtu);
+    corr_lan_ = &make_link("corr-lan", config_.lan_latency, config_.lan_bandwidth_bps,
+                           config_.lan_mtu);
+
+    // Backbone chain.
+    for (int i = 0; i < config_.backbone_routers; ++i) {
+        backbone_.push_back(
+            std::make_unique<stack::Router>(sim, "bb-r" + std::to_string(i)));
+        backbone_.back()->stack().set_trace(trace.sink());
+    }
+    for (int i = 0; i + 1 < config_.backbone_routers; ++i) {
+        sim::Link& l = make_link("bb-link" + std::to_string(i), config_.backbone_latency,
+                                 config_.backbone_bandwidth_bps, config_.backbone_mtu);
+        const std::uint32_t net = next_p2p_net_++;
+        const net::Prefix p2p(net::Ipv4Address(0xc0a80000u + net * 4), 30);
+        const net::Ipv4Address a(p2p.base().value() + 1);
+        const net::Ipv4Address b(p2p.base().value() + 2);
+        const std::size_t ia = backbone_[i]->attach(l, a, p2p);
+        const std::size_t ib = backbone_[i + 1]->attach(l, b, p2p);
+        add_edge_pair(backbone_[i]->stack(), ia, a, backbone_[i + 1]->stack(), ib, b);
+    }
+
+    // Domain gateways.
+    home_gw_ = std::make_unique<stack::Router>(sim, "home-gw");
+    foreign_gw_ = std::make_unique<stack::Router>(sim, "foreign-gw");
+    corr_gw_ = std::make_unique<stack::Router>(sim, "corr-gw");
+    for (auto* gw : {home_gw_.get(), foreign_gw_.get(), corr_gw_.get()}) {
+        gw->stack().set_trace(trace.sink());
+    }
+
+    connect_gateway(*home_gw_, resolve_attach(config_.home_attach, config_.backbone_routers),
+                    home_gateway_addr(), home_domain.prefix, *home_lan_);
+    connect_gateway(*foreign_gw_,
+                    resolve_attach(config_.foreign_attach, config_.backbone_routers),
+                    foreign_gateway_addr(), foreign_domain.prefix, *foreign_lan_);
+    connect_gateway(*corr_gw_, resolve_attach(config_.corr_attach, config_.backbone_routers),
+                    corr_gateway_addr(), corr_domain.prefix, *corr_lan_);
+
+    // Boundary filter policy (paper §3.1). Interface 1 of each gateway is
+    // the outside-facing one (see connect_gateway).
+    if (config_.home_ingress_spoof_filter) {
+        home_gw_->add_ingress_filter(
+            1, std::make_shared<routing::SourceSpoofIngressRule>(home_domain.prefix));
+    }
+    if (config_.home_egress_antispoof) {
+        home_gw_->add_egress_filter(
+            1, std::make_shared<routing::ForeignSourceEgressRule>(home_domain.prefix));
+    }
+    if (config_.foreign_egress_antispoof) {
+        foreign_gw_->add_egress_filter(
+            1, std::make_shared<routing::ForeignSourceEgressRule>(foreign_domain.prefix));
+    }
+    if (config_.foreign_no_transit) {
+        foreign_gw_->add_egress_filter(
+            1, std::make_shared<routing::NoTransitRule>(foreign_domain.prefix));
+        foreign_gw_->add_ingress_filter(
+            1, std::make_shared<routing::NoTransitRule>(foreign_domain.prefix));
+    }
+
+    if (config_.home_firewall) {
+        auto firewall = std::make_shared<routing::FirewallRule>();
+        firewall->allow_destination(home_agent_addr());
+        home_gw_->add_ingress_filter(1, std::move(firewall));
+    }
+    if (config_.filter_feedback) {
+        home_gw_->stack().set_filter_feedback(true);
+        foreign_gw_->stack().set_filter_feedback(true);
+        corr_gw_->stack().set_filter_feedback(true);
+    }
+
+    install_backbone_routes();
+
+    // The home agent.
+    ha_ = std::make_unique<HomeAgent>(sim, "home-agent", config_.home_agent);
+    ha_->stack().set_trace(trace.sink());
+    ha_->attach_home(*home_lan_, home_agent_addr(), home_domain.prefix,
+                     home_gateway_addr());
+}
+
+sim::Link& World::make_link(std::string name, sim::Duration latency, double bandwidth_bps,
+                            std::size_t mtu) {
+    sim::LinkConfig cfg;
+    cfg.name = std::move(name);
+    cfg.latency = latency;
+    cfg.bandwidth_bps = bandwidth_bps;
+    cfg.mtu = mtu;
+    cfg.loss_rate = config_.loss_rate;
+    cfg.seed = config_.seed + links_.size();
+    links_.push_back(std::make_unique<sim::Link>(sim, cfg));
+    links_.back()->set_trace(trace.sink());
+    return *links_.back();
+}
+
+void World::add_edge_pair(stack::IpStack& a, std::size_t a_iface, net::Ipv4Address a_addr,
+                          stack::IpStack& b, std::size_t b_iface, net::Ipv4Address b_addr) {
+    edges_.push_back(Edge{&a, a_iface, &b, b_addr});
+    edges_.push_back(Edge{&b, b_iface, &a, a_addr});
+}
+
+void World::connect_gateway(stack::Router& gw, std::size_t backbone_index,
+                            net::Ipv4Address inside_addr, net::Prefix inside_prefix,
+                            sim::Link& inside_lan) {
+    // Interface 0: inside LAN. Interface 1: uplink to the backbone.
+    gw.attach(inside_lan, inside_addr, inside_prefix);
+
+    sim::Link& uplink = make_link(gw.name() + "-uplink", config_.backbone_latency,
+                                  config_.backbone_bandwidth_bps, config_.backbone_mtu);
+    const std::uint32_t net = next_p2p_net_++;
+    const net::Prefix p2p(net::Ipv4Address(0xc0a80000u + net * 4), 30);
+    const net::Ipv4Address gw_addr(p2p.base().value() + 1);
+    const net::Ipv4Address bb_addr(p2p.base().value() + 2);
+    const std::size_t gw_iface = gw.attach(uplink, gw_addr, p2p);
+    const std::size_t bb_iface = backbone_[backbone_index]->attach(uplink, bb_addr, p2p);
+    add_edge_pair(gw.stack(), gw_iface, gw_addr, backbone_[backbone_index]->stack(), bb_iface,
+                  bb_addr);
+}
+
+void World::install_backbone_routes() {
+    // Static shortest-path routes: BFS from each domain gateway over the
+    // router graph; every other router points its route for that domain's
+    // prefix at the neighbour one hop closer.
+    std::map<stack::IpStack*, std::vector<const Edge*>> adjacency;
+    for (const Edge& e : edges_) {
+        adjacency[e.from].push_back(&e);
+    }
+
+    struct Anchor {
+        stack::IpStack* stack;
+        net::Prefix prefix;
+    };
+    const std::vector<Anchor> anchors = {
+        {&home_gw_->stack(), home_domain.prefix},
+        {&foreign_gw_->stack(), foreign_domain.prefix},
+        {&corr_gw_->stack(), corr_domain.prefix},
+    };
+
+    for (const Anchor& anchor : anchors) {
+        std::map<stack::IpStack*, const Edge*> via;  // node -> edge toward anchor
+        std::queue<stack::IpStack*> frontier;
+        via[anchor.stack] = nullptr;
+        frontier.push(anchor.stack);
+        while (!frontier.empty()) {
+            stack::IpStack* u = frontier.front();
+            frontier.pop();
+            for (const Edge* e : adjacency[u]) {
+                if (via.contains(e->to)) continue;
+                // e runs u -> v; v's route toward the anchor goes back
+                // through u, i.e. v uses its reverse edge.
+                for (const Edge* back : adjacency[e->to]) {
+                    if (back->to == u) {
+                        via[e->to] = back;
+                        break;
+                    }
+                }
+                frontier.push(e->to);
+            }
+        }
+        for (const auto& [node, edge] : via) {
+            if (edge == nullptr) continue;  // the anchor itself
+            node->routes().add({anchor.prefix, edge->to_addr, edge->from_iface, 0});
+        }
+    }
+}
+
+MobileHostConfig World::mobile_config() const {
+    MobileHostConfig cfg;
+    cfg.home_address = mh_home_addr();
+    cfg.home_subnet = home_domain.prefix;
+    cfg.home_agent = home_agent_addr();
+    return cfg;
+}
+
+MobileHost& World::create_mobile_host(MobileHostConfig config) {
+    mh_ = std::make_unique<MobileHost>(sim, "mobile-host", std::move(config));
+    mh_->stack().set_trace(trace.sink());
+    return *mh_;
+}
+
+CorrespondentHost& World::create_correspondent(CorrespondentConfig config,
+                                               Placement placement,
+                                               std::uint32_t host_index) {
+    correspondents_.push_back(std::make_unique<CorrespondentHost>(
+        sim, "ch" + std::to_string(correspondents_.size()), config));
+    CorrespondentHost& ch = *correspondents_.back();
+    ch.stack().set_trace(trace.sink());
+    switch (placement) {
+        case Placement::HomeLan:
+            ch.attach(*home_lan_, home_domain.host(host_index ? host_index : 20),
+                      home_domain.prefix, home_gateway_addr());
+            break;
+        case Placement::ForeignLan:
+            ch.attach(*foreign_lan_, foreign_domain.host(host_index ? host_index : 20),
+                      foreign_domain.prefix, foreign_gateway_addr());
+            break;
+        case Placement::CorrLan:
+            ch.attach(*corr_lan_, corr_domain.host(host_index ? host_index : 2),
+                      corr_domain.prefix, corr_gateway_addr());
+            break;
+    }
+    return ch;
+}
+
+void World::attach_mobile_home() {
+    mh_->attach_home(*home_lan_, home_gateway_addr());
+}
+
+bool World::attach_mobile_foreign(sim::Duration timeout) {
+    bool done = false;
+    bool accepted = false;
+    mh_->attach_foreign(*foreign_lan_, mh_care_of_addr(), foreign_domain.prefix,
+                        foreign_gateway_addr(), [&](bool ok) {
+                            done = true;
+                            accepted = ok;
+                        });
+    const sim::TimePoint deadline = sim.now() + timeout;
+    while (!done && sim.now() < deadline && sim.pending_events() > 0) {
+        sim.run_until(sim.now() + sim::milliseconds(10));
+    }
+    return done && accepted;
+}
+
+ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
+    fa_ = std::make_unique<ForeignAgent>(sim, "foreign-agent", config);
+    fa_->stack().set_trace(trace.sink());
+    fa_->attach_serving(*foreign_lan_, foreign_agent_addr(), foreign_domain.prefix,
+                        foreign_gateway_addr());
+    return *fa_;
+}
+
+bool World::attach_mobile_via_agent(sim::Duration timeout) {
+    bool done = false;
+    bool accepted = false;
+    mh_->attach_via_foreign_agent(*foreign_lan_, [&](bool ok) {
+        done = true;
+        accepted = ok;
+    });
+    const sim::TimePoint deadline = sim.now() + timeout;
+    while (!done && sim.now() < deadline && sim.pending_events() > 0) {
+        sim.run_until(sim.now() + sim::milliseconds(10));
+    }
+    return done && accepted;
+}
+
+void World::enable_dns(const std::string& mh_name) {
+    mh_dns_name_ = mh_name;
+    dns_host_ = std::make_unique<stack::Host>(sim, "dns-server");
+    dns_host_->attach(*home_lan_, dns_server_addr(), home_domain.prefix,
+                      home_gateway_addr());
+    dns_host_->stack().set_trace(trace.sink());
+    dns_udp_ = std::make_unique<transport::UdpService>(dns_host_->stack());
+    dns_zone_ = std::make_unique<dns::Zone>();
+    dns_zone_->add_a(mh_name, mh_home_addr());
+    dns_server_ = std::make_unique<dns::DnsServer>(*dns_udp_, *dns_zone_);
+}
+
+}  // namespace mip::core

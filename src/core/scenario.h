@@ -1,0 +1,199 @@
+// Canned topology for every figure in the paper: a home domain (with home
+// agent and boundary router), a foreign (visited) domain, a correspondent
+// domain, and a configurable linear backbone between them.
+//
+//   home 10.1/16 --[home-gw]--R0--R1--...--Rn--[foreign-gw]-- foreign 10.2/16
+//                               \---------[corr-gw]-- correspondent 10.3/16
+//
+// Attachment points on the backbone are configurable so scenarios like
+// Figure 4 ("CH close to MH, HA far away") are one-line changes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/correspondent.h"
+#include "core/foreign_agent.h"
+#include "core/home_agent.h"
+#include "core/mobile_host.h"
+#include "dns/server.h"
+#include "routing/domain.h"
+#include "stack/router.h"
+
+namespace mip::core {
+
+struct WorldConfig {
+    /// Number of backbone routers (>= 1).
+    int backbone_routers = 4;
+    /// Backbone router index each domain's gateway hangs off (-1 = last).
+    int home_attach = 0;
+    int foreign_attach = -1;
+    int corr_attach = -1;
+
+    /// Figure 2: the home boundary drops packets arriving from outside with
+    /// a source address claiming to be inside.
+    bool home_ingress_spoof_filter = true;
+    /// The home boundary drops packets leaving with a non-home source.
+    bool home_egress_antispoof = true;
+    /// The visited network's boundary drops packets leaving with a source
+    /// that isn't one of its own ("most end-user networks have a policy
+    /// forbidding transit traffic") — this is what kills Out-DH.
+    bool foreign_egress_antispoof = false;
+    /// Alternative formulation of the same policy as a transit filter.
+    bool foreign_no_transit = false;
+    /// Boundary routers answer filtered packets with ICMP administratively-
+    /// prohibited instead of dropping silently (off by default, matching
+    /// the paper's assumption).
+    bool filter_feedback = false;
+    /// §3.1 last paragraph: a strict firewall at the home boundary that
+    /// admits *only* packets addressed to the home agent — "the firewall
+    /// itself would be set up to act as the mobile user's home agent,
+    /// sitting as it does on the boundary between the untrusted outside
+    /// world and the trusted world inside."
+    bool home_firewall = false;
+
+    sim::Duration lan_latency = sim::microseconds(100);
+    sim::Duration backbone_latency = sim::milliseconds(5);
+    double lan_bandwidth_bps = 10e6;
+    double backbone_bandwidth_bps = 45e6;
+    std::size_t lan_mtu = 1500;
+    std::size_t backbone_mtu = 1500;
+    double loss_rate = 0.0;
+    std::uint64_t seed = 1;
+
+    HomeAgentConfig home_agent;
+};
+
+/// Where to place a correspondent host.
+enum class Placement {
+    HomeLan,     ///< inside the mobile host's own institution
+    ForeignLan,  ///< on the segment the mobile host is visiting (Row C)
+    CorrLan,     ///< a third-party site across the backbone
+};
+
+class World {
+public:
+    explicit World(WorldConfig config = {});
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    sim::Simulator sim;
+    sim::TraceRecorder trace;
+
+    const WorldConfig& config() const noexcept { return config_; }
+
+    // ---- well-known addresses ------------------------------------------------
+
+    routing::Domain home_domain{"home", net::Prefix::must_parse("10.1.0.0/16")};
+    routing::Domain foreign_domain{"foreign", net::Prefix::must_parse("10.2.0.0/16")};
+    routing::Domain corr_domain{"corr", net::Prefix::must_parse("10.3.0.0/16")};
+
+    net::Ipv4Address home_gateway_addr() const { return home_domain.host(1); }
+    net::Ipv4Address foreign_gateway_addr() const { return foreign_domain.host(1); }
+    net::Ipv4Address corr_gateway_addr() const { return corr_domain.host(1); }
+    net::Ipv4Address home_agent_addr() const { return home_domain.host(2); }
+    net::Ipv4Address dns_server_addr() const { return home_domain.host(53); }
+    net::Ipv4Address mh_home_addr() const { return home_domain.host(10); }
+    net::Ipv4Address mh_care_of_addr() const { return foreign_domain.host(10); }
+    net::Ipv4Address foreign_agent_addr() const { return foreign_domain.host(3); }
+
+    // ---- topology handles ------------------------------------------------------
+
+    sim::Link& home_lan() { return *home_lan_; }
+    sim::Link& foreign_lan() { return *foreign_lan_; }
+    sim::Link& corr_lan() { return *corr_lan_; }
+    HomeAgent& home_agent() { return *ha_; }
+    stack::Router& home_gateway() { return *home_gw_; }
+    stack::Router& foreign_gateway() { return *foreign_gw_; }
+    stack::Router& corr_gateway() { return *corr_gw_; }
+    std::size_t backbone_size() const { return backbone_.size(); }
+    stack::Router& backbone_router(std::size_t i) { return *backbone_.at(i); }
+
+    // ---- population helpers ----------------------------------------------------
+
+    /// A MobileHostConfig pre-filled with this world's addresses. The caller
+    /// may override the strategy, encapsulation scheme, heuristics, etc.
+    MobileHostConfig mobile_config() const;
+
+    /// Creates the world's mobile host (owned by the world).
+    MobileHost& create_mobile_host(MobileHostConfig config);
+    MobileHost& create_mobile_host() { return create_mobile_host(mobile_config()); }
+    MobileHost& mobile_host() { return *mh_; }
+
+    /// Creates a correspondent host at @p placement (owned by the world).
+    /// @p host_index picks the address within the domain (default .20 on
+    /// LANs, .2 in the correspondent domain).
+    CorrespondentHost& create_correspondent(CorrespondentConfig config, Placement placement,
+                                            std::uint32_t host_index = 0);
+
+    /// Plugs the world's mobile host into its home segment.
+    void attach_mobile_home();
+
+    /// Plugs the world's mobile host into the foreign segment and runs the
+    /// simulation until registration completes (or @p timeout). Returns
+    /// whether registration was accepted.
+    bool attach_mobile_foreign(sim::Duration timeout = sim::seconds(10));
+
+    /// Places a foreign agent on the foreign LAN (owned by the world).
+    ForeignAgent& create_foreign_agent(ForeignAgentConfig config = {});
+    ForeignAgent& foreign_agent() { return *fa_; }
+
+    /// Plugs the world's mobile host into the foreign segment *via the
+    /// foreign agent* and runs until registration completes (or timeout).
+    bool attach_mobile_via_agent(sim::Duration timeout = sim::seconds(10));
+
+    /// Enables a DNS server (in the home domain) preloaded with an A record
+    /// for the mobile host under @p mh_name.
+    void enable_dns(const std::string& mh_name = "mh.home.example");
+    dns::Zone& dns_zone() { return *dns_zone_; }
+    const std::string& mh_dns_name() const { return mh_dns_name_; }
+
+    /// Advances simulated time by @p d.
+    void run_for(sim::Duration d) { sim.run_until(sim.now() + d); }
+    /// Lets all in-flight activity settle: advances one minute of simulated
+    /// time. (A registered mobile host re-registers periodically, so the
+    /// event queue never literally drains; a bounded window is the
+    /// meaningful notion of "run everything".)
+    void run_all() { run_for(sim::seconds(10)); }
+
+private:
+    sim::Link& make_link(std::string name, sim::Duration latency, double bandwidth_bps,
+                         std::size_t mtu);
+    void connect_gateway(stack::Router& gw, std::size_t backbone_index,
+                         net::Ipv4Address inside_addr, net::Prefix inside_prefix,
+                         sim::Link& inside_lan);
+    void install_backbone_routes();
+
+    WorldConfig config_;
+    std::vector<std::unique_ptr<sim::Link>> links_;
+    sim::Link* home_lan_ = nullptr;
+    sim::Link* foreign_lan_ = nullptr;
+    sim::Link* corr_lan_ = nullptr;
+    std::vector<std::unique_ptr<stack::Router>> backbone_;
+    std::unique_ptr<stack::Router> home_gw_;
+    std::unique_ptr<stack::Router> foreign_gw_;
+    std::unique_ptr<stack::Router> corr_gw_;
+    std::unique_ptr<HomeAgent> ha_;
+    std::unique_ptr<ForeignAgent> fa_;
+    std::unique_ptr<MobileHost> mh_;
+    std::vector<std::unique_ptr<CorrespondentHost>> correspondents_;
+    std::unique_ptr<stack::Host> dns_host_;
+    std::unique_ptr<transport::UdpService> dns_udp_;
+    std::unique_ptr<dns::Zone> dns_zone_;
+    std::unique_ptr<dns::DnsServer> dns_server_;
+    std::string mh_dns_name_;
+
+    // Topology graph for static route computation.
+    struct Edge {
+        stack::IpStack* from;
+        std::size_t from_iface;
+        stack::IpStack* to;
+        net::Ipv4Address to_addr;  ///< neighbour's address on the shared link
+    };
+    std::vector<Edge> edges_;
+    void add_edge_pair(stack::IpStack& a, std::size_t a_iface, net::Ipv4Address a_addr,
+                       stack::IpStack& b, std::size_t b_iface, net::Ipv4Address b_addr);
+    std::uint32_t next_p2p_net_ = 0;
+};
+
+}  // namespace mip::core

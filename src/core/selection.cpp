@@ -1,0 +1,154 @@
+#include "core/selection.h"
+
+namespace mip::core {
+
+std::optional<OutMode> ConservativeFirstStrategy::upgrade(net::Ipv4Address,
+                                                          OutMode current) const {
+    // Probe in the paper's order: Out-IE -> Out-DE -> Out-DH (§7.1.2:
+    // "tentatively try each of the more aggressive options (Out-DE and
+    // Out-DH)").
+    switch (current) {
+        case OutMode::IE: return OutMode::DE;
+        case OutMode::DE: return OutMode::DH;
+        default: return std::nullopt;
+    }
+}
+
+OutMode AggressiveFirstStrategy::after_failure(net::Ipv4Address, OutMode failed) const {
+    // "start with the most aggressive (Out-DH). If this fails it can then
+    // try the more conservative options (Out-DE and then Out-IE)".
+    switch (failed) {
+        case OutMode::DH: return OutMode::DE;
+        case OutMode::DE: return OutMode::IE;
+        default: return OutMode::IE;
+    }
+}
+
+RuleBasedStrategy::RuleBasedStrategy(std::vector<SelectionRule> rules, bool default_optimistic)
+    : rules_(std::move(rules)), default_optimistic_(default_optimistic) {}
+
+bool RuleBasedStrategy::optimistic_for(net::Ipv4Address dst) const {
+    const SelectionRule* best = nullptr;
+    for (const auto& rule : rules_) {
+        if (!rule.prefix.contains(dst)) continue;
+        if (best == nullptr || rule.prefix.length() > best->prefix.length()) {
+            best = &rule;
+        }
+    }
+    return best != nullptr ? best->optimistic : default_optimistic_;
+}
+
+OutMode RuleBasedStrategy::initial(net::Ipv4Address dst) const {
+    return optimistic_for(dst) ? aggressive_.initial(dst) : conservative_.initial(dst);
+}
+
+OutMode RuleBasedStrategy::after_failure(net::Ipv4Address dst, OutMode failed) const {
+    return optimistic_for(dst) ? aggressive_.after_failure(dst, failed)
+                               : conservative_.after_failure(dst, failed);
+}
+
+std::optional<OutMode> RuleBasedStrategy::upgrade(net::Ipv4Address dst,
+                                                  OutMode current) const {
+    return optimistic_for(dst) ? aggressive_.upgrade(dst, current)
+                               : conservative_.upgrade(dst, current);
+}
+
+DeliveryMethodCache::DeliveryMethodCache(std::unique_ptr<SelectionStrategy> strategy,
+                                         MethodCacheConfig config)
+    : strategy_(std::move(strategy)), config_(config) {}
+
+const DeliveryMethodCache::Entry* DeliveryMethodCache::find(net::Ipv4Address dst) const {
+    auto it = entries_.find(dst);
+    return it != entries_.end() ? &it->second : nullptr;
+}
+
+DeliveryMethodCache::Entry& DeliveryMethodCache::entry_for(net::Ipv4Address dst,
+                                                           sim::TimePoint now) {
+    auto [it, inserted] = entries_.try_emplace(dst);
+    if (inserted) {
+        it->second.mode = strategy_->initial(dst);
+        it->second.last_good = OutMode::IE;
+        (void)now;
+    }
+    return it->second;
+}
+
+bool DeliveryMethodCache::blacklisted(const Entry& e, OutMode m, sim::TimePoint now) const {
+    auto it = e.blacklist_until.find(m);
+    return it != e.blacklist_until.end() && it->second > now;
+}
+
+OutMode DeliveryMethodCache::mode_for(net::Ipv4Address dst, sim::TimePoint now) {
+    return entry_for(dst, now).mode;
+}
+
+void DeliveryMethodCache::force_mode(net::Ipv4Address dst, OutMode mode) {
+    Entry& e = entry_for(dst, 0);
+    e.mode = mode;
+    e.forced = true;
+    e.probing = false;
+    e.consecutive_failures = 0;
+    e.consecutive_successes = 0;
+}
+
+void DeliveryMethodCache::report_success(net::Ipv4Address dst, sim::TimePoint now) {
+    Entry& e = entry_for(dst, now);
+    e.consecutive_failures = 0;
+    if (e.forced) return;
+    ++e.consecutive_successes;
+
+    if (e.probing && e.consecutive_successes >= config_.upgrade_after) {
+        // The probed mode held up: adopt it as the new baseline.
+        e.probing = false;
+        e.last_good = e.mode;
+        ++stats_.probes_confirmed;
+    }
+    if (!e.probing && e.consecutive_successes >= config_.upgrade_after) {
+        if (auto next = strategy_->upgrade(dst, e.mode);
+            next && !blacklisted(e, *next, now)) {
+            e.last_good = e.mode;
+            e.mode = *next;
+            e.probing = true;
+            e.consecutive_successes = 0;
+            ++stats_.upgrades_probed;
+        }
+    }
+}
+
+void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint now) {
+    Entry& e = entry_for(dst, now);
+    e.consecutive_successes = 0;
+    if (e.forced) return;
+
+    if (e.probing) {
+        // Tentative modes are abandoned on the first sign of trouble
+        // ("being prepared to return to the conservative method if the more
+        // aggressive method fails").
+        e.blacklist_until[e.mode] = now + config_.blacklist_ttl;
+        e.mode = e.last_good;
+        e.probing = false;
+        e.consecutive_failures = 0;
+        ++stats_.probes_reverted;
+        return;
+    }
+
+    ++e.consecutive_failures;
+    if (e.consecutive_failures < config_.failure_threshold) {
+        return;
+    }
+    e.consecutive_failures = 0;
+    if (e.mode == OutMode::IE) {
+        return;  // the floor: nothing more conservative exists
+    }
+    e.blacklist_until[e.mode] = now + config_.blacklist_ttl;
+    OutMode next = strategy_->after_failure(dst, e.mode);
+    // Skip over blacklisted fallbacks (e.g. DH failed before, DE failed
+    // now: go straight to IE).
+    while (next != OutMode::IE && blacklisted(e, next, now)) {
+        next = strategy_->after_failure(dst, next);
+    }
+    e.mode = next;
+    ++stats_.downgrades;
+}
+
+}  // namespace mip::core

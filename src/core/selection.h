@@ -1,0 +1,159 @@
+// Delivery-method selection (paper §7.1.2).
+//
+// The mobile host "keeps a cache of the currently selected delivery method
+// associated with each target IP address ... allows it to build up a
+// history, for each correspondent host, of which communication methods
+// have proven to be successful and which have not."
+//
+// Three strategies from the paper:
+//  * ConservativeFirst — start Out-IE, tentatively probe Out-DE then
+//    Out-DH after sustained success, reverting on failure.
+//  * AggressiveFirst — start Out-DH, fall back Out-DE then Out-IE on
+//    failure.
+//  * RuleBased — address/mask rules decide per destination whether to
+//    start optimistic (aggressive) or pessimistic (conservative), "similar
+//    to the way routing table entries are currently specified".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/modes.h"
+#include "net/ipv4_address.h"
+#include "sim/time.h"
+
+namespace mip::core {
+
+class SelectionStrategy {
+public:
+    virtual ~SelectionStrategy() = default;
+
+    /// The mode a brand-new conversation with @p dst starts in.
+    virtual OutMode initial(net::Ipv4Address dst) const = 0;
+
+    /// The mode to fall back to after @p failed proved undeliverable
+    /// (Out-IE is the floor: it never fails while the home agent is
+    /// reachable, so falling back from it returns Out-IE again).
+    virtual OutMode after_failure(net::Ipv4Address dst, OutMode failed) const = 0;
+
+    /// The next more aggressive mode worth probing once @p current has been
+    /// working for a while; nullopt when the strategy never probes upward.
+    virtual std::optional<OutMode> upgrade(net::Ipv4Address dst, OutMode current) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+class ConservativeFirstStrategy final : public SelectionStrategy {
+public:
+    OutMode initial(net::Ipv4Address) const override { return OutMode::IE; }
+    OutMode after_failure(net::Ipv4Address, OutMode) const override { return OutMode::IE; }
+    std::optional<OutMode> upgrade(net::Ipv4Address, OutMode current) const override;
+    std::string name() const override { return "conservative-first"; }
+};
+
+class AggressiveFirstStrategy final : public SelectionStrategy {
+public:
+    OutMode initial(net::Ipv4Address) const override { return OutMode::DH; }
+    OutMode after_failure(net::Ipv4Address, OutMode failed) const override;
+    std::optional<OutMode> upgrade(net::Ipv4Address, OutMode) const override {
+        return std::nullopt;
+    }
+    std::string name() const override { return "aggressive-first"; }
+};
+
+/// One address/mask rule: destinations in @p prefix start @p optimistic
+/// (aggressive) or pessimistic (conservative).
+struct SelectionRule {
+    net::Prefix prefix;
+    bool optimistic = false;
+};
+
+class RuleBasedStrategy final : public SelectionStrategy {
+public:
+    /// @p default_optimistic governs destinations matching no rule.
+    explicit RuleBasedStrategy(std::vector<SelectionRule> rules,
+                               bool default_optimistic = true);
+
+    OutMode initial(net::Ipv4Address dst) const override;
+    OutMode after_failure(net::Ipv4Address dst, OutMode failed) const override;
+    std::optional<OutMode> upgrade(net::Ipv4Address dst, OutMode current) const override;
+    std::string name() const override { return "rule-based"; }
+
+private:
+    bool optimistic_for(net::Ipv4Address dst) const;
+
+    std::vector<SelectionRule> rules_;
+    bool default_optimistic_;
+    ConservativeFirstStrategy conservative_;
+    AggressiveFirstStrategy aggressive_;
+};
+
+struct MethodCacheConfig {
+    /// Consecutive delivery-failure signals before abandoning a mode.
+    unsigned failure_threshold = 2;
+    /// Consecutive successes before probing the next more aggressive mode.
+    unsigned upgrade_after = 4;
+    /// How long a failed mode stays blacklisted for a destination.
+    sim::Duration blacklist_ttl = sim::seconds(300);
+};
+
+/// Per-correspondent delivery-method state machine.
+class DeliveryMethodCache {
+public:
+    DeliveryMethodCache(std::unique_ptr<SelectionStrategy> strategy,
+                        MethodCacheConfig config = {});
+
+    /// Current mode for @p dst (initializing from the strategy on first use).
+    OutMode mode_for(net::Ipv4Address dst, sim::TimePoint now);
+
+    /// Signal that delivery with the current mode appears to be working.
+    void report_success(net::Ipv4Address dst, sim::TimePoint now);
+
+    /// Signal that delivery appears to be failing (retransmissions seen).
+    void report_failure(net::Ipv4Address dst, sim::TimePoint now);
+
+    /// Pins @p dst to @p mode (user override / privacy requirements).
+    void force_mode(net::Ipv4Address dst, OutMode mode);
+
+    /// Forgets everything about @p dst (next use re-initializes from the
+    /// strategy). Used by the capability prober to leave no trace.
+    void reset(net::Ipv4Address dst) { entries_.erase(dst); }
+
+    void clear() { entries_.clear(); }
+
+    const SelectionStrategy& strategy() const noexcept { return *strategy_; }
+
+    struct Stats {
+        std::size_t downgrades = 0;
+        std::size_t upgrades_probed = 0;
+        std::size_t probes_reverted = 0;
+        std::size_t probes_confirmed = 0;
+    };
+    const Stats& stats() const noexcept { return stats_; }
+
+    struct Entry {
+        OutMode mode = OutMode::IE;
+        OutMode last_good = OutMode::IE;
+        bool probing = false;
+        bool forced = false;
+        unsigned consecutive_failures = 0;
+        unsigned consecutive_successes = 0;
+        std::map<OutMode, sim::TimePoint> blacklist_until;
+    };
+    /// Introspection for tests/benches; nullptr when never seen.
+    const Entry* find(net::Ipv4Address dst) const;
+
+private:
+    Entry& entry_for(net::Ipv4Address dst, sim::TimePoint now);
+    bool blacklisted(const Entry& e, OutMode m, sim::TimePoint now) const;
+
+    std::unique_ptr<SelectionStrategy> strategy_;
+    MethodCacheConfig config_;
+    std::map<net::Ipv4Address, Entry> entries_;
+    Stats stats_;
+};
+
+}  // namespace mip::core

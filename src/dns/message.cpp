@@ -1,0 +1,152 @@
+#include "dns/message.h"
+
+namespace mip::dns {
+
+namespace {
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::uint16_t kFlagResponse = 0x8000;
+/// RDLENGTH 0 in an update answer means "delete records of this name/type".
+constexpr std::uint32_t kDeleteSentinelTtl = 0;
+}  // namespace
+
+void write_name(net::BufferWriter& w, const std::string& name) {
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        std::size_t dot = name.find('.', start);
+        if (dot == std::string::npos) dot = name.size();
+        const std::size_t len = dot - start;
+        if (len > 63) {
+            throw net::ParseError("DNS label longer than 63 bytes");
+        }
+        if (len > 0) {
+            w.u8(static_cast<std::uint8_t>(len));
+            w.bytes(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(name.data()) + start, len));
+        }
+        start = dot + 1;
+    }
+    w.u8(0);  // root label
+}
+
+std::string read_name(net::BufferReader& r) {
+    std::string name;
+    for (;;) {
+        const std::uint8_t len = r.u8();
+        if (len == 0) break;
+        if (len > 63) {
+            throw net::ParseError("DNS compression/extended labels unsupported");
+        }
+        if (!name.empty()) name.push_back('.');
+        const auto label = r.bytes(len);
+        name.append(reinterpret_cast<const char*>(label.data()), label.size());
+    }
+    return name;
+}
+
+void Message::serialize(net::BufferWriter& w) const {
+    w.u16(id);
+    std::uint16_t flags = 0;
+    if (is_response) flags |= kFlagResponse;
+    flags |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(opcode) << 11);
+    flags |= static_cast<std::uint16_t>(rcode) & 0x0f;
+    w.u16(flags);
+    w.u16(static_cast<std::uint16_t>(questions.size()));
+    w.u16(static_cast<std::uint16_t>(answers.size()));
+    w.u16(0);  // authority
+    w.u16(0);  // additional
+    for (const auto& q : questions) {
+        write_name(w, q.name);
+        w.u16(static_cast<std::uint16_t>(q.type));
+        w.u16(kClassIn);
+    }
+    for (const auto& rr : answers) {
+        write_name(w, rr.name);
+        w.u16(static_cast<std::uint16_t>(rr.type));
+        w.u16(kClassIn);
+        w.u32(rr.ttl_seconds);
+        if (rr.addr.is_unspecified() && rr.ttl_seconds == kDeleteSentinelTtl) {
+            w.u16(0);  // deletion sentinel: empty RDATA
+        } else {
+            w.u16(4);
+            w.u32(rr.addr.value());
+        }
+    }
+}
+
+Message Message::parse(net::BufferReader& r) {
+    Message m;
+    m.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    m.is_response = (flags & kFlagResponse) != 0;
+    m.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
+    m.rcode = static_cast<Rcode>(flags & 0x0f);
+    const std::uint16_t qdcount = r.u16();
+    const std::uint16_t ancount = r.u16();
+    r.skip(4);  // authority + additional counts (always zero here)
+    for (std::uint16_t i = 0; i < qdcount; ++i) {
+        Question q;
+        q.name = read_name(r);
+        q.type = static_cast<RecordType>(r.u16());
+        if (r.u16() != kClassIn) {
+            throw net::ParseError("DNS class not IN");
+        }
+        m.questions.push_back(std::move(q));
+    }
+    for (std::uint16_t i = 0; i < ancount; ++i) {
+        Record rr;
+        rr.name = read_name(r);
+        rr.type = static_cast<RecordType>(r.u16());
+        if (r.u16() != kClassIn) {
+            throw net::ParseError("DNS class not IN");
+        }
+        rr.ttl_seconds = r.u32();
+        const std::uint16_t rdlength = r.u16();
+        if (rdlength == 4) {
+            rr.addr = net::Ipv4Address(r.u32());
+        } else if (rdlength == 0) {
+            rr.addr = net::Ipv4Address{};
+        } else {
+            throw net::ParseError("DNS RDATA length unsupported");
+        }
+        m.answers.push_back(std::move(rr));
+    }
+    return m;
+}
+
+Message Message::query(std::uint16_t id, std::string name, RecordType type) {
+    Message m;
+    m.id = id;
+    m.questions.push_back(Question{std::move(name), type});
+    return m;
+}
+
+Message Message::response_to(const Message& q) {
+    Message m;
+    m.id = q.id;
+    m.is_response = true;
+    m.opcode = q.opcode;
+    m.questions = q.questions;
+    return m;
+}
+
+Message Message::update(std::uint16_t id, Record record) {
+    Message m;
+    m.id = id;
+    m.opcode = Opcode::Update;
+    m.answers.push_back(std::move(record));
+    return m;
+}
+
+Message Message::remove(std::uint16_t id, std::string name, RecordType type) {
+    Message m;
+    m.id = id;
+    m.opcode = Opcode::Update;
+    Record rr;
+    rr.name = std::move(name);
+    rr.type = type;
+    rr.ttl_seconds = kDeleteSentinelTtl;
+    m.answers.push_back(std::move(rr));
+    return m;
+}
+
+}  // namespace mip::dns

@@ -1,0 +1,60 @@
+// DNS wire format (RFC 1034/1035 subset): fixed 12-byte header, label-
+// encoded names (no compression), class IN, record types A and TA, plus a
+// dynamic-update opcode that mobile hosts use to (de)register their
+// care-of address.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/buffer.h"
+#include "dns/record.h"
+
+namespace mip::dns {
+
+inline constexpr std::size_t kDnsHeaderSize = 12;
+
+enum class Opcode : std::uint8_t {
+    Query = 0,
+    Update = 5,
+};
+
+enum class Rcode : std::uint8_t {
+    NoError = 0,
+    FormErr = 1,
+    NxDomain = 3,
+    Refused = 5,
+};
+
+struct Question {
+    std::string name;
+    RecordType type = RecordType::A;
+};
+
+struct Message {
+    std::uint16_t id = 0;
+    bool is_response = false;
+    Opcode opcode = Opcode::Query;
+    Rcode rcode = Rcode::NoError;
+    std::vector<Question> questions;
+    std::vector<Record> answers;
+
+    void serialize(net::BufferWriter& w) const;
+    static Message parse(net::BufferReader& r);
+
+    static Message query(std::uint16_t id, std::string name, RecordType type);
+    static Message response_to(const Message& q);
+    /// Update: install @p record (replacing existing records of the same
+    /// name and type).
+    static Message update(std::uint16_t id, Record record);
+    /// Update: delete all records of @p type at @p name.
+    static Message remove(std::uint16_t id, std::string name, RecordType type);
+};
+
+/// Writes a dotted name as DNS labels; throws on labels > 63 bytes.
+void write_name(net::BufferWriter& w, const std::string& name);
+std::string read_name(net::BufferReader& r);
+
+}  // namespace mip::dns

@@ -1,0 +1,41 @@
+// DNS resource records, including the paper's proposed mobility extension:
+//
+//   "The second is an extension to the Domain Name Service, similar to the
+//    current MX records ... A mobile host that is away from home, but not
+//    currently changing location frequently, could register its care-of
+//    address with the extended DNS service."  (§3.2)
+//
+// The TA ("temporary address") record type carries a mobile host's current
+// care-of address alongside its permanent A record. Its type code sits in
+// the private-use range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4_address.h"
+
+namespace mip::dns {
+
+enum class RecordType : std::uint16_t {
+    A = 1,
+    /// Temporary (care-of) address record — the paper's MX-like extension.
+    TA = 0xFF01,
+};
+
+struct Record {
+    std::string name;
+    RecordType type = RecordType::A;
+    net::Ipv4Address addr;
+    std::uint32_t ttl_seconds = 300;
+};
+
+inline std::string to_string(RecordType t) {
+    switch (t) {
+        case RecordType::A: return "A";
+        case RecordType::TA: return "TA";
+    }
+    return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+}  // namespace mip::dns

@@ -1,0 +1,108 @@
+#include "dns/resolver.h"
+
+#include "net/protocol.h"
+
+namespace mip::dns {
+
+Resolver::Resolver(transport::UdpService& udp, net::Ipv4Address server, ResolverConfig config)
+    : udp_(udp), server_(server), config_(config) {
+    socket_ = udp_.open();
+    if (!config_.bind_source.is_unspecified()) {
+        socket_->bind_address(config_.bind_source);
+    }
+    socket_->set_receiver([this](std::span<const std::uint8_t> data, transport::UdpEndpoint,
+                                 net::Ipv4Address) { on_datagram(data); });
+}
+
+void Resolver::resolve(const std::string& name, RecordType type, Callback cb) {
+    const auto key = std::make_pair(name, type);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+        if (it->second.expires > udp_.ip().simulator().now()) {
+            ++cache_hits_;
+            cb(it->second.records);
+            return;
+        }
+        cache_.erase(it);
+    }
+
+    // Piggyback onto an identical in-flight query if one exists.
+    for (auto& [id, q] : outstanding_) {
+        if (q.name == name && q.type == type) {
+            q.callbacks.push_back(std::move(cb));
+            return;
+        }
+    }
+
+    const std::uint16_t id = next_id_++;
+    Outstanding q;
+    q.name = name;
+    q.type = type;
+    q.callbacks.push_back(std::move(cb));
+    q.attempts = 1;
+    auto [it, ok] = outstanding_.emplace(id, std::move(q));
+    transmit(id, it->second);
+    it->second.timeout_event = udp_.ip().simulator().schedule_in(
+        config_.timeout, [this, id] { on_timeout(id); });
+}
+
+void Resolver::transmit(std::uint16_t id, const Outstanding& q) {
+    ++queries_sent_;
+    net::BufferWriter w;
+    Message::query(id, q.name, q.type).serialize(w);
+    socket_->send_to(server_, net::ports::kDns, w.take());
+}
+
+void Resolver::on_timeout(std::uint16_t id) {
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) return;
+    if (it->second.attempts > config_.max_retries) {
+        auto callbacks = std::move(it->second.callbacks);
+        outstanding_.erase(it);
+        for (auto& cb : callbacks) cb({});
+        return;
+    }
+    ++it->second.attempts;
+    transmit(id, it->second);
+    it->second.timeout_event = udp_.ip().simulator().schedule_in(
+        config_.timeout, [this, id] { on_timeout(id); });
+}
+
+void Resolver::on_datagram(std::span<const std::uint8_t> data) {
+    Message m;
+    try {
+        net::BufferReader r(data);
+        m = Message::parse(r);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (!m.is_response) return;
+    auto it = outstanding_.find(m.id);
+    if (it == outstanding_.end()) return;
+    udp_.ip().simulator().cancel(it->second.timeout_event);
+
+    // Cache positive answers with the minimum record TTL.
+    if (!m.answers.empty()) {
+        std::uint32_t min_ttl = m.answers.front().ttl_seconds;
+        for (const auto& rr : m.answers) min_ttl = std::min(min_ttl, rr.ttl_seconds);
+        cache_[{it->second.name, it->second.type}] = CacheEntry{
+            m.answers, udp_.ip().simulator().now() + sim::seconds(min_ttl)};
+    }
+
+    auto callbacks = std::move(it->second.callbacks);
+    outstanding_.erase(it);
+    for (auto& cb : callbacks) cb(m.answers);
+}
+
+void Resolver::send_update(Record record) {
+    net::BufferWriter w;
+    Message::update(next_id_++, std::move(record)).serialize(w);
+    socket_->send_to(server_, net::ports::kDns, w.take());
+}
+
+void Resolver::send_removal(std::string name, RecordType type) {
+    net::BufferWriter w;
+    Message::remove(next_id_++, std::move(name), type).serialize(w);
+    socket_->send_to(server_, net::ports::kDns, w.take());
+}
+
+}  // namespace mip::dns

@@ -1,0 +1,74 @@
+// Stub resolver with a TTL cache.
+//
+// Per the paper (§5, Row D motivation), DNS lookups are short connectionless
+// transactions that "may also be usefully performed" without Mobile IP, so
+// the resolver can optionally bind its queries to a specific (temporary)
+// source address — the Out-DT path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "transport/udp_service.h"
+
+namespace mip::dns {
+
+struct ResolverConfig {
+    sim::Duration timeout = sim::seconds(2);
+    unsigned max_retries = 2;
+    /// Source address to bind queries to (unspecified = policy decides).
+    net::Ipv4Address bind_source;
+};
+
+class Resolver {
+public:
+    using Callback = std::function<void(std::vector<Record>)>;  ///< empty on failure
+
+    Resolver(transport::UdpService& udp, net::Ipv4Address server, ResolverConfig config = {});
+
+    /// Looks up (name, type), serving from cache when fresh.
+    void resolve(const std::string& name, RecordType type, Callback cb);
+
+    /// Sends a dynamic update installing @p record.
+    void send_update(Record record);
+    /// Sends a dynamic update deleting (name, type).
+    void send_removal(std::string name, RecordType type);
+
+    void flush_cache() { cache_.clear(); }
+    std::size_t cache_hits() const noexcept { return cache_hits_; }
+    std::size_t queries_sent() const noexcept { return queries_sent_; }
+
+private:
+    struct CacheEntry {
+        std::vector<Record> records;
+        sim::TimePoint expires;
+    };
+    struct Outstanding {
+        std::string name;
+        RecordType type = RecordType::A;
+        std::vector<Callback> callbacks;
+        unsigned attempts = 0;
+        sim::EventId timeout_event = 0;
+    };
+
+    void transmit(std::uint16_t id, const Outstanding& q);
+    void on_timeout(std::uint16_t id);
+    void on_datagram(std::span<const std::uint8_t> data);
+
+    transport::UdpService& udp_;
+    net::Ipv4Address server_;
+    ResolverConfig config_;
+    std::unique_ptr<transport::UdpSocket> socket_;
+    std::map<std::pair<std::string, RecordType>, CacheEntry> cache_;
+    std::map<std::uint16_t, Outstanding> outstanding_;
+    std::uint16_t next_id_ = 1;
+    std::size_t cache_hits_ = 0;
+    std::size_t queries_sent_ = 0;
+};
+
+}  // namespace mip::dns

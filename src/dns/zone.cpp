@@ -1,0 +1,51 @@
+#include "dns/zone.h"
+
+namespace mip::dns {
+
+void Zone::add(Record record) {
+    records_.emplace(record.name, std::move(record));
+}
+
+void Zone::add_a(std::string name, net::Ipv4Address addr, std::uint32_t ttl) {
+    add(Record{name, RecordType::A, addr, ttl});
+}
+
+void Zone::add_ta(std::string name, net::Ipv4Address addr, std::uint32_t ttl) {
+    add(Record{name, RecordType::TA, addr, ttl});
+}
+
+void Zone::replace(Record record) {
+    remove(record.name, record.type);
+    add(std::move(record));
+}
+
+std::size_t Zone::remove(const std::string& name, RecordType type) {
+    std::size_t removed = 0;
+    auto [begin, end] = records_.equal_range(name);
+    for (auto it = begin; it != end;) {
+        if (it->second.type == type) {
+            it = records_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+std::vector<Record> Zone::lookup(const std::string& name, RecordType type) const {
+    std::vector<Record> out;
+    auto [begin, end] = records_.equal_range(name);
+    for (auto it = begin; it != end; ++it) {
+        if (it->second.type == type) {
+            out.push_back(it->second);
+        }
+    }
+    return out;
+}
+
+bool Zone::has_name(const std::string& name) const {
+    return records_.contains(name);
+}
+
+}  // namespace mip::dns

@@ -1,0 +1,37 @@
+// An authoritative DNS zone: name -> records, with TA-record dynamic
+// updates from mobile hosts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+
+namespace mip::dns {
+
+class Zone {
+public:
+    void add(Record record);
+    void add_a(std::string name, net::Ipv4Address addr, std::uint32_t ttl = 86400);
+    void add_ta(std::string name, net::Ipv4Address addr, std::uint32_t ttl = 60);
+
+    /// Replaces all records of (name, type) with @p record.
+    void replace(Record record);
+
+    /// Removes all records of (name, type); returns how many were removed.
+    std::size_t remove(const std::string& name, RecordType type);
+
+    /// All records matching (name, type).
+    std::vector<Record> lookup(const std::string& name, RecordType type) const;
+
+    /// True if any record exists for @p name (used for NXDOMAIN vs NOERROR).
+    bool has_name(const std::string& name) const;
+
+    std::size_t size() const noexcept { return records_.size(); }
+
+private:
+    std::multimap<std::string, Record> records_;
+};
+
+}  // namespace mip::dns

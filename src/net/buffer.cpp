@@ -1,0 +1,71 @@
+#include "net/buffer.h"
+
+namespace mip::net {
+
+void BufferWriter::u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void BufferWriter::u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void BufferWriter::bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BufferWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) {
+        throw std::out_of_range("BufferWriter::patch_u16 past end");
+    }
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void BufferReader::require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+        throw ParseError("buffer underrun: need " + std::to_string(n) + " bytes, have " +
+                         std::to_string(data_.size() - pos_));
+    }
+}
+
+std::uint8_t BufferReader::u8() {
+    require(1);
+    return data_[pos_++];
+}
+
+std::uint16_t BufferReader::u16() {
+    require(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t BufferReader::u32() {
+    require(4);
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                            static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                            static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+}
+
+std::span<const std::uint8_t> BufferReader::bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+void BufferReader::skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+}
+
+}  // namespace mip::net

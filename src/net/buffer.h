@@ -1,0 +1,76 @@
+// Big-endian (network byte order) buffer serialization primitives.
+//
+// All wire formats in this library are produced through BufferWriter and
+// consumed through BufferReader so that packet sizes reported by the
+// benchmarks are the exact on-the-wire sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mip::net {
+
+/// Error thrown when a reader runs past the end of its buffer or a
+/// structural invariant of a wire format is violated.
+class ParseError : public std::runtime_error {
+public:
+    explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian scalar values and byte ranges to a growable buffer.
+class BufferWriter {
+public:
+    BufferWriter() = default;
+    explicit BufferWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void bytes(std::span<const std::uint8_t> data);
+
+    /// Overwrites two bytes at @p offset (used to patch checksums/lengths
+    /// after the payload length is known).
+    void patch_u16(std::size_t offset, std::uint16_t v);
+
+    std::size_t size() const noexcept { return buf_.size(); }
+    std::span<const std::uint8_t> view() const noexcept { return buf_; }
+
+    /// Transfers ownership of the accumulated bytes out of the writer.
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Reads big-endian scalar values from a non-owning byte view.
+class BufferReader {
+public:
+    explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+
+    /// Reads exactly @p n bytes, advancing the cursor.
+    std::span<const std::uint8_t> bytes(std::size_t n);
+
+    /// Skips @p n bytes.
+    void skip(std::size_t n);
+
+    std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    std::size_t position() const noexcept { return pos_; }
+
+    /// Returns the unread remainder without advancing.
+    std::span<const std::uint8_t> rest() const noexcept { return data_.subspan(pos_); }
+
+private:
+    void require(std::size_t n) const;
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace mip::net

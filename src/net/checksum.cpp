@@ -1,0 +1,47 @@
+#include "net/checksum.h"
+
+namespace mip::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) {
+    std::size_t i = 0;
+    if (odd_ && !data.empty()) {
+        // Pair the pending odd byte with the first byte of this range.
+        sum_ += data[0];
+        odd_ = false;
+        i = 1;
+    }
+    for (; i + 1 < data.size(); i += 2) {
+        sum_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    }
+    if (i < data.size()) {
+        sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+        odd_ = true;
+    }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                               static_cast<std::uint8_t>(v & 0xff)};
+    add(b);
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+    std::uint32_t s = sum_;
+    while (s >> 16) {
+        s = (s & 0xffff) + (s >> 16);
+    }
+    return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+    ChecksumAccumulator acc;
+    acc.add(data);
+    return acc.finish();
+}
+
+}  // namespace mip::net

@@ -1,0 +1,30 @@
+// The Internet checksum (RFC 1071), used by the IPv4, ICMP, UDP and TCP
+// headers in this library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mip::net {
+
+/// Incremental RFC 1071 checksum accumulator. Feed byte ranges (and the
+/// pseudo-header for UDP/TCP), then call finish() for the one's-complement
+/// fold.
+class ChecksumAccumulator {
+public:
+    void add(std::span<const std::uint8_t> data);
+    void add_u16(std::uint16_t v);
+    void add_u32(std::uint32_t v);
+
+    /// Folds carries and returns the one's complement of the sum.
+    std::uint16_t finish() const noexcept;
+
+private:
+    std::uint32_t sum_ = 0;
+    bool odd_ = false;  ///< true if an odd byte is pending pairing
+};
+
+/// One-shot checksum over a contiguous range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace mip::net

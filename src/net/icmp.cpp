@@ -1,0 +1,104 @@
+#include "net/icmp.h"
+
+#include "net/checksum.h"
+
+namespace mip::net {
+
+void IcmpMessage::serialize(BufferWriter& w) const {
+    const std::size_t start = w.size();
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u8(code);
+    w.u16(0);  // checksum placeholder
+    w.u32(rest_of_header);
+    w.bytes(body);
+    const std::uint16_t csum = internet_checksum(w.view().subspan(start));
+    w.patch_u16(start + 2, csum);
+}
+
+IcmpMessage IcmpMessage::parse(BufferReader& r) {
+    if (r.remaining() < kIcmpHeaderSize) {
+        throw ParseError("ICMP message truncated");
+    }
+    if (internet_checksum(r.rest()) != 0) {
+        throw ParseError("ICMP checksum mismatch");
+    }
+    IcmpMessage m;
+    m.type = static_cast<IcmpType>(r.u8());
+    m.code = r.u8();
+    r.skip(2);  // checksum (verified above)
+    m.rest_of_header = r.u32();
+    const auto rest = r.rest();
+    m.body.assign(rest.begin(), rest.end());
+    r.skip(rest.size());
+    return m;
+}
+
+IcmpMessage IcmpMessage::care_of_advert(Ipv4Address home_address, Ipv4Address care_of) {
+    IcmpMessage m;
+    m.type = IcmpType::MobileCareOfAdvert;
+    m.code = 0;
+    m.rest_of_header = care_of.value();
+    BufferWriter w;
+    w.u32(home_address.value());
+    m.body = w.take();
+    return m;
+}
+
+Ipv4Address IcmpMessage::advertised_care_of() const {
+    if (type != IcmpType::MobileCareOfAdvert) {
+        throw ParseError("not a care-of advert");
+    }
+    return Ipv4Address(rest_of_header);
+}
+
+IcmpMessage IcmpMessage::agent_advertisement(Ipv4Address agent, Ipv4Address care_of,
+                                             std::uint16_t lifetime_seconds) {
+    IcmpMessage m;
+    m.type = IcmpType::AgentAdvertisement;
+    m.rest_of_header = agent.value();
+    BufferWriter w;
+    w.u32(care_of.value());
+    w.u16(lifetime_seconds);
+    m.body = w.take();
+    return m;
+}
+
+IcmpMessage IcmpMessage::agent_solicitation() {
+    IcmpMessage m;
+    m.type = IcmpType::AgentSolicitation;
+    return m;
+}
+
+Ipv4Address IcmpMessage::agent_address() const {
+    if (type != IcmpType::AgentAdvertisement) {
+        throw ParseError("not an agent advertisement");
+    }
+    return Ipv4Address(rest_of_header);
+}
+
+Ipv4Address IcmpMessage::agent_care_of() const {
+    if (type != IcmpType::AgentAdvertisement || body.size() < 6) {
+        throw ParseError("agent advertisement missing care-of address");
+    }
+    BufferReader r(body);
+    return Ipv4Address(r.u32());
+}
+
+std::uint16_t IcmpMessage::agent_lifetime() const {
+    if (type != IcmpType::AgentAdvertisement || body.size() < 6) {
+        throw ParseError("agent advertisement missing lifetime");
+    }
+    BufferReader r(body);
+    r.skip(4);
+    return r.u16();
+}
+
+Ipv4Address IcmpMessage::advertised_home_address() const {
+    if (type != IcmpType::MobileCareOfAdvert || body.size() < 4) {
+        throw ParseError("care-of advert missing home address");
+    }
+    BufferReader r(body);
+    return Ipv4Address(r.u32());
+}
+
+}  // namespace mip::net

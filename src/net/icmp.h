@@ -1,0 +1,78 @@
+// ICMP messages (RFC 792), plus the experimental "mobile care-of advert"
+// the paper proposes in §3.2: "when the home agent forwards a packet to the
+// mobile host, it may also send an ICMP message back to the packet's source,
+// informing it of the mobile host's current temporary care-of address."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/buffer.h"
+#include "net/ipv4_address.h"
+
+namespace mip::net {
+
+inline constexpr std::size_t kIcmpHeaderSize = 8;
+
+enum class IcmpType : std::uint8_t {
+    EchoReply = 0,
+    DestinationUnreachable = 3,
+    EchoRequest = 8,
+    /// Router/agent advertisement (RFC 1256, carrying the Mobile IP
+    /// foreign-agent extension: the advertised care-of address).
+    AgentAdvertisement = 9,
+    /// Router/agent solicitation (RFC 1256): a newly attached mobile host
+    /// asks any agents on the segment to advertise immediately.
+    AgentSolicitation = 10,
+    TimeExceeded = 11,
+    // Experimental type for the paper's care-of notification mechanism.
+    // Real deployments would use a reserved/experimental code point; the
+    // value below sits in IANA's experimental range.
+    MobileCareOfAdvert = 253,
+};
+
+/// ICMP codes for DestinationUnreachable used by the simulator's routers.
+enum class IcmpUnreachableCode : std::uint8_t {
+    NetUnreachable = 0,
+    HostUnreachable = 1,
+    CommunicationAdministrativelyProhibited = 13,  ///< packet dropped by filter
+};
+
+struct IcmpMessage {
+    IcmpType type = IcmpType::EchoRequest;
+    std::uint8_t code = 0;
+    /// Meaning depends on type: echo id<<16|seq for echo, the advertised
+    /// care-of address for MobileCareOfAdvert, unused otherwise.
+    std::uint32_t rest_of_header = 0;
+    /// Payload: original IP header + 8 bytes for errors; arbitrary data for
+    /// echo; the mobile host's home address (4 bytes) for care-of adverts.
+    std::vector<std::uint8_t> body;
+
+    void serialize(BufferWriter& w) const;
+    static IcmpMessage parse(BufferReader& r);
+
+    /// Builds the paper's care-of notification: "mobile host @p home_address
+    /// is currently reachable at care-of address @p care_of".
+    static IcmpMessage care_of_advert(Ipv4Address home_address, Ipv4Address care_of);
+
+    /// For a MobileCareOfAdvert: the advertised care-of address.
+    Ipv4Address advertised_care_of() const;
+    /// For a MobileCareOfAdvert: the mobile host's home address.
+    Ipv4Address advertised_home_address() const;
+
+    /// Builds a foreign agent advertisement: "I am @p agent, visitors may
+    /// register through me using care-of address @p care_of" (which is
+    /// normally the agent's own address). @p lifetime_seconds bounds
+    /// registrations made through this agent.
+    static IcmpMessage agent_advertisement(Ipv4Address agent, Ipv4Address care_of,
+                                           std::uint16_t lifetime_seconds);
+    static IcmpMessage agent_solicitation();
+
+    /// For an AgentAdvertisement: the agent's address / offered care-of
+    /// address / registration lifetime bound.
+    Ipv4Address agent_address() const;
+    Ipv4Address agent_care_of() const;
+    std::uint16_t agent_lifetime() const;
+};
+
+}  // namespace mip::net

@@ -1,0 +1,95 @@
+#include "net/ipv4_address.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mip::net {
+
+namespace {
+
+/// Parses a decimal octet in [0,255]; advances @p text past it.
+std::optional<std::uint8_t> parse_octet(std::string_view& text) {
+    unsigned value = 0;
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > 255) {
+        return std::nullopt;
+    }
+    // Reject leading zeros like "01" which are ambiguous (octal in some APIs).
+    if (ptr - begin > 1 && *begin == '0') {
+        return std::nullopt;
+    }
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (text.empty() || text.front() != '.') return std::nullopt;
+            text.remove_prefix(1);
+        }
+        auto octet = parse_octet(text);
+        if (!octet) return std::nullopt;
+        value = value << 8 | *octet;
+    }
+    if (!text.empty()) return std::nullopt;
+    return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::must_parse(std::string_view text) {
+    auto addr = parse(text);
+    if (!addr) {
+        throw std::invalid_argument("malformed IPv4 address: " + std::string(text));
+    }
+    return *addr;
+}
+
+std::string Ipv4Address::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        if (shift != 24) out.push_back('.');
+        out += std::to_string((value_ >> shift) & 0xff);
+    }
+    return out;
+}
+
+Prefix::Prefix(Ipv4Address base, unsigned length) : length_(length) {
+    if (length > 32) {
+        throw std::invalid_argument("prefix length > 32");
+    }
+    base_ = Ipv4Address(base.value() & mask());
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+    const auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto base = Ipv4Address::parse(text.substr(0, slash));
+    if (!base) return std::nullopt;
+    auto len_text = text.substr(slash + 1);
+    unsigned len = 0;
+    auto [ptr, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+    if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || len > 32) {
+        return std::nullopt;
+    }
+    return Prefix(*base, len);
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+    auto p = parse(text);
+    if (!p) {
+        throw std::invalid_argument("malformed IPv4 prefix: " + std::string(text));
+    }
+    return *p;
+}
+
+std::string Prefix::to_string() const {
+    return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace mip::net

@@ -1,0 +1,97 @@
+// IPv4 address and CIDR prefix value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mip::net {
+
+/// An IPv4 address held in host byte order. Construction from dotted-quad
+/// text is checked; the user-defined literal `"10.0.0.1"_ip` is provided
+/// for tests and scenario builders.
+class Ipv4Address {
+public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+                 static_cast<std::uint32_t>(c) << 8 | d) {}
+
+    /// Parses "a.b.c.d"; returns nullopt on malformed input.
+    static std::optional<Ipv4Address> parse(std::string_view text);
+
+    /// Parses or throws std::invalid_argument. For literals in test/bench code.
+    static Ipv4Address must_parse(std::string_view text);
+
+    constexpr std::uint32_t value() const noexcept { return value_; }
+    constexpr bool is_unspecified() const noexcept { return value_ == 0; }
+    constexpr bool is_loopback() const noexcept { return (value_ >> 24) == 127; }
+    constexpr bool is_multicast() const noexcept { return (value_ >> 28) == 0xe; }
+    constexpr bool is_broadcast() const noexcept { return value_ == 0xffffffffu; }
+
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+/// The all-zero (unspecified) address, used for unbound sockets.
+inline constexpr Ipv4Address kAnyAddress{};
+
+/// An address block in CIDR form, e.g. 171.64.0.0/16. Used by forwarding
+/// tables, filter policies and the paper's §7.1.2 rule-based method
+/// selection ("specified similarly to the way routing table entries are
+/// currently specified, as an address and a mask value").
+class Prefix {
+public:
+    constexpr Prefix() = default;
+    Prefix(Ipv4Address base, unsigned length);
+
+    /// Parses "a.b.c.d/len".
+    static std::optional<Prefix> parse(std::string_view text);
+    static Prefix must_parse(std::string_view text);
+
+    constexpr Ipv4Address base() const noexcept { return base_; }
+    constexpr unsigned length() const noexcept { return length_; }
+    constexpr std::uint32_t mask() const noexcept {
+        return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+    }
+
+    constexpr bool contains(Ipv4Address addr) const noexcept {
+        return (addr.value() & mask()) == base_.value();
+    }
+
+    /// True if @p other is fully inside this prefix.
+    constexpr bool covers(const Prefix& other) const noexcept {
+        return other.length_ >= length_ && contains(other.base_);
+    }
+
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+private:
+    Ipv4Address base_;
+    unsigned length_ = 0;
+};
+
+/// The default route 0.0.0.0/0.
+inline constexpr Prefix kDefaultRoute{};
+
+namespace literals {
+/// "10.1.2.3"_ip — checked at call time (throws on malformed text).
+inline Ipv4Address operator""_ip(const char* s, std::size_t n) {
+    return Ipv4Address::must_parse(std::string_view(s, n));
+}
+/// "10.1.0.0/16"_net
+inline Prefix operator""_net(const char* s, std::size_t n) {
+    return Prefix::must_parse(std::string_view(s, n));
+}
+}  // namespace literals
+
+}  // namespace mip::net

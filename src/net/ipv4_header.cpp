@@ -1,0 +1,65 @@
+#include "net/ipv4_header.h"
+
+#include "net/checksum.h"
+
+namespace mip::net {
+
+namespace {
+constexpr std::uint8_t kVersionIhl = 0x45;  // IPv4, 5 x 32-bit words, no options
+constexpr std::uint16_t kFlagDf = 0x4000;
+constexpr std::uint16_t kFlagMf = 0x2000;
+constexpr std::uint16_t kOffsetMask = 0x1fff;
+}  // namespace
+
+void Ipv4Header::serialize(BufferWriter& w) const {
+    const std::size_t start = w.size();
+    w.u8(kVersionIhl);
+    w.u8(tos);
+    w.u16(total_length);
+    w.u16(identification);
+    std::uint16_t flags_offset = fragment_offset & kOffsetMask;
+    if (dont_fragment) flags_offset |= kFlagDf;
+    if (more_fragments) flags_offset |= kFlagMf;
+    w.u16(flags_offset);
+    w.u8(ttl);
+    w.u8(static_cast<std::uint8_t>(protocol));
+    w.u16(0);  // checksum placeholder
+    w.u32(src.value());
+    w.u32(dst.value());
+    const std::uint16_t csum = internet_checksum(w.view().subspan(start, kIpv4HeaderSize));
+    w.patch_u16(start + 10, csum);
+}
+
+Ipv4Header Ipv4Header::parse(BufferReader& r) {
+    if (r.remaining() < kIpv4HeaderSize) {
+        throw ParseError("IPv4 header truncated");
+    }
+    const auto raw = r.rest().subspan(0, kIpv4HeaderSize);
+    if (internet_checksum(raw) != 0) {
+        throw ParseError("IPv4 header checksum mismatch");
+    }
+
+    Ipv4Header h;
+    const std::uint8_t version_ihl = r.u8();
+    if (version_ihl != kVersionIhl) {
+        throw ParseError("unsupported IPv4 version/IHL byte");
+    }
+    h.tos = r.u8();
+    h.total_length = r.u16();
+    h.identification = r.u16();
+    const std::uint16_t flags_offset = r.u16();
+    h.dont_fragment = (flags_offset & kFlagDf) != 0;
+    h.more_fragments = (flags_offset & kFlagMf) != 0;
+    h.fragment_offset = flags_offset & kOffsetMask;
+    h.ttl = r.u8();
+    h.protocol = static_cast<IpProto>(r.u8());
+    r.skip(2);  // checksum, already verified over the whole header
+    h.src = Ipv4Address(r.u32());
+    h.dst = Ipv4Address(r.u32());
+    if (h.total_length < kIpv4HeaderSize) {
+        throw ParseError("IPv4 total_length shorter than header");
+    }
+    return h;
+}
+
+}  // namespace mip::net

@@ -1,0 +1,52 @@
+// A complete IPv4 datagram: parsed header + payload bytes.
+//
+// Packet is a value type. Encapsulation (IP-in-IP, GRE, minimal
+// encapsulation) nests packets by serializing the inner datagram into the
+// payload of the outer one, so wire sizes reported by wire_size() are the
+// exact byte counts a real network would carry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4_header.h"
+
+namespace mip::net {
+
+class Packet {
+public:
+    Packet() = default;
+
+    /// Builds a datagram; fills in header.total_length from the payload size.
+    Packet(Ipv4Header header, std::vector<std::uint8_t> payload);
+
+    /// Parses a serialized datagram (validates header checksum and length).
+    static Packet from_wire(std::span<const std::uint8_t> bytes);
+
+    /// Serializes header (with fresh checksum) followed by payload.
+    std::vector<std::uint8_t> to_wire() const;
+
+    const Ipv4Header& header() const noexcept { return header_; }
+    Ipv4Header& header() noexcept { return header_; }
+    std::span<const std::uint8_t> payload() const noexcept { return payload_; }
+    std::vector<std::uint8_t>&& take_payload() && noexcept { return std::move(payload_); }
+
+    /// Exact on-the-wire size of this datagram in bytes.
+    std::size_t wire_size() const noexcept { return kIpv4HeaderSize + payload_.size(); }
+
+    /// Decrements TTL in place; returns false when the TTL is exhausted
+    /// (the caller should drop the packet and may emit ICMP Time Exceeded).
+    bool decrement_ttl() noexcept;
+
+private:
+    Ipv4Header header_;
+    std::vector<std::uint8_t> payload_;
+};
+
+/// Convenience builder for the common case.
+Packet make_packet(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                   std::vector<std::uint8_t> payload, std::uint8_t ttl = kDefaultTtl,
+                   std::uint16_t identification = 0);
+
+}  // namespace mip::net

@@ -1,0 +1,34 @@
+// IANA-assigned protocol numbers and Ethernet types used throughout the
+// simulator. Values match the real Internet assignments so that serialized
+// packets are wire-accurate.
+#pragma once
+
+#include <cstdint>
+
+namespace mip::net {
+
+/// IP protocol numbers (IPv4 header "protocol" field).
+enum class IpProto : std::uint8_t {
+    Icmp = 1,
+    IpInIp = 4,   ///< IP-in-IP encapsulation [RFC 2003 / Per96c]
+    Tcp = 6,
+    Udp = 17,
+    Gre = 47,     ///< Generic Routing Encapsulation [RFC 1702]
+    MinEnc = 55,  ///< Minimal Encapsulation [Per95]
+};
+
+/// Ethernet frame types.
+enum class EtherType : std::uint16_t {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+};
+
+/// Well-known UDP/TCP port numbers referenced by the paper's heuristics.
+namespace ports {
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kTelnet = 23;
+inline constexpr std::uint16_t kMobileIpRegistration = 434;
+}  // namespace ports
+
+}  // namespace mip::net

@@ -1,0 +1,71 @@
+#include "net/tcp_header.h"
+
+#include "net/checksum.h"
+#include "net/protocol.h"
+
+namespace mip::net {
+
+void TcpHeader::serialize(BufferWriter& w, Ipv4Address src_ip, Ipv4Address dst_ip,
+                          std::span<const std::uint8_t> payload) const {
+    const std::uint16_t segment_len = static_cast<std::uint16_t>(kTcpHeaderSize + payload.size());
+
+    ChecksumAccumulator acc;
+    acc.add_u32(src_ip.value());
+    acc.add_u32(dst_ip.value());
+    acc.add_u16(static_cast<std::uint16_t>(IpProto::Tcp));
+    acc.add_u16(segment_len);
+    acc.add_u16(src_port);
+    acc.add_u16(dst_port);
+    acc.add_u32(seq);
+    acc.add_u32(ack);
+    acc.add_u16(static_cast<std::uint16_t>(5u << 12 | flags));  // data offset 5 words
+    acc.add_u16(window);
+    acc.add_u16(0);  // checksum
+    acc.add_u16(0);  // urgent pointer
+    acc.add(payload);
+    const std::uint16_t csum = acc.finish();
+
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(seq);
+    w.u32(ack);
+    w.u16(static_cast<std::uint16_t>(5u << 12 | flags));
+    w.u16(window);
+    w.u16(csum);
+    w.u16(0);
+    w.bytes(payload);
+}
+
+TcpHeader TcpHeader::parse(BufferReader& r, Ipv4Address src_ip, Ipv4Address dst_ip) {
+    if (r.remaining() < kTcpHeaderSize) {
+        throw ParseError("TCP header truncated");
+    }
+    const auto whole = r.rest();
+    {
+        ChecksumAccumulator acc;
+        acc.add_u32(src_ip.value());
+        acc.add_u32(dst_ip.value());
+        acc.add_u16(static_cast<std::uint16_t>(IpProto::Tcp));
+        acc.add_u16(static_cast<std::uint16_t>(whole.size()));
+        acc.add(whole);
+        if (acc.finish() != 0) {
+            throw ParseError("TCP checksum mismatch");
+        }
+    }
+
+    TcpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.seq = r.u32();
+    h.ack = r.u32();
+    const std::uint16_t offset_flags = r.u16();
+    if ((offset_flags >> 12) != 5) {
+        throw ParseError("TCP options unsupported (data offset != 5)");
+    }
+    h.flags = static_cast<std::uint8_t>(offset_flags & 0x3f);
+    h.window = r.u16();
+    r.skip(4);  // checksum + urgent pointer
+    return h;
+}
+
+}  // namespace mip::net

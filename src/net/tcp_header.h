@@ -1,0 +1,43 @@
+// TCP header (RFC 793) — enough of the wire format for the library's
+// TCP-like reliable transport: ports, sequence/ack numbers, flags, window,
+// and a pseudo-header checksum. Options are not carried (data offset 5).
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.h"
+#include "net/ipv4_address.h"
+
+namespace mip::net {
+
+inline constexpr std::size_t kTcpHeaderSize = 20;
+
+/// TCP flag bits (low byte of the flags word).
+enum TcpFlags : std::uint8_t {
+    kTcpFin = 0x01,
+    kTcpSyn = 0x02,
+    kTcpRst = 0x04,
+    kTcpPsh = 0x08,
+    kTcpAck = 0x10,
+};
+
+struct TcpHeader {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 65535;
+
+    void serialize(BufferWriter& w, Ipv4Address src_ip, Ipv4Address dst_ip,
+                   std::span<const std::uint8_t> payload) const;
+
+    static TcpHeader parse(BufferReader& r, Ipv4Address src_ip, Ipv4Address dst_ip);
+
+    bool syn() const noexcept { return flags & kTcpSyn; }
+    bool ack_set() const noexcept { return flags & kTcpAck; }
+    bool fin() const noexcept { return flags & kTcpFin; }
+    bool rst() const noexcept { return flags & kTcpRst; }
+};
+
+}  // namespace mip::net

@@ -1,0 +1,60 @@
+#include "net/udp_header.h"
+
+#include "net/checksum.h"
+#include "net/protocol.h"
+
+namespace mip::net {
+
+void UdpHeader::serialize(BufferWriter& w, Ipv4Address src_ip, Ipv4Address dst_ip,
+                          std::span<const std::uint8_t> payload) const {
+    const std::uint16_t len = static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
+
+    ChecksumAccumulator acc;
+    acc.add_u32(src_ip.value());
+    acc.add_u32(dst_ip.value());
+    acc.add_u16(static_cast<std::uint16_t>(IpProto::Udp));
+    acc.add_u16(len);
+    acc.add_u16(src_port);
+    acc.add_u16(dst_port);
+    acc.add_u16(len);
+    acc.add(payload);
+    std::uint16_t csum = acc.finish();
+    if (csum == 0) csum = 0xffff;  // RFC 768: transmitted all-ones if computed zero
+
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(len);
+    w.u16(csum);
+    w.bytes(payload);
+}
+
+UdpHeader UdpHeader::parse(BufferReader& r, Ipv4Address src_ip, Ipv4Address dst_ip) {
+    if (r.remaining() < kUdpHeaderSize) {
+        throw ParseError("UDP header truncated");
+    }
+    const auto whole = r.rest();
+
+    UdpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.length = r.u16();
+    const std::uint16_t csum = r.u16();
+    if (h.length < kUdpHeaderSize || h.length > whole.size()) {
+        throw ParseError("UDP length field out of range");
+    }
+    if (csum != 0) {
+        ChecksumAccumulator acc;
+        acc.add_u32(src_ip.value());
+        acc.add_u32(dst_ip.value());
+        acc.add_u16(static_cast<std::uint16_t>(IpProto::Udp));
+        acc.add_u16(h.length);
+        acc.add(whole.subspan(0, h.length));
+        const std::uint16_t verify = acc.finish();
+        if (verify != 0 && !(verify == 0xffff && csum == 0xffff)) {
+            throw ParseError("UDP checksum mismatch");
+        }
+    }
+    return h;
+}
+
+}  // namespace mip::net

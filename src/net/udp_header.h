@@ -1,0 +1,28 @@
+// UDP header (RFC 768) with pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.h"
+#include "net/ipv4_address.h"
+
+namespace mip::net {
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpHeader {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint16_t length = 0;  ///< header + payload
+
+    /// Serializes with a checksum computed over the RFC 768 pseudo-header
+    /// (src/dst IP, protocol, UDP length) plus header and payload.
+    void serialize(BufferWriter& w, Ipv4Address src_ip, Ipv4Address dst_ip,
+                   std::span<const std::uint8_t> payload) const;
+
+    /// Parses and validates a datagram. @p src_ip/@p dst_ip come from the
+    /// enclosing IP header (needed to re-derive the pseudo-header).
+    static UdpHeader parse(BufferReader& r, Ipv4Address src_ip, Ipv4Address dst_ip);
+};
+
+}  // namespace mip::net

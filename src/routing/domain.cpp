@@ -1,0 +1,16 @@
+#include "routing/domain.h"
+
+#include <stdexcept>
+
+namespace mip::routing {
+
+net::Ipv4Address Domain::host(std::uint32_t host_index) const {
+    const std::uint32_t capacity =
+        prefix.length() >= 31 ? 0 : (std::uint32_t{1} << (32 - prefix.length())) - 2;
+    if (host_index == 0 || host_index > capacity) {
+        throw std::out_of_range("host index out of range for " + prefix.to_string());
+    }
+    return net::Ipv4Address(prefix.base().value() + host_index);
+}
+
+}  // namespace mip::routing

@@ -1,0 +1,22 @@
+// Administrative domains: a named address block. Scenario builders use
+// domains to place hosts and to derive boundary-filter rules.
+#pragma once
+
+#include <string>
+
+#include "net/ipv4_address.h"
+
+namespace mip::routing {
+
+struct Domain {
+    std::string name;
+    net::Prefix prefix;
+
+    bool contains(net::Ipv4Address addr) const noexcept { return prefix.contains(addr); }
+
+    /// Allocates the @p host_index-th host address in the domain (1-based;
+    /// .0 is the network address by convention).
+    net::Ipv4Address host(std::uint32_t host_index) const;
+};
+
+}  // namespace mip::routing

@@ -1,0 +1,41 @@
+#include "routing/filters.h"
+
+namespace mip::routing {
+
+FilterVerdict SourceSpoofIngressRule::evaluate(const net::Ipv4Header& h) const {
+    return inside_.contains(h.src) ? FilterVerdict::Drop : FilterVerdict::Accept;
+}
+
+std::string SourceSpoofIngressRule::describe() const {
+    return "ingress-spoof: drop src in " + inside_.to_string();
+}
+
+FilterVerdict ForeignSourceEgressRule::evaluate(const net::Ipv4Header& h) const {
+    return inside_.contains(h.src) ? FilterVerdict::Accept : FilterVerdict::Drop;
+}
+
+std::string ForeignSourceEgressRule::describe() const {
+    return "egress-antispoof: drop src not in " + inside_.to_string();
+}
+
+FilterVerdict NoTransitRule::evaluate(const net::Ipv4Header& h) const {
+    if (inside_.contains(h.src) || inside_.contains(h.dst)) {
+        return FilterVerdict::Accept;
+    }
+    return FilterVerdict::Drop;
+}
+
+std::string NoTransitRule::describe() const {
+    return "no-transit: drop unless an endpoint is in " + inside_.to_string();
+}
+
+FilterVerdict FirewallRule::evaluate(const net::Ipv4Header& h) const {
+    return allowed_.contains(h.dst) ? FilterVerdict::Accept : FilterVerdict::Drop;
+}
+
+std::string FirewallRule::describe() const {
+    return "firewall: drop unless dst allowlisted (" + std::to_string(allowed_.size()) +
+           " entries)";
+}
+
+}  // namespace mip::routing

@@ -1,0 +1,83 @@
+// Router packet-filter policies.
+//
+// These model the "security-conscious boundary routers" of paper §3.1:
+//
+//  * SourceSpoofIngressRule — drops packets arriving from *outside* a
+//    domain whose source address claims to be *inside* it (Figure 2's
+//    reason that plain Mobile IP replies never reach the correspondent).
+//  * ForeignSourceEgressRule — drops packets leaving a domain whose source
+//    is not one of the domain's own addresses (the anti-spoofing egress
+//    filter that kills Out-DH from a visited network).
+//  * NoTransitRule — drops packets with neither endpoint inside the domain
+//    ("most end-user networks have a policy forbidding transit traffic").
+//  * FirewallRule — drops everything inbound except packets addressed to an
+//    allowlist (e.g. the home agent sitting on the boundary, §3.1 last ¶).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "net/ipv4_header.h"
+
+namespace mip::routing {
+
+enum class FilterVerdict { Accept, Drop };
+
+class FilterRule {
+public:
+    virtual ~FilterRule() = default;
+    virtual FilterVerdict evaluate(const net::Ipv4Header& header) const = 0;
+    /// One-line description used in drop traces.
+    virtual std::string describe() const = 0;
+};
+
+/// Drop packets whose *source* lies inside @p inside. Install as an ingress
+/// rule on a boundary router's outside-facing interface.
+class SourceSpoofIngressRule final : public FilterRule {
+public:
+    explicit SourceSpoofIngressRule(net::Prefix inside) : inside_(inside) {}
+    FilterVerdict evaluate(const net::Ipv4Header& h) const override;
+    std::string describe() const override;
+
+private:
+    net::Prefix inside_;
+};
+
+/// Drop packets whose *source* lies outside @p inside. Install as an egress
+/// rule on a boundary router's outside-facing interface.
+class ForeignSourceEgressRule final : public FilterRule {
+public:
+    explicit ForeignSourceEgressRule(net::Prefix inside) : inside_(inside) {}
+    FilterVerdict evaluate(const net::Ipv4Header& h) const override;
+    std::string describe() const override;
+
+private:
+    net::Prefix inside_;
+};
+
+/// Drop packets with neither source nor destination inside @p inside.
+class NoTransitRule final : public FilterRule {
+public:
+    explicit NoTransitRule(net::Prefix inside) : inside_(inside) {}
+    FilterVerdict evaluate(const net::Ipv4Header& h) const override;
+    std::string describe() const override;
+
+private:
+    net::Prefix inside_;
+};
+
+/// Drop all packets except those addressed to explicitly allowed hosts.
+/// Models a strict firewall whose only mobile-reachable service is the
+/// home agent on the boundary.
+class FirewallRule final : public FilterRule {
+public:
+    void allow_destination(net::Ipv4Address addr) { allowed_.insert(addr); }
+    FilterVerdict evaluate(const net::Ipv4Header& h) const override;
+    std::string describe() const override;
+
+private:
+    std::set<net::Ipv4Address> allowed_;
+};
+
+}  // namespace mip::routing

@@ -1,0 +1,47 @@
+#include "routing/forwarding_table.h"
+
+#include <algorithm>
+
+namespace mip::routing {
+
+void ForwardingTable::add(RouteEntry entry) {
+    entries_.push_back(entry);
+}
+
+std::size_t ForwardingTable::remove(const net::Prefix& prefix) {
+    return std::erase_if(entries_,
+                         [&](const RouteEntry& e) { return e.prefix == prefix; });
+}
+
+std::size_t ForwardingTable::remove_interface(std::size_t interface_index) {
+    return std::erase_if(
+        entries_, [&](const RouteEntry& e) { return e.interface_index == interface_index; });
+}
+
+std::optional<RouteEntry> ForwardingTable::lookup(net::Ipv4Address dst) const {
+    const RouteEntry* best = nullptr;
+    for (const auto& e : entries_) {
+        if (!e.prefix.contains(dst)) continue;
+        if (best == nullptr || e.prefix.length() > best->prefix.length() ||
+            (e.prefix.length() == best->prefix.length() && e.metric < best->metric)) {
+            best = &e;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
+std::string ForwardingTable::dump() const {
+    std::string out;
+    for (const auto& e : entries_) {
+        out += e.prefix.to_string();
+        out += " via ";
+        out += e.on_link() ? "on-link" : e.gateway.to_string();
+        out += " dev#" + std::to_string(e.interface_index);
+        out += " metric " + std::to_string(e.metric);
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace mip::routing

@@ -1,0 +1,51 @@
+// Longest-prefix-match forwarding table, shared by hosts and routers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4_address.h"
+
+namespace mip::routing {
+
+struct RouteEntry {
+    net::Prefix prefix;
+    /// Next-hop gateway; unspecified means the destination is on-link
+    /// (deliver directly via link-layer resolution).
+    net::Ipv4Address gateway;
+    /// Index of the outgoing interface in the owning stack.
+    std::size_t interface_index = 0;
+    /// Lower wins among equal-length prefixes.
+    int metric = 0;
+
+    bool on_link() const noexcept { return gateway.is_unspecified(); }
+};
+
+class ForwardingTable {
+public:
+    void add(RouteEntry entry);
+
+    /// Removes all entries exactly matching @p prefix; returns count removed.
+    std::size_t remove(const net::Prefix& prefix);
+
+    /// Removes every entry pointing out of @p interface_index (used when an
+    /// interface is deconfigured, e.g. a mobile host unplugging).
+    std::size_t remove_interface(std::size_t interface_index);
+
+    void clear() { entries_.clear(); }
+
+    /// Longest-prefix match; ties broken by lowest metric, then insertion
+    /// order. Returns nullopt when nothing (not even a default) matches.
+    std::optional<RouteEntry> lookup(net::Ipv4Address dst) const;
+
+    const std::vector<RouteEntry>& entries() const noexcept { return entries_; }
+
+    /// Human-readable dump, one route per line (for examples and debugging).
+    std::string dump() const;
+
+private:
+    std::vector<RouteEntry> entries_;
+};
+
+}  // namespace mip::routing

@@ -1,0 +1,5 @@
+#include "sim/frame.h"
+
+// Frame is a plain aggregate; this translation unit exists so the target
+// has a definition anchor for the header.
+namespace mip::sim {}

@@ -1,0 +1,26 @@
+// Ethernet-style link-layer frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.h"
+#include "sim/mac_address.h"
+
+namespace mip::sim {
+
+/// 14-byte Ethernet header (dst MAC, src MAC, ethertype). The 4-byte FCS
+/// and preamble are not modelled; the benches report IP-layer bytes plus
+/// this constant header, which is sufficient for relative comparisons.
+inline constexpr std::size_t kFrameHeaderSize = 14;
+
+struct Frame {
+    MacAddress dst;
+    MacAddress src;
+    net::EtherType type = net::EtherType::Ipv4;
+    std::vector<std::uint8_t> payload;
+
+    std::size_t wire_size() const noexcept { return kFrameHeaderSize + payload.size(); }
+};
+
+}  // namespace mip::sim

@@ -1,0 +1,88 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+#include "sim/nic.h"
+#include "sim/node.h"
+
+namespace mip::sim {
+
+Link::Link(Simulator& simulator, LinkConfig config)
+    : simulator_(simulator), config_(std::move(config)), rng_(config_.seed) {}
+
+void Link::attach(Nic& nic) {
+    if (std::find(nics_.begin(), nics_.end(), &nic) == nics_.end()) {
+        nics_.push_back(&nic);
+    }
+}
+
+void Link::detach(Nic& nic) {
+    std::erase(nics_, &nic);
+}
+
+bool Link::connects(const Nic& a, const Nic& b) const {
+    const bool has_a = std::find(nics_.begin(), nics_.end(), &a) != nics_.end();
+    const bool has_b = std::find(nics_.begin(), nics_.end(), &b) != nics_.end();
+    return has_a && has_b;
+}
+
+Duration Link::transmission_delay(std::size_t bytes) const {
+    const double seconds = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+    return static_cast<Duration>(seconds * 1e9);
+}
+
+void Link::emit(TraceKind kind, const Nic* at, std::size_t bytes, std::uint16_t ethertype,
+                std::string detail) const {
+    if (!trace_) return;
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.when = simulator_.now();
+    ev.node = at != nullptr ? at->owner().name() : std::string{};
+    ev.link = this;
+    ev.bytes = bytes;
+    ev.ethertype = ethertype;
+    ev.detail = std::move(detail);
+    trace_(ev);
+}
+
+void Link::transmit(const Nic& sender, Frame frame) {
+    const auto ethertype = static_cast<std::uint16_t>(frame.type);
+    if (frame.payload.size() > config_.mtu) {
+        emit(TraceKind::FrameTooBig, &sender, frame.wire_size(), ethertype,
+             "payload " + std::to_string(frame.payload.size()) + " > mtu " +
+                 std::to_string(config_.mtu));
+        return;
+    }
+    emit(TraceKind::FrameTx, &sender, frame.wire_size(), ethertype);
+
+    if (config_.loss_rate > 0.0) {
+        std::bernoulli_distribution lost(config_.loss_rate);
+        if (lost(rng_)) {
+            emit(TraceKind::FrameLost, &sender, frame.wire_size(), ethertype);
+            return;
+        }
+    }
+
+    // One talker at a time on the shared medium: serialization starts when
+    // the wire frees up, so frames never overtake each other.
+    const TimePoint start = std::max(simulator_.now(), busy_until_);
+    busy_until_ = start + transmission_delay(frame.wire_size());
+    const Duration delay = (busy_until_ - simulator_.now()) + config_.latency;
+    for (Nic* nic : nics_) {
+        if (nic == &sender) continue;
+        // Group-addressed frames (broadcast and multicast) reach every
+        // station; the IP layer filters multicast by joined groups.
+        const bool addressed_here = frame.dst.is_group() || frame.dst == nic->mac();
+        if (!addressed_here && !nic->promiscuous()) continue;
+        // Copy per receiver; delivery happens at simulated arrival time. A
+        // NIC that detached (or moved to another segment) while the frame
+        // was in flight must not receive it.
+        simulator_.schedule_in(delay, [nic, frame, ethertype, this] {
+            if (nic->link() != this) return;
+            emit(TraceKind::FrameRx, nic, frame.wire_size(), ethertype);
+            nic->deliver(frame);
+        });
+    }
+}
+
+}  // namespace mip::sim

@@ -1,0 +1,73 @@
+// A shared link-layer segment (Ethernet-like broadcast domain, or a
+// two-endpoint point-to-point circuit — the same abstraction covers both).
+//
+// Transmission delay = propagation latency + size/bandwidth. Random frame
+// loss uses a deterministic, per-link seeded PRNG so simulations are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/frame.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace mip::sim {
+
+class Nic;
+
+struct LinkConfig {
+    std::string name = "link";
+    Duration latency = microseconds(100);
+    double bandwidth_bps = 10e6;  ///< 10 Mb/s Ethernet by default
+    std::size_t mtu = 1500;       ///< maximum frame *payload* (IP datagram) size
+    double loss_rate = 0.0;       ///< independent per-frame loss probability
+    std::uint64_t seed = 1;
+};
+
+class Link {
+public:
+    Link(Simulator& simulator, LinkConfig config);
+    Link(const Link&) = delete;
+    Link& operator=(const Link&) = delete;
+
+    const std::string& name() const noexcept { return config_.name; }
+    std::size_t mtu() const noexcept { return config_.mtu; }
+    const LinkConfig& config() const noexcept { return config_; }
+
+    void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+    /// Registers/unregisters an endpoint. Nic::connect/disconnect call these.
+    void attach(Nic& nic);
+    void detach(Nic& nic);
+
+    /// Puts @p frame on the wire. Unicast frames are delivered only to the
+    /// NIC owning the destination MAC; broadcast frames reach every other
+    /// attached NIC.
+    void transmit(const Nic& sender, Frame frame);
+
+    std::size_t attached_count() const noexcept { return nics_.size(); }
+
+    /// True if both NICs are currently attached to this segment — the test
+    /// behind the paper's Row C ("Both Hosts on Same Network Segment").
+    bool connects(const Nic& a, const Nic& b) const;
+
+private:
+    Duration transmission_delay(std::size_t bytes) const;
+    void emit(TraceKind kind, const Nic* at, std::size_t bytes, std::uint16_t ethertype = 0,
+              std::string detail = {}) const;
+
+    Simulator& simulator_;
+    LinkConfig config_;
+    std::vector<Nic*> nics_;
+    mutable std::mt19937_64 rng_;
+    TraceSink trace_;
+    /// The shared medium serializes transmissions: the time until which the
+    /// wire is occupied. Keeps small frames from overtaking large ones.
+    TimePoint busy_until_ = 0;
+};
+
+}  // namespace mip::sim

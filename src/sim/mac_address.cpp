@@ -1,0 +1,21 @@
+#include "sim/mac_address.h"
+
+#include <cstdio>
+
+namespace mip::sim {
+
+MacAddress MacAddress::from_id(std::uint32_t id) {
+    // 0x02 prefix: locally administered, unicast.
+    return MacAddress({0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16), static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+}
+
+std::string MacAddress::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                  octets_[2], octets_[3], octets_[4], octets_[5]);
+    return buf;
+}
+
+}  // namespace mip::sim

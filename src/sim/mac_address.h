@@ -1,0 +1,55 @@
+// Link-layer (Ethernet-style) 48-bit addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mip::sim {
+
+class MacAddress {
+public:
+    constexpr MacAddress() = default;
+    constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+    /// Locally-administered address derived from a small integer id; the
+    /// simulator hands these out sequentially.
+    static MacAddress from_id(std::uint32_t id);
+
+    static constexpr MacAddress broadcast() {
+        return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+    }
+
+    /// The Ethernet multicast MAC for an IPv4 group address (RFC 1112
+    /// §6.4: 01:00:5e + low 23 bits of the group).
+    static constexpr MacAddress multicast_for(std::uint32_t group_host_order) {
+        return MacAddress({0x01, 0x00, 0x5e,
+                           static_cast<std::uint8_t>((group_host_order >> 16) & 0x7f),
+                           static_cast<std::uint8_t>((group_host_order >> 8) & 0xff),
+                           static_cast<std::uint8_t>(group_host_order & 0xff)});
+    }
+
+    constexpr const std::array<std::uint8_t, 6>& octets() const noexcept { return octets_; }
+    constexpr bool is_broadcast() const noexcept { return *this == broadcast(); }
+    /// True for group-addressed MACs (I/G bit set), including broadcast.
+    constexpr bool is_group() const noexcept { return (octets_[0] & 0x01) != 0; }
+
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+private:
+    std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace mip::sim
+
+template <>
+struct std::hash<mip::sim::MacAddress> {
+    std::size_t operator()(const mip::sim::MacAddress& m) const noexcept {
+        std::size_t h = 0;
+        for (auto b : m.octets()) h = h * 131 + b;
+        return h;
+    }
+};

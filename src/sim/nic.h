@@ -1,0 +1,61 @@
+// A network interface card: the attachment point between a Node and a Link.
+//
+// Mobility in this simulator is literal: a mobile host detaches its NIC
+// from one segment and attaches it to another, then re-runs address
+// configuration — just as a laptop unplugs from one Ethernet and plugs
+// into another.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/frame.h"
+#include "sim/mac_address.h"
+
+namespace mip::sim {
+
+class Link;
+class Node;
+
+class Nic {
+public:
+    Nic(Node& owner, MacAddress mac, std::string name);
+    Nic(const Nic&) = delete;
+    Nic& operator=(const Nic&) = delete;
+    ~Nic();
+
+    /// Handler invoked (at simulated delivery time) for each frame this NIC
+    /// accepts. Installed by the IP stack.
+    using FrameHandler = std::function<void(const Frame&)>;
+    void set_handler(FrameHandler handler) { handler_ = std::move(handler); }
+
+    void connect(Link& link);
+    void disconnect();
+    bool connected() const noexcept { return link_ != nullptr; }
+    Link* link() const noexcept { return link_; }
+
+    /// Transmits a frame (no-op with a trace drop if disconnected).
+    void send(Frame frame);
+
+    /// Called by Link at delivery time.
+    void deliver(const Frame& frame);
+
+    MacAddress mac() const noexcept { return mac_; }
+    Node& owner() const noexcept { return owner_; }
+    const std::string& name() const noexcept { return name_; }
+
+    /// Promiscuous NICs accept unicast frames for other MACs too (routers
+    /// do not need this; it exists for debugging and packet capture).
+    void set_promiscuous(bool on) noexcept { promiscuous_ = on; }
+    bool promiscuous() const noexcept { return promiscuous_; }
+
+private:
+    Node& owner_;
+    MacAddress mac_;
+    std::string name_;
+    Link* link_ = nullptr;
+    FrameHandler handler_;
+    bool promiscuous_ = false;
+};
+
+}  // namespace mip::sim

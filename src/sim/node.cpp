@@ -1,0 +1,19 @@
+#include "sim/node.h"
+
+namespace mip::sim {
+
+std::uint32_t Node::next_mac_id_ = 1;
+
+Node::Node(Simulator& simulator, std::string name)
+    : simulator_(simulator), name_(std::move(name)) {}
+
+Nic& Node::add_nic(std::string nic_name) {
+    if (nic_name.empty()) {
+        nic_name = name_ + "-eth" + std::to_string(nics_.size());
+    }
+    nics_.push_back(
+        std::make_unique<Nic>(*this, MacAddress::from_id(next_mac_id_++), std::move(nic_name)));
+    return *nics_.back();
+}
+
+}  // namespace mip::sim

@@ -1,0 +1,40 @@
+// Base class for everything that sits on the network: hosts, routers,
+// agents. Owns its NICs (stable addresses — NICs are referenced by Links).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/nic.h"
+#include "sim/simulator.h"
+
+namespace mip::sim {
+
+class Node {
+public:
+    Node(Simulator& simulator, std::string name);
+    virtual ~Node() = default;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    Simulator& simulator() const noexcept { return simulator_; }
+
+    /// Creates a NIC owned by this node. The returned reference stays valid
+    /// for the node's lifetime.
+    Nic& add_nic(std::string nic_name = {});
+
+    std::size_t nic_count() const noexcept { return nics_.size(); }
+    Nic& nic(std::size_t index) { return *nics_.at(index); }
+    const Nic& nic(std::size_t index) const { return *nics_.at(index); }
+
+private:
+    Simulator& simulator_;
+    std::string name_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+
+    static std::uint32_t next_mac_id_;
+};
+
+}  // namespace mip::sim

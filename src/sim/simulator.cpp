@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mip::sim {
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> action) {
+    if (when < now_) {
+        throw std::logic_error("Simulator::schedule_at in the past");
+    }
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(action)});
+    return id;
+}
+
+bool Simulator::fire_next(TimePoint limit) {
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.when;
+        ev.action();
+        return true;
+    }
+    return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+    std::size_t fired = 0;
+    while (fired < max_events && fire_next(std::numeric_limits<TimePoint>::max())) {
+        ++fired;
+    }
+    return fired;
+}
+
+std::size_t Simulator::run_until(TimePoint until) {
+    std::size_t fired = 0;
+    while (fire_next(until)) {
+        ++fired;
+    }
+    if (now_ < until) now_ = until;
+    return fired;
+}
+
+}  // namespace mip::sim

@@ -1,0 +1,76 @@
+// Single-threaded discrete-event simulator.
+//
+// Every link transmission, protocol timer and host action in this library
+// is an event on one Simulator's queue. Events scheduled for the same
+// instant fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which makes whole-network runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mip::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    TimePoint now() const noexcept { return now_; }
+
+    /// Schedules @p action to run at absolute time @p when (>= now).
+    EventId schedule_at(TimePoint when, std::function<void()> action);
+
+    /// Schedules @p action to run @p delay from now.
+    EventId schedule_in(Duration delay, std::function<void()> action) {
+        return schedule_at(now_ + delay, std::move(action));
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or unknown id
+    /// is a harmless no-op (timers race with the events that cancel them).
+    void cancel(EventId id) { cancelled_.insert(id); }
+
+    /// Runs until the queue drains or @p max_events fire. Returns the
+    /// number of events executed.
+    std::size_t run(std::size_t max_events = kDefaultEventLimit);
+
+    /// Runs events with timestamps <= @p until.
+    std::size_t run_until(TimePoint until);
+
+    std::size_t pending_events() const noexcept { return queue_.size(); }
+
+    static constexpr std::size_t kDefaultEventLimit = 10'000'000;
+
+private:
+    struct Event {
+        TimePoint when;
+        EventId id;
+        std::function<void()> action;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            return a.when != b.when ? a.when > b.when : a.id > b.id;
+        }
+    };
+
+    /// Fires the next non-cancelled event with timestamp <= @p limit.
+    /// Returns false when none qualifies (cancelled events up to the limit
+    /// are purged either way).
+    bool fire_next(TimePoint limit);
+
+    TimePoint now_ = 0;
+    EventId next_id_ = 1;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mip::sim

@@ -1,0 +1,22 @@
+// Simulated time. Integer nanoseconds keep event ordering deterministic
+// across platforms (no floating-point accumulation).
+#pragma once
+
+#include <cstdint>
+
+namespace mip::sim {
+
+/// Nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+/// Nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * 1'000; }
+constexpr Duration milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr Duration seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double to_milliseconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace mip::sim

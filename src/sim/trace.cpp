@@ -1,0 +1,60 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+namespace mip::sim {
+
+TraceSink TraceRecorder::sink() {
+    return [this](const TraceEvent& ev) { events_.push_back(ev); };
+}
+
+std::size_t TraceRecorder::count(TraceKind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const TraceEvent& ev) { return ev.kind == kind; }));
+}
+
+std::size_t TraceRecorder::total_tx_bytes() const {
+    std::size_t total = 0;
+    for (const auto& ev : events_) {
+        if (ev.kind == TraceKind::FrameTx) total += ev.bytes;
+    }
+    return total;
+}
+
+std::size_t TraceRecorder::ip_hops() const {
+    std::size_t n = 0;
+    for (const auto& ev : events_) {
+        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) ++n;
+    }
+    return n;
+}
+
+std::size_t TraceRecorder::ip_tx_bytes() const {
+    std::size_t total = 0;
+    for (const auto& ev : events_) {
+        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) total += ev.bytes;
+    }
+    return total;
+}
+
+std::vector<std::string> TraceRecorder::ip_tx_nodes() const {
+    std::vector<std::string> out;
+    for (const auto& ev : events_) {
+        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) {
+            out.push_back(ev.node);
+        }
+    }
+    return out;
+}
+
+std::string TraceRecorder::ip_path_string() const {
+    std::string out;
+    for (const auto& node : ip_tx_nodes()) {
+        if (!out.empty()) out += " -> ";
+        out += node;
+    }
+    return out;
+}
+
+}  // namespace mip::sim

@@ -1,0 +1,73 @@
+// Packet tracing: every frame transmission, delivery and drop in the
+// simulator is reported to an optional TraceSink. The benchmark harnesses
+// use traces to count hops and bytes; tests use them to assert paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mip::sim {
+
+class Link;
+
+enum class TraceKind {
+    FrameTx,      ///< a NIC put a frame on a link
+    FrameRx,      ///< a NIC accepted a frame
+    FrameLost,    ///< link-level loss (random loss model)
+    FrameTooBig,  ///< frame exceeded the link MTU and was dropped
+    FilterDrop,   ///< a router's policy filter discarded a packet
+    TtlExpired,   ///< a router dropped a packet with exhausted TTL
+    NoRoute,      ///< no forwarding entry for destination
+};
+
+struct TraceEvent {
+    TraceKind kind;
+    TimePoint when = 0;
+    std::string node;          ///< node name where the event occurred
+    const Link* link = nullptr;
+    std::size_t bytes = 0;     ///< frame wire size (Tx/Rx/loss events)
+    /// Raw ethertype of the frame (0 for non-frame events). Lets analyses
+    /// separate IP traffic from ARP chatter.
+    std::uint16_t ethertype = 0;
+    std::string detail;        ///< free-form context (e.g. filter rule hit)
+};
+
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+/// Collects trace events and answers the questions the benches ask
+/// (hop counts, total bytes on the wire, drop counts by kind).
+class TraceRecorder {
+public:
+    /// Returns a sink bound to this recorder; hand it to Links/Routers.
+    TraceSink sink();
+
+    const std::vector<TraceEvent>& events() const noexcept { return events_; }
+    void clear() { events_.clear(); }
+
+    std::size_t count(TraceKind kind) const;
+    /// Sum of frame bytes over all FrameTx events — total load offered to
+    /// the network ("load on the shared resources of the Internet", §3.2).
+    std::size_t total_tx_bytes() const;
+
+    /// FrameTx events carrying IPv4 (= link-level hops taken by IP packets,
+    /// excluding ARP chatter).
+    std::size_t ip_hops() const;
+    /// Total bytes of those IPv4 frames.
+    std::size_t ip_tx_bytes() const;
+
+    /// The sequence of nodes that transmitted IPv4 frames, in time order —
+    /// for a single request/response exchange this reads as the packet's
+    /// path through the network (e.g. "ch0 -> corr-gw -> bb-r3 -> ...").
+    std::vector<std::string> ip_tx_nodes() const;
+    /// ip_tx_nodes() joined with " -> ".
+    std::string ip_path_string() const;
+
+private:
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace mip::sim

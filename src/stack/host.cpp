@@ -1,0 +1,51 @@
+#include "stack/host.h"
+
+namespace mip::stack {
+
+Host::Host(sim::Simulator& simulator, std::string name)
+    : sim::Node(simulator, std::move(name)), stack_(simulator, *this) {}
+
+std::size_t Host::attach(sim::Link& link, net::Ipv4Address addr, net::Prefix subnet,
+                         std::optional<net::Ipv4Address> gateway) {
+    sim::Nic& n = add_nic();
+    n.connect(link);
+    const std::size_t index = stack_.add_interface(n);
+    stack_.configure(index, addr, subnet);
+    if (gateway) {
+        stack_.add_default_route(*gateway, index);
+    }
+    return index;
+}
+
+void Host::detach(std::size_t interface_index) {
+    Interface& ifc = stack_.iface(interface_index);
+    stack_.deconfigure(interface_index);
+    if (ifc.nic() != nullptr) {
+        ifc.nic()->disconnect();
+    }
+}
+
+void Host::move(std::size_t interface_index, sim::Link& new_link, net::Ipv4Address addr,
+                net::Prefix subnet, std::optional<net::Ipv4Address> gateway) {
+    Interface& ifc = stack_.iface(interface_index);
+    stack_.deconfigure(interface_index);
+    if (ifc.nic() != nullptr) {
+        ifc.nic()->disconnect();
+        ifc.nic()->connect(new_link);
+    }
+    stack_.configure(interface_index, addr, subnet);
+    if (gateway) {
+        stack_.add_default_route(*gateway, interface_index);
+    }
+}
+
+net::Ipv4Address Host::address() const {
+    for (std::size_t i = 0; i < stack_.interface_count(); ++i) {
+        if (stack_.iface(i).configured()) {
+            return stack_.iface(i).address();
+        }
+    }
+    return net::Ipv4Address{};
+}
+
+}  // namespace mip::stack

@@ -1,0 +1,41 @@
+// A general-purpose Internet host: one node, one stack, convenience
+// attachment helpers. Hosts do not forward.
+#pragma once
+
+#include <optional>
+
+#include "sim/node.h"
+#include "stack/ip_stack.h"
+
+namespace mip::stack {
+
+class Host : public sim::Node {
+public:
+    Host(sim::Simulator& simulator, std::string name);
+
+    IpStack& stack() noexcept { return stack_; }
+    const IpStack& stack() const noexcept { return stack_; }
+
+    /// Creates a NIC, connects it to @p link, assigns @p addr/@p subnet and
+    /// optionally a default route via @p gateway. Returns the new
+    /// interface's index.
+    std::size_t attach(sim::Link& link, net::Ipv4Address addr, net::Prefix subnet,
+                       std::optional<net::Ipv4Address> gateway = std::nullopt);
+
+    /// Disconnects the NIC behind @p interface_index and removes its
+    /// addresses and routes — "unplugging the cable".
+    void detach(std::size_t interface_index);
+
+    /// Moves an existing interface to a different segment with a new
+    /// address (unplug + replug). Keeps the same NIC and interface index.
+    void move(std::size_t interface_index, sim::Link& new_link, net::Ipv4Address addr,
+              net::Prefix subnet, std::optional<net::Ipv4Address> gateway = std::nullopt);
+
+    /// The address of the first configured interface (convenience).
+    net::Ipv4Address address() const;
+
+private:
+    IpStack stack_;
+};
+
+}  // namespace mip::stack

@@ -1,0 +1,40 @@
+#include "stack/interface.h"
+
+#include <limits>
+
+namespace mip::stack {
+
+Interface::Interface(sim::Simulator& simulator, sim::Nic& nic, arp::ArpConfig arp_config)
+    : name_(nic.name()),
+      nic_(&nic),
+      arp_(std::make_unique<arp::ArpEngine>(simulator, nic, arp_config)) {}
+
+Interface::Interface(std::string name, VirtualSender sender)
+    : name_(std::move(name)), sender_(std::move(sender)) {}
+
+void Interface::configure(net::Ipv4Address addr, net::Prefix subnet) {
+    address_ = addr;
+    subnet_ = subnet;
+    if (arp_) {
+        arp_->set_local_address(addr);
+        arp_->flush_cache();  // new segment/new address: old mappings are stale
+    }
+}
+
+void Interface::deconfigure() {
+    address_ = net::Ipv4Address{};
+    subnet_ = net::Prefix{};
+    if (arp_) {
+        arp_->set_local_address(net::Ipv4Address{});
+        arp_->flush_cache();
+    }
+}
+
+std::size_t Interface::mtu() const {
+    if (nic_ != nullptr && nic_->connected()) {
+        return nic_->link()->mtu();
+    }
+    return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace mip::stack

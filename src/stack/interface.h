@@ -1,0 +1,57 @@
+// A stack interface: either physical (NIC + ARP engine) or virtual (a
+// callback that consumes packets — e.g. the Mobile IP encapsulating
+// interface of paper §7: "the routine directs IP to send the packet to our
+// virtual interface, which encapsulates the packet and resubmits it to IP").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arp/arp_engine.h"
+#include "net/ipv4_address.h"
+#include "net/packet.h"
+#include "sim/link.h"
+#include "sim/nic.h"
+
+namespace mip::stack {
+
+class Interface {
+public:
+    using VirtualSender = std::function<void(net::Packet)>;
+
+    /// Physical interface bound to @p nic.
+    Interface(sim::Simulator& simulator, sim::Nic& nic, arp::ArpConfig arp_config = {});
+
+    /// Virtual interface; packets routed here go to @p sender.
+    Interface(std::string name, VirtualSender sender);
+
+    bool is_physical() const noexcept { return nic_ != nullptr; }
+    sim::Nic* nic() const noexcept { return nic_; }
+    arp::ArpEngine* arp() const noexcept { return arp_.get(); }
+    const VirtualSender& virtual_sender() const noexcept { return sender_; }
+    const std::string& name() const noexcept { return name_; }
+
+    /// Assigns an address. Physical interfaces start answering ARP for it.
+    void configure(net::Ipv4Address addr, net::Prefix subnet);
+    void deconfigure();
+    bool configured() const noexcept { return !address_.is_unspecified(); }
+
+    net::Ipv4Address address() const noexcept { return address_; }
+    net::Prefix subnet() const noexcept { return subnet_; }
+
+    /// MTU seen by IP: the link MTU for connected physical interfaces. A
+    /// virtual tunnel interface reports "no limit"; the encapsulated packet
+    /// is fragmented at the physical interface it ultimately leaves by.
+    std::size_t mtu() const;
+
+private:
+    std::string name_;
+    sim::Nic* nic_ = nullptr;
+    std::unique_ptr<arp::ArpEngine> arp_;
+    VirtualSender sender_;
+    net::Ipv4Address address_;
+    net::Prefix subnet_;
+};
+
+}  // namespace mip::stack

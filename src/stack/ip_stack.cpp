@@ -1,0 +1,488 @@
+#include "stack/ip_stack.h"
+
+#include "net/buffer.h"
+
+namespace mip::stack {
+
+IpStack::IpStack(sim::Simulator& simulator, sim::Node& node)
+    : simulator_(simulator), node_(node) {
+    register_protocol(net::IpProto::Icmp,
+                      [this](const net::Packet& p, std::size_t in_iface) {
+                          handle_icmp(p, in_iface);
+                      });
+}
+
+std::size_t IpStack::add_interface(sim::Nic& nic) {
+    const std::size_t index = interfaces_.size();
+    interfaces_.push_back(std::make_unique<Interface>(simulator_, nic));
+    nic.set_handler([this, index](const sim::Frame& frame) { on_frame(index, frame); });
+    return index;
+}
+
+std::size_t IpStack::add_virtual_interface(std::string name, Interface::VirtualSender sender) {
+    interfaces_.push_back(std::make_unique<Interface>(std::move(name), std::move(sender)));
+    return interfaces_.size() - 1;
+}
+
+void IpStack::configure(std::size_t index, net::Ipv4Address addr, net::Prefix subnet,
+                        bool add_connected_route) {
+    Interface& ifc = iface(index);
+    if (ifc.configured()) {
+        deconfigure(index);
+    }
+    ifc.configure(addr, subnet);
+    add_local_address(addr);
+    if (add_connected_route) {
+        routes_.add({subnet, net::Ipv4Address{}, index, 0});
+    }
+}
+
+void IpStack::deconfigure(std::size_t index) {
+    Interface& ifc = iface(index);
+    if (!ifc.configured()) return;
+    remove_local_address(ifc.address());
+    routes_.remove_interface(index);
+    ifc.deconfigure();
+}
+
+void IpStack::add_default_route(net::Ipv4Address gateway, std::size_t interface_index) {
+    routes_.add({net::kDefaultRoute, gateway, interface_index, 0});
+}
+
+void IpStack::add_ingress_filter(std::size_t interface_index,
+                                 std::shared_ptr<const routing::FilterRule> rule) {
+    ingress_filters_[interface_index].push_back(std::move(rule));
+}
+
+void IpStack::add_egress_filter(std::size_t interface_index,
+                                std::shared_ptr<const routing::FilterRule> rule) {
+    egress_filters_[interface_index].push_back(std::move(rule));
+}
+
+void IpStack::add_local_address(net::Ipv4Address addr) {
+    if (addr.is_unspecified()) return;
+    ++local_addresses_[addr];
+}
+
+void IpStack::remove_local_address(net::Ipv4Address addr) {
+    auto it = local_addresses_.find(addr);
+    if (it == local_addresses_.end()) return;
+    if (--it->second <= 0) {
+        local_addresses_.erase(it);
+    }
+}
+
+bool IpStack::is_local_address(net::Ipv4Address addr) const {
+    return local_addresses_.contains(addr);
+}
+
+void IpStack::join_group(net::Ipv4Address group) {
+    if (!group.is_multicast()) {
+        throw std::invalid_argument("join_group: " + group.to_string() +
+                                    " is not a multicast address");
+    }
+    joined_groups_.insert(group);
+}
+
+void IpStack::leave_group(net::Ipv4Address group) {
+    joined_groups_.erase(group);
+}
+
+void IpStack::register_protocol(net::IpProto proto, ProtocolHandler handler) {
+    protocols_[proto] = std::move(handler);
+}
+
+void IpStack::emit_trace(sim::TraceKind kind, std::string detail) {
+    if (!trace_) return;
+    sim::TraceEvent ev;
+    ev.kind = kind;
+    ev.when = simulator_.now();
+    ev.node = node_.name();
+    ev.detail = std::move(detail);
+    trace_(ev);
+}
+
+FlowKey IpStack::flow_from_packet(const net::Packet& packet) {
+    FlowKey flow;
+    flow.bound_src = packet.header().src;
+    flow.dst = packet.header().dst;
+    flow.proto = packet.header().protocol;
+    // For unfragmented TCP/UDP, the ports are the first four payload bytes.
+    if ((flow.proto == net::IpProto::Tcp || flow.proto == net::IpProto::Udp) &&
+        !packet.header().is_fragment() && packet.payload().size() >= 4) {
+        net::BufferReader r(packet.payload());
+        flow.src_port = r.u16();
+        flow.dst_port = r.u16();
+    }
+    return flow;
+}
+
+net::Ipv4Address IpStack::select_source(const FlowKey& flow) const {
+    if (!flow.bound_src.is_unspecified()) {
+        return flow.bound_src;
+    }
+    if (policy_ != nullptr) {
+        if (auto res = policy_->resolve(flow)) {
+            if (!res->source_hint.is_unspecified()) {
+                return res->source_hint;
+            }
+            if (res->kind == Resolution::Kind::Interface &&
+                res->interface_index < interfaces_.size() &&
+                interfaces_[res->interface_index]->configured()) {
+                return interfaces_[res->interface_index]->address();
+            }
+        }
+    }
+    if (flow.dst.is_multicast() || flow.dst.is_broadcast()) {
+        // Link-scope traffic goes out the first configured physical
+        // interface (see send()); source accordingly.
+        for (const auto& ifc : interfaces_) {
+            if (ifc->is_physical() && ifc->configured()) {
+                return ifc->address();
+            }
+        }
+        return net::Ipv4Address{};
+    }
+    if (auto entry = routes_.lookup(flow.dst)) {
+        const Interface& out = iface(entry->interface_index);
+        if (out.configured()) {
+            return out.address();
+        }
+    }
+    return net::Ipv4Address{};
+}
+
+void IpStack::send(net::Packet packet, std::optional<FlowKey> flow_opt) {
+    FlowKey flow = flow_opt ? *flow_opt : flow_from_packet(packet);
+    flow.dst = packet.header().dst;
+    flow.proto = packet.header().protocol;
+
+    if (packet.header().identification == 0) {
+        packet.header().identification = next_ip_id_++;
+        if (next_ip_id_ == 0) next_ip_id_ = 1;
+    }
+
+    // Multicast sends go out the first configured physical interface in a
+    // single link-scope frame (RFC 1112 level-2 host, no routing).
+    if (packet.header().dst.is_multicast()) {
+        for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+            Interface& ifc = *interfaces_[i];
+            if (ifc.is_physical() && ifc.configured()) {
+                if (packet.header().src.is_unspecified()) {
+                    packet.header().src = ifc.address();
+                }
+                ++stats_.packets_sent;
+                const net::Ipv4Address group = packet.header().dst;
+                transmit(std::move(packet), i, group);
+                return;
+            }
+        }
+        ++stats_.no_route_drops;
+        return;
+    }
+
+    Resolution res = Resolution::table();
+    if (policy_ != nullptr) {
+        if (auto r = policy_->resolve(flow)) {
+            res = *r;
+        }
+    }
+
+    // Fill in the source address if the caller left it open.
+    if (packet.header().src.is_unspecified()) {
+        net::Ipv4Address src = res.source_hint;
+        if (src.is_unspecified() && res.kind == Resolution::Kind::Interface &&
+            res.interface_index < interfaces_.size()) {
+            src = interfaces_[res.interface_index]->address();
+        }
+        packet.header().src = src;
+    }
+
+    ++stats_.packets_sent;
+
+    switch (res.kind) {
+        case Resolution::Kind::Loopback:
+            deliver_local(packet, kNoInterface);
+            return;
+        case Resolution::Kind::Interface: {
+            Interface& out = iface(res.interface_index);
+            if (!out.is_physical()) {
+                if (packet.header().src.is_unspecified() && !res.source_hint.is_unspecified()) {
+                    packet.header().src = res.source_hint;
+                }
+                out.virtual_sender()(std::move(packet));
+                return;
+            }
+            net::Ipv4Address next_hop =
+                res.next_hop.is_unspecified() ? packet.header().dst : res.next_hop;
+            transmit(std::move(packet), res.interface_index, next_hop);
+            return;
+        }
+        case Resolution::Kind::Table:
+            break;
+    }
+
+    if (is_local_address(packet.header().dst)) {
+        deliver_local(packet, kNoInterface);
+        return;
+    }
+    auto entry = routes_.lookup(packet.header().dst);
+    if (!entry) {
+        ++stats_.no_route_drops;
+        emit_trace(sim::TraceKind::NoRoute, "send: no route to " +
+                                                packet.header().dst.to_string());
+        return;
+    }
+    Interface& out = iface(entry->interface_index);
+    if (packet.header().src.is_unspecified()) {
+        packet.header().src = out.address();
+    }
+    if (!out.is_physical()) {
+        out.virtual_sender()(std::move(packet));
+        return;
+    }
+    const net::Ipv4Address next_hop = entry->on_link() ? packet.header().dst : entry->gateway;
+    transmit(std::move(packet), entry->interface_index, next_hop);
+}
+
+void IpStack::transmit(net::Packet packet, std::size_t interface_index,
+                       net::Ipv4Address next_hop) {
+    Interface& out = iface(interface_index);
+    if (!out.is_physical() || out.nic() == nullptr || !out.nic()->connected()) {
+        ++stats_.no_route_drops;
+        emit_trace(sim::TraceKind::NoRoute, "transmit: interface down");
+        return;
+    }
+    // Egress filters run on the full datagram before fragmentation.
+    if (!run_filters(egress_filters_[interface_index], packet,
+                     &stats_.egress_filter_drops)) {
+        return;
+    }
+    const std::size_t mtu = out.mtu();
+    std::vector<net::Packet> pieces;
+    try {
+        pieces = net::fragment(packet, mtu);
+    } catch (const std::invalid_argument&) {
+        emit_trace(sim::TraceKind::FrameTooBig, "DF set and packet exceeds MTU");
+        return;
+    }
+    if (pieces.size() > 1) {
+        stats_.fragments_sent += pieces.size();
+    }
+    for (auto& piece : pieces) {
+        transmit_one(std::move(piece), interface_index, next_hop);
+    }
+}
+
+void IpStack::send_direct(net::Packet packet, std::size_t interface_index,
+                          net::Ipv4Address next_hop) {
+    if (packet.header().identification == 0) {
+        packet.header().identification = next_ip_id_++;
+        if (next_ip_id_ == 0) next_ip_id_ = 1;
+    }
+    ++stats_.packets_sent;
+    if (next_hop.is_unspecified()) {
+        next_hop = packet.header().dst;
+    }
+    transmit(std::move(packet), interface_index, next_hop);
+}
+
+void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
+                           net::Ipv4Address next_hop) {
+    Interface& out = iface(interface_index);
+    arp::ArpEngine* arp = out.arp();
+    sim::Nic* nic = out.nic();
+    auto wire = fragment.to_wire();
+    if (next_hop.is_broadcast() || next_hop.is_multicast()) {
+        sim::Frame frame;
+        frame.dst = next_hop.is_broadcast()
+                        ? sim::MacAddress::broadcast()
+                        : sim::MacAddress::multicast_for(next_hop.value());
+        frame.type = net::EtherType::Ipv4;
+        frame.payload = std::move(wire);
+        nic->send(std::move(frame));
+        return;
+    }
+    arp->resolve(next_hop, [this, nic, wire = std::move(wire)](
+                               std::optional<sim::MacAddress> mac) {
+        if (!mac) {
+            ++stats_.arp_failures;
+            emit_trace(sim::TraceKind::NoRoute, "ARP resolution failed");
+            return;
+        }
+        sim::Frame frame;
+        frame.dst = *mac;
+        frame.type = net::EtherType::Ipv4;
+        frame.payload = wire;
+        nic->send(std::move(frame));
+    });
+}
+
+void IpStack::on_frame(std::size_t interface_index, const sim::Frame& frame) {
+    switch (frame.type) {
+        case net::EtherType::Arp: {
+            Interface& ifc = iface(interface_index);
+            if (ifc.arp() != nullptr) {
+                ifc.arp()->handle_frame(frame);
+            }
+            return;
+        }
+        case net::EtherType::Ipv4:
+            on_ip_frame(interface_index, frame);
+            return;
+    }
+}
+
+void IpStack::on_ip_frame(std::size_t interface_index, const sim::Frame& frame) {
+    net::Packet packet;
+    try {
+        packet = net::Packet::from_wire(frame.payload);
+    } catch (const net::ParseError&) {
+        return;  // corrupted packets vanish, as on a real wire
+    }
+    ++stats_.packets_received;
+
+    if (!run_filters(ingress_filters_[interface_index], packet,
+                     &stats_.ingress_filter_drops)) {
+        return;
+    }
+
+    if (packet.header().dst.is_multicast()) {
+        // Multicast is link-scoped in this simulator (no IGMP/DVMRP):
+        // deliver if joined, never forward.
+        if (joined_groups_.contains(packet.header().dst)) {
+            deliver_local(packet, interface_index);
+        }
+        return;
+    }
+    if (is_local_address(packet.header().dst) || packet.header().dst.is_broadcast()) {
+        deliver_local(packet, interface_index);
+        return;
+    }
+    forward(std::move(packet), interface_index);
+}
+
+void IpStack::forward(net::Packet packet, std::size_t in_interface) {
+    if (forward_interceptor_ && forward_interceptor_(packet, in_interface)) {
+        return;  // consumed (e.g. home agent captured a proxy-ARP'd packet)
+    }
+    if (!forwarding_) {
+        return;  // hosts silently drop traffic not addressed to them
+    }
+    if (!packet.decrement_ttl()) {
+        ++stats_.ttl_drops;
+        emit_trace(sim::TraceKind::TtlExpired,
+                   "dst " + packet.header().dst.to_string());
+        return;
+    }
+    auto entry = routes_.lookup(packet.header().dst);
+    if (!entry) {
+        ++stats_.no_route_drops;
+        emit_trace(sim::TraceKind::NoRoute,
+                   "forward: no route to " + packet.header().dst.to_string());
+        return;
+    }
+    ++stats_.packets_forwarded;
+    const net::Ipv4Address next_hop = entry->on_link() ? packet.header().dst : entry->gateway;
+    transmit(std::move(packet), entry->interface_index, next_hop);
+}
+
+bool IpStack::run_filters(
+    const std::vector<std::shared_ptr<const routing::FilterRule>>& rules,
+    const net::Packet& packet, std::size_t* drop_counter) {
+    const net::Ipv4Header& header = packet.header();
+    for (const auto& rule : rules) {
+        if (rule->evaluate(header) == routing::FilterVerdict::Drop) {
+            ++*drop_counter;
+            emit_trace(sim::TraceKind::FilterDrop,
+                       rule->describe() + " [src " + header.src.to_string() + " dst " +
+                           header.dst.to_string() + "]");
+            if (filter_feedback_) {
+                send_filter_feedback(packet);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+void IpStack::send_filter_feedback(const net::Packet& dropped) {
+    // Never generate ICMP errors about ICMP (avoids error storms; a
+    // simplification of RFC 1122's "never about ICMP *errors*").
+    if (dropped.header().protocol == net::IpProto::Icmp) {
+        return;
+    }
+    net::IcmpMessage msg;
+    msg.type = net::IcmpType::DestinationUnreachable;
+    msg.code = static_cast<std::uint8_t>(
+        net::IcmpUnreachableCode::CommunicationAdministrativelyProhibited);
+    // Body: the dropped datagram's header plus the first 8 payload bytes
+    // (RFC 792), enough for the source to identify the flow.
+    net::BufferWriter w;
+    net::Ipv4Header h = dropped.header();
+    h.serialize(w);
+    const auto head = dropped.payload().subspan(0, std::min<std::size_t>(8, dropped.payload().size()));
+    w.bytes(head);
+    msg.body = w.take();
+    // Source the error from our first configured interface (the inside,
+    // domain-addressed one on a boundary router) so the error itself
+    // survives our own egress anti-spoofing rules.
+    net::Ipv4Address src;
+    for (const auto& ifc : interfaces_) {
+        if (ifc->is_physical() && ifc->configured()) {
+            src = ifc->address();
+            break;
+        }
+    }
+    send_icmp(dropped.header().src, msg, src);
+}
+
+void IpStack::deliver_local(const net::Packet& packet, std::size_t in_interface) {
+    std::optional<net::Packet> complete = packet;
+    if (packet.header().is_fragment()) {
+        complete = reassembler_.add(packet, simulator_.now());
+        reassembler_.expire(simulator_.now());
+        if (!complete) {
+            return;  // waiting for more fragments
+        }
+        ++stats_.reassembled;
+    }
+    ++stats_.packets_delivered;
+    if (complete->header().dst.is_multicast() && multicast_observer_) {
+        multicast_observer_(*complete);
+    }
+    auto it = protocols_.find(complete->header().protocol);
+    if (it != protocols_.end()) {
+        it->second(*complete, in_interface);
+    }
+}
+
+void IpStack::handle_icmp(const net::Packet& packet, std::size_t in_interface) {
+    (void)in_interface;
+    net::IcmpMessage msg;
+    try {
+        net::BufferReader r(packet.payload());
+        msg = net::IcmpMessage::parse(r);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    if (msg.type == net::IcmpType::EchoRequest) {
+        net::IcmpMessage reply = msg;
+        reply.type = net::IcmpType::EchoReply;
+        send_icmp(packet.header().src, reply, packet.header().dst);
+        return;
+    }
+    for (const auto& observer : icmp_observers_) {
+        observer(msg, packet);
+    }
+}
+
+void IpStack::send_icmp(net::Ipv4Address dst, const net::IcmpMessage& message,
+                        net::Ipv4Address src) {
+    net::BufferWriter w;
+    message.serialize(w);
+    net::Packet packet = net::make_packet(src, dst, net::IpProto::Icmp, w.take());
+    send(std::move(packet));
+}
+
+}  // namespace mip::stack

@@ -1,0 +1,93 @@
+// The policy-routing hook — the paper's central implementation idea (§7):
+//
+//   "We override the IP route lookup routine and replace it with a routine
+//    that consults a mobility policy table before the usual route table.
+//    This allows us to control, on a packet by packet basis, whether a
+//    packet should use Mobile IP, and if so which interface to use."
+//
+// IpStack::send() and IpStack::select_source() both consult the installed
+// RouteResolver before the forwarding table, so one policy object captures
+// every decision point — including TCP's choice of connection endpoint
+// address — "without any extra special-case work".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4_address.h"
+#include "net/protocol.h"
+
+namespace mip::stack {
+
+/// Everything the policy layer may key its decision on: the addresses, the
+/// transport protocol and ports (for the paper's §7.1.1 port-number
+/// heuristics), whether the sending socket explicitly bound a source
+/// address, and whether this packet is a retransmission (the §7.1.2
+/// original-vs-retransmission delivery-failure signal).
+struct FlowKey {
+    net::Ipv4Address bound_src;  ///< unspecified when the socket didn't bind
+    net::Ipv4Address dst;
+    net::IpProto proto = net::IpProto::Udp;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    bool retransmission = false;
+};
+
+/// Where a packet should go, as decided by policy or the forwarding table.
+struct Resolution {
+    enum class Kind {
+        /// Fall through to the normal forwarding table for the next hop,
+        /// but honour source_hint (e.g. Out-DH: home source, normal route).
+        Table,
+        /// Send through a specific interface. For a virtual (tunnel)
+        /// interface this hands the packet to the encapsulator; for a
+        /// physical one, next_hop (or the destination itself when
+        /// unspecified) is ARP-resolved on that link.
+        Interface,
+        /// Deliver locally (destination is one of our own addresses).
+        Loopback,
+    };
+
+    Kind kind = Kind::Table;
+    std::size_t interface_index = 0;
+    /// Link-layer next hop for Kind::Interface on a physical interface.
+    /// Unspecified = the destination address itself (on-link delivery).
+    /// The Row C trick — reaching a mobile host's *home* address in one
+    /// link-layer hop — is expressed as next_hop = care-of address.
+    net::Ipv4Address next_hop;
+    /// Source address the packet should carry if its header doesn't
+    /// already pin one. Unspecified = use the outgoing interface address.
+    net::Ipv4Address source_hint;
+
+    static Resolution table(net::Ipv4Address source_hint = {}) {
+        Resolution r;
+        r.kind = Kind::Table;
+        r.source_hint = source_hint;
+        return r;
+    }
+    static Resolution via_interface(std::size_t index, net::Ipv4Address next_hop = {},
+                                    net::Ipv4Address source_hint = {}) {
+        Resolution r;
+        r.kind = Kind::Interface;
+        r.interface_index = index;
+        r.next_hop = next_hop;
+        r.source_hint = source_hint;
+        return r;
+    }
+    static Resolution loopback() {
+        Resolution r;
+        r.kind = Kind::Loopback;
+        return r;
+    }
+};
+
+class RouteResolver {
+public:
+    virtual ~RouteResolver() = default;
+
+    /// Returns nullopt to fall through to the normal forwarding table with
+    /// default source selection.
+    virtual std::optional<Resolution> resolve(const FlowKey& flow) = 0;
+};
+
+}  // namespace mip::stack

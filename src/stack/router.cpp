@@ -1,0 +1,37 @@
+#include "stack/router.h"
+
+namespace mip::stack {
+
+Router::Router(sim::Simulator& simulator, std::string name)
+    : sim::Node(simulator, std::move(name)), stack_(simulator, *this) {
+    stack_.set_forwarding(true);
+}
+
+std::size_t Router::attach(sim::Link& link, net::Ipv4Address addr, net::Prefix subnet) {
+    sim::Nic& n = add_nic();
+    n.connect(link);
+    const std::size_t index = stack_.add_interface(n);
+    stack_.configure(index, addr, subnet);
+    return index;
+}
+
+void Router::add_route(net::Prefix prefix, net::Ipv4Address gateway,
+                       std::size_t interface_index, int metric) {
+    stack_.routes().add({prefix, gateway, interface_index, metric});
+}
+
+void Router::add_default_route(net::Ipv4Address gateway, std::size_t interface_index) {
+    stack_.add_default_route(gateway, interface_index);
+}
+
+void Router::add_ingress_filter(std::size_t interface_index,
+                                std::shared_ptr<const routing::FilterRule> rule) {
+    stack_.add_ingress_filter(interface_index, std::move(rule));
+}
+
+void Router::add_egress_filter(std::size_t interface_index,
+                               std::shared_ptr<const routing::FilterRule> rule) {
+    stack_.add_egress_filter(interface_index, std::move(rule));
+}
+
+}  // namespace mip::stack

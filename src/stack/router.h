@@ -1,0 +1,36 @@
+// An IP router: a node whose stack forwards, with per-interface policy
+// filters. Boundary routers in the scenarios are Routers carrying the
+// filter rules from routing/filters.h.
+#pragma once
+
+#include "routing/filters.h"
+#include "sim/node.h"
+#include "stack/ip_stack.h"
+
+namespace mip::stack {
+
+class Router : public sim::Node {
+public:
+    Router(sim::Simulator& simulator, std::string name);
+
+    IpStack& stack() noexcept { return stack_; }
+    const IpStack& stack() const noexcept { return stack_; }
+
+    /// Connects a new interface to @p link with address @p addr. Returns
+    /// the interface index.
+    std::size_t attach(sim::Link& link, net::Ipv4Address addr, net::Prefix subnet);
+
+    void add_route(net::Prefix prefix, net::Ipv4Address gateway, std::size_t interface_index,
+                   int metric = 0);
+    void add_default_route(net::Ipv4Address gateway, std::size_t interface_index);
+
+    void add_ingress_filter(std::size_t interface_index,
+                            std::shared_ptr<const routing::FilterRule> rule);
+    void add_egress_filter(std::size_t interface_index,
+                           std::shared_ptr<const routing::FilterRule> rule);
+
+private:
+    IpStack stack_;
+};
+
+}  // namespace mip::stack

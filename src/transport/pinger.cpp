@@ -1,0 +1,53 @@
+#include "transport/pinger.h"
+
+namespace mip::transport {
+
+std::uint16_t Pinger::next_ident_ = 1;
+
+Pinger::Pinger(stack::IpStack& ip) : ip_(ip), ident_(next_ident_++) {
+    ip_.add_icmp_observer([this](const net::IcmpMessage& msg, const net::Packet& packet) {
+        on_icmp(msg, packet);
+    });
+}
+
+void Pinger::ping(net::Ipv4Address dst, Callback cb, sim::Duration timeout,
+                  std::size_t payload_size, net::Ipv4Address src) {
+    const std::uint16_t seq = next_seq_++;
+
+    net::IcmpMessage msg;
+    msg.type = net::IcmpType::EchoRequest;
+    msg.rest_of_header = static_cast<std::uint32_t>(ident_) << 16 | seq;
+    msg.body.assign(payload_size, 0xa5);
+
+    Outstanding out;
+    out.sent_at = ip_.simulator().now();
+    out.callback = std::move(cb);
+    out.timeout_event = ip_.simulator().schedule_in(timeout, [this, seq] {
+        auto it = outstanding_.find(seq);
+        if (it == outstanding_.end()) return;
+        auto callback = std::move(it->second.callback);
+        outstanding_.erase(it);
+        callback(std::nullopt);
+    });
+    outstanding_[seq] = std::move(out);
+    ++sent_;
+
+    ip_.send_icmp(dst, msg, src);
+}
+
+void Pinger::on_icmp(const net::IcmpMessage& msg, const net::Packet&) {
+    if (msg.type != net::IcmpType::EchoReply) return;
+    const std::uint16_t ident = static_cast<std::uint16_t>(msg.rest_of_header >> 16);
+    const std::uint16_t seq = static_cast<std::uint16_t>(msg.rest_of_header & 0xffff);
+    if (ident != ident_) return;
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    ip_.simulator().cancel(it->second.timeout_event);
+    const sim::Duration rtt = ip_.simulator().now() - it->second.sent_at;
+    auto callback = std::move(it->second.callback);
+    outstanding_.erase(it);
+    ++received_;
+    callback(rtt);
+}
+
+}  // namespace mip::transport

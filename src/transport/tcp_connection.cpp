@@ -1,0 +1,293 @@
+#include "transport/tcp_connection.h"
+
+#include "net/packet.h"
+#include "transport/tcp_service.h"
+
+namespace mip::transport {
+
+std::string TcpEndpoints::to_string() const {
+    return local_addr.to_string() + ":" + std::to_string(local_port) + " <-> " +
+           remote_addr.to_string() + ":" + std::to_string(remote_port);
+}
+
+std::string to_string(TcpState s) {
+    switch (s) {
+        case TcpState::SynSent: return "syn-sent";
+        case TcpState::SynReceived: return "syn-received";
+        case TcpState::Established: return "established";
+        case TcpState::FinWait: return "fin-wait";
+        case TcpState::CloseWait: return "close-wait";
+        case TcpState::LastAck: return "last-ack";
+        case TcpState::Closed: return "closed";
+        case TcpState::Reset: return "reset";
+        case TcpState::Failed: return "failed";
+    }
+    return "?";
+}
+
+TcpConnection::TcpConnection(TcpService& service, TcpEndpoints endpoints, TcpConfig config,
+                             bool active)
+    : service_(service),
+      endpoints_(endpoints),
+      config_(config),
+      state_(active ? TcpState::SynSent : TcpState::SynReceived) {
+    snd_una_ = config_.initial_seq;
+    snd_nxt_ = config_.initial_seq;
+    snd_base_ = config_.initial_seq + 1;  // SYN consumes one sequence number
+}
+
+void TcpConnection::enter(TcpState next) {
+    if (state_ == next) return;
+    state_ = next;
+    if (!alive()) {
+        cancel_timer();
+    }
+    if (on_state_) on_state_(next);
+}
+
+std::uint32_t TcpConnection::snd_limit() const {
+    return snd_base_ + static_cast<std::uint32_t>(sendbuf_.size()) + (fin_queued_ ? 1 : 0);
+}
+
+void TcpConnection::start_active_open() {
+    send_segment(net::kTcpSyn, snd_nxt_, {}, false);
+    snd_nxt_ += 1;
+    arm_timer();
+}
+
+void TcpConnection::send(std::vector<std::uint8_t> data) {
+    if (!alive() || fin_queued_) {
+        return;  // sending after close() is a programming error; drop quietly
+    }
+    stats_.bytes_sent += data.size();
+    sendbuf_.insert(sendbuf_.end(), data.begin(), data.end());
+    if (state_ == TcpState::Established || state_ == TcpState::CloseWait) {
+        pump();
+    }
+}
+
+void TcpConnection::close() {
+    if (!alive() || fin_queued_) return;
+    fin_queued_ = true;
+    if (state_ == TcpState::Established || state_ == TcpState::CloseWait) {
+        pump();
+    }
+}
+
+void TcpConnection::abort() {
+    if (!alive()) return;
+    send_segment(net::kTcpRst, snd_nxt_, {}, false);
+    enter(TcpState::Reset);
+}
+
+void TcpConnection::pump() {
+    // Transmit all queued data not yet sent (no congestion/flow control).
+    while (snd_nxt_ < snd_base_ + sendbuf_.size()) {
+        const std::uint32_t offset = snd_nxt_ - snd_base_;
+        const std::size_t n =
+            std::min<std::size_t>(config_.mss, sendbuf_.size() - offset);
+        std::vector<std::uint8_t> chunk(sendbuf_.begin() + offset,
+                                        sendbuf_.begin() + offset + static_cast<long>(n));
+        send_segment(net::kTcpAck | net::kTcpPsh, snd_nxt_, chunk, false);
+        snd_nxt_ += static_cast<std::uint32_t>(n);
+    }
+    if (fin_queued_ && !fin_sent_ && snd_nxt_ == snd_base_ + sendbuf_.size()) {
+        send_segment(net::kTcpFin | net::kTcpAck, snd_nxt_, {}, false);
+        snd_nxt_ += 1;
+        fin_sent_ = true;
+        if (state_ == TcpState::Established) enter(TcpState::FinWait);
+        else if (state_ == TcpState::CloseWait) enter(TcpState::LastAck);
+    }
+    if (snd_nxt_ > snd_una_) {
+        arm_timer();
+    }
+}
+
+void TcpConnection::send_segment(std::uint8_t flags, std::uint32_t seq,
+                                 std::span<const std::uint8_t> payload, bool retransmission) {
+    net::TcpHeader seg;
+    seg.src_port = endpoints_.local_port;
+    seg.dst_port = endpoints_.remote_port;
+    seg.seq = seq;
+    seg.flags = flags;
+    if (flags & net::kTcpAck) {
+        seg.ack = rcv_nxt_;
+    }
+
+    net::BufferWriter w(net::kTcpHeaderSize + payload.size());
+    seg.serialize(w, endpoints_.local_addr, endpoints_.remote_addr, payload);
+
+    stack::FlowKey flow;
+    flow.bound_src = endpoints_.local_addr;
+    flow.dst = endpoints_.remote_addr;
+    flow.proto = net::IpProto::Tcp;
+    flow.src_port = endpoints_.local_port;
+    flow.dst_port = endpoints_.remote_port;
+    flow.retransmission = retransmission;
+
+    ++stats_.segments_sent;
+    if (retransmission) {
+        ++stats_.retransmissions;
+        service_.notify_retransmit(endpoints_, /*inbound=*/false);
+    }
+
+    net::Packet packet = net::make_packet(endpoints_.local_addr, endpoints_.remote_addr,
+                                          net::IpProto::Tcp, w.take());
+    service_.ip().send(std::move(packet), flow);
+}
+
+void TcpConnection::send_ack() {
+    send_segment(net::kTcpAck, snd_nxt_, {}, false);
+}
+
+void TcpConnection::arm_timer() {
+    cancel_timer();
+    const sim::Duration timeout = config_.rto << std::min(backoff_, 16u);
+    rto_timer_ = service_.ip().simulator().schedule_in(timeout, [this] {
+        timer_armed_ = false;
+        on_timeout();
+    });
+    timer_armed_ = true;
+}
+
+void TcpConnection::cancel_timer() {
+    if (timer_armed_) {
+        service_.ip().simulator().cancel(rto_timer_);
+        timer_armed_ = false;
+    }
+}
+
+void TcpConnection::on_timeout() {
+    if (!alive() || snd_una_ == snd_nxt_) {
+        return;  // everything acked in the meantime
+    }
+    ++backoff_;
+    if (backoff_ > config_.max_retries) {
+        enter(TcpState::Failed);
+        return;
+    }
+
+    // Retransmit the oldest unacknowledged item.
+    if (snd_una_ < snd_base_) {
+        // The SYN (active) or SYN|ACK (passive) is outstanding.
+        const std::uint8_t flags =
+            state_ == TcpState::SynSent
+                ? static_cast<std::uint8_t>(net::kTcpSyn)
+                : static_cast<std::uint8_t>(net::kTcpSyn | net::kTcpAck);
+        send_segment(flags, snd_una_, {}, true);
+    } else if (snd_una_ < snd_base_ + sendbuf_.size()) {
+        const std::uint32_t offset = snd_una_ - snd_base_;
+        const std::size_t n =
+            std::min<std::size_t>(config_.mss, sendbuf_.size() - offset);
+        std::vector<std::uint8_t> chunk(sendbuf_.begin() + offset,
+                                        sendbuf_.begin() + offset + static_cast<long>(n));
+        send_segment(net::kTcpAck | net::kTcpPsh, snd_una_, chunk, true);
+    } else if (fin_sent_) {
+        send_segment(net::kTcpFin | net::kTcpAck, snd_una_, {}, true);
+    }
+    arm_timer();
+}
+
+void TcpConnection::on_segment(const net::TcpHeader& seg,
+                               std::span<const std::uint8_t> payload) {
+    if (!alive()) return;
+
+    if (seg.rst()) {
+        enter(TcpState::Reset);
+        return;
+    }
+
+    // --- connection establishment ------------------------------------------
+    if (state_ == TcpState::SynSent) {
+        if (seg.syn() && seg.ack_set() && seg.ack == snd_nxt_) {
+            rcv_nxt_ = seg.seq + 1;
+            snd_una_ = seg.ack;
+            backoff_ = 0;
+            cancel_timer();
+            enter(TcpState::Established);
+            service_.notify_progress(endpoints_);
+            send_ack();
+            pump();
+        }
+        return;
+    }
+    if (state_ == TcpState::SynReceived) {
+        if (seg.syn() && !seg.ack_set()) {
+            // Duplicate SYN: our SYN|ACK was lost; resend via timer path.
+            send_segment(net::kTcpSyn | net::kTcpAck, snd_una_, {}, true);
+            return;
+        }
+        if (seg.ack_set() && seg.ack == snd_nxt_) {
+            snd_una_ = seg.ack;
+            backoff_ = 0;
+            cancel_timer();
+            enter(TcpState::Established);
+            // fall through: the ACK may carry data
+        } else {
+            return;
+        }
+    }
+
+    // --- acknowledgement processing ----------------------------------------
+    if (seg.ack_set() && seg.ack > snd_una_ && seg.ack <= snd_nxt_) {
+        snd_una_ = seg.ack;
+        backoff_ = 0;
+        service_.notify_progress(endpoints_);
+        const std::uint32_t data_end = snd_base_ + static_cast<std::uint32_t>(sendbuf_.size());
+        if (snd_una_ > snd_base_) {
+            const std::uint32_t acked_data = std::min(snd_una_, data_end) - snd_base_;
+            sendbuf_.erase(sendbuf_.begin(), sendbuf_.begin() + acked_data);
+            snd_base_ += acked_data;
+            stats_.bytes_acked += acked_data;
+        }
+        if (snd_una_ == snd_nxt_) {
+            cancel_timer();
+            if (fin_sent_) {
+                if (state_ == TcpState::LastAck) {
+                    enter(TcpState::Closed);
+                } else if (state_ == TcpState::FinWait && fin_received_) {
+                    enter(TcpState::Closed);
+                }
+            }
+        } else {
+            arm_timer();
+        }
+    }
+
+    // --- inbound data / FIN --------------------------------------------------
+    const bool has_fin = seg.fin();
+    const std::uint32_t seg_len =
+        static_cast<std::uint32_t>(payload.size()) + (has_fin ? 1u : 0u);
+    if (seg_len == 0) {
+        return;
+    }
+
+    if (seg.seq == rcv_nxt_) {
+        if (!payload.empty()) {
+            rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
+            stats_.bytes_received += payload.size();
+            if (on_data_) on_data_(payload);
+        }
+        if (has_fin) {
+            rcv_nxt_ += 1;
+            fin_received_ = true;
+            if (state_ == TcpState::Established) {
+                enter(TcpState::CloseWait);
+            } else if (state_ == TcpState::FinWait && fin_sent_ && snd_una_ == snd_nxt_) {
+                enter(TcpState::Closed);
+            }
+        }
+        send_ack();
+    } else if (seg.seq < rcv_nxt_) {
+        // Duplicate: the peer is retransmitting — our ACKs may be getting
+        // lost. Surface the signal (paper §7.1.2) and re-ACK.
+        ++stats_.duplicate_segments_received;
+        service_.notify_retransmit(endpoints_, /*inbound=*/true);
+        send_ack();
+    } else {
+        // Out of order (a gap): this simplified TCP does not buffer it.
+        send_ack();
+    }
+}
+
+}  // namespace mip::transport

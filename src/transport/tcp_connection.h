@@ -1,0 +1,145 @@
+// A TCP-like reliable, connection-oriented transport.
+//
+// Deliberately simplified where the paper doesn't need fidelity (no
+// congestion control, no window management, in-order-only reassembly) but
+// faithful where it does:
+//
+//  * Connection endpoints are (address, port) pairs fixed at setup — so a
+//    connection carried on a temporary care-of address breaks when the
+//    host moves (Row D / Out-DT), while one carried on the home address
+//    survives any number of moves.
+//  * Lost segments are retransmitted on an RTO with exponential backoff,
+//    and every retransmitted segment is flagged in its FlowKey — the
+//    §7.1.2 "original packet or retransmission" signal the paper proposes
+//    adding to the IP interface.
+//  * Duplicate inbound segments are detected and surfaced, implementing
+//    the paper's "repeated retransmissions *from* a particular address
+//    suggest that acknowledgements are not getting through".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/tcp_header.h"
+#include "sim/simulator.h"
+#include "stack/route_resolver.h"
+
+namespace mip::transport {
+
+class TcpService;
+
+struct TcpEndpoints {
+    net::Ipv4Address local_addr;
+    std::uint16_t local_port = 0;
+    net::Ipv4Address remote_addr;
+    std::uint16_t remote_port = 0;
+
+    auto operator<=>(const TcpEndpoints&) const = default;
+    std::string to_string() const;
+};
+
+struct TcpConfig {
+    std::size_t mss = 1000;                       ///< app bytes per segment
+    sim::Duration rto = sim::milliseconds(200);   ///< initial retransmission timeout
+    unsigned max_retries = 8;                     ///< give up after this many RTOs
+    std::uint32_t initial_seq = 1000;
+};
+
+enum class TcpState {
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait,     ///< we sent FIN, awaiting its ack (and possibly peer FIN)
+    CloseWait,   ///< peer sent FIN; we may still send, then close
+    LastAck,     ///< peer closed first and we've now sent our FIN
+    Closed,      ///< orderly shutdown complete
+    Reset,       ///< peer sent RST
+    Failed,      ///< retransmissions exhausted — the connection timed out
+};
+
+std::string to_string(TcpState s);
+
+class TcpConnection {
+public:
+    using DataCallback = std::function<void(std::span<const std::uint8_t>)>;
+    using StateCallback = std::function<void(TcpState)>;
+
+    const TcpEndpoints& endpoints() const noexcept { return endpoints_; }
+    TcpState state() const noexcept { return state_; }
+    bool established() const noexcept { return state_ == TcpState::Established; }
+    bool alive() const noexcept {
+        return state_ != TcpState::Closed && state_ != TcpState::Reset &&
+               state_ != TcpState::Failed;
+    }
+
+    void set_data_callback(DataCallback cb) { on_data_ = std::move(cb); }
+    void set_state_callback(StateCallback cb) { on_state_ = std::move(cb); }
+
+    /// Queues application data for reliable delivery.
+    void send(std::vector<std::uint8_t> data);
+
+    /// Initiates an orderly close once all queued data is acknowledged.
+    void close();
+
+    /// Drops the connection immediately with a RST to the peer.
+    void abort();
+
+    struct Stats {
+        std::size_t bytes_sent = 0;        ///< app bytes handed to send()
+        std::size_t bytes_acked = 0;
+        std::size_t bytes_received = 0;
+        std::size_t segments_sent = 0;     ///< includes retransmissions
+        std::size_t retransmissions = 0;
+        std::size_t duplicate_segments_received = 0;
+    };
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    friend class TcpService;
+
+    TcpConnection(TcpService& service, TcpEndpoints endpoints, TcpConfig config, bool active);
+
+    void start_active_open();
+    void on_segment(const net::TcpHeader& seg, std::span<const std::uint8_t> payload);
+    void send_segment(std::uint8_t flags, std::uint32_t seq,
+                      std::span<const std::uint8_t> payload, bool retransmission);
+    void send_ack();
+    void pump();  ///< transmit whatever the window/state allows
+    void arm_timer();
+    void cancel_timer();
+    void on_timeout();
+    void enter(TcpState next);
+    /// Sequence number one past everything we have ever queued (incl. FIN).
+    std::uint32_t snd_limit() const;
+
+    TcpService& service_;
+    TcpEndpoints endpoints_;
+    TcpConfig config_;
+    TcpState state_;
+    Stats stats_;
+
+    // Send side. sendbuf_ holds unacknowledged + unsent app bytes starting
+    // at sequence snd_base_.
+    std::deque<std::uint8_t> sendbuf_;
+    std::uint32_t snd_base_ = 0;  ///< seq of sendbuf_[0]
+    std::uint32_t snd_una_ = 0;
+    std::uint32_t snd_nxt_ = 0;
+    bool fin_queued_ = false;
+    bool fin_sent_ = false;
+    bool fin_received_ = false;
+
+    // Receive side.
+    std::uint32_t rcv_nxt_ = 0;
+
+    sim::EventId rto_timer_ = 0;
+    bool timer_armed_ = false;
+    unsigned backoff_ = 0;
+
+    DataCallback on_data_;
+    StateCallback on_state_;
+};
+
+}  // namespace mip::transport

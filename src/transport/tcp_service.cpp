@@ -1,0 +1,139 @@
+#include "transport/tcp_service.h"
+
+#include "net/tcp_header.h"
+
+namespace mip::transport {
+
+TcpService::TcpService(stack::IpStack& ip, TcpConfig config) : ip_(ip), config_(config) {
+    ip_.register_protocol(net::IpProto::Tcp,
+                          [this](const net::Packet& p, std::size_t) { on_packet(p); });
+}
+
+std::uint16_t TcpService::ephemeral_port() {
+    // Linear probe: fine at simulation scale.
+    for (;;) {
+        const std::uint16_t port = next_ephemeral_++;
+        if (next_ephemeral_ == 0) next_ephemeral_ = 40000;
+        bool in_use = false;
+        for (const auto& [ep, conn] : connections_) {
+            if (ep.local_port == port) {
+                in_use = true;
+                break;
+            }
+        }
+        if (!in_use) return port;
+    }
+}
+
+TcpConnection& TcpService::connect(net::Ipv4Address remote, std::uint16_t remote_port,
+                                   net::Ipv4Address bound_src) {
+    TcpEndpoints ep;
+    ep.remote_addr = remote;
+    ep.remote_port = remote_port;
+    ep.local_port = ephemeral_port();
+
+    // The endpoint-identifier decision (paper §7): an explicit bind wins;
+    // otherwise the policy layer / source selection chooses, and that
+    // address is the connection's identity for its whole lifetime.
+    if (!bound_src.is_unspecified()) {
+        ep.local_addr = bound_src;
+    } else {
+        stack::FlowKey flow;
+        flow.dst = remote;
+        flow.proto = net::IpProto::Tcp;
+        flow.src_port = ep.local_port;
+        flow.dst_port = remote_port;
+        ep.local_addr = ip_.select_source(flow);
+    }
+
+    auto conn = std::unique_ptr<TcpConnection>(
+        new TcpConnection(*this, ep, config_, /*active=*/true));
+    TcpConnection& ref = *conn;
+    connections_[ep] = std::move(conn);
+    ref.start_active_open();
+    return ref;
+}
+
+void TcpService::listen(std::uint16_t port, AcceptCallback on_accept) {
+    listeners_[port] = std::move(on_accept);
+}
+
+void TcpService::stop_listening(std::uint16_t port) {
+    listeners_.erase(port);
+}
+
+void TcpService::reap() {
+    std::erase_if(connections_, [](const auto& kv) { return !kv.second->alive(); });
+}
+
+void TcpService::notify_retransmit(const TcpEndpoints& ep, bool inbound) {
+    if (retransmit_observer_) {
+        retransmit_observer_(ep, inbound);
+    }
+}
+
+void TcpService::notify_progress(const TcpEndpoints& ep) {
+    if (progress_observer_) {
+        progress_observer_(ep);
+    }
+}
+
+void TcpService::send_rst(const net::Packet& packet, const net::TcpHeader& seg) {
+    net::TcpHeader rst;
+    rst.src_port = seg.dst_port;
+    rst.dst_port = seg.src_port;
+    rst.seq = seg.ack_set() ? seg.ack : 0;
+    rst.ack = seg.seq + 1;
+    rst.flags = net::kTcpRst | net::kTcpAck;
+
+    net::BufferWriter w(net::kTcpHeaderSize);
+    rst.serialize(w, packet.header().dst, packet.header().src, {});
+    net::Packet out = net::make_packet(packet.header().dst, packet.header().src,
+                                       net::IpProto::Tcp, w.take());
+    ip_.send(std::move(out));
+}
+
+void TcpService::on_packet(const net::Packet& packet) {
+    net::TcpHeader seg;
+    net::BufferReader r(packet.payload());
+    try {
+        seg = net::TcpHeader::parse(r, packet.header().src, packet.header().dst);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    const auto payload = r.rest();
+
+    TcpEndpoints ep;
+    ep.local_addr = packet.header().dst;
+    ep.local_port = seg.dst_port;
+    ep.remote_addr = packet.header().src;
+    ep.remote_port = seg.src_port;
+
+    if (auto it = connections_.find(ep); it != connections_.end()) {
+        it->second->on_segment(seg, payload);
+        return;
+    }
+
+    // New connection? Only a bare SYN to a listening port qualifies.
+    if (seg.syn() && !seg.ack_set()) {
+        auto lit = listeners_.find(seg.dst_port);
+        if (lit != listeners_.end()) {
+            auto conn = std::unique_ptr<TcpConnection>(
+                new TcpConnection(*this, ep, config_, /*active=*/false));
+            TcpConnection& ref = *conn;
+            ref.rcv_nxt_ = seg.seq + 1;
+            connections_[ep] = std::move(conn);
+            // Let the application install callbacks before any data flows.
+            lit->second(ref);
+            ref.send_segment(net::kTcpSyn | net::kTcpAck, ref.snd_una_, {}, false);
+            ref.snd_nxt_ = ref.snd_una_ + 1;
+            ref.arm_timer();
+            return;
+        }
+    }
+    if (!seg.rst()) {
+        send_rst(packet, seg);
+    }
+}
+
+}  // namespace mip::transport

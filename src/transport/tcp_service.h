@@ -1,0 +1,68 @@
+// Demultiplexer and factory for TcpConnection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "stack/ip_stack.h"
+#include "transport/tcp_connection.h"
+
+namespace mip::transport {
+
+class TcpService {
+public:
+    /// Invoked when a listener accepts a new connection.
+    using AcceptCallback = std::function<void(TcpConnection&)>;
+    /// Invoked for every retransmission event: outbound (we re-sent) or
+    /// inbound (we received a duplicate — the peer is re-sending, so our
+    /// acknowledgements may not be getting through). The Mobile IP policy
+    /// layer subscribes to this (paper §7.1.2).
+    using RetransmitObserver = std::function<void(const TcpEndpoints&, bool inbound)>;
+    /// Invoked whenever a connection makes forward progress (established,
+    /// or new data acknowledged) — the positive counterpart of the
+    /// retransmission signal, used to confirm a delivery method works.
+    using ProgressObserver = std::function<void(const TcpEndpoints&)>;
+
+    explicit TcpService(stack::IpStack& ip, TcpConfig config = {});
+    TcpService(const TcpService&) = delete;
+    TcpService& operator=(const TcpService&) = delete;
+
+    /// Active open. @p bound_src pins the local endpoint address (§7.1.1);
+    /// unspecified lets the stack's policy/source-selection decide.
+    TcpConnection& connect(net::Ipv4Address remote, std::uint16_t remote_port,
+                           net::Ipv4Address bound_src = {});
+
+    /// Passive open on @p port for any local address this stack owns.
+    void listen(std::uint16_t port, AcceptCallback on_accept);
+    void stop_listening(std::uint16_t port);
+
+    void set_retransmit_observer(RetransmitObserver obs) { retransmit_observer_ = std::move(obs); }
+    void set_progress_observer(ProgressObserver obs) { progress_observer_ = std::move(obs); }
+
+    /// Destroys a dead connection's state (optional; the service also keeps
+    /// finished connections around for inspection until cleared).
+    void reap();
+
+    std::size_t connection_count() const noexcept { return connections_.size(); }
+    stack::IpStack& ip() noexcept { return ip_; }
+    const TcpConfig& config() const noexcept { return config_; }
+
+private:
+    friend class TcpConnection;
+    void on_packet(const net::Packet& packet);
+    void notify_retransmit(const TcpEndpoints& ep, bool inbound);
+    void notify_progress(const TcpEndpoints& ep);
+    void send_rst(const net::Packet& packet, const net::TcpHeader& seg);
+    std::uint16_t ephemeral_port();
+
+    stack::IpStack& ip_;
+    TcpConfig config_;
+    std::map<TcpEndpoints, std::unique_ptr<TcpConnection>> connections_;
+    std::map<std::uint16_t, AcceptCallback> listeners_;
+    RetransmitObserver retransmit_observer_;
+    ProgressObserver progress_observer_;
+    std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace mip::transport

@@ -1,0 +1,78 @@
+#include "transport/udp_service.h"
+
+#include "net/udp_header.h"
+
+namespace mip::transport {
+
+UdpSocket::~UdpSocket() {
+    service_.close(port_);
+}
+
+void UdpSocket::send_to(net::Ipv4Address dst, std::uint16_t dst_port,
+                        std::vector<std::uint8_t> data, bool retransmission) {
+    stack::IpStack& ip = service_.ip();
+
+    stack::FlowKey flow;
+    flow.bound_src = bound_addr_;
+    flow.dst = dst;
+    flow.proto = net::IpProto::Udp;
+    flow.src_port = port_;
+    flow.dst_port = dst_port;
+    flow.retransmission = retransmission;
+
+    const net::Ipv4Address src =
+        bound_addr_.is_unspecified() ? ip.select_source(flow) : bound_addr_;
+
+    net::UdpHeader udp;
+    udp.src_port = port_;
+    udp.dst_port = dst_port;
+    net::BufferWriter w(net::kUdpHeaderSize + data.size());
+    udp.serialize(w, src, dst, data);
+
+    net::Packet packet = net::make_packet(src, dst, net::IpProto::Udp, w.take());
+    ip.send(std::move(packet), flow);
+}
+
+UdpService::UdpService(stack::IpStack& ip) : ip_(ip) {
+    ip_.register_protocol(net::IpProto::Udp,
+                          [this](const net::Packet& p, std::size_t) { on_packet(p); });
+}
+
+std::unique_ptr<UdpSocket> UdpService::open(std::uint16_t port) {
+    if (port == 0) {
+        while (sockets_.contains(next_ephemeral_)) {
+            ++next_ephemeral_;
+        }
+        port = next_ephemeral_++;
+    }
+    if (sockets_.contains(port)) {
+        throw std::invalid_argument("UDP port " + std::to_string(port) + " already bound");
+    }
+    auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, port));
+    sockets_[port] = socket.get();
+    return socket;
+}
+
+void UdpService::close(std::uint16_t port) {
+    sockets_.erase(port);
+}
+
+void UdpService::on_packet(const net::Packet& packet) {
+    net::UdpHeader udp;
+    net::BufferReader r(packet.payload());
+    try {
+        udp = net::UdpHeader::parse(r, packet.header().src, packet.header().dst);
+    } catch (const net::ParseError&) {
+        return;
+    }
+    auto it = sockets_.find(udp.dst_port);
+    if (it == sockets_.end() || !it->second->receiver_) {
+        return;
+    }
+    const auto data = packet.payload().subspan(net::kUdpHeaderSize,
+                                               udp.length - net::kUdpHeaderSize);
+    it->second->receiver_(data, UdpEndpoint{packet.header().src, udp.src_port},
+                          packet.header().dst);
+}
+
+}  // namespace mip::transport

@@ -1,0 +1,33 @@
+#include "tunnel/encapsulator.h"
+
+#include "tunnel/gre.h"
+#include "tunnel/ipip.h"
+#include "tunnel/minimal_encap.h"
+
+namespace mip::tunnel {
+
+std::unique_ptr<Encapsulator> make_encapsulator(EncapScheme scheme) {
+    switch (scheme) {
+        case EncapScheme::IpInIp:
+            return std::make_unique<IpIpEncapsulator>();
+        case EncapScheme::Minimal:
+            return std::make_unique<MinimalEncapsulator>();
+        case EncapScheme::Gre:
+            return std::make_unique<GreEncapsulator>();
+    }
+    return nullptr;
+}
+
+std::string to_string(EncapScheme scheme) {
+    switch (scheme) {
+        case EncapScheme::IpInIp:
+            return "ip-in-ip";
+        case EncapScheme::Minimal:
+            return "minimal-encap";
+        case EncapScheme::Gre:
+            return "gre";
+    }
+    return "?";
+}
+
+}  // namespace mip::tunnel

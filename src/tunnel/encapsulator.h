@@ -1,0 +1,56 @@
+// Encapsulation ("tunneling") schemes.
+//
+// The paper (§2, §3.3) notes that encapsulation overhead "can be minimized
+// by use of Generic Routing Encapsulation [RFC1702] or Minimal
+// Encapsulation [Per95]". All three schemes the paper references are
+// implemented with wire-accurate headers so the size benchmarks (F6–F9,
+// A2) report real byte counts:
+//
+//   IP-in-IP           [Per96c / RFC 2003]  +20 bytes
+//   Minimal Encap      [Per95  / RFC 2004]  +8 or +12 bytes
+//   GRE                [RFC 1701/1702]      +4 (base) .. +12 bytes
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+
+namespace mip::tunnel {
+
+enum class EncapScheme {
+    IpInIp,
+    Minimal,
+    Gre,
+};
+
+class Encapsulator {
+public:
+    virtual ~Encapsulator() = default;
+
+    /// Wraps @p inner in an outer datagram from @p outer_src to
+    /// @p outer_dst. The inner datagram is carried bit-exactly (IP-in-IP,
+    /// GRE) or reversibly compressed (minimal encapsulation).
+    virtual net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                                    net::Ipv4Address outer_dst,
+                                    std::uint8_t outer_ttl = net::kDefaultTtl) const = 0;
+
+    /// Recovers the inner datagram; throws net::ParseError on malformed
+    /// input or if @p outer does not carry this scheme's protocol number.
+    virtual net::Packet decapsulate(const net::Packet& outer) const = 0;
+
+    /// Extra wire bytes this scheme adds to @p inner.
+    virtual std::size_t overhead(const net::Packet& inner) const = 0;
+
+    /// The IP protocol number carried in the outer header.
+    virtual net::IpProto protocol() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// Factory for the scheme enum (GRE built with no optional fields).
+std::unique_ptr<Encapsulator> make_encapsulator(EncapScheme scheme);
+
+std::string to_string(EncapScheme scheme);
+
+}  // namespace mip::tunnel

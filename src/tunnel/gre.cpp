@@ -1,0 +1,92 @@
+#include "tunnel/gre.h"
+
+#include "net/checksum.h"
+
+namespace mip::tunnel {
+
+namespace {
+constexpr std::uint16_t kFlagChecksum = 0x8000;
+constexpr std::uint16_t kFlagKey = 0x2000;
+constexpr std::uint16_t kFlagSequence = 0x1000;
+constexpr std::uint16_t kProtoIpv4 = 0x0800;
+}  // namespace
+
+std::size_t GreEncapsulator::header_size() const noexcept {
+    std::size_t n = 4;
+    if (options_.checksum) n += 4;
+    if (options_.key) n += 4;
+    if (options_.sequence) n += 4;
+    return n;
+}
+
+net::Packet GreEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                                         net::Ipv4Address outer_dst,
+                                         std::uint8_t outer_ttl) const {
+    std::uint16_t flags = 0;
+    if (options_.checksum) flags |= kFlagChecksum;
+    if (options_.key) flags |= kFlagKey;
+    if (options_.sequence) flags |= kFlagSequence;
+
+    const auto inner_wire = inner.to_wire();
+
+    net::BufferWriter w(header_size() + inner_wire.size());
+    w.u16(flags);
+    w.u16(kProtoIpv4);
+    std::size_t checksum_offset = 0;
+    if (options_.checksum) {
+        checksum_offset = w.size();
+        w.u32(0);  // checksum(16) + offset(16), patched below
+    }
+    if (options_.key) {
+        w.u32(options_.key_value);
+    }
+    if (options_.sequence) {
+        w.u32(sequence_++);
+    }
+    w.bytes(inner_wire);
+    if (options_.checksum) {
+        // RFC 1701: checksum over the GRE header and payload.
+        w.patch_u16(checksum_offset, net::internet_checksum(w.view()));
+    }
+
+    net::Ipv4Header outer;
+    outer.src = outer_src;
+    outer.dst = outer_dst;
+    outer.protocol = net::IpProto::Gre;
+    outer.ttl = outer_ttl;
+    outer.identification = inner.header().identification;
+    return net::Packet(outer, w.take());
+}
+
+net::Packet GreEncapsulator::decapsulate(const net::Packet& outer) const {
+    if (outer.header().protocol != net::IpProto::Gre) {
+        throw net::ParseError("not a GRE packet");
+    }
+    net::BufferReader r(outer.payload());
+    const std::uint16_t flags = r.u16();
+    if ((flags & 0x0007) != 0) {
+        throw net::ParseError("unsupported GRE version");
+    }
+    const std::uint16_t proto = r.u16();
+    if (proto != kProtoIpv4) {
+        throw net::ParseError("GRE payload is not IPv4");
+    }
+    if (flags & kFlagChecksum) {
+        if (net::internet_checksum(outer.payload()) != 0) {
+            throw net::ParseError("GRE checksum mismatch");
+        }
+        r.skip(4);
+    }
+    if (flags & kFlagKey) {
+        const std::uint32_t key = r.u32();
+        if (options_.key && key != options_.key_value) {
+            throw net::ParseError("GRE key mismatch");
+        }
+    }
+    if (flags & kFlagSequence) {
+        r.skip(4);
+    }
+    return net::Packet::from_wire(r.rest());
+}
+
+}  // namespace mip::tunnel

@@ -1,0 +1,45 @@
+// Generic Routing Encapsulation [RFC 1701/1702].
+//
+//   bytes 0-1   C R K S s Recur(3) Flags(5) Ver(3)
+//   bytes 2-3   protocol type (0x0800 for IPv4 payload)
+//   +4 bytes    checksum + offset   (iff C)
+//   +4 bytes    key                 (iff K)
+//   +4 bytes    sequence number     (iff S)
+//
+// Base overhead 4 bytes; each enabled option adds 4.
+#pragma once
+
+#include "tunnel/encapsulator.h"
+
+namespace mip::tunnel {
+
+struct GreOptions {
+    bool checksum = false;
+    bool key = false;
+    std::uint32_t key_value = 0;
+    bool sequence = false;
+};
+
+class GreEncapsulator final : public Encapsulator {
+public:
+    explicit GreEncapsulator(GreOptions options = {}) : options_(options) {}
+
+    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                            net::Ipv4Address outer_dst,
+                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
+    net::Packet decapsulate(const net::Packet& outer) const override;
+    std::size_t overhead(const net::Packet&) const override { return header_size(); }
+    net::IpProto protocol() const override { return net::IpProto::Gre; }
+    std::string name() const override { return "gre"; }
+
+    std::size_t header_size() const noexcept;
+
+    /// Sequence counter of the next packet to be sent (when enabled).
+    std::uint32_t next_sequence() const noexcept { return sequence_; }
+
+private:
+    GreOptions options_;
+    mutable std::uint32_t sequence_ = 0;
+};
+
+}  // namespace mip::tunnel

@@ -1,0 +1,24 @@
+#include "tunnel/ipip.h"
+
+namespace mip::tunnel {
+
+net::Packet IpIpEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                                          net::Ipv4Address outer_dst,
+                                          std::uint8_t outer_ttl) const {
+    net::Ipv4Header outer;
+    outer.src = outer_src;
+    outer.dst = outer_dst;
+    outer.protocol = net::IpProto::IpInIp;
+    outer.ttl = outer_ttl;
+    outer.identification = inner.header().identification;
+    return net::Packet(outer, inner.to_wire());
+}
+
+net::Packet IpIpEncapsulator::decapsulate(const net::Packet& outer) const {
+    if (outer.header().protocol != net::IpProto::IpInIp) {
+        throw net::ParseError("not an IP-in-IP packet");
+    }
+    return net::Packet::from_wire(outer.payload());
+}
+
+}  // namespace mip::tunnel

@@ -1,0 +1,20 @@
+// IP-in-IP encapsulation: the full inner datagram (header included) is the
+// payload of the outer datagram. Protocol 4.
+#pragma once
+
+#include "tunnel/encapsulator.h"
+
+namespace mip::tunnel {
+
+class IpIpEncapsulator final : public Encapsulator {
+public:
+    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                            net::Ipv4Address outer_dst,
+                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
+    net::Packet decapsulate(const net::Packet& outer) const override;
+    std::size_t overhead(const net::Packet&) const override { return net::kIpv4HeaderSize; }
+    net::IpProto protocol() const override { return net::IpProto::IpInIp; }
+    std::string name() const override { return "ip-in-ip"; }
+};
+
+}  // namespace mip::tunnel

@@ -1,0 +1,84 @@
+#include "tunnel/minimal_encap.h"
+
+#include "net/checksum.h"
+
+namespace mip::tunnel {
+
+namespace {
+constexpr std::uint8_t kSourcePresentFlag = 0x80;
+}
+
+std::size_t MinimalEncapsulator::overhead(const net::Packet& inner) const {
+    // The source must be preserved whenever the tunnel changes it; Mobile IP
+    // always does (home address inside, care-of address outside), so callers
+    // will normally see 12. We compute it exactly in encapsulate().
+    (void)inner;
+    return kMinimalHeaderWithSource;
+}
+
+net::Packet MinimalEncapsulator::encapsulate(const net::Packet& inner,
+                                             net::Ipv4Address outer_src,
+                                             net::Ipv4Address outer_dst,
+                                             std::uint8_t outer_ttl) const {
+    if (inner.header().is_fragment()) {
+        // RFC 2004 §3: minimal encapsulation must not be used on fragments
+        // (the forwarding header has no room for a second fragmentation
+        // context).
+        throw net::ParseError("minimal encapsulation cannot carry fragments");
+    }
+    const bool keep_source = inner.header().src != outer_src;
+
+    net::BufferWriter w(kMinimalHeaderWithSource + inner.payload().size());
+    w.u8(static_cast<std::uint8_t>(inner.header().protocol));
+    w.u8(keep_source ? kSourcePresentFlag : 0);
+    w.u16(0);  // checksum placeholder
+    w.u32(inner.header().dst.value());
+    if (keep_source) {
+        w.u32(inner.header().src.value());
+    }
+    const std::size_t header_len = w.size();
+    const std::uint16_t csum = net::internet_checksum(w.view());
+    w.patch_u16(2, csum);
+    w.bytes(inner.payload());
+
+    net::Ipv4Header outer = inner.header();
+    outer.protocol = net::IpProto::MinEnc;
+    outer.src = outer_src;
+    outer.dst = outer_dst;
+    outer.ttl = outer_ttl;
+    (void)header_len;
+    return net::Packet(outer, w.take());
+}
+
+net::Packet MinimalEncapsulator::decapsulate(const net::Packet& outer) const {
+    if (outer.header().protocol != net::IpProto::MinEnc) {
+        throw net::ParseError("not a minimal-encapsulation packet");
+    }
+    net::BufferReader r(outer.payload());
+    if (r.remaining() < kMinimalHeaderBase) {
+        throw net::ParseError("minimal encapsulation header truncated");
+    }
+    const std::uint8_t original_proto = r.u8();
+    const std::uint8_t flags = r.u8();
+    const bool has_source = (flags & kSourcePresentFlag) != 0;
+    const std::size_t header_len = has_source ? kMinimalHeaderWithSource : kMinimalHeaderBase;
+    if (outer.payload().size() < header_len) {
+        throw net::ParseError("minimal encapsulation header truncated");
+    }
+    if (net::internet_checksum(outer.payload().subspan(0, header_len)) != 0) {
+        throw net::ParseError("minimal encapsulation checksum mismatch");
+    }
+    r.skip(2);  // checksum (verified above)
+    const net::Ipv4Address original_dst(r.u32());
+    const net::Ipv4Address original_src =
+        has_source ? net::Ipv4Address(r.u32()) : outer.header().src;
+
+    net::Ipv4Header inner = outer.header();
+    inner.protocol = static_cast<net::IpProto>(original_proto);
+    inner.src = original_src;
+    inner.dst = original_dst;
+    const auto rest = r.rest();
+    return net::Packet(inner, std::vector<std::uint8_t>(rest.begin(), rest.end()));
+}
+
+}  // namespace mip::tunnel

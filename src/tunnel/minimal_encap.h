@@ -1,0 +1,36 @@
+// Minimal encapsulation [Per95 / RFC 2004].
+//
+// Instead of nesting a second full IP header, the original header is
+// *modified in place* (protocol number and addresses swapped for the tunnel
+// endpoints) and a small forwarding header preserves the displaced fields:
+//
+//   byte 0      original protocol
+//   byte 1      S flag (original source address present) | 7 reserved bits
+//   bytes 2-3   header checksum (over the minimal forwarding header)
+//   bytes 4-7   original destination address
+//   bytes 8-11  original source address (present iff S == 1)
+//
+// Overhead is 12 bytes when the outer source differs from the original
+// source (always true for Mobile IP's care-of addressing) and 8 bytes when
+// they coincide.
+#pragma once
+
+#include "tunnel/encapsulator.h"
+
+namespace mip::tunnel {
+
+inline constexpr std::size_t kMinimalHeaderBase = 8;
+inline constexpr std::size_t kMinimalHeaderWithSource = 12;
+
+class MinimalEncapsulator final : public Encapsulator {
+public:
+    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                            net::Ipv4Address outer_dst,
+                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
+    net::Packet decapsulate(const net::Packet& outer) const override;
+    std::size_t overhead(const net::Packet& inner) const override;
+    net::IpProto protocol() const override { return net::IpProto::MinEnc; }
+    std::string name() const override { return "minimal-encap"; }
+};
+
+}  // namespace mip::tunnel

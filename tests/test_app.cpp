@@ -1,0 +1,289 @@
+// The application layer: echo servers, 1996-grade HTTP, and the UDP RPC
+// client whose retries carry the §7.1.2 retransmission flag.
+#include <gtest/gtest.h>
+
+#include "app/echo.h"
+#include "app/http.h"
+#include "app/request_response.h"
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+struct AppRig {
+    sim::Simulator sim;
+    sim::Link lan{sim, {}};
+    stack::Host a{sim, "a"}, b{sim, "b"};
+    transport::TcpService tcp_a{a.stack()}, tcp_b{b.stack()};
+    transport::UdpService udp_a{a.stack()}, udp_b{b.stack()};
+
+    AppRig() {
+        a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+        b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    }
+};
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t fill = 0x42) {
+    return std::vector<std::uint8_t>(n, fill);
+}
+}  // namespace
+
+TEST(EchoApp, TcpEchoRoundTrip) {
+    AppRig rig;
+    app::TcpEchoServer server(rig.tcp_b, 7);
+    auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 7);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(bytes(2222));
+    rig.sim.run_until(sim::seconds(10));
+    EXPECT_EQ(echoed, 2222u);
+    EXPECT_EQ(server.connections_accepted(), 1u);
+    EXPECT_EQ(server.bytes_echoed(), 2222u);
+    // Closing our side closes theirs (the server mirrors FIN).
+    conn.close();
+    rig.sim.run_until(sim::seconds(12));
+    EXPECT_EQ(conn.state(), transport::TcpState::Closed);
+}
+
+TEST(EchoApp, UdpEchoRoundTrip) {
+    AppRig rig;
+    app::UdpEchoServer server(rig.udp_b, 7);
+    auto client = rig.udp_a.open();
+    std::vector<std::uint8_t> got;
+    client->set_receiver([&](std::span<const std::uint8_t> d, transport::UdpEndpoint,
+                             net::Ipv4Address) { got.assign(d.begin(), d.end()); });
+    client->send_to("10.0.0.2"_ip, 7, {5, 6, 7});
+    rig.sim.run();
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{5, 6, 7}));
+    EXPECT_EQ(server.datagrams_echoed(), 1u);
+}
+
+TEST(HttpApp, GetServesPage) {
+    AppRig rig;
+    app::HttpServer server(
+        rig.tcp_b, 80,
+        app::HttpServer::static_site({{"/index.html", bytes(5000, 'x')},
+                                      {"/logo.gif", bytes(300, 'y')}}));
+    app::HttpClient client(rig.tcp_a);
+    std::optional<app::HttpResponse> response;
+    client.get("10.0.0.2"_ip, 80, "/index.html",
+               [&](app::HttpResponse r) { response = std::move(r); });
+    rig.sim.run_until(sim::seconds(10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body.size(), 5000u);
+    EXPECT_EQ(response->body[0], 'x');
+    EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpApp, MissingPageIs404) {
+    AppRig rig;
+    app::HttpServer server(rig.tcp_b, 80, app::HttpServer::static_site({}));
+    app::HttpClient client(rig.tcp_a);
+    std::optional<app::HttpResponse> response;
+    client.get("10.0.0.2"_ip, 80, "/nope",
+               [&](app::HttpResponse r) { response = std::move(r); });
+    rig.sim.run_until(sim::seconds(10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 404);
+    EXPECT_TRUE(response->body.empty());
+    EXPECT_EQ(server.not_found(), 1u);
+}
+
+TEST(HttpApp, NoServerMeansTransportFailure) {
+    AppRig rig;
+    app::HttpClient client(rig.tcp_a);
+    std::optional<app::HttpResponse> response;
+    client.get("10.0.0.2"_ip, 80, "/x", [&](app::HttpResponse r) { response = r; });
+    rig.sim.run_until(sim::seconds(10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 0);
+}
+
+TEST(HttpApp, SequentialFetches) {
+    AppRig rig;
+    app::HttpServer server(
+        rig.tcp_b, 80, app::HttpServer::static_site({{"/a", bytes(100)},
+                                                     {"/b", bytes(200)}}));
+    app::HttpClient client(rig.tcp_a);
+    std::size_t total = 0;
+    for (const char* path : {"/a", "/b", "/a"}) {
+        std::optional<app::HttpResponse> response;
+        client.get("10.0.0.2"_ip, 80, path,
+                   [&](app::HttpResponse r) { response = std::move(r); });
+        rig.sim.run_until(rig.sim.now() + sim::seconds(5));
+        ASSERT_TRUE(response.has_value() && response->ok()) << path;
+        total += response->body.size();
+        rig.tcp_a.reap();
+    }
+    EXPECT_EQ(total, 400u);
+    EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpApp, MobileFetchViaPortHeuristic) {
+    // End-to-end: the HTTP client on a mobile host automatically rides
+    // Out-DT thanks to the port-80 heuristic.
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    app::HttpServer server(ch.tcp(), 80,
+                           app::HttpServer::static_site({{"/", bytes(4096)}}));
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    app::HttpClient client(mh.tcp());
+    std::optional<app::HttpResponse> response;
+    client.get(ch.address(), 80, "/", [&](app::HttpResponse r) { response = std::move(r); });
+    world.run_for(sim::seconds(10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(response->ok());
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, 0u);
+}
+
+TEST(RpcApp, CallAndResponse) {
+    AppRig rig;
+    app::RpcServer server(rig.udp_b, 111, [](std::span<const std::uint8_t> req) {
+        std::vector<std::uint8_t> out(req.begin(), req.end());
+        std::reverse(out.begin(), out.end());
+        return out;
+    });
+    app::RpcClient client(rig.udp_a);
+    std::optional<std::vector<std::uint8_t>> reply;
+    client.call("10.0.0.2"_ip, 111, {1, 2, 3}, [&](auto r) { reply = std::move(r); });
+    rig.sim.run_until(sim::seconds(5));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, (std::vector<std::uint8_t>{3, 2, 1}));
+    EXPECT_EQ(client.retries_sent(), 0u);
+    EXPECT_EQ(server.requests_handled(), 1u);
+}
+
+TEST(RpcApp, RetriesOnLossThenSucceeds) {
+    sim::Simulator sim;
+    sim::LinkConfig lcfg;
+    lcfg.loss_rate = 0.4;
+    lcfg.seed = 3;
+    sim::Link lan(sim, lcfg);
+    stack::Host a(sim, "a"), b(sim, "b");
+    a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+    b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    transport::UdpService ua(a.stack()), ub(b.stack());
+    app::RpcServer server(ub, 111, [](std::span<const std::uint8_t> req) {
+        return std::vector<std::uint8_t>(req.begin(), req.end());
+    });
+    app::RpcConfig cfg;
+    cfg.timeout = sim::milliseconds(100);
+    cfg.max_attempts = 10;
+    app::RpcClient client(ua, cfg);
+
+    int ok = 0, fail = 0;
+    for (int i = 0; i < 20; ++i) {
+        client.call("10.0.0.2"_ip, 111, {9},
+                    [&](auto r) { r.has_value() ? ++ok : ++fail; });
+        sim.run_until(sim.now() + sim::seconds(2));
+    }
+    EXPECT_GT(ok, 15);  // with 10 attempts at 40% loss, nearly all succeed
+    EXPECT_GT(client.retries_sent(), 0u);
+}
+
+TEST(RpcApp, TimeoutAfterAllAttempts) {
+    AppRig rig;  // no server
+    app::RpcConfig cfg;
+    cfg.timeout = sim::milliseconds(50);
+    cfg.max_attempts = 3;
+    app::RpcClient client(rig.udp_a, cfg);
+    std::optional<std::optional<std::vector<std::uint8_t>>> result;
+    client.call("10.0.0.2"_ip, 111, {1}, [&](auto r) { result = std::move(r); });
+    rig.sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->has_value());
+    EXPECT_EQ(client.retries_sent(), 2u);  // attempts 2 and 3
+}
+
+TEST(RpcApp, RetriesFeedTheMobilityPolicy) {
+    // The RPC client's flagged resends drive the delivery-method cache
+    // downward — §7.1.2 working end to end with a pure-UDP application.
+    WorldConfig wcfg;
+    wcfg.foreign_egress_antispoof = true;  // Out-DH is doomed
+    World world{wcfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    app::RpcServer server(ch.udp(), 111, [](std::span<const std::uint8_t> req) {
+        return std::vector<std::uint8_t>(req.begin(), req.end());
+    });
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.cache.failure_threshold = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    app::RpcConfig rcfg;
+    rcfg.timeout = sim::milliseconds(300);
+    rcfg.max_attempts = 8;
+    app::RpcClient client(mh.udp(), rcfg);
+    client.bind_address(world.mh_home_addr());  // a home-address service
+
+    ASSERT_EQ(mh.mode_for(ch.address()), OutMode::DH);
+    std::optional<std::vector<std::uint8_t>> reply;
+    client.call(ch.address(), 111, {1, 2}, [&](auto r) { reply = std::move(r); });
+    world.run_for(sim::seconds(10));
+
+    // The policy walked DH -> DE -> IE purely on flagged resends, and the
+    // call eventually succeeded through the tunnel.
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(mh.mode_for(ch.address()), OutMode::IE);
+    EXPECT_GE(mh.stats().failure_signals, 4u);
+}
+
+TEST(HttpApp, RequestSplitAcrossSegmentsIsReassembled) {
+    AppRig rig;
+    app::HttpServer server(rig.tcp_b, 80,
+                           app::HttpServer::static_site({{"/split", bytes(64)}}));
+    // Speak the protocol by hand, splitting the request line mid-token.
+    auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 80);
+    std::string got;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) {
+        got.append(reinterpret_cast<const char*>(d.data()), d.size());
+    });
+    conn.send({'G', 'E'});
+    rig.sim.run_until(sim::seconds(1));
+    conn.send({'T', ' ', '/', 's', 'p', 'l', 'i', 't', '\r', '\n'});
+    rig.sim.run_until(sim::seconds(5));
+    EXPECT_NE(got.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpApp, GarbageRequestGets404) {
+    AppRig rig;
+    app::HttpServer server(rig.tcp_b, 80,
+                           app::HttpServer::static_site({{"/x", bytes(8)}}));
+    auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 80);
+    std::string got;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) {
+        got.append(reinterpret_cast<const char*>(d.data()), d.size());
+    });
+    conn.send({'P', 'U', 'T', ' ', '/', 'x', '\r', '\n'});
+    rig.sim.run_until(sim::seconds(5));
+    EXPECT_NE(got.find("HTTP/1.0 404"), std::string::npos);
+}
+
+TEST(HttpApp, ClientCanBindTemporaryAddress) {
+    // The application-level Out-DT: a Web fetch explicitly bound to the
+    // care-of address, bypassing Mobile IP without any heuristics.
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    app::HttpServer server(ch.tcp(), 8080,
+                           app::HttpServer::static_site({{"/", bytes(256)}}));
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.enable_port_heuristics = false;  // no help from the policy
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    app::HttpClient client(mh.tcp());
+    std::optional<app::HttpResponse> response;
+    client.get(ch.address(), 8080, "/",
+               [&](app::HttpResponse r) { response = std::move(r); },
+               /*bind_src=*/world.mh_care_of_addr());
+    world.run_for(sim::seconds(10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(response->ok());
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, 0u);
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "arp/arp_engine.h"
+#include "sim/link.h"
+#include "sim/node.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+
+namespace {
+struct ArpRig {
+    sim::Simulator sim;
+    sim::Link link{sim, {}};
+    sim::Node a{sim, "a"}, b{sim, "b"}, c{sim, "c"};
+    sim::Nic& nic_a{a.add_nic()};
+    sim::Nic& nic_b{b.add_nic()};
+    sim::Nic& nic_c{c.add_nic()};
+    arp::ArpEngine arp_a{sim, nic_a};
+    arp::ArpEngine arp_b{sim, nic_b};
+    arp::ArpEngine arp_c{sim, nic_c};
+
+    ArpRig() {
+        nic_a.connect(link);
+        nic_b.connect(link);
+        nic_c.connect(link);
+        nic_a.set_handler([this](const sim::Frame& f) { dispatch(arp_a, f); });
+        nic_b.set_handler([this](const sim::Frame& f) { dispatch(arp_b, f); });
+        nic_c.set_handler([this](const sim::Frame& f) { dispatch(arp_c, f); });
+        arp_a.set_local_address("10.0.0.1"_ip);
+        arp_b.set_local_address("10.0.0.2"_ip);
+        arp_c.set_local_address("10.0.0.3"_ip);
+    }
+
+    static void dispatch(arp::ArpEngine& engine, const sim::Frame& f) {
+        if (f.type == net::EtherType::Arp) engine.handle_frame(f);
+    }
+};
+}  // namespace
+
+TEST(Arp, MessageRoundTrip) {
+    const auto req =
+        arp::ArpMessage::request(sim::MacAddress::from_id(7), "10.0.0.1"_ip, "10.0.0.2"_ip);
+    net::BufferWriter w;
+    req.serialize(w);
+    ASSERT_EQ(w.size(), arp::kArpMessageSize);
+    net::BufferReader r(w.view());
+    const auto parsed = arp::ArpMessage::parse(r);
+    EXPECT_EQ(parsed.op, arp::ArpOp::Request);
+    EXPECT_EQ(parsed.sender_mac, sim::MacAddress::from_id(7));
+    EXPECT_EQ(parsed.sender_ip, "10.0.0.1"_ip);
+    EXPECT_EQ(parsed.target_ip, "10.0.0.2"_ip);
+}
+
+TEST(Arp, ResolvesNeighbor) {
+    ArpRig rig;
+    std::optional<sim::MacAddress> result;
+    rig.arp_a.resolve("10.0.0.2"_ip, [&](auto mac) { result = mac; });
+    rig.sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, rig.nic_b.mac());
+    EXPECT_EQ(rig.arp_a.requests_sent(), 1u);
+    EXPECT_EQ(rig.arp_b.replies_sent(), 1u);
+}
+
+TEST(Arp, CacheHitAvoidsSecondRequest) {
+    ArpRig rig;
+    rig.arp_a.resolve("10.0.0.2"_ip, [](auto) {});
+    rig.sim.run();
+    bool called = false;
+    rig.arp_a.resolve("10.0.0.2"_ip, [&](auto mac) {
+        called = true;
+        EXPECT_TRUE(mac.has_value());
+    });
+    EXPECT_TRUE(called);  // synchronous from cache
+    EXPECT_EQ(rig.arp_a.requests_sent(), 1u);
+}
+
+TEST(Arp, ConcurrentResolvesShareOneRequest) {
+    ArpRig rig;
+    int callbacks = 0;
+    rig.arp_a.resolve("10.0.0.2"_ip, [&](auto) { ++callbacks; });
+    rig.arp_a.resolve("10.0.0.2"_ip, [&](auto) { ++callbacks; });
+    rig.sim.run();
+    EXPECT_EQ(callbacks, 2);
+    EXPECT_EQ(rig.arp_a.requests_sent(), 1u);
+}
+
+TEST(Arp, UnansweredResolutionFailsAfterRetries) {
+    ArpRig rig;
+    std::optional<std::optional<sim::MacAddress>> result;
+    rig.arp_a.resolve("10.0.0.99"_ip, [&](auto mac) { result = mac; });
+    rig.sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->has_value());
+    EXPECT_EQ(rig.arp_a.requests_sent(), 3u);  // max_retries
+}
+
+TEST(Arp, LearnsFromRequestsItOverhears) {
+    ArpRig rig;
+    // a requests b; c (broadcast recipient) learns a's mapping for free.
+    rig.arp_a.resolve("10.0.0.2"_ip, [](auto) {});
+    rig.sim.run();
+    EXPECT_EQ(rig.arp_c.lookup("10.0.0.1"_ip), rig.nic_a.mac());
+}
+
+TEST(Arp, ProxyAnswersForAbsentHost) {
+    ArpRig rig;
+    // b proxies for 10.0.0.42 (e.g. a home agent for an away mobile host).
+    rig.arp_b.add_proxy("10.0.0.42"_ip);
+    std::optional<sim::MacAddress> result;
+    rig.arp_a.resolve("10.0.0.42"_ip, [&](auto mac) { result = mac; });
+    rig.sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, rig.nic_b.mac());
+    EXPECT_EQ(rig.arp_b.proxy_replies_sent(), 1u);
+}
+
+TEST(Arp, ProxyRemovalStopsAnswering) {
+    ArpRig rig;
+    rig.arp_b.add_proxy("10.0.0.42"_ip);
+    rig.arp_b.remove_proxy("10.0.0.42"_ip);
+    std::optional<std::optional<sim::MacAddress>> result;
+    rig.arp_a.resolve("10.0.0.42"_ip, [&](auto mac) { result = mac; });
+    rig.sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(result->has_value());
+}
+
+TEST(Arp, GratuitousAnnouncementUpdatesCaches) {
+    ArpRig rig;
+    // a resolves b normally.
+    rig.arp_a.resolve("10.0.0.2"_ip, [](auto) {});
+    rig.sim.run();
+    ASSERT_EQ(rig.arp_a.lookup("10.0.0.2"_ip), rig.nic_b.mac());
+    // c claims 10.0.0.2 (as a home agent capturing a mobile address would).
+    rig.arp_c.announce("10.0.0.2"_ip);
+    rig.sim.run();
+    EXPECT_EQ(rig.arp_a.lookup("10.0.0.2"_ip), rig.nic_c.mac());
+}
+
+TEST(Arp, CacheEntriesExpire) {
+    ArpRig rig;
+    rig.arp_a.resolve("10.0.0.2"_ip, [](auto) {});
+    rig.sim.run();
+    ASSERT_TRUE(rig.arp_a.lookup("10.0.0.2"_ip).has_value());
+    rig.sim.schedule_in(sim::seconds(301), [] {});
+    rig.sim.run();
+    EXPECT_FALSE(rig.arp_a.lookup("10.0.0.2"_ip).has_value());
+}
+
+TEST(Arp, FlushCacheForgetsEverything) {
+    ArpRig rig;
+    rig.arp_a.resolve("10.0.0.2"_ip, [](auto) {});
+    rig.sim.run();
+    rig.arp_a.flush_cache();
+    EXPECT_FALSE(rig.arp_a.lookup("10.0.0.2"_ip).has_value());
+}
+
+TEST(Arp, MalformedFramesIgnored) {
+    ArpRig rig;
+    sim::Frame f;
+    f.type = net::EtherType::Arp;
+    f.dst = sim::MacAddress::broadcast();
+    f.payload = {1, 2, 3};  // garbage
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();  // must not crash, nothing learned
+    EXPECT_FALSE(rig.arp_b.lookup("10.0.0.1"_ip).has_value());
+}

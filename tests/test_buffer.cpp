@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "net/buffer.h"
+
+using namespace mip::net;
+
+TEST(BufferWriter, BigEndianEncoding) {
+    BufferWriter w;
+    w.u8(0x01);
+    w.u16(0x0203);
+    w.u32(0x04050607);
+    const auto v = w.view();
+    ASSERT_EQ(v.size(), 7u);
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_EQ(v[i], i + 1);
+    }
+}
+
+TEST(BufferWriter, PatchU16) {
+    BufferWriter w;
+    w.u32(0);
+    w.patch_u16(1, 0xBEEF);
+    EXPECT_EQ(w.view()[1], 0xBE);
+    EXPECT_EQ(w.view()[2], 0xEF);
+}
+
+TEST(BufferWriter, PatchPastEndThrows) {
+    BufferWriter w;
+    w.u16(0);
+    EXPECT_THROW(w.patch_u16(1, 0), std::out_of_range);
+    EXPECT_THROW(w.patch_u16(2, 0), std::out_of_range);
+    EXPECT_NO_THROW(w.patch_u16(0, 0));
+}
+
+TEST(BufferWriter, TakeMovesOutContents) {
+    BufferWriter w;
+    w.u32(42);
+    auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(BufferWriter, BytesAppendsRange) {
+    BufferWriter w;
+    const std::uint8_t data[] = {9, 8, 7};
+    w.bytes(data);
+    w.bytes(data);
+    EXPECT_EQ(w.size(), 6u);
+}
+
+TEST(BufferReader, ReadsBackWhatWasWritten) {
+    BufferWriter w;
+    w.u8(0xab);
+    w.u16(0xcdef);
+    w.u32(0x12345678);
+    BufferReader r(w.view());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xcdef);
+    EXPECT_EQ(r.u32(), 0x12345678u);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferReader, UnderrunThrows) {
+    const std::uint8_t data[] = {1, 2, 3};
+    BufferReader r(data);
+    EXPECT_EQ(r.u16(), 0x0102);
+    EXPECT_THROW(r.u16(), ParseError);
+    EXPECT_EQ(r.u8(), 3);  // the failed read consumed nothing
+    EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(BufferReader, SkipAndRest) {
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    BufferReader r(data);
+    r.skip(2);
+    EXPECT_EQ(r.position(), 2u);
+    const auto rest = r.rest();
+    ASSERT_EQ(rest.size(), 3u);
+    EXPECT_EQ(rest[0], 3);
+    EXPECT_THROW(r.skip(4), ParseError);
+}
+
+TEST(BufferReader, BytesAdvances) {
+    const std::uint8_t data[] = {1, 2, 3, 4};
+    BufferReader r(data);
+    const auto first = r.bytes(3);
+    EXPECT_EQ(first[2], 3);
+    EXPECT_EQ(r.remaining(), 1u);
+    EXPECT_THROW(r.bytes(2), ParseError);
+}
+
+TEST(BufferReader, EmptyBuffer) {
+    BufferReader r({});
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.rest().empty());
+    EXPECT_THROW(r.u8(), ParseError);
+}

@@ -1,0 +1,134 @@
+// The abstract's "series of tests": probing which outgoing modes work for
+// a given correspondent and recommending the best one.
+#include <gtest/gtest.h>
+
+#include "core/capability_probe.h"
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+ProbeReport probe_sync(World& world, MobileHost& mh, net::Ipv4Address dst,
+                       bool apply = false) {
+    CapabilityProber prober(mh);
+    std::optional<ProbeReport> report;
+    prober.probe(dst, [&](const ProbeReport& r) { report = r; }, apply);
+    world.run_for(sim::seconds(15));
+    EXPECT_TRUE(report.has_value());
+    EXPECT_EQ(prober.probes_in_flight(), 0u);
+    return report.value_or(ProbeReport{});
+}
+}  // namespace
+
+TEST(CapabilityProbe, PermissivePathRecommendsOutDH) {
+    World world;  // no foreign egress filter, conventional CH
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto r = probe_sync(world, mh, ch.address());
+    EXPECT_TRUE(r.works(OutMode::IE));
+    EXPECT_FALSE(r.works(OutMode::DE));  // conventional CH cannot decapsulate
+    EXPECT_TRUE(r.works(OutMode::DH));
+    EXPECT_TRUE(r.works(OutMode::DT));
+    EXPECT_EQ(r.recommended, OutMode::DH);
+    EXPECT_TRUE(r.any_home_mode_works);
+}
+
+TEST(CapabilityProbe, FilteredPathRecommendsOutIE) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto r = probe_sync(world, mh, ch.address());
+    EXPECT_TRUE(r.works(OutMode::IE));
+    EXPECT_FALSE(r.works(OutMode::DH));
+    EXPECT_TRUE(r.works(OutMode::DT));  // COA-sourced traffic passes the filter
+    EXPECT_EQ(r.recommended, OutMode::IE);
+}
+
+TEST(CapabilityProbe, DecapCapableCorrespondentUnlocksOutDE) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;  // DH dead, DE alive
+    World world{cfg};
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::DecapCapable;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto r = probe_sync(world, mh, ch.address());
+    EXPECT_TRUE(r.works(OutMode::DE));
+    EXPECT_FALSE(r.works(OutMode::DH));
+    EXPECT_EQ(r.recommended, OutMode::DE);
+}
+
+TEST(CapabilityProbe, ApplySeedsTheMethodCache) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.strategy = std::make_unique<AggressiveFirstStrategy>();
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    probe_sync(world, mh, ch.address(), /*apply=*/true);
+    // Without probing, aggressive-first would start at (doomed) Out-DH.
+    EXPECT_EQ(mh.mode_for(ch.address()), OutMode::IE);
+    // And it's pinned: failures don't shake it.
+    EXPECT_NE(mh.method_cache().find(ch.address()), nullptr);
+    EXPECT_TRUE(mh.method_cache().find(ch.address())->forced);
+}
+
+TEST(CapabilityProbe, WithoutApplyLeavesNoTrace) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    ASSERT_EQ(mh.method_cache().find(ch.address()), nullptr);
+    probe_sync(world, mh, ch.address(), /*apply=*/false);
+    EXPECT_EQ(mh.method_cache().find(ch.address()), nullptr);
+}
+
+TEST(CapabilityProbe, RestoresPreviouslyForcedMode) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    mh.force_mode(ch.address(), OutMode::IE);
+    probe_sync(world, mh, ch.address(), /*apply=*/false);
+    ASSERT_NE(mh.method_cache().find(ch.address()), nullptr);
+    EXPECT_EQ(mh.mode_for(ch.address()), OutMode::IE);
+    EXPECT_TRUE(mh.method_cache().find(ch.address())->forced);
+}
+
+TEST(CapabilityProbe, NoOwnAddressSkipsOutDT) {
+    // Attached via a foreign agent: Out-DT is structurally unavailable.
+    World world;
+    world.create_foreign_agent();
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+
+    const auto r = probe_sync(world, mh, ch.address());
+    EXPECT_FALSE(r.works(OutMode::DT));
+    EXPECT_TRUE(r.works(OutMode::IE));
+}
+
+TEST(CapabilityProbe, SummaryIsReadable) {
+    ProbeReport r;
+    r.correspondent = net::Ipv4Address::must_parse("10.3.0.2");
+    r.mode_works[static_cast<std::size_t>(OutMode::IE)] = true;
+    r.recommended = OutMode::IE;
+    const std::string s = r.summary();
+    EXPECT_NE(s.find("10.3.0.2"), std::string::npos);
+    EXPECT_NE(s.find("Out-IE=ok"), std::string::npos);
+    EXPECT_NE(s.find("-> Out-IE"), std::string::npos);
+}

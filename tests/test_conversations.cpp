@@ -1,0 +1,289 @@
+// Deeper integration scenarios: simultaneous per-correspondent modes, the
+// firewall-as-home-agent deployment, alternative encapsulation schemes end
+// to end, lossy wireless links, binding expiry fallback, and DNS TA
+// publication from the mobile host itself.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "tunnel/ipip.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
+    ch.tcp().listen(port, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+}
+}  // namespace
+
+TEST(Conversations, SimultaneousPerCorrespondentModes) {
+    // Figure 10's caption: "a single host may have many different
+    // conversations in progress at the same time, choosing for each of
+    // them the communication mode that is most appropriate."
+    World world;
+    // CH0: conventional, across the backbone (gets home-address modes).
+    CorrespondentHost& far_ch = world.create_correspondent({}, Placement::CorrLan, 2);
+    serve_echo(far_ch, 23);
+    // CH1: mobile-aware, on the visited segment (Row C).
+    CorrespondentConfig near_cfg;
+    near_cfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& near_ch = world.create_correspondent(near_cfg, Placement::ForeignLan);
+    serve_echo(near_ch, 23);
+    // CH2: a web server, across the backbone (Row D via port heuristic).
+    CorrespondentHost& web_ch = world.create_correspondent({}, Placement::CorrLan, 3);
+    serve_echo(web_ch, 80);
+
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    near_ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr());
+    mh.force_mode(near_ch.address(), OutMode::DH);
+    mh.force_mode(far_ch.address(), OutMode::IE);
+
+    auto& c_far = mh.tcp().connect(far_ch.address(), 23);
+    auto& c_near = mh.tcp().connect(near_ch.address(), 23);
+    auto& c_web = mh.tcp().connect(web_ch.address(), 80);
+    std::size_t far_echo = 0, near_echo = 0, web_echo = 0;
+    c_far.set_data_callback([&](std::span<const std::uint8_t> d) { far_echo += d.size(); });
+    c_near.set_data_callback([&](std::span<const std::uint8_t> d) { near_echo += d.size(); });
+    c_web.set_data_callback([&](std::span<const std::uint8_t> d) { web_echo += d.size(); });
+    c_far.send(std::vector<std::uint8_t>(700, 1));
+    c_near.send(std::vector<std::uint8_t>(700, 2));
+    c_web.send(std::vector<std::uint8_t>(700, 3));
+    world.run_for(sim::seconds(15));
+
+    // All three conversations completed, each with its own mode & endpoint.
+    EXPECT_EQ(far_echo, 700u);
+    EXPECT_EQ(near_echo, 700u);
+    EXPECT_EQ(web_echo, 700u);
+    EXPECT_EQ(c_far.endpoints().local_addr, world.mh_home_addr());   // Out-IE
+    EXPECT_EQ(c_near.endpoints().local_addr, world.mh_home_addr());  // Out-DH, Row C
+    EXPECT_EQ(c_web.endpoints().local_addr, world.mh_care_of_addr());  // Out-DT
+    EXPECT_EQ(mh.mode_for(far_ch.address()), OutMode::IE);
+    EXPECT_EQ(mh.mode_for(near_ch.address()), OutMode::DH);
+    // The near conversation never touched a router.
+    EXPECT_GE(world.home_agent().stats().packets_reverse_forwarded, 1u);
+}
+
+TEST(Conversations, FirewallAsHomeAgent) {
+    // §3.1: behind a strict firewall, only the home agent is reachable
+    // from outside — so *everything* must ride the bidirectional tunnel.
+    WorldConfig cfg;
+    cfg.home_firewall = true;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& inside = world.create_correspondent({}, Placement::HomeLan);
+    serve_echo(inside, 2049);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.rto = sim::milliseconds(100);
+    mcfg.tcp.max_retries = 14;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign()) << "registration must pass the firewall";
+
+    // Forced direct modes cannot penetrate the firewall.
+    mh.force_mode(inside.address(), OutMode::DH);
+    const auto dh = [&] {
+        transport::Pinger p(mh.stack());
+        std::optional<sim::Duration> rtt;
+        p.ping(inside.address(), [&](auto r) { rtt = r; }, sim::seconds(3), 56,
+               world.mh_home_addr());
+        world.run_for(sim::seconds(4));
+        return rtt.has_value();
+    }();
+    EXPECT_FALSE(dh);
+
+    // The tunnel through the home agent works.
+    mh.force_mode(inside.address(), OutMode::IE);
+    auto& conn = mh.tcp().connect(inside.address(), 2049);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(2048, 9));
+    world.run_for(sim::seconds(15));
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(echoed, 2048u);
+}
+
+TEST(Conversations, MinimalEncapsulationEndToEnd) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    cfg.home_agent.encap_scheme = tunnel::EncapScheme::Minimal;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 7001);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.encap_scheme = tunnel::EncapScheme::Minimal;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 7001);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(3000, 5));
+    world.run_for(sim::seconds(15));
+    EXPECT_EQ(echoed, 3000u);
+}
+
+TEST(Conversations, GreEncapsulationEndToEnd) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    cfg.home_agent.encap_scheme = tunnel::EncapScheme::Gre;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 7001);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.encap_scheme = tunnel::EncapScheme::Gre;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 7001);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(3000, 5));
+    world.run_for(sim::seconds(15));
+    EXPECT_EQ(echoed, 3000u);
+}
+
+TEST(Conversations, LossyWirelessLinkStillDelivers) {
+    // A mobile host on a lossy "wireless" visited segment: TCP + Mobile IP
+    // recover everything, at the price of retransmissions.
+    WorldConfig cfg;
+    cfg.loss_rate = 0.05;
+    cfg.seed = 99;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 7002);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.rto = sim::milliseconds(150);
+    mcfg.tcp.max_retries = 12;
+    // Pin the mode: loss-induced retransmissions would otherwise make the
+    // policy (correctly, per its signals) flee to Out-IE mid-test.
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign(sim::seconds(30)));
+    mh.force_mode(ch.address(), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 7002);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(4000, 6));
+    world.run_for(sim::seconds(120));
+    EXPECT_EQ(echoed, 4000u);
+    EXPECT_GT(conn.stats().retransmissions, 0u);
+}
+
+TEST(Conversations, CorrespondentFallsBackWhenBindingExpires) {
+    World world;
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(), sim::seconds(3));
+    ASSERT_EQ(ch.mode_for(world.mh_home_addr()), InMode::DE);
+
+    world.run_for(sim::seconds(5));  // binding ages out
+    EXPECT_EQ(ch.mode_for(world.mh_home_addr()), InMode::IE);
+
+    // And delivery still works, via the home agent.
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    EXPECT_TRUE(rtt.has_value());
+}
+
+TEST(Conversations, MobileHostPublishesItsOwnTaRecord) {
+    World world;
+    world.enable_dns();
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    dns::Resolver resolver(mh.udp(), world.dns_server_addr());
+    mh.publish_care_of_dns(resolver, world.mh_dns_name());
+    world.run_for(sim::seconds(2));
+    const auto tas = world.dns_zone().lookup(world.mh_dns_name(), dns::RecordType::TA);
+    ASSERT_EQ(tas.size(), 1u);
+    EXPECT_EQ(tas[0].addr, world.mh_care_of_addr());
+
+    // Returning home withdraws it.
+    world.attach_mobile_home();
+    mh.withdraw_care_of_dns(resolver, world.mh_dns_name());
+    world.run_for(sim::seconds(2));
+    EXPECT_TRUE(world.dns_zone().lookup(world.mh_dns_name(), dns::RecordType::TA).empty());
+}
+
+TEST(Conversations, PublishIsNoOpWhenAtHome) {
+    World world;
+    world.enable_dns();
+    MobileHost& mh = world.create_mobile_host();
+    world.attach_mobile_home();
+    dns::Resolver resolver(mh.udp(), world.dns_server_addr());
+    mh.publish_care_of_dns(resolver, world.mh_dns_name());
+    world.run_for(sim::seconds(2));
+    EXPECT_TRUE(world.dns_zone().lookup(world.mh_dns_name(), dns::RecordType::TA).empty());
+}
+
+TEST(Conversations, HomeAgentRejectsSpoofedReverseTunnel) {
+    // The reverse tunnel only relays packets whose outer source matches
+    // the registered care-of address — otherwise it would be an open
+    // spoofing relay (§6.1's warning about automatic decapsulation).
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    int ch_got = 0;
+    ch.stack().register_protocol(net::IpProto::Udp,
+                                 [&](const net::Packet&, std::size_t) { ++ch_got; });
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // An attacker in the correspondent domain forges a reverse-tunneled
+    // packet claiming to be the mobile host.
+    stack::Host attacker(world.sim, "attacker");
+    attacker.attach(world.corr_lan(), world.corr_domain.host(66), world.corr_domain.prefix,
+                    world.corr_gateway_addr());
+    auto inner = net::make_packet(world.mh_home_addr(), ch.address(), net::IpProto::Udp,
+                                  std::vector<std::uint8_t>(12, 0));
+    auto encap_ptr = tunnel::make_encapsulator(tunnel::EncapScheme::IpInIp);
+    auto& encap = *encap_ptr;
+    // Outer source = the attacker's own address, not the registered COA.
+    auto outer = encap.encapsulate(inner, world.corr_domain.host(66),
+                                   world.home_agent_addr());
+    attacker.stack().send(std::move(outer));
+    world.run_for(sim::seconds(3));
+    EXPECT_EQ(ch_got, 0);
+    EXPECT_EQ(world.home_agent().stats().packets_reverse_forwarded, 0u);
+}
+
+TEST(Conversations, PrivacyModeWithdrawsNothingToCorrespondents) {
+    // Privacy-motivated Out-IE (§4): even a mobile-aware correspondent with
+    // adverts enabled only ever sees the home agent's address on packets
+    // the mobile host originates.
+    WorldConfig cfg;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    int seen_from_coa = 0;
+    ch.stack().register_protocol(net::IpProto::Udp,
+                                 [&](const net::Packet& p, std::size_t) {
+                                     if (p.header().src == world.mh_care_of_addr()) {
+                                         ++seen_from_coa;
+                                     }
+                                 });
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.privacy_mode = true;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    auto sock = mh.udp().open();
+    for (int i = 0; i < 5; ++i) {
+        sock->send_to(ch.address(), 9000, {1, 2, 3});
+        world.run_for(sim::milliseconds(300));
+    }
+    EXPECT_EQ(seen_from_coa, 0);
+    EXPECT_GE(world.home_agent().stats().packets_reverse_forwarded, 5u);
+}

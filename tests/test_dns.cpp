@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/resolver.h"
+#include "dns/server.h"
+#include "stack/host.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+
+TEST(DnsMessage, QueryRoundTrip) {
+    const auto q = dns::Message::query(42, "mh.home.example", dns::RecordType::A);
+    net::BufferWriter w;
+    q.serialize(w);
+    net::BufferReader r(w.view());
+    const auto parsed = dns::Message::parse(r);
+    EXPECT_EQ(parsed.id, 42);
+    EXPECT_FALSE(parsed.is_response);
+    ASSERT_EQ(parsed.questions.size(), 1u);
+    EXPECT_EQ(parsed.questions[0].name, "mh.home.example");
+    EXPECT_EQ(parsed.questions[0].type, dns::RecordType::A);
+}
+
+TEST(DnsMessage, ResponseWithAnswers) {
+    auto m = dns::Message::query(7, "x.y", dns::RecordType::TA);
+    auto resp = dns::Message::response_to(m);
+    resp.answers.push_back(dns::Record{"x.y", dns::RecordType::TA, "10.2.0.10"_ip, 60});
+    net::BufferWriter w;
+    resp.serialize(w);
+    net::BufferReader r(w.view());
+    const auto parsed = dns::Message::parse(r);
+    EXPECT_TRUE(parsed.is_response);
+    ASSERT_EQ(parsed.answers.size(), 1u);
+    EXPECT_EQ(parsed.answers[0].addr, "10.2.0.10"_ip);
+    EXPECT_EQ(parsed.answers[0].ttl_seconds, 60u);
+    EXPECT_EQ(parsed.answers[0].type, dns::RecordType::TA);
+}
+
+TEST(DnsMessage, NameEncodingRejectsLongLabels) {
+    net::BufferWriter w;
+    EXPECT_THROW(dns::write_name(w, std::string(64, 'a') + ".example"), net::ParseError);
+}
+
+TEST(DnsZone, LookupAndReplace) {
+    dns::Zone z;
+    z.add_a("mh.example", "10.1.0.10"_ip);
+    z.add_ta("mh.example", "10.2.0.10"_ip);
+    EXPECT_EQ(z.lookup("mh.example", dns::RecordType::A).size(), 1u);
+    EXPECT_EQ(z.lookup("mh.example", dns::RecordType::TA).size(), 1u);
+    z.replace(dns::Record{"mh.example", dns::RecordType::TA, "10.4.0.10"_ip, 60});
+    const auto tas = z.lookup("mh.example", dns::RecordType::TA);
+    ASSERT_EQ(tas.size(), 1u);
+    EXPECT_EQ(tas[0].addr, "10.4.0.10"_ip);
+    EXPECT_EQ(z.remove("mh.example", dns::RecordType::TA), 1u);
+    EXPECT_TRUE(z.lookup("mh.example", dns::RecordType::TA).empty());
+    EXPECT_TRUE(z.has_name("mh.example"));  // the A record remains
+}
+
+namespace {
+struct DnsRig {
+    sim::Simulator sim;
+    sim::Link lan{sim, {}};
+    stack::Host server_host{sim, "dns"};
+    stack::Host client_host{sim, "client"};
+    transport::UdpService server_udp{server_host.stack()};
+    transport::UdpService client_udp{client_host.stack()};
+    dns::Zone zone;
+    dns::DnsServer server{server_udp, zone};
+
+    DnsRig() {
+        server_host.attach(lan, "10.0.0.53"_ip, "10.0.0.0/24"_net);
+        client_host.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+        zone.add_a("mh.example", "10.1.0.10"_ip, 3600);
+    }
+};
+}  // namespace
+
+TEST(DnsServer, AnswersQuery) {
+    DnsRig rig;
+    dns::Resolver resolver(rig.client_udp, "10.0.0.53"_ip);
+    std::vector<dns::Record> got;
+    resolver.resolve("mh.example", dns::RecordType::A, [&](auto r) { got = r; });
+    rig.sim.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].addr, "10.1.0.10"_ip);
+    EXPECT_EQ(rig.server.queries_served(), 1u);
+}
+
+TEST(DnsServer, NxDomainGivesEmptyAnswer) {
+    DnsRig rig;
+    dns::Resolver resolver(rig.client_udp, "10.0.0.53"_ip);
+    std::optional<std::vector<dns::Record>> got;
+    resolver.resolve("nope.example", dns::RecordType::A, [&](auto r) { got = r; });
+    rig.sim.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->empty());
+}
+
+TEST(DnsServer, DynamicTaUpdateAndRemoval) {
+    DnsRig rig;
+    dns::Resolver resolver(rig.client_udp, "10.0.0.53"_ip);
+    // Mobile host registers its care-of address as a TA record.
+    resolver.send_update(dns::Record{"mh.example", dns::RecordType::TA, "10.2.0.10"_ip, 60});
+    rig.sim.run();
+    EXPECT_EQ(rig.zone.lookup("mh.example", dns::RecordType::TA).size(), 1u);
+
+    // A later update replaces it (moved again).
+    resolver.send_update(dns::Record{"mh.example", dns::RecordType::TA, "10.4.0.10"_ip, 60});
+    rig.sim.run();
+    const auto tas = rig.zone.lookup("mh.example", dns::RecordType::TA);
+    ASSERT_EQ(tas.size(), 1u);
+    EXPECT_EQ(tas[0].addr, "10.4.0.10"_ip);
+
+    // Returning home removes it.
+    resolver.send_removal("mh.example", dns::RecordType::TA);
+    rig.sim.run();
+    EXPECT_TRUE(rig.zone.lookup("mh.example", dns::RecordType::TA).empty());
+}
+
+TEST(DnsResolver, CachesWithinTtl) {
+    DnsRig rig;
+    dns::Resolver resolver(rig.client_udp, "10.0.0.53"_ip);
+    int callbacks = 0;
+    resolver.resolve("mh.example", dns::RecordType::A, [&](auto) { ++callbacks; });
+    rig.sim.run();
+    resolver.resolve("mh.example", dns::RecordType::A, [&](auto) { ++callbacks; });
+    EXPECT_EQ(callbacks, 2);
+    EXPECT_EQ(resolver.cache_hits(), 1u);
+    EXPECT_EQ(rig.server.queries_served(), 1u);
+}
+
+TEST(DnsResolver, CacheExpires) {
+    DnsRig rig;
+    rig.zone.replace(dns::Record{"mh.example", dns::RecordType::A, "10.1.0.10"_ip, 1});
+    dns::Resolver resolver(rig.client_udp, "10.0.0.53"_ip);
+    resolver.resolve("mh.example", dns::RecordType::A, [](auto) {});
+    rig.sim.run();
+    rig.sim.schedule_in(sim::seconds(2), [] {});
+    rig.sim.run();
+    resolver.resolve("mh.example", dns::RecordType::A, [](auto) {});
+    rig.sim.run();
+    EXPECT_EQ(rig.server.queries_served(), 2u);
+}
+
+TEST(DnsResolver, TimesOutWithoutServer) {
+    sim::Simulator sim;
+    sim::Link lan(sim, {});
+    stack::Host client(sim, "client");
+    client.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    transport::UdpService udp(client.stack());
+    dns::ResolverConfig cfg;
+    cfg.timeout = sim::milliseconds(100);
+    cfg.max_retries = 1;
+    dns::Resolver resolver(udp, "10.0.0.53"_ip, cfg);
+    std::optional<std::vector<dns::Record>> got;
+    resolver.resolve("mh.example", dns::RecordType::A, [&](auto r) { got = r; });
+    sim.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->empty());
+    EXPECT_EQ(resolver.queries_sent(), 2u);  // initial + one retry
+}

@@ -1,0 +1,174 @@
+// ICMP administratively-prohibited feedback: the optional router behaviour
+// that turns the §7.1.2 "is delivery succeeding?" question from a
+// timeout-based inference into an explicit signal.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
+    ch.tcp().listen(port, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+}
+}  // namespace
+
+TEST(FilterFeedback, RouterEmitsAdminProhibited) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    cfg.filter_feedback = true;
+    World world{cfg};
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    MobileHost& mh = world.mobile_host();
+
+    // Any home-sourced UDP packet toward the outside gets filtered; the
+    // gateway tells us so.
+    auto sock = mh.udp().open();
+    sock->bind_address(world.mh_home_addr());
+    mh.force_mode(world.corr_domain.host(2), OutMode::DH);
+    sock->send_to(world.corr_domain.host(2), 9999, {1, 2, 3});
+    world.run_for(sim::seconds(2));
+    EXPECT_GE(mh.stats().icmp_feedback_signals, 1u);
+}
+
+TEST(FilterFeedback, NoFeedbackWhenDisabled) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;  // feedback off (default)
+    World world{cfg};
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    MobileHost& mh = world.mobile_host();
+
+    auto sock = mh.udp().open();
+    sock->bind_address(world.mh_home_addr());
+    mh.force_mode(world.corr_domain.host(2), OutMode::DH);
+    sock->send_to(world.corr_domain.host(2), 9999, {1, 2, 3});
+    world.run_for(sim::seconds(2));
+    EXPECT_EQ(mh.stats().icmp_feedback_signals, 0u);
+}
+
+TEST(FilterFeedback, NoIcmpErrorsAboutIcmp) {
+    // A filtered ping must not trigger an unreachable (error-storm guard).
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    cfg.filter_feedback = true;
+    World world{cfg};
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    MobileHost& mh = world.mobile_host();
+    mh.force_mode(world.corr_domain.host(2), OutMode::DH);
+
+    transport::Pinger pinger(mh.stack());
+    pinger.ping(world.corr_domain.host(2), [](auto) {}, sim::seconds(1), 56,
+                world.mh_home_addr());
+    world.run_for(sim::seconds(2));
+    EXPECT_EQ(mh.stats().icmp_feedback_signals, 0u);
+}
+
+TEST(FilterFeedback, AcceleratesModeConvergence) {
+    // With explicit signals the policy abandons Out-DH after the first
+    // couple of packets instead of waiting out exponential RTO backoff.
+    auto converge_time_ms = [](bool feedback) {
+        WorldConfig cfg;
+        cfg.foreign_egress_antispoof = true;
+        cfg.filter_feedback = feedback;
+        World world{cfg};
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        serve_echo(ch, 7000);
+        MobileHostConfig mcfg = world.mobile_config();
+        mcfg.tcp.rto = sim::milliseconds(200);
+        mcfg.tcp.max_retries = 16;
+        MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+        if (!world.attach_mobile_foreign()) return -1.0;
+
+        const auto start = world.sim.now();
+        auto& conn = mh.tcp().connect(ch.address(), 7000);
+        const auto deadline = start + sim::seconds(120);
+        while (!conn.established() && conn.alive() && world.sim.now() < deadline) {
+            world.run_for(sim::milliseconds(20));
+        }
+        if (!conn.established()) return -1.0;
+        return sim::to_milliseconds(world.sim.now() - start);
+    };
+
+    const double without = converge_time_ms(false);
+    const double with = converge_time_ms(true);
+    ASSERT_GT(without, 0);
+    ASSERT_GT(with, 0);
+    EXPECT_LT(with, without);
+}
+
+TEST(FilterFeedback, FeedbackCountsTowardFailureThreshold) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    cfg.filter_feedback = true;
+    World world{cfg};
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.cache.failure_threshold = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto dst = world.corr_domain.host(2);
+    ASSERT_EQ(mh.mode_for(dst), OutMode::DH);  // aggressive default
+    auto sock = mh.udp().open();
+    sock->bind_address(world.mh_home_addr());
+    sock->send_to(dst, 9999, {1});
+    world.run_for(sim::seconds(2));
+    sock->send_to(dst, 9999, {1});
+    world.run_for(sim::seconds(2));
+    // Two prohibited notices = threshold: the mode has moved on from DH.
+    EXPECT_NE(mh.mode_for(dst), OutMode::DH);
+}
+
+TEST(UdpRetransmissionFlag, DowngradesTheMode) {
+    // §7.1.2 taken literally: a UDP application that re-sends a request
+    // flags it as a retransmission; the policy treats each flagged resend
+    // as a delivery-failure signal and falls back.
+    World world;
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.cache.failure_threshold = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto dst = world.corr_domain.host(2);
+    ASSERT_EQ(mh.mode_for(dst), OutMode::DH);
+
+    auto sock = mh.udp().open();
+    sock->bind_address(world.mh_home_addr());
+    sock->send_to(dst, 9999, {1});  // original
+    world.run_for(sim::milliseconds(200));
+    EXPECT_EQ(mh.mode_for(dst), OutMode::DH);  // originals are not signals
+    sock->send_to(dst, 9999, {1}, /*retransmission=*/true);
+    world.run_for(sim::milliseconds(200));
+    sock->send_to(dst, 9999, {1}, /*retransmission=*/true);
+    world.run_for(sim::milliseconds(200));
+    EXPECT_EQ(mh.mode_for(dst), OutMode::DE);  // two signals = threshold
+}
+
+TEST(UdpRetransmissionFlag, DedupedWithinOneSend) {
+    // One flagged datagram = one signal, even though the policy resolver
+    // is consulted twice (source selection + routing).
+    World world;
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.cache.failure_threshold = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    const auto dst = world.corr_domain.host(2);
+    (void)mh.mode_for(dst);
+
+    auto sock = mh.udp().open();
+    sock->bind_address(world.mh_home_addr());
+    sock->send_to(dst, 9999, {1}, /*retransmission=*/true);
+    world.run_for(sim::milliseconds(200));
+    // A single flagged send must not reach the threshold of 2 by itself.
+    EXPECT_EQ(mh.mode_for(dst), OutMode::DH);
+    EXPECT_EQ(mh.stats().failure_signals, 1u);
+}

@@ -1,0 +1,193 @@
+// Foreign-agent attachment (paper §2): agent discovery, relayed
+// registration, tunnel termination at the agent, final-hop In-DH delivery,
+// reverse tunneling, and the loss of optimization freedom the paper warns
+// about.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+TEST(AgentDiscovery, AdvertisementWireRoundTrip) {
+    const auto m = net::IcmpMessage::agent_advertisement("10.2.0.3"_ip, "10.2.0.3"_ip, 300);
+    net::BufferWriter w;
+    m.serialize(w);
+    net::BufferReader r(w.view());
+    const auto parsed = net::IcmpMessage::parse(r);
+    EXPECT_EQ(parsed.type, net::IcmpType::AgentAdvertisement);
+    EXPECT_EQ(parsed.agent_address(), "10.2.0.3"_ip);
+    EXPECT_EQ(parsed.agent_care_of(), "10.2.0.3"_ip);
+    EXPECT_EQ(parsed.agent_lifetime(), 300);
+}
+
+TEST(AgentDiscovery, AccessorsRejectWrongType) {
+    net::IcmpMessage m;
+    m.type = net::IcmpType::EchoReply;
+    EXPECT_THROW(m.agent_address(), net::ParseError);
+    EXPECT_THROW(m.agent_care_of(), net::ParseError);
+}
+
+TEST(ForeignAgentE2E, SolicitedRegistrationSucceeds) {
+    World world;
+    world.create_foreign_agent();
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+
+    EXPECT_TRUE(mh.registered());
+    EXPECT_TRUE(mh.via_foreign_agent());
+    // The care-of address is the *agent's* address, not the mobile host's.
+    EXPECT_EQ(mh.care_of_address(), world.foreign_agent_addr());
+    EXPECT_EQ(mh.foreign_agent_address(), world.foreign_agent_addr());
+    EXPECT_TRUE(world.foreign_agent().has_visitor(world.mh_home_addr()));
+    EXPECT_GE(world.foreign_agent().stats().solicitations_answered, 1u);
+    EXPECT_EQ(world.foreign_agent().stats().registrations_relayed, 1u);
+    EXPECT_EQ(world.foreign_agent().stats().replies_relayed, 1u);
+    // The home agent sees the binding at the agent's address.
+    const auto binding =
+        world.home_agent().bindings().lookup(world.mh_home_addr(), world.sim.now());
+    ASSERT_TRUE(binding.has_value());
+    EXPECT_EQ(binding->care_of_address, world.foreign_agent_addr());
+}
+
+TEST(ForeignAgentE2E, UnsolicitedAdvertisementAlsoWorks) {
+    // Even if the solicitation is lost, the periodic beacon gets us there.
+    WorldConfig cfg;
+    World world{cfg};
+    ForeignAgentConfig fcfg;
+    fcfg.advert_interval = sim::milliseconds(200);
+    world.create_foreign_agent(fcfg);
+    world.create_mobile_host();
+    // Drain the agent's first beacons before the mobile host arrives; then
+    // attach and rely on the next one.
+    world.run_for(sim::seconds(1));
+    ASSERT_TRUE(world.attach_mobile_via_agent(sim::seconds(5)));
+}
+
+TEST(ForeignAgentE2E, InboundPacketsDeliveredFinalHop) {
+    World world;
+    world.create_foreign_agent();
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    ASSERT_TRUE(rtt.has_value());
+    // The chain worked: HA tunneled to the agent; the agent decapsulated
+    // and delivered over the final hop.
+    EXPECT_GE(world.home_agent().stats().packets_tunneled, 1u);
+    EXPECT_GE(world.foreign_agent().stats().packets_delivered_final_hop, 1u);
+}
+
+TEST(ForeignAgentE2E, TcpThroughAgentWorksAndSurvivesLeavingForCoLocated) {
+    World world;
+    world.create_foreign_agent();
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    ch.tcp().listen(5005, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+
+    auto& conn = mh.tcp().connect(ch.address(), 5005);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(1500, 1));
+    world.run_for(sim::seconds(10));
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(echoed, 1500u);
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_home_addr());
+    EXPECT_GE(world.foreign_agent().stats().packets_forwarded_for_visitors, 1u);
+
+    // Handoff from agent-attachment to a co-located care-of address at a
+    // third site: the home-address connection survives.
+    bool registered = false;
+    mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                      world.corr_domain.prefix, world.corr_gateway_addr(),
+                      [&](bool ok) { registered = ok; });
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(registered);
+    EXPECT_FALSE(mh.via_foreign_agent());
+    conn.send(std::vector<std::uint8_t>(1500, 2));
+    world.run_for(sim::seconds(20));
+    EXPECT_EQ(echoed, 3000u);
+}
+
+TEST(ForeignAgentE2E, ReverseTunnelSurvivesEgressFiltering) {
+    // Without reverse tunneling, the visitor's home-sourced packets die at
+    // the visited boundary; with it, the agent wraps them.
+    for (const bool reverse : {false, true}) {
+        WorldConfig cfg;
+        cfg.foreign_egress_antispoof = true;
+        World world{cfg};
+        ForeignAgentConfig fcfg;
+        fcfg.reverse_tunnel = reverse;
+        world.create_foreign_agent(fcfg);
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        world.create_mobile_host();
+        ASSERT_TRUE(world.attach_mobile_via_agent());
+
+        transport::Pinger pinger(world.mobile_host().stack());
+        std::optional<sim::Duration> rtt;
+        pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(5),
+                    56, world.mh_home_addr());
+        world.run_for(sim::seconds(6));
+        EXPECT_EQ(rtt.has_value(), reverse)
+            << "reverse_tunnel=" << reverse
+            << ": expected delivery iff the agent reverse-tunnels";
+        if (reverse) {
+            EXPECT_GE(world.foreign_agent().stats().packets_reverse_tunneled, 1u);
+        } else {
+            EXPECT_GE(world.foreign_gateway().stack().stats().egress_filter_drops, 1u);
+        }
+    }
+}
+
+TEST(ForeignAgentE2E, AgentsRestrictOptimizationFreedom) {
+    // §2: agents "restrict the freedom of the mobile host to choose from
+    // the full range of possible optimizations" — most notably Out-DT.
+    World world;
+    world.create_foreign_agent();
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    ch.tcp().listen(80, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+    MobileHost& mh = world.create_mobile_host();  // port heuristics ON
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+
+    auto& conn = mh.tcp().connect(ch.address(), 80);
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(conn.established());
+    // With a co-located COA, port 80 would ride Out-DT from the temporary
+    // address (see E2E.OutDT_ShortConnectionsUseCareOfAddress). Via an
+    // agent there is no own address: the home address is the only option.
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_home_addr());
+}
+
+TEST(ForeignAgentE2E, VisitorExpiresWithoutReRegistration) {
+    World world;
+    ForeignAgentConfig fcfg;
+    fcfg.max_lifetime_seconds = 2;
+    world.create_foreign_agent(fcfg);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_lifetime = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+    ASSERT_TRUE(world.foreign_agent().has_visitor(world.mh_home_addr()));
+
+    // Detach silently (e.g. walked out of coverage): the visitor entry and
+    // the home binding both age out.
+    mh.detach_current();
+    world.run_for(sim::seconds(5));
+    EXPECT_FALSE(world.foreign_agent().has_visitor(world.mh_home_addr()));
+    EXPECT_FALSE(world.home_agent().is_registered(world.mh_home_addr()));
+}

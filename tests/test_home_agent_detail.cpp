@@ -1,0 +1,152 @@
+// Home agent details: multiple mobile hosts, binding replacement on
+// movement, advert rate limiting — and the paper's note that "the same
+// techniques and optimizations apply equally well if both hosts are
+// mobile" (§1, final paragraph), exercised with two mobile hosts from two
+// different home networks talking to each other while both are away.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+TEST(HomeAgentDetail, ServesMultipleMobileHosts) {
+    World world;
+    // The world's standard mobile host...
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // ...plus a second one from the same home network, visiting the
+    // correspondent domain.
+    MobileHostConfig cfg2 = world.mobile_config();
+    cfg2.home_address = world.home_domain.host(11);
+    MobileHost mh2(world.sim, "mobile-host-2", std::move(cfg2));
+    bool ok2 = false;
+    mh2.attach_foreign(world.corr_lan(), world.corr_domain.host(11),
+                       world.corr_domain.prefix, world.corr_gateway_addr(),
+                       [&](bool ok) { ok2 = ok; });
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(ok2);
+
+    EXPECT_EQ(world.home_agent().bindings().size(), 2u);
+    EXPECT_TRUE(world.home_agent().is_registered(world.mh_home_addr()));
+    EXPECT_TRUE(world.home_agent().is_registered(world.home_domain.host(11)));
+
+    // Both are reachable at their home addresses. The probe host sits
+    // inside the (spoof-filtering) home domain, so the mobile hosts must
+    // answer via the tunnel (plain Out-DH replies would die at the home
+    // boundary — exactly Figure 2).
+    stack::Host probe(world.sim, "probe");
+    probe.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+                 world.home_gateway_addr());
+    world.mobile_host().force_mode(world.home_domain.host(99), OutMode::IE);
+    mh2.force_mode(world.home_domain.host(99), OutMode::IE);
+    transport::Pinger pinger(probe.stack());
+    int replies = 0;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { replies += r.has_value(); },
+                sim::seconds(5));
+    pinger.ping(world.home_domain.host(11), [&](auto r) { replies += r.has_value(); },
+                sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    EXPECT_EQ(replies, 2);
+}
+
+TEST(HomeAgentDetail, ReRegistrationFromNewLocationReplacesBinding) {
+    World world;
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    {
+        const auto b = world.home_agent().bindings().lookup(world.mh_home_addr(),
+                                                            world.sim.now());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(b->care_of_address, world.mh_care_of_addr());
+    }
+
+    bool ok = false;
+    mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                      world.corr_domain.prefix, world.corr_gateway_addr(),
+                      [&](bool okay) { ok = okay; });
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(ok);
+
+    const auto b =
+        world.home_agent().bindings().lookup(world.mh_home_addr(), world.sim.now());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->care_of_address, world.corr_domain.host(10));
+    EXPECT_EQ(world.home_agent().bindings().size(), 1u);
+}
+
+TEST(HomeAgentDetail, CareOfAdvertsAreRateLimited) {
+    WorldConfig cfg;
+    cfg.home_agent.send_care_of_adverts = true;
+    cfg.home_agent.advert_interval = sim::seconds(10);
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // Five pings in quick succession from a *conventional* CH: every
+    // request transits the home agent, but only one advert goes back.
+    transport::Pinger pinger(ch.stack());
+    for (int i = 0; i < 5; ++i) {
+        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        world.run_for(sim::milliseconds(400));
+    }
+    world.run_for(sim::seconds(3));
+    EXPECT_GE(world.home_agent().stats().packets_tunneled, 5u);
+    EXPECT_EQ(world.home_agent().stats().adverts_sent, 1u);
+}
+
+TEST(HomeAgentDetail, BothHostsMobile) {
+    // MH-A's home is the world's home domain; MH-B's home is the
+    // correspondent domain (with its own home agent there). A visits the
+    // foreign domain; B visits A's home domain. They converse by home
+    // addresses throughout.
+    World world;
+    MobileHost& mh_a = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // Stand up a second home agent in the correspondent domain.
+    HomeAgent ha_b(world.sim, "ha-b", {});
+    ha_b.attach_home(world.corr_lan(), world.corr_domain.host(2), world.corr_domain.prefix,
+                     world.corr_gateway_addr());
+
+    const auto b_home = world.corr_domain.host(30);
+    MobileHostConfig cfg_b;
+    cfg_b.home_address = b_home;
+    cfg_b.home_subnet = world.corr_domain.prefix;
+    cfg_b.home_agent = world.corr_domain.host(2);
+    MobileHost mh_b(world.sim, "mobile-host-b", std::move(cfg_b));
+    bool ok_b = false;
+    // B visits A's home network (a guest there).
+    mh_b.attach_foreign(world.home_lan(), world.home_domain.host(77),
+                        world.home_domain.prefix, world.home_gateway_addr(),
+                        [&](bool ok) { ok_b = ok; });
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(ok_b);
+
+    // B runs an echo service on its home address; A connects to it.
+    mh_b.tcp().listen(6000, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+    mh_a.force_mode(b_home, OutMode::IE);
+    auto& conn = mh_a.tcp().connect(b_home, 6000);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(1200, 7));
+    world.run_for(sim::seconds(30));
+
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(echoed, 1200u);
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_home_addr());
+    EXPECT_EQ(conn.endpoints().remote_addr, b_home);
+    // Both home agents carried traffic: a double triangle.
+    EXPECT_GE(world.home_agent().stats().packets_tunneled +
+                  world.home_agent().stats().packets_reverse_forwarded,
+              1u);
+    EXPECT_GE(ha_b.stats().packets_tunneled, 1u);
+}

@@ -1,0 +1,146 @@
+// Coverage for paths no other suite exercises: the no-transit policy
+// formulation, resolver query piggybacking, detach behaviour, and ARP
+// configuration knobs.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+TEST(NoTransitPolicy, KillsOutDHLikeEgressAntispoof) {
+    // The paper gives two reasons packets are discarded (§3.1): source
+    // filtering and "a policy forbidding transit traffic". Both must have
+    // the same effect on Out-DH.
+    WorldConfig cfg;
+    cfg.foreign_no_transit = true;  // instead of the anti-spoof formulation
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::DH);
+
+    transport::Pinger pinger(mh.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(3), 56,
+                world.mh_home_addr());
+    world.run_for(sim::seconds(4));
+    EXPECT_FALSE(rtt.has_value());
+
+    // Out-IE still works: the outer packets always have one local endpoint.
+    mh.force_mode(ch.address(), OutMode::IE);
+    pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(5), 56,
+                world.mh_home_addr());
+    world.run_for(sim::seconds(6));
+    EXPECT_TRUE(rtt.has_value());
+}
+
+TEST(DnsResolver, ParallelIdenticalQueriesShareOneRequest) {
+    World world;
+    world.enable_dns();
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    dns::Resolver resolver(ch.udp(), world.dns_server_addr());
+    int callbacks = 0;
+    resolver.resolve(world.mh_dns_name(), dns::RecordType::A, [&](auto) { ++callbacks; });
+    resolver.resolve(world.mh_dns_name(), dns::RecordType::A, [&](auto) { ++callbacks; });
+    world.run_for(sim::seconds(3));
+    EXPECT_EQ(callbacks, 2);
+    EXPECT_EQ(resolver.queries_sent(), 1u);
+}
+
+TEST(Detach, UnpluggedMobileIsUnreachableUntilReattach) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    mh.detach_current();
+    EXPECT_FALSE(mh.registered());
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(3));
+    world.run_for(sim::seconds(4));
+    EXPECT_FALSE(rtt.has_value());  // tunneled into the void
+
+    // Re-attach and re-register: reachable again.
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    EXPECT_TRUE(rtt.has_value());
+}
+
+TEST(ArpConfig, RetryCountAndIntervalAreHonoured) {
+    sim::Simulator sim;
+    sim::Link lan(sim, {});
+    sim::Node n(sim, "n");
+    sim::Nic& nic = n.add_nic();
+    nic.connect(lan);
+    arp::ArpConfig cfg;
+    cfg.max_retries = 5;
+    cfg.request_interval = sim::milliseconds(100);
+    arp::ArpEngine engine(sim, nic, cfg);
+    engine.set_local_address("10.0.0.1"_ip);
+
+    bool failed = false;
+    sim::TimePoint failed_at = 0;
+    engine.resolve("10.0.0.99"_ip, [&](auto mac) {
+        failed = !mac.has_value();
+        failed_at = sim.now();
+    });
+    sim.run();
+    EXPECT_TRUE(failed);
+    EXPECT_EQ(engine.requests_sent(), 5u);
+    EXPECT_EQ(failed_at, sim::milliseconds(500));
+}
+
+TEST(Selection, RuleBasedEndToEnd) {
+    // The paper's configuration example: the home network is a region
+    // where Out-IE should always be used; everywhere else starts
+    // optimistic. One mobile host, two correspondents, zero probing waste.
+    World world;
+    CorrespondentHost& inside = world.create_correspondent({}, Placement::HomeLan);
+    CorrespondentHost& outside = world.create_correspondent({}, Placement::CorrLan);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.strategy = std::make_unique<RuleBasedStrategy>(
+        std::vector<SelectionRule>{{world.home_domain.prefix, /*optimistic=*/false}},
+        /*default_optimistic=*/true);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    EXPECT_EQ(mh.mode_for(inside.address()), OutMode::IE);   // pessimistic region
+    EXPECT_EQ(mh.mode_for(outside.address()), OutMode::DH);  // optimistic default
+
+    // And both choices deliver on the first try.
+    transport::Pinger pinger(mh.stack());
+    int delivered = 0;
+    pinger.ping(inside.address(), [&](auto r) { delivered += r.has_value(); },
+                sim::seconds(5), 56, world.mh_home_addr());
+    world.run_for(sim::seconds(6));
+    pinger.ping(outside.address(), [&](auto r) { delivered += r.has_value(); },
+                sim::seconds(5), 56, world.mh_home_addr());
+    world.run_for(sim::seconds(6));
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(mh.method_cache().stats().downgrades, 0u);
+}
+
+TEST(HomeAgent, DecapRegistryIgnoresWrongSchemePackets) {
+    // A GRE packet aimed at an IP-in-IP home agent is dropped, not crashed
+    // on, and nothing is relayed.
+    World world;  // HA speaks IP-in-IP by default
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    stack::Host sender(world.sim, "sender");
+    sender.attach(world.corr_lan(), world.corr_domain.host(77), world.corr_domain.prefix,
+                  world.corr_gateway_addr());
+    auto inner = net::make_packet(world.mh_home_addr(), world.corr_domain.host(2),
+                                  net::IpProto::Udp, std::vector<std::uint8_t>(8, 0));
+    auto gre = tunnel::make_encapsulator(tunnel::EncapScheme::Gre);
+    sender.stack().send(gre->encapsulate(inner, world.corr_domain.host(77),
+                                         world.home_agent_addr()));
+    world.run_for(sim::seconds(2));
+    EXPECT_EQ(world.home_agent().stats().packets_reverse_forwarded, 0u);
+}

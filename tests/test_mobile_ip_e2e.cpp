@@ -1,0 +1,402 @@
+// End-to-end Mobile IP behaviour: every row of the 4x4 grid exercised over
+// the full simulated network, plus handoff, adaptation, and heuristics.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+
+std::vector<std::uint8_t> bytes(std::size_t n) {
+    return std::vector<std::uint8_t>(n, 0x42);
+}
+
+/// Runs a TCP echo server on @p ch at @p port that acks data back.
+void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
+    ch.tcp().listen(port, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+}
+
+}  // namespace
+
+// ---- Row A: conventional correspondent ------------------------------------
+
+TEST(E2E, InIE_ConventionalCorrespondentReachesAwayMobile) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    world.attach_mobile_home();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_all();
+    ASSERT_TRUE(rtt.has_value()) << "In-IE ping via home agent failed";
+    EXPECT_GE(world.home_agent().stats().packets_tunneled, 1u);
+}
+
+TEST(E2E, OutIE_WorksThroughSourceFilteringNetworks) {
+    // Figure 3: with every boundary filter enabled, bi-directional
+    // tunneling still delivers.
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 5001);
+
+    MobileHost& mh = world.create_mobile_host();
+    world.attach_mobile_home();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 5001);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(bytes(4000));
+    world.run_for(sim::seconds(20));
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(echoed, 4000u);
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_home_addr());
+    EXPECT_GE(world.home_agent().stats().packets_reverse_forwarded, 4u);
+}
+
+TEST(E2E, OutDH_DiesUnderEgressFiltering) {
+    // Figure 2: the plain home-address packet is discarded at the visited
+    // network's boundary.
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 5001);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.max_retries = 3;
+    mcfg.tcp.rto = sim::milliseconds(100);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::DH);
+
+    auto& conn = mh.tcp().connect(ch.address(), 5001);
+    world.run_for(sim::seconds(10));
+    EXPECT_FALSE(conn.established());
+    EXPECT_EQ(conn.state(), transport::TcpState::Failed);
+    EXPECT_GE(world.foreign_gateway().stack().stats().egress_filter_drops, 1u);
+}
+
+TEST(E2E, OutDH_WorksWithoutFiltering) {
+    World world;  // foreign boundary permissive by default
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 5001);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::DH);
+
+    auto& conn = mh.tcp().connect(ch.address(), 5001);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(bytes(2000));
+    world.run_for(sim::seconds(10));
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(echoed, 2000u);
+    // Outgoing went direct: the home agent never reverse-forwarded.
+    EXPECT_EQ(world.home_agent().stats().packets_reverse_forwarded, 0u);
+}
+
+// ---- Row A/B: encapsulating to the correspondent ---------------------------
+
+TEST(E2E, OutDE_RequiresDecapCapableCorrespondent) {
+    World world;
+    CorrespondentConfig decap_cfg;
+    decap_cfg.awareness = Awareness::DecapCapable;
+    CorrespondentHost& smart = world.create_correspondent(decap_cfg, Placement::CorrLan, 2);
+    CorrespondentHost& naive = world.create_correspondent({}, Placement::CorrLan, 3);
+    serve_echo(smart, 5001);
+    serve_echo(naive, 5001);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.max_retries = 3;
+    mcfg.tcp.rto = sim::milliseconds(100);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(smart.address(), OutMode::DE);
+    mh.force_mode(naive.address(), OutMode::DE);
+
+    auto& good = mh.tcp().connect(smart.address(), 5001);
+    auto& bad = mh.tcp().connect(naive.address(), 5001);
+    world.run_for(sim::seconds(10));
+    EXPECT_TRUE(good.established());
+    EXPECT_GE(smart.stats().decapsulated, 1u);
+    EXPECT_EQ(bad.state(), transport::TcpState::Failed);
+}
+
+// ---- Row B: mobile-aware correspondent (route optimization) ----------------
+
+TEST(E2E, InDE_RouteOptimizationViaIcmpAdverts) {
+    WorldConfig cfg;
+    cfg.home_agent.send_care_of_adverts = true;
+    World world{cfg};
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // First packet goes via the home agent, which advertises the care-of
+    // address back to the correspondent.
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> first, second;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { first = r; }, sim::seconds(5));
+    world.run_all();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(ch.mode_for(world.mh_home_addr()), InMode::DE);
+    EXPECT_GE(ch.stats().adverts_learned, 1u);
+
+    const auto tunneled_before = world.home_agent().stats().packets_tunneled;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { second = r; }, sim::seconds(5));
+    world.run_all();
+    ASSERT_TRUE(second.has_value());
+    // The second ping bypassed the home agent entirely...
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, tunneled_before);
+    EXPECT_GE(ch.stats().in_de_sent, 1u);
+    // ...and, with home attached at one end and CH/foreign at the other,
+    // the direct path is faster.
+    EXPECT_LT(*second, *first);
+}
+
+TEST(E2E, InDE_BindingLearnedFromDnsTaRecord) {
+    World world;
+    world.enable_dns();
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    // The mobile host publishes its care-of address in DNS (§3.2).
+    world.dns_zone().replace(
+        dns::Record{world.mh_dns_name(), dns::RecordType::TA, world.mh_care_of_addr(), 60});
+
+    dns::Resolver resolver(ch.udp(), world.dns_server_addr());
+    net::Ipv4Address resolved_home;
+    ch.discover_via_dns(resolver, world.mh_dns_name(),
+                        [&](net::Ipv4Address home) { resolved_home = home; });
+    world.run_all();
+    EXPECT_EQ(resolved_home, world.mh_home_addr());
+    EXPECT_EQ(ch.mode_for(world.mh_home_addr()), InMode::DE);
+}
+
+// ---- Row C: same network segment -------------------------------------------
+
+TEST(E2E, InDH_SameSegmentBypassesAllRouters) {
+    World world;
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::ForeignLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr());
+    ASSERT_EQ(ch.mode_for(world.mh_home_addr()), InMode::DH);
+    mh.force_mode(ch.address(), OutMode::DH);  // reply in kind (In-DH/Out-DH)
+
+    const auto fwd_before = world.foreign_gateway().stack().stats().packets_forwarded;
+    const auto ha_before = world.home_agent().stats().packets_tunneled;
+
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_all();
+
+    ASSERT_TRUE(rtt.has_value());
+    // One LAN hop each way: no router forwarded anything, no tunneling.
+    EXPECT_EQ(world.foreign_gateway().stack().stats().packets_forwarded, fwd_before);
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, ha_before);
+    EXPECT_GE(ch.stats().in_dh_sent, 1u);
+}
+
+// ---- Row D: forgoing Mobile IP ----------------------------------------------
+
+TEST(E2E, OutDT_ShortConnectionsUseCareOfAddress) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 80);  // HTTP: in the temporary-address port list
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    auto& conn = mh.tcp().connect(ch.address(), 80);
+    world.run_for(sim::seconds(5));
+    EXPECT_TRUE(conn.established());
+    // §7.1.1: port-80 traffic skips Mobile IP — the endpoint is the COA.
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_care_of_addr());
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, 0u);
+}
+
+TEST(E2E, HomeAddressUsedForLongLivedPorts) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 23);  // telnet: not in the heuristic list
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    auto& conn = mh.tcp().connect(ch.address(), 23);
+    world.run_for(sim::seconds(5));
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(conn.endpoints().local_addr, world.mh_home_addr());
+}
+
+TEST(E2E, OutDT_ConnectionBreaksWhenMobileMoves) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 80);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.max_retries = 4;
+    mcfg.tcp.rto = sim::milliseconds(100);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    auto& conn = mh.tcp().connect(ch.address(), 80);
+    world.run_for(sim::seconds(2));
+    ASSERT_TRUE(conn.established());
+    ASSERT_EQ(conn.endpoints().local_addr, world.mh_care_of_addr());
+
+    // Move to another network: the COA-identified connection is doomed.
+    mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                      world.corr_domain.prefix, world.corr_gateway_addr());
+    world.run_for(sim::seconds(1));
+    conn.send(bytes(500));
+    world.run_for(sim::seconds(30));
+    EXPECT_EQ(conn.state(), transport::TcpState::Failed);
+}
+
+// ---- durability & handoff ----------------------------------------------------
+
+TEST(E2E, TcpSurvivesHandoffOnHomeAddress) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 5001);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::IE);  // most conservative survives anything
+
+    auto& conn = mh.tcp().connect(ch.address(), 5001);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(bytes(1000));
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(conn.established());
+    ASSERT_EQ(echoed, 1000u);
+
+    // Handoff to a third network (visiting the correspondent's site).
+    bool registered = false;
+    mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),
+                      world.corr_domain.prefix, world.corr_gateway_addr(),
+                      [&](bool ok) { registered = ok; });
+    world.run_for(sim::seconds(5));
+    ASSERT_TRUE(registered);
+    EXPECT_EQ(mh.care_of_address(), world.corr_domain.host(10));
+
+    conn.send(bytes(1000));
+    world.run_for(sim::seconds(20));
+    EXPECT_TRUE(conn.alive());
+    EXPECT_EQ(echoed, 2000u) << "data sent after handoff was not delivered";
+}
+
+TEST(E2E, ReturningHomeRestoresNormalOperation) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    world.attach_mobile_home();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    world.attach_mobile_home();
+    world.run_for(sim::seconds(1));
+
+    transport::Pinger pinger(ch.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    world.run_all();
+    ASSERT_TRUE(rtt.has_value());
+    // No tunneling involved: the mobile host answered directly at home.
+    EXPECT_EQ(world.home_agent().stats().packets_tunneled, 0u);
+}
+
+// ---- adaptation (§7.1.2) -----------------------------------------------------
+
+TEST(E2E, AggressiveFirstFallsBackToTunnelingUnderFilters) {
+    // CH is inside the (filtering) home institution and is not mobile-aware:
+    // Out-DH dies at the boundary, Out-DE dies at the host, Out-IE works.
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::HomeLan);
+    serve_echo(ch, 6000);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.tcp.rto = sim::milliseconds(100);
+    mcfg.tcp.max_retries = 12;
+    mcfg.cache.failure_threshold = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    ASSERT_EQ(mh.mode_for(ch.address()), OutMode::DH);  // starts aggressive
+
+    auto& conn = mh.tcp().connect(ch.address(), 6000);
+    world.run_for(sim::seconds(60));
+    EXPECT_TRUE(conn.established()) << "fallback chain DH->DE->IE did not converge";
+    EXPECT_EQ(mh.mode_for(ch.address()), OutMode::IE);
+    EXPECT_GE(mh.method_cache().stats().downgrades, 2u);
+}
+
+TEST(E2E, ConservativeFirstUpgradesWhenPathIsPermissive) {
+    WorldConfig cfg;
+    cfg.home_ingress_spoof_filter = false;  // fully permissive world
+    cfg.home_egress_antispoof = false;
+    World world{cfg};
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::DecapCapable;  // Out-DE viable too
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::CorrLan);
+    serve_echo(ch, 6000);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.strategy = std::make_unique<ConservativeFirstStrategy>();
+    mcfg.cache.upgrade_after = 3;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    ASSERT_EQ(mh.mode_for(ch.address()), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 6000);
+    for (int i = 0; i < 30; ++i) {
+        conn.send(bytes(200));
+        world.run_for(sim::milliseconds(500));
+    }
+    EXPECT_TRUE(conn.established());
+    EXPECT_EQ(mh.mode_for(ch.address()), OutMode::DH)
+        << "conservative-first should have probed its way up to Out-DH";
+    EXPECT_GE(mh.method_cache().stats().probes_confirmed, 1u);
+}
+
+// ---- privacy ------------------------------------------------------------------
+
+TEST(E2E, PrivacyModeHidesLocationFromCorrespondent) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 6000);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.privacy_mode = true;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    auto& conn = mh.tcp().connect(ch.address(), 6000);
+    conn.send(bytes(1000));
+    world.run_for(sim::seconds(10));
+    EXPECT_TRUE(conn.established());
+    // Every outgoing packet took the home tunnel.
+    EXPECT_GE(mh.stats().out_ie, 3u);
+    EXPECT_EQ(mh.stats().out_dh, 0u);
+    // What the correspondent's network saw only ever had home/HA addresses.
+    EXPECT_GE(world.home_agent().stats().packets_reverse_forwarded, 1u);
+}

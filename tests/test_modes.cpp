@@ -1,0 +1,111 @@
+// The 4x4 grid (Figure 10) as executable truth.
+#include <gtest/gtest.h>
+
+#include "core/modes.h"
+
+using namespace mip::core;
+
+TEST(Grid, CensusMatchesPaper) {
+    // Figure 10: 7 useful, 3 lightly shaded (valid but unused), 6 darkly
+    // shaded (broken) — sixteen combinations in total.
+    const GridCensus c = census();
+    EXPECT_EQ(c.useful, 7);
+    EXPECT_EQ(c.valid_unused, 3);
+    EXPECT_EQ(c.broken, 6);
+    EXPECT_EQ(c.useful + c.valid_unused + c.broken, 16);
+}
+
+TEST(Grid, RowA_ConventionalCorrespondent) {
+    EXPECT_EQ(classify_combo(InMode::IE, OutMode::IE), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::IE, OutMode::DE), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::IE, OutMode::DH), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::IE, OutMode::DT), ComboClass::Broken);
+}
+
+TEST(Grid, RowB_MobileAwareCorrespondent) {
+    EXPECT_EQ(classify_combo(InMode::DE, OutMode::IE), ComboClass::ValidUnused);
+    EXPECT_EQ(classify_combo(InMode::DE, OutMode::DE), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::DE, OutMode::DH), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::DE, OutMode::DT), ComboClass::Broken);
+}
+
+TEST(Grid, RowC_SameSegment) {
+    EXPECT_EQ(classify_combo(InMode::DH, OutMode::IE), ComboClass::ValidUnused);
+    EXPECT_EQ(classify_combo(InMode::DH, OutMode::DE), ComboClass::ValidUnused);
+    EXPECT_EQ(classify_combo(InMode::DH, OutMode::DH), ComboClass::Useful);
+    EXPECT_EQ(classify_combo(InMode::DH, OutMode::DT), ComboClass::Broken);
+}
+
+TEST(Grid, RowD_ForgoingMobility) {
+    EXPECT_EQ(classify_combo(InMode::DT, OutMode::IE), ComboClass::Broken);
+    EXPECT_EQ(classify_combo(InMode::DT, OutMode::DE), ComboClass::Broken);
+    EXPECT_EQ(classify_combo(InMode::DT, OutMode::DH), ComboClass::Broken);
+    EXPECT_EQ(classify_combo(InMode::DT, OutMode::DT), ComboClass::Useful);
+}
+
+TEST(Grid, MixingTemporaryAndPermanentAddressesNeverWorks) {
+    // §6.5: temporary care-of in one direction mandates it in the other.
+    for (OutMode out : kAllOutModes) {
+        if (out == OutMode::DT) continue;
+        EXPECT_EQ(classify_combo(InMode::DT, out), ComboClass::Broken) << to_string(out);
+    }
+    for (InMode in : kAllInModes) {
+        if (in == InMode::DT) continue;
+        EXPECT_EQ(classify_combo(in, OutMode::DT), ComboClass::Broken) << to_string(in);
+    }
+}
+
+TEST(ModeAttributes, Directness) {
+    EXPECT_FALSE(is_direct(OutMode::IE));
+    EXPECT_TRUE(is_direct(OutMode::DE));
+    EXPECT_TRUE(is_direct(OutMode::DH));
+    EXPECT_TRUE(is_direct(OutMode::DT));
+    EXPECT_FALSE(is_direct(InMode::IE));
+    EXPECT_TRUE(is_direct(InMode::DE));
+}
+
+TEST(ModeAttributes, Encapsulation) {
+    EXPECT_TRUE(is_encapsulated(OutMode::IE));
+    EXPECT_TRUE(is_encapsulated(OutMode::DE));
+    EXPECT_FALSE(is_encapsulated(OutMode::DH));
+    EXPECT_FALSE(is_encapsulated(OutMode::DT));
+    EXPECT_TRUE(is_encapsulated(InMode::IE));
+    EXPECT_TRUE(is_encapsulated(InMode::DE));
+    EXPECT_FALSE(is_encapsulated(InMode::DH));
+    EXPECT_FALSE(is_encapsulated(InMode::DT));
+}
+
+TEST(ModeAttributes, Transparency) {
+    // Only the DT modes give up the home address (and with it, mobility).
+    for (OutMode m : kAllOutModes) {
+        EXPECT_EQ(uses_home_address(m), m != OutMode::DT);
+    }
+    for (InMode m : kAllInModes) {
+        EXPECT_EQ(uses_home_address(m), m != InMode::DT);
+    }
+}
+
+TEST(ModeAttributes, FilterSafety) {
+    // Out-DH is the only outgoing mode that exposes a topologically
+    // incorrect source address to routers on the path.
+    EXPECT_TRUE(filter_safe(OutMode::IE));
+    EXPECT_TRUE(filter_safe(OutMode::DE));
+    EXPECT_FALSE(filter_safe(OutMode::DH));
+    EXPECT_TRUE(filter_safe(OutMode::DT));
+}
+
+TEST(ModeAttributes, CorrespondentRequirements) {
+    EXPECT_TRUE(needs_decap_correspondent(OutMode::DE));
+    EXPECT_FALSE(needs_decap_correspondent(OutMode::IE));
+    EXPECT_TRUE(needs_mobile_aware_correspondent(InMode::DE));
+    EXPECT_FALSE(needs_mobile_aware_correspondent(InMode::IE));
+    EXPECT_TRUE(needs_same_segment(InMode::DH));
+    EXPECT_FALSE(needs_same_segment(InMode::DE));
+}
+
+TEST(ModeNames, Strings) {
+    EXPECT_EQ(to_string(OutMode::IE), "Out-IE");
+    EXPECT_EQ(to_string(InMode::DT), "In-DT");
+    EXPECT_EQ(describe(OutMode::DH), "Outgoing, Direct, Home Address");
+    EXPECT_EQ(to_string(ComboClass::Broken), "broken");
+}

@@ -1,0 +1,192 @@
+// IP multicast (§6.4): link-scope delivery, group filtering, and the two
+// ways a mobile host can receive a group while away — joining on the local
+// network (the paper's recommendation) versus having the home agent tunnel
+// it ("a little self-defeating").
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/udp_service.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+const auto kGroup = "239.1.2.3"_ip;
+constexpr std::uint16_t kPort = 9875;
+
+/// Sends one datagram to the group from @p host.
+void send_to_group(transport::UdpService& udp, std::vector<std::uint8_t> data) {
+    auto sock = udp.open();
+    sock->send_to(kGroup, kPort, std::move(data));
+}
+}  // namespace
+
+TEST(MulticastMac, MappingFollowsRfc1112) {
+    const auto mac = sim::MacAddress::multicast_for(kGroup.value());
+    EXPECT_EQ(mac.to_string(), "01:00:5e:01:02:03");
+    EXPECT_TRUE(mac.is_group());
+    EXPECT_FALSE(sim::MacAddress::from_id(5).is_group());
+    EXPECT_TRUE(sim::MacAddress::broadcast().is_group());
+}
+
+TEST(Multicast, JoinedHostsReceive) {
+    sim::Simulator sim;
+    sim::Link lan(sim, {});
+    stack::Host a(sim, "a"), b(sim, "b"), c(sim, "c");
+    a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+    b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    c.attach(lan, "10.0.0.3"_ip, "10.0.0.0/24"_net);
+    transport::UdpService ua(a.stack()), ub(b.stack()), uc(c.stack());
+
+    b.stack().join_group(kGroup);
+    c.stack().join_group(kGroup);
+
+    int b_got = 0, c_got = 0;
+    auto sb = ub.open(kPort);
+    sb->set_receiver([&](auto, auto, auto) { ++b_got; });
+    auto sc = uc.open(kPort);
+    sc->set_receiver([&](auto, auto, auto) { ++c_got; });
+
+    send_to_group(ua, {1, 2, 3});
+    sim.run();
+    EXPECT_EQ(b_got, 1);
+    EXPECT_EQ(c_got, 1);
+}
+
+TEST(Multicast, NonMembersIgnoreGroupTraffic) {
+    sim::Simulator sim;
+    sim::Link lan(sim, {});
+    stack::Host a(sim, "a"), b(sim, "b");
+    a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+    b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    transport::UdpService ua(a.stack()), ub(b.stack());
+
+    int got = 0;
+    auto sb = ub.open(kPort);
+    sb->set_receiver([&](auto, auto, auto) { ++got; });
+    send_to_group(ua, {1});
+    sim.run();
+    EXPECT_EQ(got, 0);
+
+    b.stack().join_group(kGroup);
+    send_to_group(ua, {1});
+    sim.run();
+    EXPECT_EQ(got, 1);
+
+    b.stack().leave_group(kGroup);
+    send_to_group(ua, {1});
+    sim.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Multicast, JoinRejectsUnicastAddress) {
+    sim::Simulator sim;
+    stack::Host a(sim, "a");
+    EXPECT_THROW(a.stack().join_group("10.0.0.1"_ip), std::invalid_argument);
+}
+
+TEST(Multicast, RoutersDoNotForwardGroups) {
+    World world;
+    stack::Host sender(world.sim, "sender");
+    sender.attach(world.foreign_lan(), world.foreign_domain.host(99),
+                  world.foreign_domain.prefix, world.foreign_gateway_addr());
+    stack::Host far(world.sim, "far");
+    far.attach(world.corr_lan(), world.corr_domain.host(99), world.corr_domain.prefix,
+               world.corr_gateway_addr());
+    far.stack().join_group(kGroup);
+    transport::UdpService us(sender.stack()), uf(far.stack());
+    int got = 0;
+    auto sock = uf.open(kPort);
+    sock->set_receiver([&](auto, auto, auto) { ++got; });
+    send_to_group(us, {1});
+    world.run_for(sim::seconds(2));
+    EXPECT_EQ(got, 0);  // link scope: no router carried it off-segment
+}
+
+TEST(MulticastMobility, LocalJoinOnVisitedNetwork) {
+    // The paper's recommendation: join through the real physical interface.
+    World world;
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    mh.stack().join_group(kGroup);
+
+    int got = 0;
+    auto sock = mh.udp().open(kPort);
+    sock->set_receiver([&](auto, auto, auto) { ++got; });
+
+    // A session source on the visited LAN.
+    stack::Host source(world.sim, "mbone-src");
+    source.attach(world.foreign_lan(), world.foreign_domain.host(99),
+                  world.foreign_domain.prefix, world.foreign_gateway_addr());
+    transport::UdpService us(source.stack());
+    send_to_group(us, {42});
+    world.run_for(sim::seconds(2));
+    EXPECT_EQ(got, 1);
+    // Nothing touched the home agent.
+    EXPECT_EQ(world.home_agent().stats().multicast_relayed, 0u);
+}
+
+TEST(MulticastMobility, HomeAgentRelayTunnelsGroupTraffic) {
+    // The self-defeating alternative: subscribe "through the virtual
+    // interface on the distant home network".
+    WorldConfig cfg;
+    cfg.home_agent.multicast_relay_groups = {kGroup};
+    World world{cfg};
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    int got = 0;
+    auto sock = mh.udp().open(kPort);
+    sock->set_receiver([&](auto, auto, auto) { ++got; });
+
+    // The session source is on the *home* LAN.
+    stack::Host source(world.sim, "home-src");
+    source.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+                  world.home_gateway_addr());
+    transport::UdpService us(source.stack());
+    send_to_group(us, {42});
+    world.run_for(sim::seconds(2));
+
+    EXPECT_EQ(got, 1);  // delivered — but only via the tunnel
+    EXPECT_EQ(world.home_agent().stats().multicast_relayed, 1u);
+}
+
+TEST(MulticastMobility, RelayCostExceedsLocalJoin) {
+    // Quantifies "self-defeating": the tunneled path puts far more bytes
+    // on the wire than the one-hop local delivery, for the same packet.
+    const std::size_t local_bytes = [] {
+        World world;
+        MobileHost& mh = world.create_mobile_host();
+        if (!world.attach_mobile_foreign()) return std::size_t{0};
+        mh.stack().join_group(kGroup);
+        stack::Host source(world.sim, "src");
+        source.attach(world.foreign_lan(), world.foreign_domain.host(99),
+                      world.foreign_domain.prefix, world.foreign_gateway_addr());
+        transport::UdpService us(source.stack());
+        world.trace.clear();
+        send_to_group(us, std::vector<std::uint8_t>(100, 1));
+        world.run_for(sim::seconds(2));
+        return world.trace.ip_tx_bytes();
+    }();
+
+    const std::size_t relayed_bytes = [] {
+        WorldConfig cfg;
+        cfg.home_agent.multicast_relay_groups = {kGroup};
+        World world{cfg};
+        world.create_mobile_host();
+        if (!world.attach_mobile_foreign()) return std::size_t{0};
+        stack::Host source(world.sim, "src");
+        source.attach(world.home_lan(), world.home_domain.host(99),
+                      world.home_domain.prefix, world.home_gateway_addr());
+        transport::UdpService us(source.stack());
+        world.trace.clear();
+        send_to_group(us, std::vector<std::uint8_t>(100, 1));
+        world.run_for(sim::seconds(2));
+        return world.trace.ip_tx_bytes();
+    }();
+
+    ASSERT_GT(local_bytes, 0u);
+    ASSERT_GT(relayed_bytes, 0u);
+    EXPECT_GT(relayed_bytes, 5 * local_bytes);
+}

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4_address.h"
+
+using namespace mip::net;
+using namespace mip::net::literals;
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+    const auto addr = Ipv4Address::parse("171.64.15.82");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->to_string(), "171.64.15.82");
+    EXPECT_EQ(addr->value(), 0xAB400F52u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+    EXPECT_FALSE(Ipv4Address::parse("").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("10.0.0").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("10.0.0.0.1").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("10.0.0.-1").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("10..0.1").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("10.0.0.1 ").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+    EXPECT_FALSE(Ipv4Address::parse("01.2.3.4").has_value());  // ambiguous leading zero
+}
+
+TEST(Ipv4Address, MustParseThrows) {
+    EXPECT_THROW(Ipv4Address::must_parse("not-an-address"), std::invalid_argument);
+    EXPECT_NO_THROW(Ipv4Address::must_parse("1.2.3.4"));
+}
+
+TEST(Ipv4Address, Predicates) {
+    EXPECT_TRUE(Ipv4Address{}.is_unspecified());
+    EXPECT_TRUE("127.0.0.1"_ip.is_loopback());
+    EXPECT_FALSE("128.0.0.1"_ip.is_loopback());
+    EXPECT_TRUE("224.0.0.1"_ip.is_multicast());
+    EXPECT_TRUE("239.255.255.255"_ip.is_multicast());
+    EXPECT_FALSE("240.0.0.0"_ip.is_multicast());
+    EXPECT_TRUE("255.255.255.255"_ip.is_broadcast());
+}
+
+TEST(Ipv4Address, Ordering) {
+    EXPECT_LT("10.0.0.1"_ip, "10.0.0.2"_ip);
+    EXPECT_EQ("10.0.0.1"_ip, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST(Prefix, ContainsAndMask) {
+    const Prefix p = "171.64.0.0/16"_net;
+    EXPECT_EQ(p.mask(), 0xFFFF0000u);
+    EXPECT_TRUE(p.contains("171.64.1.1"_ip));
+    EXPECT_FALSE(p.contains("171.65.0.1"_ip));
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+    EXPECT_TRUE(kDefaultRoute.contains("1.2.3.4"_ip));
+    EXPECT_TRUE(kDefaultRoute.contains("255.255.255.255"_ip));
+    EXPECT_EQ(kDefaultRoute.mask(), 0u);
+}
+
+TEST(Prefix, HostRoute) {
+    const Prefix p = "10.1.2.3/32"_net;
+    EXPECT_TRUE(p.contains("10.1.2.3"_ip));
+    EXPECT_FALSE(p.contains("10.1.2.4"_ip));
+}
+
+TEST(Prefix, BaseIsCanonicalized) {
+    // Construction masks off host bits.
+    const Prefix p("10.1.2.3"_ip, 16);
+    EXPECT_EQ(p.base(), "10.1.0.0"_ip);
+    EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+    EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+    EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+    EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+    EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+    EXPECT_THROW(Prefix("10.0.0.0"_ip, 33), std::invalid_argument);
+}
+
+TEST(Prefix, Covers) {
+    EXPECT_TRUE("10.0.0.0/8"_net.covers("10.1.0.0/16"_net));
+    EXPECT_FALSE("10.1.0.0/16"_net.covers("10.0.0.0/8"_net));
+    EXPECT_TRUE("10.1.0.0/16"_net.covers("10.1.0.0/16"_net));
+    EXPECT_FALSE("10.1.0.0/16"_net.covers("10.2.0.0/16"_net));
+}

@@ -1,0 +1,131 @@
+// Parser robustness: every wire-format parser must either produce a value
+// or throw ParseError on arbitrary input — never crash, never read out of
+// bounds. (ASAN-friendly randomized sweeps.)
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arp/arp_message.h"
+#include "core/registration.h"
+#include "dns/message.h"
+#include "net/icmp.h"
+#include "net/ipv4_header.h"
+#include "net/packet.h"
+#include "net/tcp_header.h"
+#include "net/udp_header.h"
+
+using namespace mip;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::mt19937_64& rng, std::size_t max_len) {
+    std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    std::vector<std::uint8_t> out(len_dist(rng));
+    for (auto& b : out) b = static_cast<std::uint8_t>(byte_dist(rng));
+    return out;
+}
+
+template <typename ParseFn>
+void fuzz(std::uint64_t seed, std::size_t rounds, std::size_t max_len, ParseFn parse) {
+    std::mt19937_64 rng(seed);
+    std::size_t parsed = 0, rejected = 0;
+    for (std::size_t i = 0; i < rounds; ++i) {
+        const auto data = random_bytes(rng, max_len);
+        try {
+            parse(data);
+            ++parsed;
+        } catch (const net::ParseError&) {
+            ++rejected;
+        }
+    }
+    // Random input is overwhelmingly malformed (checksums!), but the loop
+    // finishing at all is the real assertion.
+    EXPECT_EQ(parsed + rejected, rounds);
+}
+
+}  // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, Ipv4Header) {
+    fuzz(GetParam(), 500, 64, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)net::Ipv4Header::parse(r);
+    });
+}
+
+TEST_P(ParserFuzz, Packet) {
+    fuzz(GetParam() ^ 1, 500, 96, [](std::span<const std::uint8_t> d) {
+        (void)net::Packet::from_wire(d);
+    });
+}
+
+TEST_P(ParserFuzz, Udp) {
+    fuzz(GetParam() ^ 2, 500, 64, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)net::UdpHeader::parse(r, net::Ipv4Address(1), net::Ipv4Address(2));
+    });
+}
+
+TEST_P(ParserFuzz, Tcp) {
+    fuzz(GetParam() ^ 3, 500, 64, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)net::TcpHeader::parse(r, net::Ipv4Address(1), net::Ipv4Address(2));
+    });
+}
+
+TEST_P(ParserFuzz, Icmp) {
+    fuzz(GetParam() ^ 4, 500, 64, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)net::IcmpMessage::parse(r);
+    });
+}
+
+TEST_P(ParserFuzz, Arp) {
+    fuzz(GetParam() ^ 5, 500, 40, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)arp::ArpMessage::parse(r);
+    });
+}
+
+TEST_P(ParserFuzz, Dns) {
+    fuzz(GetParam() ^ 6, 500, 128, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)dns::Message::parse(r);
+    });
+}
+
+TEST_P(ParserFuzz, Registration) {
+    fuzz(GetParam() ^ 7, 500, 32, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)core::RegistrationRequest::parse(r);
+    });
+    fuzz(GetParam() ^ 8, 500, 32, [](std::span<const std::uint8_t> d) {
+        net::BufferReader r(d);
+        (void)core::RegistrationReply::parse(r);
+    });
+}
+
+TEST_P(ParserFuzz, BitflippedValidPacketsNeverCrash) {
+    // Start from a *valid* serialized packet and flip random bits: the
+    // checksum usually catches it; when it doesn't, the parse must still
+    // stay in bounds.
+    std::mt19937_64 rng(GetParam() ^ 9);
+    auto p = net::make_packet(net::Ipv4Address(0x0a010203), net::Ipv4Address(0x0a030201),
+                              net::IpProto::Udp, std::vector<std::uint8_t>(32, 0x11));
+    const auto wire = p.to_wire();
+    std::uniform_int_distribution<std::size_t> pos_dist(0, wire.size() - 1);
+    std::uniform_int_distribution<int> bit_dist(0, 7);
+    for (int i = 0; i < 500; ++i) {
+        auto mutated = wire;
+        mutated[pos_dist(rng)] ^= static_cast<std::uint8_t>(1 << bit_dist(rng));
+        try {
+            (void)net::Packet::from_wire(mutated);
+        } catch (const net::ParseError&) {
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<std::uint64_t>(0, 8));

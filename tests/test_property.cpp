@@ -1,0 +1,215 @@
+// Property-based tests (parameterized gtest sweeps) on the library's
+// structural invariants.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/modes.h"
+#include "net/checksum.h"
+#include "net/fragmentation.h"
+#include "net/ipv4_address.h"
+#include "tunnel/encapsulator.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+
+// ---- checksum properties ----------------------------------------------------
+
+class ChecksumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChecksumProperty, AppendingChecksumYieldsZero) {
+    // For any buffer, appending its checksum makes the total verify to 0 —
+    // the property every header validator in this library relies on.
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<int> len_dist(0, 512);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(len_dist(rng)) * 2);
+    for (auto& b : data) b = static_cast<std::uint8_t>(byte_dist(rng));
+
+    const std::uint16_t csum = net::internet_checksum(data);
+    data.push_back(static_cast<std::uint8_t>(csum >> 8));
+    data.push_back(static_cast<std::uint8_t>(csum & 0xff));
+    EXPECT_EQ(net::internet_checksum(data), 0);
+}
+
+TEST_P(ChecksumProperty, ChunkingInvariance) {
+    // The checksum must not depend on how the buffer is fed in.
+    std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+    std::uniform_int_distribution<int> len_dist(1, 300);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(len_dist(rng)));
+    for (auto& b : data) b = static_cast<std::uint8_t>(byte_dist(rng));
+
+    net::ChecksumAccumulator acc;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::uniform_int_distribution<std::size_t> chunk_dist(1, data.size() - pos);
+        const std::size_t n = chunk_dist(rng);
+        acc.add(std::span(data).subspan(pos, n));
+        pos += n;
+    }
+    EXPECT_EQ(acc.finish(), net::internet_checksum(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty, ::testing::Range<std::uint64_t>(0, 25));
+
+// ---- address parse/format round trip ----------------------------------------
+
+class AddressProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AddressProperty, FormatParseRoundTrip) {
+    std::mt19937 rng(GetParam());
+    for (int i = 0; i < 100; ++i) {
+        const net::Ipv4Address a(rng());
+        const auto reparsed = net::Ipv4Address::parse(a.to_string());
+        ASSERT_TRUE(reparsed.has_value()) << a.to_string();
+        EXPECT_EQ(*reparsed, a);
+    }
+}
+
+TEST_P(AddressProperty, PrefixContainsItsBase) {
+    std::mt19937 rng(GetParam() + 1000);
+    for (unsigned len = 0; len <= 32; ++len) {
+        const net::Prefix p(net::Ipv4Address(rng()), len);
+        EXPECT_TRUE(p.contains(p.base()));
+        const auto reparsed = net::Prefix::parse(p.to_string());
+        ASSERT_TRUE(reparsed.has_value());
+        EXPECT_EQ(*reparsed, p);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressProperty, ::testing::Range<std::uint32_t>(0, 10));
+
+// ---- fragmentation properties -------------------------------------------------
+
+struct FragCase {
+    std::size_t payload;
+    std::size_t mtu;
+};
+
+class FragmentationProperty : public ::testing::TestWithParam<FragCase> {};
+
+TEST_P(FragmentationProperty, SplitThenReassembleIsIdentity) {
+    const auto [payload_size, mtu] = GetParam();
+    std::vector<std::uint8_t> payload(payload_size);
+    std::mt19937 rng(payload_size * 31 + mtu);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+    const auto original = net::make_packet("10.0.0.1"_ip, "10.0.0.2"_ip, net::IpProto::Udp,
+                                           payload, 64, 1234);
+    const auto pieces = net::fragment(original, mtu);
+
+    // Every fragment honours the MTU.
+    for (const auto& piece : pieces) {
+        EXPECT_LE(piece.wire_size(), mtu);
+    }
+
+    // Reassembly in a shuffled order restores the exact payload.
+    std::vector<std::size_t> order(pieces.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    net::Reassembler reasm;
+    std::optional<net::Packet> result;
+    for (const std::size_t i : order) {
+        result = reasm.add(pieces[i], 0);
+    }
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->payload().size(), payload_size);
+    EXPECT_TRUE(std::equal(result->payload().begin(), result->payload().end(),
+                           payload.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FragmentationProperty,
+    ::testing::Values(FragCase{1, 68}, FragCase{8, 68}, FragCase{48, 68},
+                      FragCase{100, 100}, FragCase{1480, 1500}, FragCase{1481, 1500},
+                      FragCase{3000, 1500}, FragCase{3000, 576}, FragCase{9000, 1500},
+                      FragCase{9000, 576}, FragCase{65000, 1500}, FragCase{500, 576},
+                      FragCase{4096, 1006}, FragCase{7777, 333}));
+
+// ---- encapsulation properties ---------------------------------------------------
+
+struct EncapCase {
+    tunnel::EncapScheme scheme;
+    std::size_t payload;
+};
+
+class EncapProperty : public ::testing::TestWithParam<EncapCase> {};
+
+TEST_P(EncapProperty, RoundTripPreservesInnerHeaderAndPayload) {
+    const auto [scheme, payload_size] = GetParam();
+    auto encap = tunnel::make_encapsulator(scheme);
+
+    std::vector<std::uint8_t> payload(payload_size);
+    std::mt19937 rng(payload_size + static_cast<int>(scheme) * 7919);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+    const auto inner = net::make_packet("10.1.0.10"_ip, "10.3.0.2"_ip, net::IpProto::Udp,
+                                        payload, 33, 456);
+    const auto outer = encap->encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+
+    // The outer packet survives a wire round trip (checksums intact).
+    const auto rewired = net::Packet::from_wire(outer.to_wire());
+    const auto back = encap->decapsulate(rewired);
+
+    EXPECT_EQ(back.header().src, inner.header().src);
+    EXPECT_EQ(back.header().dst, inner.header().dst);
+    EXPECT_EQ(back.header().protocol, inner.header().protocol);
+    ASSERT_EQ(back.payload().size(), payload.size());
+    EXPECT_TRUE(std::equal(back.payload().begin(), back.payload().end(), payload.begin()));
+
+    // Wire growth is exactly what the scheme promises: IP-in-IP nests a
+    // fresh 20-byte header; minimal encapsulation rewrites the header in
+    // place and adds its 12-byte forwarding header; GRE nests a fresh outer
+    // header (20) plus its own 4-byte header.
+    EXPECT_EQ(outer.wire_size() - inner.wire_size(),
+              scheme == tunnel::EncapScheme::IpInIp    ? 20u
+              : scheme == tunnel::EncapScheme::Minimal ? 12u
+                                                       : 24u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncapProperty,
+    ::testing::Values(EncapCase{tunnel::EncapScheme::IpInIp, 0},
+                      EncapCase{tunnel::EncapScheme::IpInIp, 1},
+                      EncapCase{tunnel::EncapScheme::IpInIp, 536},
+                      EncapCase{tunnel::EncapScheme::IpInIp, 1480},
+                      EncapCase{tunnel::EncapScheme::Minimal, 0},
+                      EncapCase{tunnel::EncapScheme::Minimal, 1},
+                      EncapCase{tunnel::EncapScheme::Minimal, 536},
+                      EncapCase{tunnel::EncapScheme::Minimal, 1480},
+                      EncapCase{tunnel::EncapScheme::Gre, 0},
+                      EncapCase{tunnel::EncapScheme::Gre, 1},
+                      EncapCase{tunnel::EncapScheme::Gre, 536},
+                      EncapCase{tunnel::EncapScheme::Gre, 1480}));
+
+// ---- grid invariants -------------------------------------------------------------
+
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<mip::core::InMode, mip::core::OutMode>> {};
+
+TEST_P(GridProperty, TemporaryAddressIsAllOrNothing) {
+    using namespace mip::core;
+    const auto [in, out] = GetParam();
+    const bool in_temp = !uses_home_address(in);
+    const bool out_temp = !uses_home_address(out);
+    if (in_temp != out_temp) {
+        EXPECT_EQ(classify_combo(in, out), ComboClass::Broken);
+    } else {
+        EXPECT_NE(classify_combo(in, out), ComboClass::Broken);
+    }
+}
+
+TEST_P(GridProperty, UsefulOrLightlyShadedCombosShareAddressDomain) {
+    using namespace mip::core;
+    const auto [in, out] = GetParam();
+    if (classify_combo(in, out) != ComboClass::Broken) {
+        EXPECT_EQ(uses_home_address(in), uses_home_address(out));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, GridProperty,
+    ::testing::Combine(::testing::ValuesIn(mip::core::kAllInModes),
+                       ::testing::ValuesIn(mip::core::kAllOutModes)));

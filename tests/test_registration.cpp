@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/home_agent.h"
+#include "core/registration.h"
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+TEST(RegistrationWire, RequestRoundTrip) {
+    RegistrationRequest req;
+    req.lifetime = 120;
+    req.home_address = "10.1.0.10"_ip;
+    req.home_agent = "10.1.0.2"_ip;
+    req.care_of_address = "10.2.0.10"_ip;
+    req.id = 0x0123456789abcdefULL;
+
+    net::BufferWriter w;
+    req.serialize(w);
+    net::BufferReader r(w.view());
+    const auto parsed = RegistrationRequest::parse(r);
+    EXPECT_EQ(parsed.lifetime, 120);
+    EXPECT_EQ(parsed.home_address, "10.1.0.10"_ip);
+    EXPECT_EQ(parsed.home_agent, "10.1.0.2"_ip);
+    EXPECT_EQ(parsed.care_of_address, "10.2.0.10"_ip);
+    EXPECT_EQ(parsed.id, 0x0123456789abcdefULL);
+    EXPECT_FALSE(parsed.is_deregistration());
+}
+
+TEST(RegistrationWire, DeregistrationForms) {
+    RegistrationRequest req;
+    req.home_address = "10.1.0.10"_ip;
+    req.lifetime = 0;
+    EXPECT_TRUE(req.is_deregistration());
+    req.lifetime = 100;
+    req.care_of_address = req.home_address;
+    EXPECT_TRUE(req.is_deregistration());
+}
+
+TEST(RegistrationWire, ReplyRoundTrip) {
+    RegistrationReply rep;
+    rep.code = RegistrationCode::Accepted;
+    rep.lifetime = 300;
+    rep.home_address = "10.1.0.10"_ip;
+    rep.home_agent = "10.1.0.2"_ip;
+    rep.id = 77;
+    net::BufferWriter w;
+    rep.serialize(w);
+    net::BufferReader r(w.view());
+    const auto parsed = RegistrationReply::parse(r);
+    EXPECT_TRUE(parsed.accepted());
+    EXPECT_EQ(parsed.lifetime, 300);
+    EXPECT_EQ(parsed.id, 77u);
+}
+
+TEST(RegistrationWire, TypeConfusionRejected) {
+    RegistrationRequest req;
+    net::BufferWriter w;
+    req.serialize(w);
+    net::BufferReader r(w.view());
+    EXPECT_THROW(RegistrationReply::parse(r), net::ParseError);
+}
+
+TEST(RegistrationWire, AuthenticatorVerifies) {
+    RegistrationRequest req;
+    req.home_address = "10.1.0.10"_ip;
+    req.care_of_address = "10.2.0.10"_ip;
+    req.id = 42;
+    net::BufferWriter w;
+    req.serialize(w, /*key=*/0xfeedface);
+    EXPECT_TRUE(RegistrationRequest::authenticate(w.view(), 0xfeedface));
+    EXPECT_FALSE(RegistrationRequest::authenticate(w.view(), 0xdeadbeef));
+    EXPECT_FALSE(RegistrationRequest::authenticate(w.view(), 0));
+
+    // Tampering with any field invalidates the MAC.
+    auto tampered = w.take();
+    tampered[4] ^= 0x01;  // a home-address byte
+    EXPECT_FALSE(RegistrationRequest::authenticate(tampered, 0xfeedface));
+}
+
+TEST(RegistrationWire, MacIsKeyAndContentSensitive) {
+    const std::uint8_t body[] = {1, 2, 3, 4};
+    const std::uint8_t body2[] = {1, 2, 3, 5};
+    EXPECT_NE(registration_mac(body, 1), registration_mac(body, 2));
+    EXPECT_NE(registration_mac(body, 1), registration_mac(body2, 1));
+    EXPECT_EQ(registration_mac(body, 7), registration_mac(body, 7));
+}
+
+TEST(HomeAgentRegistration, MismatchedKeyIsDenied) {
+    WorldConfig wc;
+    wc.home_agent.registration_key = 0xAAAA;
+    World world{wc};
+    MobileHostConfig cfg = world.mobile_config();
+    cfg.registration_key = 0xBBBB;  // wrong
+    cfg.registration_max_retries = 2;
+    cfg.registration_retry = sim::milliseconds(100);
+    world.create_mobile_host(std::move(cfg));
+    EXPECT_FALSE(world.attach_mobile_foreign(sim::seconds(3)));
+    EXPECT_GE(world.home_agent().stats().registrations_denied_auth, 1u);
+    EXPECT_FALSE(world.home_agent().is_registered(world.mh_home_addr()));
+}
+
+TEST(HomeAgentRegistration, MatchingNonZeroKeyWorks) {
+    WorldConfig wc;
+    wc.home_agent.registration_key = 0x1234567890ULL;
+    World world{wc};
+    MobileHostConfig cfg = world.mobile_config();
+    cfg.registration_key = 0x1234567890ULL;
+    world.create_mobile_host(std::move(cfg));
+    EXPECT_TRUE(world.attach_mobile_foreign());
+    EXPECT_EQ(world.home_agent().stats().registrations_denied_auth, 0u);
+}
+
+TEST(HomeAgentRegistration, AcceptAndProxyArp) {
+    World world;
+    MobileHost& mh = world.create_mobile_host();
+    world.attach_mobile_home();
+    world.run_for(sim::seconds(1));
+    EXPECT_FALSE(world.home_agent().is_registered(world.mh_home_addr()));
+
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    EXPECT_TRUE(mh.registered());
+    EXPECT_TRUE(world.home_agent().is_registered(world.mh_home_addr()));
+    EXPECT_EQ(world.home_agent().stats().registrations_accepted, 1u);
+
+    // The home agent now answers ARP for the mobile host's home address.
+    auto* arp = world.home_agent().stack().iface(0).arp();
+    ASSERT_NE(arp, nullptr);
+    EXPECT_TRUE(arp->is_proxied(world.mh_home_addr()));
+}
+
+TEST(HomeAgentRegistration, DeregistrationOnReturnHome) {
+    World world;
+    MobileHost& mh = world.create_mobile_host();
+    world.attach_mobile_home();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    world.attach_mobile_home();
+    world.run_for(sim::seconds(1));
+    EXPECT_TRUE(mh.at_home());
+    EXPECT_FALSE(world.home_agent().is_registered(world.mh_home_addr()));
+    EXPECT_EQ(world.home_agent().stats().deregistrations, 1u);
+    auto* arp = world.home_agent().stack().iface(0).arp();
+    EXPECT_FALSE(arp->is_proxied(world.mh_home_addr()));
+}
+
+TEST(HomeAgentRegistration, RejectsForeignHomeAddress) {
+    World world;
+    MobileHostConfig cfg = world.mobile_config();
+    cfg.home_address = "10.9.0.10"_ip;  // not in the home subnet
+    cfg.registration_max_retries = 2;
+    cfg.registration_retry = sim::milliseconds(100);
+    MobileHost& mh = world.create_mobile_host(std::move(cfg));
+    EXPECT_FALSE(world.attach_mobile_foreign(sim::seconds(3)));
+    EXPECT_FALSE(mh.registered());
+}
+
+TEST(HomeAgentRegistration, LifetimeIsCapped) {
+    WorldConfig wc;
+    wc.home_agent.max_lifetime_seconds = 60;
+    World world{wc};
+    MobileHostConfig cfg = world.mobile_config();
+    cfg.registration_lifetime = 10000;
+    world.create_mobile_host(std::move(cfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    const auto bindings = world.home_agent().bindings().snapshot();
+    ASSERT_EQ(bindings.size(), 1u);
+    EXPECT_LE(bindings[0].expires, world.sim.now() + sim::seconds(60));
+}
+
+TEST(HomeAgentRegistration, BindingExpiresWithoutRefresh) {
+    BindingTable t;
+    t.set("10.1.0.10"_ip, "10.2.0.10"_ip, 1000);
+    EXPECT_TRUE(t.lookup("10.1.0.10"_ip, 500).has_value());
+    EXPECT_FALSE(t.lookup("10.1.0.10"_ip, 1000).has_value());
+    EXPECT_EQ(t.expire(2000), 1u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(HomeAgentRegistration, ReRegistrationRefreshesBinding) {
+    WorldConfig wc;
+    wc.home_agent.max_lifetime_seconds = 2;  // force quick refresh cycles
+    World world{wc};
+    MobileHostConfig cfg = world.mobile_config();
+    cfg.registration_lifetime = 2;
+    world.create_mobile_host(std::move(cfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    // Run past several lifetimes: the 80%-lifetime refresh keeps it alive.
+    world.run_for(sim::seconds(7));
+    EXPECT_TRUE(world.home_agent().is_registered(world.mh_home_addr()));
+    EXPECT_GE(world.home_agent().stats().registrations_accepted, 3u);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "routing/domain.h"
+#include "routing/filters.h"
+#include "routing/forwarding_table.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+using routing::FilterVerdict;
+
+namespace {
+net::Ipv4Header header(net::Ipv4Address src, net::Ipv4Address dst) {
+    net::Ipv4Header h;
+    h.src = src;
+    h.dst = dst;
+    return h;
+}
+}  // namespace
+
+TEST(ForwardingTable, LongestPrefixWins) {
+    routing::ForwardingTable t;
+    t.add({"10.0.0.0/8"_net, "1.1.1.1"_ip, 0, 0});
+    t.add({"10.1.0.0/16"_net, "2.2.2.2"_ip, 1, 0});
+    t.add({"10.1.2.0/24"_net, "3.3.3.3"_ip, 2, 0});
+
+    EXPECT_EQ(t.lookup("10.1.2.3"_ip)->gateway, "3.3.3.3"_ip);
+    EXPECT_EQ(t.lookup("10.1.9.9"_ip)->gateway, "2.2.2.2"_ip);
+    EXPECT_EQ(t.lookup("10.9.9.9"_ip)->gateway, "1.1.1.1"_ip);
+    EXPECT_FALSE(t.lookup("11.0.0.1"_ip).has_value());
+}
+
+TEST(ForwardingTable, DefaultRouteCatchesAll) {
+    routing::ForwardingTable t;
+    t.add({net::kDefaultRoute, "9.9.9.9"_ip, 3, 0});
+    t.add({"10.0.0.0/8"_net, {}, 0, 0});
+    EXPECT_EQ(t.lookup("172.16.0.1"_ip)->gateway, "9.9.9.9"_ip);
+    EXPECT_TRUE(t.lookup("10.0.0.1"_ip)->on_link());
+}
+
+TEST(ForwardingTable, MetricBreaksTies) {
+    routing::ForwardingTable t;
+    t.add({"10.0.0.0/8"_net, "1.1.1.1"_ip, 0, 10});
+    t.add({"10.0.0.0/8"_net, "2.2.2.2"_ip, 1, 5});
+    EXPECT_EQ(t.lookup("10.1.1.1"_ip)->gateway, "2.2.2.2"_ip);
+}
+
+TEST(ForwardingTable, RemoveByPrefixAndInterface) {
+    routing::ForwardingTable t;
+    t.add({"10.0.0.0/8"_net, {}, 0, 0});
+    t.add({"11.0.0.0/8"_net, {}, 1, 0});
+    t.add({"12.0.0.0/8"_net, {}, 1, 0});
+    EXPECT_EQ(t.remove("10.0.0.0/8"_net), 1u);
+    EXPECT_EQ(t.remove_interface(1), 2u);
+    EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(ForwardingTable, DumpIsHumanReadable) {
+    routing::ForwardingTable t;
+    t.add({"10.0.0.0/8"_net, "1.2.3.4"_ip, 2, 7});
+    const std::string d = t.dump();
+    EXPECT_NE(d.find("10.0.0.0/8"), std::string::npos);
+    EXPECT_NE(d.find("1.2.3.4"), std::string::npos);
+    EXPECT_NE(d.find("dev#2"), std::string::npos);
+}
+
+TEST(Filters, SourceSpoofIngress) {
+    // Figure 2: a packet arriving from outside claiming an inside source.
+    routing::SourceSpoofIngressRule rule("10.1.0.0/16"_net);
+    EXPECT_EQ(rule.evaluate(header("10.1.0.10"_ip, "10.1.0.2"_ip)), FilterVerdict::Drop);
+    EXPECT_EQ(rule.evaluate(header("10.2.0.10"_ip, "10.1.0.2"_ip)), FilterVerdict::Accept);
+}
+
+TEST(Filters, ForeignSourceEgress) {
+    // A visited network refusing to emit packets with foreign sources —
+    // the rule that kills Out-DH.
+    routing::ForeignSourceEgressRule rule("10.2.0.0/16"_net);
+    EXPECT_EQ(rule.evaluate(header("10.1.0.10"_ip, "10.3.0.2"_ip)), FilterVerdict::Drop);
+    EXPECT_EQ(rule.evaluate(header("10.2.0.10"_ip, "10.3.0.2"_ip)), FilterVerdict::Accept);
+}
+
+TEST(Filters, NoTransit) {
+    routing::NoTransitRule rule("10.2.0.0/16"_net);
+    // Pure transit: neither endpoint inside.
+    EXPECT_EQ(rule.evaluate(header("10.1.0.10"_ip, "10.3.0.2"_ip)), FilterVerdict::Drop);
+    // One endpoint inside: fine both ways.
+    EXPECT_EQ(rule.evaluate(header("10.2.0.10"_ip, "10.3.0.2"_ip)), FilterVerdict::Accept);
+    EXPECT_EQ(rule.evaluate(header("10.3.0.2"_ip, "10.2.0.10"_ip)), FilterVerdict::Accept);
+}
+
+TEST(Filters, FirewallAllowlist) {
+    routing::FirewallRule rule;
+    rule.allow_destination("10.1.0.2"_ip);  // only the home agent
+    EXPECT_EQ(rule.evaluate(header("10.2.0.10"_ip, "10.1.0.2"_ip)), FilterVerdict::Accept);
+    EXPECT_EQ(rule.evaluate(header("10.2.0.10"_ip, "10.1.0.99"_ip)), FilterVerdict::Drop);
+}
+
+TEST(Filters, Descriptions) {
+    EXPECT_NE(routing::SourceSpoofIngressRule("10.1.0.0/16"_net).describe().find("10.1.0.0/16"),
+              std::string::npos);
+    EXPECT_NE(routing::NoTransitRule("10.2.0.0/16"_net).describe().find("no-transit"),
+              std::string::npos);
+}
+
+TEST(Domain, HostAddresses) {
+    routing::Domain d{"home", "10.1.0.0/16"_net};
+    EXPECT_EQ(d.host(1), "10.1.0.1"_ip);
+    EXPECT_EQ(d.host(258), "10.1.1.2"_ip);
+    EXPECT_TRUE(d.contains(d.host(42)));
+    EXPECT_THROW(d.host(0), std::out_of_range);
+    EXPECT_THROW(d.host(70000), std::out_of_range);
+}

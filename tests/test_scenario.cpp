@@ -1,0 +1,132 @@
+// Sanity checks on the canned world topology all benches build on.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+TEST(World, WellKnownAddresses) {
+    World world;
+    EXPECT_EQ(world.mh_home_addr(), "10.1.0.10"_ip);
+    EXPECT_EQ(world.mh_care_of_addr(), "10.2.0.10"_ip);
+    EXPECT_EQ(world.home_agent_addr(), "10.1.0.2"_ip);
+    EXPECT_TRUE(world.home_domain.contains(world.mh_home_addr()));
+    EXPECT_TRUE(world.foreign_domain.contains(world.mh_care_of_addr()));
+}
+
+TEST(World, CrossDomainConnectivity) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    stack::Host probe(world.sim, "probe");
+    probe.attach(world.foreign_lan(), world.foreign_domain.host(99),
+                 world.foreign_domain.prefix, world.foreign_gateway_addr());
+
+    transport::Pinger pinger(probe.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(ch.address(), [&](auto r) { rtt = r; });
+    world.run_all();
+    ASSERT_TRUE(rtt.has_value()) << "foreign -> corr ping failed";
+    EXPECT_GT(*rtt, 0);
+}
+
+TEST(World, HomeToForeignConnectivity) {
+    World world;
+    stack::Host h(world.sim, "h");
+    h.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+             world.home_gateway_addr());
+    stack::Host f(world.sim, "f");
+    f.attach(world.foreign_lan(), world.foreign_domain.host(99),
+             world.foreign_domain.prefix, world.foreign_gateway_addr());
+    transport::Pinger pinger(h.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping(f.address(), [&](auto r) { rtt = r; });
+    world.run_all();
+    ASSERT_TRUE(rtt.has_value());
+}
+
+TEST(World, BackboneLengthStretchesLatency) {
+    std::optional<sim::Duration> short_rtt, long_rtt;
+    for (int len : {1, 8}) {
+        WorldConfig cfg;
+        cfg.backbone_routers = len;
+        World world{cfg};
+        stack::Host h(world.sim, "h");
+        h.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+                 world.home_gateway_addr());
+        stack::Host f(world.sim, "f");
+        f.attach(world.foreign_lan(), world.foreign_domain.host(99),
+                 world.foreign_domain.prefix, world.foreign_gateway_addr());
+        transport::Pinger pinger(h.stack());
+        std::optional<sim::Duration> rtt;
+        pinger.ping(f.address(), [&](auto r) { rtt = r; });
+        world.run_all();
+        ASSERT_TRUE(rtt.has_value());
+        (len == 1 ? short_rtt : long_rtt) = rtt;
+    }
+    EXPECT_GT(*long_rtt, *short_rtt);
+}
+
+TEST(World, AttachPointsChangeProximity) {
+    // Foreign and correspondent attached at the same router: close. Home at
+    // the other end: far. (The Figure 4 configuration.)
+    WorldConfig cfg;
+    cfg.backbone_routers = 6;
+    cfg.home_attach = 0;
+    cfg.foreign_attach = 5;
+    cfg.corr_attach = 5;
+    World world{cfg};
+
+    stack::Host f(world.sim, "f");
+    f.attach(world.foreign_lan(), world.foreign_domain.host(99),
+             world.foreign_domain.prefix, world.foreign_gateway_addr());
+    stack::Host c(world.sim, "c");
+    c.attach(world.corr_lan(), world.corr_domain.host(99), world.corr_domain.prefix,
+             world.corr_gateway_addr());
+    stack::Host h(world.sim, "h");
+    h.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+             world.home_gateway_addr());
+
+    transport::Pinger pf(f.stack());
+    std::optional<sim::Duration> near, far;
+    pf.ping(c.address(), [&](auto r) { near = r; });
+    world.run_all();
+    transport::Pinger pf2(f.stack());
+    pf2.ping(h.address(), [&](auto r) { far = r; });
+    world.run_all();
+    ASSERT_TRUE(near.has_value());
+    ASSERT_TRUE(far.has_value());
+    EXPECT_LT(*near, *far);
+}
+
+TEST(World, DnsServerServesMobileName) {
+    World world;
+    world.enable_dns("mh.home.example");
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    dns::Resolver resolver(ch.udp(), world.dns_server_addr());
+    std::vector<dns::Record> got;
+    resolver.resolve("mh.home.example", dns::RecordType::A, [&](auto r) { got = r; });
+    world.run_all();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].addr, world.mh_home_addr());
+}
+
+TEST(World, RegistrationWorksThroughDefaultFilters) {
+    // Default world has home ingress spoof filtering + egress antispoof;
+    // registration (COA-sourced) must still get through.
+    World world;
+    world.create_mobile_host();
+    world.attach_mobile_home();
+    EXPECT_TRUE(world.attach_mobile_foreign());
+}
+
+TEST(World, InvalidConfigsRejected) {
+    WorldConfig cfg;
+    cfg.backbone_routers = 0;
+    EXPECT_THROW(World{cfg}, std::invalid_argument);
+    WorldConfig cfg2;
+    cfg2.home_attach = 99;
+    EXPECT_THROW(World{cfg2}, std::invalid_argument);
+}

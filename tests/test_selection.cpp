@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/selection.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+const auto kDst = "10.3.0.2"_ip;
+
+DeliveryMethodCache make_cache(std::unique_ptr<SelectionStrategy> s,
+                               MethodCacheConfig cfg = {}) {
+    return DeliveryMethodCache(std::move(s), cfg);
+}
+}  // namespace
+
+TEST(Strategies, ConservativeFirstStartsAtIE) {
+    ConservativeFirstStrategy s;
+    EXPECT_EQ(s.initial(kDst), OutMode::IE);
+    EXPECT_EQ(s.upgrade(kDst, OutMode::IE), OutMode::DE);
+    EXPECT_EQ(s.upgrade(kDst, OutMode::DE), OutMode::DH);
+    EXPECT_EQ(s.upgrade(kDst, OutMode::DH), std::nullopt);
+    EXPECT_EQ(s.after_failure(kDst, OutMode::DH), OutMode::IE);
+}
+
+TEST(Strategies, AggressiveFirstFallsBackInOrder) {
+    AggressiveFirstStrategy s;
+    EXPECT_EQ(s.initial(kDst), OutMode::DH);
+    EXPECT_EQ(s.after_failure(kDst, OutMode::DH), OutMode::DE);
+    EXPECT_EQ(s.after_failure(kDst, OutMode::DE), OutMode::IE);
+    EXPECT_EQ(s.after_failure(kDst, OutMode::IE), OutMode::IE);
+    EXPECT_EQ(s.upgrade(kDst, OutMode::IE), std::nullopt);
+}
+
+TEST(Strategies, RuleBasedPicksByLongestPrefix) {
+    // "a single rule to identify, for example, the entire home network as a
+    // region where Out-IE should always be used" (§7.1.2).
+    RuleBasedStrategy s({{"10.1.0.0/16"_net, /*optimistic=*/false},
+                         {"10.0.0.0/8"_net, /*optimistic=*/true}},
+                        /*default_optimistic=*/true);
+    EXPECT_EQ(s.initial("10.1.0.2"_ip), OutMode::IE);   // pessimistic rule
+    EXPECT_EQ(s.initial("10.2.0.2"_ip), OutMode::DH);   // optimistic /8
+    EXPECT_EQ(s.initial("172.16.0.1"_ip), OutMode::DH);  // default
+    EXPECT_EQ(s.upgrade("10.1.0.2"_ip, OutMode::IE), OutMode::DE);
+    EXPECT_EQ(s.upgrade("10.2.0.2"_ip, OutMode::DH), std::nullopt);
+}
+
+TEST(Strategies, RuleBasedDefaultPessimistic) {
+    RuleBasedStrategy s({}, /*default_optimistic=*/false);
+    EXPECT_EQ(s.initial("1.2.3.4"_ip), OutMode::IE);
+}
+
+TEST(MethodCache, InitialModeFromStrategy) {
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>());
+    EXPECT_EQ(cache.mode_for(kDst, 0), OutMode::DH);
+}
+
+TEST(MethodCache, FailureThresholdDowngrades) {
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 2;
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>(), cfg);
+    EXPECT_EQ(cache.mode_for(kDst, 0), OutMode::DH);
+    cache.report_failure(kDst, 1);
+    EXPECT_EQ(cache.mode_for(kDst, 1), OutMode::DH);  // one failure: not yet
+    cache.report_failure(kDst, 2);
+    EXPECT_EQ(cache.mode_for(kDst, 2), OutMode::DE);  // threshold reached
+    cache.report_failure(kDst, 3);
+    cache.report_failure(kDst, 4);
+    EXPECT_EQ(cache.mode_for(kDst, 4), OutMode::IE);
+    // IE is the floor.
+    cache.report_failure(kDst, 5);
+    cache.report_failure(kDst, 6);
+    EXPECT_EQ(cache.mode_for(kDst, 6), OutMode::IE);
+    EXPECT_EQ(cache.stats().downgrades, 2u);
+}
+
+TEST(MethodCache, SuccessResetsFailureCount) {
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 2;
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>(), cfg);
+    cache.report_failure(kDst, 1);
+    cache.report_success(kDst, 2);
+    cache.report_failure(kDst, 3);
+    // Failures never reached 2 consecutively.
+    EXPECT_EQ(cache.mode_for(kDst, 3), OutMode::DH);
+}
+
+TEST(MethodCache, ConservativeProbesUpwardAfterSuccesses) {
+    MethodCacheConfig cfg;
+    cfg.upgrade_after = 3;
+    auto cache = make_cache(std::make_unique<ConservativeFirstStrategy>(), cfg);
+    EXPECT_EQ(cache.mode_for(kDst, 0), OutMode::IE);
+    for (int i = 0; i < 3; ++i) cache.report_success(kDst, i);
+    EXPECT_EQ(cache.mode_for(kDst, 3), OutMode::DE);  // probing DE
+    EXPECT_EQ(cache.stats().upgrades_probed, 1u);
+}
+
+TEST(MethodCache, ProbeRevertsOnFirstFailure) {
+    MethodCacheConfig cfg;
+    cfg.upgrade_after = 2;
+    auto cache = make_cache(std::make_unique<ConservativeFirstStrategy>(), cfg);
+    cache.report_success(kDst, 1);
+    cache.report_success(kDst, 2);
+    ASSERT_EQ(cache.mode_for(kDst, 2), OutMode::DE);  // probing
+    cache.report_failure(kDst, 3);
+    EXPECT_EQ(cache.mode_for(kDst, 3), OutMode::IE);  // reverted immediately
+    EXPECT_EQ(cache.stats().probes_reverted, 1u);
+    // The failed mode is blacklisted: successes do not re-probe it.
+    cache.report_success(kDst, 4);
+    cache.report_success(kDst, 5);
+    EXPECT_EQ(cache.mode_for(kDst, 5), OutMode::IE);
+}
+
+TEST(MethodCache, BlacklistExpiresAndProbesAgain) {
+    MethodCacheConfig cfg;
+    cfg.upgrade_after = 2;
+    cfg.blacklist_ttl = 100;
+    auto cache = make_cache(std::make_unique<ConservativeFirstStrategy>(), cfg);
+    cache.report_success(kDst, 1);
+    cache.report_success(kDst, 2);
+    cache.report_failure(kDst, 3);  // DE blacklisted until 103
+    cache.report_success(kDst, 200);
+    cache.report_success(kDst, 201);
+    EXPECT_EQ(cache.mode_for(kDst, 201), OutMode::DE);  // blacklist expired
+}
+
+TEST(MethodCache, ProbeConfirmedBecomesBaselineAndChainsUpward) {
+    MethodCacheConfig cfg;
+    cfg.upgrade_after = 2;
+    auto cache = make_cache(std::make_unique<ConservativeFirstStrategy>(), cfg);
+    cache.report_success(kDst, 1);
+    cache.report_success(kDst, 2);
+    ASSERT_EQ(cache.mode_for(kDst, 2), OutMode::DE);
+    // DE holds up: confirmed, and the cache immediately probes DH.
+    cache.report_success(kDst, 3);
+    cache.report_success(kDst, 4);
+    EXPECT_EQ(cache.mode_for(kDst, 4), OutMode::DH);
+    EXPECT_EQ(cache.stats().probes_confirmed, 1u);
+    // A failure in the DH probe reverts to the confirmed DE, not to IE.
+    cache.report_failure(kDst, 5);
+    EXPECT_EQ(cache.mode_for(kDst, 5), OutMode::DE);
+}
+
+TEST(MethodCache, DowngradeSkipsBlacklistedModes) {
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 1;
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>(), cfg);
+    cache.report_failure(kDst, 1);  // DH -> DE
+    cache.report_failure(kDst, 2);  // DE -> IE
+    ASSERT_EQ(cache.mode_for(kDst, 2), OutMode::IE);
+}
+
+TEST(MethodCache, ForcedModeIsSticky) {
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>());
+    cache.force_mode(kDst, OutMode::IE);
+    for (int i = 0; i < 10; ++i) cache.report_success(kDst, i);
+    EXPECT_EQ(cache.mode_for(kDst, 10), OutMode::IE);
+    for (int i = 10; i < 20; ++i) cache.report_failure(kDst, i);
+    EXPECT_EQ(cache.mode_for(kDst, 20), OutMode::IE);
+}
+
+TEST(MethodCache, PerDestinationIsolation) {
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 1;
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>(), cfg);
+    const auto other = "10.4.0.4"_ip;
+    cache.report_failure(kDst, 1);
+    EXPECT_EQ(cache.mode_for(kDst, 1), OutMode::DE);
+    EXPECT_EQ(cache.mode_for(other, 1), OutMode::DH);  // untouched
+}
+
+TEST(MethodCache, FindIntrospection) {
+    auto cache = make_cache(std::make_unique<AggressiveFirstStrategy>());
+    EXPECT_EQ(cache.find(kDst), nullptr);
+    (void)cache.mode_for(kDst, 0);
+    ASSERT_NE(cache.find(kDst), nullptr);
+    EXPECT_EQ(cache.find(kDst)->mode, OutMode::DH);
+}

@@ -1,0 +1,105 @@
+// Invariants of the delivery-method cache under arbitrary signal
+// sequences: the chosen mode is always a home mode, forced entries never
+// drift, the floor is sticky under sustained failure, and successes after
+// resets re-initialize from the strategy.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/selection.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+bool is_home_mode(OutMode m) {
+    return m == OutMode::IE || m == OutMode::DE || m == OutMode::DH;
+}
+}  // namespace
+
+class SelectionChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionChaos, ModeIsAlwaysAValidHomeMode) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<int> strategy_dist(0, 2);
+    std::unique_ptr<SelectionStrategy> strategy;
+    switch (strategy_dist(rng)) {
+        case 0: strategy = std::make_unique<ConservativeFirstStrategy>(); break;
+        case 1: strategy = std::make_unique<AggressiveFirstStrategy>(); break;
+        default:
+            strategy = std::make_unique<RuleBasedStrategy>(
+                std::vector<SelectionRule>{{"10.0.0.0/8"_net, false}}, true);
+    }
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 1 + static_cast<unsigned>(rng() % 3);
+    cfg.upgrade_after = 1 + static_cast<unsigned>(rng() % 4);
+    cfg.blacklist_ttl = static_cast<sim::Duration>(rng() % 1000);
+    DeliveryMethodCache cache(std::move(strategy), cfg);
+
+    const net::Ipv4Address dsts[] = {"10.1.0.1"_ip, "172.16.0.1"_ip, "192.0.2.1"_ip};
+    sim::TimePoint now = 0;
+    std::uniform_int_distribution<int> event_dist(0, 2);
+    std::uniform_int_distribution<int> dst_dist(0, 2);
+    for (int i = 0; i < 2000; ++i) {
+        now += static_cast<sim::TimePoint>(rng() % 100);
+        const auto dst = dsts[dst_dist(rng)];
+        switch (event_dist(rng)) {
+            case 0: cache.report_success(dst, now); break;
+            case 1: cache.report_failure(dst, now); break;
+            default: break;
+        }
+        ASSERT_TRUE(is_home_mode(cache.mode_for(dst, now)))
+            << "event " << i << " produced a non-home mode";
+    }
+}
+
+TEST_P(SelectionChaos, ForcedModeNeverDrifts) {
+    std::mt19937_64 rng(GetParam() ^ 0x5eed);
+    DeliveryMethodCache cache(std::make_unique<AggressiveFirstStrategy>());
+    const auto dst = "10.3.0.2"_ip;
+    cache.force_mode(dst, OutMode::DE);
+    sim::TimePoint now = 0;
+    for (int i = 0; i < 500; ++i) {
+        now += 10;
+        (rng() & 1) ? cache.report_failure(dst, now) : cache.report_success(dst, now);
+        ASSERT_EQ(cache.mode_for(dst, now), OutMode::DE);
+    }
+}
+
+TEST_P(SelectionChaos, SustainedFailureAlwaysReachesTheFloor) {
+    std::mt19937_64 rng(GetParam() ^ 0xf100d);
+    const bool conservative = (rng() & 1) != 0;
+    std::unique_ptr<SelectionStrategy> strategy;
+    if (conservative) {
+        strategy = std::make_unique<ConservativeFirstStrategy>();
+    } else {
+        strategy = std::make_unique<AggressiveFirstStrategy>();
+    }
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 1 + static_cast<unsigned>(rng() % 3);
+    DeliveryMethodCache cache(std::move(strategy), cfg);
+    const auto dst = "10.3.0.2"_ip;
+    sim::TimePoint now = 0;
+    for (int i = 0; i < 50; ++i) {
+        cache.report_failure(dst, now += 10);
+    }
+    EXPECT_EQ(cache.mode_for(dst, now), OutMode::IE);
+}
+
+TEST_P(SelectionChaos, ResetReinitializesFromStrategy) {
+    std::mt19937_64 rng(GetParam() ^ 0xbeef);
+    MethodCacheConfig cfg;
+    cfg.failure_threshold = 1;
+    DeliveryMethodCache cache(std::make_unique<AggressiveFirstStrategy>(), cfg);
+    const auto dst = "10.3.0.2"_ip;
+    sim::TimePoint now = 0;
+    const int churn = static_cast<int>(rng() % 10) + 1;
+    for (int i = 0; i < churn; ++i) {
+        cache.report_failure(dst, now += 10);
+    }
+    cache.reset(dst);
+    EXPECT_EQ(cache.mode_for(dst, now), OutMode::DH);  // strategy initial, blacklist gone
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionChaos, ::testing::Range<std::uint64_t>(0, 12));

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+using namespace mip::sim;
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_in(milliseconds(30), [&] { order.push_back(3); });
+    s.schedule_in(milliseconds(10), [&] { order.push_back(1); });
+    s.schedule_in(milliseconds(20), [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(Simulator, SameInstantFiresInScheduleOrder) {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        s.schedule_in(milliseconds(1), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator s;
+    bool fired = false;
+    const EventId id = s.schedule_in(milliseconds(5), [&] { fired = true; });
+    s.cancel(id);
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsHarmless) {
+    Simulator s;
+    s.cancel(99999);
+    bool fired = false;
+    s.schedule_in(milliseconds(1), [&] { fired = true; });
+    s.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator s;
+    int count = 0;
+    s.schedule_in(milliseconds(10), [&] { ++count; });
+    s.schedule_in(milliseconds(20), [&] { ++count; });
+    s.run_until(milliseconds(15));
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(s.now(), milliseconds(15));
+    s.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+    Simulator s;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10) s.schedule_in(milliseconds(1), recurse);
+    };
+    s.schedule_in(milliseconds(1), recurse);
+    s.run();
+    EXPECT_EQ(depth, 10);
+}
+
+TEST(Simulator, RunUntilNotDerailedByCancelledEvents) {
+    // Regression: a cancelled event at the head of the queue must not cause
+    // run_until to fire a later-than-limit event (observed as simulated
+    // time jumping hours ahead during a bounded run).
+    Simulator s;
+    const EventId cancelled = s.schedule_in(milliseconds(5), [] {});
+    bool late_fired = false;
+    s.schedule_in(seconds(100), [&] { late_fired = true; });
+    s.cancel(cancelled);
+    s.run_until(milliseconds(10));
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(s.now(), milliseconds(10));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+    Simulator s;
+    s.schedule_in(milliseconds(1), [] {});
+    s.run();
+    EXPECT_THROW(s.schedule_at(0, [] {}), std::logic_error);
+}
+
+namespace {
+struct TestRig {
+    Simulator sim;
+    TraceRecorder trace;
+    Link link;
+    Node a{sim, "a"};
+    Node b{sim, "b"};
+    Nic& nic_a;
+    Nic& nic_b;
+
+    explicit TestRig(LinkConfig cfg = {})
+        : link(sim, cfg), nic_a(a.add_nic()), nic_b(b.add_nic()) {
+        link.set_trace(trace.sink());
+        nic_a.connect(link);
+        nic_b.connect(link);
+    }
+};
+}  // namespace
+
+TEST(Link, UnicastReachesOnlyAddressee) {
+    TestRig rig;
+    Node c(rig.sim, "c");
+    Nic& nic_c = c.add_nic();
+    nic_c.connect(rig.link);
+
+    int b_got = 0, c_got = 0;
+    rig.nic_b.set_handler([&](const Frame&) { ++b_got; });
+    nic_c.set_handler([&](const Frame&) { ++c_got; });
+
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    f.payload = {1, 2, 3};
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(b_got, 1);
+    EXPECT_EQ(c_got, 0);
+}
+
+TEST(Link, BroadcastReachesEveryoneExceptSender) {
+    TestRig rig;
+    int a_got = 0, b_got = 0;
+    rig.nic_a.set_handler([&](const Frame&) { ++a_got; });
+    rig.nic_b.set_handler([&](const Frame&) { ++b_got; });
+    Frame f;
+    f.dst = MacAddress::broadcast();
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(a_got, 0);
+    EXPECT_EQ(b_got, 1);
+}
+
+TEST(Link, DeliveryDelayIncludesLatencyAndSerialization) {
+    LinkConfig cfg;
+    cfg.latency = milliseconds(1);
+    cfg.bandwidth_bps = 8000.0;  // 1 byte per millisecond
+    TestRig rig(cfg);
+
+    TimePoint delivered_at = -1;
+    rig.nic_b.set_handler([&](const Frame&) { delivered_at = rig.sim.now(); });
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    f.payload.assign(86, 0);  // 86 + 14 header = 100 bytes -> 100 ms
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(delivered_at, milliseconds(101));
+}
+
+TEST(Link, OversizedFrameDropped) {
+    LinkConfig cfg;
+    cfg.mtu = 100;
+    TestRig rig(cfg);
+    int got = 0;
+    rig.nic_b.set_handler([&](const Frame&) { ++got; });
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    f.payload.assign(101, 0);
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(rig.trace.count(TraceKind::FrameTooBig), 1u);
+}
+
+TEST(Link, LossyLinkDropsSomeFrames) {
+    LinkConfig cfg;
+    cfg.loss_rate = 0.5;
+    cfg.seed = 42;
+    TestRig rig(cfg);
+    int got = 0;
+    rig.nic_b.set_handler([&](const Frame&) { ++got; });
+    for (int i = 0; i < 200; ++i) {
+        Frame f;
+        f.dst = rig.nic_b.mac();
+        rig.nic_a.send(std::move(f));
+    }
+    rig.sim.run();
+    EXPECT_GT(got, 50);
+    EXPECT_LT(got, 150);
+    EXPECT_EQ(rig.trace.count(TraceKind::FrameLost), 200u - got);
+}
+
+TEST(Link, FramesAreSerializedInFifoOrder) {
+    // Regression: a small frame sent right after a large one must not
+    // overtake it — the shared medium serializes transmissions. (This once
+    // reordered a short final TCP segment ahead of a full-sized one.)
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 8000.0;  // slow enough that tx time dominates
+    TestRig rig(cfg);
+    std::vector<std::size_t> arrival_sizes;
+    rig.nic_b.set_handler(
+        [&](const Frame& f) { arrival_sizes.push_back(f.payload.size()); });
+    Frame big;
+    big.dst = rig.nic_b.mac();
+    big.payload.assign(1000, 0);
+    rig.nic_a.send(std::move(big));
+    Frame small;
+    small.dst = rig.nic_b.mac();
+    small.payload.assign(10, 0);
+    rig.nic_a.send(std::move(small));
+    rig.sim.run();
+    ASSERT_EQ(arrival_sizes.size(), 2u);
+    EXPECT_EQ(arrival_sizes[0], 1000u);
+    EXPECT_EQ(arrival_sizes[1], 10u);
+}
+
+TEST(Link, NicMovedBetweenSegmentsMissesInFlightFrames) {
+    TestRig rig;
+    Link other(rig.sim, {});
+    int got = 0;
+    rig.nic_b.set_handler([&](const Frame&) { ++got; });
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    rig.nic_a.send(std::move(f));
+    // b unplugs before the frame arrives.
+    rig.nic_b.connect(other);
+    rig.sim.run();
+    EXPECT_EQ(got, 0);
+}
+
+TEST(Link, DisconnectedNicSendsVanish) {
+    TestRig rig;
+    int got = 0;
+    rig.nic_b.set_handler([&](const Frame&) { ++got; });
+    rig.nic_a.disconnect();
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(got, 0);
+}
+
+TEST(Trace, CountsTxRxBytes) {
+    TestRig rig;
+    rig.nic_b.set_handler([](const Frame&) {});
+    Frame f;
+    f.dst = rig.nic_b.mac();
+    f.payload.assign(100, 0);
+    rig.nic_a.send(std::move(f));
+    rig.sim.run();
+    EXPECT_EQ(rig.trace.count(TraceKind::FrameTx), 1u);
+    EXPECT_EQ(rig.trace.count(TraceKind::FrameRx), 1u);
+    EXPECT_EQ(rig.trace.total_tx_bytes(), 114u);
+}
+
+TEST(MacAddress, FormattingAndBroadcast) {
+    EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+    EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+    const MacAddress m = MacAddress::from_id(0x1234);
+    EXPECT_FALSE(m.is_broadcast());
+    EXPECT_EQ(m.to_string(), "02:00:00:00:12:34");
+}

@@ -1,0 +1,217 @@
+// Edge cases of the IP stack: loopback, send_direct, broadcast handling,
+// filter feedback at unit level, fragment-loss behaviour, interface
+// lifecycle, and ICMP details.
+#include <gtest/gtest.h>
+
+#include "net/udp_header.h"
+#include "routing/filters.h"
+#include "stack/host.h"
+#include "stack/router.h"
+#include "transport/pinger.h"
+#include "transport/udp_service.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+
+namespace {
+struct LanRig {
+    sim::Simulator sim;
+    sim::TraceRecorder trace;
+    sim::Link lan;
+    stack::Host a{sim, "a"}, b{sim, "b"};
+
+    explicit LanRig(sim::LinkConfig cfg = {}) : lan(sim, cfg) {
+        lan.set_trace(trace.sink());
+        a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+        b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    }
+};
+}  // namespace
+
+TEST(StackEdge, LoopbackToOwnAddress) {
+    LanRig rig;
+    int got = 0;
+    rig.a.stack().register_protocol(net::IpProto::Udp,
+                                    [&](const net::Packet&, std::size_t) { ++got; });
+    rig.a.stack().send(net::make_packet({}, "10.0.0.1"_ip, net::IpProto::Udp,
+                                        std::vector<std::uint8_t>(4, 0)));
+    rig.sim.run();
+    EXPECT_EQ(got, 1);
+    // Nothing hit the wire.
+    EXPECT_EQ(rig.trace.count(sim::TraceKind::FrameTx), 0u);
+}
+
+TEST(StackEdge, SendDirectBroadcast) {
+    LanRig rig;
+    int got = 0;
+    rig.b.stack().register_protocol(net::IpProto::Udp,
+                                    [&](const net::Packet&, std::size_t) { ++got; });
+    rig.a.stack().send_direct(
+        net::make_packet("10.0.0.1"_ip, "255.255.255.255"_ip, net::IpProto::Udp,
+                         std::vector<std::uint8_t>(4, 0), 1),
+        0);
+    rig.sim.run();
+    EXPECT_EQ(got, 1);
+    // Broadcast needs no ARP: exactly one frame on the wire.
+    EXPECT_EQ(rig.trace.count(sim::TraceKind::FrameTx), 1u);
+}
+
+TEST(StackEdge, SendDirectToNeighborSkipsRouteTable) {
+    LanRig rig;
+    // b claims an address with no route anywhere.
+    rig.b.stack().add_local_address("172.31.0.9"_ip);
+    int got = 0;
+    rig.b.stack().register_protocol(net::IpProto::Udp,
+                                    [&](const net::Packet&, std::size_t) { ++got; });
+    rig.a.stack().send_direct(net::make_packet("10.0.0.1"_ip, "172.31.0.9"_ip,
+                                               net::IpProto::Udp,
+                                               std::vector<std::uint8_t>(4, 0)),
+                              0, /*next_hop=*/"10.0.0.2"_ip);
+    rig.sim.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(StackEdge, FilterFeedbackUnit) {
+    sim::Simulator sim;
+    sim::Link lan_a(sim, {}), lan_b(sim, {});
+    stack::Host a(sim, "a");
+    stack::Router r(sim, "r");
+    a.attach(lan_a, "10.0.1.2"_ip, "10.0.1.0/24"_net, "10.0.1.1"_ip);
+    r.attach(lan_a, "10.0.1.1"_ip, "10.0.1.0/24"_net);
+    r.attach(lan_b, "10.0.2.1"_ip, "10.0.2.0/24"_net);
+    r.add_egress_filter(1, std::make_shared<routing::ForeignSourceEgressRule>(
+                               "10.0.9.0/24"_net));  // nothing we send qualifies
+    r.stack().set_filter_feedback(true);
+
+    int prohibited = 0;
+    a.stack().add_icmp_observer([&](const net::IcmpMessage& m, const net::Packet&) {
+        if (m.type == net::IcmpType::DestinationUnreachable &&
+            m.code == static_cast<std::uint8_t>(
+                          net::IcmpUnreachableCode::CommunicationAdministrativelyProhibited)) {
+            ++prohibited;
+        }
+    });
+    // The router forwards this toward lan_b, where the egress rule kills it.
+    a.stack().send(net::make_packet("10.0.1.2"_ip, "10.0.2.2"_ip, net::IpProto::Udp,
+                                    std::vector<std::uint8_t>(4, 0)));
+    sim.run();
+    EXPECT_EQ(prohibited, 1);
+}
+
+TEST(StackEdge, LostFragmentMeansNoDelivery) {
+    // Drop one fragment on the floor: the datagram never completes and the
+    // partial state ages out (no crash, no partial delivery).
+    sim::Simulator sim;
+    sim::Link lan(sim, sim::LinkConfig{.mtu = 600});
+    stack::Host a(sim, "a"), b(sim, "b");
+    a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
+    b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
+    int got = 0;
+    b.stack().register_protocol(net::IpProto::Udp,
+                                [&](const net::Packet&, std::size_t) { ++got; });
+
+    // Build fragments by hand and send all but the second.
+    auto p = net::make_packet("10.0.0.1"_ip, "10.0.0.2"_ip, net::IpProto::Udp,
+                              std::vector<std::uint8_t>(1500, 1), 64, 77);
+    const auto frags = net::fragment(p, 600);
+    ASSERT_GE(frags.size(), 3u);
+    for (std::size_t i = 0; i < frags.size(); ++i) {
+        if (i == 1) continue;
+        a.stack().send_direct(frags[i], 0, "10.0.0.2"_ip);
+    }
+    sim.run();
+    EXPECT_EQ(got, 0);
+}
+
+TEST(StackEdge, EchoReplyMirrorsPayload) {
+    LanRig rig;
+    transport::Pinger pinger(rig.a.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping("10.0.0.2"_ip, [&](auto r) { rtt = r; }, sim::seconds(1),
+                /*payload=*/500);
+    rig.sim.run();
+    ASSERT_TRUE(rtt.has_value());
+    // Request and reply are both 500 + 8 ICMP + 20 IP = 528 B IP packets.
+    EXPECT_EQ(rig.trace.ip_tx_bytes(), 2 * (528 + 14));
+}
+
+TEST(StackEdge, MultiplePingersCoexist) {
+    LanRig rig;
+    transport::Pinger p1(rig.a.stack());
+    transport::Pinger p2(rig.a.stack());
+    int done = 0;
+    p1.ping("10.0.0.2"_ip, [&](auto r) { done += r.has_value(); });
+    p2.ping("10.0.0.2"_ip, [&](auto r) { done += r.has_value(); });
+    rig.sim.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(p1.received(), 1u);
+    EXPECT_EQ(p2.received(), 1u);
+}
+
+TEST(StackEdge, PacketIdsAreAssignedWhenZero) {
+    LanRig rig;
+    std::vector<std::uint16_t> ids;
+    rig.b.stack().register_protocol(net::IpProto::Udp,
+                                    [&](const net::Packet& p, std::size_t) {
+                                        ids.push_back(p.header().identification);
+                                    });
+    for (int i = 0; i < 3; ++i) {
+        rig.a.stack().send(net::make_packet("10.0.0.1"_ip, "10.0.0.2"_ip,
+                                            net::IpProto::Udp,
+                                            std::vector<std::uint8_t>(4, 0)));
+    }
+    rig.sim.run();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_NE(ids[0], 0);
+    EXPECT_NE(ids[0], ids[1]);
+    EXPECT_NE(ids[1], ids[2]);
+}
+
+TEST(StackEdge, VirtualInterfaceHasUnlimitedMtu) {
+    sim::Simulator sim;
+    stack::Host a(sim, "a");
+    const std::size_t vif = a.stack().add_virtual_interface("tun0", [](net::Packet) {});
+    EXPECT_GT(a.stack().iface(vif).mtu(), 1u << 30);
+    EXPECT_FALSE(a.stack().iface(vif).is_physical());
+    EXPECT_EQ(a.stack().iface(vif).name(), "tun0");
+}
+
+TEST(StackEdge, ReconfigureReplacesAddress) {
+    LanRig rig;
+    rig.a.stack().configure(0, "10.0.0.9"_ip, "10.0.0.0/24"_net);
+    EXPECT_FALSE(rig.a.stack().is_local_address("10.0.0.1"_ip));
+    EXPECT_TRUE(rig.a.stack().is_local_address("10.0.0.9"_ip));
+
+    transport::Pinger pinger(rig.b.stack());
+    std::optional<sim::Duration> rtt;
+    pinger.ping("10.0.0.9"_ip, [&](auto r) { rtt = r; });
+    rig.sim.run();
+    EXPECT_TRUE(rtt.has_value());
+}
+
+TEST(StackEdge, ArpFailureCountsInStats) {
+    LanRig rig;
+    rig.a.stack().send(net::make_packet("10.0.0.1"_ip, "10.0.0.77"_ip, net::IpProto::Udp,
+                                        std::vector<std::uint8_t>(4, 0)));
+    rig.sim.run();
+    EXPECT_EQ(rig.a.stack().stats().arp_failures, 1u);
+}
+
+TEST(StackEdge, UdpOverBroadcastDelivery) {
+    LanRig rig;
+    transport::UdpService ua(rig.a.stack()), ub(rig.b.stack());
+    auto server = ub.open(5000);
+    int got = 0;
+    server->set_receiver([&](auto, auto, auto) { ++got; });
+
+    net::UdpHeader u;
+    u.src_port = 1111;
+    u.dst_port = 5000;
+    net::BufferWriter w;
+    u.serialize(w, "10.0.0.1"_ip, "255.255.255.255"_ip, std::vector<std::uint8_t>{1});
+    rig.a.stack().send_direct(net::make_packet("10.0.0.1"_ip, "255.255.255.255"_ip,
+                                               net::IpProto::Udp, w.take(), 1),
+                              0);
+    rig.sim.run();
+    EXPECT_EQ(got, 1);
+}

@@ -1,0 +1,121 @@
+// System stress: several mobile hosts roaming simultaneously, each with
+// live traffic, sharing one home agent and one backbone — the "many
+// different conversations in progress at the same time" claim at fleet
+// scale.
+#include <gtest/gtest.h>
+
+#include "app/echo.h"
+#include "core/scenario.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+constexpr int kMobileCount = 5;
+constexpr int kMoveRounds = 4;
+}  // namespace
+
+TEST(Stress, FleetOfMobileHostsRoamsWithLiveTraffic) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    app::TcpEchoServer echo(ch.tcp(), 7);
+
+    // A fleet of mobile hosts sharing the home network and home agent.
+    std::vector<std::unique_ptr<MobileHost>> fleet;
+    for (int i = 0; i < kMobileCount; ++i) {
+        MobileHostConfig cfg = world.mobile_config();
+        cfg.home_address = world.home_domain.host(10 + static_cast<std::uint32_t>(i));
+        fleet.push_back(std::make_unique<MobileHost>(
+            world.sim, "fleet-" + std::to_string(i), std::move(cfg)));
+    }
+
+    // All register from the foreign LAN with distinct care-of addresses.
+    int registered = 0;
+    for (int i = 0; i < kMobileCount; ++i) {
+        fleet[static_cast<std::size_t>(i)]->attach_foreign(
+            world.foreign_lan(), world.foreign_domain.host(10 + static_cast<std::uint32_t>(i)),
+            world.foreign_domain.prefix, world.foreign_gateway_addr(),
+            [&](bool ok) { registered += ok; });
+    }
+    world.run_for(sim::seconds(5));
+    ASSERT_EQ(registered, kMobileCount);
+    EXPECT_EQ(world.home_agent().bindings().size(),
+              static_cast<std::size_t>(kMobileCount));
+
+    // Everyone opens a durable (home-address) conversation.
+    std::vector<transport::TcpConnection*> conns;
+    std::vector<std::size_t> echoed(kMobileCount, 0);
+    for (int i = 0; i < kMobileCount; ++i) {
+        auto& mh = *fleet[static_cast<std::size_t>(i)];
+        mh.force_mode(ch.address(), OutMode::IE);
+        auto& c = mh.tcp().connect(ch.address(), 7);
+        c.set_data_callback([&echoed, i](std::span<const std::uint8_t> d) {
+            echoed[static_cast<std::size_t>(i)] += d.size();
+        });
+        c.send(std::vector<std::uint8_t>(500, static_cast<std::uint8_t>(i)));
+        conns.push_back(&c);
+    }
+    world.run_for(sim::seconds(10));
+
+    // Roam: each round, odd-indexed hosts hop between the two visited
+    // networks while traffic keeps flowing.
+    std::size_t expected = 500;
+    for (int round = 0; round < kMoveRounds; ++round) {
+        for (int i = 0; i < kMobileCount; ++i) {
+            if (i % 2 == 0) continue;
+            auto& mh = *fleet[static_cast<std::size_t>(i)];
+            const bool to_corr = (round % 2) == 0;
+            int done = 0;
+            if (to_corr) {
+                mh.attach_foreign(world.corr_lan(),
+                                  world.corr_domain.host(40 + static_cast<std::uint32_t>(i)),
+                                  world.corr_domain.prefix, world.corr_gateway_addr(),
+                                  [&](bool ok) { done += ok; });
+            } else {
+                mh.attach_foreign(
+                    world.foreign_lan(),
+                    world.foreign_domain.host(10 + static_cast<std::uint32_t>(i)),
+                    world.foreign_domain.prefix, world.foreign_gateway_addr(),
+                    [&](bool ok) { done += ok; });
+            }
+        }
+        world.run_for(sim::seconds(3));
+        for (int i = 0; i < kMobileCount; ++i) {
+            conns[static_cast<std::size_t>(i)]->send(
+                std::vector<std::uint8_t>(500, static_cast<std::uint8_t>(round)));
+        }
+        world.run_for(sim::seconds(12));
+        expected += 500;
+    }
+
+    for (int i = 0; i < kMobileCount; ++i) {
+        EXPECT_TRUE(conns[static_cast<std::size_t>(i)]->alive()) << "host " << i;
+        EXPECT_EQ(echoed[static_cast<std::size_t>(i)], expected) << "host " << i;
+        EXPECT_TRUE(fleet[static_cast<std::size_t>(i)]->registered()) << "host " << i;
+    }
+    EXPECT_EQ(echo.connections_accepted(), static_cast<std::size_t>(kMobileCount));
+    EXPECT_EQ(world.home_agent().bindings().size(),
+              static_cast<std::size_t>(kMobileCount));
+}
+
+TEST(Stress, RegistrationStormIsHandled) {
+    // Twenty hosts registering within the same instant: the agent must
+    // answer all of them (distinct ports, distinct home addresses).
+    World world;
+    std::vector<std::unique_ptr<MobileHost>> fleet;
+    int registered = 0;
+    for (int i = 0; i < 20; ++i) {
+        MobileHostConfig cfg = world.mobile_config();
+        cfg.home_address = world.home_domain.host(100 + static_cast<std::uint32_t>(i));
+        fleet.push_back(std::make_unique<MobileHost>(
+            world.sim, "storm-" + std::to_string(i), std::move(cfg)));
+        fleet.back()->attach_foreign(
+            world.foreign_lan(), world.foreign_domain.host(100 + static_cast<std::uint32_t>(i)),
+            world.foreign_domain.prefix, world.foreign_gateway_addr(),
+            [&](bool ok) { registered += ok; });
+    }
+    world.run_for(sim::seconds(10));
+    EXPECT_EQ(registered, 20);
+    EXPECT_EQ(world.home_agent().bindings().size(), 20u);
+    EXPECT_EQ(world.home_agent().stats().registrations_accepted, 20u);
+}

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "tunnel/encapsulator.h"
+#include "tunnel/gre.h"
+#include "tunnel/ipip.h"
+#include "tunnel/minimal_encap.h"
+
+using namespace mip;
+using namespace mip::net::literals;
+
+namespace {
+net::Packet inner_packet(std::size_t payload = 64) {
+    return net::make_packet("10.1.0.10"_ip, "10.3.0.2"_ip, net::IpProto::Tcp,
+                            std::vector<std::uint8_t>(payload, 0x5a), 64, 99);
+}
+}  // namespace
+
+TEST(IpIp, RoundTripPreservesInnerExactly) {
+    tunnel::IpIpEncapsulator e;
+    const auto inner = inner_packet();
+    const auto outer = e.encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+
+    EXPECT_EQ(outer.header().protocol, net::IpProto::IpInIp);
+    EXPECT_EQ(outer.header().src, "10.2.0.10"_ip);
+    EXPECT_EQ(outer.header().dst, "10.1.0.2"_ip);
+    // §3.3: "Encapsulation typically adds 20 bytes to the size of the
+    // packet in IPv4."
+    EXPECT_EQ(outer.wire_size(), inner.wire_size() + 20);
+
+    const auto back = e.decapsulate(outer);
+    EXPECT_EQ(back.header().src, inner.header().src);
+    EXPECT_EQ(back.header().dst, inner.header().dst);
+    EXPECT_EQ(back.to_wire(), inner.to_wire());
+}
+
+TEST(IpIp, DecapsulateRejectsWrongProtocol) {
+    tunnel::IpIpEncapsulator e;
+    EXPECT_THROW(e.decapsulate(inner_packet()), net::ParseError);
+}
+
+TEST(MinimalEncap, RoundTripWithDifferentSource) {
+    tunnel::MinimalEncapsulator e;
+    const auto inner = inner_packet();
+    const auto outer = e.encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+
+    EXPECT_EQ(outer.header().protocol, net::IpProto::MinEnc);
+    // 12-byte forwarding header when the source must be preserved.
+    EXPECT_EQ(outer.wire_size(), inner.wire_size() + 12);
+
+    const auto back = e.decapsulate(outer);
+    EXPECT_EQ(back.header().src, inner.header().src);
+    EXPECT_EQ(back.header().dst, inner.header().dst);
+    EXPECT_EQ(back.header().protocol, inner.header().protocol);
+    ASSERT_EQ(back.payload().size(), inner.payload().size());
+    EXPECT_TRUE(std::equal(back.payload().begin(), back.payload().end(),
+                           inner.payload().begin()));
+}
+
+TEST(MinimalEncap, EightByteHeaderWhenSourceUnchanged) {
+    tunnel::MinimalEncapsulator e;
+    const auto inner = inner_packet();
+    // Outer source == inner source: no need to carry the original source.
+    const auto outer = e.encapsulate(inner, inner.header().src, "10.1.0.2"_ip);
+    EXPECT_EQ(outer.wire_size(), inner.wire_size() + 8);
+    const auto back = e.decapsulate(outer);
+    EXPECT_EQ(back.header().src, inner.header().src);
+    EXPECT_EQ(back.header().dst, inner.header().dst);
+}
+
+TEST(MinimalEncap, RefusesFragments) {
+    tunnel::MinimalEncapsulator e;
+    auto frag = inner_packet();
+    frag.header().more_fragments = true;
+    EXPECT_THROW(e.encapsulate(frag, "10.2.0.10"_ip, "10.1.0.2"_ip), net::ParseError);
+}
+
+TEST(MinimalEncap, CorruptForwardingHeaderDetected) {
+    tunnel::MinimalEncapsulator e;
+    auto outer = e.encapsulate(inner_packet(), "10.2.0.10"_ip, "10.1.0.2"_ip);
+    auto wire = outer.to_wire();
+    wire[net::kIpv4HeaderSize + 4] ^= 0xff;  // flip a bit in the original-dst field
+    const auto reparsed = net::Packet::from_wire(wire);
+    EXPECT_THROW(e.decapsulate(reparsed), net::ParseError);
+}
+
+TEST(Gre, BaseHeaderIsFourBytes) {
+    tunnel::GreEncapsulator e;
+    const auto inner = inner_packet();
+    const auto outer = e.encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+    EXPECT_EQ(outer.header().protocol, net::IpProto::Gre);
+    EXPECT_EQ(outer.wire_size(), inner.wire_size() + 20 + 4);
+    const auto back = e.decapsulate(outer);
+    EXPECT_EQ(back.to_wire(), inner.to_wire());
+}
+
+TEST(Gre, OptionsGrowHeader) {
+    tunnel::GreOptions opts;
+    opts.checksum = true;
+    opts.key = true;
+    opts.key_value = 0xdeadbeef;
+    opts.sequence = true;
+    tunnel::GreEncapsulator e(opts);
+    EXPECT_EQ(e.header_size(), 16u);
+    const auto inner = inner_packet();
+    const auto outer = e.encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+    EXPECT_EQ(outer.wire_size(), inner.wire_size() + 20 + 16);
+    EXPECT_EQ(e.decapsulate(outer).to_wire(), inner.to_wire());
+}
+
+TEST(Gre, SequenceNumbersIncrement) {
+    tunnel::GreOptions opts;
+    opts.sequence = true;
+    tunnel::GreEncapsulator e(opts);
+    (void)e.encapsulate(inner_packet(), "1.1.1.1"_ip, "2.2.2.2"_ip);
+    (void)e.encapsulate(inner_packet(), "1.1.1.1"_ip, "2.2.2.2"_ip);
+    EXPECT_EQ(e.next_sequence(), 2u);
+}
+
+TEST(Gre, KeyMismatchRejected) {
+    tunnel::GreOptions tx_opts;
+    tx_opts.key = true;
+    tx_opts.key_value = 1;
+    tunnel::GreEncapsulator tx(tx_opts);
+    tunnel::GreOptions rx_opts;
+    rx_opts.key = true;
+    rx_opts.key_value = 2;
+    tunnel::GreEncapsulator rx(rx_opts);
+    const auto outer = tx.encapsulate(inner_packet(), "1.1.1.1"_ip, "2.2.2.2"_ip);
+    EXPECT_THROW(rx.decapsulate(outer), net::ParseError);
+}
+
+TEST(Gre, ChecksumCorruptionDetected) {
+    tunnel::GreOptions opts;
+    opts.checksum = true;
+    tunnel::GreEncapsulator e(opts);
+    auto outer = e.encapsulate(inner_packet(), "1.1.1.1"_ip, "2.2.2.2"_ip);
+    auto wire = outer.to_wire();
+    wire.back() ^= 0x01;
+    const auto reparsed = net::Packet::from_wire(wire);
+    EXPECT_THROW(e.decapsulate(reparsed), net::ParseError);
+}
+
+TEST(Factory, MakesAllSchemes) {
+    for (auto scheme : {tunnel::EncapScheme::IpInIp, tunnel::EncapScheme::Minimal,
+                        tunnel::EncapScheme::Gre}) {
+        auto e = tunnel::make_encapsulator(scheme);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->name(), tunnel::to_string(scheme));
+        const auto inner = inner_packet();
+        const auto outer = e->encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+        const auto back = e->decapsulate(outer);
+        EXPECT_EQ(back.header().dst, inner.header().dst);
+    }
+}
+
+TEST(Overheads, MatchPaperNumbers) {
+    const auto inner = inner_packet();
+    EXPECT_EQ(tunnel::IpIpEncapsulator{}.overhead(inner), 20u);
+    EXPECT_EQ(tunnel::MinimalEncapsulator{}.overhead(inner), 12u);
+    EXPECT_EQ(tunnel::GreEncapsulator{}.overhead(inner), 4u);
+}
+
+TEST(Nesting, TunnelInsideTunnel) {
+    // Out-IE traffic that is itself re-tunneled (e.g. by a nested mobility
+    // layer) must survive: encapsulation composes.
+    tunnel::IpIpEncapsulator e;
+    const auto inner = inner_packet();
+    const auto mid = e.encapsulate(inner, "10.2.0.10"_ip, "10.1.0.2"_ip);
+    const auto outer = e.encapsulate(mid, "172.16.0.1"_ip, "172.16.0.2"_ip);
+    const auto back1 = e.decapsulate(outer);
+    EXPECT_EQ(back1.to_wire(), mid.to_wire());
+    const auto back2 = e.decapsulate(back1);
+    EXPECT_EQ(back2.to_wire(), inner.to_wire());
+}

@@ -1,0 +1,132 @@
+// The World's automatic route computation (BFS over the router graph) and
+// packet-path observability, across attach-point configurations.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+/// Pings @p dst from @p from and returns the observed IPv4 node path.
+std::vector<std::string> ping_path(World& world, stack::IpStack& from,
+                                   net::Ipv4Address dst) {
+    transport::Pinger pinger(from);
+    // Warm ARP first so the measured path has no resolution chatter.
+    pinger.ping(dst, [](auto) {}, sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    world.trace.clear();
+    bool ok = false;
+    pinger.ping(dst, [&](auto r) { ok = r.has_value(); }, sim::seconds(5));
+    world.run_for(sim::seconds(6));
+    EXPECT_TRUE(ok);
+    return world.trace.ip_tx_nodes();
+}
+}  // namespace
+
+class WorldRouting : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(WorldRouting, AllDomainPairsConnected) {
+    const auto [len, h, f, c] = GetParam();
+    WorldConfig cfg;
+    cfg.backbone_routers = len;
+    cfg.home_attach = h;
+    cfg.foreign_attach = f;
+    cfg.corr_attach = c;
+    // Make this purely a routing test: no filters.
+    cfg.home_ingress_spoof_filter = false;
+    cfg.home_egress_antispoof = false;
+    World world{cfg};
+
+    stack::Host hh(world.sim, "hh"), ff(world.sim, "ff"), cc(world.sim, "cc");
+    hh.attach(world.home_lan(), world.home_domain.host(99), world.home_domain.prefix,
+              world.home_gateway_addr());
+    ff.attach(world.foreign_lan(), world.foreign_domain.host(99),
+              world.foreign_domain.prefix, world.foreign_gateway_addr());
+    cc.attach(world.corr_lan(), world.corr_domain.host(99), world.corr_domain.prefix,
+              world.corr_gateway_addr());
+
+    struct Pair {
+        stack::Host* from;
+        stack::Host* to;
+    };
+    for (const Pair& p : {Pair{&hh, &ff}, Pair{&hh, &cc}, Pair{&ff, &cc},
+                          Pair{&ff, &hh}, Pair{&cc, &hh}, Pair{&cc, &ff}}) {
+        transport::Pinger pinger(p.from->stack());
+        std::optional<sim::Duration> rtt;
+        pinger.ping(p.to->address(), [&](auto r) { rtt = r; }, sim::seconds(5));
+        world.run_for(sim::seconds(6));
+        ASSERT_TRUE(rtt.has_value())
+            << p.from->name() << " -> " << p.to->name() << " (len=" << len << " h=" << h
+            << " f=" << f << " c=" << c << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AttachSweep, WorldRouting,
+                         ::testing::Values(std::make_tuple(1, 0, 0, 0),
+                                           std::make_tuple(2, 0, 1, 1),
+                                           std::make_tuple(4, 0, 3, 2),
+                                           std::make_tuple(5, 2, 0, 4),
+                                           std::make_tuple(8, 7, 0, 3),
+                                           std::make_tuple(6, 5, 5, 5)));
+
+TEST(WorldPath, TriangleRouteIsVisibleInTheTrace) {
+    WorldConfig cfg;
+    cfg.backbone_routers = 2;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    const auto path = ping_path(world, ch.stack(), world.mh_home_addr());
+    const std::string joined = world.trace.ip_path_string();
+
+    // The request leg must pass the home agent; the reply leg must not.
+    auto contains = [&](const char* node) {
+        return std::find(path.begin(), path.end(), node) != path.end();
+    };
+    EXPECT_TRUE(contains("home-agent")) << joined;
+    EXPECT_TRUE(contains("home-gw")) << joined;
+    EXPECT_TRUE(contains("corr-gw")) << joined;
+    EXPECT_TRUE(contains("foreign-gw")) << joined;
+    EXPECT_TRUE(contains("mobile-host")) << joined;
+    // home-agent appears exactly once: only the inbound leg detours.
+    EXPECT_EQ(std::count(path.begin(), path.end(), std::string("home-agent")), 1)
+        << joined;
+}
+
+TEST(WorldPath, SameSegmentPathIsTwoNodes) {
+    World world;
+    CorrespondentConfig ccfg;
+    ccfg.awareness = Awareness::MobileAware;
+    CorrespondentHost& ch = world.create_correspondent(ccfg, Placement::ForeignLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(), sim::seconds(600));
+    mh.force_mode(ch.address(), OutMode::DH);
+
+    const auto path = ping_path(world, ch.stack(), world.mh_home_addr());
+    ASSERT_EQ(path.size(), 2u) << world.trace.ip_path_string();
+    EXPECT_EQ(path[0], "ch0");
+    EXPECT_EQ(path[1], "mobile-host");
+}
+
+TEST(WorldPath, GatewayAddressesAreConsistent) {
+    World world;
+    EXPECT_EQ(world.home_gateway_addr(), world.home_domain.host(1));
+    EXPECT_EQ(world.backbone_size(), 4u);
+    // Every backbone router has routes for all three domains.
+    for (std::size_t i = 0; i < world.backbone_size(); ++i) {
+        const auto& routes = world.backbone_router(i).stack().routes();
+        int domain_routes = 0;
+        for (const auto& e : routes.entries()) {
+            if (e.prefix == world.home_domain.prefix ||
+                e.prefix == world.foreign_domain.prefix ||
+                e.prefix == world.corr_domain.prefix) {
+                ++domain_routes;
+            }
+        }
+        EXPECT_EQ(domain_routes, 3) << "router " << i;
+    }
+}
