@@ -1,0 +1,163 @@
+// Ablation A8 — handoff under physical motion (src/mobility).
+//
+// A mobile host rides a straight line through three coverage cells
+// (home LAN -> foreign LAN -> a third visited network) while a paced TCP
+// transfer and an ICMP stream from a correspondent run. We sweep speed and
+// cell overlap — including a negative overlap, i.e. a dead zone between
+// cells — and report what the HandoffController measured: handoffs taken,
+// registration latency, packets tunneled into the gap, and the fraction of
+// the ping stream delivered.
+#include "common.h"
+
+#include "mobility/handoff.h"
+#include "mobility/motion.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::mobility;
+
+namespace {
+
+struct MotionOutcome {
+    std::size_t handoffs = 0;
+    std::size_t dead_zones = 0;
+    double avg_reg_ms = 0.0;
+    std::size_t gap_loss = 0;
+    double ping_delivery = 0.0;  ///< delivered / sent
+    bool tcp_ok = false;
+};
+
+/// Cells span [0,400], [400-overlap, 800], [800-overlap, 1200] meters.
+/// A negative @p overlap_m opens a dead zone of that width at each seam.
+MotionOutcome run_journey(double speed_mps, double overlap_m) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    ch.tcp().listen(7700, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.privacy_mode = true;  // Out-IE everywhere: survives every boundary filter
+    mcfg.tcp.rto = sim::milliseconds(200);
+    mcfg.tcp.max_retries = 30;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+
+    // Constant-speed ride that *stops* at 1150 m (TraceMobility clamps at the
+    // last waypoint) so the drain phase doesn't coast out of coverage.
+    const double journey_s = 1150.0 / speed_mps;
+    auto model = std::make_unique<TraceMobility>(std::vector<TraceMobility::Waypoint>{
+        {0, {0, 50}},
+        {static_cast<sim::TimePoint>(journey_s * 1e9), {1150, 50}},
+    });
+    CoverageMap map;
+    map.add(world.home_cell(Region::rect(0, 0, 400, 100), /*priority=*/1))
+        .add(world.foreign_cell(Region::rect(400 - overlap_m, 0, 800, 100)))
+        .add(world.corr_cell(Region::rect(800 - overlap_m, 0, 1200, 100)));
+    auto& hc = world.with_mobility(std::move(model), std::move(map));
+    world.run_for(sim::milliseconds(200));  // initial home attach
+
+    auto& conn = mh.tcp().connect(ch.address(), 7700);
+    std::size_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+
+    transport::Pinger pinger(ch.stack());
+    std::size_t pings_sent = 0, pings_delivered = 0;
+    std::size_t tcp_sent = 0;
+
+    const int steps = static_cast<int>(journey_s / 0.2) + 1;
+    for (int i = 0; i < steps; ++i) {
+        pinger.ping(mh.home_address(),
+                    [&](auto rtt) { pings_delivered += rtt.has_value(); },
+                    sim::seconds(2));
+        ++pings_sent;
+        if (i % 5 == 0) {  // 1 KB of TCP payload per simulated second
+            conn.send(std::vector<std::uint8_t>(1000, 0x42));
+            tcp_sent += 1000;
+        }
+        world.run_for(sim::milliseconds(200));
+    }
+    world.run_for(sim::seconds(8));  // drain retransmissions and late pings
+
+    MotionOutcome out;
+    out.handoffs = hc.stats().handoff_count();
+    out.dead_zones = hc.stats().dead_zone_entries;
+    out.avg_reg_ms = hc.stats().avg_registration_ms();
+    out.gap_loss = hc.stats().total_gap_loss();
+    out.ping_delivery =
+        pings_sent > 0 ? static_cast<double>(pings_delivered) / pings_sent : 0.0;
+    out.tcp_ok = conn.alive() && echoed == tcp_sent;
+    return out;
+}
+
+void print_figure() {
+    bench::print_header(
+        "Ablation A8: handoff under physical motion (speed x cell overlap)",
+        "Straight-line ride home -> foreign -> corr (1150 m) with a paced TCP\n"
+        "echo and a 5 Hz ICMP stream from the correspondent. overlap < 0 is a\n"
+        "dead zone between cells; 'gap-loss' counts packets the home agent\n"
+        "tunneled toward a stale care-of address during handoff gaps.");
+
+    std::printf("%7s  %9s  %8s  %5s  %11s  %8s  %9s  %7s\n", "speed", "overlap",
+                "handoffs", "dead", "avg-reg(ms)", "gap-loss", "ping-del%", "tcp-ok");
+    for (double overlap : {-50.0, 0.0, 100.0}) {
+        for (double speed : {10.0, 30.0, 60.0}) {
+            const MotionOutcome o = run_journey(speed, overlap);
+            std::printf("%5.0f m/s  %7.0f m  %8zu  %5zu  %11.1f  %8zu  %9.1f  %7s\n",
+                        speed, overlap, o.handoffs, o.dead_zones, o.avg_reg_ms,
+                        o.gap_loss, 100.0 * o.ping_delivery, bench::yn(o.tcp_ok));
+        }
+    }
+    std::printf(
+        "\nShape check: overlap >= 0 keeps the ping stream near 100%% and the\n"
+        "TCP transfer completing at every speed; the dead-zone column shows\n"
+        "outage loss growing as speed drops (longer time in the gap), while\n"
+        "registration latency stays flat — it is a property of the backbone\n"
+        "RTT, not of motion.\n\n");
+}
+
+void BM_RandomWaypointSampling(benchmark::State& state) {
+    // Raw cost of trajectory generation + lookup, the controller's hot path.
+    RandomWaypointMobility::Config cfg;
+    cfg.seed = 9;
+    RandomWaypointMobility model(cfg);
+    sim::TimePoint t = 0;
+    for (auto _ : state) {
+        t += sim::milliseconds(100);
+        benchmark::DoNotOptimize(model.position_at(t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomWaypointSampling);
+
+void BM_CoverageLookup(benchmark::State& state) {
+    CoverageMap map;
+    for (int i = 0; i < 16; ++i) {
+        CoverageCell cell;
+        cell.name = "cell" + std::to_string(i);
+        cell.region = Region::disc({i * 100.0, 50}, 120);
+        map.add(cell);
+    }
+    double x = 0;
+    for (auto _ : state) {
+        x += 3.7;
+        if (x > 1600) x = 0;
+        benchmark::DoNotOptimize(map.best_at({x, 50}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoverageLookup);
+
+void BM_MotionHandoffJourney(benchmark::State& state) {
+    // Whole-world cost of one motion-driven journey with handoffs.
+    for (auto _ : state) {
+        const MotionOutcome o = run_journey(60.0, 100.0);
+        benchmark::DoNotOptimize(o);
+    }
+}
+BENCHMARK(BM_MotionHandoffJourney)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+M4X4_BENCH_MAIN(print_figure)

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cassert>
 #include <cstdio>
 #include <optional>
 
@@ -27,6 +28,14 @@ struct PingResult {
 /// the wire cost of the whole exchange. By default a warm-up ping runs
 /// first so ARP resolution (and any binding learning) is excluded from the
 /// measurement; pass warm_up=false to observe cold-path behaviour.
+///
+/// Trace contract: this helper OWNS world.trace for the duration of the
+/// call. The trace is reset when measurement starts — hops/bytes cover
+/// exactly this exchange plus whatever background traffic (agent adverts,
+/// re-registrations) the scenario generates inside the measurement window —
+/// and any trace contents the caller accumulated beforehand are discarded.
+/// Callers that inspect the trace must do so before calling, or re-drive
+/// the traffic afterwards.
 inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& from,
                                mip::net::Ipv4Address dst,
                                mip::net::Ipv4Address src = {}, bool warm_up = true,
@@ -37,6 +46,9 @@ inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& fro
         world.run_for(mip::sim::seconds(6));
     }
     world.trace.clear();
+    // The measurement window must open on an empty trace, or the hop/byte
+    // attribution below silently includes someone else's packets.
+    assert(world.trace.events().empty() && world.trace.ip_hops() == 0);
     PingResult result;
     pinger.ping(
         dst,
@@ -61,6 +73,8 @@ struct TransferResult {
 
 /// Opens a TCP connection from @p client to @p server_addr:@p port, pushes
 /// @p payload_bytes through it, and waits (bounded) for full acknowledgment.
+/// Same trace contract as measure_ping: world.trace is reset at the start
+/// of the measurement window.
 inline TransferResult measure_tcp_transfer(mip::core::World& world,
                                            mip::transport::TcpService& client,
                                            mip::net::Ipv4Address server_addr,

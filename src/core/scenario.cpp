@@ -230,19 +230,27 @@ void World::attach_mobile_home() {
     mh_->attach_home(*home_lan_, home_gateway_addr());
 }
 
-bool World::attach_mobile_foreign(sim::Duration timeout) {
+bool World::attach_and_wait(
+    sim::Duration timeout,
+    const std::function<void(MobileHost::RegistrationCallback)>& initiate) {
     bool done = false;
     bool accepted = false;
-    mh_->attach_foreign(*foreign_lan_, mh_care_of_addr(), foreign_domain.prefix,
-                        foreign_gateway_addr(), [&](bool ok) {
-                            done = true;
-                            accepted = ok;
-                        });
+    initiate([&](bool ok) {
+        done = true;
+        accepted = ok;
+    });
     const sim::TimePoint deadline = sim.now() + timeout;
     while (!done && sim.now() < deadline && sim.pending_events() > 0) {
         sim.run_until(sim.now() + sim::milliseconds(10));
     }
     return done && accepted;
+}
+
+bool World::attach_mobile_foreign(sim::Duration timeout) {
+    return attach_and_wait(timeout, [&](MobileHost::RegistrationCallback done) {
+        mh_->attach_foreign(*foreign_lan_, mh_care_of_addr(), foreign_domain.prefix,
+                            foreign_gateway_addr(), std::move(done));
+    });
 }
 
 ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
@@ -254,17 +262,104 @@ ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
 }
 
 bool World::attach_mobile_via_agent(sim::Duration timeout) {
-    bool done = false;
-    bool accepted = false;
-    mh_->attach_via_foreign_agent(*foreign_lan_, [&](bool ok) {
-        done = true;
-        accepted = ok;
+    return attach_and_wait(timeout, [&](MobileHost::RegistrationCallback done) {
+        mh_->attach_via_foreign_agent(*foreign_lan_, std::move(done));
     });
-    const sim::TimePoint deadline = sim.now() + timeout;
-    while (!done && sim.now() < deadline && sim.pending_events() > 0) {
-        sim.run_until(sim.now() + sim::milliseconds(10));
+}
+
+// ---- physical mobility ------------------------------------------------------
+
+namespace {
+/// Binds the handoff controller's Attachable interface to this world's
+/// mobile host: each coverage-cell entry becomes the matching attach call.
+class MobileHostAttachable final : public mobility::Attachable {
+public:
+    explicit MobileHostAttachable(MobileHost& mh) : mh_(mh) {}
+
+    void attach_home(const mobility::CoverageCell& cell) override {
+        mh_.attach_home(*cell.link, cell.gateway);
     }
-    return done && accepted;
+    void attach_foreign(const mobility::CoverageCell& cell, Done done) override {
+        mh_.attach_foreign(*cell.link, cell.care_of, cell.subnet, cell.gateway,
+                           std::move(done));
+    }
+    void attach_via_agent(const mobility::CoverageCell& cell, Done done) override {
+        mh_.attach_via_foreign_agent(*cell.link, std::move(done));
+    }
+    void detach() override { mh_.detach_current(); }
+
+private:
+    MobileHost& mh_;
+};
+}  // namespace
+
+mobility::HandoffController& World::with_mobility(
+    std::unique_ptr<mobility::MobilityModel> model, mobility::CoverageMap map,
+    mobility::HandoffConfig config) {
+    if (!mh_) {
+        throw std::logic_error("with_mobility: create_mobile_host() first");
+    }
+    if (!config.gap_loss_probe) {
+        // Packets the home agent tunnels while the host is between
+        // attachments go to a stale care-of address and are lost.
+        config.gap_loss_probe = [this] { return ha_->stats().packets_tunneled; };
+    }
+    mobility_model_ = std::move(model);
+    mobility_adapter_ = std::make_unique<MobileHostAttachable>(*mh_);
+    handoff_controller_ = std::make_unique<mobility::HandoffController>(
+        sim, *mobility_adapter_, *mobility_model_, std::move(map), std::move(config));
+    handoff_controller_->start();
+    return *handoff_controller_;
+}
+
+mobility::CoverageCell World::home_cell(mobility::Region region, int priority) {
+    mobility::CoverageCell cell;
+    cell.name = "home";
+    cell.region = region;
+    cell.kind = mobility::AttachKind::Home;
+    cell.link = home_lan_;
+    cell.subnet = home_domain.prefix;
+    cell.gateway = home_gateway_addr();
+    cell.priority = priority;
+    return cell;
+}
+
+mobility::CoverageCell World::foreign_cell(mobility::Region region, int priority) {
+    mobility::CoverageCell cell;
+    cell.name = "foreign";
+    cell.region = region;
+    cell.kind = mobility::AttachKind::Foreign;
+    cell.link = foreign_lan_;
+    cell.care_of = mh_care_of_addr();
+    cell.subnet = foreign_domain.prefix;
+    cell.gateway = foreign_gateway_addr();
+    cell.priority = priority;
+    return cell;
+}
+
+mobility::CoverageCell World::foreign_agent_cell(mobility::Region region, int priority) {
+    mobility::CoverageCell cell;
+    cell.name = "foreign-agent";
+    cell.region = region;
+    cell.kind = mobility::AttachKind::ForeignAgent;
+    cell.link = foreign_lan_;
+    cell.subnet = foreign_domain.prefix;
+    cell.gateway = foreign_gateway_addr();
+    cell.priority = priority;
+    return cell;
+}
+
+mobility::CoverageCell World::corr_cell(mobility::Region region, int priority) {
+    mobility::CoverageCell cell;
+    cell.name = "corr";
+    cell.region = region;
+    cell.kind = mobility::AttachKind::Foreign;
+    cell.link = corr_lan_;
+    cell.care_of = corr_domain.host(10);
+    cell.subnet = corr_domain.prefix;
+    cell.gateway = corr_gateway_addr();
+    cell.priority = priority;
+    return cell;
 }
 
 void World::enable_dns(const std::string& mh_name) {

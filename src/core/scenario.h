@@ -17,6 +17,7 @@
 #include "core/home_agent.h"
 #include "core/mobile_host.h"
 #include "dns/server.h"
+#include "mobility/handoff.h"
 #include "routing/domain.h"
 #include "stack/router.h"
 
@@ -126,13 +127,17 @@ public:
     CorrespondentHost& create_correspondent(CorrespondentConfig config, Placement placement,
                                             std::uint32_t host_index = 0);
 
+    /// How long the attach_mobile_* helpers drive the simulation while
+    /// waiting for a registration outcome.
+    static constexpr sim::Duration kDefaultAttachTimeout = sim::seconds(10);
+
     /// Plugs the world's mobile host into its home segment.
     void attach_mobile_home();
 
     /// Plugs the world's mobile host into the foreign segment and runs the
     /// simulation until registration completes (or @p timeout). Returns
     /// whether registration was accepted.
-    bool attach_mobile_foreign(sim::Duration timeout = sim::seconds(10));
+    bool attach_mobile_foreign(sim::Duration timeout = kDefaultAttachTimeout);
 
     /// Places a foreign agent on the foreign LAN (owned by the world).
     ForeignAgent& create_foreign_agent(ForeignAgentConfig config = {});
@@ -140,7 +145,33 @@ public:
 
     /// Plugs the world's mobile host into the foreign segment *via the
     /// foreign agent* and runs until registration completes (or timeout).
-    bool attach_mobile_via_agent(sim::Duration timeout = sim::seconds(10));
+    bool attach_mobile_via_agent(sim::Duration timeout = kDefaultAttachTimeout);
+
+    // ---- physical mobility ----------------------------------------------------
+
+    /// Installs the physical-mobility layer: @p model drives the mobile
+    /// host's position, @p map binds regions to this world's segments, and
+    /// the returned HandoffController (started, owned by the world)
+    /// performs every attach/detach from then on — no manual attach_*
+    /// calls. Requires create_mobile_host() first. Unless overridden,
+    /// config.gap_loss_probe counts packets the home agent tunnels while
+    /// the host is between attachments.
+    mobility::HandoffController& with_mobility(
+        std::unique_ptr<mobility::MobilityModel> model, mobility::CoverageMap map,
+        mobility::HandoffConfig config = {});
+    mobility::HandoffController& handoff() { return *handoff_controller_; }
+    bool has_mobility() const noexcept { return handoff_controller_ != nullptr; }
+
+    /// Cell builders pre-wired to this world's segments and addresses (the
+    /// caller picks the region; link/addresses/gateway are filled in).
+    mobility::CoverageCell home_cell(mobility::Region region, int priority = 0);
+    /// Foreign LAN with a co-located care-of address (the usual COA).
+    mobility::CoverageCell foreign_cell(mobility::Region region, int priority = 0);
+    /// Foreign LAN joined through its foreign agent (create_foreign_agent
+    /// first, or registrations will go unanswered until retries expire).
+    mobility::CoverageCell foreign_agent_cell(mobility::Region region, int priority = 0);
+    /// The correspondent-domain LAN treated as a third visited network.
+    mobility::CoverageCell corr_cell(mobility::Region region, int priority = 0);
 
     /// Enables a DNS server (in the home domain) preloaded with an A record
     /// for the mobile host under @p mh_name.
@@ -159,6 +190,12 @@ public:
 private:
     sim::Link& make_link(std::string name, sim::Duration latency, double bandwidth_bps,
                          std::size_t mtu);
+    /// Shared attach-and-poll loop behind attach_mobile_foreign /
+    /// attach_mobile_via_agent: @p initiate kicks off the attachment with a
+    /// registration callback; we drive the simulation until it reports.
+    bool attach_and_wait(
+        sim::Duration timeout,
+        const std::function<void(MobileHost::RegistrationCallback)>& initiate);
     void connect_gateway(stack::Router& gw, std::size_t backbone_index,
                          net::Ipv4Address inside_addr, net::Prefix inside_prefix,
                          sim::Link& inside_lan);
@@ -177,6 +214,9 @@ private:
     std::unique_ptr<ForeignAgent> fa_;
     std::unique_ptr<MobileHost> mh_;
     std::vector<std::unique_ptr<CorrespondentHost>> correspondents_;
+    std::unique_ptr<mobility::MobilityModel> mobility_model_;
+    std::unique_ptr<mobility::Attachable> mobility_adapter_;
+    std::unique_ptr<mobility::HandoffController> handoff_controller_;
     std::unique_ptr<stack::Host> dns_host_;
     std::unique_ptr<transport::UdpService> dns_udp_;
     std::unique_ptr<dns::Zone> dns_zone_;

@@ -1,0 +1,42 @@
+#include "mobility/coverage.h"
+
+namespace mip::mobility {
+
+bool Region::contains(Position p) const noexcept {
+    switch (kind_) {
+        case Kind::Rect:
+            return p.x >= a_ && p.y >= b_ && p.x <= c_ && p.y <= d_;
+        case Kind::Disc: {
+            const double dx = p.x - a_;
+            const double dy = p.y - b_;
+            return dx * dx + dy * dy <= c_ * c_;
+        }
+    }
+    return false;
+}
+
+const CoverageCell* CoverageMap::best_at(Position p) const {
+    const CoverageCell* best = nullptr;
+    for (const CoverageCell& cell : cells_) {
+        if (!cell.region.contains(p)) continue;
+        if (best == nullptr || cell.priority > best->priority) best = &cell;
+    }
+    return best;
+}
+
+std::vector<const CoverageCell*> CoverageMap::cells_at(Position p) const {
+    std::vector<const CoverageCell*> hits;
+    for (const CoverageCell& cell : cells_) {
+        if (cell.region.contains(p)) hits.push_back(&cell);
+    }
+    return hits;
+}
+
+const CoverageCell* CoverageMap::find(std::string_view name) const {
+    for (const CoverageCell& cell : cells_) {
+        if (cell.name == name) return &cell;
+    }
+    return nullptr;
+}
+
+}  // namespace mip::mobility

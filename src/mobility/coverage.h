@@ -1,0 +1,87 @@
+// Radio coverage: 2-D regions bound to link segments.
+//
+// A CoverageCell says "while the mobile host is physically inside this
+// region, the segment @p link is within radio range, and joining it means
+// attaching as @p kind". Overlapping cells model overlapping coverage —
+// the paper's Figure 1–5 topologies become a strip of cells, one per
+// subnet, with overlap (or dead gaps) at the seams. Positions covered by
+// no cell are dead zones: the radio has nothing to associate with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mobility/motion.h"
+#include "net/ipv4_address.h"
+#include "sim/link.h"
+
+namespace mip::mobility {
+
+/// An axis-aligned rectangle or a disc, in meters. Boundaries inclusive.
+class Region {
+public:
+    static Region rect(double min_x, double min_y, double max_x, double max_y) {
+        return Region{Kind::Rect, min_x, min_y, max_x, max_y};
+    }
+    static Region disc(Position center, double radius) {
+        return Region{Kind::Disc, center.x, center.y, radius, 0};
+    }
+
+    bool contains(Position p) const noexcept;
+
+private:
+    enum class Kind { Rect, Disc };
+    Region(Kind kind, double a, double b, double c, double d)
+        : kind_(kind), a_(a), b_(b), c_(c), d_(d) {}
+
+    Kind kind_;
+    double a_, b_, c_, d_;  ///< rect: min_x/min_y/max_x/max_y; disc: cx/cy/r
+};
+
+/// How the mobile host joins the cell's segment on entry.
+enum class AttachKind {
+    Home,          ///< the home LAN: attach_home (deregisters if needed)
+    Foreign,       ///< co-located care-of address: attach_foreign + register
+    ForeignAgent,  ///< register through the segment's foreign agent
+};
+
+struct CoverageCell {
+    std::string name;
+    Region region = Region::rect(0, 0, 0, 0);
+    AttachKind kind = AttachKind::Foreign;
+    /// The segment within radio range inside this region.
+    sim::Link* link = nullptr;
+    /// Foreign cells: the co-located care-of address to adopt and its subnet.
+    net::Ipv4Address care_of;
+    net::Prefix subnet;
+    std::optional<net::Ipv4Address> gateway;
+    /// Overlap resolution: higher wins; ties go to the earlier-added cell.
+    int priority = 0;
+};
+
+/// The cells of a scenario. Populate fully before handing the map to a
+/// HandoffController — lookups return pointers into the cell vector.
+class CoverageMap {
+public:
+    CoverageMap& add(CoverageCell cell) {
+        cells_.push_back(std::move(cell));
+        return *this;
+    }
+
+    /// The cell the radio associates with at @p p: highest priority among
+    /// the containing cells, earliest added on ties. nullptr = dead zone.
+    const CoverageCell* best_at(Position p) const;
+
+    /// All cells containing @p p, in insertion order.
+    std::vector<const CoverageCell*> cells_at(Position p) const;
+
+    const CoverageCell* find(std::string_view name) const;
+    const std::vector<CoverageCell>& cells() const noexcept { return cells_; }
+
+private:
+    std::vector<CoverageCell> cells_;
+};
+
+}  // namespace mip::mobility

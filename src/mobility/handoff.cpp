@@ -1,0 +1,171 @@
+#include "mobility/handoff.h"
+
+namespace mip::mobility {
+
+// ---- HandoffStats -----------------------------------------------------------
+
+std::size_t HandoffStats::handoff_count() const {
+    std::size_t n = 0;
+    for (const HandoffRecord& r : records) {
+        if (r.success && !r.initial) ++n;
+    }
+    return n;
+}
+
+double HandoffStats::avg_registration_ms() const {
+    double total = 0;
+    std::size_t n = 0;
+    for (const HandoffRecord& r : records) {
+        if (!r.success) continue;
+        total += sim::to_milliseconds(r.registration_latency());
+        ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+std::size_t HandoffStats::total_gap_loss() const {
+    std::size_t total = 0;
+    for (const HandoffRecord& r : records) total += r.packets_lost_in_gap;
+    return total;
+}
+
+// ---- HandoffController ------------------------------------------------------
+
+HandoffController::HandoffController(sim::Simulator& simulator, Attachable& host,
+                                     MobilityModel& model, CoverageMap map,
+                                     HandoffConfig config)
+    : sim_(simulator),
+      host_(host),
+      model_(model),
+      map_(std::move(map)),
+      config_(std::move(config)) {}
+
+HandoffController::~HandoffController() { stop(); }
+
+void HandoffController::start() {
+    if (running_) return;
+    running_ = true;
+    sample_timer_ = sim_.schedule_in(0, [this] { on_sample(); });
+    sample_timer_armed_ = true;
+}
+
+void HandoffController::stop() {
+    if (!running_) return;
+    running_ = false;
+    if (sample_timer_armed_) {
+        sim_.cancel(sample_timer_);
+        sample_timer_armed_ = false;
+    }
+    // Orphan any in-flight attach callback / retry timer.
+    ++attach_epoch_;
+}
+
+void HandoffController::on_sample() {
+    sample_timer_armed_ = false;
+    if (!running_) return;
+    evaluate(map_.best_at(model_.position_at(sim_.now())));
+    sample_timer_ = sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+    sample_timer_armed_ = true;
+}
+
+void HandoffController::evaluate(const CoverageCell* best) {
+    if (best == current_) {
+        // Back inside the current cell: any pending move was edge noise.
+        if (has_candidate_) {
+            ++stats_.suppressed_flaps;
+            has_candidate_ = false;
+        }
+        return;
+    }
+    if (!has_candidate_ || candidate_ != best) {
+        if (has_candidate_) ++stats_.suppressed_flaps;
+        has_candidate_ = true;
+        candidate_ = best;
+        candidate_since_ = sim_.now();
+    }
+    // The first association of the journey is immediate — there is nothing
+    // to ping-pong away from yet.
+    if (!attached_once_ || sim_.now() - candidate_since_ >= config_.dwell_time) {
+        commit(candidate_, candidate_since_);
+    }
+}
+
+void HandoffController::commit(const CoverageCell* cell, sim::TimePoint detected_at) {
+    has_candidate_ = false;
+    ++attach_epoch_;
+    if (record_open_) {
+        close_record(false);  // superseded mid-registration by this move
+    }
+    const std::string from = current_ != nullptr ? current_->name
+                             : attached_once_   ? "(dead zone)"
+                                                : "(start)";
+    // The old attachment is gone the moment we commit (the NIC leaves its
+    // segment); the gap stays open across dead zones until an attach
+    // completes, so the loss of a whole outage lands on the handoff that
+    // ends it.
+    if (!gap_open_) {
+        gap_open_ = true;
+        gap_loss_at_open_ = probe();
+    }
+    if (cell == nullptr) {
+        ++stats_.dead_zone_entries;
+        host_.detach();
+        current_ = nullptr;
+        return;
+    }
+    pending_ = HandoffRecord{};
+    pending_.from = from;
+    pending_.to = cell->name;
+    pending_.initial = !attached_once_;
+    pending_.detected_at = detected_at;
+    pending_.committed_at = sim_.now();
+    record_open_ = true;
+    current_ = cell;
+    attached_once_ = true;
+    issue_attach(*cell);
+}
+
+void HandoffController::issue_attach(const CoverageCell& cell) {
+    ++pending_.attach_attempts;
+    const std::uint64_t epoch = attach_epoch_;
+    switch (cell.kind) {
+        case AttachKind::Home:
+            host_.attach_home(cell);
+            close_record(true);  // synchronous: no registration round trip
+            break;
+        case AttachKind::Foreign:
+            host_.attach_foreign(cell,
+                                 [this, epoch](bool ok) { on_attach_result(epoch, ok); });
+            break;
+        case AttachKind::ForeignAgent:
+            host_.attach_via_agent(cell,
+                                   [this, epoch](bool ok) { on_attach_result(epoch, ok); });
+            break;
+    }
+}
+
+void HandoffController::on_attach_result(std::uint64_t epoch, bool accepted) {
+    if (epoch != attach_epoch_ || !running_) return;  // superseded or stopped
+    if (accepted) {
+        close_record(true);
+        return;
+    }
+    ++stats_.failed_attaches;
+    sim_.schedule_in(config_.retry_backoff, [this, epoch] {
+        if (epoch != attach_epoch_ || !running_ || current_ == nullptr) return;
+        issue_attach(*current_);
+    });
+}
+
+void HandoffController::close_record(bool success) {
+    pending_.success = success;
+    pending_.completed_at = sim_.now();
+    if (success && gap_open_) {
+        pending_.packets_lost_in_gap = probe() - gap_loss_at_open_;
+        gap_open_ = false;
+    }
+    stats_.records.push_back(pending_);
+    record_open_ = false;
+}
+
+}  // namespace mip::mobility

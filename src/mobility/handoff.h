@@ -1,0 +1,155 @@
+// The automatic handoff controller.
+//
+// Samples a MobilityModel on simulator events, matches the position
+// against a CoverageMap, and drives the mobile host's attach operations —
+// replacing the scripted "attach_foreign() at t" calls of the early tests
+// with motion-driven handoffs. Cell-edge ping-pong is suppressed with a
+// dwell-time hysteresis: a new best cell must stay best for a full dwell
+// interval before the controller commits the move. Registrations that fail
+// are re-issued with backoff, and every handoff's detection latency,
+// registration latency and gap loss land in HandoffStats.
+//
+// The controller is deliberately decoupled from core::MobileHost: it
+// drives the small Attachable interface below, so the mobility library
+// sits beside the link layer rather than on top of the Mobile IP core.
+// core::World::with_mobility() supplies the MobileHost adapter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mobility/coverage.h"
+#include "mobility/motion.h"
+#include "sim/simulator.h"
+
+namespace mip::mobility {
+
+/// What the controller needs from a host: the four attach transitions.
+/// Foreign/agent attaches complete asynchronously (registration round
+/// trip); @p done fires with the outcome. Home attach is synchronous.
+class Attachable {
+public:
+    using Done = std::function<void(bool accepted)>;
+    virtual ~Attachable() = default;
+    virtual void attach_home(const CoverageCell& cell) = 0;
+    virtual void attach_foreign(const CoverageCell& cell, Done done) = 0;
+    virtual void attach_via_agent(const CoverageCell& cell, Done done) = 0;
+    virtual void detach() = 0;
+};
+
+struct HandoffConfig {
+    /// How often the position is sampled against the coverage map.
+    sim::Duration sample_interval = sim::milliseconds(100);
+    /// Hysteresis: a new best cell must stay best this long before the
+    /// controller commits the handoff (0 = switch on the first sample).
+    /// The journey's first association is always immediate.
+    sim::Duration dwell_time = sim::milliseconds(300);
+    /// Backoff before re-issuing an attach whose registration failed.
+    sim::Duration retry_backoff = sim::seconds(1);
+    /// Optional monotone counter sampled when a connectivity gap opens and
+    /// when it closes; the difference is a handoff's packets_lost_in_gap.
+    /// World::with_mobility wires this to the home agent's tunneled-packet
+    /// counter — packets the agent forwarded toward a stale care-of
+    /// address while the host was between attachments.
+    std::function<std::size_t()> gap_loss_probe;
+};
+
+struct HandoffRecord {
+    std::string from;  ///< previous cell, "(start)" or "(dead zone)"
+    std::string to;
+    bool initial = false;  ///< the journey's first association, not a handoff
+    bool success = false;  ///< false: superseded by a later move, or retries exhausted
+    unsigned attach_attempts = 0;
+    sim::TimePoint detected_at = 0;   ///< first sample seeing the new cell as best
+    sim::TimePoint committed_at = 0;  ///< dwell passed, attach issued
+    sim::TimePoint completed_at = 0;  ///< registration (or home attach) done
+    /// Packets the gap-loss probe counted between losing the previous
+    /// attachment (which may include a dead-zone crossing) and this
+    /// attach completing.
+    std::size_t packets_lost_in_gap = 0;
+
+    sim::Duration detection_latency() const { return committed_at - detected_at; }
+    sim::Duration registration_latency() const { return completed_at - committed_at; }
+};
+
+struct HandoffStats {
+    std::vector<HandoffRecord> records;
+    /// Candidate cells abandoned before the dwell time elapsed — each one
+    /// is a ping-pong handoff the hysteresis suppressed.
+    std::size_t suppressed_flaps = 0;
+    std::size_t dead_zone_entries = 0;
+    /// Registration failures the controller answered with a backoff retry.
+    std::size_t failed_attaches = 0;
+
+    /// Completed cell-to-cell moves (successful, non-initial records).
+    std::size_t handoff_count() const;
+    double avg_registration_ms() const;  ///< over successful records
+    std::size_t total_gap_loss() const;
+};
+
+class HandoffController {
+public:
+    /// @p map must be fully populated; the controller takes its own copy.
+    /// @p host and @p model must outlive the controller.
+    HandoffController(sim::Simulator& simulator, Attachable& host, MobilityModel& model,
+                      CoverageMap map, HandoffConfig config = {});
+    ~HandoffController();
+    HandoffController(const HandoffController&) = delete;
+    HandoffController& operator=(const HandoffController&) = delete;
+
+    /// Begins sampling (first sample fires immediately). The first cell
+    /// the position lands in is attached without dwell.
+    void start();
+    void stop();
+    bool running() const noexcept { return running_; }
+
+    Position position() { return model_.position_at(sim_.now()); }
+    /// Cell of the current (possibly still-registering) attachment;
+    /// nullptr while unattached or in a dead zone.
+    const CoverageCell* current_cell() const noexcept { return current_; }
+    const CoverageMap& map() const noexcept { return map_; }
+    const HandoffStats& stats() const noexcept { return stats_; }
+
+private:
+    void on_sample();
+    void evaluate(const CoverageCell* best);
+    void commit(const CoverageCell* cell, sim::TimePoint detected_at);
+    void issue_attach(const CoverageCell& cell);
+    void on_attach_result(std::uint64_t epoch, bool accepted);
+    void close_record(bool success);
+    std::size_t probe() const {
+        return config_.gap_loss_probe ? config_.gap_loss_probe() : 0;
+    }
+
+    sim::Simulator& sim_;
+    Attachable& host_;
+    MobilityModel& model_;
+    CoverageMap map_;
+    HandoffConfig config_;
+
+    bool running_ = false;
+    sim::EventId sample_timer_ = 0;
+    bool sample_timer_armed_ = false;
+
+    const CoverageCell* current_ = nullptr;
+    bool attached_once_ = false;
+
+    bool has_candidate_ = false;
+    const CoverageCell* candidate_ = nullptr;  ///< nullptr = dead zone candidate
+    sim::TimePoint candidate_since_ = 0;
+
+    /// Bumped on every commit; in-flight attach callbacks and retry timers
+    /// from a superseded attachment compare epochs and drop themselves.
+    std::uint64_t attach_epoch_ = 0;
+
+    bool record_open_ = false;
+    HandoffRecord pending_;
+    bool gap_open_ = false;
+    std::size_t gap_loss_at_open_ = 0;
+
+    HandoffStats stats_;
+};
+
+}  // namespace mip::mobility

@@ -1,0 +1,104 @@
+#include "mobility/motion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mip::mobility {
+
+double distance(Position a, Position b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// ---- LinearMobility ---------------------------------------------------------
+
+Position LinearMobility::position_at(sim::TimePoint t) {
+    const double secs = sim::to_seconds(t);
+    return {start_.x + vx_ * secs, start_.y + vy_ * secs};
+}
+
+// ---- TraceMobility ----------------------------------------------------------
+
+TraceMobility::TraceMobility(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+    if (waypoints_.empty()) {
+        throw std::invalid_argument("TraceMobility needs at least one waypoint");
+    }
+    for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+        if (waypoints_[i].at < waypoints_[i - 1].at) {
+            throw std::invalid_argument("TraceMobility waypoints must be time-sorted");
+        }
+    }
+}
+
+Position TraceMobility::position_at(sim::TimePoint t) {
+    if (t <= waypoints_.front().at) return waypoints_.front().pos;
+    if (t >= waypoints_.back().at) return waypoints_.back().pos;
+    const auto after = std::upper_bound(
+        waypoints_.begin(), waypoints_.end(), t,
+        [](sim::TimePoint when, const Waypoint& w) { return when < w.at; });
+    const Waypoint& b = *after;
+    const Waypoint& a = *(after - 1);
+    if (b.at == a.at) return b.pos;  // instantaneous jump: land on the later one
+    const double f = static_cast<double>(t - a.at) / static_cast<double>(b.at - a.at);
+    return {a.pos.x + (b.pos.x - a.pos.x) * f, a.pos.y + (b.pos.y - a.pos.y) * f};
+}
+
+// ---- RandomWaypointMobility -------------------------------------------------
+
+RandomWaypointMobility::RandomWaypointMobility(Config config)
+    : config_(config), rng_(config.seed) {
+    if (config_.max_x < config_.min_x || config_.max_y < config_.min_y) {
+        throw std::invalid_argument("RandomWaypointMobility: inverted bounding box");
+    }
+    if (config_.min_speed_mps <= 0 || config_.max_speed_mps < config_.min_speed_mps) {
+        throw std::invalid_argument("RandomWaypointMobility: bad speed range");
+    }
+    if (!config_.start) {
+        config_.start = Position{(config_.min_x + config_.max_x) / 2,
+                                 (config_.min_y + config_.max_y) / 2};
+    }
+}
+
+void RandomWaypointMobility::extend_until(sim::TimePoint t) {
+    std::uniform_real_distribution<double> x_dist(config_.min_x, config_.max_x);
+    std::uniform_real_distribution<double> y_dist(config_.min_y, config_.max_y);
+    std::uniform_real_distribution<double> speed_dist(config_.min_speed_mps,
+                                                      config_.max_speed_mps);
+    while (legs_.empty() || legs_.back().pause_until <= t) {
+        Leg leg;
+        leg.depart = legs_.empty() ? 0 : legs_.back().pause_until;
+        leg.from = legs_.empty() ? *config_.start : legs_.back().to;
+        leg.to = {x_dist(rng_), y_dist(rng_)};
+        const double speed = speed_dist(rng_);
+        const double travel_s = distance(leg.from, leg.to) / speed;
+        // A waypoint drawn on top of the current position would produce a
+        // zero-duration leg; clamp so lazy extension always makes progress.
+        const sim::Duration travel =
+            std::max<sim::Duration>(sim::milliseconds(1),
+                                    static_cast<sim::Duration>(std::llround(travel_s * 1e9)));
+        leg.arrive = leg.depart + travel;
+        leg.pause_until = leg.arrive + config_.pause;
+        legs_.push_back(leg);
+    }
+}
+
+Position RandomWaypointMobility::position_at(sim::TimePoint t) {
+    if (t < 0) t = 0;
+    extend_until(t);
+    if (hint_ >= legs_.size() || legs_[hint_].depart > t) {
+        hint_ = 0;  // non-monotone query: rescan from the beginning
+    }
+    while (legs_[hint_].pause_until <= t && hint_ + 1 < legs_.size()) {
+        ++hint_;
+    }
+    const Leg& leg = legs_[hint_];
+    if (t >= leg.arrive) return leg.to;  // pausing at the waypoint
+    if (t <= leg.depart) return leg.from;
+    const double f = static_cast<double>(t - leg.depart) /
+                     static_cast<double>(leg.arrive - leg.depart);
+    return {leg.from.x + (leg.to.x - leg.from.x) * f,
+            leg.from.y + (leg.to.y - leg.from.y) * f};
+}
+
+}  // namespace mip::mobility

@@ -10,6 +10,12 @@ namespace mip::sim {
 Link::Link(Simulator& simulator, LinkConfig config)
     : simulator_(simulator), config_(std::move(config)), rng_(config_.seed) {}
 
+Link::~Link() {
+    for (Nic* nic : nics_) {
+        nic->link_ = nullptr;
+    }
+}
+
 void Link::attach(Nic& nic) {
     if (std::find(nics_.begin(), nics_.end(), &nic) == nics_.end()) {
         nics_.push_back(&nic);

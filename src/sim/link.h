@@ -31,6 +31,9 @@ struct LinkConfig {
 class Link {
 public:
     Link(Simulator& simulator, LinkConfig config);
+    /// Unplugs every still-attached NIC so their back-pointers can't
+    /// dangle if a segment is torn down before the hosts on it.
+    ~Link();
     Link(const Link&) = delete;
     Link& operator=(const Link&) = delete;
 

@@ -50,6 +50,8 @@ public:
     bool promiscuous() const noexcept { return promiscuous_; }
 
 private:
+    friend class Link;  // clears link_ when the segment is destroyed first
+
     Node& owner_;
     MacAddress mac_;
     std::string name_;

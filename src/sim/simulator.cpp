@@ -26,6 +26,9 @@ bool Simulator::fire_next(TimePoint limit) {
         ev.action();
         return true;
     }
+    // Queue drained: every surviving cancellation is stale (its event
+    // already fired before cancel() was called) and can never match again.
+    if (queue_.empty()) cancelled_.clear();
     return false;
 }
 

@@ -37,7 +37,12 @@ public:
 
     /// Cancels a pending event. Cancelling an already-fired or unknown id
     /// is a harmless no-op (timers race with the events that cancel them).
-    void cancel(EventId id) { cancelled_.insert(id); }
+    /// Stale ids — cancelled after their event fired — are swept whenever
+    /// the queue drains, so the set cannot grow without bound.
+    void cancel(EventId id) {
+        if (id == 0 || id >= next_id_) return;  // never scheduled
+        cancelled_.insert(id);
+    }
 
     /// Runs until the queue drains or @p max_events fire. Returns the
     /// number of events executed.
@@ -47,6 +52,9 @@ public:
     std::size_t run_until(TimePoint until);
 
     std::size_t pending_events() const noexcept { return queue_.size(); }
+    /// Cancellations not yet matched to their event (pending or stale).
+    /// Observability hook for the leak regression tests.
+    std::size_t cancelled_backlog() const noexcept { return cancelled_.size(); }
 
     static constexpr std::size_t kDefaultEventLimit = 10'000'000;
 

@@ -98,7 +98,11 @@ void TcpConnection::pump() {
         if (state_ == TcpState::Established) enter(TcpState::FinWait);
         else if (state_ == TcpState::CloseWait) enter(TcpState::LastAck);
     }
-    if (snd_nxt_ > snd_una_) {
+    // The RTO timer tracks the *oldest* unacknowledged byte: if it is
+    // already running, new transmissions must not restart it, or a steady
+    // stream of fresh sends can postpone a backed-off retransmission
+    // indefinitely (the connection then stalls while staying alive).
+    if (snd_nxt_ > snd_una_ && !timer_armed_) {
         arm_timer();
     }
 }

@@ -259,3 +259,32 @@ TEST(MacAddress, FormattingAndBroadcast) {
     EXPECT_FALSE(m.is_broadcast());
     EXPECT_EQ(m.to_string(), "02:00:00:00:12:34");
 }
+
+TEST(Simulator, StaleCancellationsSweptWhenQueueDrains) {
+    Simulator s;
+    const EventId id = s.schedule_in(milliseconds(1), [] {});
+    s.run();
+    s.cancel(id);  // the event already fired: this cancellation is stale
+    EXPECT_EQ(s.cancelled_backlog(), 1u);
+    s.schedule_in(milliseconds(1), [] {});
+    s.run();  // queue drains -> stale ids swept, no unbounded growth
+    EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+TEST(Simulator, CancellationErasedWhenItsEventIsPurged) {
+    Simulator s;
+    int fired = 0;
+    const EventId id = s.schedule_in(milliseconds(1), [&] { ++fired; });
+    s.schedule_in(milliseconds(2), [&] { ++fired; });
+    s.cancel(id);
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+TEST(Simulator, CancelOfNeverScheduledIdIsIgnoredOutright) {
+    Simulator s;
+    s.cancel(12345);  // larger than any id ever handed out
+    s.cancel(0);
+    EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
