@@ -39,8 +39,10 @@ void print_figure() {
         if (!world.attach_mobile_foreign()) continue;
         mh.force_mode(ch.address(), OutMode::IE);
 
-        const auto r =
-            bench::measure_tcp_transfer(world, mh.tcp(), ch.address(), 7200, 64 * 1024);
+        const auto r = bench::measure_tcp_transfer(
+            world, mh.tcp(), ch.address(), 7200,
+            bench::smoke_pick<std::size_t>(64 * 1024, 8 * 1024));
+        bench::export_metrics(world, "abl_encap_overhead", tunnel::to_string(scheme));
         const auto encap = tunnel::make_encapsulator(scheme);
         const auto probe = net::make_packet(world.mh_home_addr(), ch.address(),
                                             net::IpProto::Tcp,

@@ -48,7 +48,12 @@ Outcome run_case(bool feedback, sim::Duration rto) {
     out.connected = conn.established();
     out.connect_ms = sim::to_milliseconds(world.sim.now() - start);
     out.wasted_segments = conn.stats().retransmissions;
-    out.icmp_signals = mh.stats().icmp_feedback_signals;
+    out.icmp_signals = static_cast<std::size_t>(
+        world.metrics.gauge_value("mobile-host", "mobileip", "icmp_feedback_signals"));
+    bench::export_metrics(world, "abl_failure_feedback",
+                          std::string(feedback ? "icmp" : "rto") + "_" +
+                              std::to_string(static_cast<long long>(
+                                  sim::to_milliseconds(rto))));
     return out;
 }
 

@@ -66,6 +66,10 @@ AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tu
                                           world.mh_home_addr(), /*warm_up=*/false);
     out.survives_egress_filter = ping.delivered;
     out.rtt_hops = ping.ip_hops;
+    bench::export_metrics(world, "abl_foreign_agent",
+                          std::string(via_agent ? "agent" : "coloc") +
+                              (egress_filter ? "_filtered" : "_open") +
+                              (reverse_tunnel ? "_rt" : ""));
     return out;
 }
 

@@ -83,6 +83,7 @@ HandoffOutcome run_handoffs(OutMode mode, int moves) {
         out.avg_stall_ms = total_stall_ms / out.handoffs_survived;
     }
     out.retransmissions = conn.stats().retransmissions;
+    bench::export_metrics(world, "abl_handoff", to_string(mode));
     return out;
 }
 
@@ -95,11 +96,12 @@ void print_figure() {
 
     std::printf("%-10s  %9s  %10s  %12s  %11s  %8s\n", "out-mode", "survived",
                 "handoffs", "avg-reg(ms)", "stall(ms)", "retrans");
+    const int moves = bench::smoke_pick(6, 2);
     for (OutMode mode : {OutMode::IE, OutMode::DH}) {
-        const auto o = run_handoffs(mode, 6);
-        std::printf("%-10s  %9s  %8d/6  %12.1f  %11.1f  %8zu\n",
+        const auto o = run_handoffs(mode, moves);
+        std::printf("%-10s  %9s  %8d/%d  %12.1f  %11.1f  %8zu\n",
                     to_string(mode).c_str(), bench::yn(o.survived_all),
-                    o.handoffs_survived, o.avg_registration_ms, o.avg_stall_ms,
+                    o.handoffs_survived, moves, o.avg_registration_ms, o.avg_stall_ms,
                     o.retransmissions);
     }
     std::printf(

@@ -55,7 +55,7 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
     map.add(world.home_cell(Region::rect(0, 0, 400, 100), /*priority=*/1))
         .add(world.foreign_cell(Region::rect(400 - overlap_m, 0, 800, 100)))
         .add(world.corr_cell(Region::rect(800 - overlap_m, 0, 1200, 100)));
-    auto& hc = world.with_mobility(std::move(model), std::move(map));
+    world.with_mobility(std::move(model), std::move(map));
     world.run_for(sim::milliseconds(200));  // initial home attach
 
     auto& conn = mh.tcp().connect(ch.address(), 7700);
@@ -81,13 +81,23 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
     world.run_for(sim::seconds(8));  // drain retransmissions and late pings
 
     MotionOutcome out;
-    out.handoffs = hc.stats().handoff_count();
-    out.dead_zones = hc.stats().dead_zone_entries;
-    out.avg_reg_ms = hc.stats().avg_registration_ms();
-    out.gap_loss = hc.stats().total_gap_loss();
+    // The controller publishes the same numbers to the world's registry
+    // under ("mobile-host", "handoff", ...); read them back from there so
+    // the figure and the exported snapshot cannot disagree.
+    out.handoffs = static_cast<std::size_t>(
+        world.metrics.gauge_value("mobile-host", "handoff", "handoffs"));
+    out.dead_zones = static_cast<std::size_t>(
+        world.metrics.gauge_value("mobile-host", "handoff", "dead_zone_entries"));
+    out.avg_reg_ms = world.metrics.gauge_value("mobile-host", "handoff",
+                                               "avg_registration_ms");
+    out.gap_loss = static_cast<std::size_t>(
+        world.metrics.gauge_value("mobile-host", "handoff", "total_gap_loss"));
     out.ping_delivery =
         pings_sent > 0 ? static_cast<double>(pings_delivered) / pings_sent : 0.0;
     out.tcp_ok = conn.alive() && echoed == tcp_sent;
+    bench::export_metrics(world, "abl_motion_handoff",
+                          "v" + std::to_string(static_cast<int>(speed_mps)) +
+                              "_ov" + std::to_string(static_cast<int>(overlap_m)));
     return out;
 }
 
@@ -101,8 +111,13 @@ void print_figure() {
 
     std::printf("%7s  %9s  %8s  %5s  %11s  %8s  %9s  %7s\n", "speed", "overlap",
                 "handoffs", "dead", "avg-reg(ms)", "gap-loss", "ping-del%", "tcp-ok");
-    for (double overlap : {-50.0, 0.0, 100.0}) {
-        for (double speed : {10.0, 30.0, 60.0}) {
+    const auto overlaps =
+        bench::smoke_pick(std::vector<double>{-50.0, 0.0, 100.0},
+                          std::vector<double>{100.0});
+    const auto speeds = bench::smoke_pick(std::vector<double>{10.0, 30.0, 60.0},
+                                          std::vector<double>{60.0});
+    for (double overlap : overlaps) {
+        for (double speed : speeds) {
             const MotionOutcome o = run_journey(speed, overlap);
             std::printf("%5.0f m/s  %7.0f m  %8zu  %5zu  %11.1f  %8zu  %9.1f  %7s\n",
                         speed, overlap, o.handoffs, o.dead_zones, o.avg_reg_ms,

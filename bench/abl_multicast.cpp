@@ -70,6 +70,7 @@ McastOutcome run_session(bool local_join, int packets) {
     }
     out.wire_bytes = world.trace.ip_tx_bytes();
     out.avg_latency_ms = out.received ? total_ms / out.received : 0.0;
+    bench::export_metrics(world, "abl_multicast", local_join ? "local" : "relay");
     return out;
 }
 
@@ -79,16 +80,17 @@ void print_figure() {
         "Twenty 512-byte packets of one multicast session, received by the\n"
         "away mobile host two ways.");
 
-    const auto local = run_session(/*local_join=*/true, 20);
-    const auto relayed = run_session(/*local_join=*/false, 20);
+    const int packets = bench::smoke_pick(20, 5);
+    const auto local = run_session(/*local_join=*/true, packets);
+    const auto relayed = run_session(/*local_join=*/false, packets);
 
     std::printf("%-34s  %9s  %12s  %12s\n", "subscription", "received",
                 "latency(ms)", "wire-bytes");
-    std::printf("%-34s  %6d/20  %12.3f  %12zu\n",
-                "local join on visited network", local.received, local.avg_latency_ms,
-                local.wire_bytes);
-    std::printf("%-34s  %6d/20  %12.3f  %12zu\n",
-                "home-agent relay through tunnel", relayed.received,
+    std::printf("%-34s  %6d/%d  %12.3f  %12zu\n",
+                "local join on visited network", local.received, packets,
+                local.avg_latency_ms, local.wire_bytes);
+    std::printf("%-34s  %6d/%d  %12.3f  %12zu\n",
+                "home-agent relay through tunnel", relayed.received, packets,
                 relayed.avg_latency_ms, relayed.wire_bytes);
     if (local.wire_bytes > 0 && local.avg_latency_ms > 0) {
         std::printf("\nrelay cost: %.1fx latency, %.1fx bytes on the wire\n",

@@ -71,8 +71,11 @@ FetchSeries run_series(bool use_mobile_ip, int fetches) {
     }
     out.avg_fetch_ms = out.completed ? total_ms / out.completed : 0.0;
     out.wire_bytes = world.trace.ip_tx_bytes();
-    out.ha_packets = world.home_agent().stats().packets_tunneled +
-                     world.home_agent().stats().packets_reverse_forwarded;
+    out.ha_packets = static_cast<std::size_t>(
+        world.metrics.gauge_value("home-agent", "tunnel", "packets_tunneled") +
+        world.metrics.gauge_value("home-agent", "tunnel", "packets_reverse_forwarded"));
+    bench::export_metrics(world, "abl_row_d_http",
+                          use_mobile_ip ? "tunnel" : "direct");
     return out;
 }
 
@@ -83,13 +86,14 @@ void print_figure() {
 
     std::printf("%-26s  %10s  %13s  %12s  %10s\n", "policy", "completed",
                 "avg fetch(ms)", "wire-bytes", "HA-packets");
-    const auto direct = run_series(/*use_mobile_ip=*/false, 10);
-    const auto tunneled = run_series(/*use_mobile_ip=*/true, 10);
-    std::printf("%-26s  %8d/10  %13.1f  %12zu  %10zu\n", "Out-DT (port heuristic)",
-                direct.completed, direct.avg_fetch_ms, direct.wire_bytes,
+    const int fetches = bench::smoke_pick(10, 3);
+    const auto direct = run_series(/*use_mobile_ip=*/false, fetches);
+    const auto tunneled = run_series(/*use_mobile_ip=*/true, fetches);
+    std::printf("%-26s  %8d/%d  %13.1f  %12zu  %10zu\n", "Out-DT (port heuristic)",
+                direct.completed, fetches, direct.avg_fetch_ms, direct.wire_bytes,
                 direct.ha_packets);
-    std::printf("%-26s  %8d/10  %13.1f  %12zu  %10zu\n", "Out-IE (all via tunnel)",
-                tunneled.completed, tunneled.avg_fetch_ms, tunneled.wire_bytes,
+    std::printf("%-26s  %8d/%d  %13.1f  %12zu  %10zu\n", "Out-IE (all via tunnel)",
+                tunneled.completed, fetches, tunneled.avg_fetch_ms, tunneled.wire_bytes,
                 tunneled.ha_packets);
     if (direct.avg_fetch_ms > 0) {
         std::printf("\nMobile IP cost for this workload: %.2fx latency, %+0.1f%% wire bytes\n",

@@ -68,7 +68,8 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     out.connect_ms = sim::to_milliseconds(world.sim.now() - start);
     // Exercise the steady state a little (gives conservative-first room to
     // probe upward on permissive paths).
-    for (int i = 0; i < 20 && conn.alive(); ++i) {
+    const int rounds = bench::smoke_pick(20, 5);
+    for (int i = 0; i < rounds && conn.alive(); ++i) {
         conn.send(std::vector<std::uint8_t>(400, 1));
         world.run_for(sim::milliseconds(400));
     }
@@ -76,6 +77,10 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     out.final_mode = mh.mode_for(ch.address());
     out.downgrades = mh.method_cache().stats().downgrades;
     out.probes = mh.method_cache().stats().upgrades_probed;
+    static const char* kLabels[] = {"conservative", "aggressive", "rule_based"};
+    bench::export_metrics(world, "abl_selection_strategy",
+                          std::string(kLabels[kind]) +
+                              (ch_in_home_domain ? "_filtered" : "_permissive"));
     return out;
 }
 

@@ -6,16 +6,67 @@
 // google-benchmark microbenchmarks.
 #pragma once
 
+// Environment contract (consumed by bench_smoke, see docs/TRACE_FORMAT.md §4):
+//   M4X4_METRICS_DIR  if set, export_metrics() writes one metrics-snapshot
+//                     JSON per (bench, label) into this directory;
+//                     a no-op when unset.
+//   M4X4_SMOKE        if set (non-empty), smoke_mode() is true: benches
+//                     shrink their heavyweight scenarios and the
+//                     google-benchmark microbenchmarks are skipped, so
+//                     every bench finishes in seconds.
 #include <benchmark/benchmark.h>
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <optional>
+#include <string>
 
 #include "core/scenario.h"
 #include "transport/pinger.h"
 
 namespace bench {
+
+/// True when M4X4_SMOKE is set to a non-empty value.
+inline bool smoke_mode() {
+    const char* v = std::getenv("M4X4_SMOKE");
+    return v != nullptr && v[0] != '\0';
+}
+
+/// Pick @p full normally, @p smoke under M4X4_SMOKE.
+template <typename T>
+inline T smoke_pick(T full, T smoke) {
+    return smoke_mode() ? smoke : full;
+}
+
+/// Writes the world's metrics snapshot to $M4X4_METRICS_DIR/<bench>_<label>.json
+/// (creating the directory if needed); a no-op when the variable is unset.
+/// Every bench calls this once per scenario it runs, so bench_smoke can
+/// validate the documents against the docs/TRACE_FORMAT.md §4 schema.
+inline void export_metrics(const mip::obs::MetricsRegistry& metrics,
+                           const std::string& bench, const std::string& label,
+                           mip::sim::TimePoint now) {
+    const char* dir = std::getenv("M4X4_METRICS_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    std::string file = bench;
+    if (!label.empty()) file += "_" + label;
+    for (char& c : file) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+        if (!ok) c = '_';
+    }
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / (file + ".json");
+    std::ofstream out(path);
+    out << metrics.snapshot_json(bench, label, now);
+}
+
+inline void export_metrics(mip::core::World& world, const std::string& bench,
+                           const std::string& label) {
+    export_metrics(world.metrics, bench, label, world.sim.now());
+}
 
 struct PingResult {
     bool delivered = false;
@@ -50,16 +101,29 @@ inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& fro
     // attribution below silently includes someone else's packets.
     assert(world.trace.events().empty() && world.trace.ip_hops() == 0);
     PingResult result;
+    std::optional<mip::sim::Duration> measured_rtt;
     pinger.ping(
         dst,
         [&](std::optional<mip::sim::Duration> rtt) {
             result.delivered = rtt.has_value();
+            measured_rtt = rtt;
             if (rtt) result.rtt_ms = mip::sim::to_milliseconds(*rtt);
         },
         mip::sim::seconds(5), payload, src);
     world.run_for(mip::sim::seconds(6));
     result.ip_hops = world.trace.ip_hops();
     result.ip_bytes = world.trace.ip_tx_bytes();
+    // Feed the distribution metrics the snapshot schema exposes: one RTT
+    // and one hop-count observation per measured exchange, recorded under
+    // the probing node.
+    const std::string& probe_node = from.node().name();
+    if (measured_rtt) {
+        world.metrics
+            .histogram(probe_node, "probe", "rtt_ns", mip::obs::rtt_bounds_ns())
+            .observe(static_cast<double>(*measured_rtt));
+    }
+    world.metrics.histogram(probe_node, "probe", "ip_hops", mip::obs::hop_bounds())
+        .observe(static_cast<double>(result.ip_hops));
     return result;
 }
 
@@ -113,10 +177,13 @@ inline const char* yn(bool b) { return b ? "yes" : "no"; }
 }  // namespace bench
 
 /// Standard main: print the figure's table, then run the registered
-/// google-benchmark microbenchmarks.
+/// google-benchmark microbenchmarks. Under M4X4_SMOKE the microbenchmarks
+/// are skipped — bench_smoke only needs the figure tables and the metrics
+/// snapshots they export.
 #define M4X4_BENCH_MAIN(print_figure_fn)                       \
     int main(int argc, char** argv) {                          \
         print_figure_fn();                                     \
+        if (bench::smoke_mode()) return 0;                     \
         ::benchmark::Initialize(&argc, argv);                  \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
         ::benchmark::RunSpecifiedBenchmarks();                 \

@@ -6,6 +6,7 @@
 // figure's claim that "in most networks, the packets from the mobile host
 // will never reach the correspondent host".
 #include "common.h"
+#include "obs/journey.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -16,6 +17,16 @@ struct Cell {
     bool delivered;
     std::size_t filter_drops;
 };
+
+const char* mode_label(OutMode mode) {
+    switch (mode) {
+        case OutMode::DH: return "DH";
+        case OutMode::DE: return "DE";
+        case OutMode::IE: return "IE";
+        case OutMode::DT: return "DT";
+    }
+    return "?";
+}
 
 Cell run_case(bool foreign_filter, bool ch_in_home_domain, OutMode mode) {
     WorldConfig cfg;
@@ -31,9 +42,53 @@ Cell run_case(bool foreign_filter, bool ch_in_home_domain, OutMode mode) {
     // reply comes back In-IE via the home agent either way.
     const auto r = bench::measure_ping(world, world.mobile_host().stack(), ch.address(),
                                        world.mh_home_addr(), /*warm_up=*/false);
-    const std::size_t drops = world.foreign_gateway().stack().stats().egress_filter_drops +
-                              world.home_gateway().stack().stats().ingress_filter_drops;
+    // Boundary drops, read from the metrics registry rather than each
+    // router's Stats struct — the same numbers the exported snapshot holds.
+    const std::size_t drops = static_cast<std::size_t>(
+        world.metrics.gauge_value("foreign-gw", "ip", "egress_filter_drops") +
+        world.metrics.gauge_value("home-gw", "ip", "ingress_filter_drops"));
+    bench::export_metrics(world, "fig02",
+                          std::string(foreign_filter ? "ff" : "nf") +
+                              (ch_in_home_domain ? "_home_" : "_corr_") + mode_label(mode));
     return {r.delivered, drops};
+}
+
+/// The tentpole's Figure-2 query: follow ONE doomed Out-DH echo request by
+/// its journey id and report exactly where (and by which rule) it died.
+void print_journey_story() {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    if (!world.attach_mobile_foreign()) return;
+    world.mobile_host().force_mode(ch.address(), OutMode::DH);
+    bench::measure_ping(world, world.mobile_host().stack(), ch.address(),
+                        world.mh_home_addr(), /*warm_up=*/false);
+
+    // The first PacketSent from the mobile host in the measurement window
+    // is the echo request; its journey ends at the boundary filter.
+    const obs::JourneyIndex index(world.trace.events());
+    for (const auto& [id, journey] : index.journeys()) {
+        const sim::TraceEvent* sent = journey.first(sim::TraceKind::PacketSent);
+        if (sent == nullptr || sent->node != "mobile-host") continue;
+        std::printf("Journey of the Out-DH echo request (id %llu):\n",
+                    static_cast<unsigned long long>(id));
+        std::printf("  path: ");
+        bool first = true;
+        for (const std::string& node : journey.node_path()) {
+            std::printf("%s%s", first ? "" : " -> ", node.c_str());
+            first = false;
+        }
+        std::printf("\n");
+        if (const sim::TraceEvent* drop = journey.drop()) {
+            std::printf("  dropped at %s: %s (%s)\n\n", drop->node.c_str(),
+                        sim::to_string(drop->kind), drop->detail.c_str());
+        } else {
+            std::printf("  delivered (unexpected under this policy)\n\n");
+        }
+        break;
+    }
 }
 
 void print_figure() {
@@ -66,6 +121,8 @@ void print_figure() {
         "\nShape check: Out-DH delivers only in the fully permissive row;\n"
         "Out-IE (bi-directional tunneling) delivers in every row; Out-DE\n"
         "fails here because this figure's correspondent cannot decapsulate.\n\n");
+
+    print_journey_story();
 }
 
 void BM_FilterEvaluation(benchmark::State& state) {

@@ -22,7 +22,10 @@ void print_figure() {
 
     std::printf("%10s  %14s  %14s  %11s\n", "distance", "In-IE rtt(ms)",
                 "In-DE rtt(ms)", "penalty");
-    for (int distance : {1, 2, 4, 8, 16, 32}) {
+    const std::vector<int> distances = bench::smoke_mode()
+                                           ? std::vector<int>{1, 4}
+                                           : std::vector<int>{1, 2, 4, 8, 16, 32};
+    for (int distance : distances) {
         WorldConfig cfg;
         cfg.backbone_routers = distance + 1;
         cfg.home_attach = 0;
@@ -44,6 +47,7 @@ void print_figure() {
                          sim::seconds(600));
         const auto direct = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
 
+        bench::export_metrics(world, "fig04", "dist" + std::to_string(distance));
         std::printf("%10d  %14.3f  %14.3f  %10.2fx\n", distance, naive.rtt_ms,
                     direct.rtt_ms,
                     direct.delivered && naive.delivered ? naive.rtt_ms / direct.rtt_ms : 0.0);

@@ -49,7 +49,9 @@ void print_figure() {
                         warm.rtt_ms > 0 ? cold.rtt_ms / warm.rtt_ms : 0.0);
             std::printf("  correspondent mode now: %s, adverts learned: %zu\n\n",
                         to_string(ch.mode_for(world.mh_home_addr())).c_str(),
-                        ch.stats().adverts_learned);
+                        static_cast<std::size_t>(
+                            world.metrics.gauge_value("ch0", "mobileip", "adverts_learned")));
+            bench::export_metrics(world, "fig05", "icmp_advert");
         }
     }
 
@@ -93,6 +95,7 @@ void print_figure() {
                         after.rtt_ms, after.ip_hops);
             std::printf("  %-34s %10.2fx\n\n", "improvement:",
                         after.rtt_ms > 0 ? before.rtt_ms / after.rtt_ms : 0.0);
+            bench::export_metrics(world, "fig05", "dns_ta");
         }
     }
     std::printf(

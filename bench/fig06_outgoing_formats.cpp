@@ -62,6 +62,19 @@ void print_figure() {
         "minimal encapsulation 12 (8 when the source needn't be kept), GRE\n"
         "24 (20 outer + 4 GRE). Near the MTU, encapsulation doubles the\n"
         "packet count while the plain packet still fits.\n\n");
+
+    // This figure is pure packet-format arithmetic (no World), but it
+    // still publishes its headline numbers — per-scheme overhead bytes —
+    // as a schema-valid metrics document for bench_smoke.
+    {
+        obs::MetricsRegistry metrics;
+        const auto probe = inner_for(512);
+        for (const auto* e : {ipip.get(), minenc.get(), gre.get()}) {
+            metrics.counter("formats", "encap", std::string(e->name()) + "_overhead_bytes")
+                .add(e->encapsulate(probe, coa, ha).wire_size() - probe.wire_size());
+        }
+        bench::export_metrics(metrics, "fig06", "overheads", 0);
+    }
 }
 
 void BM_Encapsulate(benchmark::State& state) {

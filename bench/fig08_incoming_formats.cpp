@@ -36,6 +36,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-IE (via home agent)", r.delivered, r.rtt_ms, r.ip_hops,
                             r.ip_bytes});
+            bench::export_metrics(world, "fig08", "in_ie");
         }
     }
     // In-DE: mobile-aware correspondent across the backbone.
@@ -52,6 +53,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-DE (direct, encapsulated)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
+            bench::export_metrics(world, "fig08", "in_de");
         }
     }
     // In-DH: correspondent on the same segment.
@@ -68,6 +70,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-DH (same segment, home addr)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
+            bench::export_metrics(world, "fig08", "in_dh");
         }
     }
     // In-DT: plain packets to the care-of address (no Mobile IP).
@@ -79,6 +82,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_care_of_addr());
             rows.push_back({"In-DT (direct, care-of addr)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
+            bench::export_metrics(world, "fig08", "in_dt");
         }
     }
 

@@ -101,6 +101,9 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
     r.works = accepted;
     r.rtt_ms = accepted ? sim::to_milliseconds(got_at - sent_at) : 0.0;
     r.ip_bytes = world.trace.ip_tx_bytes();
+    bench::export_metrics(world, "fig10",
+                          to_string(in) + "_" + to_string(out) +
+                              (foreign_filter ? "_filtered" : ""));
     return r;
 }
 

@@ -1,0 +1,77 @@
+// Schema validator for exported metrics snapshots (docs/TRACE_FORMAT.md §4).
+//
+// Usage: validate_metrics <dir-or-file>...
+//
+// Parses every *.json under each argument and runs it through
+// obs::validate_metrics_document — the same checker the unit tests use, so
+// the schema the benches emit and the schema bench_smoke enforces cannot
+// drift apart. Exits non-zero if any file is unparsable or non-conforming,
+// or if no file was found at all (an empty run means the benches silently
+// stopped exporting, which is itself a failure).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int check_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    mip::obs::JsonValue doc;
+    try {
+        doc = mip::obs::JsonValue::parse(buf.str());
+    } catch (const mip::obs::JsonError& e) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), e.what());
+        return 1;
+    }
+    const auto problems = mip::obs::validate_metrics_document(doc);
+    for (const auto& p : problems) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+    }
+    return problems.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <dir-or-file>...\n", argv[0]);
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path arg(argv[i]);
+        std::error_code ec;
+        if (fs::is_directory(arg, ec)) {
+            for (const auto& entry : fs::directory_iterator(arg)) {
+                if (entry.path().extension() == ".json") files.push_back(entry.path());
+            }
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "validate_metrics: no .json files found\n");
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+    int bad = 0;
+    for (const auto& f : files) bad += check_file(f);
+    std::printf("validate_metrics: %zu file(s), %d problem file(s)\n", files.size(), bad);
+    return bad == 0 ? 0 : 1;
+}

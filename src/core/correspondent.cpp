@@ -35,6 +35,9 @@ CorrespondentHost::CorrespondentHost(sim::Simulator& simulator, std::string name
                                               return;
                                           }
                                           ++stats_.decapsulated;
+                                          stack().trace_packet(
+                                              sim::TraceKind::Decapsulated, inner,
+                                              decap.name());
                                           stack().deliver_local(
                                               inner, stack::IpStack::kNoInterface);
                                       });
@@ -76,6 +79,9 @@ CorrespondentHost::CorrespondentHost(sim::Simulator& simulator, std::string name
             ++stats_.in_de_sent;
             net::Packet outer = encap_->encapsulate(inner, inner.header().src,
                                                     binding->care_of_address);
+            stack().trace_packet(sim::TraceKind::Encapsulated, outer,
+                                 encap_->name() + " -> " +
+                                     binding->care_of_address.to_string());
             stack().send(std::move(outer));
         });
 

@@ -155,6 +155,9 @@ void ForeignAgent::on_tunneled(const net::Packet& outer) {
     if (it == visitors_.end() || it->second.expires <= simulator().now()) {
         return;  // not (or no longer) one of our visitors
     }
+    stack().trace_packet(sim::TraceKind::Decapsulated, inner,
+                         encap_->name() + " for visitor " +
+                             inner.header().dst.to_string());
     deliver_to_visitor(inner, it->second);
 }
 
@@ -178,6 +181,9 @@ bool ForeignAgent::intercept_forward(const net::Packet& packet, std::size_t in_i
         ++stats_.packets_reverse_tunneled;
         net::Packet outer =
             encap_->encapsulate(packet, care_of_address(), it->second.home_agent);
+        stack().trace_packet(sim::TraceKind::Encapsulated, outer,
+                             encap_->name() + " reverse -> " +
+                                 it->second.home_agent.to_string());
         stack().send(std::move(outer));
         return true;
     }

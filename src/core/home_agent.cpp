@@ -45,8 +45,12 @@ std::size_t HomeAgent::attach_home(sim::Link& link, net::Ipv4Address addr,
             const net::Ipv4Address our_addr = stack().iface(home_interface_).address();
             for (const auto& binding : bindings_.snapshot()) {
                 ++stats_.multicast_relayed;
-                stack().send(
-                    encap_->encapsulate(packet, our_addr, binding.care_of_address));
+                net::Packet outer =
+                    encap_->encapsulate(packet, our_addr, binding.care_of_address);
+                stack().trace_packet(
+                    sim::TraceKind::Encapsulated, outer,
+                    encap_->name() + " relay -> " + binding.care_of_address.to_string());
+                stack().send(std::move(outer));
             }
         });
     }
@@ -120,6 +124,8 @@ bool HomeAgent::intercept_forward(const net::Packet& packet, std::size_t) {
     net::Packet outer =
         encap_->encapsulate(packet, our_addr, binding->care_of_address);
     ++stats_.packets_tunneled;
+    stack().trace_packet(sim::TraceKind::Encapsulated, outer,
+                         encap_->name() + " -> " + binding->care_of_address.to_string());
     stack().send(std::move(outer));
 
     if (config_.send_care_of_adverts) {
@@ -158,6 +164,8 @@ void HomeAgent::on_encapsulated(const net::Packet& packet) {
         return;
     }
     ++stats_.packets_reverse_forwarded;
+    stack().trace_packet(sim::TraceKind::Decapsulated, inner,
+                         encap_->name() + " reverse tunnel");
     stack().send(std::move(inner));
 }
 

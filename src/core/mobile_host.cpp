@@ -109,6 +109,8 @@ MobileHost::~MobileHost() {
 
 void MobileHost::send_tunneled(net::Packet inner, net::Ipv4Address outer_dst) {
     net::Packet outer = encap_->encapsulate(inner, care_of_, outer_dst);
+    stack().trace_packet(sim::TraceKind::Encapsulated, outer,
+                         encap_->name() + " -> " + outer_dst.to_string());
     stack().send(std::move(outer));
 }
 
@@ -119,6 +121,7 @@ void MobileHost::on_decap_packet(const net::Packet& outer, const tunnel::Encapsu
     } catch (const net::ParseError&) {
         return;
     }
+    stack().trace_packet(sim::TraceKind::Decapsulated, inner, decap.name());
     // Resubmit to IP, as the paper's virtual interface does on receive.
     stack().deliver_local(inner, stack::IpStack::kNoInterface);
 }

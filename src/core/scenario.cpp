@@ -32,7 +32,7 @@ World::World(WorldConfig config) : config_(std::move(config)) {
     for (int i = 0; i < config_.backbone_routers; ++i) {
         backbone_.push_back(
             std::make_unique<stack::Router>(sim, "bb-r" + std::to_string(i)));
-        backbone_.back()->stack().set_trace(trace.sink());
+        adopt_stack(backbone_.back()->stack());
     }
     for (int i = 0; i + 1 < config_.backbone_routers; ++i) {
         sim::Link& l = make_link("bb-link" + std::to_string(i), config_.backbone_latency,
@@ -51,7 +51,7 @@ World::World(WorldConfig config) : config_(std::move(config)) {
     foreign_gw_ = std::make_unique<stack::Router>(sim, "foreign-gw");
     corr_gw_ = std::make_unique<stack::Router>(sim, "corr-gw");
     for (auto* gw : {home_gw_.get(), foreign_gw_.get(), corr_gw_.get()}) {
-        gw->stack().set_trace(trace.sink());
+        adopt_stack(gw->stack());
     }
 
     connect_gateway(*home_gw_, resolve_attach(config_.home_attach, config_.backbone_routers),
@@ -98,9 +98,56 @@ World::World(WorldConfig config) : config_(std::move(config)) {
 
     // The home agent.
     ha_ = std::make_unique<HomeAgent>(sim, "home-agent", config_.home_agent);
-    ha_->stack().set_trace(trace.sink());
+    adopt_stack(ha_->stack());
     ha_->attach_home(*home_lan_, home_agent_addr(), home_domain.prefix,
                      home_gateway_addr());
+    {
+        const HomeAgent* ha = ha_.get();
+        const auto gauge = [&](const char* name, auto field) {
+            metrics.register_gauge("home-agent", "tunnel", name,
+                                   [ha, field] { return double(ha->stats().*field); });
+        };
+        gauge("packets_tunneled", &HomeAgent::Stats::packets_tunneled);
+        gauge("packets_reverse_forwarded", &HomeAgent::Stats::packets_reverse_forwarded);
+        gauge("multicast_relayed", &HomeAgent::Stats::multicast_relayed);
+        gauge("registrations_accepted", &HomeAgent::Stats::registrations_accepted);
+        gauge("registrations_denied_auth", &HomeAgent::Stats::registrations_denied_auth);
+        gauge("adverts_sent", &HomeAgent::Stats::adverts_sent);
+    }
+
+    // Network-wide wire-layer aggregates, derived from the trace recorder.
+    const auto wire = [&](const char* name, auto fn) {
+        metrics.register_gauge("network", "wire", name, [this, fn] { return double(fn(trace)); });
+    };
+    wire("frames_tx", [](const sim::TraceRecorder& t) { return t.count(sim::TraceKind::FrameTx); });
+    wire("frames_lost",
+         [](const sim::TraceRecorder& t) { return t.count(sim::TraceKind::FrameLost); });
+    wire("filter_drops",
+         [](const sim::TraceRecorder& t) { return t.count(sim::TraceKind::FilterDrop); });
+    wire("ip_hops", [](const sim::TraceRecorder& t) { return t.ip_hops(); });
+    wire("ip_tx_bytes", [](const sim::TraceRecorder& t) { return t.ip_tx_bytes(); });
+    wire("total_tx_bytes", [](const sim::TraceRecorder& t) { return t.total_tx_bytes(); });
+}
+
+void World::adopt_stack(stack::IpStack& stack) {
+    stack.set_trace(trace.sink());
+    const std::string node = stack.node().name();
+    const stack::IpStack* s = &stack;
+    const auto gauge = [&](const char* name, auto field) {
+        metrics.register_gauge(node, "ip", name,
+                               [s, field] { return double(s->stats().*field); });
+    };
+    gauge("packets_sent", &stack::IpStack::Stats::packets_sent);
+    gauge("packets_received", &stack::IpStack::Stats::packets_received);
+    gauge("packets_forwarded", &stack::IpStack::Stats::packets_forwarded);
+    gauge("packets_delivered", &stack::IpStack::Stats::packets_delivered);
+    gauge("ingress_filter_drops", &stack::IpStack::Stats::ingress_filter_drops);
+    gauge("egress_filter_drops", &stack::IpStack::Stats::egress_filter_drops);
+    gauge("no_route_drops", &stack::IpStack::Stats::no_route_drops);
+    gauge("ttl_drops", &stack::IpStack::Stats::ttl_drops);
+    gauge("arp_failures", &stack::IpStack::Stats::arp_failures);
+    gauge("fragments_sent", &stack::IpStack::Stats::fragments_sent);
+    gauge("reassembled", &stack::IpStack::Stats::reassembled);
 }
 
 sim::Link& World::make_link(std::string name, sim::Duration latency, double bandwidth_bps,
@@ -198,7 +245,20 @@ MobileHostConfig World::mobile_config() const {
 
 MobileHost& World::create_mobile_host(MobileHostConfig config) {
     mh_ = std::make_unique<MobileHost>(sim, "mobile-host", std::move(config));
-    mh_->stack().set_trace(trace.sink());
+    adopt_stack(mh_->stack());
+    const MobileHost* mh = mh_.get();
+    const auto gauge = [&](const char* name, auto field) {
+        metrics.register_gauge("mobile-host", "mobileip", name,
+                               [mh, field] { return double(mh->stats().*field); });
+    };
+    gauge("out_ie", &MobileHost::Stats::out_ie);
+    gauge("out_de", &MobileHost::Stats::out_de);
+    gauge("out_dh", &MobileHost::Stats::out_dh);
+    gauge("out_dt", &MobileHost::Stats::out_dt);
+    gauge("registrations_sent", &MobileHost::Stats::registrations_sent);
+    gauge("failure_signals", &MobileHost::Stats::failure_signals);
+    gauge("success_signals", &MobileHost::Stats::success_signals);
+    gauge("icmp_feedback_signals", &MobileHost::Stats::icmp_feedback_signals);
     return *mh_;
 }
 
@@ -208,7 +268,18 @@ CorrespondentHost& World::create_correspondent(CorrespondentConfig config,
     correspondents_.push_back(std::make_unique<CorrespondentHost>(
         sim, "ch" + std::to_string(correspondents_.size()), config));
     CorrespondentHost& ch = *correspondents_.back();
-    ch.stack().set_trace(trace.sink());
+    adopt_stack(ch.stack());
+    {
+        const CorrespondentHost* chp = &ch;
+        const auto gauge = [&](const char* name, auto field) {
+            metrics.register_gauge(ch.name(), "mobileip", name,
+                                   [chp, field] { return double(chp->stats().*field); });
+        };
+        gauge("in_de_sent", &CorrespondentHost::Stats::in_de_sent);
+        gauge("in_dh_sent", &CorrespondentHost::Stats::in_dh_sent);
+        gauge("decapsulated", &CorrespondentHost::Stats::decapsulated);
+        gauge("adverts_learned", &CorrespondentHost::Stats::adverts_learned);
+    }
     switch (placement) {
         case Placement::HomeLan:
             ch.attach(*home_lan_, home_domain.host(host_index ? host_index : 20),
@@ -255,9 +326,19 @@ bool World::attach_mobile_foreign(sim::Duration timeout) {
 
 ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
     fa_ = std::make_unique<ForeignAgent>(sim, "foreign-agent", config);
-    fa_->stack().set_trace(trace.sink());
+    adopt_stack(fa_->stack());
     fa_->attach_serving(*foreign_lan_, foreign_agent_addr(), foreign_domain.prefix,
                         foreign_gateway_addr());
+    const ForeignAgent* fa = fa_.get();
+    const auto gauge = [&](const char* name, auto field) {
+        metrics.register_gauge("foreign-agent", "mobileip", name,
+                               [fa, field] { return double(fa->stats().*field); });
+    };
+    gauge("adverts_sent", &ForeignAgent::Stats::adverts_sent);
+    gauge("registrations_relayed", &ForeignAgent::Stats::registrations_relayed);
+    gauge("replies_relayed", &ForeignAgent::Stats::replies_relayed);
+    gauge("packets_delivered_final_hop", &ForeignAgent::Stats::packets_delivered_final_hop);
+    gauge("packets_reverse_tunneled", &ForeignAgent::Stats::packets_reverse_tunneled);
     return *fa_;
 }
 
@@ -308,6 +389,22 @@ mobility::HandoffController& World::with_mobility(
     mobility_adapter_ = std::make_unique<MobileHostAttachable>(*mh_);
     handoff_controller_ = std::make_unique<mobility::HandoffController>(
         sim, *mobility_adapter_, *mobility_model_, std::move(map), std::move(config));
+    const mobility::HandoffController* hc = handoff_controller_.get();
+    const auto gauge = [&](const char* name, auto fn) {
+        metrics.register_gauge("mobile-host", "handoff", name,
+                               [hc, fn] { return double(fn(hc->stats())); });
+    };
+    gauge("handoffs", [](const mobility::HandoffStats& s) { return s.handoff_count(); });
+    gauge("suppressed_flaps",
+          [](const mobility::HandoffStats& s) { return s.suppressed_flaps; });
+    gauge("dead_zone_entries",
+          [](const mobility::HandoffStats& s) { return s.dead_zone_entries; });
+    gauge("failed_attaches",
+          [](const mobility::HandoffStats& s) { return s.failed_attaches; });
+    gauge("avg_registration_ms",
+          [](const mobility::HandoffStats& s) { return s.avg_registration_ms(); });
+    gauge("total_gap_loss",
+          [](const mobility::HandoffStats& s) { return s.total_gap_loss(); });
     handoff_controller_->start();
     return *handoff_controller_;
 }
@@ -367,7 +464,7 @@ void World::enable_dns(const std::string& mh_name) {
     dns_host_ = std::make_unique<stack::Host>(sim, "dns-server");
     dns_host_->attach(*home_lan_, dns_server_addr(), home_domain.prefix,
                       home_gateway_addr());
-    dns_host_->stack().set_trace(trace.sink());
+    adopt_stack(dns_host_->stack());
     dns_udp_ = std::make_unique<transport::UdpService>(dns_host_->stack());
     dns_zone_ = std::make_unique<dns::Zone>();
     dns_zone_->add_a(mh_name, mh_home_addr());

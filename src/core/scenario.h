@@ -18,6 +18,7 @@
 #include "core/mobile_host.h"
 #include "dns/server.h"
 #include "mobility/handoff.h"
+#include "obs/metrics.h"
 #include "routing/domain.h"
 #include "stack/router.h"
 
@@ -80,6 +81,13 @@ public:
 
     sim::Simulator sim;
     sim::TraceRecorder trace;
+    /// Every node the world creates publishes its counters here (gauges
+    /// mirroring the node Stats structs, grouped into "ip", "tunnel",
+    /// "mobileip", "handoff" and "wire" layers — see docs/TRACE_FORMAT.md
+    /// §4). Benches snapshot it at the end of a run; tests query it
+    /// directly. Declared after `trace` and before any node so it outlives
+    /// every registered provider.
+    obs::MetricsRegistry metrics;
 
     const WorldConfig& config() const noexcept { return config_; }
 
@@ -200,6 +208,9 @@ private:
                          net::Ipv4Address inside_addr, net::Prefix inside_prefix,
                          sim::Link& inside_lan);
     void install_backbone_routes();
+    /// Installs this world's trace sink on @p stack and registers the
+    /// standard "ip"-layer gauges for its Stats under the node's name.
+    void adopt_stack(stack::IpStack& stack);
 
     WorldConfig config_;
     std::vector<std::unique_ptr<sim::Link>> links_;

@@ -27,15 +27,35 @@
 namespace mip::mobility {
 
 /// What the controller needs from a host: the four attach transitions.
-/// Foreign/agent attaches complete asynchronously (registration round
-/// trip); @p done fires with the outcome. Home attach is synchronous.
+///
+/// Contract (what core::World's MobileHost adapter guarantees, and what
+/// any other implementation must honour):
+///  - Calls arrive strictly sequentially from the controller, but a new
+///    attach_* may arrive while a previous one's registration is still
+///    in flight — the implementation must abandon the old attempt. The
+///    old @p done may still fire late; the controller's epoch counter
+///    discards such stale invocations, so implementations need not
+///    suppress them.
+///  - @p done is invoked at most once, with `accepted` reporting the
+///    registration outcome, at the simulated time it completed. It may
+///    fire synchronously, before attach_* returns.
+///  - detach() severs link connectivity immediately (dead zone); it must
+///    be safe to call when not attached.
+///  - attach_home() is synchronous: connectivity exists on return.
 class Attachable {
 public:
     using Done = std::function<void(bool accepted)>;
     virtual ~Attachable() = default;
+    /// Plugs into the home segment (no registration round trip).
     virtual void attach_home(const CoverageCell& cell) = 0;
+    /// Plugs into @p cell's segment with the cell's co-located care-of
+    /// address and registers with the home agent.
     virtual void attach_foreign(const CoverageCell& cell, Done done) = 0;
+    /// Joins @p cell's segment through its foreign agent (solicitation,
+    /// relayed registration).
     virtual void attach_via_agent(const CoverageCell& cell, Done done) = 0;
+    /// Leaves the current segment; the host has no connectivity until
+    /// the next attach_* call.
     virtual void detach() = 0;
 };
 
@@ -74,11 +94,20 @@ struct HandoffRecord {
     sim::Duration registration_latency() const { return completed_at - committed_at; }
 };
 
+/// The controller's accumulated measurements. Returned by reference from
+/// HandoffController::stats() and never reset by the controller; counters
+/// only grow, and records are appended in commit order (one per attach
+/// the controller issued, including the initial association and failed
+/// attempts). World::with_mobility additionally publishes the aggregate
+/// accessors below as ("mobile-host", "handoff", ...) gauges in the
+/// metrics registry, so snapshots and this struct cannot disagree.
 struct HandoffStats {
     std::vector<HandoffRecord> records;
     /// Candidate cells abandoned before the dwell time elapsed — each one
     /// is a ping-pong handoff the hysteresis suppressed.
     std::size_t suppressed_flaps = 0;
+    /// Samples that found no covering cell after having coverage before —
+    /// each entry is one detach into a dead zone.
     std::size_t dead_zone_entries = 0;
     /// Registration failures the controller answered with a backoff retry.
     std::size_t failed_attaches = 0;

@@ -30,6 +30,8 @@ std::vector<Packet> fragment(const Packet& packet, std::size_t mtu) {
         std::vector<std::uint8_t> piece(payload.begin() + static_cast<std::ptrdiff_t>(offset),
                                         payload.begin() + static_cast<std::ptrdiff_t>(offset + n));
         out.emplace_back(h, std::move(piece));
+        // Every fragment continues the original datagram's journey.
+        out.back().set_journey(packet.journey());
         offset += n;
     }
     return out;
@@ -45,6 +47,9 @@ std::optional<Packet> Reassembler::add(const Packet& fragment, std::int64_t now_
     Partial& p = partial_[key];
     if (p.pieces.empty()) {
         p.started_ns = now_ns;
+    }
+    if (p.journey == 0) {
+        p.journey = fragment.journey();
     }
 
     const std::size_t byte_offset = std::size_t{h.fragment_offset} * 8;
@@ -80,8 +85,10 @@ std::optional<Packet> Reassembler::add(const Packet& fragment, std::int64_t now_
     Ipv4Header out_header = p.first_header;
     out_header.more_fragments = false;
     out_header.fragment_offset = 0;
+    Packet whole(out_header, std::move(payload));
+    whole.set_journey(p.journey);
     partial_.erase(key);
-    return Packet(out_header, std::move(payload));
+    return whole;
 }
 
 void Reassembler::expire(std::int64_t now_ns) {

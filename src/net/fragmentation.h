@@ -51,6 +51,9 @@ private:
         Ipv4Header first_header;
         bool have_first = false;
         std::int64_t started_ns = 0;
+        /// Journey id of the first fragment seen; the reassembled datagram
+        /// continues that journey (all fragments share the id anyway).
+        std::uint64_t journey = 0;
     };
 
     std::int64_t timeout_;

@@ -4,6 +4,14 @@
 // encapsulation) nests packets by serializing the inner datagram into the
 // payload of the outer one, so wire sizes reported by wire_size() are the
 // exact byte counts a real network would carry.
+//
+// Besides the wire content, a packet carries one piece of simulation
+// metadata: a *journey id*. The id is assigned by the first IP stack that
+// sends the datagram and is preserved across encapsulation, fragmentation
+// and reassembly, so every trace event a datagram generates anywhere in
+// the network can be correlated into one obs::PacketJourney. The id is
+// never serialized — it travels beside the bytes (Packet::journey and
+// sim::Frame::journey), exactly like a capture tool's packet number.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,12 @@ public:
     /// Exact on-the-wire size of this datagram in bytes.
     std::size_t wire_size() const noexcept { return kIpv4HeaderSize + payload_.size(); }
 
+    /// Journey id for trace correlation (0 = not yet assigned). Not part of
+    /// the wire format: from_wire() leaves it 0 and the receiving stack
+    /// restores it from the carrying frame's metadata.
+    std::uint64_t journey() const noexcept { return journey_; }
+    void set_journey(std::uint64_t id) noexcept { journey_ = id; }
+
     /// Decrements TTL in place; returns false when the TTL is exhausted
     /// (the caller should drop the packet and may emit ICMP Time Exceeded).
     bool decrement_ttl() noexcept;
@@ -42,6 +56,7 @@ public:
 private:
     Ipv4Header header_;
     std::vector<std::uint8_t> payload_;
+    std::uint64_t journey_ = 0;
 };
 
 /// Convenience builder for the common case.

@@ -1,0 +1,73 @@
+#include "obs/journey.h"
+
+namespace mip::obs {
+
+std::size_t PacketJourney::count(sim::TraceKind kind) const {
+    std::size_t n = 0;
+    for (const auto& ev : events) {
+        if (ev.kind == kind) ++n;
+    }
+    return n;
+}
+
+const sim::TraceEvent* PacketJourney::first(sim::TraceKind kind) const {
+    for (const auto& ev : events) {
+        if (ev.kind == kind) return &ev;
+    }
+    return nullptr;
+}
+
+const sim::TraceEvent* PacketJourney::drop() const {
+    for (const auto& ev : events) {
+        switch (ev.kind) {
+            case sim::TraceKind::FilterDrop:
+            case sim::TraceKind::TtlExpired:
+            case sim::TraceKind::NoRoute:
+            case sim::TraceKind::FrameLost:
+            case sim::TraceKind::FrameTooBig:
+                return &ev;
+            default:
+                break;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string> PacketJourney::node_path() const {
+    std::vector<std::string> path;
+    for (const auto& ev : events) {
+        if (ev.node.empty()) continue;
+        if (path.empty() || path.back() != ev.node) {
+            path.push_back(ev.node);
+        }
+    }
+    return path;
+}
+
+std::string PacketJourney::to_string() const {
+    std::string out = "journey " + std::to_string(id) + ":\n";
+    for (const auto& ev : events) {
+        out += "  t=" + std::to_string(ev.when) + "ns " + sim::to_string(ev.kind) +
+               " at " + (ev.node.empty() ? "?" : ev.node);
+        if (ev.bytes != 0) out += " (" + std::to_string(ev.bytes) + "B)";
+        if (!ev.detail.empty()) out += " — " + ev.detail;
+        out += "\n";
+    }
+    return out;
+}
+
+void JourneyIndex::add(const std::vector<sim::TraceEvent>& events) {
+    for (const auto& ev : events) {
+        if (ev.packet_id == 0) continue;  // ARP chatter and untagged frames
+        PacketJourney& j = journeys_[ev.packet_id];
+        j.id = ev.packet_id;
+        j.events.push_back(ev);
+    }
+}
+
+const PacketJourney* JourneyIndex::find(std::uint64_t id) const {
+    const auto it = journeys_.find(id);
+    return it == journeys_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mip::obs

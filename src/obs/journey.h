@@ -1,0 +1,80 @@
+// Packet journeys: the flow-correlated view of a trace (ISSUE tentpole).
+//
+// Every datagram gets a network-wide-unique journey id at its first send
+// (sim::Simulator::next_packet_id, assigned in IpStack::send). The id
+// rides along as out-of-band metadata — through fragmentation, IP-in-IP /
+// minimal / GRE encapsulation, home-agent forwarding, and across the wire
+// via sim::Frame — so every TraceEvent the datagram generates anywhere in
+// the network carries the same packet_id. JourneyIndex groups a recorded
+// trace by that id; a PacketJourney is then the datagram's complete story:
+// sent, encapsulated, forwarded hop by hop, filtered, decapsulated,
+// delivered or dropped with a reason.
+//
+// The event schema is documented in docs/TRACE_FORMAT.md; §3 there shows
+// a worked journey for the Figure 2 firewall-drop scenario.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace mip::obs {
+
+/// All trace events one datagram generated, in time order (ties keep the
+/// recorder's emission order, which follows causality within a node).
+struct PacketJourney {
+    std::uint64_t id = 0;
+    std::vector<sim::TraceEvent> events;
+
+    std::size_t count(sim::TraceKind kind) const;
+    /// First event of the given kind, or nullptr.
+    const sim::TraceEvent* first(sim::TraceKind kind) const;
+
+    /// The datagram (or its reassembled self) reached a protocol handler.
+    bool delivered() const { return count(sim::TraceKind::PacketDelivered) > 0; }
+
+    /// First drop event (FilterDrop, TtlExpired, NoRoute, FrameLost or
+    /// FrameTooBig), or nullptr if nothing was dropped. For a filter drop
+    /// this names the router and the matching rule — the Figure 2 query.
+    const sim::TraceEvent* drop() const;
+    bool dropped() const { return drop() != nullptr; }
+
+    /// Link-level hops taken (FrameTx events; fragments each count).
+    std::size_t hops() const { return count(sim::TraceKind::FrameTx); }
+
+    /// Node names in first-touch order — the path the datagram took.
+    std::vector<std::string> node_path() const;
+
+    /// Human-readable multi-line account ("t=... FrameTx at ch0 ...");
+    /// what a developer prints when a test's journey assertion fails.
+    std::string to_string() const;
+};
+
+/// Groups a recorded trace into journeys, keyed by packet id. Build it
+/// after the simulation from TraceRecorder::events(); it copies the
+/// events it indexes, so the recorder may be cleared afterwards.
+class JourneyIndex {
+public:
+    JourneyIndex() = default;
+    explicit JourneyIndex(const std::vector<sim::TraceEvent>& events) { add(events); }
+
+    /// Indexes more events (events with packet_id == 0, e.g. ARP frames,
+    /// are not part of any journey and are skipped).
+    void add(const std::vector<sim::TraceEvent>& events);
+
+    const PacketJourney* find(std::uint64_t id) const;
+    std::size_t size() const noexcept { return journeys_.size(); }
+
+    /// All journeys, ascending by id (= order of first send).
+    const std::map<std::uint64_t, PacketJourney>& journeys() const noexcept {
+        return journeys_;
+    }
+
+private:
+    std::map<std::uint64_t, PacketJourney> journeys_;
+};
+
+}  // namespace mip::obs

@@ -1,0 +1,345 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mip::obs {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue run() {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+        }
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw JsonError("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return JsonValue(string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return JsonValue(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return JsonValue(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return JsonValue(nullptr);
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonValue::Object out;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue(std::move(out));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            out[std::move(key)] = value();
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return JsonValue(std::move(out));
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonValue::Array out;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue(std::move(out));
+        }
+        while (true) {
+            out.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return JsonValue(std::move(out));
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("short \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode the code point (surrogate pairs are kept
+                    // as two separate 3-byte sequences — fine for the
+                    // ASCII-dominated documents this library produces).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("malformed number");
+        if (!std::isfinite(d)) fail("number out of range");
+        return JsonValue(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+void escape_to(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void number_to(std::string& out, double d) {
+    // Integral values (the overwhelmingly common case for counters) print
+    // without a decimal point so documents stay readable and stable.
+    if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+    return Parser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+    if (const bool* b = std::get_if<bool>(&value_)) return *b;
+    throw JsonError("not a bool");
+}
+
+double JsonValue::as_number() const {
+    if (const double* d = std::get_if<double>(&value_)) return *d;
+    throw JsonError("not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+    if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+    throw JsonError("not a string");
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+    if (const Array* a = std::get_if<Array>(&value_)) return *a;
+    throw JsonError("not an array");
+}
+
+JsonValue::Array& JsonValue::as_array() {
+    if (Array* a = std::get_if<Array>(&value_)) return *a;
+    throw JsonError("not an array");
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+    if (const Object* o = std::get_if<Object>(&value_)) return *o;
+    throw JsonError("not an object");
+}
+
+JsonValue::Object& JsonValue::as_object() {
+    if (Object* o = std::get_if<Object>(&value_)) return *o;
+    throw JsonError("not an object");
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+    if (is_null()) value_ = Object{};
+    return as_object()[key];
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const Object& o = as_object();
+    const auto it = o.find(key);
+    if (it == o.end()) throw JsonError("missing key: " + key);
+    return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+    return is_object() && as_object().contains(key);
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent < 0) return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    if (is_null()) {
+        out += "null";
+    } else if (const bool* b = std::get_if<bool>(&value_)) {
+        out += *b ? "true" : "false";
+    } else if (const double* d = std::get_if<double>(&value_)) {
+        number_to(out, *d);
+    } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+        escape_to(out, *s);
+    } else if (const Array* a = std::get_if<Array>(&value_)) {
+        if (a->empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        bool first = true;
+        for (const JsonValue& v : *a) {
+            if (!first) out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            v.dump_to(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+    } else if (const Object* o = std::get_if<Object>(&value_)) {
+        if (o->empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [k, v] : *o) {
+            if (!first) out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            escape_to(out, k);
+            out.push_back(':');
+            if (indent >= 0) out.push_back(' ');
+            v.dump_to(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+}  // namespace mip::obs

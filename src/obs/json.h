@@ -1,0 +1,86 @@
+// Minimal JSON document model: enough to write metrics snapshots, read
+// them back (the round-trip the tests assert), and validate the files the
+// bench harnesses emit — with no external dependency.
+//
+// Supported: null, bool, finite numbers (doubles; integral values print
+// without a decimal point), strings (with \uXXXX escapes for control
+// characters; input surrogate pairs are not combined), arrays, objects.
+// Object keys keep deterministic (sorted) order via std::map, so dumps are
+// byte-stable run to run — a property bench_smoke relies on when diffing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mip::obs {
+
+class JsonError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+public:
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;  // null
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(int i) : value_(static_cast<double>(i)) {}
+    JsonValue(long long i) : value_(static_cast<double>(i)) {}
+    JsonValue(unsigned long long u) : value_(static_cast<double>(u)) {}
+    JsonValue(long u) : value_(static_cast<double>(u)) {}
+    JsonValue(unsigned long u) : value_(static_cast<double>(u)) {}
+    JsonValue(unsigned u) : value_(static_cast<double>(u)) {}
+    JsonValue(const char* s) : value_(std::string(s)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(Array a) : value_(std::move(a)) {}
+    JsonValue(Object o) : value_(std::move(o)) {}
+
+    /// Parses a complete JSON document; throws JsonError with a byte
+    /// offset on malformed input or trailing garbage.
+    static JsonValue parse(std::string_view text);
+
+    bool is_null() const noexcept { return std::holds_alternative<std::monostate>(value_); }
+    bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+    bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+    bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+    bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+    bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+    // Typed accessors; throw JsonError on type mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    Array& as_array();
+    const Object& as_object() const;
+    Object& as_object();
+
+    /// Object member access. The non-const form inserts a null member
+    /// (converting a null value to an empty object first); the const form
+    /// throws JsonError when the key is missing.
+    JsonValue& operator[](const std::string& key);
+    const JsonValue& at(const std::string& key) const;
+    bool contains(const std::string& key) const;
+
+    /// Serializes the document. indent < 0 → compact single line;
+    /// otherwise pretty-printed with that many spaces per level.
+    std::string dump(int indent = -1) const;
+
+    friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    std::variant<std::monostate, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace mip::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace mip::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size(), 0) {}
+
+void Histogram::observe(double value) noexcept {
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    // Cumulative buckets: bump every bucket whose bound admits the value.
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (value <= bounds_[i]) ++counts_[i];
+    }
+}
+
+std::vector<double> rtt_bounds_ns() {
+    std::vector<double> b;
+    for (double ns = 1e6; ns <= 4.1e9; ns *= 2.0) b.push_back(ns);
+    return b;
+}
+
+std::vector<double> hop_bounds() {
+    std::vector<double> b;
+    for (double h = 1; h <= 16; ++h) b.push_back(h);
+    return b;
+}
+
+Counter& MetricsRegistry::counter(const std::string& node, const std::string& layer,
+                                  const std::string& name) {
+    return counters_[Key{node, layer, name}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& node, const std::string& layer,
+                                      const std::string& name,
+                                      std::vector<double> bounds) {
+    const Key key{node, layer, name};
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(key, Histogram(std::move(bounds))).first;
+    }
+    return it->second;
+}
+
+void MetricsRegistry::register_gauge(const std::string& node, const std::string& layer,
+                                     const std::string& name, GaugeFn provider) {
+    gauges_[Key{node, layer, name}] = std::move(provider);
+}
+
+double MetricsRegistry::gauge_value(const std::string& node, const std::string& layer,
+                                    const std::string& name) const {
+    const auto it = gauges_.find(Key{node, layer, name});
+    if (it == gauges_.end() || !it->second) {
+        throw JsonError("no gauge registered for " + node + "/" + layer + "/" + name);
+    }
+    return it->second();
+}
+
+namespace {
+
+JsonValue::Object metric_base(const std::tuple<std::string, std::string, std::string>& key,
+                              const char* kind) {
+    JsonValue::Object m;
+    m["node"] = std::get<0>(key);
+    m["layer"] = std::get<1>(key);
+    m["name"] = std::get<2>(key);
+    m["kind"] = kind;
+    return m;
+}
+
+}  // namespace
+
+JsonValue MetricsRegistry::snapshot(const std::string& bench, const std::string& label,
+                                    sim::TimePoint now) const {
+    // Merge the three stores into one (node, layer, name)-sorted array.
+    // std::map iteration is already sorted; a three-way merge keeps the
+    // combined output sorted without building an intermediate index.
+    JsonValue::Array metrics;
+
+    auto ci = counters_.begin();
+    auto gi = gauges_.begin();
+    auto hi = histograms_.begin();
+    while (ci != counters_.end() || gi != gauges_.end() || hi != histograms_.end()) {
+        // Pick the smallest key among the three heads.
+        const Key* best = nullptr;
+        int which = -1;
+        if (ci != counters_.end()) { best = &ci->first; which = 0; }
+        if (gi != gauges_.end() && (best == nullptr || gi->first < *best)) {
+            best = &gi->first; which = 1;
+        }
+        if (hi != histograms_.end() && (best == nullptr || hi->first < *best)) {
+            best = &hi->first; which = 2;
+        }
+        if (which == 0) {
+            JsonValue::Object m = metric_base(ci->first, "counter");
+            m["value"] = ci->second.value();
+            metrics.emplace_back(std::move(m));
+            ++ci;
+        } else if (which == 1) {
+            JsonValue::Object m = metric_base(gi->first, "gauge");
+            m["value"] = gi->second ? gi->second() : 0.0;
+            metrics.emplace_back(std::move(m));
+            ++gi;
+        } else {
+            const Histogram& h = hi->second;
+            JsonValue::Object m = metric_base(hi->first, "histogram");
+            m["count"] = h.count();
+            m["sum"] = h.sum();
+            if (h.count() > 0) {
+                m["min"] = h.min();
+                m["max"] = h.max();
+                m["mean"] = h.mean();
+            }
+            JsonValue::Array buckets;
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                JsonValue::Object b;
+                b["le"] = h.bounds()[i];
+                b["count"] = h.bucket_counts()[i];
+                buckets.emplace_back(std::move(b));
+            }
+            m["buckets"] = std::move(buckets);
+            metrics.emplace_back(std::move(m));
+            ++hi;
+        }
+    }
+
+    JsonValue::Object doc;
+    doc["schema_version"] = 1;
+    doc["bench"] = bench;
+    doc["label"] = label;
+    doc["time_ns"] = static_cast<std::uint64_t>(now);
+    doc["metrics"] = std::move(metrics);
+    return JsonValue(std::move(doc));
+}
+
+std::string MetricsRegistry::snapshot_json(const std::string& bench,
+                                           const std::string& label,
+                                           sim::TimePoint now) const {
+    return snapshot(bench, label, now).dump(2) + "\n";
+}
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_metrics_document(const JsonValue& doc) {
+    std::vector<std::string> problems;
+    if (!doc.is_object()) {
+        problems.push_back("document is not a JSON object");
+        return problems;
+    }
+    require(problems,
+            doc.contains("schema_version") && doc.at("schema_version").is_number() &&
+                doc.at("schema_version").as_number() == 1,
+            "schema_version must be the number 1");
+    for (const char* key : {"bench", "label"}) {
+        require(problems, doc.contains(key) && doc.at(key).is_string(),
+                std::string(key) + " must be a string");
+    }
+    require(problems,
+            doc.contains("time_ns") && doc.at("time_ns").is_number() &&
+                doc.at("time_ns").as_number() >= 0,
+            "time_ns must be a non-negative number");
+    if (!doc.contains("metrics") || !doc.at("metrics").is_array()) {
+        problems.push_back("metrics must be an array");
+        return problems;
+    }
+
+    std::size_t i = 0;
+    for (const JsonValue& m : doc.at("metrics").as_array()) {
+        const std::string where = "metrics[" + std::to_string(i++) + "]";
+        if (!m.is_object()) {
+            problems.push_back(where + " is not an object");
+            continue;
+        }
+        for (const char* key : {"node", "layer", "name", "kind"}) {
+            require(problems, m.contains(key) && m.at(key).is_string(),
+                    where + "." + key + " must be a string");
+        }
+        if (!m.contains("kind") || !m.at("kind").is_string()) continue;
+        const std::string& kind = m.at("kind").as_string();
+        if (kind == "counter" || kind == "gauge") {
+            require(problems, m.contains("value") && m.at("value").is_number(),
+                    where + ".value must be a number");
+            if (kind == "counter" && m.contains("value") && m.at("value").is_number()) {
+                require(problems, m.at("value").as_number() >= 0,
+                        where + ": counter value must be non-negative");
+            }
+        } else if (kind == "histogram") {
+            for (const char* key : {"count", "sum"}) {
+                require(problems, m.contains(key) && m.at(key).is_number(),
+                        where + "." + key + " must be a number");
+            }
+            const bool has_summary =
+                m.contains("min") && m.contains("max") && m.contains("mean");
+            if (m.contains("count") && m.at("count").is_number() &&
+                m.at("count").as_number() > 0) {
+                require(problems, has_summary,
+                        where + ": non-empty histogram needs min/max/mean");
+            }
+            if (!m.contains("buckets") || !m.at("buckets").is_array()) {
+                problems.push_back(where + ".buckets must be an array");
+                continue;
+            }
+            double prev_le = -std::numeric_limits<double>::infinity();
+            double prev_count = -1.0;
+            std::size_t j = 0;
+            for (const JsonValue& b : m.at("buckets").as_array()) {
+                const std::string bwhere = where + ".buckets[" + std::to_string(j++) + "]";
+                if (!b.is_object() || !b.contains("le") || !b.contains("count") ||
+                    !b.at("le").is_number() || !b.at("count").is_number()) {
+                    problems.push_back(bwhere + " must be {le: number, count: number}");
+                    continue;
+                }
+                const double le = b.at("le").as_number();
+                const double cnt = b.at("count").as_number();
+                require(problems, le > prev_le,
+                        bwhere + ": bucket bounds must be strictly increasing");
+                require(problems, cnt >= prev_count,
+                        bwhere + ": cumulative bucket counts must be non-decreasing");
+                if (m.contains("count") && m.at("count").is_number()) {
+                    require(problems, cnt <= m.at("count").as_number(),
+                            bwhere + ": bucket count exceeds total count");
+                }
+                prev_le = le;
+                prev_count = cnt;
+            }
+        } else {
+            problems.push_back(where + ".kind must be counter, gauge or histogram");
+        }
+    }
+    return problems;
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,138 @@
+// Per-node metrics registry (ISSUE: observability tentpole, part b).
+//
+// Every metric is identified by the triple (node, layer, name) —
+// e.g. ("foreign-gw", "ip", "filter_drops") — and is one of:
+//
+//   counter    monotonically increasing count, owned by the registry and
+//              bumped by the instrumented code via the returned reference
+//   gauge      point-in-time value polled from a provider callback at
+//              snapshot() time (used to mirror existing Stats structs
+//              without double-bookkeeping)
+//   histogram  distribution with count/sum/min/max and cumulative buckets
+//              (used for RTT latency and hop counts)
+//
+// snapshot() renders everything into the JSON document format specified in
+// docs/TRACE_FORMAT.md §4; validate_metrics_document() checks an arbitrary
+// parsed document against that same schema and is shared by the unit tests
+// and the bench_smoke validator binary, so the schema cannot silently
+// drift from its enforcement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/time.h"
+
+namespace mip::obs {
+
+/// Monotonic counter. References returned by MetricsRegistry::counter()
+/// stay valid for the registry's lifetime (node-based map storage).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+    std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Distribution with cumulative ("le") buckets, Prometheus style: each
+/// bucket counts observations <= its upper bound, and an implicit +inf
+/// bucket equals the total count.
+class Histogram {
+public:
+    /// `bounds` must be strictly increasing; may be empty (summary only).
+    explicit Histogram(std::vector<double> bounds = {});
+
+    void observe(double value) noexcept;
+
+    std::uint64_t count() const noexcept { return count_; }
+    double sum() const noexcept { return sum_; }
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+    double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+    const std::vector<double>& bounds() const noexcept { return bounds_; }
+    const std::vector<std::uint64_t>& bucket_counts() const noexcept { return counts_; }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;  // parallel to bounds_, cumulative
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Bucket bounds tuned for simulated RTTs: 1 ms .. ~4 s, doubling.
+std::vector<double> rtt_bounds_ns();
+/// Bucket bounds for hop counts: 1 .. 16 link-level hops.
+std::vector<double> hop_bounds();
+
+/// Registry of every metric a World publishes. One instance per World;
+/// nodes register at construction, benches call snapshot() at the end of
+/// a run. Not thread-safe (the simulator is single-threaded).
+class MetricsRegistry {
+public:
+    using GaugeFn = std::function<double()>;
+
+    /// Returns the counter for (node, layer, name), creating it on first
+    /// use. The reference stays valid for the registry's lifetime.
+    Counter& counter(const std::string& node, const std::string& layer,
+                     const std::string& name);
+
+    /// Returns the histogram for (node, layer, name), creating it with the
+    /// given bounds on first use (bounds are ignored when it exists).
+    Histogram& histogram(const std::string& node, const std::string& layer,
+                         const std::string& name, std::vector<double> bounds = {});
+
+    /// Registers a polled gauge. The provider is invoked at snapshot()
+    /// time and must stay callable for the registry's lifetime — World
+    /// guarantees this by registering only callbacks that capture nodes it
+    /// owns. Re-registering the same triple replaces the provider.
+    void register_gauge(const std::string& node, const std::string& layer,
+                        const std::string& name, GaugeFn provider);
+
+    /// Polls the gauge registered for (node, layer, name) right now;
+    /// throws JsonError when no such gauge exists. The query-side twin of
+    /// register_gauge — benches read figures from here instead of
+    /// reaching into individual Stats structs.
+    double gauge_value(const std::string& node, const std::string& layer,
+                       const std::string& name) const;
+
+    /// Renders every metric into the docs/TRACE_FORMAT.md §4 document:
+    ///   {"schema_version":1, "bench":..., "label":..., "time_ns":...,
+    ///    "metrics":[{node,layer,name,kind,...}, ...]}
+    /// Metrics appear sorted by (node, layer, name); gauges are polled now.
+    JsonValue snapshot(const std::string& bench, const std::string& label,
+                       sim::TimePoint now) const;
+
+    /// Convenience: snapshot() serialized with 2-space indentation.
+    std::string snapshot_json(const std::string& bench, const std::string& label,
+                              sim::TimePoint now) const;
+
+    std::size_t size() const noexcept {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+private:
+    using Key = std::tuple<std::string, std::string, std::string>;  // node, layer, name
+
+    std::map<Key, Counter> counters_;
+    std::map<Key, GaugeFn> gauges_;
+    std::map<Key, Histogram> histograms_;
+};
+
+/// Checks a parsed document against the metrics schema in
+/// docs/TRACE_FORMAT.md §4. Returns human-readable problems; an empty
+/// vector means the document is valid. Shared by tests/test_obs.cpp and
+/// the bench_smoke validator so there is exactly one schema authority.
+std::vector<std::string> validate_metrics_document(const JsonValue& doc);
+
+}  // namespace mip::obs

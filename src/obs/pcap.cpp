@@ -1,0 +1,88 @@
+#include "obs/pcap.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace mip::obs {
+
+namespace {
+
+// Classic pcap constants (https://wiki.wireshark.org/Development/LibpcapFileFormat).
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // native byte order, µs timestamps
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+
+void put_u16(std::ofstream& out, std::uint16_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(sim::Simulator& simulator, const std::string& path)
+    : simulator_(simulator), out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) {
+        throw std::runtime_error("PcapWriter: cannot open " + path);
+    }
+    put_u32(out_, kMagic);
+    put_u16(out_, kVersionMajor);
+    put_u16(out_, kVersionMinor);
+    put_u32(out_, 0);  // thiszone: GMT
+    put_u32(out_, 0);  // sigfigs
+    put_u32(out_, kSnapLen);
+    put_u32(out_, kLinktypeEthernet);
+}
+
+PcapWriter::~PcapWriter() {
+    close();
+}
+
+void PcapWriter::attach(sim::Link& link) {
+    link.set_tap([this](const sim::Frame& frame) { write(frame); });
+}
+
+void PcapWriter::attach(sim::Nic& nic) {
+    nic.set_tap([this](const sim::Frame& frame) { write(frame); });
+}
+
+void PcapWriter::write(const sim::Frame& frame) {
+    if (!out_.is_open()) return;
+
+    const std::uint64_t ns = static_cast<std::uint64_t>(simulator_.now());
+    put_u32(out_, static_cast<std::uint32_t>(ns / 1'000'000'000ull));     // ts_sec
+    put_u32(out_, static_cast<std::uint32_t>((ns % 1'000'000'000ull) / 1'000ull));  // ts_usec
+
+    const std::uint32_t len = static_cast<std::uint32_t>(frame.wire_size());
+    put_u32(out_, len);  // incl_len — frames are never snapped
+    put_u32(out_, len);  // orig_len
+
+    std::array<std::uint8_t, sim::kFrameHeaderSize> hdr{};
+    const auto& dst = frame.dst.octets();
+    const auto& src = frame.src.octets();
+    for (std::size_t i = 0; i < 6; ++i) {
+        hdr[i] = dst[i];
+        hdr[6 + i] = src[i];
+    }
+    const auto ethertype = static_cast<std::uint16_t>(frame.type);
+    hdr[12] = static_cast<std::uint8_t>(ethertype >> 8);
+    hdr[13] = static_cast<std::uint8_t>(ethertype & 0xff);
+    out_.write(reinterpret_cast<const char*>(hdr.data()),
+               static_cast<std::streamsize>(hdr.size()));
+    out_.write(reinterpret_cast<const char*>(frame.payload.data()),
+               static_cast<std::streamsize>(frame.payload.size()));
+    ++frames_;
+}
+
+void PcapWriter::close() {
+    if (out_.is_open()) {
+        out_.flush();
+        out_.close();
+    }
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,74 @@
+// Pcap export (ISSUE tentpole, part c): write frames passing a Link or a
+// Nic to a classic libpcap capture file that Wireshark/tcpdump open
+// directly (`wireshark capture.pcap`, `tcpdump -r capture.pcap`).
+//
+// Format: the original pcap container (not pcapng) — 24-byte global
+// header with magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET (1), then
+// one 16-byte record header per frame followed by the frame bytes
+// (14-byte Ethernet header + IP payload; no FCS, matching the simulator's
+// frame model).
+//
+// Timestamp caveat (documented in docs/TRACE_FORMAT.md §5): the simulator
+// keeps integer nanoseconds but classic pcap stores seconds+microseconds,
+// so timestamps are truncated to microsecond precision in the file.
+// Frames captured within the same microsecond keep their relative order
+// because records are written in simulation order.
+//
+// Capture points differ in what they see:
+//   attach(Link) — every frame *offered* to the wire, including frames the
+//                  loss model later destroys (one record per transmit).
+//   attach(Nic)  — tcpdump's view of one interface: frames it sends plus
+//                  frames it accepts (destined to it / broadcast /
+//                  subscribed multicast). Lost frames never appear.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "sim/frame.h"
+#include "sim/link.h"
+#include "sim/nic.h"
+#include "sim/simulator.h"
+
+namespace mip::obs {
+
+/// Streams captured frames to a pcap file. The writer must outlive every
+/// Link/Nic it is attached to (attach installs a FrameTap capturing
+/// `this`); World-owned captures satisfy this by declaring the writer
+/// before running the simulation and keeping it alive until exit. Records
+/// are flushed on close()/destruction.
+class PcapWriter {
+public:
+    /// Opens `path` and writes the global header immediately; throws
+    /// std::runtime_error if the file cannot be created. Reads the
+    /// simulator clock at each capture for record timestamps.
+    PcapWriter(sim::Simulator& simulator, const std::string& path);
+    ~PcapWriter();
+
+    PcapWriter(const PcapWriter&) = delete;
+    PcapWriter& operator=(const PcapWriter&) = delete;
+
+    /// Captures every frame offered to the link (including later-lost
+    /// ones). Replaces any tap already installed on the link.
+    void attach(sim::Link& link);
+    /// Captures the interface's send+accept view. Replaces any tap
+    /// already installed on the NIC.
+    void attach(sim::Nic& nic);
+
+    /// Writes one frame record stamped with the current simulated time.
+    /// Usable directly when capturing from a custom tap.
+    void write(const sim::Frame& frame);
+
+    std::size_t frames_written() const noexcept { return frames_; }
+
+    /// Flushes and closes the file; further write() calls are ignored.
+    void close();
+
+private:
+    sim::Simulator& simulator_;
+    std::ofstream out_;
+    std::size_t frames_ = 0;
+};
+
+}  // namespace mip::obs

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/protocol.h"
@@ -20,7 +21,18 @@ struct Frame {
     net::EtherType type = net::EtherType::Ipv4;
     std::vector<std::uint8_t> payload;
 
+    /// Journey id of the IP datagram (or fragment) this frame carries;
+    /// 0 for ARP and other non-IP frames. Simulation metadata riding next
+    /// to the bytes — never serialized — so trace events on both ends of a
+    /// link correlate to the same obs::PacketJourney.
+    std::uint64_t journey = 0;
+
     std::size_t wire_size() const noexcept { return kFrameHeaderSize + payload.size(); }
 };
+
+/// Observer for raw frames at a capture point (obs::PcapWriter installs
+/// these on Links and Nics). Called synchronously at the simulated time
+/// the frame passes the tap.
+using FrameTap = std::function<void(const Frame&)>;
 
 }  // namespace mip::sim

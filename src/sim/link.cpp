@@ -37,7 +37,7 @@ Duration Link::transmission_delay(std::size_t bytes) const {
     return static_cast<Duration>(seconds * 1e9);
 }
 
-void Link::emit(TraceKind kind, const Nic* at, std::size_t bytes, std::uint16_t ethertype,
+void Link::emit(TraceKind kind, const Nic* at, const Frame& frame,
                 std::string detail) const {
     if (!trace_) return;
     TraceEvent ev;
@@ -45,26 +45,29 @@ void Link::emit(TraceKind kind, const Nic* at, std::size_t bytes, std::uint16_t 
     ev.when = simulator_.now();
     ev.node = at != nullptr ? at->owner().name() : std::string{};
     ev.link = this;
-    ev.bytes = bytes;
-    ev.ethertype = ethertype;
+    ev.bytes = frame.wire_size();
+    ev.ethertype = static_cast<std::uint16_t>(frame.type);
+    ev.packet_id = frame.journey;
     ev.detail = std::move(detail);
     trace_(ev);
 }
 
 void Link::transmit(const Nic& sender, Frame frame) {
-    const auto ethertype = static_cast<std::uint16_t>(frame.type);
     if (frame.payload.size() > config_.mtu) {
-        emit(TraceKind::FrameTooBig, &sender, frame.wire_size(), ethertype,
+        emit(TraceKind::FrameTooBig, &sender, frame,
              "payload " + std::to_string(frame.payload.size()) + " > mtu " +
                  std::to_string(config_.mtu));
         return;
     }
-    emit(TraceKind::FrameTx, &sender, frame.wire_size(), ethertype);
+    emit(TraceKind::FrameTx, &sender, frame);
+    if (tap_) {
+        tap_(frame);
+    }
 
     if (config_.loss_rate > 0.0) {
         std::bernoulli_distribution lost(config_.loss_rate);
         if (lost(rng_)) {
-            emit(TraceKind::FrameLost, &sender, frame.wire_size(), ethertype);
+            emit(TraceKind::FrameLost, &sender, frame);
             return;
         }
     }
@@ -83,9 +86,9 @@ void Link::transmit(const Nic& sender, Frame frame) {
         // Copy per receiver; delivery happens at simulated arrival time. A
         // NIC that detached (or moved to another segment) while the frame
         // was in flight must not receive it.
-        simulator_.schedule_in(delay, [nic, frame, ethertype, this] {
+        simulator_.schedule_in(delay, [nic, frame, this] {
             if (nic->link() != this) return;
-            emit(TraceKind::FrameRx, nic, frame.wire_size(), ethertype);
+            emit(TraceKind::FrameRx, nic, frame);
             nic->deliver(frame);
         });
     }

@@ -43,6 +43,12 @@ public:
 
     void set_trace(TraceSink sink) { trace_ = std::move(sink); }
 
+    /// Installs a raw-frame observer (see obs::PcapWriter). The tap sees
+    /// every frame offered to the wire — including frames the loss model
+    /// subsequently drops, exactly like a physical-layer capture. One tap
+    /// per link; the tap's owner must outlive the link's traffic.
+    void set_tap(FrameTap tap) { tap_ = std::move(tap); }
+
     /// Registers/unregisters an endpoint. Nic::connect/disconnect call these.
     void attach(Nic& nic);
     void detach(Nic& nic);
@@ -60,7 +66,7 @@ public:
 
 private:
     Duration transmission_delay(std::size_t bytes) const;
-    void emit(TraceKind kind, const Nic* at, std::size_t bytes, std::uint16_t ethertype = 0,
+    void emit(TraceKind kind, const Nic* at, const Frame& frame,
               std::string detail = {}) const;
 
     Simulator& simulator_;
@@ -68,6 +74,7 @@ private:
     std::vector<Nic*> nics_;
     mutable std::mt19937_64 rng_;
     TraceSink trace_;
+    FrameTap tap_;
     /// The shared medium serializes transmissions: the time until which the
     /// wire is occupied. Keeps small frames from overtaking large ones.
     TimePoint busy_until_ = 0;

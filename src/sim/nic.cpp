@@ -29,12 +29,18 @@ void Nic::send(Frame frame) {
         return;  // unplugged: the wire eats the frame, as in real life
     }
     frame.src = mac_;
+    if (tap_) {
+        tap_(frame);
+    }
     link_->transmit(*this, std::move(frame));
 }
 
 void Nic::deliver(const Frame& frame) {
     // A NIC that moved to a different link between scheduling and delivery
     // must not receive frames from the old segment.
+    if (tap_) {
+        tap_(frame);
+    }
     if (handler_) {
         handler_(frame);
     }

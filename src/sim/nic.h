@@ -49,6 +49,12 @@ public:
     void set_promiscuous(bool on) noexcept { promiscuous_ = on; }
     bool promiscuous() const noexcept { return promiscuous_; }
 
+    /// Installs a raw-frame observer (see obs::PcapWriter): fires for every
+    /// frame this NIC transmits onto a connected link and every frame it
+    /// accepts — the view tcpdump would give on this interface. One tap per
+    /// NIC; the tap's owner must outlive the NIC's traffic.
+    void set_tap(FrameTap tap) { tap_ = std::move(tap); }
+
 private:
     friend class Link;  // clears link_ when the segment is destroyed first
 
@@ -57,6 +63,7 @@ private:
     std::string name_;
     Link* link_ = nullptr;
     FrameHandler handler_;
+    FrameTap tap_;
     bool promiscuous_ = false;
 };
 

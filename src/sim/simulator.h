@@ -51,6 +51,12 @@ public:
     /// Runs events with timestamps <= @p until.
     std::size_t run_until(TimePoint until);
 
+    /// Hands out the next packet-journey id (1, 2, 3, ...). Every IP stack
+    /// in a simulation draws from this one counter, so ids are unique
+    /// network-wide and — the scheduler being deterministic — reproducible
+    /// run to run.
+    std::uint64_t next_packet_id() noexcept { return next_packet_id_++; }
+
     std::size_t pending_events() const noexcept { return queue_.size(); }
     /// Cancellations not yet matched to their event (pending or stale).
     /// Observability hook for the leak regression tests.
@@ -77,6 +83,7 @@ private:
 
     TimePoint now_ = 0;
     EventId next_id_ = 1;
+    std::uint64_t next_packet_id_ = 1;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::unordered_set<EventId> cancelled_;
 };

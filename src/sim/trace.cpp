@@ -4,6 +4,24 @@
 
 namespace mip::sim {
 
+const char* to_string(TraceKind kind) {
+    switch (kind) {
+        case TraceKind::FrameTx: return "FrameTx";
+        case TraceKind::FrameRx: return "FrameRx";
+        case TraceKind::FrameLost: return "FrameLost";
+        case TraceKind::FrameTooBig: return "FrameTooBig";
+        case TraceKind::FilterDrop: return "FilterDrop";
+        case TraceKind::TtlExpired: return "TtlExpired";
+        case TraceKind::NoRoute: return "NoRoute";
+        case TraceKind::PacketSent: return "PacketSent";
+        case TraceKind::PacketForwarded: return "PacketForwarded";
+        case TraceKind::PacketDelivered: return "PacketDelivered";
+        case TraceKind::Encapsulated: return "Encapsulated";
+        case TraceKind::Decapsulated: return "Decapsulated";
+    }
+    return "?";
+}
+
 TraceSink TraceRecorder::sink() {
     return [this](const TraceEvent& ev) { events_.push_back(ev); };
 }

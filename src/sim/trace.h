@@ -1,6 +1,11 @@
-// Packet tracing: every frame transmission, delivery and drop in the
-// simulator is reported to an optional TraceSink. The benchmark harnesses
-// use traces to count hops and bytes; tests use them to assert paths.
+// Packet tracing: every frame transmission, delivery and drop — and every
+// IP-layer milestone (send, forward, deliver, encapsulate, decapsulate,
+// filter) — is reported to an optional TraceSink. The benchmark harnesses
+// use traces to count hops and bytes; tests and obs::JourneyIndex use them
+// to follow individual packets through the network.
+//
+// The full event schema, including the per-kind meaning of every field,
+// is documented in docs/TRACE_FORMAT.md.
 #pragma once
 
 #include <cstdint>
@@ -15,34 +20,62 @@ namespace mip::sim {
 class Link;
 
 enum class TraceKind {
+    // ---- link layer (emitted by Link) ------------------------------------
     FrameTx,      ///< a NIC put a frame on a link
     FrameRx,      ///< a NIC accepted a frame
     FrameLost,    ///< link-level loss (random loss model)
     FrameTooBig,  ///< frame exceeded the link MTU and was dropped
+    // ---- IP layer drops (emitted by IpStack) -----------------------------
     FilterDrop,   ///< a router's policy filter discarded a packet
     TtlExpired,   ///< a router dropped a packet with exhausted TTL
     NoRoute,      ///< no forwarding entry for destination
+    // ---- IP layer milestones (emitted by IpStack and the tunnel layer) ---
+    PacketSent,       ///< origin stack assigned a fresh journey id and sent
+    PacketForwarded,  ///< a router forwarded the packet at the IP layer
+    PacketDelivered,  ///< local delivery to a protocol handler (post-reassembly)
+    Encapsulated,     ///< a tunnel entry wrapped the packet in an outer datagram
+    Decapsulated,     ///< a tunnel exit recovered the inner datagram
 };
+
+const char* to_string(TraceKind kind);
 
 struct TraceEvent {
     TraceKind kind;
     TimePoint when = 0;
     std::string node;          ///< node name where the event occurred
     const Link* link = nullptr;
-    std::size_t bytes = 0;     ///< frame wire size (Tx/Rx/loss events)
+    std::size_t bytes = 0;     ///< frame wire size (frame events) or datagram size
     /// Raw ethertype of the frame (0 for non-frame events). Lets analyses
     /// separate IP traffic from ARP chatter.
     std::uint16_t ethertype = 0;
+    /// Journey id of the datagram involved (0 = none/unknown, e.g. ARP
+    /// frames). Groups every event one datagram generates anywhere in the
+    /// network — across hops, fragmentation and encapsulation — into one
+    /// obs::PacketJourney.
+    std::uint64_t packet_id = 0;
     std::string detail;        ///< free-form context (e.g. filter rule hit)
 };
 
 using TraceSink = std::function<void(const TraceEvent&)>;
 
 /// Collects trace events and answers the questions the benches ask
-/// (hop counts, total bytes on the wire, drop counts by kind).
+/// (hop counts, total bytes on the wire, drop counts by kind). For
+/// per-packet questions, feed events() to an obs::JourneyIndex.
+///
+/// Ownership and lifetime contract: sink() returns a closure that captures
+/// a raw `this`. The recorder therefore must outlive every Link and
+/// IpStack holding one of its sinks — World satisfies this by declaring
+/// its TraceRecorder before any node and handing sinks out only to objects
+/// it owns. A recorder is not copyable or movable once sinks exist (the
+/// closures would keep pointing at the old object); to stop recording,
+/// install an empty TraceSink on the producers instead of destroying the
+/// recorder. events() returns a reference that is invalidated by the next
+/// recorded event or clear(); copy what you need before resuming the
+/// simulation.
 class TraceRecorder {
 public:
     /// Returns a sink bound to this recorder; hand it to Links/Routers.
+    /// See the class comment for the lifetime contract.
     TraceSink sink();
 
     const std::vector<TraceEvent>& events() const noexcept { return events_; }

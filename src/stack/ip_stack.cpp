@@ -92,14 +92,33 @@ void IpStack::register_protocol(net::IpProto proto, ProtocolHandler handler) {
     protocols_[proto] = std::move(handler);
 }
 
-void IpStack::emit_trace(sim::TraceKind kind, std::string detail) {
+void IpStack::emit_trace(sim::TraceKind kind, const net::Packet* packet,
+                         std::string detail) {
     if (!trace_) return;
     sim::TraceEvent ev;
     ev.kind = kind;
     ev.when = simulator_.now();
     ev.node = node_.name();
+    if (packet != nullptr) {
+        ev.packet_id = packet->journey();
+        ev.bytes = packet->wire_size();
+    }
     ev.detail = std::move(detail);
     trace_(ev);
+}
+
+void IpStack::trace_packet(sim::TraceKind kind, const net::Packet& packet,
+                           std::string detail) {
+    emit_trace(kind, &packet, std::move(detail));
+}
+
+void IpStack::begin_journey(net::Packet& packet) {
+    if (packet.journey() != 0) return;  // mid-journey (forward/encap/resend)
+    packet.set_journey(simulator_.next_packet_id());
+    emit_trace(sim::TraceKind::PacketSent, &packet,
+               "proto " + std::to_string(static_cast<int>(packet.header().protocol)) +
+                   " " + packet.header().src.to_string() + " -> " +
+                   packet.header().dst.to_string());
 }
 
 FlowKey IpStack::flow_from_packet(const net::Packet& packet) {
@@ -161,6 +180,7 @@ void IpStack::send(net::Packet packet, std::optional<FlowKey> flow_opt) {
         packet.header().identification = next_ip_id_++;
         if (next_ip_id_ == 0) next_ip_id_ = 1;
     }
+    begin_journey(packet);
 
     // Multicast sends go out the first configured physical interface in a
     // single link-scope frame (RFC 1112 level-2 host, no routing).
@@ -229,8 +249,8 @@ void IpStack::send(net::Packet packet, std::optional<FlowKey> flow_opt) {
     auto entry = routes_.lookup(packet.header().dst);
     if (!entry) {
         ++stats_.no_route_drops;
-        emit_trace(sim::TraceKind::NoRoute, "send: no route to " +
-                                                packet.header().dst.to_string());
+        emit_trace(sim::TraceKind::NoRoute, &packet,
+                   "send: no route to " + packet.header().dst.to_string());
         return;
     }
     Interface& out = iface(entry->interface_index);
@@ -250,7 +270,7 @@ void IpStack::transmit(net::Packet packet, std::size_t interface_index,
     Interface& out = iface(interface_index);
     if (!out.is_physical() || out.nic() == nullptr || !out.nic()->connected()) {
         ++stats_.no_route_drops;
-        emit_trace(sim::TraceKind::NoRoute, "transmit: interface down");
+        emit_trace(sim::TraceKind::NoRoute, &packet, "transmit: interface down");
         return;
     }
     // Egress filters run on the full datagram before fragmentation.
@@ -263,7 +283,7 @@ void IpStack::transmit(net::Packet packet, std::size_t interface_index,
     try {
         pieces = net::fragment(packet, mtu);
     } catch (const std::invalid_argument&) {
-        emit_trace(sim::TraceKind::FrameTooBig, "DF set and packet exceeds MTU");
+        emit_trace(sim::TraceKind::FrameTooBig, &packet, "DF set and packet exceeds MTU");
         return;
     }
     if (pieces.size() > 1) {
@@ -280,6 +300,7 @@ void IpStack::send_direct(net::Packet packet, std::size_t interface_index,
         packet.header().identification = next_ip_id_++;
         if (next_ip_id_ == 0) next_ip_id_ = 1;
     }
+    begin_journey(packet);
     ++stats_.packets_sent;
     if (next_hop.is_unspecified()) {
         next_hop = packet.header().dst;
@@ -292,6 +313,7 @@ void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
     Interface& out = iface(interface_index);
     arp::ArpEngine* arp = out.arp();
     sim::Nic* nic = out.nic();
+    const std::uint64_t journey = fragment.journey();
     auto wire = fragment.to_wire();
     if (next_hop.is_broadcast() || next_hop.is_multicast()) {
         sim::Frame frame;
@@ -300,20 +322,22 @@ void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
                         : sim::MacAddress::multicast_for(next_hop.value());
         frame.type = net::EtherType::Ipv4;
         frame.payload = std::move(wire);
+        frame.journey = journey;
         nic->send(std::move(frame));
         return;
     }
-    arp->resolve(next_hop, [this, nic, wire = std::move(wire)](
+    arp->resolve(next_hop, [this, nic, journey, wire = std::move(wire)](
                                std::optional<sim::MacAddress> mac) {
         if (!mac) {
             ++stats_.arp_failures;
-            emit_trace(sim::TraceKind::NoRoute, "ARP resolution failed");
+            emit_trace(sim::TraceKind::NoRoute, nullptr, "ARP resolution failed");
             return;
         }
         sim::Frame frame;
         frame.dst = *mac;
         frame.type = net::EtherType::Ipv4;
         frame.payload = wire;
+        frame.journey = journey;
         nic->send(std::move(frame));
     });
 }
@@ -340,6 +364,9 @@ void IpStack::on_ip_frame(std::size_t interface_index, const sim::Frame& frame) 
     } catch (const net::ParseError&) {
         return;  // corrupted packets vanish, as on a real wire
     }
+    // The journey id rode beside the wire bytes; pick it back up so this
+    // stack's events stay correlated with the sender's.
+    packet.set_journey(frame.journey);
     ++stats_.packets_received;
 
     if (!run_filters(ingress_filters_[interface_index], packet,
@@ -371,19 +398,21 @@ void IpStack::forward(net::Packet packet, std::size_t in_interface) {
     }
     if (!packet.decrement_ttl()) {
         ++stats_.ttl_drops;
-        emit_trace(sim::TraceKind::TtlExpired,
+        emit_trace(sim::TraceKind::TtlExpired, &packet,
                    "dst " + packet.header().dst.to_string());
         return;
     }
     auto entry = routes_.lookup(packet.header().dst);
     if (!entry) {
         ++stats_.no_route_drops;
-        emit_trace(sim::TraceKind::NoRoute,
+        emit_trace(sim::TraceKind::NoRoute, &packet,
                    "forward: no route to " + packet.header().dst.to_string());
         return;
     }
     ++stats_.packets_forwarded;
     const net::Ipv4Address next_hop = entry->on_link() ? packet.header().dst : entry->gateway;
+    emit_trace(sim::TraceKind::PacketForwarded, &packet,
+               "dst " + packet.header().dst.to_string() + " via " + next_hop.to_string());
     transmit(std::move(packet), entry->interface_index, next_hop);
 }
 
@@ -394,7 +423,7 @@ bool IpStack::run_filters(
     for (const auto& rule : rules) {
         if (rule->evaluate(header) == routing::FilterVerdict::Drop) {
             ++*drop_counter;
-            emit_trace(sim::TraceKind::FilterDrop,
+            emit_trace(sim::TraceKind::FilterDrop, &packet,
                        rule->describe() + " [src " + header.src.to_string() + " dst " +
                            header.dst.to_string() + "]");
             if (filter_feedback_) {
@@ -448,6 +477,8 @@ void IpStack::deliver_local(const net::Packet& packet, std::size_t in_interface)
         ++stats_.reassembled;
     }
     ++stats_.packets_delivered;
+    emit_trace(sim::TraceKind::PacketDelivered, &*complete,
+               "proto " + std::to_string(static_cast<int>(complete->header().protocol)));
     if (complete->header().dst.is_multicast() && multicast_observer_) {
         multicast_observer_(*complete);
     }

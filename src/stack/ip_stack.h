@@ -153,6 +153,12 @@ public:
 
     void set_trace(sim::TraceSink sink) { trace_ = std::move(sink); }
 
+    /// Emits a packet-level trace event attributed to this node. The tunnel
+    /// layer uses this to report Encapsulated/Decapsulated milestones that
+    /// happen above the stack proper (virtual-interface senders, protocol
+    /// handlers) so they land in the same journey as the stack's own events.
+    void trace_packet(sim::TraceKind kind, const net::Packet& packet, std::string detail);
+
     struct Stats {
         std::size_t packets_sent = 0;
         std::size_t packets_received = 0;
@@ -188,7 +194,10 @@ private:
     /// source (when filter feedback is on).
     void send_filter_feedback(const net::Packet& dropped);
     void handle_icmp(const net::Packet& packet, std::size_t in_interface);
-    void emit_trace(sim::TraceKind kind, std::string detail);
+    void emit_trace(sim::TraceKind kind, const net::Packet* packet, std::string detail);
+    /// Assigns a journey id if the packet doesn't have one yet (i.e. this
+    /// stack is the datagram's origin) and emits the PacketSent milestone.
+    void begin_journey(net::Packet& packet);
     static FlowKey flow_from_packet(const net::Packet& packet);
 
     sim::Simulator& simulator_;

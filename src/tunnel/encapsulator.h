@@ -30,14 +30,25 @@ public:
 
     /// Wraps @p inner in an outer datagram from @p outer_src to
     /// @p outer_dst. The inner datagram is carried bit-exactly (IP-in-IP,
-    /// GRE) or reversibly compressed (minimal encapsulation).
-    virtual net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
-                                    net::Ipv4Address outer_dst,
-                                    std::uint8_t outer_ttl = net::kDefaultTtl) const = 0;
+    /// GRE) or reversibly compressed (minimal encapsulation). The outer
+    /// datagram continues the inner one's journey id, so a packet can be
+    /// traced through any number of tunnel layers.
+    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                            net::Ipv4Address outer_dst,
+                            std::uint8_t outer_ttl = net::kDefaultTtl) const {
+        net::Packet outer = do_encapsulate(inner, outer_src, outer_dst, outer_ttl);
+        outer.set_journey(inner.journey());
+        return outer;
+    }
 
-    /// Recovers the inner datagram; throws net::ParseError on malformed
-    /// input or if @p outer does not carry this scheme's protocol number.
-    virtual net::Packet decapsulate(const net::Packet& outer) const = 0;
+    /// Recovers the inner datagram (which continues the outer's journey
+    /// id); throws net::ParseError on malformed input or if @p outer does
+    /// not carry this scheme's protocol number.
+    net::Packet decapsulate(const net::Packet& outer) const {
+        net::Packet inner = do_decapsulate(outer);
+        inner.set_journey(outer.journey());
+        return inner;
+    }
 
     /// Extra wire bytes this scheme adds to @p inner.
     virtual std::size_t overhead(const net::Packet& inner) const = 0;
@@ -46,6 +57,15 @@ public:
     virtual net::IpProto protocol() const = 0;
 
     virtual std::string name() const = 0;
+
+protected:
+    /// Scheme-specific wrapping/unwrapping. Journey-id propagation is
+    /// handled once by the public non-virtual wrappers above; overrides
+    /// deal purely in wire bytes.
+    virtual net::Packet do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                                       net::Ipv4Address outer_dst,
+                                       std::uint8_t outer_ttl) const = 0;
+    virtual net::Packet do_decapsulate(const net::Packet& outer) const = 0;
 };
 
 /// Factory for the scheme enum (GRE built with no optional fields).

@@ -19,7 +19,7 @@ std::size_t GreEncapsulator::header_size() const noexcept {
     return n;
 }
 
-net::Packet GreEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+net::Packet GreEncapsulator::do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
                                          net::Ipv4Address outer_dst,
                                          std::uint8_t outer_ttl) const {
     std::uint16_t flags = 0;
@@ -58,7 +58,7 @@ net::Packet GreEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Addr
     return net::Packet(outer, w.take());
 }
 
-net::Packet GreEncapsulator::decapsulate(const net::Packet& outer) const {
+net::Packet GreEncapsulator::do_decapsulate(const net::Packet& outer) const {
     if (outer.header().protocol != net::IpProto::Gre) {
         throw net::ParseError("not a GRE packet");
     }

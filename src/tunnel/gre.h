@@ -24,10 +24,6 @@ class GreEncapsulator final : public Encapsulator {
 public:
     explicit GreEncapsulator(GreOptions options = {}) : options_(options) {}
 
-    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
-                            net::Ipv4Address outer_dst,
-                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
-    net::Packet decapsulate(const net::Packet& outer) const override;
     std::size_t overhead(const net::Packet&) const override { return header_size(); }
     net::IpProto protocol() const override { return net::IpProto::Gre; }
     std::string name() const override { return "gre"; }
@@ -36,6 +32,12 @@ public:
 
     /// Sequence counter of the next packet to be sent (when enabled).
     std::uint32_t next_sequence() const noexcept { return sequence_; }
+
+protected:
+    net::Packet do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                               net::Ipv4Address outer_dst,
+                               std::uint8_t outer_ttl) const override;
+    net::Packet do_decapsulate(const net::Packet& outer) const override;
 
 private:
     GreOptions options_;

@@ -2,7 +2,7 @@
 
 namespace mip::tunnel {
 
-net::Packet IpIpEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+net::Packet IpIpEncapsulator::do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
                                           net::Ipv4Address outer_dst,
                                           std::uint8_t outer_ttl) const {
     net::Ipv4Header outer;
@@ -14,7 +14,7 @@ net::Packet IpIpEncapsulator::encapsulate(const net::Packet& inner, net::Ipv4Add
     return net::Packet(outer, inner.to_wire());
 }
 
-net::Packet IpIpEncapsulator::decapsulate(const net::Packet& outer) const {
+net::Packet IpIpEncapsulator::do_decapsulate(const net::Packet& outer) const {
     if (outer.header().protocol != net::IpProto::IpInIp) {
         throw net::ParseError("not an IP-in-IP packet");
     }

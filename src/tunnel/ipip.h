@@ -8,13 +8,15 @@ namespace mip::tunnel {
 
 class IpIpEncapsulator final : public Encapsulator {
 public:
-    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
-                            net::Ipv4Address outer_dst,
-                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
-    net::Packet decapsulate(const net::Packet& outer) const override;
     std::size_t overhead(const net::Packet&) const override { return net::kIpv4HeaderSize; }
     net::IpProto protocol() const override { return net::IpProto::IpInIp; }
     std::string name() const override { return "ip-in-ip"; }
+
+protected:
+    net::Packet do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                               net::Ipv4Address outer_dst,
+                               std::uint8_t outer_ttl) const override;
+    net::Packet do_decapsulate(const net::Packet& outer) const override;
 };
 
 }  // namespace mip::tunnel

@@ -16,7 +16,7 @@ std::size_t MinimalEncapsulator::overhead(const net::Packet& inner) const {
     return kMinimalHeaderWithSource;
 }
 
-net::Packet MinimalEncapsulator::encapsulate(const net::Packet& inner,
+net::Packet MinimalEncapsulator::do_encapsulate(const net::Packet& inner,
                                              net::Ipv4Address outer_src,
                                              net::Ipv4Address outer_dst,
                                              std::uint8_t outer_ttl) const {
@@ -50,7 +50,7 @@ net::Packet MinimalEncapsulator::encapsulate(const net::Packet& inner,
     return net::Packet(outer, w.take());
 }
 
-net::Packet MinimalEncapsulator::decapsulate(const net::Packet& outer) const {
+net::Packet MinimalEncapsulator::do_decapsulate(const net::Packet& outer) const {
     if (outer.header().protocol != net::IpProto::MinEnc) {
         throw net::ParseError("not a minimal-encapsulation packet");
     }

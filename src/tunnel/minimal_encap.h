@@ -24,13 +24,15 @@ inline constexpr std::size_t kMinimalHeaderWithSource = 12;
 
 class MinimalEncapsulator final : public Encapsulator {
 public:
-    net::Packet encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
-                            net::Ipv4Address outer_dst,
-                            std::uint8_t outer_ttl = net::kDefaultTtl) const override;
-    net::Packet decapsulate(const net::Packet& outer) const override;
     std::size_t overhead(const net::Packet& inner) const override;
     net::IpProto protocol() const override { return net::IpProto::MinEnc; }
     std::string name() const override { return "minimal-encap"; }
+
+protected:
+    net::Packet do_encapsulate(const net::Packet& inner, net::Ipv4Address outer_src,
+                               net::Ipv4Address outer_dst,
+                               std::uint8_t outer_ttl) const override;
+    net::Packet do_decapsulate(const net::Packet& outer) const override;
 };
 
 }  // namespace mip::tunnel

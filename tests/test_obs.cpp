@@ -1,0 +1,348 @@
+// Observability subsystem (src/obs): journey correlation across
+// encapsulation and fragmentation, drop attribution, the metrics JSON
+// schema, and the pcap writer (ISSUE satellite: tests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/journey.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/pcap.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+/// The journey whose PacketSent happened at @p node (first such by id).
+const obs::PacketJourney* journey_sent_from(const obs::JourneyIndex& index,
+                                            const std::string& node) {
+    for (const auto& [id, journey] : index.journeys()) {
+        const sim::TraceEvent* sent = journey.first(sim::TraceKind::PacketSent);
+        if (sent != nullptr && sent->node == node) return &journey;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Journey correlation
+// ---------------------------------------------------------------------------
+
+// Figure 3 acceptance: one id from the correspondent's send, through the
+// home agent's encapsulation, across the tunnel — with the oversized
+// datagram fragmenting on the way — to reassembled delivery at the mobile
+// host. Every event in between carries the same journey id.
+TEST(JourneyTest, IdSurvivesEncapsulationAndFragmentation) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    world.trace.clear();
+
+    // 3000-byte payload: fragments on a 1500-byte MTU even before the
+    // tunnel header is added.
+    transport::Pinger pinger(ch.stack());
+    bool answered = false;
+    pinger.ping(world.mh_home_addr(),
+                [&](auto rtt) { answered = rtt.has_value(); }, sim::seconds(5),
+                /*payload_size=*/3000);
+    world.run_for(sim::seconds(6));
+    ASSERT_TRUE(answered);
+
+    const obs::JourneyIndex index(world.trace.events());
+    const obs::PacketJourney* request = journey_sent_from(index, "ch0");
+    ASSERT_NE(request, nullptr) << "no journey originating at ch0";
+
+    // In-IE: the home agent wraps the request, the mobile host unwraps it.
+    EXPECT_GE(request->count(sim::TraceKind::Encapsulated), 1u) << request->to_string();
+    const sim::TraceEvent* encap = request->first(sim::TraceKind::Encapsulated);
+    ASSERT_NE(encap, nullptr);
+    EXPECT_EQ(encap->node, "home-agent");
+    EXPECT_GE(request->count(sim::TraceKind::Decapsulated), 1u);
+    EXPECT_TRUE(request->delivered()) << request->to_string();
+
+    // Fragmentation multiplied the frames but not the journeys: the path
+    // still starts at the correspondent and ends at the mobile host.
+    EXPECT_GT(request->hops(), request->node_path().size())
+        << "expected more link hops than nodes once fragments fan out";
+    const auto path = request->node_path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), "ch0");
+    EXPECT_EQ(path.back(), "mobile-host");
+}
+
+// The reverse direction of the same acceptance: the mobile host's Out-IE
+// reply enters the tunnel at the mobile host and exits at the home agent —
+// one id end to end ("traversing the tunnel in the opposite direction").
+TEST(JourneyTest, IdSurvivesReverseTunnel) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;  // make Out-IE mandatory
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    world.mobile_host().force_mode(ch.address(), OutMode::IE);
+    world.trace.clear();
+
+    transport::Pinger pinger(world.mobile_host().stack());
+    bool answered = false;
+    pinger.ping(ch.address(), [&](auto rtt) { answered = rtt.has_value(); },
+                sim::seconds(5), 56, world.mh_home_addr());
+    world.run_for(sim::seconds(6));
+    ASSERT_TRUE(answered);
+
+    const obs::JourneyIndex index(world.trace.events());
+    const obs::PacketJourney* request = journey_sent_from(index, "mobile-host");
+    ASSERT_NE(request, nullptr);
+    const sim::TraceEvent* encap = request->first(sim::TraceKind::Encapsulated);
+    ASSERT_NE(encap, nullptr) << request->to_string();
+    EXPECT_EQ(encap->node, "mobile-host");
+    const sim::TraceEvent* decap = request->first(sim::TraceKind::Decapsulated);
+    ASSERT_NE(decap, nullptr);
+    EXPECT_EQ(decap->node, "home-agent");
+    EXPECT_TRUE(request->delivered()) << request->to_string();
+}
+
+// Figure 2 acceptance: a filtered journey ends with a FilterDrop that
+// names the boundary router and the rule that matched.
+TEST(JourneyTest, FilterDropNamesRouterAndRule) {
+    WorldConfig cfg;
+    cfg.foreign_egress_antispoof = true;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    world.mobile_host().force_mode(ch.address(), OutMode::DH);
+    world.trace.clear();
+
+    transport::Pinger pinger(world.mobile_host().stack());
+    bool answered = false;
+    pinger.ping(ch.address(), [&](auto rtt) { answered = rtt.has_value(); },
+                sim::seconds(2), 56, world.mh_home_addr());
+    world.run_for(sim::seconds(3));
+    EXPECT_FALSE(answered);  // the filter must have eaten the request
+
+    const obs::JourneyIndex index(world.trace.events());
+    const obs::PacketJourney* request = journey_sent_from(index, "mobile-host");
+    ASSERT_NE(request, nullptr);
+    EXPECT_FALSE(request->delivered());
+    const sim::TraceEvent* drop = request->drop();
+    ASSERT_NE(drop, nullptr) << request->to_string();
+    EXPECT_EQ(drop->kind, sim::TraceKind::FilterDrop);
+    EXPECT_EQ(drop->node, "foreign-gw");
+    // The detail carries the rule's own description plus the addresses.
+    EXPECT_NE(drop->detail.find("[src"), std::string::npos) << drop->detail;
+    EXPECT_FALSE(drop->detail.substr(0, drop->detail.find(" [")).empty());
+}
+
+TEST(JourneyTest, IndexSkipsNonJourneyEvents) {
+    std::vector<sim::TraceEvent> events(3);
+    events[0].kind = sim::TraceKind::FrameTx;
+    events[0].packet_id = 0;  // ARP chatter
+    events[1].kind = sim::TraceKind::PacketSent;
+    events[1].packet_id = 7;
+    events[1].node = "a";
+    events[2].kind = sim::TraceKind::PacketDelivered;
+    events[2].packet_id = 7;
+    events[2].node = "b";
+
+    obs::JourneyIndex index(events);
+    EXPECT_EQ(index.size(), 1u);
+    ASSERT_NE(index.find(7), nullptr);
+    EXPECT_TRUE(index.find(7)->delivered());
+    EXPECT_EQ(index.find(0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry and schema
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, SnapshotRoundTripsThroughJson) {
+    obs::MetricsRegistry reg;
+    reg.counter("node-a", "ip", "widgets").add(3);
+    auto& h = reg.histogram("node-a", "probe", "rtt_ns", obs::rtt_bounds_ns());
+    h.observe(1.5e6);
+    h.observe(3.0e6);
+    h.observe(2.5e9);
+    double g = 4.25;
+    reg.register_gauge("node-b", "handoff", "handoffs", [&g] { return g; });
+
+    const obs::JsonValue doc = reg.snapshot("test_bench", "case1", 123456789);
+    EXPECT_TRUE(obs::validate_metrics_document(doc).empty());
+
+    // dump -> parse must reproduce the document exactly (deterministic,
+    // integer-preserving serialization).
+    const std::string text = doc.dump(2);
+    const obs::JsonValue parsed = obs::JsonValue::parse(text);
+    EXPECT_EQ(parsed, doc);
+    EXPECT_TRUE(obs::validate_metrics_document(parsed).empty());
+
+    // Spot-check the rendered fields.
+    EXPECT_EQ(parsed.at("bench").as_string(), "test_bench");
+    EXPECT_EQ(parsed.at("label").as_string(), "case1");
+    EXPECT_EQ(parsed.at("time_ns").as_number(), 123456789.0);
+    const auto& metrics = parsed.at("metrics").as_array();
+    ASSERT_EQ(metrics.size(), 3u);
+    // Sorted by (node, layer, name): counter, histogram, gauge.
+    EXPECT_EQ(metrics[0].at("kind").as_string(), "counter");
+    EXPECT_EQ(metrics[0].at("value").as_number(), 3.0);
+    EXPECT_EQ(metrics[1].at("kind").as_string(), "histogram");
+    EXPECT_EQ(metrics[1].at("count").as_number(), 3.0);
+    EXPECT_EQ(metrics[2].at("kind").as_string(), "gauge");
+    EXPECT_EQ(metrics[2].at("value").as_number(), 4.25);
+
+    // Gauges are polled at snapshot time, not registration time.
+    g = 9.0;
+    EXPECT_EQ(reg.gauge_value("node-b", "handoff", "handoffs"), 9.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAreCumulative) {
+    obs::Histogram h({1.0, 10.0, 100.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(5000.0);  // beyond the last bound: only in the implicit +inf
+    EXPECT_EQ(h.count(), 4u);
+    const auto& counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 3u);
+    EXPECT_EQ(h.min(), 0.5);
+    EXPECT_EQ(h.max(), 5000.0);
+}
+
+TEST(MetricsTest, ValidatorRejectsNonConformingDocuments) {
+    obs::MetricsRegistry reg;
+    reg.counter("n", "l", "c").add(1);
+    obs::JsonValue doc = reg.snapshot("b", "l", 1);
+    ASSERT_TRUE(obs::validate_metrics_document(doc).empty());
+
+    obs::JsonValue bad_version = doc;
+    bad_version["schema_version"] = obs::JsonValue(2);
+    EXPECT_FALSE(obs::validate_metrics_document(bad_version).empty());
+
+    obs::JsonValue negative_counter = doc;
+    negative_counter["metrics"].as_array()[0]["value"] = obs::JsonValue(-1);
+    EXPECT_FALSE(obs::validate_metrics_document(negative_counter).empty());
+
+    obs::JsonValue bad_kind = doc;
+    bad_kind["metrics"].as_array()[0]["kind"] = obs::JsonValue("bogus");
+    EXPECT_FALSE(obs::validate_metrics_document(bad_kind).empty());
+
+    EXPECT_FALSE(obs::validate_metrics_document(obs::JsonValue("not an object")).empty());
+}
+
+TEST(MetricsTest, GaugeValueThrowsOnUnknownTriple) {
+    obs::MetricsRegistry reg;
+    EXPECT_THROW(reg.gauge_value("no", "such", "gauge"), obs::JsonError);
+}
+
+// A real World publishes the gauges the benches read: exercise one run and
+// validate the whole exported document against the schema.
+TEST(MetricsTest, WorldSnapshotIsSchemaValid) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    transport::Pinger pinger(world.mobile_host().stack());
+    pinger.ping(ch.address(), [](auto) {}, sim::seconds(2), 56, world.mh_home_addr());
+    world.run_for(sim::seconds(3));
+
+    const obs::JsonValue doc = world.metrics.snapshot("test", "world", world.sim.now());
+    const auto problems = obs::validate_metrics_document(doc);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+    EXPECT_GT(doc.at("metrics").as_array().size(), 20u)
+        << "expected ip/tunnel/mobileip/wire gauges from every node";
+    // The registry view agrees with the node's own Stats struct.
+    EXPECT_EQ(world.metrics.gauge_value("home-agent", "tunnel", "packets_tunneled"),
+              double(world.home_agent().stats().packets_tunneled));
+}
+
+// ---------------------------------------------------------------------------
+// Pcap writer
+// ---------------------------------------------------------------------------
+
+namespace pcap {
+
+std::uint32_t u32(const std::vector<std::uint8_t>& b, std::size_t off) {
+    return std::uint32_t(b[off]) | std::uint32_t(b[off + 1]) << 8 |
+           std::uint32_t(b[off + 2]) << 16 | std::uint32_t(b[off + 3]) << 24;
+}
+std::uint16_t u16(const std::vector<std::uint8_t>& b, std::size_t off) {
+    return std::uint16_t(b[off]) | std::uint16_t(b[off + 1]) << 8;
+}
+
+}  // namespace pcap
+
+TEST(PcapTest, FileParsesBackToTheCapturedFrames) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "m4x4_test_obs.pcap").string();
+
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    {
+        obs::PcapWriter writer(world.sim, path);
+        writer.attach(world.home_lan());
+        ASSERT_TRUE(world.attach_mobile_foreign());
+        transport::Pinger pinger(ch.stack());
+        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        world.run_for(sim::seconds(3));
+        ASSERT_GT(writer.frames_written(), 0u);
+        writer.close();
+
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+
+        // Global header: magic, version 2.4, snaplen, LINKTYPE_ETHERNET.
+        ASSERT_GE(bytes.size(), 24u);
+        EXPECT_EQ(pcap::u32(bytes, 0), 0xa1b2c3d4u);
+        EXPECT_EQ(pcap::u16(bytes, 4), 2u);
+        EXPECT_EQ(pcap::u16(bytes, 6), 4u);
+        EXPECT_EQ(pcap::u32(bytes, 16), 65535u);
+        EXPECT_EQ(pcap::u32(bytes, 20), 1u);
+
+        // Walk the records: headers consistent, Ethernet-sized, monotone
+        // timestamps, and exactly frames_written() of them.
+        std::size_t off = 24, records = 0;
+        std::uint64_t prev_ts = 0;
+        while (off < bytes.size()) {
+            ASSERT_GE(bytes.size() - off, 16u) << "truncated record header";
+            const std::uint64_t ts =
+                std::uint64_t(pcap::u32(bytes, off)) * 1000000 + pcap::u32(bytes, off + 4);
+            const std::uint32_t incl = pcap::u32(bytes, off + 8);
+            const std::uint32_t orig = pcap::u32(bytes, off + 12);
+            EXPECT_GE(ts, prev_ts) << "timestamps must not go backwards";
+            prev_ts = ts;
+            EXPECT_EQ(incl, orig) << "nothing should be truncated under a 64 KiB snaplen";
+            ASSERT_GE(incl, 14u) << "every record carries an Ethernet header";
+            ASSERT_GE(bytes.size() - off - 16, incl) << "truncated record body";
+            const std::uint16_t ethertype =
+                std::uint16_t(bytes[off + 16 + 12]) << 8 | bytes[off + 16 + 13];
+            EXPECT_TRUE(ethertype == 0x0800 || ethertype == 0x0806)
+                << "unexpected ethertype " << ethertype;
+            off += 16 + incl;
+            ++records;
+        }
+        EXPECT_EQ(off, bytes.size());
+        EXPECT_EQ(records, writer.frames_written());
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(PcapTest, ThrowsWhenFileCannotBeCreated) {
+    sim::Simulator simulator;
+    EXPECT_THROW(obs::PcapWriter(simulator, "/nonexistent-dir/x.pcap"),
+                 std::runtime_error);
+}
+
+}  // namespace
