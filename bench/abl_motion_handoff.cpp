@@ -11,6 +11,7 @@
 
 #include "mobility/handoff.h"
 #include "mobility/motion.h"
+#include "obs/journey.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -56,6 +57,12 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
         .add(world.foreign_cell(Region::rect(400 - overlap_m, 0, 800, 100)))
         .add(world.corr_cell(Region::rect(800 - overlap_m, 0, 1200, 100)));
     world.with_mobility(std::move(model), std::move(map));
+
+    // Sample the registry across the whole ride so handoff counters and
+    // dead-zone gauges come out as time series, not just end totals.
+    obs::MetricsSampler sampler(world.sim, world.metrics,
+                                {.interval = sim::milliseconds(100)});
+    sampler.start();
     world.run_for(sim::milliseconds(200));  // initial home attach
 
     auto& conn = mh.tcp().connect(ch.address(), 7700);
@@ -95,9 +102,28 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
     out.ping_delivery =
         pings_sent > 0 ? static_cast<double>(pings_delivered) / pings_sent : 0.0;
     out.tcp_ok = conn.alive() && echoed == tcp_sent;
-    bench::export_metrics(world, "abl_motion_handoff",
-                          "v" + std::to_string(static_cast<int>(speed_mps)) +
-                              "_ov" + std::to_string(static_cast<int>(overlap_m)));
+    sampler.stop();
+    const std::string label = "v" + std::to_string(static_cast<int>(speed_mps)) +
+                              "_ov" + std::to_string(static_cast<int>(overlap_m));
+    bench::export_metrics(world, "abl_motion_handoff", label);
+    bench::export_timeseries(sampler, "abl_motion_handoff", label);
+    if (std::getenv("M4X4_PERFETTO_DIR") != nullptr && world.has_mobility()) {
+        // Timeline view of the ride: one span per handoff (detection ->
+        // registration complete) plus the sampled counter tracks. Open the
+        // written file in ui.perfetto.dev.
+        obs::ChromeTraceWriter writer;
+        for (const auto& rec : world.handoff().stats().records) {
+            obs::JsonValue::Object args;
+            args["attach_attempts"] = static_cast<std::uint64_t>(rec.attach_attempts);
+            args["packets_lost_in_gap"] =
+                static_cast<std::uint64_t>(rec.packets_lost_in_gap);
+            args["success"] = rec.success;
+            writer.add_span("handoffs", rec.detected_at, rec.completed_at,
+                            rec.from + " -> " + rec.to, std::move(args));
+        }
+        writer.add_series(sampler);
+        bench::export_perfetto(writer, "abl_motion_handoff", label);
+    }
     return out;
 }
 

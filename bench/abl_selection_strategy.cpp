@@ -23,6 +23,9 @@ struct StrategyOutcome {
     OutMode final_mode = OutMode::IE;
     std::size_t downgrades = 0;
     std::size_t probes = 0;
+    /// The audit trail behind final_mode: every mode flip with its
+    /// triggering test (docs/TRACE_FORMAT.md §6).
+    std::string decision_chain;
 };
 
 std::unique_ptr<SelectionStrategy> make_strategy(int kind, const World& world) {
@@ -55,7 +58,14 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     mcfg.cache.failure_threshold = 2;
     mcfg.cache.upgrade_after = 4;
     MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    world.enable_decision_log();
     if (!world.attach_mobile_foreign()) return {};
+
+    // Sample the registry over the conversation so the mode flips show up
+    // as time series (and Perfetto counter tracks), not just end totals.
+    mip::obs::MetricsSampler sampler(world.sim, world.metrics,
+                                     {.interval = sim::milliseconds(100)});
+    sampler.start();
 
     const auto start = world.sim.now();
     auto& conn = mh.tcp().connect(ch.address(), 7100);
@@ -77,10 +87,20 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     out.final_mode = mh.mode_for(ch.address());
     out.downgrades = mh.method_cache().stats().downgrades;
     out.probes = mh.method_cache().stats().upgrades_probed;
+    out.decision_chain = world.decisions.chain_string(ch.address().to_string(), "      ");
+    sampler.stop();
     static const char* kLabels[] = {"conservative", "aggressive", "rule_based"};
-    bench::export_metrics(world, "abl_selection_strategy",
-                          std::string(kLabels[kind]) +
-                              (ch_in_home_domain ? "_filtered" : "_permissive"));
+    const std::string label = std::string(kLabels[kind]) +
+                              (ch_in_home_domain ? "_filtered" : "_permissive");
+    bench::export_metrics(world, "abl_selection_strategy", label);
+    bench::export_timeseries(sampler, "abl_selection_strategy", label);
+    bench::export_decisions(world.decisions, "abl_selection_strategy", label);
+    if (std::getenv("M4X4_PERFETTO_DIR") != nullptr) {
+        mip::obs::ChromeTraceWriter writer;
+        writer.add_series(sampler);
+        writer.add_decisions(world.decisions);
+        bench::export_perfetto(writer, "abl_selection_strategy", label);
+    }
     return out;
 }
 
@@ -103,6 +123,9 @@ void print_figure() {
             std::printf("  %-20s  %9s  %12.1f  %7zu  %-7s  %10zu  %7zu\n", kNames[kind],
                         bench::yn(o.connected), o.connect_ms, o.retransmissions,
                         to_string(o.final_mode).c_str(), o.downgrades, o.probes);
+            std::printf("    decision chain:\n%s",
+                        o.decision_chain.empty() ? "      (no decisions recorded)\n"
+                                                 : o.decision_chain.c_str());
         }
     }
     std::printf(

@@ -1,0 +1,226 @@
+// bench_perf — the simulator measuring itself (ISSUE: time-resolved
+// observability, part c; ROADMAP north star: a simulator that runs as
+// fast as the hardware allows).
+//
+// Three scenario sizes (small / medium / large: wider backbones, more
+// correspondents, longer conversations) each run twice over identical
+// simulated workloads:
+//
+//   baseline      profiler and sampler detached — the product default,
+//                 where instrumentation must cost one pointer compare
+//   instrumented  SimProfiler attached and a MetricsSampler ticking —
+//                 per-kind dispatch timing, queue-depth gauges, series
+//
+// For each run we report events dispatched, wall-clock time, and
+// events/sec; the baseline-vs-instrumented delta is the measured price of
+// the instrumentation (and the baseline itself is the evidence that the
+// disabled path stays fast). Results go to stdout and to BENCH_perf.json
+// (M4X4_BENCH_PERF_OUT overrides the path; under M4X4_SMOKE the file is
+// only written when that override is set, so smoke runs do not clobber a
+// real machine baseline with tiny-scenario numbers).
+//
+// Wall-clock numbers are machine-dependent by nature; everything else
+// this repo emits is deterministic, which is why bench_perf has its own
+// output file instead of polluting the metrics snapshots.
+#include "common.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <vector>
+
+#include "obs/profile.h"
+#include "sim/profiler.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+struct PerfScenario {
+    const char* name;
+    int backbone_routers;
+    int correspondents;
+    sim::Duration sim_time;
+    std::size_t tcp_bytes;  ///< payload pushed to each correspondent
+};
+
+struct RunStats {
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+    double sim_seconds = 0.0;
+    // Instrumented runs only:
+    std::size_t max_queue_depth = 0;
+    std::size_t max_cancelled = 0;
+    std::uint64_t samples = 0;
+    std::string profile_summary;
+};
+
+std::vector<PerfScenario> scenarios() {
+    if (bench::smoke_mode()) {
+        return {
+            {"small", 2, 1, sim::seconds(3), 16 * 1024},
+            {"medium", 4, 2, sim::seconds(3), 32 * 1024},
+            {"large", 6, 2, sim::seconds(5), 64 * 1024},
+        };
+    }
+    return {
+        {"small", 2, 1, sim::seconds(15), 128 * 1024},
+        {"medium", 8, 3, sim::seconds(30), 512 * 1024},
+        {"large", 16, 6, sim::seconds(60), 1024 * 1024},
+    };
+}
+
+RunStats run_scenario(const PerfScenario& sc, bool instrumented) {
+    WorldConfig cfg;
+    cfg.backbone_routers = sc.backbone_routers;
+    World world{cfg};
+
+    std::vector<CorrespondentHost*> correspondents;
+    for (int i = 0; i < sc.correspondents; ++i) {
+        CorrespondentHost& ch = world.create_correspondent(
+            {}, Placement::CorrLan, static_cast<std::uint32_t>(20 + i));
+        ch.tcp().listen(7200, [](transport::TcpConnection& c) {
+            c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+                c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+            });
+        });
+        correspondents.push_back(&ch);
+    }
+
+    MobileHost& mh = world.create_mobile_host();
+    if (!world.attach_mobile_foreign()) return {};
+
+    sim::SimProfiler profiler;
+    obs::MetricsSampler sampler(world.sim, world.metrics,
+                                {.interval = sim::milliseconds(100)});
+    if (instrumented) {
+        world.sim.set_profiler(&profiler);
+        sampler.start();
+    }
+
+    // The measured workload: one echoed TCP conversation per
+    // correspondent, all concurrent, driven to the scenario's horizon.
+    // Identical simulated work either way — the only difference between
+    // the two runs is the attached instrumentation.
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t events_before = world.sim.events_fired();
+    const sim::TimePoint sim_start = world.sim.now();
+
+    std::vector<transport::TcpConnection*> conns;
+    for (CorrespondentHost* ch : correspondents) {
+        auto& conn = mh.tcp().connect(ch->address(), 7200);
+        conn.send(std::vector<std::uint8_t>(sc.tcp_bytes, 0x42));
+        conns.push_back(&conn);
+    }
+    world.run_for(sc.sim_time);
+    for (transport::TcpConnection* conn : conns) conn->close();
+    world.run_for(sim::milliseconds(500));
+
+    const auto wall_end = std::chrono::steady_clock::now();
+    RunStats r;
+    r.events = world.sim.events_fired() - events_before;
+    r.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+    r.events_per_sec = r.wall_ms > 0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0;
+    r.sim_seconds = static_cast<double>(world.sim.now() - sim_start) / 1e9;
+
+    if (instrumented) {
+        world.sim.set_profiler(nullptr);
+        sampler.stop();
+        r.max_queue_depth = profiler.max_queue_depth();
+        r.max_cancelled = profiler.max_cancelled_size();
+        r.samples = sampler.samples_taken();
+        r.profile_summary = profiler.summary();
+        // Bridge the profiler into the registry so the exported snapshot
+        // and time series carry the ("simulator", ...) gauges too.
+        obs::publish_profiler(profiler, world.sim, world.metrics);
+        sampler.sample_now();
+        bench::export_metrics(world, "bench_perf", sc.name);
+        bench::export_timeseries(sampler, "bench_perf", sc.name);
+        if (std::getenv("M4X4_PERFETTO_DIR") != nullptr) {
+            obs::ChromeTraceWriter writer;
+            writer.add_series(sampler);
+            bench::export_perfetto(writer, "bench_perf", sc.name);
+        }
+    }
+    return r;
+}
+
+obs::JsonValue::Object run_to_json(const RunStats& r) {
+    obs::JsonValue::Object o;
+    o["events"] = r.events;
+    o["wall_ms"] = r.wall_ms;
+    o["events_per_sec"] = r.events_per_sec;
+    o["sim_seconds"] = r.sim_seconds;
+    return o;
+}
+
+void write_report(const obs::JsonValue& doc) {
+    const char* out = std::getenv("M4X4_BENCH_PERF_OUT");
+    if (bench::smoke_mode() && (out == nullptr || out[0] == '\0')) {
+        // Smoke scenarios are deliberately tiny; their wall-clock numbers
+        // would overwrite a meaningful baseline.
+        return;
+    }
+    const std::string path = (out != nullptr && out[0] != '\0') ? out : "BENCH_perf.json";
+    std::ofstream f(path);
+    f << doc.dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void print_figure() {
+    bench::print_header(
+        "bench_perf: simulator self-measurement",
+        "Each scenario runs the same simulated workload twice: baseline\n"
+        "(profiler and sampler detached — the default) and instrumented\n"
+        "(SimProfiler attached, MetricsSampler ticking every 100ms).\n"
+        "events/sec is the discrete-event dispatch rate in wall time.");
+
+    obs::JsonValue::Array rows;
+    std::string largest_profile;
+    std::printf("%-8s %6s %10s %12s %14s %12s %14s %9s\n", "size", "sim(s)", "events",
+                "base wall ms", "base ev/s", "inst wall ms", "inst ev/s", "overhead");
+    for (const PerfScenario& sc : scenarios()) {
+        const RunStats base = run_scenario(sc, /*instrumented=*/false);
+        const RunStats inst = run_scenario(sc, /*instrumented=*/true);
+        const double overhead_pct =
+            base.wall_ms > 0 ? (inst.wall_ms - base.wall_ms) / base.wall_ms * 100.0 : 0.0;
+
+        std::printf("%-8s %6.1f %10" PRIu64 " %12.1f %14.0f %12.1f %14.0f %8.1f%%\n",
+                    sc.name, base.sim_seconds, base.events, base.wall_ms,
+                    base.events_per_sec, inst.wall_ms, inst.events_per_sec,
+                    overhead_pct);
+
+        obs::JsonValue::Object row;
+        row["name"] = sc.name;
+        row["backbone_routers"] = sc.backbone_routers;
+        row["correspondents"] = sc.correspondents;
+        row["tcp_bytes"] = static_cast<std::uint64_t>(sc.tcp_bytes);
+        row["baseline"] = run_to_json(base);
+        obs::JsonValue::Object instr = run_to_json(inst);
+        instr["max_queue_depth"] = static_cast<std::uint64_t>(inst.max_queue_depth);
+        instr["max_cancelled"] = static_cast<std::uint64_t>(inst.max_cancelled);
+        instr["sampler_samples"] = inst.samples;
+        row["instrumented"] = std::move(instr);
+        row["instrumentation_overhead_pct"] = overhead_pct;
+        rows.emplace_back(std::move(row));
+        largest_profile = inst.profile_summary;
+    }
+
+    std::printf("\nper-kind profile of the largest scenario (instrumented run):\n%s\n",
+                largest_profile.c_str());
+
+    obs::JsonValue::Object doc;
+    doc["schema_version"] = 1;
+    doc["kind"] = "bench_perf";
+    doc["smoke"] = bench::smoke_mode();
+    doc["scenarios"] = std::move(rows);
+    write_report(obs::JsonValue(std::move(doc)));
+}
+
+}  // namespace
+
+int main() {
+    print_figure();
+    return 0;
+}

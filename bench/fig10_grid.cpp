@@ -14,6 +14,9 @@
 // match classify_combo() — the paper's shading — exactly.
 #include "common.h"
 
+#include <utility>
+#include <vector>
+
 #include "transport/udp_service.h"
 
 using namespace mip;
@@ -25,6 +28,10 @@ struct CellResult {
     bool works = false;
     double rtt_ms = 0.0;
     std::size_t ip_bytes = 0;
+    /// The delivery-decision audit trail behind this cell (docs/
+    /// TRACE_FORMAT.md §6): why the mobile host answered in the mode the
+    /// column dictates.
+    std::string decision_chain;
 };
 
 constexpr std::uint16_t kServicePort = 7000;
@@ -50,6 +57,7 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
     MobileHostConfig mcfg = world.mobile_config();
     mcfg.enable_port_heuristics = false;  // the cell dictates the mode, not ports
     MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    world.enable_decision_log();
     if (!world.attach_mobile_foreign()) return {};
     if (ch_mobile_aware) {
         ch.learn_binding(world.mh_home_addr(), world.mh_care_of_addr(), sim::seconds(3600));
@@ -61,6 +69,21 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
     auto responder = mh.udp().open(kServicePort);
     if (out == OutMode::DT) {
         responder->bind_address(world.mh_care_of_addr());
+        // Out-DT traffic never consults the method cache (the care-of
+        // address is a plain local source); record the cell's configured
+        // choice by hand so every cell's chain is non-empty.
+        mip::obs::DecisionEvent ev;
+        ev.when = world.sim.now();
+        ev.node = "mobile-host";
+        ev.correspondent = ch.address().to_string();
+        ev.trigger = "forced";
+        ev.test = "cell-config";
+        ev.input = "bind care-of address";
+        ev.passed = true;
+        ev.from_mode = to_string(OutMode::DT);
+        ev.to_mode = to_string(OutMode::DT);
+        ev.detail = "Out-DT bypasses the method cache";
+        world.decisions.record(std::move(ev));
     } else {
         responder->bind_address(world.mh_home_addr());
         mh.force_mode(ch.address(), out);
@@ -101,9 +124,11 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
     r.works = accepted;
     r.rtt_ms = accepted ? sim::to_milliseconds(got_at - sent_at) : 0.0;
     r.ip_bytes = world.trace.ip_tx_bytes();
-    bench::export_metrics(world, "fig10",
-                          to_string(in) + "_" + to_string(out) +
-                              (foreign_filter ? "_filtered" : ""));
+    r.decision_chain = world.decisions.chain_string(ch.address().to_string());
+    const std::string label =
+        to_string(in) + "_" + to_string(out) + (foreign_filter ? "_filtered" : "");
+    bench::export_metrics(world, "fig10", label);
+    bench::export_decisions(world.decisions, "fig10", label);
     return r;
 }
 
@@ -131,10 +156,13 @@ void print_figure() {
 
     int mismatches = 0;
     GridCensus measured;
+    std::vector<std::pair<std::string, std::string>> chains;
     for (InMode in : kAllInModes) {
         std::printf("%-8s", to_string(in).c_str());
         for (OutMode out : kAllOutModes) {
             const CellResult cell = run_cell(in, out);
+            chains.emplace_back("In-" + to_string(in) + " x Out-" + to_string(out),
+                                cell.decision_chain);
             const ComboClass predicted = classify_combo(in, out);
             const bool should_work = predicted != ComboClass::Broken;
             const bool agree = cell.works == should_work;
@@ -161,6 +189,17 @@ void print_figure() {
         "Shape check: working cells get cheaper left to right (less\n"
         "encapsulation, shorter paths) and faster down the rows (In-IE\n"
         "detours via the home agent; In-DH/DT go direct).\n\n");
+
+    // --- the audit trail behind the grid -----------------------------------
+    // Every cell's outgoing mode is the end of a recorded decision chain
+    // (docs/TRACE_FORMAT.md §6): which test ran, its input, pass/fail, and
+    // the mode transition it caused.
+    std::printf("decision chains (why each cell answered in its column's mode):\n");
+    for (const auto& [cell, chain] : chains) {
+        std::printf("%s:\n%s", cell.c_str(),
+                    chain.empty() ? "  (no decisions recorded)\n" : chain.c_str());
+    }
+    std::printf("\n");
 
     // --- the abstract's second dimension: network permissiveness -----------
     // The same grid under a visited network that filters foreign sources:

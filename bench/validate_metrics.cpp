@@ -1,13 +1,16 @@
-// Schema validator for exported metrics snapshots (docs/TRACE_FORMAT.md §4).
+// Schema validator for exported observability documents: metrics
+// snapshots (docs/TRACE_FORMAT.md §4), time-series exports (§5) and
+// delivery-decision logs (§6), dispatched by each document's top-level
+// "kind" field (absent = §4 snapshot, the original format).
 //
 // Usage: validate_metrics <dir-or-file>...
 //
-// Parses every *.json under each argument and runs it through
-// obs::validate_metrics_document — the same checker the unit tests use, so
-// the schema the benches emit and the schema bench_smoke enforces cannot
-// drift apart. Exits non-zero if any file is unparsable or non-conforming,
-// or if no file was found at all (an empty run means the benches silently
-// stopped exporting, which is itself a failure).
+// Parses every *.json under each argument and runs it through the
+// matching obs::validate_*_document — the same checkers the unit tests
+// use, so the schemas the benches emit and the schemas bench_smoke
+// enforces cannot drift apart. Exits non-zero if any file is unparsable
+// or non-conforming, or if no file was found at all (an empty run means
+// the benches silently stopped exporting, which is itself a failure).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -16,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/decision.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace fs = std::filesystem;
 
@@ -39,7 +44,20 @@ int check_file(const fs::path& path) {
         std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), e.what());
         return 1;
     }
-    const auto problems = mip::obs::validate_metrics_document(doc);
+    // Dispatch on the top-level "kind": timeseries (§5) and decisions
+    // (§6) tag themselves; §4 metrics snapshots predate the field.
+    std::string kind;
+    if (doc.is_object() && doc.contains("kind") && doc.at("kind").is_string()) {
+        kind = doc.at("kind").as_string();
+    }
+    std::vector<std::string> problems;
+    if (kind == "timeseries") {
+        problems = mip::obs::validate_timeseries_document(doc);
+    } else if (kind == "decisions") {
+        problems = mip::obs::validate_decisions_document(doc);
+    } else {
+        problems = mip::obs::validate_metrics_document(doc);
+    }
     for (const auto& p : problems) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
     }

@@ -53,7 +53,8 @@ void ArpEngine::resolve(net::Ipv4Address target, ResolveCallback cb) {
     it->second.attempts = 1;
     send_request(target);
     it->second.retry_event =
-        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); });
+        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); },
+                               "arp-retry");
 }
 
 void ArpEngine::retry(net::Ipv4Address target) {
@@ -68,7 +69,8 @@ void ArpEngine::retry(net::Ipv4Address target) {
     ++it->second.attempts;
     send_request(target);
     it->second.retry_event =
-        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); });
+        simulator_.schedule_in(config_.request_interval, [this, target] { retry(target); },
+                               "arp-retry");
 }
 
 void ArpEngine::learn(net::Ipv4Address ip, sim::MacAddress mac) {

@@ -1,5 +1,9 @@
 #include "core/capability_probe.h"
 
+#include <cstdio>
+
+#include "obs/decision.h"
+
 namespace mip::core {
 
 namespace {
@@ -32,6 +36,24 @@ std::string ProbeReport::summary() const {
 CapabilityProber::CapabilityProber(MobileHost& mh, ProbeConfig config)
     : mh_(mh), config_(config), pinger_(mh.stack()) {}
 
+void CapabilityProber::note(net::Ipv4Address dst, const char* test, std::string input,
+                            bool passed, OutMode mode, std::string detail) {
+    obs::DecisionLog* log = mh_.method_cache().decision_log();
+    if (log == nullptr) return;
+    obs::DecisionEvent ev;
+    ev.when = mh_.simulator().now();
+    ev.node = mh_.name();
+    ev.correspondent = dst.to_string();
+    ev.trigger = "probe";
+    ev.test = test;
+    ev.input = std::move(input);
+    ev.passed = passed;
+    ev.from_mode = to_string(mode);
+    ev.to_mode = to_string(mode);
+    ev.detail = std::move(detail);
+    log->record(std::move(ev));
+}
+
 void CapabilityProber::probe(net::Ipv4Address correspondent, Callback done,
                              bool apply_to_cache) {
     auto s = std::make_shared<Session>();
@@ -61,6 +83,10 @@ void CapabilityProber::advance(std::shared_ptr<Session> s) {
         } else {
             s->report.recommended = OutMode::IE;
         }
+        note(s->dst, "recommendation", s->report.summary(),
+             s->report.any_home_mode_works, s->report.recommended,
+             s->apply_to_cache ? "applying recommendation to cache"
+                               : "report only; cache restored");
         if (s->apply_to_cache) {
             mh_.force_mode(s->dst, s->report.recommended);
         } else if (s->had_entry && s->saved_entry.forced) {
@@ -82,6 +108,8 @@ void CapabilityProber::advance(std::shared_ptr<Session> s) {
         if (src.is_unspecified()) {
             // No care-of address of our own (e.g. attached via a foreign
             // agent): Out-DT is structurally unavailable.
+            note(s->dst, "availability", "care-of address unspecified", false, mode,
+                 "Out-DT structurally unavailable; skipped");
             advance(std::move(s));
             return;
         }
@@ -99,6 +127,12 @@ void CapabilityProber::advance(std::shared_ptr<Session> s) {
             s->report.mode_works[idx] = rtt.has_value();
             if (rtt) {
                 s->report.mode_rtt_ms[idx] = sim::to_milliseconds(*rtt);
+                char input[48];
+                std::snprintf(input, sizeof input, "rtt=%.3fms",
+                              s->report.mode_rtt_ms[idx]);
+                note(s->dst, "probe-ping", input, true, mode, "echo reply received");
+            } else {
+                note(s->dst, "probe-ping", "timeout", false, mode, "no echo reply");
             }
             advance(std::move(s));
         },

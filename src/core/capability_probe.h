@@ -61,6 +61,10 @@ private:
     struct Session;
     /// Launches the next unprobed mode, or finalizes the report.
     void advance(std::shared_ptr<Session> s);
+    /// Records one per-mode probe step into the host's decision log (via
+    /// the method cache's attached obs::DecisionLog; no-op when detached).
+    void note(net::Ipv4Address dst, const char* test, std::string input, bool passed,
+              OutMode mode, std::string detail);
 
     MobileHost& mh_;
     ProbeConfig config_;

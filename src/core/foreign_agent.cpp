@@ -52,10 +52,11 @@ std::size_t ForeignAgent::attach_serving(sim::Link& link, net::Ipv4Address addr,
         ForeignAgent* fa;
         void operator()() const {
             fa->send_advertisement(/*solicited=*/false);
-            fa->simulator().schedule_in(fa->config_.advert_interval, Beacon{fa});
+            fa->simulator().schedule_in(fa->config_.advert_interval, Beacon{fa},
+                                        "agent-beacon");
         }
     };
-    simulator().schedule_in(config_.advert_interval, Beacon{this});
+    simulator().schedule_in(config_.advert_interval, Beacon{this}, "agent-beacon");
     return serving_interface_;
 }
 

@@ -47,7 +47,8 @@ MobileHost::MobileHost(sim::Simulator& simulator, std::string name, MobileHostCo
     tcp_->set_retransmit_observer([this](const transport::TcpEndpoints& ep, bool inbound) {
         if (inbound && ep.local_addr == config_.home_address) {
             ++stats_.failure_signals;
-            method_cache_.report_failure(ep.remote_addr, this->simulator().now());
+            method_cache_.report_failure(ep.remote_addr, this->simulator().now(),
+                                         "tcp-inbound-retransmission");
         }
     });
     tcp_->set_progress_observer([this](const transport::TcpEndpoints& ep) {
@@ -75,7 +76,8 @@ MobileHost::MobileHost(sim::Simulator& simulator, std::string name, MobileHostCo
             if (original.src == config_.home_address) {
                 ++stats_.failure_signals;
                 ++stats_.icmp_feedback_signals;
-                method_cache_.report_failure(original.dst, this->simulator().now());
+                method_cache_.report_failure(original.dst, this->simulator().now(),
+                                             "icmp-admin-prohibited");
             }
         } catch (const net::ParseError&) {
         }
@@ -329,12 +331,14 @@ void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
     reg_socket_->send_to(dst, net::ports::kMobileIpRegistration, w.take());
 
     registration_timer_ = simulator().schedule_in(
-        config_.registration_retry, [this, lifetime, attempt, done]() mutable {
+        config_.registration_retry,
+        [this, lifetime, attempt, done]() mutable {
             registration_timer_armed_ = false;
             if (!registered_ && !at_home_) {
                 send_registration(lifetime, attempt + 1, std::move(done));
             }
-        });
+        },
+        "mip-registration-retry");
     registration_timer_armed_ = true;
 }
 
@@ -374,13 +378,16 @@ void MobileHost::schedule_reregistration(std::uint16_t granted_lifetime) {
     }
     // Refresh at 80% of the granted lifetime.
     const sim::Duration refresh = sim::seconds(granted_lifetime) * 8 / 10;
-    rereg_timer_ = simulator().schedule_in(refresh, [this] {
-        rereg_timer_armed_ = false;
-        if (!at_home_ && physical_interface_ != stack::IpStack::kNoInterface &&
-            !care_of_.is_unspecified()) {
-            send_registration(config_.registration_lifetime, 0, {});
-        }
-    });
+    rereg_timer_ = simulator().schedule_in(
+        refresh,
+        [this] {
+            rereg_timer_armed_ = false;
+            if (!at_home_ && physical_interface_ != stack::IpStack::kNoInterface &&
+                !care_of_.is_unspecified()) {
+                send_registration(config_.registration_lifetime, 0, {});
+            }
+        },
+        "mip-reregistration");
     rereg_timer_armed_ = true;
 }
 
@@ -405,7 +412,7 @@ OutMode MobileHost::mode_for(net::Ipv4Address dst) {
 }
 
 void MobileHost::force_mode(net::Ipv4Address dst, OutMode mode) {
-    method_cache_.force_mode(dst, mode);
+    method_cache_.force_mode(dst, mode, simulator().now());
 }
 
 std::optional<stack::Resolution> MobileHost::resolve(const stack::FlowKey& flow) {
@@ -464,7 +471,7 @@ std::optional<stack::Resolution> MobileHost::resolve(const stack::FlowKey& flow)
         if (it->second != now) {
             it->second = now;
             ++stats_.failure_signals;
-            method_cache_.report_failure(flow.dst, now);
+            method_cache_.report_failure(flow.dst, now, "flow-retransmission-flag");
         }
     }
 

@@ -262,6 +262,10 @@ MobileHost& World::create_mobile_host(MobileHostConfig config) {
     return *mh_;
 }
 
+void World::enable_decision_log() {
+    mh_->method_cache().set_decision_log(&decisions, mh_->name());
+}
+
 CorrespondentHost& World::create_correspondent(CorrespondentConfig config,
                                                Placement placement,
                                                std::uint32_t host_index) {

@@ -18,6 +18,7 @@
 #include "core/mobile_host.h"
 #include "dns/server.h"
 #include "mobility/handoff.h"
+#include "obs/decision.h"
 #include "obs/metrics.h"
 #include "routing/domain.h"
 #include "stack/router.h"
@@ -88,6 +89,12 @@ public:
     /// directly. Declared after `trace` and before any node so it outlives
     /// every registered provider.
     obs::MetricsRegistry metrics;
+    /// Delivery-decision audit trail (docs/TRACE_FORMAT.md §6): the mobile
+    /// host's method cache and any CapabilityProber record here once
+    /// enabled. Recording is off by default; call enable_decision_log()
+    /// (or wire create_mobile_host with one) to attach. Declared before
+    /// any node so it outlives every producer holding a pointer to it.
+    obs::DecisionLog decisions;
 
     const WorldConfig& config() const noexcept { return config_; }
 
@@ -128,6 +135,11 @@ public:
     MobileHost& create_mobile_host(MobileHostConfig config);
     MobileHost& create_mobile_host() { return create_mobile_host(mobile_config()); }
     MobileHost& mobile_host() { return *mh_; }
+
+    /// Attaches `decisions` to the mobile host's method cache so every
+    /// delivery-method decision is audited (off by default; requires
+    /// create_mobile_host() first).
+    void enable_decision_log();
 
     /// Creates a correspondent host at @p placement (owned by the world).
     /// @p host_index picks the address within the domain (default .20 on

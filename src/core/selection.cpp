@@ -57,6 +57,30 @@ DeliveryMethodCache::DeliveryMethodCache(std::unique_ptr<SelectionStrategy> stra
                                          MethodCacheConfig config)
     : strategy_(std::move(strategy)), config_(config) {}
 
+void DeliveryMethodCache::set_decision_log(obs::DecisionLog* log, std::string node) {
+    log_ = log;
+    node_ = std::move(node);
+}
+
+void DeliveryMethodCache::note(sim::TimePoint now, net::Ipv4Address dst,
+                               const char* trigger, const char* test,
+                               std::string input, bool passed, OutMode from,
+                               OutMode to, std::string detail) const {
+    if (log_ == nullptr) return;
+    obs::DecisionEvent ev;
+    ev.when = now;
+    ev.node = node_;
+    ev.correspondent = dst.to_string();
+    ev.trigger = trigger;
+    ev.test = test;
+    ev.input = std::move(input);
+    ev.passed = passed;
+    ev.from_mode = to_string(from);
+    ev.to_mode = to_string(to);
+    ev.detail = std::move(detail);
+    log_->record(std::move(ev));
+}
+
 const DeliveryMethodCache::Entry* DeliveryMethodCache::find(net::Ipv4Address dst) const {
     auto it = entries_.find(dst);
     return it != entries_.end() ? &it->second : nullptr;
@@ -68,7 +92,10 @@ DeliveryMethodCache::Entry& DeliveryMethodCache::entry_for(net::Ipv4Address dst,
     if (inserted) {
         it->second.mode = strategy_->initial(dst);
         it->second.last_good = OutMode::IE;
-        (void)now;
+        if (log_ != nullptr) {
+            note(now, dst, "initial", "strategy", strategy_->name(), true,
+                 it->second.mode, it->second.mode, "first packet to correspondent");
+        }
     }
     return it->second;
 }
@@ -82,13 +109,19 @@ OutMode DeliveryMethodCache::mode_for(net::Ipv4Address dst, sim::TimePoint now) 
     return entry_for(dst, now).mode;
 }
 
-void DeliveryMethodCache::force_mode(net::Ipv4Address dst, OutMode mode) {
-    Entry& e = entry_for(dst, 0);
+void DeliveryMethodCache::force_mode(net::Ipv4Address dst, OutMode mode,
+                                     sim::TimePoint now) {
+    Entry& e = entry_for(dst, now);
+    const OutMode previous = e.mode;
     e.mode = mode;
     e.forced = true;
     e.probing = false;
     e.consecutive_failures = 0;
     e.consecutive_successes = 0;
+    if (log_ != nullptr) {
+        note(now, dst, "forced", "override", "", true, previous, mode,
+             "mode pinned; automatic selection disabled");
+    }
 }
 
 void DeliveryMethodCache::report_success(net::Ipv4Address dst, sim::TimePoint now) {
@@ -102,20 +135,34 @@ void DeliveryMethodCache::report_success(net::Ipv4Address dst, sim::TimePoint no
         e.probing = false;
         e.last_good = e.mode;
         ++stats_.probes_confirmed;
+        if (log_ != nullptr) {
+            note(now, dst, "upgrade", "probe",
+                 "successes=" + std::to_string(e.consecutive_successes) + "/" +
+                     std::to_string(config_.upgrade_after),
+                 true, e.mode, e.mode, "probed mode confirmed as new baseline");
+        }
     }
     if (!e.probing && e.consecutive_successes >= config_.upgrade_after) {
         if (auto next = strategy_->upgrade(dst, e.mode);
             next && !blacklisted(e, *next, now)) {
+            const OutMode previous = e.mode;
             e.last_good = e.mode;
             e.mode = *next;
             e.probing = true;
             e.consecutive_successes = 0;
             ++stats_.upgrades_probed;
+            if (log_ != nullptr) {
+                note(now, dst, "upgrade", "success-streak",
+                     "successes=" + std::to_string(config_.upgrade_after) + "/" +
+                         std::to_string(config_.upgrade_after),
+                     true, previous, e.mode, "tentatively probing more aggressive mode");
+            }
         }
     }
 }
 
-void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint now) {
+void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint now,
+                                         const std::string& reason) {
     Entry& e = entry_for(dst, now);
     e.consecutive_successes = 0;
     if (e.forced) return;
@@ -124,22 +171,42 @@ void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint no
         // Tentative modes are abandoned on the first sign of trouble
         // ("being prepared to return to the conservative method if the more
         // aggressive method fails").
+        const OutMode probed = e.mode;
         e.blacklist_until[e.mode] = now + config_.blacklist_ttl;
         e.mode = e.last_good;
         e.probing = false;
         e.consecutive_failures = 0;
         ++stats_.probes_reverted;
+        if (log_ != nullptr) {
+            note(now, dst, "failure", "probe", reason, false, probed, e.mode,
+                 "probe reverted; " + to_string(probed) + " blacklisted");
+        }
         return;
     }
 
     ++e.consecutive_failures;
     if (e.consecutive_failures < config_.failure_threshold) {
+        if (log_ != nullptr) {
+            note(now, dst, "failure", "failure-threshold",
+                 reason + ", failures=" + std::to_string(e.consecutive_failures) +
+                     "/" + std::to_string(config_.failure_threshold),
+                 true, e.mode, e.mode, "below threshold; mode kept");
+        }
         return;
     }
+    const unsigned failures = e.consecutive_failures;
     e.consecutive_failures = 0;
     if (e.mode == OutMode::IE) {
+        if (log_ != nullptr) {
+            note(now, dst, "failure", "failure-threshold",
+                 reason + ", failures=" + std::to_string(failures) + "/" +
+                     std::to_string(config_.failure_threshold),
+                 false, OutMode::IE, OutMode::IE,
+                 "at the Out-IE floor; nothing more conservative exists");
+        }
         return;  // the floor: nothing more conservative exists
     }
+    const OutMode failed = e.mode;
     e.blacklist_until[e.mode] = now + config_.blacklist_ttl;
     OutMode next = strategy_->after_failure(dst, e.mode);
     // Skip over blacklisted fallbacks (e.g. DH failed before, DE failed
@@ -149,6 +216,12 @@ void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint no
     }
     e.mode = next;
     ++stats_.downgrades;
+    if (log_ != nullptr) {
+        note(now, dst, "failure", "failure-threshold",
+             reason + ", failures=" + std::to_string(failures) + "/" +
+                 std::to_string(config_.failure_threshold),
+             false, failed, next, to_string(failed) + " blacklisted");
+    }
 }
 
 }  // namespace mip::core

@@ -23,6 +23,7 @@
 
 #include "core/modes.h"
 #include "net/ipv4_address.h"
+#include "obs/decision.h"
 #include "sim/time.h"
 
 namespace mip::core {
@@ -112,11 +113,24 @@ public:
     /// Signal that delivery with the current mode appears to be working.
     void report_success(net::Ipv4Address dst, sim::TimePoint now);
 
-    /// Signal that delivery appears to be failing (retransmissions seen).
-    void report_failure(net::Ipv4Address dst, sim::TimePoint now);
+    /// Signal that delivery appears to be failing. @p reason names the
+    /// failure signal for the audit trail ("tcp-inbound-retransmission",
+    /// "icmp-admin-prohibited", ...).
+    void report_failure(net::Ipv4Address dst, sim::TimePoint now,
+                        const std::string& reason = "delivery-failure");
 
     /// Pins @p dst to @p mode (user override / privacy requirements).
-    void force_mode(net::Ipv4Address dst, OutMode mode);
+    /// @p now only timestamps the audit event.
+    void force_mode(net::Ipv4Address dst, OutMode mode, sim::TimePoint now = 0);
+
+    /// Attaches a delivery-decision audit log (ISSUE: observability
+    /// part b); nullptr detaches. @p node names the owning host in the
+    /// recorded events. Detached — the default — every decision costs one
+    /// pointer compare; attached, each state change appends one
+    /// obs::DecisionEvent, so fig10_grid and abl_selection_strategy can
+    /// print the causal chain behind every cell and mode flip.
+    void set_decision_log(obs::DecisionLog* log, std::string node = "mobile-host");
+    obs::DecisionLog* decision_log() const noexcept { return log_; }
 
     /// Forgets everything about @p dst (next use re-initializes from the
     /// strategy). Used by the capability prober to leave no trace.
@@ -149,11 +163,17 @@ public:
 private:
     Entry& entry_for(net::Ipv4Address dst, sim::TimePoint now);
     bool blacklisted(const Entry& e, OutMode m, sim::TimePoint now) const;
+    /// Appends to the audit log; no-op (and no string work) when detached.
+    void note(sim::TimePoint now, net::Ipv4Address dst, const char* trigger,
+              const char* test, std::string input, bool passed, OutMode from,
+              OutMode to, std::string detail) const;
 
     std::unique_ptr<SelectionStrategy> strategy_;
     MethodCacheConfig config_;
     std::map<net::Ipv4Address, Entry> entries_;
     Stats stats_;
+    obs::DecisionLog* log_ = nullptr;
+    std::string node_;
 };
 
 }  // namespace mip::core

@@ -45,7 +45,7 @@ HandoffController::~HandoffController() { stop(); }
 void HandoffController::start() {
     if (running_) return;
     running_ = true;
-    sample_timer_ = sim_.schedule_in(0, [this] { on_sample(); });
+    sample_timer_ = sim_.schedule_in(0, [this] { on_sample(); }, "handoff-sample");
     sample_timer_armed_ = true;
 }
 
@@ -64,7 +64,8 @@ void HandoffController::on_sample() {
     sample_timer_armed_ = false;
     if (!running_) return;
     evaluate(map_.best_at(model_.position_at(sim_.now())));
-    sample_timer_ = sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+    sample_timer_ = sim_.schedule_in(config_.sample_interval, [this] { on_sample(); },
+                                     "handoff-sample");
     sample_timer_armed_ = true;
 }
 
@@ -151,10 +152,13 @@ void HandoffController::on_attach_result(std::uint64_t epoch, bool accepted) {
         return;
     }
     ++stats_.failed_attaches;
-    sim_.schedule_in(config_.retry_backoff, [this, epoch] {
-        if (epoch != attach_epoch_ || !running_ || current_ == nullptr) return;
-        issue_attach(*current_);
-    });
+    sim_.schedule_in(
+        config_.retry_backoff,
+        [this, epoch] {
+            if (epoch != attach_epoch_ || !running_ || current_ == nullptr) return;
+            issue_attach(*current_);
+        },
+        "handoff-retry");
 }
 
 void HandoffController::close_record(bool success) {

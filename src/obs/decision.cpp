@@ -1,0 +1,155 @@
+#include "obs/decision.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mip::obs {
+
+std::string DecisionEvent::to_string() const {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[%.3fs]",
+                  static_cast<double>(when) / 1e9);
+    std::string out = stamp;
+    out += " " + trigger + "/" + test;
+    if (!input.empty()) out += " " + input;
+    out += passed ? " PASS" : " FAIL";
+    if (!from_mode.empty() || !to_mode.empty()) {
+        const std::string& from = from_mode.empty() ? to_mode : from_mode;
+        const std::string& to = to_mode.empty() ? from_mode : to_mode;
+        if (from == to) {
+            out += " " + to;
+        } else {
+            out += " " + from + "->" + to;
+        }
+    }
+    if (!in_mode.empty()) out += " in=" + in_mode;
+    if (!detail.empty()) out += " (" + detail + ")";
+    return out;
+}
+
+void DecisionLog::record(DecisionEvent ev) {
+    events_.push_back(std::move(ev));
+}
+
+std::vector<DecisionEvent> DecisionLog::for_correspondent(
+    const std::string& correspondent) const {
+    std::vector<DecisionEvent> out;
+    for (const DecisionEvent& ev : events_) {
+        if (ev.correspondent == correspondent) out.push_back(ev);
+    }
+    return out;
+}
+
+std::vector<std::string> DecisionLog::correspondents() const {
+    std::vector<std::string> out;
+    for (const DecisionEvent& ev : events_) out.push_back(ev.correspondent);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::string DecisionLog::chain_string(const std::string& correspondent,
+                                      const std::string& line_prefix) const {
+    std::string out;
+    for (const DecisionEvent& ev : events_) {
+        if (ev.correspondent != correspondent) continue;
+        out += line_prefix + ev.to_string() + "\n";
+    }
+    return out;
+}
+
+JsonValue DecisionLog::to_json(const std::string& bench,
+                               const std::string& label) const {
+    JsonValue::Array events;
+    for (const DecisionEvent& ev : events_) {
+        JsonValue::Object e;
+        e["t_ns"] = static_cast<std::uint64_t>(ev.when);
+        e["node"] = ev.node;
+        e["correspondent"] = ev.correspondent;
+        e["trigger"] = ev.trigger;
+        e["test"] = ev.test;
+        e["input"] = ev.input;
+        e["passed"] = ev.passed;
+        e["from_mode"] = ev.from_mode;
+        e["to_mode"] = ev.to_mode;
+        e["in_mode"] = ev.in_mode;
+        e["detail"] = ev.detail;
+        events.emplace_back(std::move(e));
+    }
+
+    JsonValue::Object doc;
+    doc["schema_version"] = 1;
+    doc["kind"] = "decisions";
+    doc["bench"] = bench;
+    doc["label"] = label;
+    doc["events"] = std::move(events);
+    return JsonValue(std::move(doc));
+}
+
+std::string DecisionLog::to_json_string(const std::string& bench,
+                                        const std::string& label) const {
+    return to_json(bench, label).dump(2) + "\n";
+}
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_decisions_document(const JsonValue& doc) {
+    std::vector<std::string> problems;
+    if (!doc.is_object()) {
+        problems.push_back("document is not a JSON object");
+        return problems;
+    }
+    require(problems,
+            doc.contains("schema_version") && doc.at("schema_version").is_number() &&
+                doc.at("schema_version").as_number() == 1,
+            "schema_version must be the number 1");
+    require(problems,
+            doc.contains("kind") && doc.at("kind").is_string() &&
+                doc.at("kind").as_string() == "decisions",
+            "kind must be the string \"decisions\"");
+    for (const char* key : {"bench", "label"}) {
+        require(problems, doc.contains(key) && doc.at(key).is_string(),
+                std::string(key) + " must be a string");
+    }
+    if (!doc.contains("events") || !doc.at("events").is_array()) {
+        problems.push_back("events must be an array");
+        return problems;
+    }
+
+    std::size_t i = 0;
+    for (const JsonValue& e : doc.at("events").as_array()) {
+        const std::string where = "events[" + std::to_string(i++) + "]";
+        if (!e.is_object()) {
+            problems.push_back(where + " is not an object");
+            continue;
+        }
+        require(problems,
+                e.contains("t_ns") && e.at("t_ns").is_number() &&
+                    e.at("t_ns").as_number() >= 0,
+                where + ".t_ns must be a non-negative number");
+        for (const char* key : {"node", "correspondent", "trigger", "test", "input",
+                                "from_mode", "to_mode", "in_mode", "detail"}) {
+            require(problems, e.contains(key) && e.at(key).is_string(),
+                    where + "." + key + " must be a string");
+        }
+        require(problems, e.contains("passed") && e.at("passed").is_bool(),
+                where + ".passed must be a boolean");
+        // trigger/test carry the causal chain; an empty one means the
+        // producer forgot to say what happened.
+        for (const char* key : {"node", "correspondent", "trigger", "test"}) {
+            if (e.contains(key) && e.at(key).is_string()) {
+                require(problems, !e.at(key).as_string().empty(),
+                        where + "." + key + " must be non-empty");
+            }
+        }
+    }
+    return problems;
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,107 @@
+// Delivery-decision audit trail (ISSUE: time-resolved observability,
+// part b).
+//
+// The paper's §7.1 selection machinery — "run a series of tests, pick the
+// first delivery method that passes, downgrade on failure, periodically
+// probe for an upgrade" — ends in a single OutMode per correspondent, but
+// the *path* to that mode is what figures 10's sixteen cells actually
+// differ in. DecisionEvent captures one step of that path: which test
+// ran, on what input, whether it passed, which mode was left and which
+// was entered, and what triggered the evaluation (initial selection, a
+// delivery failure, an upgrade probe, an explicit override).
+//
+// DecisionLog is the append-only index: core::DeliveryMethodCache and
+// core::CapabilityProber record into the World's log (when one is
+// attached — off by default, like the sampler and profiler), benches
+// print per-correspondent causal chains via chain_string(), and to_json()
+// renders the docs/TRACE_FORMAT.md §6 document checked by
+// validate_decisions_document().
+//
+// Modes are carried as strings ("IE", "DE", "DH", "DT", ...) rather than
+// core enums: obs is below core in the link graph (core links obs, never
+// the reverse), so core converts at the call site via to_string(OutMode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/time.h"
+
+namespace mip::obs {
+
+/// One step in the delivery-method decision process for one
+/// correspondent.
+struct DecisionEvent {
+    sim::TimePoint when = 0;
+    /// Node running the selection machinery (the mobile host).
+    std::string node;
+    /// Correspondent the decision is about (address or name).
+    std::string correspondent;
+    /// What prompted the evaluation: "initial", "failure", "upgrade",
+    /// "probe", "forced", ... (open set; §6 lists the core producers).
+    std::string trigger;
+    /// Which test ran, e.g. "same-subnet", "probe-ping", "failure-count".
+    std::string test;
+    /// The test's input, human-readable ("failures=2", "rtt=12ms", ...).
+    std::string input;
+    /// Did the test pass?
+    bool passed = false;
+    /// Delivery mode before/after ("" when unchanged or not applicable).
+    std::string from_mode;
+    std::string to_mode;
+    /// Inbound mode in effect, when relevant ("" otherwise).
+    std::string in_mode;
+    /// Free-form elaboration.
+    std::string detail;
+
+    /// One-line rendering used in causal chains:
+    ///   [12.500s] failure/failure-count failures=2 FAIL DE->IE (blacklisted DE)
+    std::string to_string() const;
+};
+
+/// Append-only log of DecisionEvents, indexed per correspondent on
+/// demand. Attach one to the producing objects (DeliveryMethodCache,
+/// CapabilityProber) to turn recording on; detached, they pay one null
+/// pointer compare per decision.
+class DecisionLog {
+public:
+    void record(DecisionEvent ev);
+
+    const std::vector<DecisionEvent>& events() const noexcept { return events_; }
+    std::size_t size() const noexcept { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /// Events about one correspondent, in record order.
+    std::vector<DecisionEvent> for_correspondent(const std::string& correspondent) const;
+
+    /// Correspondents that appear in the log, sorted, deduplicated.
+    std::vector<std::string> correspondents() const;
+
+    /// The causal chain behind one correspondent's current mode: every
+    /// event's to_string(), one per line with the given prefix. Empty
+    /// string when nothing was recorded.
+    std::string chain_string(const std::string& correspondent,
+                             const std::string& line_prefix = "  ") const;
+
+    /// Renders the docs/TRACE_FORMAT.md §6 document:
+    ///   {"schema_version":1, "kind":"decisions", "bench":..., "label":...,
+    ///    "events":[...]}
+    /// Events appear in record order (simulated-time order for a single
+    /// run, since recording happens inside event handlers).
+    JsonValue to_json(const std::string& bench, const std::string& label) const;
+
+    /// Convenience: to_json() serialized with 2-space indentation.
+    std::string to_json_string(const std::string& bench, const std::string& label) const;
+
+private:
+    std::vector<DecisionEvent> events_;
+};
+
+/// Checks a parsed document against the decision-event schema in
+/// docs/TRACE_FORMAT.md §6. Empty result = valid. Shared by the unit
+/// tests and the validate_metrics binary (bench_smoke).
+std::vector<std::string> validate_decisions_document(const JsonValue& doc);
+
+}  // namespace mip::obs

@@ -81,6 +81,8 @@ std::vector<double> hop_bounds();
 class MetricsRegistry {
 public:
     using GaugeFn = std::function<double()>;
+    /// (node, layer, name) — the identity of every metric.
+    using Key = std::tuple<std::string, std::string, std::string>;
 
     /// Returns the counter for (node, layer, name), creating it on first
     /// use. The reference stays valid for the registry's lifetime.
@@ -100,9 +102,11 @@ public:
                         const std::string& name, GaugeFn provider);
 
     /// Polls the gauge registered for (node, layer, name) right now;
-    /// throws JsonError when no such gauge exists. The query-side twin of
-    /// register_gauge — benches read figures from here instead of
-    /// reaching into individual Stats structs.
+    /// throws JsonError when no such gauge exists — the error message
+    /// lists the closest registered keys, so a bench that asks for a
+    /// mistyped or renamed metric fails with the fix in hand. The
+    /// query-side twin of register_gauge — benches read figures from here
+    /// instead of reaching into individual Stats structs.
     double gauge_value(const std::string& node, const std::string& layer,
                        const std::string& name) const;
 
@@ -121,9 +125,13 @@ public:
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
-private:
-    using Key = std::tuple<std::string, std::string, std::string>;  // node, layer, name
+    // Read-only iteration over the stores, (node, layer, name)-sorted —
+    // what obs::MetricsSampler walks every sampling interval.
+    const std::map<Key, Counter>& counters() const noexcept { return counters_; }
+    const std::map<Key, GaugeFn>& gauges() const noexcept { return gauges_; }
+    const std::map<Key, Histogram>& histograms() const noexcept { return histograms_; }
 
+private:
     std::map<Key, Counter> counters_;
     std::map<Key, GaugeFn> gauges_;
     std::map<Key, Histogram> histograms_;

@@ -8,7 +8,8 @@ namespace mip::obs {
 namespace {
 
 // Classic pcap constants (https://wiki.wireshark.org/Development/LibpcapFileFormat).
-constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // native byte order, µs timestamps
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;  // native byte order, µs timestamps
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;   // native byte order, ns timestamps
 constexpr std::uint16_t kVersionMajor = 2;
 constexpr std::uint16_t kVersionMinor = 4;
 constexpr std::uint32_t kLinktypeEthernet = 1;
@@ -24,12 +25,15 @@ void put_u32(std::ofstream& out, std::uint32_t v) {
 
 }  // namespace
 
-PcapWriter::PcapWriter(sim::Simulator& simulator, const std::string& path)
-    : simulator_(simulator), out_(path, std::ios::binary | std::ios::trunc) {
+PcapWriter::PcapWriter(sim::Simulator& simulator, const std::string& path,
+                       PcapResolution resolution)
+    : simulator_(simulator),
+      out_(path, std::ios::binary | std::ios::trunc),
+      resolution_(resolution) {
     if (!out_) {
         throw std::runtime_error("PcapWriter: cannot open " + path);
     }
-    put_u32(out_, kMagic);
+    put_u32(out_, resolution_ == PcapResolution::Nanosecond ? kMagicNano : kMagicMicro);
     put_u16(out_, kVersionMajor);
     put_u16(out_, kVersionMinor);
     put_u32(out_, 0);  // thiszone: GMT
@@ -54,8 +58,12 @@ void PcapWriter::write(const sim::Frame& frame) {
     if (!out_.is_open()) return;
 
     const std::uint64_t ns = static_cast<std::uint64_t>(simulator_.now());
-    put_u32(out_, static_cast<std::uint32_t>(ns / 1'000'000'000ull));     // ts_sec
-    put_u32(out_, static_cast<std::uint32_t>((ns % 1'000'000'000ull) / 1'000ull));  // ts_usec
+    const std::uint64_t frac = ns % 1'000'000'000ull;
+    put_u32(out_, static_cast<std::uint32_t>(ns / 1'000'000'000ull));  // ts_sec
+    // Second field: nanoseconds (lossless) or truncated microseconds,
+    // per the magic written in the header.
+    put_u32(out_, static_cast<std::uint32_t>(
+                      resolution_ == PcapResolution::Nanosecond ? frac : frac / 1'000ull));
 
     const std::uint32_t len = static_cast<std::uint32_t>(frame.wire_size());
     put_u32(out_, len);  // incl_len — frames are never snapped

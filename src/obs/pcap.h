@@ -3,16 +3,17 @@
 // directly (`wireshark capture.pcap`, `tcpdump -r capture.pcap`).
 //
 // Format: the original pcap container (not pcapng) — 24-byte global
-// header with magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET (1), then
-// one 16-byte record header per frame followed by the frame bytes
-// (14-byte Ethernet header + IP payload; no FCS, matching the simulator's
-// frame model).
+// header, version 2.4, LINKTYPE_ETHERNET (1), then one 16-byte record
+// header per frame followed by the frame bytes (14-byte Ethernet header +
+// IP payload; no FCS, matching the simulator's frame model).
 //
-// Timestamp caveat (documented in docs/TRACE_FORMAT.md §5): the simulator
-// keeps integer nanoseconds but classic pcap stores seconds+microseconds,
-// so timestamps are truncated to microsecond precision in the file.
-// Frames captured within the same microsecond keep their relative order
-// because records are written in simulation order.
+// Timestamp resolution (documented in docs/TRACE_FORMAT.md §7): classic
+// pcap has two magics — 0xa1b2c3d4 stores seconds+microseconds,
+// 0xa1b23c4d stores seconds+nanoseconds. The simulator keeps integer
+// nanoseconds, so Nanosecond mode is lossless; Microsecond mode (the
+// default, for tool compatibility) truncates to µs, where frames captured
+// within the same microsecond keep their relative order because records
+// are written in simulation order.
 //
 // Capture points differ in what they see:
 //   attach(Link) — every frame *offered* to the wire, including frames the
@@ -33,6 +34,12 @@
 
 namespace mip::obs {
 
+/// Record timestamp resolution — selects the file's magic number.
+enum class PcapResolution {
+    Microsecond,  ///< magic 0xa1b2c3d4; ns clock truncated to µs
+    Nanosecond,   ///< magic 0xa1b23c4d; full simulator precision
+};
+
 /// Streams captured frames to a pcap file. The writer must outlive every
 /// Link/Nic it is attached to (attach installs a FrameTap capturing
 /// `this`); World-owned captures satisfy this by declaring the writer
@@ -42,8 +49,12 @@ class PcapWriter {
 public:
     /// Opens `path` and writes the global header immediately; throws
     /// std::runtime_error if the file cannot be created. Reads the
-    /// simulator clock at each capture for record timestamps.
-    PcapWriter(sim::Simulator& simulator, const std::string& path);
+    /// simulator clock at each capture for record timestamps, stored at
+    /// the chosen resolution (default: microseconds, readable by every
+    /// pcap consumer; Nanosecond needs libpcap >= 1.5 / any current
+    /// Wireshark and keeps the clock's full precision).
+    PcapWriter(sim::Simulator& simulator, const std::string& path,
+               PcapResolution resolution = PcapResolution::Microsecond);
     ~PcapWriter();
 
     PcapWriter(const PcapWriter&) = delete;
@@ -61,6 +72,7 @@ public:
     void write(const sim::Frame& frame);
 
     std::size_t frames_written() const noexcept { return frames_; }
+    PcapResolution resolution() const noexcept { return resolution_; }
 
     /// Flushes and closes the file; further write() calls are ignored.
     void close();
@@ -68,6 +80,7 @@ public:
 private:
     sim::Simulator& simulator_;
     std::ofstream out_;
+    PcapResolution resolution_;
     std::size_t frames_ = 0;
 };
 

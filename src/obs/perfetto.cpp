@@ -1,0 +1,207 @@
+#include "obs/perfetto.h"
+
+#include <fstream>
+
+#include "obs/decision.h"
+#include "obs/journey.h"
+#include "obs/timeseries.h"
+#include "sim/trace.h"
+
+namespace mip::obs {
+
+namespace {
+
+double to_us(sim::TimePoint t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter() {
+    set_process_name(kPidJourneys, "journeys");
+    set_process_name(kPidDecisions, "decisions");
+    set_process_name(kPidMetrics, "metrics");
+    set_process_name(kPidTimeline, "timeline");
+}
+
+void ChromeTraceWriter::set_process_name(int pid, const std::string& name) {
+    JsonValue::Object args;
+    args["name"] = name;
+    JsonValue::Object ev;
+    ev["ph"] = "M";
+    ev["name"] = "process_name";
+    ev["pid"] = pid;
+    ev["tid"] = 0;
+    ev["args"] = std::move(args);
+    events_.emplace_back(std::move(ev));
+}
+
+int ChromeTraceWriter::tid_for(int pid, const std::string& label) {
+    const auto key = std::make_pair(pid, label);
+    const auto it = tids_.find(key);
+    if (it != tids_.end()) return it->second;
+    const int tid = ++next_tid_[pid];
+    tids_.emplace(key, tid);
+
+    JsonValue::Object args;
+    args["name"] = label;
+    JsonValue::Object ev;
+    ev["ph"] = "M";
+    ev["name"] = "thread_name";
+    ev["pid"] = pid;
+    ev["tid"] = tid;
+    ev["args"] = std::move(args);
+    events_.emplace_back(std::move(ev));
+    return tid;
+}
+
+void ChromeTraceWriter::push_event(JsonValue::Object event) {
+    events_.emplace_back(std::move(event));
+    ++data_events_;
+}
+
+void ChromeTraceWriter::add_journeys(const JourneyIndex& index) {
+    for (const auto& [id, journey] : index.journeys()) {
+        if (journey.events.empty()) continue;
+        const int tid = tid_for(kPidJourneys, "journey " + std::to_string(id));
+        const sim::TimePoint begin = journey.events.front().when;
+        const sim::TimePoint end = journey.events.back().when;
+
+        std::string outcome = "in flight";
+        if (journey.delivered()) outcome = "delivered";
+        const sim::TraceEvent* drop = journey.drop();
+        if (drop != nullptr) outcome = std::string("dropped: ") + to_string(drop->kind);
+
+        JsonValue::Object span_args;
+        span_args["events"] = static_cast<std::uint64_t>(journey.events.size());
+        span_args["hops"] = static_cast<std::uint64_t>(journey.hops());
+        JsonValue::Object span;
+        span["ph"] = "X";
+        span["pid"] = kPidJourneys;
+        span["tid"] = tid;
+        span["ts"] = to_us(begin);
+        // Zero-duration spans render invisibly; give single-event
+        // journeys a 1 µs sliver so they stay clickable.
+        span["dur"] = end > begin ? to_us(end - begin) : 1.0;
+        span["name"] = outcome;
+        span["cat"] = "journey";
+        span["args"] = std::move(span_args);
+        push_event(std::move(span));
+
+        for (const sim::TraceEvent& te : journey.events) {
+            JsonValue::Object args;
+            args["node"] = te.node;
+            if (te.bytes != 0) args["bytes"] = static_cast<std::uint64_t>(te.bytes);
+            if (!te.detail.empty()) args["detail"] = te.detail;
+            JsonValue::Object ev;
+            ev["ph"] = "i";
+            ev["s"] = "t";  // thread-scoped instant
+            ev["pid"] = kPidJourneys;
+            ev["tid"] = tid;
+            ev["ts"] = to_us(te.when);
+            ev["name"] = std::string(to_string(te.kind)) + " @ " + te.node;
+            ev["cat"] = "journey";
+            ev["args"] = std::move(args);
+            push_event(std::move(ev));
+        }
+    }
+}
+
+void ChromeTraceWriter::add_decisions(const DecisionLog& log) {
+    for (const DecisionEvent& de : log.events()) {
+        const int tid = tid_for(kPidDecisions, de.node + " → " + de.correspondent);
+        JsonValue::Object args;
+        args["trigger"] = de.trigger;
+        args["test"] = de.test;
+        args["input"] = de.input;
+        args["passed"] = de.passed;
+        args["from_mode"] = de.from_mode;
+        args["to_mode"] = de.to_mode;
+        args["in_mode"] = de.in_mode;
+        args["detail"] = de.detail;
+        JsonValue::Object ev;
+        ev["ph"] = "i";
+        ev["s"] = "t";
+        ev["pid"] = kPidDecisions;
+        ev["tid"] = tid;
+        ev["ts"] = to_us(de.when);
+        std::string name = de.trigger + "/" + de.test;
+        if (!de.to_mode.empty() && de.to_mode != de.from_mode) {
+            name += " → " + de.to_mode;
+        }
+        ev["name"] = std::move(name);
+        ev["cat"] = "decision";
+        ev["args"] = std::move(args);
+        push_event(std::move(ev));
+    }
+}
+
+void ChromeTraceWriter::add_series(const MetricsSampler& sampler) {
+    for (const auto& [key, ring] : sampler.series()) {
+        const std::string name = std::get<0>(key) + "/" + std::get<1>(key) + "/" +
+                                 std::get<2>(key) + "." + std::get<3>(key);
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            const SeriesPoint& p = ring.at(i);
+            JsonValue::Object args;
+            args["value"] = p.value;
+            JsonValue::Object ev;
+            ev["ph"] = "C";
+            ev["pid"] = kPidMetrics;
+            ev["tid"] = 0;
+            ev["ts"] = to_us(p.t_ns);
+            ev["name"] = name;
+            ev["cat"] = "metric";
+            ev["args"] = std::move(args);
+            push_event(std::move(ev));
+        }
+    }
+}
+
+void ChromeTraceWriter::add_instant(const std::string& track, sim::TimePoint t,
+                                    const std::string& name, JsonValue::Object args) {
+    const int tid = tid_for(kPidTimeline, track);
+    JsonValue::Object ev;
+    ev["ph"] = "i";
+    ev["s"] = "t";
+    ev["pid"] = kPidTimeline;
+    ev["tid"] = tid;
+    ev["ts"] = to_us(t);
+    ev["name"] = name;
+    ev["cat"] = "timeline";
+    ev["args"] = std::move(args);
+    push_event(std::move(ev));
+}
+
+void ChromeTraceWriter::add_span(const std::string& track, sim::TimePoint begin,
+                                 sim::TimePoint end, const std::string& name,
+                                 JsonValue::Object args) {
+    const int tid = tid_for(kPidTimeline, track);
+    JsonValue::Object ev;
+    ev["ph"] = "X";
+    ev["pid"] = kPidTimeline;
+    ev["tid"] = tid;
+    ev["ts"] = to_us(begin);
+    ev["dur"] = end > begin ? to_us(end - begin) : 1.0;
+    ev["name"] = name;
+    ev["cat"] = "timeline";
+    ev["args"] = std::move(args);
+    push_event(std::move(ev));
+}
+
+JsonValue ChromeTraceWriter::document() const {
+    JsonValue::Object doc;
+    doc["traceEvents"] = events_;
+    doc["displayTimeUnit"] = "ms";
+    return JsonValue(std::move(doc));
+}
+
+std::string ChromeTraceWriter::document_string() const {
+    return document().dump() + "\n";
+}
+
+void ChromeTraceWriter::write(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw JsonError("cannot open " + path + " for writing");
+    out << document_string();
+    if (!out) throw JsonError("failed writing " + path);
+}
+
+}  // namespace mip::obs

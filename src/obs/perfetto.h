@@ -1,0 +1,94 @@
+// Chrome-trace / Perfetto export (ISSUE: time-resolved observability,
+// part a, visual half).
+//
+// ChromeTraceWriter renders observability data — packet journeys,
+// delivery decisions, sampled metric series, and arbitrary caller spans
+// (handoffs, registrations) — into the Chrome trace event format:
+// a JSON document {"traceEvents":[...]} that ui.perfetto.dev (and
+// chrome://tracing) opens directly. Simulated nanoseconds map onto the
+// format's microsecond timestamps as ts = t_ns / 1000.0, so sub-µs
+// precision survives as fractional timestamps.
+//
+// Track model ("process" and "thread" are just track groups here):
+//
+//   pid 1 "journeys"   one thread per packet journey; a complete (X)
+//                      span covers first-to-last event, instants mark
+//                      each hop/drop/encap along the way
+//   pid 2 "decisions"  one thread per (node, correspondent) pair;
+//                      instants mark each DecisionEvent
+//   pid 3 "metrics"    counter (C) tracks, one per sampled series —
+//                      rendered by Perfetto as little area charts
+//   pid 4 "timeline"   caller-defined named tracks via add_span() /
+//                      add_instant() (benches put handoffs and
+//                      delivery-mode phases here)
+//
+// Output is deterministic for deterministic inputs: events appear in
+// insertion order and all JSON objects dump with sorted keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/json.h"
+#include "sim/time.h"
+
+namespace mip::obs {
+
+class JourneyIndex;
+class DecisionLog;
+class MetricsSampler;
+
+class ChromeTraceWriter {
+public:
+    // The fixed track groups (see the file comment).
+    static constexpr int kPidJourneys = 1;
+    static constexpr int kPidDecisions = 2;
+    static constexpr int kPidMetrics = 3;
+    static constexpr int kPidTimeline = 4;
+
+    ChromeTraceWriter();
+
+    /// One thread track per journey: an X span over the journey's
+    /// lifetime named by its outcome, plus an instant per trace event.
+    void add_journeys(const JourneyIndex& index);
+
+    /// One thread track per (node, correspondent): an instant per
+    /// DecisionEvent, args carrying the full audit record.
+    void add_decisions(const DecisionLog& log);
+
+    /// One counter track per sampled series ("node/layer/name.field").
+    void add_series(const MetricsSampler& sampler);
+
+    /// Caller-defined tracks in the "timeline" group; `track` names the
+    /// thread (created on first use).
+    void add_instant(const std::string& track, sim::TimePoint t, const std::string& name,
+                     JsonValue::Object args = {});
+    void add_span(const std::string& track, sim::TimePoint begin, sim::TimePoint end,
+                  const std::string& name, JsonValue::Object args = {});
+
+    /// Events written so far (excluding name metadata).
+    std::size_t size() const noexcept { return data_events_; }
+
+    /// The complete {"traceEvents":[...]} document.
+    JsonValue document() const;
+    /// document() serialized compactly (these files get large).
+    std::string document_string() const;
+    /// document_string() written to `path`; throws JsonError on I/O error.
+    void write(const std::string& path) const;
+
+private:
+    /// Thread id for `label` within track group `pid`, allocating and
+    /// emitting the thread_name metadata on first use.
+    int tid_for(int pid, const std::string& label);
+    void set_process_name(int pid, const std::string& name);
+    void push_event(JsonValue::Object event);
+
+    JsonValue::Array events_;
+    std::size_t data_events_ = 0;
+    std::map<std::pair<int, std::string>, int> tids_;
+    std::map<int, int> next_tid_;
+};
+
+}  // namespace mip::obs

@@ -1,0 +1,40 @@
+#include "obs/profile.h"
+
+namespace mip::obs {
+
+void publish_profiler(const sim::SimProfiler& profiler, const sim::Simulator& sim,
+                      MetricsRegistry& registry) {
+    const sim::SimProfiler* p = &profiler;
+    const sim::Simulator* s = &sim;
+
+    registry.register_gauge("simulator", "profiler", "dispatches",
+                            [p] { return static_cast<double>(p->total_dispatches()); });
+    registry.register_gauge("simulator", "profiler", "wall_ns",
+                            [p] { return static_cast<double>(p->total_wall_ns()); });
+    registry.register_gauge("simulator", "profiler", "events_per_sec",
+                            [p] { return p->events_per_second(); });
+    registry.register_gauge("simulator", "profiler", "max_queue_depth",
+                            [p] { return static_cast<double>(p->max_queue_depth()); });
+    registry.register_gauge("simulator", "profiler", "max_cancelled",
+                            [p] { return static_cast<double>(p->max_cancelled_size()); });
+    registry.register_gauge("simulator", "queue", "depth",
+                            [s] { return static_cast<double>(s->pending_events()); });
+    registry.register_gauge("simulator", "queue", "cancelled_backlog",
+                            [s] { return static_cast<double>(s->cancelled_backlog()); });
+
+    // Per-kind dispatch counts for every kind seen so far. Kinds appear
+    // as their first event fires, so call publish_profiler() again after
+    // a run (re-registration replaces providers harmlessly) to pick up
+    // kinds that did not exist at first attach.
+    for (const auto& [kind, _] : profiler.by_kind()) {
+        const std::string k = kind;
+        registry.register_gauge("simulator", "profiler", "kind/" + k, [p, k] {
+            const auto it = p->by_kind().find(k);
+            return it == p->by_kind().end()
+                       ? 0.0
+                       : static_cast<double>(it->second.dispatches);
+        });
+    }
+}
+
+}  // namespace mip::obs

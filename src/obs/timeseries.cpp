@@ -1,0 +1,229 @@
+#include "obs/timeseries.h"
+
+#include <stdexcept>
+
+namespace mip::obs {
+
+// ---- SeriesRing -------------------------------------------------------------
+
+SeriesRing::SeriesRing(std::size_t capacity) : points_(capacity == 0 ? 1 : capacity) {}
+
+void SeriesRing::push(SeriesPoint p) {
+    if (size_ < points_.size()) {
+        points_[(head_ + size_) % points_.size()] = p;
+        ++size_;
+        return;
+    }
+    // Full: overwrite the oldest slot and advance the head.
+    points_[head_] = p;
+    head_ = (head_ + 1) % points_.size();
+    ++dropped_;
+}
+
+const SeriesPoint& SeriesRing::at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SeriesRing::at");
+    return points_[(head_ + i) % points_.size()];
+}
+
+std::vector<SeriesPoint> SeriesRing::points() const {
+    std::vector<SeriesPoint> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+}
+
+// ---- MetricsSampler ---------------------------------------------------------
+
+MetricsSampler::MetricsSampler(sim::Simulator& sim, const MetricsRegistry& registry,
+                               SamplerConfig config)
+    : sim_(sim), registry_(registry), config_(config) {
+    if (config_.interval <= 0) {
+        throw std::invalid_argument("MetricsSampler: interval must be positive");
+    }
+}
+
+MetricsSampler::~MetricsSampler() {
+    stop();
+}
+
+void MetricsSampler::start() {
+    if (running_) return;
+    running_ = true;
+    timer_ = sim_.schedule_in(config_.interval, [this] { tick(); }, "metrics-sample");
+}
+
+void MetricsSampler::stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(timer_);
+}
+
+void MetricsSampler::tick() {
+    if (!running_) return;
+    sample_now();
+    timer_ = sim_.schedule_in(config_.interval, [this] { tick(); }, "metrics-sample");
+}
+
+void MetricsSampler::sample_now() {
+    const sim::TimePoint now = sim_.now();
+    const auto record = [&](const MetricsRegistry::Key& key, const char* field,
+                            double value) {
+        const SeriesKey skey{std::get<0>(key), std::get<1>(key), std::get<2>(key), field};
+        auto it = series_.find(skey);
+        if (it == series_.end()) {
+            it = series_.emplace(skey, SeriesRing(config_.ring_capacity)).first;
+        }
+        it->second.push(SeriesPoint{now, value});
+    };
+
+    for (const auto& [key, counter] : registry_.counters()) {
+        // Rate: the counter's delta since the previous tick. A counter
+        // first seen mid-run contributes its whole value as the first
+        // delta (it grew from nothing inside this window).
+        const std::uint64_t value = counter.value();
+        auto [it, fresh] = last_counter_.try_emplace(key, 0);
+        const std::uint64_t delta = value - it->second;
+        it->second = value;
+        (void)fresh;
+        record(key, "rate", static_cast<double>(delta));
+    }
+    for (const auto& [key, provider] : registry_.gauges()) {
+        record(key, "value", provider ? provider() : 0.0);
+    }
+    for (const auto& [key, histogram] : registry_.histograms()) {
+        record(key, "count", static_cast<double>(histogram.count()));
+        record(key, "sum", histogram.sum());
+    }
+    ++samples_;
+}
+
+const SeriesRing* MetricsSampler::find(const std::string& node, const std::string& layer,
+                                       const std::string& name,
+                                       const std::string& field) const {
+    const auto it = series_.find(SeriesKey{node, layer, name, field});
+    return it != series_.end() ? &it->second : nullptr;
+}
+
+JsonValue MetricsSampler::to_json(const std::string& bench, const std::string& label) const {
+    JsonValue::Array series;
+    for (const auto& [key, ring] : series_) {
+        JsonValue::Object s;
+        s["node"] = std::get<0>(key);
+        s["layer"] = std::get<1>(key);
+        s["name"] = std::get<2>(key);
+        s["field"] = std::get<3>(key);
+        s["dropped"] = ring.dropped();
+        JsonValue::Array points;
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            const SeriesPoint& p = ring.at(i);
+            JsonValue::Object point;
+            point["t_ns"] = static_cast<std::uint64_t>(p.t_ns);
+            point["v"] = p.value;
+            points.emplace_back(std::move(point));
+        }
+        s["points"] = std::move(points);
+        series.emplace_back(std::move(s));
+    }
+
+    JsonValue::Object doc;
+    doc["schema_version"] = 1;
+    doc["kind"] = "timeseries";
+    doc["bench"] = bench;
+    doc["label"] = label;
+    doc["interval_ns"] = static_cast<std::uint64_t>(config_.interval);
+    doc["samples"] = samples_;
+    doc["series"] = std::move(series);
+    return JsonValue(std::move(doc));
+}
+
+std::string MetricsSampler::to_json_string(const std::string& bench,
+                                           const std::string& label) const {
+    return to_json(bench, label).dump(2) + "\n";
+}
+
+// ---- schema validation ------------------------------------------------------
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_timeseries_document(const JsonValue& doc) {
+    std::vector<std::string> problems;
+    if (!doc.is_object()) {
+        problems.push_back("document is not a JSON object");
+        return problems;
+    }
+    require(problems,
+            doc.contains("schema_version") && doc.at("schema_version").is_number() &&
+                doc.at("schema_version").as_number() == 1,
+            "schema_version must be the number 1");
+    require(problems,
+            doc.contains("kind") && doc.at("kind").is_string() &&
+                doc.at("kind").as_string() == "timeseries",
+            "kind must be the string \"timeseries\"");
+    for (const char* key : {"bench", "label"}) {
+        require(problems, doc.contains(key) && doc.at(key).is_string(),
+                std::string(key) + " must be a string");
+    }
+    require(problems,
+            doc.contains("interval_ns") && doc.at("interval_ns").is_number() &&
+                doc.at("interval_ns").as_number() > 0,
+            "interval_ns must be a positive number");
+    require(problems,
+            doc.contains("samples") && doc.at("samples").is_number() &&
+                doc.at("samples").as_number() >= 0,
+            "samples must be a non-negative number");
+    if (!doc.contains("series") || !doc.at("series").is_array()) {
+        problems.push_back("series must be an array");
+        return problems;
+    }
+
+    std::size_t i = 0;
+    for (const JsonValue& s : doc.at("series").as_array()) {
+        const std::string where = "series[" + std::to_string(i++) + "]";
+        if (!s.is_object()) {
+            problems.push_back(where + " is not an object");
+            continue;
+        }
+        for (const char* key : {"node", "layer", "name", "field"}) {
+            require(problems, s.contains(key) && s.at(key).is_string(),
+                    where + "." + key + " must be a string");
+        }
+        if (s.contains("field") && s.at("field").is_string()) {
+            const std::string& field = s.at("field").as_string();
+            require(problems,
+                    field == "rate" || field == "value" || field == "count" ||
+                        field == "sum",
+                    where + ".field must be rate, value, count or sum");
+        }
+        require(problems,
+                s.contains("dropped") && s.at("dropped").is_number() &&
+                    s.at("dropped").as_number() >= 0,
+                where + ".dropped must be a non-negative number");
+        if (!s.contains("points") || !s.at("points").is_array()) {
+            problems.push_back(where + ".points must be an array");
+            continue;
+        }
+        double prev_t = -1.0;
+        std::size_t j = 0;
+        for (const JsonValue& p : s.at("points").as_array()) {
+            const std::string pwhere = where + ".points[" + std::to_string(j++) + "]";
+            if (!p.is_object() || !p.contains("t_ns") || !p.contains("v") ||
+                !p.at("t_ns").is_number() || !p.at("v").is_number()) {
+                problems.push_back(pwhere + " must be {t_ns: number, v: number}");
+                continue;
+            }
+            const double t = p.at("t_ns").as_number();
+            require(problems, t >= 0, pwhere + ".t_ns must be non-negative");
+            require(problems, t >= prev_t, pwhere + ": timestamps must be non-decreasing");
+            prev_t = t;
+        }
+    }
+    return problems;
+}
+
+}  // namespace mip::obs

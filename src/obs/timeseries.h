@@ -1,0 +1,137 @@
+// Metrics time-series sampling (ISSUE: time-resolved observability,
+// part a).
+//
+// A MetricsRegistry snapshot is an end-of-run photograph; the paper's
+// runtime behavior — the §7.1 "series of tests", probe upgrades, mode
+// flips, handoff dynamics — is a *process over time*. MetricsSampler
+// turns the registry into time series: driven on a configurable sim-time
+// interval (off by default; start() attaches it), each tick walks the
+// registry and records
+//
+//   counters    -> field "rate":  the delta since the previous tick
+//   gauges      -> field "value": the polled value
+//   histograms  -> fields "count" and "sum": the cumulative snapshot
+//
+// into a fixed-capacity ring buffer per (node, layer, name, field).
+// When a ring fills, the oldest points are dropped and counted, so a
+// long run keeps the most recent window at full resolution instead of
+// exhausting memory.
+//
+// Export is deterministic JSON (docs/TRACE_FORMAT.md §5,
+// validate_timeseries_document() is the schema authority) — and, via
+// obs::ChromeTraceWriter (perfetto.h), Chrome-trace counter tracks
+// openable in ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace mip::obs {
+
+struct SeriesPoint {
+    sim::TimePoint t_ns = 0;
+    double value = 0.0;
+};
+
+/// Fixed-capacity ring of points in time order; push() drops (and counts)
+/// the oldest point when full.
+class SeriesRing {
+public:
+    explicit SeriesRing(std::size_t capacity);
+
+    void push(SeriesPoint p);
+
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return points_.size(); }
+    std::uint64_t dropped() const noexcept { return dropped_; }
+
+    /// i-th retained point, oldest first (0 <= i < size()).
+    const SeriesPoint& at(std::size_t i) const;
+
+    /// Retained points, oldest first.
+    std::vector<SeriesPoint> points() const;
+
+private:
+    std::vector<SeriesPoint> points_;  // fixed size = capacity
+    std::size_t head_ = 0;             // index of the oldest retained point
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+struct SamplerConfig {
+    /// Simulated time between ticks.
+    sim::Duration interval = sim::milliseconds(100);
+    /// Points retained per series; older points are dropped (and counted).
+    std::size_t ring_capacity = 4096;
+};
+
+/// Samples a MetricsRegistry on a simulated-time interval. Off by
+/// default: construction records nothing and schedules nothing; start()
+/// arms the repeating tick (tagged "metrics-sample" for the
+/// self-profiler), stop() (or destruction) disarms it. The registry and
+/// simulator must outlive the sampler.
+class MetricsSampler {
+public:
+    /// (node, layer, name, field) — field is "rate", "value", "count" or
+    /// "sum" per the class comment.
+    using SeriesKey = std::tuple<std::string, std::string, std::string, std::string>;
+
+    MetricsSampler(sim::Simulator& sim, const MetricsRegistry& registry,
+                   SamplerConfig config = {});
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler&) = delete;
+    MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+    void start();
+    void stop();
+    bool running() const noexcept { return running_; }
+
+    /// Takes one sample immediately (also usable without start()).
+    void sample_now();
+
+    std::uint64_t samples_taken() const noexcept { return samples_; }
+    const SamplerConfig& config() const noexcept { return config_; }
+
+    const std::map<SeriesKey, SeriesRing>& series() const noexcept { return series_; }
+    /// The ring for one series, or nullptr when never recorded.
+    const SeriesRing* find(const std::string& node, const std::string& layer,
+                           const std::string& name, const std::string& field) const;
+
+    /// Renders every series into the docs/TRACE_FORMAT.md §5 document:
+    ///   {"schema_version":1, "kind":"timeseries", "bench":..., "label":...,
+    ///    "interval_ns":..., "samples":..., "series":[...]}
+    /// Series appear sorted by (node, layer, name, field).
+    JsonValue to_json(const std::string& bench, const std::string& label) const;
+
+    /// Convenience: to_json() serialized with 2-space indentation.
+    std::string to_json_string(const std::string& bench, const std::string& label) const;
+
+private:
+    void tick();
+
+    sim::Simulator& sim_;
+    const MetricsRegistry& registry_;
+    SamplerConfig config_;
+    bool running_ = false;
+    sim::EventId timer_ = 0;
+    std::uint64_t samples_ = 0;
+    std::map<SeriesKey, SeriesRing> series_;
+    std::map<MetricsRegistry::Key, std::uint64_t> last_counter_;
+};
+
+/// Checks a parsed document against the time-series schema in
+/// docs/TRACE_FORMAT.md §5. Empty result = valid. Shared by the unit
+/// tests and the validate_metrics binary (bench_smoke), like the §4
+/// metrics validator.
+std::vector<std::string> validate_timeseries_document(const JsonValue& doc);
+
+}  // namespace mip::obs

@@ -90,7 +90,8 @@ void Link::transmit(const Nic& sender, Frame frame) {
             if (nic->link() != this) return;
             emit(TraceKind::FrameRx, nic, frame);
             nic->deliver(frame);
-        });
+        },
+        "frame-delivery");
     }
 }
 

@@ -1,16 +1,20 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
+#include "sim/profiler.h"
+
 namespace mip::sim {
 
-EventId Simulator::schedule_at(TimePoint when, std::function<void()> action) {
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> action,
+                               const char* kind) {
     if (when < now_) {
         throw std::logic_error("Simulator::schedule_at in the past");
     }
     const EventId id = next_id_++;
-    queue_.push(Event{when, id, std::move(action)});
+    queue_.push(Event{when, id, std::move(action), kind});
     return id;
 }
 
@@ -23,7 +27,22 @@ bool Simulator::fire_next(TimePoint limit) {
             continue;
         }
         now_ = ev.when;
-        ev.action();
+        ++events_fired_;
+        if (profiler_ != nullptr) {
+            // Attach-time guard: the disabled path above pays only the
+            // nullptr compare. Queue/cancelled sizes are read after the
+            // handler so the gauges see what the handler scheduled.
+            const auto t0 = std::chrono::steady_clock::now();
+            ev.action();
+            const auto t1 = std::chrono::steady_clock::now();
+            profiler_->record(
+                ev.kind,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+                queue_.size(), cancelled_.size());
+        } else {
+            ev.action();
+        }
         return true;
     }
     // Queue drained: every surviving cancellation is stale (its event

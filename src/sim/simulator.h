@@ -16,6 +16,8 @@
 
 namespace mip::sim {
 
+class SimProfiler;
+
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
 
@@ -28,11 +30,16 @@ public:
     TimePoint now() const noexcept { return now_; }
 
     /// Schedules @p action to run at absolute time @p when (>= now).
-    EventId schedule_at(TimePoint when, std::function<void()> action);
+    /// @p kind tags the event for the self-profiler ("frame-delivery",
+    /// "tcp-rto", ...); it must be a string literal or otherwise outlive
+    /// the event. Untagged events profile under "event".
+    EventId schedule_at(TimePoint when, std::function<void()> action,
+                        const char* kind = nullptr);
 
     /// Schedules @p action to run @p delay from now.
-    EventId schedule_in(Duration delay, std::function<void()> action) {
-        return schedule_at(now_ + delay, std::move(action));
+    EventId schedule_in(Duration delay, std::function<void()> action,
+                        const char* kind = nullptr) {
+        return schedule_at(now_ + delay, std::move(action), kind);
     }
 
     /// Cancels a pending event. Cancelling an already-fired or unknown id
@@ -62,6 +69,16 @@ public:
     /// Observability hook for the leak regression tests.
     std::size_t cancelled_backlog() const noexcept { return cancelled_.size(); }
 
+    /// Cumulative count of events dispatched over the simulator's lifetime
+    /// (bench_perf's events/sec numerator; monotone, never reset).
+    std::uint64_t events_fired() const noexcept { return events_fired_; }
+
+    /// Attaches (or, with nullptr, detaches) a self-profiler. Off by
+    /// default; when detached the per-event cost is one pointer compare.
+    /// The profiler must outlive its attachment.
+    void set_profiler(SimProfiler* profiler) noexcept { profiler_ = profiler; }
+    SimProfiler* profiler() const noexcept { return profiler_; }
+
     static constexpr std::size_t kDefaultEventLimit = 10'000'000;
 
 private:
@@ -69,6 +86,7 @@ private:
         TimePoint when;
         EventId id;
         std::function<void()> action;
+        const char* kind;  ///< profiler tag; nullptr = generic "event"
     };
     struct Later {
         bool operator()(const Event& a, const Event& b) const noexcept {
@@ -84,6 +102,8 @@ private:
     TimePoint now_ = 0;
     EventId next_id_ = 1;
     std::uint64_t next_packet_id_ = 1;
+    std::uint64_t events_fired_ = 0;
+    SimProfiler* profiler_ = nullptr;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::unordered_set<EventId> cancelled_;
 };

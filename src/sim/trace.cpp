@@ -1,7 +1,5 @@
 #include "sim/trace.h"
 
-#include <algorithm>
-
 namespace mip::sim {
 
 const char* to_string(TraceKind kind) {
@@ -23,37 +21,27 @@ const char* to_string(TraceKind kind) {
 }
 
 TraceSink TraceRecorder::sink() {
-    return [this](const TraceEvent& ev) { events_.push_back(ev); };
+    return [this](const TraceEvent& ev) { record(ev); };
 }
 
-std::size_t TraceRecorder::count(TraceKind kind) const {
-    return static_cast<std::size_t>(
-        std::count_if(events_.begin(), events_.end(),
-                      [kind](const TraceEvent& ev) { return ev.kind == kind; }));
-}
-
-std::size_t TraceRecorder::total_tx_bytes() const {
-    std::size_t total = 0;
-    for (const auto& ev : events_) {
-        if (ev.kind == TraceKind::FrameTx) total += ev.bytes;
+void TraceRecorder::record(const TraceEvent& ev) {
+    events_.push_back(ev);
+    ++counts_[static_cast<std::size_t>(ev.kind)];
+    if (ev.kind == TraceKind::FrameTx) {
+        total_tx_bytes_ += ev.bytes;
+        if (ev.ethertype == 0x0800) {
+            ++ip_hops_;
+            ip_tx_bytes_ += ev.bytes;
+        }
     }
-    return total;
 }
 
-std::size_t TraceRecorder::ip_hops() const {
-    std::size_t n = 0;
-    for (const auto& ev : events_) {
-        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) ++n;
-    }
-    return n;
-}
-
-std::size_t TraceRecorder::ip_tx_bytes() const {
-    std::size_t total = 0;
-    for (const auto& ev : events_) {
-        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) total += ev.bytes;
-    }
-    return total;
+void TraceRecorder::clear() {
+    events_.clear();
+    counts_.fill(0);
+    total_tx_bytes_ = 0;
+    ip_hops_ = 0;
+    ip_tx_bytes_ = 0;
 }
 
 std::vector<std::string> TraceRecorder::ip_tx_nodes() const {

@@ -8,6 +8,7 @@
 // is documented in docs/TRACE_FORMAT.md.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -36,6 +37,10 @@ enum class TraceKind {
     Encapsulated,     ///< a tunnel entry wrapped the packet in an outer datagram
     Decapsulated,     ///< a tunnel exit recovered the inner datagram
 };
+
+/// Number of TraceKind enumerators — sizes the per-kind counter array.
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::Decapsulated) + 1;
 
 const char* to_string(TraceKind kind);
 
@@ -79,18 +84,24 @@ public:
     TraceSink sink();
 
     const std::vector<TraceEvent>& events() const noexcept { return events_; }
-    void clear() { events_.clear(); }
+    void clear();
 
-    std::size_t count(TraceKind kind) const;
+    // The aggregate queries below are O(1): the sink maintains running
+    // totals as events arrive (and clear() resets them). They are polled
+    // as gauges by every MetricsSampler tick, so a per-query scan of the
+    // event vector would make sampling quadratic in run length.
+    std::size_t count(TraceKind kind) const noexcept {
+        return counts_[static_cast<std::size_t>(kind)];
+    }
     /// Sum of frame bytes over all FrameTx events — total load offered to
     /// the network ("load on the shared resources of the Internet", §3.2).
-    std::size_t total_tx_bytes() const;
+    std::size_t total_tx_bytes() const noexcept { return total_tx_bytes_; }
 
     /// FrameTx events carrying IPv4 (= link-level hops taken by IP packets,
     /// excluding ARP chatter).
-    std::size_t ip_hops() const;
+    std::size_t ip_hops() const noexcept { return ip_hops_; }
     /// Total bytes of those IPv4 frames.
-    std::size_t ip_tx_bytes() const;
+    std::size_t ip_tx_bytes() const noexcept { return ip_tx_bytes_; }
 
     /// The sequence of nodes that transmitted IPv4 frames, in time order —
     /// for a single request/response exchange this reads as the packet's
@@ -100,7 +111,13 @@ public:
     std::string ip_path_string() const;
 
 private:
+    void record(const TraceEvent& ev);
+
     std::vector<TraceEvent> events_;
+    std::array<std::size_t, kTraceKindCount> counts_{};
+    std::size_t total_tx_bytes_ = 0;
+    std::size_t ip_hops_ = 0;
+    std::size_t ip_tx_bytes_ = 0;
 };
 
 }  // namespace mip::sim

@@ -22,13 +22,16 @@ void Pinger::ping(net::Ipv4Address dst, Callback cb, sim::Duration timeout,
     Outstanding out;
     out.sent_at = ip_.simulator().now();
     out.callback = std::move(cb);
-    out.timeout_event = ip_.simulator().schedule_in(timeout, [this, seq] {
-        auto it = outstanding_.find(seq);
-        if (it == outstanding_.end()) return;
-        auto callback = std::move(it->second.callback);
-        outstanding_.erase(it);
-        callback(std::nullopt);
-    });
+    out.timeout_event = ip_.simulator().schedule_in(
+        timeout,
+        [this, seq] {
+            auto it = outstanding_.find(seq);
+            if (it == outstanding_.end()) return;
+            auto callback = std::move(it->second.callback);
+            outstanding_.erase(it);
+            callback(std::nullopt);
+        },
+        "ping-timeout");
     outstanding_[seq] = std::move(out);
     ++sent_;
 

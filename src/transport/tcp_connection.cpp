@@ -147,10 +147,13 @@ void TcpConnection::send_ack() {
 void TcpConnection::arm_timer() {
     cancel_timer();
     const sim::Duration timeout = config_.rto << std::min(backoff_, 16u);
-    rto_timer_ = service_.ip().simulator().schedule_in(timeout, [this] {
-        timer_armed_ = false;
-        on_timeout();
-    });
+    rto_timer_ = service_.ip().simulator().schedule_in(
+        timeout,
+        [this] {
+            timer_armed_ = false;
+            on_timeout();
+        },
+        "tcp-rto");
     timer_armed_ = true;
 }
 

@@ -159,6 +159,73 @@ TEST(JourneyTest, IndexSkipsNonJourneyEvents) {
     EXPECT_EQ(index.find(0), nullptr);
 }
 
+// A fragmented datagram whose fragments partly die on the wire: the
+// journey must report BOTH the loss (drop()) and the final outcome
+// (delivered() stays false — reassembly never completed), and the lost
+// fragment must not fork a second journey.
+TEST(JourneyTest, PartiallyDroppedFragmentsStayOneJourney) {
+    const auto ev = [](sim::TraceKind kind, sim::TimePoint when, const char* node) {
+        sim::TraceEvent e;
+        e.kind = kind;
+        e.when = when;
+        e.node = node;
+        e.packet_id = 42;
+        return e;
+    };
+    std::vector<sim::TraceEvent> events{
+        ev(sim::TraceKind::PacketSent, 100, "ch0"),
+        // Three fragments leave the sender...
+        ev(sim::TraceKind::FrameTx, 110, "ch0"),
+        ev(sim::TraceKind::FrameTx, 111, "ch0"),
+        ev(sim::TraceKind::FrameTx, 112, "ch0"),
+        // ...two arrive, the middle one is destroyed by the loss model.
+        ev(sim::TraceKind::FrameRx, 120, "router"),
+        ev(sim::TraceKind::FrameLost, 121, "router"),
+        ev(sim::TraceKind::FrameRx, 122, "router"),
+    };
+
+    obs::JourneyIndex index(events);
+    EXPECT_EQ(index.size(), 1u) << "fragments share one journey id";
+    const obs::PacketJourney* j = index.find(42);
+    ASSERT_NE(j, nullptr);
+    EXPECT_FALSE(j->delivered()) << "a missing fragment means no reassembly";
+    EXPECT_TRUE(j->dropped());
+    ASSERT_NE(j->drop(), nullptr);
+    EXPECT_EQ(j->drop()->kind, sim::TraceKind::FrameLost);
+    EXPECT_EQ(j->drop()->node, "router");
+    EXPECT_EQ(j->hops(), 3u) << "every fragment transmit counts as a hop";
+    EXPECT_EQ(j->node_path(), (std::vector<std::string>{"ch0", "router"}));
+}
+
+// The recovered variant: the sender retransmits the lost fragment and the
+// datagram is eventually reassembled. delivered() and dropped() are then
+// simultaneously true — the journey records the loss *and* the recovery.
+TEST(JourneyTest, RetransmittedFragmentLossIsRecordedAlongsideDelivery) {
+    const auto ev = [](sim::TraceKind kind, sim::TimePoint when, const char* node) {
+        sim::TraceEvent e;
+        e.kind = kind;
+        e.when = when;
+        e.node = node;
+        e.packet_id = 43;
+        return e;
+    };
+    std::vector<sim::TraceEvent> events{
+        ev(sim::TraceKind::PacketSent, 100, "a"),
+        ev(sim::TraceKind::FrameTx, 110, "a"),
+        ev(sim::TraceKind::FrameLost, 115, "a"),
+        ev(sim::TraceKind::FrameTx, 200, "a"),  // retransmit
+        ev(sim::TraceKind::FrameRx, 210, "b"),
+        ev(sim::TraceKind::PacketDelivered, 211, "b"),
+    };
+    obs::JourneyIndex index(events);
+    const obs::PacketJourney* j = index.find(43);
+    ASSERT_NE(j, nullptr);
+    EXPECT_TRUE(j->delivered());
+    EXPECT_TRUE(j->dropped());
+    EXPECT_EQ(j->count(sim::TraceKind::FrameLost), 1u);
+    EXPECT_EQ(j->hops(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics registry and schema
 // ---------------------------------------------------------------------------
@@ -218,6 +285,33 @@ TEST(MetricsTest, HistogramBucketsAreCumulative) {
     EXPECT_EQ(h.max(), 5000.0);
 }
 
+TEST(MetricsTest, HistogramObservationExactlyOnBoundCountsInItsBucket) {
+    // Prometheus-style le semantics: a bound *admits* its own value.
+    obs::Histogram h({1.0, 10.0, 100.0});
+    h.observe(1.0);
+    h.observe(10.0);
+    h.observe(100.0);
+    const auto& counts = h.bucket_counts();
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 3u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 111.0);
+}
+
+TEST(MetricsTest, HistogramWithNoBoundsStillAggregates) {
+    // Degenerate but legal: every observation lands in the implicit +inf.
+    obs::Histogram h(std::vector<double>{});
+    EXPECT_EQ(h.count(), 0u);
+    h.observe(-3.0);
+    h.observe(7.5);
+    EXPECT_TRUE(h.bucket_counts().empty());
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), 4.5);
+    EXPECT_EQ(h.min(), -3.0);
+    EXPECT_EQ(h.max(), 7.5);
+}
+
 TEST(MetricsTest, ValidatorRejectsNonConformingDocuments) {
     obs::MetricsRegistry reg;
     reg.counter("n", "l", "c").add(1);
@@ -242,6 +336,27 @@ TEST(MetricsTest, ValidatorRejectsNonConformingDocuments) {
 TEST(MetricsTest, GaugeValueThrowsOnUnknownTriple) {
     obs::MetricsRegistry reg;
     EXPECT_THROW(reg.gauge_value("no", "such", "gauge"), obs::JsonError);
+}
+
+TEST(MetricsTest, GaugeValueErrorSuggestsClosestKeys) {
+    obs::MetricsRegistry reg;
+    reg.register_gauge("mobile-host", "handoff", "handoffs", [] { return 1.0; });
+    reg.register_gauge("mobile-host", "handoff", "dead_zone_entries", [] { return 0.0; });
+    try {
+        reg.gauge_value("mobile-host", "handoff", "handofs");  // typo
+        FAIL() << "expected JsonError";
+    } catch (const obs::JsonError& e) {
+        const std::string what = e.what();
+        // The misspelled key is echoed and the near-miss is ranked first
+        // among the suggestions.
+        EXPECT_NE(what.find("handofs"), std::string::npos) << what;
+        const auto suggestion = what.find("mobile-host/handoff/handoffs");
+        ASSERT_NE(suggestion, std::string::npos) << what;
+        const auto other = what.find("dead_zone_entries");
+        if (other != std::string::npos) {
+            EXPECT_LT(suggestion, other) << what;
+        }
+    }
 }
 
 // A real World publishes the gauges the benches read: exercise one run and
@@ -335,6 +450,56 @@ TEST(PcapTest, FileParsesBackToTheCapturedFrames) {
         }
         EXPECT_EQ(off, bytes.size());
         EXPECT_EQ(records, writer.frames_written());
+    }
+    std::filesystem::remove(path);
+}
+
+// Nanosecond mode (ISSUE satellite): magic 0xa1b23c4d, second timestamp
+// field carries nanoseconds — the simulator clock round-trips losslessly.
+TEST(PcapTest, NanosecondModeWritesNsMagicAndFullPrecisionTimestamps) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "m4x4_test_obs_ns.pcap").string();
+
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    {
+        obs::PcapWriter writer(world.sim, path, obs::PcapResolution::Nanosecond);
+        EXPECT_EQ(writer.resolution(), obs::PcapResolution::Nanosecond);
+        writer.attach(world.home_lan());
+        ASSERT_TRUE(world.attach_mobile_foreign());
+        transport::Pinger pinger(ch.stack());
+        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        world.run_for(sim::seconds(3));
+        ASSERT_GT(writer.frames_written(), 0u);
+        writer.close();
+
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+        ASSERT_GE(bytes.size(), 24u);
+        EXPECT_EQ(pcap::u32(bytes, 0), 0xa1b23c4du);
+
+        // Record timestamps: seconds * 1e9 + nanoseconds reconstructs the
+        // integer-ns simulator clock exactly; in microsecond mode the
+        // sub-µs digits would have been truncated away.
+        std::size_t off = 24;
+        std::uint64_t prev_ns = 0;
+        bool saw_sub_us_precision = false;
+        while (off < bytes.size()) {
+            ASSERT_GE(bytes.size() - off, 16u);
+            const std::uint32_t frac = pcap::u32(bytes, off + 4);
+            EXPECT_LT(frac, 1000000000u) << "ns field must stay below one second";
+            if (frac % 1000 != 0) saw_sub_us_precision = true;
+            const std::uint64_t ts = std::uint64_t(pcap::u32(bytes, off)) * 1000000000u + frac;
+            EXPECT_GE(ts, prev_ns);
+            prev_ns = ts;
+            off += 16 + pcap::u32(bytes, off + 8);
+        }
+        EXPECT_TRUE(saw_sub_us_precision)
+            << "link serialization times are not whole microseconds; at least one "
+               "record should carry sub-us digits";
     }
     std::filesystem::remove(path);
 }

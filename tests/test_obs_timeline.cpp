@@ -1,0 +1,474 @@
+// Time-resolved observability (ISSUE tentpole): the metrics sampler and
+// its ring buffers, the delivery-decision audit trail, the Chrome-trace /
+// Perfetto exporter, and the simulator self-profiler — including the
+// off-by-default guarantees the whole design leans on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/decision.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/perfetto.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
+#include "sim/profiler.h"
+#include "sim/simulator.h"
+
+using namespace mip;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SeriesRing
+// ---------------------------------------------------------------------------
+
+TEST(SeriesRingTest, KeepsMostRecentWindowAndCountsDrops) {
+    obs::SeriesRing ring(3);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.capacity(), 3u);
+
+    ring.push({10, 1.0});
+    ring.push({20, 2.0});
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.at(0).t_ns, 10);
+    EXPECT_EQ(ring.at(1).t_ns, 20);
+
+    ring.push({30, 3.0});
+    ring.push({40, 4.0});  // evicts t=10
+    ring.push({50, 5.0});  // evicts t=20
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    EXPECT_EQ(ring.at(0).t_ns, 30) << "oldest retained point first";
+    EXPECT_EQ(ring.at(2).t_ns, 50);
+
+    const auto pts = ring.points();
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts[0].value, 3.0);
+    EXPECT_EQ(pts[2].value, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSampler
+// ---------------------------------------------------------------------------
+
+TEST(SamplerTest, OffByDefaultUntilStarted) {
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    reg.counter("n", "l", "c").add(5);
+    obs::MetricsSampler sampler(simulator, reg, {.interval = sim::milliseconds(10)});
+
+    // Construction must neither sample nor schedule anything.
+    EXPECT_FALSE(sampler.running());
+    EXPECT_EQ(simulator.pending_events(), 0u);
+    simulator.schedule_in(sim::seconds(1), [] {});
+    simulator.run();
+    EXPECT_EQ(sampler.samples_taken(), 0u);
+    EXPECT_TRUE(sampler.series().empty());
+}
+
+TEST(SamplerTest, RecordsCounterRatesGaugeValuesAndHistogramSnapshots) {
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    auto& counter = reg.counter("mh", "ip", "packets");
+    double gauge = 1.5;
+    reg.register_gauge("mh", "handoff", "handoffs", [&gauge] { return gauge; });
+    auto& hist = reg.histogram("mh", "probe", "rtt_ns", {1e6, 1e9});
+
+    obs::MetricsSampler sampler(simulator, reg, {.interval = sim::milliseconds(100)});
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+
+    // Drive the registry between ticks: +3 packets in the first interval,
+    // +7 in the second; the gauge moves; the histogram sees two values.
+    counter.add(3);
+    simulator.schedule_at(sim::milliseconds(150), [&] {
+        counter.add(7);
+        gauge = 4.0;
+        hist.observe(2e6);
+        hist.observe(5e6);
+    });
+    simulator.schedule_at(sim::milliseconds(350), [] {});  // horizon
+    simulator.run_until(sim::milliseconds(350));
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_GE(sampler.samples_taken(), 3u);
+
+    const obs::SeriesRing* rate = sampler.find("mh", "ip", "packets", "rate");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_EQ(rate->at(0).value, 3.0) << "first tick: delta from zero";
+    EXPECT_EQ(rate->at(1).value, 7.0) << "second tick: delta since previous";
+    EXPECT_EQ(rate->at(2).value, 0.0) << "quiet interval: zero rate";
+
+    const obs::SeriesRing* value = sampler.find("mh", "handoff", "handoffs", "value");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->at(0).value, 1.5);
+    EXPECT_EQ(value->at(1).value, 4.0) << "gauges are re-polled each tick";
+
+    const obs::SeriesRing* count = sampler.find("mh", "probe", "rtt_ns", "count");
+    const obs::SeriesRing* sum = sampler.find("mh", "probe", "rtt_ns", "sum");
+    ASSERT_NE(count, nullptr);
+    ASSERT_NE(sum, nullptr);
+    EXPECT_EQ(count->at(0).value, 0.0);
+    EXPECT_EQ(count->at(1).value, 2.0) << "histogram count is cumulative";
+    EXPECT_EQ(sum->at(1).value, 7e6);
+
+    EXPECT_EQ(sampler.find("mh", "ip", "packets", "value"), nullptr)
+        << "counters never produce a 'value' field";
+
+    // Stopping must actually disarm the repeating tick.
+    const auto taken = sampler.samples_taken();
+    simulator.schedule_in(sim::seconds(1), [] {});
+    simulator.run();
+    EXPECT_EQ(sampler.samples_taken(), taken);
+}
+
+TEST(SamplerTest, ToJsonIsSchemaValidAndRoundTrips) {
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    auto& counter = reg.counter("mh", "ip", "packets");
+    obs::MetricsSampler sampler(simulator, reg, {.interval = sim::milliseconds(50)});
+    sampler.start();
+    for (int i = 0; i < 4; ++i) {
+        counter.add(static_cast<std::uint64_t>(i));
+        simulator.schedule_in(sim::milliseconds(50), [] {});
+        simulator.run_until(simulator.now() + sim::milliseconds(50));
+    }
+    sampler.stop();
+
+    const obs::JsonValue doc = sampler.to_json("test_bench", "case1");
+    const auto problems = obs::validate_timeseries_document(doc);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+
+    const obs::JsonValue parsed =
+        obs::JsonValue::parse(sampler.to_json_string("test_bench", "case1"));
+    EXPECT_EQ(parsed, doc);
+
+    EXPECT_EQ(parsed.at("kind").as_string(), "timeseries");
+    EXPECT_EQ(parsed.at("bench").as_string(), "test_bench");
+    EXPECT_EQ(parsed.at("interval_ns").as_number(), 50e6);
+    const auto& series = parsed.at("series").as_array();
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_EQ(series[0].at("field").as_string(), "rate");
+    EXPECT_EQ(series[0].at("dropped").as_number(), 0.0);
+    const auto& points = series[0].at("points").as_array();
+    EXPECT_EQ(points.size(), sampler.samples_taken());
+}
+
+TEST(SamplerTest, ValidatorRejectsNonConformingTimeseries) {
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    reg.counter("n", "l", "c").add(1);
+    obs::MetricsSampler sampler(simulator, reg, {});
+    // Sample at a non-zero time so a later t_ns=0 point is a real
+    // order violation rather than a harmless tie.
+    simulator.schedule_in(sim::milliseconds(10), [] {});
+    simulator.run();
+    sampler.sample_now();
+    obs::JsonValue doc = sampler.to_json("b", "l");
+    ASSERT_TRUE(obs::validate_timeseries_document(doc).empty());
+
+    obs::JsonValue bad_field = doc;
+    bad_field["series"].as_array()[0]["field"] = obs::JsonValue("bogus");
+    EXPECT_FALSE(obs::validate_timeseries_document(bad_field).empty());
+
+    obs::JsonValue bad_kind = doc;
+    bad_kind["kind"] = obs::JsonValue("metrics");
+    EXPECT_FALSE(obs::validate_timeseries_document(bad_kind).empty());
+
+    obs::JsonValue unsorted = doc;
+    {
+        auto& points = unsorted["series"].as_array()[0]["points"].as_array();
+        obs::JsonValue::Object late;
+        late["t_ns"] = 0;  // before the recorded sample: violates time order
+        late["v"] = 1.0;
+        points.emplace_back(std::move(late));
+        unsorted["samples"] = obs::JsonValue(2);
+    }
+    EXPECT_FALSE(obs::validate_timeseries_document(unsorted).empty());
+
+    EXPECT_FALSE(obs::validate_timeseries_document(obs::JsonValue(3.0)).empty());
+}
+
+TEST(SamplerTest, RejectsNonPositiveInterval) {
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    EXPECT_THROW(obs::MetricsSampler(simulator, reg, {.interval = 0}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DecisionLog
+// ---------------------------------------------------------------------------
+
+obs::DecisionEvent decision(sim::TimePoint when, const std::string& correspondent,
+                            const std::string& trigger, const std::string& test,
+                            bool passed, const std::string& from, const std::string& to) {
+    obs::DecisionEvent ev;
+    ev.when = when;
+    ev.node = "mobile-host";
+    ev.correspondent = correspondent;
+    ev.trigger = trigger;
+    ev.test = test;
+    ev.input = "failures=2";
+    ev.passed = passed;
+    ev.from_mode = from;
+    ev.to_mode = to;
+    return ev;
+}
+
+TEST(DecisionLogTest, IndexesPerCorrespondentAndRendersChains) {
+    obs::DecisionLog log;
+    log.record(decision(0, "10.2.0.9", "initial", "strategy", true, "", "DE"));
+    log.record(decision(sim::milliseconds(12500), "10.2.0.9", "failure", "failure-count",
+                        false, "DE", "IE"));
+    log.record(decision(sim::seconds(1), "10.3.0.7", "initial", "strategy", true, "", "DH"));
+
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.correspondents(), (std::vector<std::string>{"10.2.0.9", "10.3.0.7"}));
+    EXPECT_EQ(log.for_correspondent("10.2.0.9").size(), 2u);
+    EXPECT_TRUE(log.for_correspondent("nobody").empty());
+
+    const std::string chain = log.chain_string("10.2.0.9", ">> ");
+    EXPECT_NE(chain.find(">> [0.000s] initial/strategy"), std::string::npos) << chain;
+    EXPECT_NE(chain.find("[12.500s] failure/failure-count failures=2 FAIL DE->IE"),
+              std::string::npos)
+        << chain;
+    EXPECT_EQ(chain.find("DH"), std::string::npos)
+        << "other correspondents' events must not leak into the chain";
+    EXPECT_TRUE(log.chain_string("nobody").empty());
+}
+
+TEST(DecisionLogTest, ToJsonIsSchemaValidAndValidatorCatchesViolations) {
+    obs::DecisionLog log;
+    log.record(decision(7, "ch", "upgrade", "probe", true, "IE", "DE"));
+    obs::JsonValue doc = log.to_json("bench", "label");
+    const auto problems = obs::validate_decisions_document(doc);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+
+    const obs::JsonValue parsed = obs::JsonValue::parse(log.to_json_string("bench", "label"));
+    EXPECT_EQ(parsed, doc);
+    const auto& events = parsed.at("events").as_array();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].at("t_ns").as_number(), 7.0);
+    EXPECT_EQ(events[0].at("trigger").as_string(), "upgrade");
+    EXPECT_TRUE(events[0].at("passed").as_bool());
+
+    obs::JsonValue missing_trigger = doc;
+    missing_trigger["events"].as_array()[0].as_object().erase("trigger");
+    EXPECT_FALSE(obs::validate_decisions_document(missing_trigger).empty());
+
+    obs::JsonValue bad_passed = doc;
+    bad_passed["events"].as_array()[0]["passed"] = obs::JsonValue("yes");
+    EXPECT_FALSE(obs::validate_decisions_document(bad_passed).empty());
+
+    obs::JsonValue bad_kind = doc;
+    bad_kind["kind"] = obs::JsonValue("timeseries");
+    EXPECT_FALSE(obs::validate_decisions_document(bad_kind).empty());
+}
+
+// End-to-end: the method cache narrates its own mode changes into the
+// World's log once enable_decision_log() attaches it — and records
+// nothing at all when detached (off by default).
+TEST(DecisionLogTest, MethodCacheNarratesModeChanges) {
+    core::World world;
+    core::CorrespondentHost& ch =
+        world.create_correspondent({}, core::Placement::CorrLan);
+    world.create_mobile_host();
+    world.enable_decision_log();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    core::MobileHost& mh = world.mobile_host();
+    const std::string corr = ch.address().to_string();
+    mh.mode_for(ch.address());  // initial selection
+    const auto initial = world.decisions.for_correspondent(corr);
+    ASSERT_FALSE(initial.empty()) << "initial selection must be narrated";
+    EXPECT_EQ(initial.front().trigger, "initial");
+    EXPECT_EQ(initial.front().node, "mobile-host");
+
+    // Two failures cross the default threshold and force a downgrade;
+    // the trail must show the threshold test failing.
+    mh.method_cache().report_failure(ch.address(), world.sim.now(), "unit-test");
+    mh.method_cache().report_failure(ch.address(), world.sim.now(), "unit-test");
+    const auto events = world.decisions.for_correspondent(corr);
+    ASSERT_GT(events.size(), initial.size());
+    bool saw_downgrade = false;
+    for (const auto& ev : events) {
+        if (ev.trigger == "failure" && !ev.passed && ev.from_mode != ev.to_mode) {
+            saw_downgrade = true;
+            EXPECT_NE(ev.input.find("unit-test"), std::string::npos) << ev.input;
+        }
+    }
+    EXPECT_TRUE(saw_downgrade) << world.decisions.chain_string(corr);
+    EXPECT_FALSE(world.decisions.chain_string(corr).empty());
+}
+
+TEST(DecisionLogTest, DetachedCacheRecordsNothing) {
+    core::World world;
+    core::CorrespondentHost& ch =
+        world.create_correspondent({}, core::Placement::CorrLan);
+    world.create_mobile_host();  // enable_decision_log() deliberately not called
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    world.mobile_host().mode_for(ch.address());
+    world.mobile_host().method_cache().report_failure(ch.address(), world.sim.now());
+    EXPECT_EQ(world.decisions.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceWriter
+// ---------------------------------------------------------------------------
+
+TEST(PerfettoTest, RendersDecisionsSeriesAndSpansAsTracks) {
+    obs::DecisionLog log;
+    log.record(decision(2'000'000, "ch", "failure", "failure-count", false, "DE", "IE"));
+
+    sim::Simulator simulator;
+    obs::MetricsRegistry reg;
+    reg.counter("mh", "ip", "packets").add(4);
+    obs::MetricsSampler sampler(simulator, reg, {});
+    sampler.sample_now();
+
+    obs::ChromeTraceWriter writer;
+    EXPECT_EQ(writer.size(), 0u);
+    writer.add_decisions(log);
+    writer.add_series(sampler);
+    writer.add_span("handoffs", sim::milliseconds(1), sim::milliseconds(3),
+                    "home -> foreign", {{"attempts", obs::JsonValue(1)}});
+    writer.add_instant("phases", sim::milliseconds(5), "upgrade probe");
+    EXPECT_EQ(writer.size(), 4u);
+
+    const obs::JsonValue doc = writer.document();
+    const obs::JsonValue parsed = obs::JsonValue::parse(writer.document_string());
+    EXPECT_EQ(parsed, doc);
+    const auto& events = doc.at("traceEvents").as_array();
+    EXPECT_GT(events.size(), 4u) << "metadata events ride along with the data";
+
+    std::size_t metadata = 0, instants = 0, spans = 0, counters = 0;
+    bool saw_decision = false, saw_span = false;
+    for (const auto& e : events) {
+        const std::string& ph = e.at("ph").as_string();
+        if (ph == "M") {
+            ++metadata;
+            continue;
+        }
+        if (ph == "i") {
+            ++instants;
+            EXPECT_EQ(e.at("s").as_string(), "t");
+        }
+        if (ph == "X") ++spans;
+        if (ph == "C") ++counters;
+        if (ph == "i" && e.at("pid").as_number() == obs::ChromeTraceWriter::kPidDecisions) {
+            saw_decision = true;
+            EXPECT_EQ(e.at("name").as_string(), "failure/failure-count → IE");
+            EXPECT_EQ(e.at("ts").as_number(), 2000.0) << "ns map to fractional us";
+        }
+        if (ph == "X") {
+            saw_span = true;
+            EXPECT_EQ(e.at("ts").as_number(), 1000.0);
+            EXPECT_EQ(e.at("dur").as_number(), 2000.0);
+        }
+    }
+    EXPECT_GE(metadata, 4u) << "process names for every track group";
+    EXPECT_EQ(instants, 2u);
+    EXPECT_EQ(spans, 1u);
+    EXPECT_EQ(counters, 1u);
+    EXPECT_TRUE(saw_decision);
+    EXPECT_TRUE(saw_span);
+}
+
+TEST(PerfettoTest, SpansNeverRenderWithZeroDuration) {
+    obs::ChromeTraceWriter writer;
+    writer.add_span("t", 500, 500, "instantaneous");
+    const obs::JsonValue doc = writer.document();
+    for (const auto& e : doc.at("traceEvents").as_array()) {
+        if (e.at("ph").as_string() == "X") {
+            EXPECT_GE(e.at("dur").as_number(), 1.0)
+                << "zero-width spans are invisible in the Perfetto UI";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimProfiler
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, AggregatesPerKindAndTracksHighWaterMarks) {
+    sim::SimProfiler profiler;
+    profiler.record("tcp-rto", 1000, 5, 2);
+    profiler.record("tcp-rto", 3000, 9, 1);
+    profiler.record(nullptr, 500, 3, 0);  // untagged -> "event"
+
+    EXPECT_EQ(profiler.total_dispatches(), 3u);
+    EXPECT_EQ(profiler.total_wall_ns(), 4500u);
+    EXPECT_EQ(profiler.max_queue_depth(), 9u);
+    EXPECT_EQ(profiler.max_cancelled_size(), 2u);
+
+    const auto& kinds = profiler.by_kind();
+    ASSERT_EQ(kinds.size(), 2u);
+    const auto& rto = kinds.at("tcp-rto");
+    EXPECT_EQ(rto.dispatches, 2u);
+    EXPECT_EQ(rto.wall_ns, 4000u);
+    EXPECT_EQ(rto.max_wall_ns, 3000u);
+    EXPECT_EQ(rto.mean_wall_ns(), 2000.0);
+    EXPECT_EQ(kinds.at("event").dispatches, 1u);
+
+    EXPECT_GT(profiler.events_per_second(), 0.0);
+    const std::string summary = profiler.summary();
+    EXPECT_NE(summary.find("tcp-rto"), std::string::npos) << summary;
+
+    profiler.reset();
+    EXPECT_EQ(profiler.total_dispatches(), 0u);
+    EXPECT_TRUE(profiler.by_kind().empty());
+}
+
+TEST(ProfilerTest, SimulatorFeedsAttachedProfilerAndIgnoresDetached) {
+    sim::Simulator simulator;
+    // Detached (the default): events run, nothing is recorded anywhere.
+    simulator.schedule_in(1, [] {}, "warm-up");
+    simulator.run();
+    EXPECT_EQ(simulator.profiler(), nullptr);
+    EXPECT_EQ(simulator.events_fired(), 1u);
+
+    sim::SimProfiler profiler;
+    simulator.set_profiler(&profiler);
+    simulator.schedule_in(1, [] {}, "tagged-a");
+    simulator.schedule_in(2, [] {}, "tagged-a");
+    simulator.schedule_in(3, [] {});
+    simulator.run();
+    EXPECT_EQ(profiler.total_dispatches(), 3u);
+    EXPECT_EQ(profiler.by_kind().at("tagged-a").dispatches, 2u);
+    EXPECT_EQ(profiler.by_kind().at("event").dispatches, 1u);
+
+    // Detach again: the profiler stops accumulating.
+    simulator.set_profiler(nullptr);
+    simulator.schedule_in(1, [] {}, "tagged-a");
+    simulator.run();
+    EXPECT_EQ(profiler.total_dispatches(), 3u);
+    EXPECT_EQ(simulator.events_fired(), 5u);
+}
+
+TEST(ProfilerTest, PublishProfilerExposesGaugesInTheRegistry) {
+    sim::Simulator simulator;
+    sim::SimProfiler profiler;
+    simulator.set_profiler(&profiler);
+    simulator.schedule_in(1, [] {}, "frame-delivery");
+    simulator.schedule_in(2, [] {}, "frame-delivery");
+    simulator.run();
+
+    obs::MetricsRegistry reg;
+    obs::publish_profiler(profiler, simulator, reg);
+    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "dispatches"), 2.0);
+    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "kind/frame-delivery"), 2.0);
+    EXPECT_EQ(reg.gauge_value("simulator", "queue", "depth"), 0.0);
+
+    // The gauges are live: more dispatches show up without re-publishing.
+    simulator.schedule_in(1, [] {}, "frame-delivery");
+    simulator.run();
+    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "dispatches"), 3.0);
+}
+
+}  // namespace
