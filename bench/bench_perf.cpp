@@ -3,18 +3,23 @@
 // fast as the hardware allows).
 //
 // Three scenario sizes (small / medium / large: wider backbones, more
-// correspondents, longer conversations) each run twice over identical
-// simulated workloads:
+// correspondents, longer conversations) each run three times over
+// identical simulated workloads:
 //
-//   baseline      profiler and sampler detached — the product default,
-//                 where instrumentation must cost one pointer compare
-//   instrumented  SimProfiler attached and a MetricsSampler ticking —
-//                 per-kind dispatch timing, queue-depth gauges, series
+//   baseline       profiler, sampler and fault hooks all detached — the
+//                  product default, where instrumentation and the fault
+//                  layer each cost one pointer compare per dispatch/frame
+//   fault-attached a benign FaultChain installed on every link (one
+//                  LinkDownFault left up) — the price of dispatching
+//                  through an installed-but-idle fault hook
+//   instrumented   SimProfiler attached and a MetricsSampler ticking —
+//                  per-kind dispatch timing, queue-depth gauges, series
 //
 // For each run we report events dispatched, wall-clock time, and
 // events/sec; the baseline-vs-instrumented delta is the measured price of
-// the instrumentation (and the baseline itself is the evidence that the
-// disabled path stays fast). Results go to stdout and to BENCH_perf.json
+// the instrumentation, the baseline-vs-fault-attached delta the price of
+// an installed fault chain (and the baseline itself is the evidence that
+// both disabled paths stay fast). Results go to stdout and to BENCH_perf.json
 // (M4X4_BENCH_PERF_OUT overrides the path; under M4X4_SMOKE the file is
 // only written when that override is set, so smoke runs do not clobber a
 // real machine baseline with tiny-scenario numbers).
@@ -28,6 +33,7 @@
 #include <cinttypes>
 #include <vector>
 
+#include "fault/link_faults.h"
 #include "obs/profile.h"
 #include "sim/profiler.h"
 
@@ -71,7 +77,8 @@ std::vector<PerfScenario> scenarios() {
     };
 }
 
-RunStats run_scenario(const PerfScenario& sc, bool instrumented) {
+RunStats run_scenario(const PerfScenario& sc, bool instrumented,
+                      bool fault_attached = false) {
     WorldConfig cfg;
     cfg.backbone_routers = sc.backbone_routers;
     World world{cfg};
@@ -99,6 +106,21 @@ RunStats run_scenario(const PerfScenario& sc, bool instrumented) {
         sampler.start();
     }
 
+    // Fault-attached run: a benign chain (one LinkDownFault left in the up
+    // state) on every link. Nothing is ever dropped or delayed, so the
+    // workload stays identical — the measured delta over baseline is pure
+    // hook-dispatch cost.
+    std::vector<std::unique_ptr<fault::FaultChain>> chains;
+    if (fault_attached) {
+        const auto idle = std::make_shared<fault::LinkDownFault>();
+        for (sim::Link* link : world.all_links()) {
+            auto chain = std::make_unique<fault::FaultChain>();
+            chain->add(idle);
+            link->set_fault(chain.get());
+            chains.push_back(std::move(chain));
+        }
+    }
+
     // The measured workload: one echoed TCP conversation per
     // correspondent, all concurrent, driven to the scenario's horizon.
     // Identical simulated work either way — the only difference between
@@ -118,6 +140,9 @@ RunStats run_scenario(const PerfScenario& sc, bool instrumented) {
     world.run_for(sim::milliseconds(500));
 
     const auto wall_end = std::chrono::steady_clock::now();
+    if (fault_attached) {
+        for (sim::Link* link : world.all_links()) link->set_fault(nullptr);
+    }
     RunStats r;
     r.events = world.sim.events_fired() - events_before;
     r.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
@@ -171,24 +196,32 @@ void write_report(const obs::JsonValue& doc) {
 void print_figure() {
     bench::print_header(
         "bench_perf: simulator self-measurement",
-        "Each scenario runs the same simulated workload twice: baseline\n"
-        "(profiler and sampler detached — the default) and instrumented\n"
-        "(SimProfiler attached, MetricsSampler ticking every 100ms).\n"
-        "events/sec is the discrete-event dispatch rate in wall time.");
+        "Each scenario runs the same simulated workload three times:\n"
+        "baseline (profiler, sampler and fault hooks detached — the\n"
+        "default), fault-attached (a benign FaultChain on every link) and\n"
+        "instrumented (SimProfiler attached, MetricsSampler ticking every\n"
+        "100ms). events/sec is the discrete-event dispatch rate in wall\n"
+        "time.");
 
     obs::JsonValue::Array rows;
     std::string largest_profile;
-    std::printf("%-8s %6s %10s %12s %14s %12s %14s %9s\n", "size", "sim(s)", "events",
-                "base wall ms", "base ev/s", "inst wall ms", "inst ev/s", "overhead");
+    std::printf("%-8s %6s %10s %12s %14s %12s %9s %12s %9s\n", "size", "sim(s)",
+                "events", "base wall ms", "base ev/s", "fault wall", "fault +%",
+                "inst wall ms", "inst +%");
     for (const PerfScenario& sc : scenarios()) {
         const RunStats base = run_scenario(sc, /*instrumented=*/false);
+        const RunStats fault = run_scenario(sc, /*instrumented=*/false,
+                                            /*fault_attached=*/true);
         const RunStats inst = run_scenario(sc, /*instrumented=*/true);
         const double overhead_pct =
             base.wall_ms > 0 ? (inst.wall_ms - base.wall_ms) / base.wall_ms * 100.0 : 0.0;
+        const double fault_pct =
+            base.wall_ms > 0 ? (fault.wall_ms - base.wall_ms) / base.wall_ms * 100.0
+                             : 0.0;
 
-        std::printf("%-8s %6.1f %10" PRIu64 " %12.1f %14.0f %12.1f %14.0f %8.1f%%\n",
+        std::printf("%-8s %6.1f %10" PRIu64 " %12.1f %14.0f %12.1f %8.1f%% %12.1f %8.1f%%\n",
                     sc.name, base.sim_seconds, base.events, base.wall_ms,
-                    base.events_per_sec, inst.wall_ms, inst.events_per_sec,
+                    base.events_per_sec, fault.wall_ms, fault_pct, inst.wall_ms,
                     overhead_pct);
 
         obs::JsonValue::Object row;
@@ -197,6 +230,8 @@ void print_figure() {
         row["correspondents"] = sc.correspondents;
         row["tcp_bytes"] = static_cast<std::uint64_t>(sc.tcp_bytes);
         row["baseline"] = run_to_json(base);
+        row["fault_attached"] = run_to_json(fault);
+        row["fault_attached_overhead_pct"] = fault_pct;
         obs::JsonValue::Object instr = run_to_json(inst);
         instr["max_queue_depth"] = static_cast<std::uint64_t>(inst.max_queue_depth);
         instr["max_cancelled"] = static_cast<std::uint64_t>(inst.max_cancelled);

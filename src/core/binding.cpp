@@ -24,6 +24,14 @@ std::size_t BindingTable::expire(sim::TimePoint now) {
                          [now](const auto& kv) { return kv.second.expires <= now; });
 }
 
+std::optional<sim::TimePoint> BindingTable::earliest_expiry() const {
+    std::optional<sim::TimePoint> earliest;
+    for (const auto& [home, b] : bindings_) {
+        if (!earliest || b.expires < *earliest) earliest = b.expires;
+    }
+    return earliest;
+}
+
 std::vector<Binding> BindingTable::snapshot() const {
     std::vector<Binding> out;
     out.reserve(bindings_.size());

@@ -32,6 +32,10 @@ public:
     /// Drops expired entries; returns how many were removed.
     std::size_t expire(sim::TimePoint now);
 
+    /// Soonest expiry over all entries (nullopt when empty). The home
+    /// agent's lazy GC timer re-arms from this instead of polling.
+    std::optional<sim::TimePoint> earliest_expiry() const;
+
     std::size_t size() const noexcept { return bindings_.size(); }
     std::vector<Binding> snapshot() const;
 

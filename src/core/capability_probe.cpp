@@ -14,6 +14,7 @@ constexpr std::array<OutMode, 4> kProbeOrder{OutMode::IE, OutMode::DE, OutMode::
 struct CapabilityProber::Session {
     net::Ipv4Address dst;
     std::size_t next_mode = 0;
+    unsigned attempt = 0;  ///< retries already burned on the current mode
     ProbeReport report;
     Callback done;
     bool apply_to_cache = false;
@@ -101,6 +102,7 @@ void CapabilityProber::advance(std::shared_ptr<Session> s) {
 
     const OutMode mode = kProbeOrder[s->next_mode];
     ++s->next_mode;
+    s->attempt = 0;
 
     net::Ipv4Address src;
     if (mode == OutMode::DT) {
@@ -115,25 +117,47 @@ void CapabilityProber::advance(std::shared_ptr<Session> s) {
         }
     } else {
         src = mh_.home_address();
+    }
+    launch(std::move(s), mode, src);
+}
+
+void CapabilityProber::launch(std::shared_ptr<Session> s, OutMode mode,
+                              net::Ipv4Address src) {
+    if (mode != OutMode::DT) {
         mh_.force_mode(s->dst, mode);
     }
-
-    const auto started = mh_.simulator().now();
     pinger_.ping(
         s->dst,
-        [this, s, mode, started](std::optional<sim::Duration> rtt) mutable {
-            (void)started;
+        [this, s, mode, src](std::optional<sim::Duration> rtt) mutable {
             const auto idx = static_cast<std::size_t>(mode);
-            s->report.mode_works[idx] = rtt.has_value();
             if (rtt) {
+                s->report.mode_works[idx] = true;
                 s->report.mode_rtt_ms[idx] = sim::to_milliseconds(*rtt);
                 char input[48];
                 std::snprintf(input, sizeof input, "rtt=%.3fms",
                               s->report.mode_rtt_ms[idx]);
                 note(s->dst, "probe-ping", input, true, mode, "echo reply received");
-            } else {
-                note(s->dst, "probe-ping", "timeout", false, mode, "no echo reply");
+                advance(std::move(s));
+                return;
             }
+            if (s->attempt < config_.retries_per_mode) {
+                // One lost echo is weak evidence during a loss burst: back
+                // off and try the same mode again before condemning it.
+                ++s->attempt;
+                sim::Duration delay = config_.retry_backoff;
+                for (unsigned i = 1; i < s->attempt; ++i) delay *= 2;
+                note(s->dst, "probe-retry",
+                     "attempt=" + std::to_string(s->attempt) + "/" +
+                         std::to_string(config_.retries_per_mode),
+                     false, mode, "echo timed out; backing off and retrying");
+                mh_.simulator().schedule_in(
+                    delay,
+                    [this, s, mode, src]() mutable { launch(std::move(s), mode, src); },
+                    "probe-retry");
+                return;
+            }
+            s->report.mode_works[idx] = false;
+            note(s->dst, "probe-ping", "timeout", false, mode, "no echo reply");
             advance(std::move(s));
         },
         config_.per_mode_timeout, config_.payload, src);

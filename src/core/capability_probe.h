@@ -24,6 +24,12 @@ struct ProbeConfig {
     sim::Duration per_mode_timeout = sim::seconds(2);
     /// Echo payload used for probes.
     std::size_t payload = 32;
+    /// Extra attempts per mode after a timeout, so one unlucky loss burst
+    /// doesn't misclassify a working mode as broken. 0 = single shot (the
+    /// pre-fault-subsystem behaviour).
+    unsigned retries_per_mode = 0;
+    /// Delay before the first retry; doubles per subsequent attempt.
+    sim::Duration retry_backoff = sim::milliseconds(500);
 };
 
 struct ProbeReport {
@@ -61,6 +67,9 @@ private:
     struct Session;
     /// Launches the next unprobed mode, or finalizes the report.
     void advance(std::shared_ptr<Session> s);
+    /// Sends one echo through @p mode; a timeout retries with backoff up
+    /// to config_.retries_per_mode before conceding the mode is broken.
+    void launch(std::shared_ptr<Session> s, OutMode mode, net::Ipv4Address src);
     /// Records one per-mode probe step into the host's decision log (via
     /// the method cache's attached obs::DecisionLog; no-op when detached).
     void note(net::Ipv4Address dst, const char* test, std::string input, bool passed,

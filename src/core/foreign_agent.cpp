@@ -70,8 +70,20 @@ bool ForeignAgent::has_visitor(net::Ipv4Address home_address) const {
     return it != visitors_.end() && it->second.expires > simulator().now();
 }
 
+void ForeignAgent::crash() {
+    crashed_ = true;
+    ++stats_.crashes;
+    visitors_.clear();
+    pending_.clear();
+}
+
+void ForeignAgent::restart() {
+    crashed_ = false;
+}
+
 void ForeignAgent::send_advertisement(bool solicited) {
     (void)solicited;
+    if (crashed_) return;  // the beacon keeps ticking, silently
     ++stats_.adverts_sent;
     const net::Ipv4Address self = care_of_address();
     const auto msg =
@@ -96,7 +108,7 @@ void ForeignAgent::on_registration_frame(std::span<const std::uint8_t> data,
                                          transport::UdpEndpoint from,
                                          net::Ipv4Address local_dst) {
     (void)local_dst;
-    if (data.empty()) return;
+    if (crashed_ || data.empty()) return;
     net::BufferReader peek(data);
     const auto type = static_cast<RegistrationMessageType>(data[0]);
 
@@ -146,6 +158,7 @@ void ForeignAgent::on_registration_frame(std::span<const std::uint8_t> data,
 }
 
 void ForeignAgent::on_tunneled(const net::Packet& outer) {
+    if (crashed_) return;
     net::Packet inner;
     try {
         inner = encap_->decapsulate(outer);
@@ -170,7 +183,7 @@ void ForeignAgent::deliver_to_visitor(const net::Packet& inner, const Visitor& v
 }
 
 bool ForeignAgent::intercept_forward(const net::Packet& packet, std::size_t in_interface) {
-    if (in_interface != serving_interface_) return false;
+    if (crashed_ || in_interface != serving_interface_) return false;
     auto it = visitors_.find(packet.header().src);
     if (it == visitors_.end() || it->second.expires <= simulator().now()) {
         return false;

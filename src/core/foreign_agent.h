@@ -58,6 +58,14 @@ public:
     bool has_visitor(net::Ipv4Address home_address) const;
     std::size_t visitor_count() const noexcept { return visitors_.size(); }
 
+    /// Simulated fail-stop crash: wipes the visitor list and every pending
+    /// relayed registration, and goes silent (no adverts, no relaying, no
+    /// final-hop delivery) until restart(). Visitors recover by
+    /// re-registering when their binding refresh goes unanswered.
+    void crash();
+    void restart();
+    bool crashed() const noexcept { return crashed_; }
+
     struct Stats {
         std::size_t adverts_sent = 0;
         std::size_t solicitations_answered = 0;
@@ -66,6 +74,7 @@ public:
         std::size_t packets_delivered_final_hop = 0;  ///< decapsulated, handed to MH
         std::size_t packets_forwarded_for_visitors = 0;
         std::size_t packets_reverse_tunneled = 0;
+        std::size_t crashes = 0;
     };
     const Stats& stats() const noexcept { return stats_; }
     const ForeignAgentConfig& config() const noexcept { return config_; }
@@ -91,6 +100,7 @@ private:
     std::map<net::Ipv4Address, Visitor> visitors_;  ///< keyed by home address
     /// Registrations in flight: home address -> requesting visitor.
     std::map<net::Ipv4Address, Visitor> pending_;
+    bool crashed_ = false;
     Stats stats_;
 };
 

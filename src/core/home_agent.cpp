@@ -61,8 +61,61 @@ bool HomeAgent::is_registered(net::Ipv4Address home_addr) const {
     return bindings_.lookup(home_addr, simulator().now()).has_value();
 }
 
+void HomeAgent::crash() {
+    crashed_ = true;
+    ++stats_.crashes;
+    arp::ArpEngine* arp = home_interface_ != stack::IpStack::kNoInterface
+                              ? stack().iface(home_interface_).arp()
+                              : nullptr;
+    for (const auto& binding : bindings_.snapshot()) {
+        if (arp != nullptr) arp->remove_proxy(binding.home_address);
+    }
+    bindings_.clear();
+    last_advert_.clear();
+    if (gc_armed_) {
+        simulator().cancel(gc_timer_);
+        gc_armed_ = false;
+    }
+}
+
+void HomeAgent::restart() {
+    crashed_ = false;
+}
+
+void HomeAgent::arm_binding_gc() {
+    const auto next = bindings_.earliest_expiry();
+    if (!next) return;
+    if (gc_armed_ && gc_at_ <= *next) return;
+    if (gc_armed_) simulator().cancel(gc_timer_);
+    gc_at_ = *next;
+    gc_armed_ = true;
+    gc_timer_ = simulator().schedule_at(*next, [this] {
+        gc_armed_ = false;
+        expire_bindings();
+        arm_binding_gc();
+    },
+    "mip-binding-gc");
+}
+
+void HomeAgent::expire_bindings() {
+    const sim::TimePoint now = simulator().now();
+    arp::ArpEngine* arp = home_interface_ != stack::IpStack::kNoInterface
+                              ? stack().iface(home_interface_).arp()
+                              : nullptr;
+    // Stop answering ARP for hosts whose registration lapsed — a mobile
+    // host that went silent must become reachable again the moment it
+    // walks back in the door unregistered.
+    for (const auto& binding : bindings_.snapshot()) {
+        if (binding.expires <= now && arp != nullptr) {
+            arp->remove_proxy(binding.home_address);
+        }
+    }
+    stats_.bindings_expired += bindings_.expire(now);
+}
+
 void HomeAgent::on_registration(std::span<const std::uint8_t> data,
                                 transport::UdpEndpoint from) {
+    if (crashed_) return;
     RegistrationRequest req;
     try {
         net::BufferReader r(data);
@@ -107,6 +160,7 @@ void HomeAgent::on_registration(std::span<const std::uint8_t> data,
         ++stats_.registrations_accepted;
         reply.code = RegistrationCode::Accepted;
         reply.lifetime = granted;
+        arm_binding_gc();
     }
 
     net::BufferWriter w;
@@ -115,6 +169,7 @@ void HomeAgent::on_registration(std::span<const std::uint8_t> data,
 }
 
 bool HomeAgent::intercept_forward(const net::Packet& packet, std::size_t) {
+    if (crashed_) return false;
     const auto binding = bindings_.lookup(packet.header().dst, simulator().now());
     if (!binding) {
         return false;  // not one of our mobile hosts: normal handling
@@ -150,6 +205,7 @@ void HomeAgent::maybe_send_advert(net::Ipv4Address correspondent, const Binding&
 }
 
 void HomeAgent::on_encapsulated(const net::Packet& packet) {
+    if (crashed_) return;
     net::Packet inner;
     try {
         inner = encap_->decapsulate(packet);

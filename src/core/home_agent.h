@@ -57,6 +57,14 @@ public:
     const BindingTable& bindings() const noexcept { return bindings_; }
     bool is_registered(net::Ipv4Address home_addr) const;
 
+    /// Simulated fail-stop crash: wipes all volatile state — binding
+    /// table, the proxy-ARP captures backing it, the advert rate-limit
+    /// map — and ignores all traffic until restart(). Mobile hosts
+    /// recover by re-registering (proactive refresh + backoff retry).
+    void crash();
+    void restart();
+    bool crashed() const noexcept { return crashed_; }
+
     struct Stats {
         std::size_t registrations_accepted = 0;
         std::size_t registrations_denied_auth = 0;
@@ -65,6 +73,8 @@ public:
         std::size_t packets_reverse_forwarded = 0;  ///< decapsulated & re-sent for MH
         std::size_t adverts_sent = 0;
         std::size_t multicast_relayed = 0;  ///< group packets re-tunneled to MHs
+        std::size_t crashes = 0;
+        std::size_t bindings_expired = 0;  ///< GC'd after their lifetime lapsed
     };
     const Stats& stats() const noexcept { return stats_; }
 
@@ -76,6 +86,11 @@ private:
     bool intercept_forward(const net::Packet& packet, std::size_t in_interface);
     void on_encapsulated(const net::Packet& packet);
     void maybe_send_advert(net::Ipv4Address correspondent, const Binding& binding);
+    /// (Re)arms the binding GC timer at the table's earliest expiry. Only
+    /// cancels the pending timer when a strictly earlier expiry appears, so
+    /// the simulator's cancelled-set churn stays bounded.
+    void arm_binding_gc();
+    void expire_bindings();
 
     HomeAgentConfig config_;
     std::unique_ptr<tunnel::Encapsulator> encap_;
@@ -84,6 +99,10 @@ private:
     BindingTable bindings_;
     std::size_t home_interface_ = stack::IpStack::kNoInterface;
     std::map<net::Ipv4Address, sim::TimePoint> last_advert_;
+    bool crashed_ = false;
+    sim::EventId gc_timer_ = 0;
+    bool gc_armed_ = false;
+    sim::TimePoint gc_at_ = 0;
     Stats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/mobile_host.h"
 
+#include <algorithm>
+
 #include "net/protocol.h"
 
 namespace mip::core {
@@ -130,7 +132,7 @@ void MobileHost::on_decap_packet(const net::Packet& outer, const tunnel::Encapsu
 
 // ---- mobility ---------------------------------------------------------------
 
-void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> gateway) {
+void MobileHost::cancel_registration_timers() {
     if (registration_timer_armed_) {
         simulator().cancel(registration_timer_);
         registration_timer_armed_ = false;
@@ -139,6 +141,15 @@ void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> ga
         simulator().cancel(rereg_timer_);
         rereg_timer_armed_ = false;
     }
+    if (expiry_timer_armed_) {
+        simulator().cancel(expiry_timer_);
+        expiry_timer_armed_ = false;
+    }
+    registration_pending_ = false;
+}
+
+void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> gateway) {
+    cancel_registration_timers();
 
     const bool was_registered = registered_;
     const net::Ipv4Address old_care_of = care_of_;
@@ -191,14 +202,7 @@ void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> ga
 void MobileHost::attach_foreign(sim::Link& link, net::Ipv4Address care_of, net::Prefix subnet,
                                 std::optional<net::Ipv4Address> gateway,
                                 RegistrationCallback done) {
-    if (registration_timer_armed_) {
-        simulator().cancel(registration_timer_);
-        registration_timer_armed_ = false;
-    }
-    if (rereg_timer_armed_) {
-        simulator().cancel(rereg_timer_);
-        rereg_timer_armed_ = false;
-    }
+    cancel_registration_timers();
 
     if (physical_interface_ == stack::IpStack::kNoInterface) {
         sim::Nic& n = add_nic();
@@ -235,14 +239,7 @@ void MobileHost::attach_foreign(sim::Link& link, net::Ipv4Address care_of, net::
 }
 
 void MobileHost::attach_via_foreign_agent(sim::Link& link, RegistrationCallback done) {
-    if (registration_timer_armed_) {
-        simulator().cancel(registration_timer_);
-        registration_timer_armed_ = false;
-    }
-    if (rereg_timer_armed_) {
-        simulator().cancel(rereg_timer_);
-        rereg_timer_armed_ = false;
-    }
+    cancel_registration_timers();
 
     if (physical_interface_ == stack::IpStack::kNoInterface) {
         sim::Nic& n = add_nic();
@@ -284,14 +281,7 @@ void MobileHost::attach_via_foreign_agent(sim::Link& link, RegistrationCallback 
 
 void MobileHost::detach_current() {
     if (physical_interface_ == stack::IpStack::kNoInterface) return;
-    if (registration_timer_armed_) {
-        simulator().cancel(registration_timer_);
-        registration_timer_armed_ = false;
-    }
-    if (rereg_timer_armed_) {
-        simulator().cancel(rereg_timer_);
-        rereg_timer_armed_ = false;
-    }
+    cancel_registration_timers();
     stack::Interface& ifc = stack().iface(physical_interface_);
     stack().deconfigure(physical_interface_);
     if (ifc.nic() != nullptr) {
@@ -305,10 +295,17 @@ void MobileHost::detach_current() {
 
 void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
                                    RegistrationCallback done) {
-    if (attempt >= config_.registration_max_retries) {
-        if (done) done(false);
+    // An initial attach (one with a callback waiting on the outcome) gives
+    // up after max_retries. Background refreshes keep trying forever with
+    // capped exponential backoff — the home agent being down is exactly
+    // when giving up would orphan the binding permanently.
+    if (done && attempt >= config_.registration_max_retries) {
+        registration_pending_ = false;
+        done(false);
         return;
     }
+    registration_pending_ = true;
+    if (attempt > 0) ++stats_.registration_backoffs;
 
     RegistrationRequest req;
     req.lifetime = lifetime;
@@ -330,12 +327,22 @@ void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
     const net::Ipv4Address dst = reg_dst_.is_unspecified() ? config_.home_agent : reg_dst_;
     reg_socket_->send_to(dst, net::ports::kMobileIpRegistration, w.take());
 
+    // Exponential backoff: retry interval doubles per attempt up to the cap.
+    sim::Duration delay = config_.registration_retry;
+    for (unsigned i = 0; i < attempt && delay < config_.registration_backoff_cap; ++i) {
+        delay *= 2;
+    }
+    delay = std::min(delay, config_.registration_backoff_cap);
+    // Cap the attempt counter once the backoff has saturated, so an
+    // indefinitely retrying refresh can't overflow it.
+    const unsigned next_attempt = std::min(attempt + 1, 16u);
+
     registration_timer_ = simulator().schedule_in(
-        config_.registration_retry,
-        [this, lifetime, attempt, done]() mutable {
+        delay,
+        [this, lifetime, next_attempt, done]() mutable {
             registration_timer_armed_ = false;
-            if (!registered_ && !at_home_) {
-                send_registration(lifetime, attempt + 1, std::move(done));
+            if (registration_pending_ && !at_home_) {
+                send_registration(lifetime, next_attempt, std::move(done));
             }
         },
         "mip-registration-retry");
@@ -357,6 +364,7 @@ void MobileHost::on_registration_reply(std::span<const std::uint8_t> data,
     if (reply.id != expected_reply_id_ || reply.home_address != config_.home_address) {
         return;
     }
+    registration_pending_ = false;
     if (registration_timer_armed_) {
         simulator().cancel(registration_timer_);
         registration_timer_armed_ = false;
@@ -367,9 +375,28 @@ void MobileHost::on_registration_reply(std::span<const std::uint8_t> data,
     }
     if (reply.lifetime > 0) {
         registered_ = true;
+        arm_binding_expiry(reply.lifetime);
         schedule_reregistration(reply.lifetime);
         if (done) done(true);
     }
+}
+
+void MobileHost::arm_binding_expiry(std::uint16_t granted_lifetime) {
+    binding_expires_ = simulator().now() + sim::seconds(granted_lifetime);
+    if (expiry_timer_armed_) {
+        simulator().cancel(expiry_timer_);
+    }
+    expiry_timer_ = simulator().schedule_at(
+        binding_expires_,
+        [this] {
+            expiry_timer_armed_ = false;
+            if (!at_home_ && registered_ && simulator().now() >= binding_expires_) {
+                registered_ = false;
+                ++stats_.binding_expiries;
+            }
+        },
+        "mip-binding-expiry");
+    expiry_timer_armed_ = true;
 }
 
 void MobileHost::schedule_reregistration(std::uint16_t granted_lifetime) {

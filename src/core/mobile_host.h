@@ -51,6 +51,10 @@ struct MobileHostConfig {
     std::uint16_t registration_lifetime = 300;  ///< seconds requested
     sim::Duration registration_retry = sim::milliseconds(500);
     unsigned registration_max_retries = 10;
+    /// Retries double the retry interval each attempt, up to this cap —
+    /// so a mobile host orphaned by a home-agent crash keeps probing at a
+    /// polite rate until the agent returns.
+    sim::Duration registration_backoff_cap = sim::seconds(8);
 
     /// Parameters for the host's TCP service (timeouts matter to how fast
     /// the §7.1.2 failure signals arrive).
@@ -129,6 +133,8 @@ public:
         std::size_t out_dh = 0;  ///< packets sent plain with home source
         std::size_t out_dt = 0;  ///< packets sent plain with care-of source
         std::size_t registrations_sent = 0;
+        std::size_t registration_backoffs = 0;  ///< retries beyond the first send
+        std::size_t binding_expiries = 0;  ///< lifetimes that lapsed unrefreshed
         std::size_t failure_signals = 0;
         std::size_t success_signals = 0;
         std::size_t icmp_feedback_signals = 0;  ///< admin-prohibited notices
@@ -146,6 +152,14 @@ private:
     void send_registration(std::uint16_t lifetime, unsigned attempt, RegistrationCallback done);
     void on_registration_reply(std::span<const std::uint8_t> data, RegistrationCallback& done);
     void schedule_reregistration(std::uint16_t granted_lifetime);
+    /// Tracks the granted lifetime locally: when it lapses without a
+    /// successful refresh (home agent down, link flapping), the host marks
+    /// itself unregistered instead of believing a binding the agent no
+    /// longer holds.
+    void arm_binding_expiry(std::uint16_t granted_lifetime);
+    /// Cancels the retry/refresh/expiry timers and abandons any pending
+    /// registration (every attach/detach transition starts from here).
+    void cancel_registration_timers();
 
     MobileHostConfig config_;
     std::unique_ptr<tunnel::Encapsulator> encap_;
@@ -175,6 +189,13 @@ private:
     bool registration_timer_armed_ = false;
     sim::EventId rereg_timer_ = 0;
     bool rereg_timer_armed_ = false;
+    /// A registration exchange (initial or refresh) is in flight and
+    /// unanswered — the retry loop keys off this, not off registered_,
+    /// because a refresh runs while registered_ is still true.
+    bool registration_pending_ = false;
+    sim::TimePoint binding_expires_ = 0;
+    sim::EventId expiry_timer_ = 0;
+    bool expiry_timer_armed_ = false;
     /// Dedup for flagged-retransmission failure signals (dst -> last time).
     std::map<net::Ipv4Address, sim::TimePoint> last_retransmission_signal_;
 

@@ -113,6 +113,8 @@ World::World(WorldConfig config) : config_(std::move(config)) {
         gauge("registrations_accepted", &HomeAgent::Stats::registrations_accepted);
         gauge("registrations_denied_auth", &HomeAgent::Stats::registrations_denied_auth);
         gauge("adverts_sent", &HomeAgent::Stats::adverts_sent);
+        gauge("crashes", &HomeAgent::Stats::crashes);
+        gauge("bindings_expired", &HomeAgent::Stats::bindings_expired);
     }
 
     // Network-wide wire-layer aggregates, derived from the trace recorder.
@@ -162,6 +164,20 @@ sim::Link& World::make_link(std::string name, sim::Duration latency, double band
     links_.push_back(std::make_unique<sim::Link>(sim, cfg));
     links_.back()->set_trace(trace.sink());
     return *links_.back();
+}
+
+sim::Link* World::find_link(const std::string& name) {
+    for (const auto& link : links_) {
+        if (link->name() == name) return link.get();
+    }
+    return nullptr;
+}
+
+std::vector<sim::Link*> World::all_links() {
+    std::vector<sim::Link*> out;
+    out.reserve(links_.size());
+    for (const auto& link : links_) out.push_back(link.get());
+    return out;
 }
 
 void World::add_edge_pair(stack::IpStack& a, std::size_t a_iface, net::Ipv4Address a_addr,
@@ -256,6 +272,8 @@ MobileHost& World::create_mobile_host(MobileHostConfig config) {
     gauge("out_dh", &MobileHost::Stats::out_dh);
     gauge("out_dt", &MobileHost::Stats::out_dt);
     gauge("registrations_sent", &MobileHost::Stats::registrations_sent);
+    gauge("registration_backoffs", &MobileHost::Stats::registration_backoffs);
+    gauge("binding_expiries", &MobileHost::Stats::binding_expiries);
     gauge("failure_signals", &MobileHost::Stats::failure_signals);
     gauge("success_signals", &MobileHost::Stats::success_signals);
     gauge("icmp_feedback_signals", &MobileHost::Stats::icmp_feedback_signals);
@@ -343,6 +361,7 @@ ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
     gauge("replies_relayed", &ForeignAgent::Stats::replies_relayed);
     gauge("packets_delivered_final_hop", &ForeignAgent::Stats::packets_delivered_final_hop);
     gauge("packets_reverse_tunneled", &ForeignAgent::Stats::packets_reverse_tunneled);
+    gauge("crashes", &ForeignAgent::Stats::crashes);
     return *fa_;
 }
 
@@ -405,6 +424,8 @@ mobility::HandoffController& World::with_mobility(
           [](const mobility::HandoffStats& s) { return s.dead_zone_entries; });
     gauge("failed_attaches",
           [](const mobility::HandoffStats& s) { return s.failed_attaches; });
+    gauge("forced_reattaches",
+          [](const mobility::HandoffStats& s) { return s.forced_reattaches; });
     gauge("avg_registration_ms",
           [](const mobility::HandoffStats& s) { return s.avg_registration_ms(); });
     gauge("total_gap_loss",

@@ -124,6 +124,15 @@ public:
     stack::Router& corr_gateway() { return *corr_gw_; }
     std::size_t backbone_size() const { return backbone_.size(); }
     stack::Router& backbone_router(std::size_t i) { return *backbone_.at(i); }
+    bool has_foreign_agent() const noexcept { return fa_ != nullptr; }
+    bool has_mobile_host() const noexcept { return mh_ != nullptr; }
+
+    /// Looks a link up by its configured name ("home-lan", "foreign-lan",
+    /// "bb-link0", "home-gw-uplink", ...); nullptr when absent. The fault
+    /// injector resolves FaultPlan targets through this.
+    sim::Link* find_link(const std::string& name);
+    /// Every link in the world, in creation order.
+    std::vector<sim::Link*> all_links();
 
     // ---- population helpers ----------------------------------------------------
 

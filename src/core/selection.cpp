@@ -92,6 +92,7 @@ DeliveryMethodCache::Entry& DeliveryMethodCache::entry_for(net::Ipv4Address dst,
     if (inserted) {
         it->second.mode = strategy_->initial(dst);
         it->second.last_good = OutMode::IE;
+        it->second.validated_at = now;
         if (log_ != nullptr) {
             note(now, dst, "initial", "strategy", strategy_->name(), true,
                  it->second.mode, it->second.mode, "first packet to correspondent");
@@ -106,7 +107,32 @@ bool DeliveryMethodCache::blacklisted(const Entry& e, OutMode m, sim::TimePoint 
 }
 
 OutMode DeliveryMethodCache::mode_for(net::Ipv4Address dst, sim::TimePoint now) {
-    return entry_for(dst, now).mode;
+    Entry& e = entry_for(dst, now);
+    maybe_expire(dst, e, now);
+    return e.mode;
+}
+
+void DeliveryMethodCache::maybe_expire(net::Ipv4Address dst, Entry& e, sim::TimePoint now) {
+    if (config_.mode_ttl <= 0 || e.forced) return;
+    const sim::Duration age = now - e.validated_at;
+    if (age < config_.mode_ttl) return;
+    e.validated_at = now;
+    // Re-probe the strategy's initial mode tentatively: the existing probe
+    // machinery reverts to the current mode on the first failure.
+    const OutMode fresh = strategy_->initial(dst);
+    if (fresh == e.mode || blacklisted(e, fresh, now)) return;
+    const OutMode previous = e.mode;
+    e.last_good = previous;
+    e.mode = fresh;
+    e.probing = true;
+    e.consecutive_failures = 0;
+    e.consecutive_successes = 0;
+    ++stats_.ttl_expiries;
+    if (log_ != nullptr) {
+        note(now, dst, "ttl", "mode-ttl",
+             "age=" + std::to_string(age / 1'000'000) + "ms", true,
+             previous, fresh, "cached mode stale; re-probing strategy initial");
+    }
 }
 
 void DeliveryMethodCache::force_mode(net::Ipv4Address dst, OutMode mode,
@@ -126,6 +152,7 @@ void DeliveryMethodCache::force_mode(net::Ipv4Address dst, OutMode mode,
 
 void DeliveryMethodCache::report_success(net::Ipv4Address dst, sim::TimePoint now) {
     Entry& e = entry_for(dst, now);
+    e.validated_at = now;
     e.consecutive_failures = 0;
     if (e.forced) return;
     ++e.consecutive_successes;
@@ -164,6 +191,7 @@ void DeliveryMethodCache::report_success(net::Ipv4Address dst, sim::TimePoint no
 void DeliveryMethodCache::report_failure(net::Ipv4Address dst, sim::TimePoint now,
                                          const std::string& reason) {
     Entry& e = entry_for(dst, now);
+    e.validated_at = now;
     e.consecutive_successes = 0;
     if (e.forced) return;
 

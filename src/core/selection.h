@@ -99,6 +99,13 @@ struct MethodCacheConfig {
     unsigned upgrade_after = 4;
     /// How long a failed mode stays blacklisted for a destination.
     sim::Duration blacklist_ttl = sim::seconds(300);
+    /// TTL on the cached decision itself: a mode that has not been
+    /// validated (by a success/failure signal) for this long is stale, and
+    /// the next lookup tentatively re-probes the strategy's initial mode —
+    /// so a host that downgraded during a transient network fault finds
+    /// its way back up after the fault clears. 0 disables (the default:
+    /// cached modes never age, the pre-fault-subsystem behaviour).
+    sim::Duration mode_ttl = 0;
 };
 
 /// Per-correspondent delivery-method state machine.
@@ -145,6 +152,7 @@ public:
         std::size_t upgrades_probed = 0;
         std::size_t probes_reverted = 0;
         std::size_t probes_confirmed = 0;
+        std::size_t ttl_expiries = 0;  ///< stale cached modes re-probed
     };
     const Stats& stats() const noexcept { return stats_; }
 
@@ -156,6 +164,8 @@ public:
         unsigned consecutive_failures = 0;
         unsigned consecutive_successes = 0;
         std::map<OutMode, sim::TimePoint> blacklist_until;
+        /// When the cached mode last received evidence (any report_*).
+        sim::TimePoint validated_at = 0;
     };
     /// Introspection for tests/benches; nullptr when never seen.
     const Entry* find(net::Ipv4Address dst) const;
@@ -163,6 +173,8 @@ public:
 private:
     Entry& entry_for(net::Ipv4Address dst, sim::TimePoint now);
     bool blacklisted(const Entry& e, OutMode m, sim::TimePoint now) const;
+    /// Applies the mode TTL (no-op when disabled/forced/fresh).
+    void maybe_expire(net::Ipv4Address dst, Entry& e, sim::TimePoint now);
     /// Appends to the audit log; no-op (and no string work) when detached.
     void note(sim::TimePoint now, net::Ipv4Address dst, const char* trigger,
               const char* test, std::string input, bool passed, OutMode from,

@@ -1,0 +1,219 @@
+#include "fault/injector.h"
+
+#include "routing/filters.h"
+
+namespace mip::fault {
+
+FaultInjector::FaultInjector(core::World& world, std::uint64_t seed)
+    : world_(world), seed_(seed) {}
+
+FaultInjector::~FaultInjector() {
+    reset();
+}
+
+void FaultInjector::execute(const FaultPlan& plan) {
+    for (const FaultAction& action : plan.actions()) {
+        scheduled_.push_back(world_.sim.schedule_at(
+            action.at, [this, action] { apply(action); }, "fault-action"));
+    }
+}
+
+void FaultInjector::reset() {
+    for (const sim::EventId id : scheduled_) {
+        world_.sim.cancel(id);
+    }
+    scheduled_.clear();
+    for (auto& [link, st] : links_) {
+        if (link->fault() == &st->chain) link->set_fault(nullptr);
+    }
+    links_.clear();
+}
+
+void FaultInjector::apply(const FaultAction& action) {
+    switch (action.kind) {
+        case FaultKind::AgentCrash:
+        case FaultKind::AgentRestart:
+            apply_agent(action);
+            return;
+        case FaultKind::FilterChurnOn:
+        case FaultKind::FilterChurnOff:
+            apply_filter(action);
+            return;
+        default:
+            break;
+    }
+    sim::Link* link = world_.find_link(action.target);
+    if (link == nullptr) {
+        ++skipped_;
+        record(action, false, "no such link");
+        return;
+    }
+    apply_link(action, *link);
+}
+
+FaultInjector::LinkState& FaultInjector::state_for(sim::Link& link) {
+    auto& slot = links_[&link];
+    if (!slot) slot = std::make_unique<LinkState>();
+    return *slot;
+}
+
+void FaultInjector::sync_attachment(sim::Link& link, LinkState& st) {
+    link.set_fault(st.chain.empty() ? nullptr : &st.chain);
+}
+
+template <typename T>
+void FaultInjector::drop_hook(LinkState& st, std::shared_ptr<T>& hook) {
+    if (!hook) return;
+    st.chain.remove(hook.get());
+    hook.reset();
+}
+
+void FaultInjector::apply_link(const FaultAction& action, sim::Link& link) {
+    LinkState& st = state_for(link);
+    bool ok = true;
+    switch (action.kind) {
+        case FaultKind::LinkDown:
+            if (!st.down) {
+                st.down = std::make_shared<LinkDownFault>();
+                st.chain.add(st.down);
+            }
+            st.down->set_down(true);
+            break;
+        case FaultKind::LinkUp:
+            drop_hook(st, st.down);
+            break;
+        case FaultKind::BurstLossOn: {
+            GilbertElliottConfig cfg;
+            // The action's rate scales how often the channel goes bad.
+            if (action.rate > 0.0) cfg.p_good_to_bad = action.rate;
+            drop_hook(st, st.burst);
+            st.burst = std::make_shared<GilbertElliottLoss>(cfg, next_seed());
+            st.chain.add(st.burst);
+            break;
+        }
+        case FaultKind::BurstLossOff:
+            drop_hook(st, st.burst);
+            break;
+        case FaultKind::CorruptionOn:
+            drop_hook(st, st.corrupt);
+            st.corrupt = std::make_shared<BitCorruptionFault>(action.rate, 3, next_seed());
+            st.chain.add(st.corrupt);
+            break;
+        case FaultKind::CorruptionOff:
+            drop_hook(st, st.corrupt);
+            break;
+        case FaultKind::DuplicationOn:
+            drop_hook(st, st.duplicate);
+            st.duplicate = std::make_shared<DuplicationFault>(action.rate, next_seed());
+            st.chain.add(st.duplicate);
+            break;
+        case FaultKind::DuplicationOff:
+            drop_hook(st, st.duplicate);
+            break;
+        case FaultKind::ReorderOn:
+            drop_hook(st, st.reorder);
+            st.reorder = std::make_shared<ReorderFault>(
+                action.rate, action.duration > 0 ? action.duration : sim::milliseconds(20),
+                next_seed());
+            st.chain.add(st.reorder);
+            break;
+        case FaultKind::ReorderOff:
+            drop_hook(st, st.reorder);
+            break;
+        case FaultKind::JitterOn:
+            drop_hook(st, st.jitter);
+            st.jitter = std::make_shared<JitterFault>(
+                action.duration > 0 ? action.duration : sim::milliseconds(5), next_seed());
+            st.chain.add(st.jitter);
+            break;
+        case FaultKind::JitterOff:
+            drop_hook(st, st.jitter);
+            break;
+        default:
+            ok = false;
+            break;
+    }
+    sync_attachment(link, st);
+    if (ok) {
+        ++applied_;
+        record(action, true, {});
+    }
+}
+
+void FaultInjector::apply_agent(const FaultAction& action) {
+    const bool crash = action.kind == FaultKind::AgentCrash;
+    if (action.target == "home-agent") {
+        if (crash) {
+            world_.home_agent().crash();
+        } else {
+            world_.home_agent().restart();
+        }
+    } else if (action.target == "foreign-agent" && world_.has_foreign_agent()) {
+        if (crash) {
+            world_.foreign_agent().crash();
+        } else {
+            world_.foreign_agent().restart();
+        }
+    } else {
+        ++skipped_;
+        record(action, false, "no such agent");
+        return;
+    }
+    ++applied_;
+    record(action, true, {});
+}
+
+void FaultInjector::apply_filter(const FaultAction& action) {
+    struct Boundary {
+        stack::Router* router;
+        const net::Prefix* inside;
+    };
+    Boundary b{nullptr, nullptr};
+    if (action.target == "home-gw") {
+        b = {&world_.home_gateway(), &world_.home_domain.prefix};
+    } else if (action.target == "foreign-gw") {
+        b = {&world_.foreign_gateway(), &world_.foreign_domain.prefix};
+    } else if (action.target == "corr-gw") {
+        b = {&world_.corr_gateway(), &world_.corr_domain.prefix};
+    } else {
+        ++skipped_;
+        record(action, false, "no such router");
+        return;
+    }
+
+    if (action.kind == FaultKind::FilterChurnOn) {
+        // Idempotent: a second On replaces nothing, the rule is already up.
+        if (churn_rules_.find(action.target) == churn_rules_.end()) {
+            auto rule = std::make_shared<routing::ForeignSourceEgressRule>(*b.inside);
+            b.router->add_egress_filter(1, rule);
+            churn_rules_[action.target] = std::move(rule);
+        }
+    } else {
+        auto it = churn_rules_.find(action.target);
+        if (it != churn_rules_.end()) {
+            b.router->remove_egress_filter(1, it->second.get());
+            churn_rules_.erase(it);
+        }
+    }
+    ++applied_;
+    record(action, true, {});
+}
+
+void FaultInjector::record(const FaultAction& action, bool applied, std::string detail) {
+    world_.metrics
+        .counter("fault-injector", "fault",
+                 is_clearing(action.kind) ? "cleared" : "injected")
+        .add();
+    obs::DecisionEvent ev;
+    ev.when = world_.sim.now();
+    ev.node = "fault-injector";
+    ev.correspondent = action.target;
+    ev.trigger = is_clearing(action.kind) ? "fault-clear" : "fault-inject";
+    ev.test = to_string(action.kind);
+    ev.input = action.describe();
+    ev.passed = applied;
+    ev.detail = std::move(detail);
+    world_.decisions.record(std::move(ev));
+}
+
+}  // namespace mip::fault

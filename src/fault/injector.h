@@ -1,0 +1,97 @@
+// FaultInjector executes a FaultPlan against a running core::World: it
+// schedules one simulator event per FaultAction and, when each fires,
+// installs/removes the matching LinkFault hooks, crashes/restarts agents,
+// or churns boundary-router filter policy.
+//
+// Determinism: every impairment hook gets its own PRNG seeded from the
+// injector's base seed and a running counter, so the same plan applied to
+// the same world always produces the same packet-level behaviour — and a
+// world with no injector attached is bit-identical to one where the fault
+// library is not even linked.
+//
+// Observability: each applied action is recorded as a DecisionEvent
+// (node "fault-injector", trigger "fault-inject"/"fault-clear") in the
+// world's decision log and counted in the metrics registry under
+// ("fault-injector", "fault", "injected"/"cleared"), giving the chaos
+// harness causal traceability from fault to recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "fault/link_faults.h"
+#include "fault/plan.h"
+
+namespace mip::fault {
+
+class FaultInjector {
+public:
+    /// @p seed salts the per-impairment PRNGs (independent of the plan's
+    /// generation seed so the same plan can be replayed under different
+    /// noise realizations — pass the same value for exact replay).
+    explicit FaultInjector(core::World& world, std::uint64_t seed = 0x9e3779b9);
+    ~FaultInjector();
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    /// Schedules every action in @p plan on the world's simulator. May be
+    /// called repeatedly (plans accumulate).
+    void execute(const FaultPlan& plan);
+
+    /// Applies one action right now (tests drive this directly).
+    void apply(const FaultAction& action);
+
+    /// Cancels every still-pending scheduled action and detaches all fault
+    /// hooks from links (agents and filters are left as the plan put them —
+    /// a well-formed plan has already cleared them by its horizon).
+    void reset();
+
+    /// Actions applied so far (scheduled ones only count once fired).
+    std::size_t actions_applied() const noexcept { return applied_; }
+    /// Actions that named a target the world does not have (skipped).
+    std::size_t actions_skipped() const noexcept { return skipped_; }
+
+private:
+    /// The hooks currently installed on one link. The chain is attached to
+    /// the link whenever at least one hook exists and detached when the
+    /// last clears, so an idle link is back to the one-pointer-compare
+    /// fast path.
+    struct LinkState {
+        FaultChain chain;
+        std::shared_ptr<LinkDownFault> down;
+        std::shared_ptr<GilbertElliottLoss> burst;
+        std::shared_ptr<BitCorruptionFault> corrupt;
+        std::shared_ptr<DuplicationFault> duplicate;
+        std::shared_ptr<ReorderFault> reorder;
+        std::shared_ptr<JitterFault> jitter;
+    };
+
+    LinkState& state_for(sim::Link& link);
+    void sync_attachment(sim::Link& link, LinkState& st);
+    /// Removes @p hook from the chain and releases @p hook (templated over
+    /// the concrete shared_ptr member).
+    template <typename T>
+    void drop_hook(LinkState& st, std::shared_ptr<T>& hook);
+    std::uint64_t next_seed() noexcept { return seed_ + 0x9e3779b97f4a7c15ull * ++seq_; }
+    void apply_link(const FaultAction& action, sim::Link& link);
+    void apply_agent(const FaultAction& action);
+    void apply_filter(const FaultAction& action);
+    void record(const FaultAction& action, bool applied, std::string detail);
+
+    core::World& world_;
+    std::uint64_t seed_;
+    std::uint64_t seq_ = 0;
+    std::map<sim::Link*, std::unique_ptr<LinkState>> links_;
+    std::vector<sim::EventId> scheduled_;
+    /// Churn rules currently installed, keyed by router name, so the
+    /// clearing action can remove exactly the rule it added.
+    std::map<std::string, std::shared_ptr<const routing::FilterRule>> churn_rules_;
+    std::size_t applied_ = 0;
+    std::size_t skipped_ = 0;
+};
+
+}  // namespace mip::fault

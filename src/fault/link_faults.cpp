@@ -1,0 +1,116 @@
+#include "fault/link_faults.h"
+
+#include <algorithm>
+
+namespace mip::fault {
+
+// ---- LinkDownFault ----------------------------------------------------------
+
+sim::FaultVerdict LinkDownFault::on_transmit(sim::Frame&, sim::TimePoint) {
+    if (!down_) return {};
+    ++dropped_;
+    return {.drop = true, .drop_reason = "fault: link down"};
+}
+
+// ---- GilbertElliottLoss -----------------------------------------------------
+
+GilbertElliottLoss::GilbertElliottLoss(GilbertElliottConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+bool GilbertElliottLoss::step() {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    // Transition first, then lose with the new state's rate: a freshly
+    // entered Bad state already drops, which is what makes losses bursty.
+    if (state_ == State::Good) {
+        if (uniform(rng_) < config_.p_good_to_bad) state_ = State::Bad;
+    } else {
+        if (uniform(rng_) < config_.p_bad_to_good) state_ = State::Good;
+    }
+    const double loss = state_ == State::Good ? config_.loss_good : config_.loss_bad;
+    if (loss <= 0.0) return false;
+    if (loss >= 1.0) return true;
+    return uniform(rng_) < loss;
+}
+
+sim::FaultVerdict GilbertElliottLoss::on_transmit(sim::Frame&, sim::TimePoint) {
+    if (!step()) return {};
+    ++dropped_;
+    return {.drop = true, .drop_reason = "fault: burst loss"};
+}
+
+// ---- BitCorruptionFault -----------------------------------------------------
+
+BitCorruptionFault::BitCorruptionFault(double rate, unsigned bits_per_frame,
+                                       std::uint64_t seed)
+    : rate_(rate), bits_per_frame_(bits_per_frame), rng_(seed) {}
+
+sim::FaultVerdict BitCorruptionFault::on_transmit(sim::Frame& frame, sim::TimePoint) {
+    if (frame.payload.empty()) return {};
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(rng_) >= rate_) return {};
+    ++corrupted_;
+    std::uniform_int_distribution<std::size_t> bit(0, frame.payload.size() * 8 - 1);
+    for (unsigned i = 0; i < bits_per_frame_; ++i) {
+        const std::size_t b = bit(rng_);
+        frame.payload[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+    }
+    return {};  // delivered damaged; the receiver's checksums must catch it
+}
+
+// ---- DuplicationFault -------------------------------------------------------
+
+DuplicationFault::DuplicationFault(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {}
+
+sim::FaultVerdict DuplicationFault::on_transmit(sim::Frame&, sim::TimePoint) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(rng_) >= rate_) return {};
+    ++duplicated_;
+    return {.duplicate = true};
+}
+
+// ---- ReorderFault -----------------------------------------------------------
+
+ReorderFault::ReorderFault(double rate, sim::Duration hold, std::uint64_t seed)
+    : rate_(rate), hold_(hold), rng_(seed) {}
+
+sim::FaultVerdict ReorderFault::on_transmit(sim::Frame&, sim::TimePoint) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(rng_) >= rate_) return {};
+    ++held_;
+    return {.extra_delay = hold_};
+}
+
+// ---- JitterFault ------------------------------------------------------------
+
+JitterFault::JitterFault(sim::Duration max_jitter, std::uint64_t seed)
+    : max_jitter_(max_jitter), rng_(seed) {}
+
+sim::FaultVerdict JitterFault::on_transmit(sim::Frame&, sim::TimePoint) {
+    if (max_jitter_ <= 0) return {};
+    std::uniform_int_distribution<sim::Duration> jitter(0, max_jitter_);
+    return {.extra_delay = jitter(rng_)};
+}
+
+// ---- FaultChain -------------------------------------------------------------
+
+void FaultChain::add(std::shared_ptr<sim::LinkFault> fault) {
+    faults_.push_back(std::move(fault));
+}
+
+void FaultChain::remove(const sim::LinkFault* fault) {
+    std::erase_if(faults_, [fault](const auto& f) { return f.get() == fault; });
+}
+
+sim::FaultVerdict FaultChain::on_transmit(sim::Frame& frame, sim::TimePoint now) {
+    sim::FaultVerdict merged;
+    for (const auto& f : faults_) {
+        const sim::FaultVerdict v = f->on_transmit(frame, now);
+        if (v.drop) return v;
+        merged.duplicate = merged.duplicate || v.duplicate;
+        merged.extra_delay += v.extra_delay;
+    }
+    return merged;
+}
+
+}  // namespace mip::fault

@@ -1,0 +1,150 @@
+// Composable link impairments: the concrete sim::LinkFault hooks the
+// FaultInjector installs on links while a FaultPlan runs.
+//
+// Each impairment is an independent hook with its own seeded PRNG — the
+// draws it makes never perturb the link's configured loss model, so a run
+// with no fault attached is bit-identical whether or not this library is
+// linked. A FaultChain stacks several impairments on one link (a link can
+// be down AND noisy); verdicts merge with any-drop-wins, delays adding and
+// duplication OR-ing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace mip::fault {
+
+/// Scheduled outage: drops every frame while down (cable unplugged).
+class LinkDownFault final : public sim::LinkFault {
+public:
+    void set_down(bool down) noexcept { down_ = down; }
+    bool down() const noexcept { return down_; }
+    std::size_t frames_dropped() const noexcept { return dropped_; }
+
+    sim::FaultVerdict on_transmit(sim::Frame&, sim::TimePoint) override;
+
+private:
+    bool down_ = false;
+    std::size_t dropped_ = 0;
+};
+
+/// Two-state Markov burst-loss channel (Gilbert–Elliott). The chain steps
+/// once per frame; the Good state loses frames with loss_good, the Bad
+/// state with loss_bad — so losses arrive in bursts whose mean length is
+/// 1 / p_bad_to_good frames.
+struct GilbertElliottConfig {
+    double p_good_to_bad = 0.05;
+    double p_bad_to_good = 0.25;
+    double loss_good = 0.0;
+    double loss_bad = 1.0;
+};
+
+class GilbertElliottLoss final : public sim::LinkFault {
+public:
+    enum class State { Good, Bad };
+
+    GilbertElliottLoss(GilbertElliottConfig config, std::uint64_t seed);
+
+    sim::FaultVerdict on_transmit(sim::Frame&, sim::TimePoint) override;
+
+    /// Advances the chain one frame slot and returns whether that slot
+    /// loses its frame — exposed so tests can drive the state machine
+    /// without a link.
+    bool step();
+
+    State state() const noexcept { return state_; }
+    const GilbertElliottConfig& config() const noexcept { return config_; }
+    std::size_t frames_dropped() const noexcept { return dropped_; }
+
+private:
+    GilbertElliottConfig config_;
+    State state_ = State::Good;
+    std::mt19937_64 rng_;
+    std::size_t dropped_ = 0;
+};
+
+/// Flips random payload bits in a fraction of frames. The damaged frames
+/// still get delivered — it is the receiver's checksums (IPv4 header, UDP,
+/// TCP, ICMP, tunnel) that must catch them.
+class BitCorruptionFault final : public sim::LinkFault {
+public:
+    BitCorruptionFault(double rate, unsigned bits_per_frame, std::uint64_t seed);
+
+    sim::FaultVerdict on_transmit(sim::Frame& frame, sim::TimePoint) override;
+
+    std::size_t frames_corrupted() const noexcept { return corrupted_; }
+
+private:
+    double rate_;
+    unsigned bits_per_frame_;
+    std::mt19937_64 rng_;
+    std::size_t corrupted_ = 0;
+};
+
+/// Delivers a second copy of a fraction of frames.
+class DuplicationFault final : public sim::LinkFault {
+public:
+    DuplicationFault(double rate, std::uint64_t seed);
+
+    sim::FaultVerdict on_transmit(sim::Frame&, sim::TimePoint) override;
+
+    std::size_t frames_duplicated() const noexcept { return duplicated_; }
+
+private:
+    double rate_;
+    std::mt19937_64 rng_;
+    std::size_t duplicated_ = 0;
+};
+
+/// Holds a fraction of frames back by a fixed delay, letting later frames
+/// overtake them (reordering as seen by the receiver).
+class ReorderFault final : public sim::LinkFault {
+public:
+    ReorderFault(double rate, sim::Duration hold, std::uint64_t seed);
+
+    sim::FaultVerdict on_transmit(sim::Frame&, sim::TimePoint) override;
+
+    std::size_t frames_held() const noexcept { return held_; }
+
+private:
+    double rate_;
+    sim::Duration hold_;
+    std::mt19937_64 rng_;
+    std::size_t held_ = 0;
+};
+
+/// Adds uniform random extra latency in [0, max_jitter] to every frame.
+class JitterFault final : public sim::LinkFault {
+public:
+    JitterFault(sim::Duration max_jitter, std::uint64_t seed);
+
+    sim::FaultVerdict on_transmit(sim::Frame&, sim::TimePoint) override;
+
+private:
+    sim::Duration max_jitter_;
+    std::mt19937_64 rng_;
+};
+
+/// Stacks several faults on one link. Hooks run in add order; any drop
+/// short-circuits (later hooks neither see the frame nor draw from their
+/// PRNGs for it), extra delays add, and duplication flags OR.
+class FaultChain final : public sim::LinkFault {
+public:
+    void add(std::shared_ptr<sim::LinkFault> fault);
+    /// Removes @p fault (matched by pointer identity); no-op when absent.
+    void remove(const sim::LinkFault* fault);
+    void clear() { faults_.clear(); }
+    bool empty() const noexcept { return faults_.empty(); }
+    std::size_t size() const noexcept { return faults_.size(); }
+
+    sim::FaultVerdict on_transmit(sim::Frame& frame, sim::TimePoint now) override;
+
+private:
+    std::vector<std::shared_ptr<sim::LinkFault>> faults_;
+};
+
+}  // namespace mip::fault

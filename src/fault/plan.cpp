@@ -1,0 +1,193 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+namespace mip::fault {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::LinkDown: return "link-down";
+        case FaultKind::LinkUp: return "link-up";
+        case FaultKind::BurstLossOn: return "burst-loss-on";
+        case FaultKind::BurstLossOff: return "burst-loss-off";
+        case FaultKind::CorruptionOn: return "corruption-on";
+        case FaultKind::CorruptionOff: return "corruption-off";
+        case FaultKind::DuplicationOn: return "duplication-on";
+        case FaultKind::DuplicationOff: return "duplication-off";
+        case FaultKind::ReorderOn: return "reorder-on";
+        case FaultKind::ReorderOff: return "reorder-off";
+        case FaultKind::JitterOn: return "jitter-on";
+        case FaultKind::JitterOff: return "jitter-off";
+        case FaultKind::AgentCrash: return "agent-crash";
+        case FaultKind::AgentRestart: return "agent-restart";
+        case FaultKind::FilterChurnOn: return "filter-churn-on";
+        case FaultKind::FilterChurnOff: return "filter-churn-off";
+    }
+    return "?";
+}
+
+bool is_clearing(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::LinkUp:
+        case FaultKind::BurstLossOff:
+        case FaultKind::CorruptionOff:
+        case FaultKind::DuplicationOff:
+        case FaultKind::ReorderOff:
+        case FaultKind::JitterOff:
+        case FaultKind::AgentRestart:
+        case FaultKind::FilterChurnOff:
+            return true;
+        default:
+            return false;
+    }
+}
+
+FaultKind clearing_kind(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::LinkDown: return FaultKind::LinkUp;
+        case FaultKind::BurstLossOn: return FaultKind::BurstLossOff;
+        case FaultKind::CorruptionOn: return FaultKind::CorruptionOff;
+        case FaultKind::DuplicationOn: return FaultKind::DuplicationOff;
+        case FaultKind::ReorderOn: return FaultKind::ReorderOff;
+        case FaultKind::JitterOn: return FaultKind::JitterOff;
+        case FaultKind::AgentCrash: return FaultKind::AgentRestart;
+        case FaultKind::FilterChurnOn: return FaultKind::FilterChurnOff;
+        default: return kind;
+    }
+}
+
+std::string FaultAction::describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "[%.3fs] %s %s", sim::to_seconds(at),
+                  to_string(kind), target.c_str());
+    std::string out = buf;
+    if (rate > 0.0) {
+        std::snprintf(buf, sizeof buf, " rate=%.2f", rate);
+        out += buf;
+    }
+    if (duration > 0) {
+        std::snprintf(buf, sizeof buf, " dur=%.0fms", sim::to_milliseconds(duration));
+        out += buf;
+    }
+    return out;
+}
+
+void FaultPlan::add(FaultAction action) {
+    auto pos = std::upper_bound(
+        actions_.begin(), actions_.end(), action,
+        [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+    actions_.insert(pos, std::move(action));
+}
+
+void FaultPlan::link_flap(const std::string& link, sim::TimePoint down_at,
+                          sim::TimePoint up_at) {
+    add({.at = down_at, .kind = FaultKind::LinkDown, .target = link});
+    add({.at = up_at, .kind = FaultKind::LinkUp, .target = link});
+}
+
+void FaultPlan::impairment(const std::string& link, FaultKind on_kind,
+                           sim::TimePoint from, sim::TimePoint to, double rate,
+                           sim::Duration duration) {
+    add({.at = from, .kind = on_kind, .target = link, .rate = rate, .duration = duration});
+    add({.at = to, .kind = clearing_kind(on_kind), .target = link});
+}
+
+void FaultPlan::agent_outage(const std::string& agent, sim::TimePoint crash_at,
+                             sim::TimePoint restart_at) {
+    add({.at = crash_at, .kind = FaultKind::AgentCrash, .target = agent});
+    add({.at = restart_at, .kind = FaultKind::AgentRestart, .target = agent});
+}
+
+void FaultPlan::filter_churn(const std::string& router, sim::TimePoint from,
+                             sim::TimePoint to) {
+    add({.at = from, .kind = FaultKind::FilterChurnOn, .target = router});
+    add({.at = to, .kind = FaultKind::FilterChurnOff, .target = router});
+}
+
+sim::TimePoint FaultPlan::last_clear_time() const {
+    sim::TimePoint last = 0;
+    for (const FaultAction& a : actions_) {
+        if (is_clearing(a.kind)) last = std::max(last, a.at);
+    }
+    return last;
+}
+
+std::string FaultPlan::summary() const {
+    std::string out;
+    for (const FaultAction& a : actions_) {
+        out += a.describe();
+        out += '\n';
+    }
+    return out;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile) {
+    FaultPlan plan;
+    std::mt19937_64 rng(seed);
+    // Faults start no earlier than 5% into the horizon (let the scenario
+    // reach steady state) and must clear by the horizon.
+    const sim::TimePoint lo = profile.horizon / 20;
+    const sim::TimePoint hi =
+        std::max<sim::TimePoint>(lo + 1, profile.horizon - profile.min_outage);
+
+    const auto pick = [&rng](const std::vector<std::string>& pool) -> std::string {
+        if (pool.empty()) return {};
+        std::uniform_int_distribution<std::size_t> d(0, pool.size() - 1);
+        return pool[d(rng)];
+    };
+    const auto window = [&](sim::TimePoint& from, sim::TimePoint& to) {
+        std::uniform_int_distribution<sim::TimePoint> start(lo, hi);
+        std::uniform_int_distribution<sim::Duration> outage(profile.min_outage,
+                                                            profile.max_outage);
+        from = start(rng);
+        to = std::min<sim::TimePoint>(from + outage(rng), profile.horizon);
+    };
+
+    for (int i = 0; i < profile.link_flaps; ++i) {
+        const std::string link = pick(profile.links);
+        if (link.empty()) break;
+        sim::TimePoint from, to;
+        window(from, to);
+        plan.link_flap(link, from, to);
+    }
+
+    static constexpr FaultKind kImpairments[] = {
+        FaultKind::BurstLossOn, FaultKind::CorruptionOn, FaultKind::DuplicationOn,
+        FaultKind::ReorderOn, FaultKind::JitterOn,
+    };
+    for (int i = 0; i < profile.impairments; ++i) {
+        const std::string link = pick(profile.links);
+        if (link.empty()) break;
+        std::uniform_int_distribution<std::size_t> which(0, std::size(kImpairments) - 1);
+        const FaultKind kind = kImpairments[which(rng)];
+        std::uniform_real_distribution<double> rate(0.05, 0.4);
+        sim::TimePoint from, to;
+        window(from, to);
+        plan.impairment(link, kind, from, to, rate(rng),
+                        kind == FaultKind::ReorderOn || kind == FaultKind::JitterOn
+                            ? sim::milliseconds(20)
+                            : sim::Duration{0});
+    }
+
+    for (int i = 0; i < profile.agent_crashes; ++i) {
+        const std::string agent = pick(profile.agents);
+        if (agent.empty()) break;
+        sim::TimePoint from, to;
+        window(from, to);
+        plan.agent_outage(agent, from, to);
+    }
+
+    for (int i = 0; i < profile.filter_churns; ++i) {
+        const std::string router = pick(profile.routers);
+        if (router.empty()) break;
+        sim::TimePoint from, to;
+        window(from, to);
+        plan.filter_churn(router, from, to);
+    }
+
+    return plan;
+}
+
+}  // namespace mip::fault

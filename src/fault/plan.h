@@ -1,0 +1,112 @@
+// A FaultPlan is the deterministic script of a chaos run: a time-sorted
+// list of fault actions (inject or clear) against named links, agents and
+// boundary routers. Plans are either built explicitly (tests) or generated
+// from a seed (FaultPlan::random) — the same seed and profile always yield
+// the same plan, so every chaos run is replayable.
+//
+// By construction every injected fault has a matching clearing action at
+// or before the profile's horizon; last_clear_time() is therefore the
+// moment the network is guaranteed fault-free, which is what the
+// convergence harness (bench/abl_chaos) measures recovery from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mip::fault {
+
+enum class FaultKind {
+    LinkDown,        ///< target link drops everything
+    LinkUp,          ///< clears LinkDown
+    BurstLossOn,     ///< Gilbert–Elliott burst loss (rate = p_good_to_bad scale)
+    BurstLossOff,
+    CorruptionOn,    ///< random bit flips in a fraction `rate` of frames
+    CorruptionOff,
+    DuplicationOn,   ///< a fraction `rate` of frames delivered twice
+    DuplicationOff,
+    ReorderOn,       ///< a fraction `rate` of frames held back by `duration`
+    ReorderOff,
+    JitterOn,        ///< uniform extra latency in [0, duration]
+    JitterOff,
+    AgentCrash,      ///< target agent loses all volatile state
+    AgentRestart,
+    FilterChurnOn,   ///< target boundary router gains an egress anti-spoof rule
+    FilterChurnOff,
+};
+
+const char* to_string(FaultKind kind);
+/// True for the kinds that clear a fault rather than inject one.
+bool is_clearing(FaultKind kind);
+/// The kind that clears @p kind (LinkDown -> LinkUp, ...); clearing kinds
+/// map to themselves.
+FaultKind clearing_kind(FaultKind kind);
+
+struct FaultAction {
+    sim::TimePoint at = 0;
+    FaultKind kind = FaultKind::LinkDown;
+    /// Link name, agent name ("home-agent" / "foreign-agent") or boundary
+    /// router name ("foreign-gw", ...) the action applies to.
+    std::string target;
+    /// Impairment probability (loss/corruption/duplication/reorder).
+    double rate = 0.0;
+    /// Impairment time knob (reorder hold / jitter max).
+    sim::Duration duration = 0;
+
+    /// One-line rendering: "[2.500s] burst-loss-on foreign-lan rate=0.20".
+    std::string describe() const;
+};
+
+/// Knobs for FaultPlan::random. Counts are per fault class; each generated
+/// fault gets an outage window [min_outage, max_outage] placed uniformly
+/// inside the horizon, with its clearing action clamped to the horizon.
+struct ChaosProfile {
+    sim::Duration horizon = sim::seconds(15);
+    int link_flaps = 1;
+    int impairments = 2;
+    int agent_crashes = 1;
+    int filter_churns = 1;
+    sim::Duration min_outage = sim::milliseconds(200);
+    sim::Duration max_outage = sim::seconds(3);
+    std::vector<std::string> links{"foreign-lan", "home-lan"};
+    std::vector<std::string> agents{"home-agent"};
+    std::vector<std::string> routers{"foreign-gw"};
+};
+
+class FaultPlan {
+public:
+    /// Inserts @p action keeping the plan sorted by time (stable: equal
+    /// timestamps keep insertion order).
+    void add(FaultAction action);
+
+    // Paired-action helpers.
+    void link_flap(const std::string& link, sim::TimePoint down_at, sim::TimePoint up_at);
+    void impairment(const std::string& link, FaultKind on_kind, sim::TimePoint from,
+                    sim::TimePoint to, double rate, sim::Duration duration = 0);
+    void agent_outage(const std::string& agent, sim::TimePoint crash_at,
+                      sim::TimePoint restart_at);
+    void filter_churn(const std::string& router, sim::TimePoint from, sim::TimePoint to);
+
+    const std::vector<FaultAction>& actions() const noexcept { return actions_; }
+    std::size_t size() const noexcept { return actions_.size(); }
+    bool empty() const noexcept { return actions_.empty(); }
+
+    /// The time of the last clearing action — from this moment on the
+    /// network is fault-free (0 for an empty plan).
+    sim::TimePoint last_clear_time() const;
+
+    /// Multi-line rendering of every action (tests compare these to check
+    /// generation determinism).
+    std::string summary() const;
+
+    /// Deterministic seeded generation: the same (seed, profile) always
+    /// yields the same plan.
+    static FaultPlan random(std::uint64_t seed, const ChaosProfile& profile = {});
+
+private:
+    std::vector<FaultAction> actions_;
+};
+
+}  // namespace mip::fault

@@ -56,8 +56,37 @@ void HandoffController::stop() {
         sim_.cancel(sample_timer_);
         sample_timer_armed_ = false;
     }
-    // Orphan any in-flight attach callback / retry timer.
+    if (retry_timer_armed_) {
+        sim_.cancel(retry_timer_);
+        retry_timer_armed_ = false;
+    }
+    // Orphan any in-flight attach callback.
     ++attach_epoch_;
+}
+
+void HandoffController::notify_connectivity_lost() {
+    if (!running_ || current_ == nullptr) return;
+    ++stats_.forced_reattaches;
+    // Abandon whatever the dead attachment still had in flight.
+    ++attach_epoch_;
+    if (retry_timer_armed_) {
+        sim_.cancel(retry_timer_);
+        retry_timer_armed_ = false;
+    }
+    if (record_open_) {
+        close_record(false);
+    }
+    if (!gap_open_) {
+        gap_open_ = true;
+        gap_loss_at_open_ = probe();
+    }
+    pending_ = HandoffRecord{};
+    pending_.from = current_->name;
+    pending_.to = current_->name;
+    pending_.detected_at = sim_.now();
+    pending_.committed_at = sim_.now();
+    record_open_ = true;
+    issue_attach(*current_);
 }
 
 void HandoffController::on_sample() {
@@ -94,6 +123,13 @@ void HandoffController::evaluate(const CoverageCell* best) {
 void HandoffController::commit(const CoverageCell* cell, sim::TimePoint detected_at) {
     has_candidate_ = false;
     ++attach_epoch_;
+    if (retry_timer_armed_) {
+        // A pending backoff retry belongs to the attachment this move
+        // supersedes; without the cancel it would sit in the queue as an
+        // orphan (and with enough flaps, thousands of them).
+        sim_.cancel(retry_timer_);
+        retry_timer_armed_ = false;
+    }
     if (record_open_) {
         close_record(false);  // superseded mid-registration by this move
     }
@@ -152,13 +188,15 @@ void HandoffController::on_attach_result(std::uint64_t epoch, bool accepted) {
         return;
     }
     ++stats_.failed_attaches;
-    sim_.schedule_in(
+    retry_timer_ = sim_.schedule_in(
         config_.retry_backoff,
         [this, epoch] {
+            retry_timer_armed_ = false;
             if (epoch != attach_epoch_ || !running_ || current_ == nullptr) return;
             issue_attach(*current_);
         },
         "handoff-retry");
+    retry_timer_armed_ = true;
 }
 
 void HandoffController::close_record(bool success) {

@@ -111,6 +111,9 @@ struct HandoffStats {
     std::size_t dead_zone_entries = 0;
     /// Registration failures the controller answered with a backoff retry.
     std::size_t failed_attaches = 0;
+    /// Re-attaches forced by notify_connectivity_lost() (fault-induced
+    /// detaches, not motion).
+    std::size_t forced_reattaches = 0;
 
     /// Completed cell-to-cell moves (successful, non-initial records).
     std::size_t handoff_count() const;
@@ -133,6 +136,14 @@ public:
     void start();
     void stop();
     bool running() const noexcept { return running_; }
+
+    /// Tells the controller its current attachment silently died (link
+    /// flap, agent crash — anything the coverage map can't see, since the
+    /// position never moved). The controller abandons any in-flight
+    /// registration or pending retry for that attachment (epoch bump, so
+    /// nothing stale fires later) and immediately re-issues the attach to
+    /// the current cell. No-op while stopped or unattached.
+    void notify_connectivity_lost();
 
     Position position() { return model_.position_at(sim_.now()); }
     /// Cell of the current (possibly still-registering) attachment;
@@ -161,6 +172,12 @@ private:
     bool running_ = false;
     sim::EventId sample_timer_ = 0;
     bool sample_timer_armed_ = false;
+    /// The backoff retry after a failed attach. Tracked so a commit, stop
+    /// or forced re-attach can cancel it instead of leaving an orphaned
+    /// event in the queue (the epoch check makes a stale one harmless, but
+    /// each leak grows the simulator's queue and cancellation backlog).
+    sim::EventId retry_timer_ = 0;
+    bool retry_timer_armed_ = false;
 
     const CoverageCell* current_ = nullptr;
     bool attached_once_ = false;

@@ -42,17 +42,23 @@ UdpHeader UdpHeader::parse(BufferReader& r, Ipv4Address src_ip, Ipv4Address dst_
     if (h.length < kUdpHeaderSize || h.length > whole.size()) {
         throw ParseError("UDP length field out of range");
     }
-    if (csum != 0) {
-        ChecksumAccumulator acc;
-        acc.add_u32(src_ip.value());
-        acc.add_u32(dst_ip.value());
-        acc.add_u16(static_cast<std::uint16_t>(IpProto::Udp));
-        acc.add_u16(h.length);
-        acc.add(whole.subspan(0, h.length));
-        const std::uint16_t verify = acc.finish();
-        if (verify != 0 && !(verify == 0xffff && csum == 0xffff)) {
-            throw ParseError("UDP checksum mismatch");
-        }
+    // RFC 768 allows senders to omit the checksum (field zero), but every
+    // stack in this simulation always computes one — so a zero here means
+    // the field itself was damaged in flight. Accepting it unverified was
+    // exactly the hole bit-corruption faults slip through: one flip that
+    // zeroes the checksum field would make any payload damage invisible.
+    if (csum == 0) {
+        throw ParseError("UDP checksum missing");
+    }
+    ChecksumAccumulator acc;
+    acc.add_u32(src_ip.value());
+    acc.add_u32(dst_ip.value());
+    acc.add_u16(static_cast<std::uint16_t>(IpProto::Udp));
+    acc.add_u16(h.length);
+    acc.add(whole.subspan(0, h.length));
+    const std::uint16_t verify = acc.finish();
+    if (verify != 0 && !(verify == 0xffff && csum == 0xffff)) {
+        throw ParseError("UDP checksum mismatch");
     }
     return h;
 }

@@ -64,6 +64,19 @@ void Link::transmit(const Nic& sender, Frame frame) {
         tap_(frame);
     }
 
+    Duration fault_delay = 0;
+    bool fault_duplicate = false;
+    if (fault_ != nullptr) {
+        const FaultVerdict verdict = fault_->on_transmit(frame, simulator_.now());
+        if (verdict.drop) {
+            emit(TraceKind::FrameLost, &sender, frame,
+                 verdict.drop_reason != nullptr ? verdict.drop_reason : "fault");
+            return;
+        }
+        fault_delay = verdict.extra_delay;
+        fault_duplicate = verdict.duplicate;
+    }
+
     if (config_.loss_rate > 0.0) {
         std::bernoulli_distribution lost(config_.loss_rate);
         if (lost(rng_)) {
@@ -76,7 +89,7 @@ void Link::transmit(const Nic& sender, Frame frame) {
     // the wire frees up, so frames never overtake each other.
     const TimePoint start = std::max(simulator_.now(), busy_until_);
     busy_until_ = start + transmission_delay(frame.wire_size());
-    const Duration delay = (busy_until_ - simulator_.now()) + config_.latency;
+    const Duration delay = (busy_until_ - simulator_.now()) + config_.latency + fault_delay;
     for (Nic* nic : nics_) {
         if (nic == &sender) continue;
         // Group-addressed frames (broadcast and multicast) reach every
@@ -92,6 +105,17 @@ void Link::transmit(const Nic& sender, Frame frame) {
             nic->deliver(frame);
         },
         "frame-delivery");
+        if (fault_duplicate) {
+            // The duplicate trails the original by one serialization time,
+            // as if the frame had been put on the wire twice back-to-back.
+            simulator_.schedule_in(delay + transmission_delay(frame.wire_size()),
+                                   [nic, frame, this] {
+                if (nic->link() != this) return;
+                emit(TraceKind::FrameRx, nic, frame);
+                nic->deliver(frame);
+            },
+            "frame-delivery");
+        }
     }
 }
 

@@ -19,6 +19,29 @@ namespace mip::sim {
 
 class Nic;
 
+/// Verdict a LinkFault returns for one frame offered to the wire. The hook
+/// may additionally have mutated the frame in place (bit corruption).
+struct FaultVerdict {
+    bool drop = false;                  ///< discard instead of delivering
+    const char* drop_reason = nullptr;  ///< trace detail when dropped
+    bool duplicate = false;             ///< deliver a second copy back-to-back
+    Duration extra_delay = 0;           ///< added latency (jitter / reordering)
+};
+
+/// Fault-injection hook on a Link (implementations live in src/fault/).
+/// Same contract as the simulator's profiler attachment: detached — the
+/// default — the per-frame cost is one pointer compare; attached, the hook
+/// sees every frame after the MTU check and capture tap, before the
+/// config-level loss model. Implementations own their PRNGs, so an
+/// unattached link's random-loss draw sequence is untouched and replay
+/// stays bit-identical whether or not the fault library is even linked.
+class LinkFault {
+public:
+    virtual ~LinkFault() = default;
+    /// Called once per transmit; @p frame may be mutated (corruption).
+    virtual FaultVerdict on_transmit(Frame& frame, TimePoint now) = 0;
+};
+
 struct LinkConfig {
     std::string name = "link";
     Duration latency = microseconds(100);
@@ -49,6 +72,12 @@ public:
     /// per link; the tap's owner must outlive the link's traffic.
     void set_tap(FrameTap tap) { tap_ = std::move(tap); }
 
+    /// Attaches (or, with nullptr, detaches) a fault-injection hook. Off by
+    /// default; when detached the per-frame cost is one pointer compare.
+    /// The hook must outlive its attachment.
+    void set_fault(LinkFault* fault) noexcept { fault_ = fault; }
+    LinkFault* fault() const noexcept { return fault_; }
+
     /// Registers/unregisters an endpoint. Nic::connect/disconnect call these.
     void attach(Nic& nic);
     void detach(Nic& nic);
@@ -75,6 +104,7 @@ private:
     mutable std::mt19937_64 rng_;
     TraceSink trace_;
     FrameTap tap_;
+    LinkFault* fault_ = nullptr;
     /// The shared medium serializes transmissions: the time until which the
     /// wire is occupied. Keeps small frames from overtaking large ones.
     TimePoint busy_until_ = 0;

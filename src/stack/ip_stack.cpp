@@ -59,6 +59,27 @@ void IpStack::add_egress_filter(std::size_t interface_index,
     egress_filters_[interface_index].push_back(std::move(rule));
 }
 
+namespace {
+void remove_filter_rule(
+    std::map<std::size_t, std::vector<std::shared_ptr<const routing::FilterRule>>>& filters,
+    std::size_t interface_index, const routing::FilterRule* rule) {
+    auto it = filters.find(interface_index);
+    if (it == filters.end()) return;
+    std::erase_if(it->second, [rule](const auto& r) { return r.get() == rule; });
+    if (it->second.empty()) filters.erase(it);
+}
+}  // namespace
+
+void IpStack::remove_ingress_filter(std::size_t interface_index,
+                                    const routing::FilterRule* rule) {
+    remove_filter_rule(ingress_filters_, interface_index, rule);
+}
+
+void IpStack::remove_egress_filter(std::size_t interface_index,
+                                   const routing::FilterRule* rule) {
+    remove_filter_rule(egress_filters_, interface_index, rule);
+}
+
 void IpStack::add_local_address(net::Ipv4Address addr) {
     if (addr.is_unspecified()) return;
     ++local_addresses_[addr];

@@ -77,6 +77,12 @@ public:
                             std::shared_ptr<const routing::FilterRule> rule);
     void add_egress_filter(std::size_t interface_index,
                            std::shared_ptr<const routing::FilterRule> rule);
+    /// Removes a previously added rule, matched by pointer identity (the
+    /// caller keeps the shared_ptr it installed — policy churn needs to
+    /// take back exactly the rule it added, not every rule of that shape).
+    /// No-op when the rule isn't installed on that interface.
+    void remove_ingress_filter(std::size_t interface_index, const routing::FilterRule* rule);
+    void remove_egress_filter(std::size_t interface_index, const routing::FilterRule* rule);
 
     /// When enabled, a router answers each filtered-out packet with ICMP
     /// Destination Unreachable (code 13, "communication administratively

@@ -34,4 +34,14 @@ void Router::add_egress_filter(std::size_t interface_index,
     stack_.add_egress_filter(interface_index, std::move(rule));
 }
 
+void Router::remove_ingress_filter(std::size_t interface_index,
+                                   const routing::FilterRule* rule) {
+    stack_.remove_ingress_filter(interface_index, rule);
+}
+
+void Router::remove_egress_filter(std::size_t interface_index,
+                                  const routing::FilterRule* rule) {
+    stack_.remove_egress_filter(interface_index, rule);
+}
+
 }  // namespace mip::stack

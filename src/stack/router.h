@@ -28,6 +28,8 @@ public:
                             std::shared_ptr<const routing::FilterRule> rule);
     void add_egress_filter(std::size_t interface_index,
                            std::shared_ptr<const routing::FilterRule> rule);
+    void remove_ingress_filter(std::size_t interface_index, const routing::FilterRule* rule);
+    void remove_egress_filter(std::size_t interface_index, const routing::FilterRule* rule);
 
 private:
     IpStack stack_;

@@ -1,0 +1,458 @@
+// Fault-injection subsystem: plan generation determinism, the
+// Gilbert–Elliott loss chain, injector end-to-end behaviour (link outages,
+// corruption), agent crash/restart recovery, registration-lifetime expiry,
+// capability-probe retries, the handoff controller's interaction with
+// fault-induced detaches, and a multi-seed chaos convergence property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "core/capability_probe.h"
+#include "core/scenario.h"
+#include "fault/injector.h"
+#include "fault/link_faults.h"
+#include "fault/plan.h"
+#include "mobility/handoff.h"
+#include "net/buffer.h"
+#include "net/icmp.h"
+#include "net/ipv4_header.h"
+#include "net/tcp_header.h"
+#include "net/udp_header.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+
+/// One echo from the mobile host's home address; drives the sim until the
+/// callback fires (or a bounded deadline passes).
+bool ping_ok(World& world, MobileHost& mh, net::Ipv4Address dst,
+             sim::Duration timeout = sim::seconds(2)) {
+    transport::Pinger pinger(mh.stack());
+    bool done = false;
+    bool ok = false;
+    pinger.ping(
+        dst,
+        [&](std::optional<sim::Duration> rtt) {
+            done = true;
+            ok = rtt.has_value();
+        },
+        timeout, 56, mh.home_address());
+    const sim::TimePoint deadline = world.sim.now() + timeout + sim::seconds(1);
+    while (!done && world.sim.now() < deadline) {
+        world.run_for(sim::milliseconds(50));
+    }
+    return ok;
+}
+
+fault::FaultAction make_action(fault::FaultKind kind, const std::string& target,
+                               double rate = 0.0, sim::Duration duration = 0) {
+    fault::FaultAction a;
+    a.kind = kind;
+    a.target = target;
+    a.rate = rate;
+    a.duration = duration;
+    return a;
+}
+
+}  // namespace
+
+// ---- plans ------------------------------------------------------------------
+
+TEST(FaultPlan, RandomGenerationIsDeterministic) {
+    const fault::FaultPlan a = fault::FaultPlan::random(7);
+    const fault::FaultPlan b = fault::FaultPlan::random(7);
+    const fault::FaultPlan c = fault::FaultPlan::random(8);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_NE(a.summary(), c.summary());
+}
+
+TEST(FaultPlan, ActionsAreSortedAndEveryFaultClears) {
+    fault::ChaosProfile profile;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const fault::FaultPlan plan = fault::FaultPlan::random(seed, profile);
+        std::size_t injects = 0;
+        std::size_t clears = 0;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            if (i > 0) {
+                EXPECT_GE(plan.actions()[i].at, plan.actions()[i - 1].at);
+            }
+            (fault::is_clearing(plan.actions()[i].kind) ? clears : injects)++;
+        }
+        EXPECT_EQ(injects, clears) << "seed " << seed;
+        EXPECT_LE(plan.last_clear_time(), profile.horizon) << "seed " << seed;
+    }
+}
+
+TEST(FaultPlan, AddKeepsTimeOrderStable) {
+    fault::FaultPlan plan;
+    auto a = make_action(fault::FaultKind::LinkDown, "first");
+    a.at = sim::seconds(2);
+    auto b = make_action(fault::FaultKind::LinkDown, "second");
+    b.at = sim::seconds(1);
+    auto c = make_action(fault::FaultKind::LinkUp, "third");
+    c.at = sim::seconds(2);
+    plan.add(a);
+    plan.add(b);
+    plan.add(c);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.actions()[0].target, "second");
+    EXPECT_EQ(plan.actions()[1].target, "first");  // equal times keep insert order
+    EXPECT_EQ(plan.actions()[2].target, "third");
+    EXPECT_EQ(plan.last_clear_time(), sim::seconds(2));
+}
+
+// ---- Gilbert–Elliott --------------------------------------------------------
+
+TEST(GilbertElliott, DegenerateChainsBehaveAsConfigured) {
+    // p_good_to_bad = 0: never leaves Good, never loses.
+    fault::GilbertElliottLoss stay_good({.p_good_to_bad = 0.0, .p_bad_to_good = 0.0}, 1);
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(stay_good.step());
+    EXPECT_EQ(stay_good.state(), fault::GilbertElliottLoss::State::Good);
+
+    // p_good_to_bad = 1, p_bad_to_good = 0: first step enters Bad and every
+    // frame from then on is lost.
+    fault::GilbertElliottLoss stuck_bad({.p_good_to_bad = 1.0, .p_bad_to_good = 0.0}, 1);
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(stuck_bad.step());
+    EXPECT_EQ(stuck_bad.state(), fault::GilbertElliottLoss::State::Bad);
+}
+
+TEST(GilbertElliott, LossArrivesInBursts) {
+    // Default chain: mean burst length 1/p_bad_to_good = 4 frames. Over a
+    // long run the loss fraction must sit near the stationary Bad share
+    // p_g2b/(p_g2b+p_b2g) = 1/6, and losses must cluster (more same-state
+    // consecutive pairs than an independent process would produce).
+    fault::GilbertElliottLoss ge({}, 42);
+    const int n = 20000;
+    int losses = 0;
+    int consecutive = 0;
+    bool prev = false;
+    for (int i = 0; i < n; ++i) {
+        const bool lost = ge.step();
+        losses += lost;
+        consecutive += (lost && prev);
+        prev = lost;
+    }
+    const double frac = static_cast<double>(losses) / n;
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.25);
+    // Independent losses at this rate would give ~ losses * frac
+    // consecutive pairs; bursts give ~ losses * (1 - p_bad_to_good).
+    EXPECT_GT(consecutive, static_cast<int>(losses * frac * 2));
+}
+
+// ---- checksum regression (satellite: corrupted frames must be dropped) ------
+
+TEST(CorruptionChecksums, Ipv4HeaderBitFlipIsRejected) {
+    net::Ipv4Header h;
+    h.src = "10.1.0.10"_ip;
+    h.dst = "10.3.0.2"_ip;
+    h.protocol = net::IpProto::Udp;
+    h.total_length = net::kIpv4HeaderSize;
+    net::BufferWriter w;
+    h.serialize(w);
+    std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+    bytes[8] ^= 0x04;  // TTL field
+    net::BufferReader r(bytes);
+    EXPECT_THROW(net::Ipv4Header::parse(r), net::ParseError);
+}
+
+TEST(CorruptionChecksums, UdpPayloadBitFlipIsRejected) {
+    const auto src = "10.1.0.10"_ip;
+    const auto dst = "10.3.0.2"_ip;
+    net::UdpHeader h;
+    h.src_port = 1234;
+    h.dst_port = 5678;
+    const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+    net::BufferWriter w;
+    h.serialize(w, src, dst, payload);
+    std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+    bytes[net::kUdpHeaderSize + 2] ^= 0x10;
+    net::BufferReader r(bytes);
+    EXPECT_THROW(net::UdpHeader::parse(r, src, dst), net::ParseError);
+}
+
+TEST(CorruptionChecksums, UdpZeroedChecksumFieldIsRejected) {
+    // A flip that zeroes the checksum field must not turn verification
+    // off: our senders always emit a checksum (RFC 768 0 -> 0xffff), so a
+    // zero on the wire is itself damage.
+    const auto src = "10.1.0.10"_ip;
+    const auto dst = "10.3.0.2"_ip;
+    net::UdpHeader h;
+    h.src_port = 1234;
+    h.dst_port = 5678;
+    const std::vector<std::uint8_t> payload{9, 9, 9};
+    net::BufferWriter w;
+    h.serialize(w, src, dst, payload);
+    std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+    bytes[6] = 0;  // checksum field
+    bytes[7] = 0;
+    net::BufferReader r(bytes);
+    EXPECT_THROW(net::UdpHeader::parse(r, src, dst), net::ParseError);
+}
+
+TEST(CorruptionChecksums, TcpSegmentBitFlipIsRejected) {
+    const auto src = "10.1.0.10"_ip;
+    const auto dst = "10.3.0.2"_ip;
+    net::TcpHeader h;
+    h.src_port = 1234;
+    h.dst_port = 80;
+    h.seq = 1000;
+    const std::vector<std::uint8_t> payload{0xaa, 0xbb, 0xcc};
+    net::BufferWriter w;
+    h.serialize(w, src, dst, payload);
+    std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+    bytes.back() ^= 0x01;
+    net::BufferReader r(bytes);
+    EXPECT_THROW(net::TcpHeader::parse(r, src, dst), net::ParseError);
+}
+
+// ---- injector end-to-end ----------------------------------------------------
+
+TEST(FaultInjector, LinkDownBlocksDeliveryAndLinkUpRestoresIt) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    fault::FaultInjector injector(world);
+
+    EXPECT_TRUE(ping_ok(world, mh, ch.address()));
+    injector.apply(make_action(fault::FaultKind::LinkDown, "foreign-lan"));
+    EXPECT_FALSE(ping_ok(world, mh, ch.address()));
+    injector.apply(make_action(fault::FaultKind::LinkUp, "foreign-lan"));
+    EXPECT_TRUE(ping_ok(world, mh, ch.address()));
+    EXPECT_EQ(injector.actions_applied(), 2u);
+    // Both hooks cleared: the link is back to the pointer-compare path.
+    EXPECT_EQ(world.foreign_lan().fault(), nullptr);
+}
+
+TEST(FaultInjector, FullRateCorruptionIsCaughtByChecksums) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    fault::FaultInjector injector(world);
+
+    injector.apply(make_action(fault::FaultKind::CorruptionOn, "foreign-lan", 1.0));
+    EXPECT_FALSE(ping_ok(world, mh, ch.address()))
+        << "damaged frames must be dropped by receiver checksums, not delivered";
+    injector.apply(make_action(fault::FaultKind::CorruptionOff, "foreign-lan"));
+    EXPECT_TRUE(ping_ok(world, mh, ch.address()));
+}
+
+TEST(FaultInjector, UnknownTargetsAreSkippedNotFatal) {
+    World world;
+    fault::FaultInjector injector(world);
+    injector.apply(make_action(fault::FaultKind::LinkDown, "no-such-link"));
+    injector.apply(make_action(fault::FaultKind::AgentCrash, "foreign-agent"));
+    EXPECT_EQ(injector.actions_applied(), 0u);
+    EXPECT_EQ(injector.actions_skipped(), 2u);
+}
+
+TEST(FaultInjector, ResetCancelsPendingActionsAndDetachesHooks) {
+    World world;
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    fault::FaultInjector injector(world);
+    fault::FaultPlan plan;
+    plan.link_flap("foreign-lan", world.sim.now() + sim::seconds(100),
+                   world.sim.now() + sim::seconds(101));
+    injector.execute(plan);
+    injector.apply(make_action(fault::FaultKind::JitterOn, "home-lan", 0.0,
+                               sim::milliseconds(2)));
+    EXPECT_NE(world.home_lan().fault(), nullptr);
+    injector.reset();
+    EXPECT_EQ(world.home_lan().fault(), nullptr);
+    world.run_for(sim::seconds(1));  // give cancelled events a chance to sweep
+    EXPECT_EQ(injector.actions_applied(), 1u);
+}
+
+// ---- agent crash / restart --------------------------------------------------
+
+TEST(AgentCrash, HomeAgentCrashWipesBindingsAndReregistrationRecovers) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_lifetime = 2;  // refresh every ~1.6 s
+    mcfg.registration_backoff_cap = sim::seconds(1);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    EXPECT_EQ(world.home_agent().bindings().size(), 1u);
+
+    world.home_agent().crash();
+    EXPECT_TRUE(world.home_agent().crashed());
+    EXPECT_EQ(world.home_agent().bindings().size(), 0u);
+    EXPECT_EQ(world.home_agent().stats().crashes, 1u);
+    EXPECT_FALSE(ping_ok(world, mh, ch.address()));
+
+    // While the agent is down the host's refresh attempts go unanswered;
+    // the lifetime lapses and the host stops believing its binding.
+    world.run_for(sim::seconds(4));
+    EXPECT_FALSE(mh.registered());
+    EXPECT_GE(mh.stats().binding_expiries, 1u);
+    EXPECT_GE(mh.stats().registration_backoffs, 1u);
+
+    world.home_agent().restart();
+    // The capped-backoff retry loop is still probing; it re-registers
+    // without any outside help.
+    const sim::TimePoint deadline = world.sim.now() + sim::seconds(10);
+    while (!mh.registered() && world.sim.now() < deadline) {
+        world.run_for(sim::milliseconds(200));
+    }
+    EXPECT_TRUE(mh.registered());
+    EXPECT_TRUE(ping_ok(world, mh, ch.address()));
+}
+
+TEST(AgentCrash, ForeignAgentCrashWipesVisitors) {
+    World world;
+    world.create_foreign_agent();
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_via_agent());
+    EXPECT_EQ(world.foreign_agent().visitor_count(), 1u);
+    world.foreign_agent().crash();
+    EXPECT_EQ(world.foreign_agent().visitor_count(), 0u);
+    EXPECT_EQ(world.foreign_agent().stats().crashes, 1u);
+    world.foreign_agent().restart();
+    EXPECT_FALSE(world.foreign_agent().crashed());
+}
+
+// ---- registration expiry GC -------------------------------------------------
+
+TEST(RegistrationExpiry, HomeAgentGarbageCollectsLapsedBindings) {
+    World world;
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_lifetime = 2;
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    EXPECT_EQ(world.home_agent().bindings().size(), 1u);
+
+    // Detach silently: no deregistration reaches the agent, so only the
+    // lifetime-driven GC can clean the binding up.
+    mh.detach_current();
+    world.run_for(sim::seconds(5));
+    EXPECT_EQ(world.home_agent().bindings().size(), 0u);
+    EXPECT_GE(world.home_agent().stats().bindings_expired, 1u);
+}
+
+// ---- capability-probe retries -----------------------------------------------
+
+TEST(ProbeRetry, TimeoutsBackOffAndRetryBeforeConceding) {
+    World world;
+    world.create_mobile_host();
+    world.enable_decision_log();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    ProbeConfig pcfg;
+    pcfg.per_mode_timeout = sim::milliseconds(200);
+    pcfg.retries_per_mode = 2;
+    pcfg.retry_backoff = sim::milliseconds(100);
+    CapabilityProber prober(world.mobile_host(), pcfg);
+
+    // Probe an address nobody answers: every mode times out, and each
+    // gets its retries.
+    bool reported = false;
+    prober.probe(world.corr_domain.host(99), [&](const ProbeReport& r) {
+        reported = true;
+        EXPECT_FALSE(r.any_home_mode_works);
+    });
+    const sim::TimePoint deadline = world.sim.now() + sim::seconds(30);
+    while (!reported && world.sim.now() < deadline) {
+        world.run_for(sim::milliseconds(100));
+    }
+    ASSERT_TRUE(reported);
+
+    std::size_t retries = 0;
+    for (const obs::DecisionEvent& ev : world.decisions.events()) {
+        if (ev.test == "probe-retry") ++retries;
+    }
+    EXPECT_GE(retries, 2u);
+}
+
+// ---- handoff controller vs fault-induced detach -----------------------------
+
+TEST(HandoffFaults, ConnectivityLossForcesReattachWithoutTimerLeak) {
+    World world;
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_retry = sim::milliseconds(200);
+    mcfg.registration_max_retries = 2;
+    world.create_mobile_host(std::move(mcfg));
+
+    // Stationary inside the foreign cell: every attach targets it.
+    auto model =
+        std::make_unique<mobility::LinearMobility>(mobility::Position{100, 50}, 0.0, 0.0);
+    mobility::CoverageMap map;
+    map.add(world.foreign_cell(mobility::Region::rect(0, 0, 500, 100)));
+    mobility::HandoffConfig hcfg;
+    hcfg.retry_backoff = sim::milliseconds(500);
+    auto& hc = world.with_mobility(std::move(model), std::move(map), hcfg);
+    world.run_for(sim::seconds(2));
+    ASSERT_TRUE(world.mobile_host().registered());
+
+    fault::FaultInjector injector(world);
+    injector.apply(make_action(fault::FaultKind::LinkDown, "foreign-lan"));
+    hc.notify_connectivity_lost();
+    EXPECT_EQ(hc.stats().forced_reattaches, 1u);
+
+    // The re-issued registration fails while the link is down; the
+    // controller keeps retrying on its backoff timer.
+    world.run_for(sim::seconds(3));
+    EXPECT_GE(hc.stats().failed_attaches, 1u);
+    EXPECT_FALSE(world.mobile_host().registered());
+
+    injector.apply(make_action(fault::FaultKind::LinkUp, "foreign-lan"));
+    const sim::TimePoint deadline = world.sim.now() + sim::seconds(10);
+    while (!world.mobile_host().registered() && world.sim.now() < deadline) {
+        world.run_for(sim::milliseconds(200));
+    }
+    EXPECT_TRUE(world.mobile_host().registered());
+
+    // No stale-timer leak: pending cancellations stay bounded (the
+    // generation counter plus explicit cancels — not an ever-growing
+    // backlog of orphaned retry events).
+    EXPECT_LT(world.sim.cancelled_backlog(), 16u);
+}
+
+// ---- chaos convergence property ---------------------------------------------
+
+TEST(ChaosProperty, TwentySeedsConvergeAfterFaultsClear) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        WorldConfig cfg;
+        cfg.backbone_routers = 2;
+        cfg.seed = seed;
+        World world{cfg};
+        CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+        MobileHostConfig mcfg = world.mobile_config();
+        mcfg.registration_lifetime = 5;
+        mcfg.registration_backoff_cap = sim::seconds(2);
+        mcfg.cache.mode_ttl = sim::seconds(5);
+        MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+        ASSERT_TRUE(world.attach_mobile_foreign()) << "seed " << seed;
+
+        fault::ChaosProfile profile;
+        profile.horizon = sim::seconds(8);
+        profile.impairments = 1;
+        const fault::FaultPlan plan = fault::FaultPlan::random(seed, profile);
+        fault::FaultInjector injector(world, seed);
+        injector.execute(plan);
+
+        if (world.sim.now() < plan.last_clear_time()) {
+            world.sim.run_until(plan.last_clear_time());
+        }
+
+        bool recovered = false;
+        const sim::TimePoint bound = plan.last_clear_time() + sim::seconds(10);
+        while (!recovered && world.sim.now() < bound) {
+            recovered = ping_ok(world, mh, ch.address(), sim::seconds(1));
+            if (!recovered) {
+                mh.method_cache().report_failure(ch.address(), world.sim.now(),
+                                                 "chaos-probe-timeout");
+            }
+        }
+        EXPECT_TRUE(recovered) << "seed " << seed << " did not converge";
+        EXPECT_LT(world.sim.cancelled_backlog(), 64u) << "seed " << seed;
+    }
+}
