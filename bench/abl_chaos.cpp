@@ -2,206 +2,24 @@
 // the standard world, asserting that end-to-end delivery is restored
 // within a bounded window after the last fault clears.
 //
-// Per seed: build a world, attach the mobile host to the foreign segment,
-// generate FaultPlan::random(seed) (link flaps, burst loss, corruption,
-// duplication, reorder, jitter, home-agent crashes, boundary filter
-// churn), hand it to a FaultInjector, and probe end-to-end delivery with
-// a periodic ICMP echo from the mobile host's *home address* to a
-// correspondent across the backbone — the path that exercises the full
-// Mobile IP machinery (binding at the home agent, outgoing-mode
-// selection, boundary filters). Recovery time is the gap between the
-// plan's last clearing action and the first successful round trip that
-// started after it. A seed converges iff that happens within the bound.
-//
-// Probe outcomes are reported to the delivery-method cache
-// (report_success / report_failure), standing in for the transport-layer
-// failure signals a real application mix would generate; together with
-// the cache's mode TTL this is what lets the host climb back to an
-// aggressive mode after filter churn clears.
+// The per-seed scenario lives in chaos_sweep.h (shared with bench_perf's
+// sweep-scaling measurement); this binary fans the seeds out across a
+// sweep::SweepRunner thread pool (--jobs N, default serial) and prints
+// the figure from the deterministic merged results — the table, the
+// per-class aggregates and the exported sweep report are byte-identical
+// for any --jobs value.
 //
 // Exit status: 0 iff every seed converged — CI runs `abl_chaos --smoke`
-// in the default job and the full sweep under sanitizers.
-#include "common.h"
+// in the default job, the full sweep with --jobs under sanitizers.
+#include "chaos_sweep.h"
 
 #include <algorithm>
-#include <cstring>
 #include <map>
 #include <vector>
 
-#include "fault/injector.h"
-#include "fault/plan.h"
-
 using namespace mip;
-using namespace mip::core;
 
 namespace {
-
-/// Attribution: the class of the plan's last-clearing fault — the fault
-/// whose disappearance recovery is measured from. (With overlapping
-/// windows other faults may still share blame; the decision log has the
-/// full timeline when the aggregate is not enough.)
-const char* fault_class(fault::FaultKind kind) {
-    using fault::FaultKind;
-    switch (fault::clearing_kind(kind)) {
-        case FaultKind::LinkUp: return "link-flap";
-        case FaultKind::BurstLossOff: return "burst-loss";
-        case FaultKind::CorruptionOff: return "corruption";
-        case FaultKind::DuplicationOff: return "duplication";
-        case FaultKind::ReorderOff: return "reorder";
-        case FaultKind::JitterOff: return "jitter";
-        case FaultKind::AgentRestart: return "agent-crash";
-        case FaultKind::FilterChurnOff: return "filter-churn";
-        default: return "none";
-    }
-}
-
-const char* last_fault_class(const fault::FaultPlan& plan) {
-    const fault::FaultAction* last = nullptr;
-    for (const fault::FaultAction& a : plan.actions()) {
-        if (!fault::is_clearing(a.kind)) continue;
-        if (last == nullptr || a.at >= last->at) last = &a;
-    }
-    return last != nullptr ? fault_class(last->kind) : "none";
-}
-
-struct SeedOutcome {
-    std::uint64_t seed = 0;
-    std::size_t plan_size = 0;
-    double last_clear_s = 0.0;
-    std::string fault_class = "none";
-    bool converged = false;
-    double recovery_ms = 0.0;
-    std::size_t probes_failed = 0;
-    std::size_t cancelled_backlog = 0;
-};
-
-/// How long after the last clearing action delivery must be restored.
-constexpr sim::Duration kRecoveryBound = sim::seconds(10);
-constexpr sim::Duration kProbeInterval = sim::milliseconds(250);
-constexpr sim::Duration kProbeTimeout = sim::seconds(1);
-
-SeedOutcome run_seed(std::uint64_t seed, bool smoke) {
-    WorldConfig cfg;
-    cfg.backbone_routers = smoke ? 2 : 4;
-    cfg.seed = seed;
-    World world{cfg};
-    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
-
-    MobileHostConfig mcfg = world.mobile_config();
-    // Short lifetime + capped backoff: recovery from a home-agent crash
-    // rides the ordinary re-registration cycle instead of waiting out the
-    // default 300 s binding.
-    mcfg.registration_lifetime = 5;
-    mcfg.registration_backoff_cap = sim::seconds(2);
-    // Stale cached modes re-probe the strategy's initial pick, so a host
-    // that downgraded under filter churn climbs back up once it clears.
-    mcfg.cache.mode_ttl = sim::seconds(5);
-    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
-    world.enable_decision_log();
-
-    SeedOutcome out;
-    out.seed = seed;
-    if (!world.attach_mobile_foreign()) return out;
-
-    fault::ChaosProfile profile;
-    profile.horizon = smoke ? sim::seconds(8) : sim::seconds(15);
-    if (smoke) profile.impairments = 1;
-    fault::FaultPlan plan = fault::FaultPlan::random(seed, profile);
-    out.plan_size = plan.size();
-    out.fault_class = last_fault_class(plan);
-    const sim::TimePoint last_clear = plan.last_clear_time();
-    out.last_clear_s = sim::to_seconds(last_clear);
-
-    fault::FaultInjector injector(world, /*seed=*/seed ^ 0xc4a05);
-    injector.execute(plan);
-
-    // Optional deep-dive exports: a metrics time series (and its Perfetto
-    // rendering) of the whole chaos run, so a recovery can be inspected
-    // alongside the fault counters on one timeline.
-    obs::MetricsSampler sampler(world.sim, world.metrics,
-                                {.interval = sim::milliseconds(100)});
-    const bool deep_export = std::getenv("M4X4_PERFETTO_DIR") != nullptr ||
-                             std::getenv("M4X4_METRICS_DIR") != nullptr;
-    if (deep_export) sampler.start();
-
-    // Periodic end-to-end probe, self-scheduling from t=now. Recovery is
-    // the completion time of the first successful exchange *sent* at or
-    // after last_clear (an exchange that straddles the boundary proves
-    // nothing about the fault-free network).
-    transport::Pinger pinger(mh.stack());
-    bool recovered = false;
-    sim::TimePoint recovered_at = 0;
-    std::size_t failed = 0;
-    std::function<void()> probe = [&] {
-        const sim::TimePoint sent_at = world.sim.now();
-        pinger.ping(
-            ch.address(),
-            [&, sent_at](std::optional<sim::Duration> rtt) {
-                if (rtt.has_value()) {
-                    mh.method_cache().report_success(ch.address(), world.sim.now());
-                    if (!recovered && sent_at >= last_clear) {
-                        recovered = true;
-                        recovered_at = world.sim.now();
-                    }
-                } else {
-                    ++failed;
-                    mh.method_cache().report_failure(ch.address(), world.sim.now(),
-                                                     "chaos-probe-timeout");
-                }
-            },
-            kProbeTimeout, 56, mh.home_address());
-        if (!recovered) {
-            world.sim.schedule_in(kProbeInterval, probe, "chaos-probe");
-        }
-    };
-    world.sim.schedule_in(0, probe, "chaos-probe");
-
-    const sim::TimePoint deadline = last_clear + kRecoveryBound;
-    while (!recovered && world.sim.now() < deadline) {
-        world.run_for(kProbeInterval);
-    }
-    // Let the last in-flight echo resolve.
-    world.run_for(kProbeTimeout + kProbeInterval);
-
-    out.converged = recovered;
-    out.recovery_ms =
-        recovered ? sim::to_milliseconds(std::max<sim::Duration>(
-                        0, recovered_at - last_clear))
-                  : sim::to_milliseconds(kRecoveryBound);
-    out.probes_failed = failed;
-    out.cancelled_backlog = world.sim.cancelled_backlog();
-
-    world.metrics
-        .histogram("mobile-host", "chaos", "recovery_ms",
-                   {50, 100, 250, 500, 1000, 2000, 5000, 10000})
-        .observe(out.recovery_ms);
-    obs::DecisionEvent ev;
-    ev.when = world.sim.now();
-    ev.node = "chaos-harness";
-    ev.correspondent = out.fault_class;
-    ev.trigger = "recovery";
-    ev.test = "delivery-restored";
-    ev.input = "bound=" +
-               std::to_string(static_cast<long long>(sim::to_milliseconds(kRecoveryBound))) +
-               "ms";
-    ev.passed = out.converged;
-    ev.detail = out.converged
-                    ? "end-to-end delivery restored after last fault cleared"
-                    : "no successful round trip inside the recovery bound";
-    world.decisions.record(std::move(ev));
-
-    const std::string label = "seed" + std::to_string(seed);
-    bench::export_metrics(world, "abl_chaos", label);
-    bench::export_decisions(world.decisions, "abl_chaos", label);
-    if (deep_export) {
-        sampler.stop();
-        bench::export_timeseries(sampler, "abl_chaos", label);
-        obs::ChromeTraceWriter writer;
-        writer.add_series(sampler);
-        bench::export_perfetto(writer, "abl_chaos", label);
-    }
-    return out;
-}
 
 double percentile(std::vector<double> v, double p) {
     if (v.empty()) return 0.0;
@@ -213,11 +31,8 @@ double percentile(std::vector<double> v, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    bool smoke = bench::smoke_mode();
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    }
-    const int seeds = smoke ? 5 : 20;
+    const bench::HarnessOptions opt = bench::parse_harness_options(&argc, argv);
+    const int seeds = opt.seeds > 0 ? opt.seeds : opt.pick(20, 5);
 
     bench::print_header(
         "Chaos convergence: recovery after seeded fault plans",
@@ -227,21 +42,37 @@ int main(int argc, char** argv) {
         "end-to-end echo (home address -> correspondent) succeeds within\n"
         "10 s of the last fault clearing.");
 
+    const sweep::SweepRunner runner({.jobs = opt.jobs});
+    const sweep::SweepOutcome outcome =
+        runner.run(bench::chaos::seed_jobs(seeds, opt.smoke, opt));
+
     std::printf("%-6s  %5s  %13s  %-12s  %9s  %12s  %6s  %9s\n", "seed", "plan",
                 "last-clear(s)", "last-fault", "converged", "recovery(ms)", "fails",
                 "cancelled");
     std::map<std::string, std::vector<double>> by_class;
     std::vector<double> all;
     int failures = 0;
-    for (int s = 1; s <= seeds; ++s) {
-        const SeedOutcome o = run_seed(static_cast<std::uint64_t>(s), smoke);
-        std::printf("%-6llu  %5zu  %13.3f  %-12s  %9s  %12.1f  %6zu  %9zu\n",
-                    static_cast<unsigned long long>(o.seed), o.plan_size, o.last_clear_s,
-                    o.fault_class.c_str(), bench::yn(o.converged), o.recovery_ms,
-                    o.probes_failed, o.cancelled_backlog);
-        if (!o.converged) ++failures;
-        by_class[o.fault_class].push_back(o.recovery_ms);
-        all.push_back(o.recovery_ms);
+    for (const sweep::JobResult& r : outcome.results) {
+        if (!r.ok) {
+            std::printf("job failed: %s\n", r.error.c_str());
+            ++failures;
+            continue;
+        }
+        const obs::JsonValue::Object& row = r.report;
+        const bool converged = row.at("converged").as_bool();
+        const double recovery_ms = row.at("recovery_ms").as_number();
+        const std::string& cls = row.at("fault_class").as_string();
+        std::printf("%-6llu  %5llu  %13.3f  %-12s  %9s  %12.1f  %6llu  %9llu\n",
+                    static_cast<unsigned long long>(row.at("seed").as_number()),
+                    static_cast<unsigned long long>(row.at("plan_size").as_number()),
+                    row.at("last_clear_s").as_number(), cls.c_str(),
+                    bench::yn(converged), recovery_ms,
+                    static_cast<unsigned long long>(row.at("probes_failed").as_number()),
+                    static_cast<unsigned long long>(
+                        row.at("cancelled_backlog").as_number()));
+        if (!converged) ++failures;
+        by_class[cls].push_back(recovery_ms);
+        all.push_back(recovery_ms);
     }
 
     std::printf("\nRecovery time by last-clearing fault class:\n");
@@ -252,6 +83,13 @@ int main(int argc, char** argv) {
     }
     std::printf("%-12s  %5zu  %11.1f  %9.1f\n", "(all)", all.size(),
                 percentile(all, 0.5), percentile(all, 0.95));
+    std::printf("\nsweep: %d seed(s) on %d job(s), %.1f ms wall\n", seeds,
+                outcome.jobs_used, outcome.wall_ms);
+
+    // The deterministic merged report (docs/TRACE_FORMAT.md §8) — same
+    // bytes for any --jobs value; bench_smoke validates it.
+    bench::export_text(opt.metrics_dir, "abl_chaos", "sweep", ".json",
+                       outcome.report("abl_chaos", "sweep").dump(2) + "\n");
 
     if (failures > 0) {
         std::printf("\nFAIL: %d/%d seeds did not converge inside the bound.\n", failures,

@@ -17,7 +17,7 @@ namespace {
 tunnel::EncapScheme kSchemes[] = {tunnel::EncapScheme::IpInIp, tunnel::EncapScheme::Minimal,
                                   tunnel::EncapScheme::Gre};
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A2 (§3.3): encapsulation scheme comparison",
         "End-to-end Out-IE TCP transfer of 64 KiB through each tunnel\n"
@@ -41,8 +41,8 @@ void print_figure() {
 
         const auto r = bench::measure_tcp_transfer(
             world, mh.tcp(), ch.address(), 7200,
-            bench::smoke_pick<std::size_t>(64 * 1024, 8 * 1024));
-        bench::export_metrics(world, "abl_encap_overhead", tunnel::to_string(scheme));
+            opt.pick<std::size_t>(64 * 1024, 8 * 1024));
+        bench::export_metrics(opt, world, "abl_encap_overhead", tunnel::to_string(scheme));
         const auto encap = tunnel::make_encapsulator(scheme);
         const auto probe = net::make_packet(world.mh_home_addr(), ch.address(),
                                             net::IpProto::Tcp,

@@ -8,6 +8,7 @@
 // filtered packet. We compare convergence of the aggressive-first policy
 // under both regimes.
 #include "common.h"
+#include "obs/metrics_view.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -21,7 +22,8 @@ struct Outcome {
     std::size_t icmp_signals = 0;
 };
 
-Outcome run_case(bool feedback, sim::Duration rto) {
+Outcome run_case(bool feedback, sim::Duration rto,
+                 const bench::HarnessOptions& opt = {}) {
     WorldConfig cfg;
     cfg.foreign_egress_antispoof = true;  // Out-DH and Out-DE must fail
     cfg.filter_feedback = feedback;
@@ -48,16 +50,16 @@ Outcome run_case(bool feedback, sim::Duration rto) {
     out.connected = conn.established();
     out.connect_ms = sim::to_milliseconds(world.sim.now() - start);
     out.wasted_segments = conn.stats().retransmissions;
-    out.icmp_signals = static_cast<std::size_t>(
-        world.metrics.gauge_value("mobile-host", "mobileip", "icmp_feedback_signals"));
-    bench::export_metrics(world, "abl_failure_feedback",
+    out.icmp_signals = static_cast<std::size_t>(obs::MetricsView(world.metrics)
+            .node("mobile-host").gauge("mobileip", "icmp_feedback_signals"));
+    bench::export_metrics(opt, world, "abl_failure_feedback",
                           std::string(feedback ? "icmp" : "rto") + "_" +
                               std::to_string(static_cast<long long>(
                                   sim::to_milliseconds(rto))));
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A7 (§7.1.2): failure detection — RTO inference vs ICMP notice",
         "Aggressive-first policy connecting through a filtering visited\n"
@@ -69,7 +71,7 @@ void print_figure() {
     for (const auto rto : {sim::milliseconds(100), sim::milliseconds(500),
                            sim::milliseconds(2000)}) {
         for (const bool feedback : {false, true}) {
-            const auto o = run_case(feedback, rto);
+            const auto o = run_case(feedback, rto, opt);
             std::printf("%-24s  %8.0f  %9s  %12.1f  %7zu  %12zu\n",
                         feedback ? "ICMP admin-prohibited" : "RTO inference",
                         sim::to_milliseconds(rto), bench::yn(o.connected), o.connect_ms,

@@ -24,7 +24,8 @@ struct AttachOutcome {
     std::size_t rtt_hops = 0;
 };
 
-AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tunnel) {
+AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tunnel,
+                             const bench::HarnessOptions& opt = {}) {
     WorldConfig cfg;
     cfg.foreign_egress_antispoof = egress_filter;
     World world{cfg};
@@ -66,14 +67,14 @@ AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tu
                                           world.mh_home_addr(), /*warm_up=*/false);
     out.survives_egress_filter = ping.delivered;
     out.rtt_hops = ping.ip_hops;
-    bench::export_metrics(world, "abl_foreign_agent",
+    bench::export_metrics(opt, world, "abl_foreign_agent",
                           std::string(via_agent ? "agent" : "coloc") +
                               (egress_filter ? "_filtered" : "_open") +
                               (reverse_tunnel ? "_rt" : ""));
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A5 (§2): foreign agent vs co-located care-of address",
         "An HTTP fetch plus a home-sourced echo, under each attachment\n"
@@ -90,7 +91,7 @@ void print_figure() {
                           Case{"co-located COA, filtered net", false, true, false},
                           Case{"foreign agent, filtered net", true, true, false},
                           Case{"agent + reverse tunnel, filtered", true, true, true}}) {
-        const auto o = run_attachment(c.via_agent, c.egress_filter, c.reverse);
+        const auto o = run_attachment(c.via_agent, c.egress_filter, c.reverse, opt);
         std::printf("%-34s  %9s  %10.1f  %9s  %13s\n", c.name, bench::yn(o.registered),
                     o.http_fetch_ms, bench::yn(o.http_used_temporary_address),
                     bench::yn(o.survives_egress_filter));

@@ -20,7 +20,8 @@ struct HandoffOutcome {
     std::size_t retransmissions = 0;
 };
 
-HandoffOutcome run_handoffs(OutMode mode, int moves) {
+HandoffOutcome run_handoffs(OutMode mode, int moves,
+                            const bench::HarnessOptions& opt = {}) {
     World world;
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7300, [](transport::TcpConnection& c) {
@@ -83,11 +84,11 @@ HandoffOutcome run_handoffs(OutMode mode, int moves) {
         out.avg_stall_ms = total_stall_ms / out.handoffs_survived;
     }
     out.retransmissions = conn.stats().retransmissions;
-    bench::export_metrics(world, "abl_handoff", to_string(mode));
+    bench::export_metrics(opt, world, "abl_handoff", to_string(mode));
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A3 (§2): TCP durability across handoffs",
         "Six alternating moves between two visited networks during an\n"
@@ -96,9 +97,9 @@ void print_figure() {
 
     std::printf("%-10s  %9s  %10s  %12s  %11s  %8s\n", "out-mode", "survived",
                 "handoffs", "avg-reg(ms)", "stall(ms)", "retrans");
-    const int moves = bench::smoke_pick(6, 2);
+    const int moves = opt.pick(6, 2);
     for (OutMode mode : {OutMode::IE, OutMode::DH}) {
-        const auto o = run_handoffs(mode, moves);
+        const auto o = run_handoffs(mode, moves, opt);
         std::printf("%-10s  %9s  %8d/%d  %12.1f  %11.1f  %8zu\n",
                     to_string(mode).c_str(), bench::yn(o.survived_all),
                     o.handoffs_survived, moves, o.avg_registration_ms, o.avg_stall_ms,

@@ -12,6 +12,7 @@
 #include "mobility/handoff.h"
 #include "mobility/motion.h"
 #include "obs/journey.h"
+#include "obs/metrics_view.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -30,7 +31,8 @@ struct MotionOutcome {
 
 /// Cells span [0,400], [400-overlap, 800], [800-overlap, 1200] meters.
 /// A negative @p overlap_m opens a dead zone of that width at each seam.
-MotionOutcome run_journey(double speed_mps, double overlap_m) {
+MotionOutcome run_journey(double speed_mps, double overlap_m,
+                          const bench::HarnessOptions& opt = {}) {
     World world;
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7700, [](transport::TcpConnection& c) {
@@ -91,23 +93,20 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
     // The controller publishes the same numbers to the world's registry
     // under ("mobile-host", "handoff", ...); read them back from there so
     // the figure and the exported snapshot cannot disagree.
-    out.handoffs = static_cast<std::size_t>(
-        world.metrics.gauge_value("mobile-host", "handoff", "handoffs"));
-    out.dead_zones = static_cast<std::size_t>(
-        world.metrics.gauge_value("mobile-host", "handoff", "dead_zone_entries"));
-    out.avg_reg_ms = world.metrics.gauge_value("mobile-host", "handoff",
-                                               "avg_registration_ms");
-    out.gap_loss = static_cast<std::size_t>(
-        world.metrics.gauge_value("mobile-host", "handoff", "total_gap_loss"));
+    const auto handoff = obs::MetricsView(world.metrics).node("mobile-host").layer("handoff");
+    out.handoffs = static_cast<std::size_t>(handoff.gauge("handoffs"));
+    out.dead_zones = static_cast<std::size_t>(handoff.gauge("dead_zone_entries"));
+    out.avg_reg_ms = handoff.gauge("avg_registration_ms");
+    out.gap_loss = static_cast<std::size_t>(handoff.gauge("total_gap_loss"));
     out.ping_delivery =
         pings_sent > 0 ? static_cast<double>(pings_delivered) / pings_sent : 0.0;
     out.tcp_ok = conn.alive() && echoed == tcp_sent;
     sampler.stop();
     const std::string label = "v" + std::to_string(static_cast<int>(speed_mps)) +
                               "_ov" + std::to_string(static_cast<int>(overlap_m));
-    bench::export_metrics(world, "abl_motion_handoff", label);
-    bench::export_timeseries(sampler, "abl_motion_handoff", label);
-    if (std::getenv("M4X4_PERFETTO_DIR") != nullptr && world.has_mobility()) {
+    bench::export_metrics(opt, world, "abl_motion_handoff", label);
+    bench::export_timeseries(opt, sampler, "abl_motion_handoff", label);
+    if (opt.perfetto_enabled() && world.has_mobility()) {
         // Timeline view of the ride: one span per handoff (detection ->
         // registration complete) plus the sampled counter tracks. Open the
         // written file in ui.perfetto.dev.
@@ -122,12 +121,12 @@ MotionOutcome run_journey(double speed_mps, double overlap_m) {
                             rec.from + " -> " + rec.to, std::move(args));
         }
         writer.add_series(sampler);
-        bench::export_perfetto(writer, "abl_motion_handoff", label);
+        bench::export_perfetto(opt, writer, "abl_motion_handoff", label);
     }
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A8: handoff under physical motion (speed x cell overlap)",
         "Straight-line ride home -> foreign -> corr (1150 m) with a paced TCP\n"
@@ -137,14 +136,13 @@ void print_figure() {
 
     std::printf("%7s  %9s  %8s  %5s  %11s  %8s  %9s  %7s\n", "speed", "overlap",
                 "handoffs", "dead", "avg-reg(ms)", "gap-loss", "ping-del%", "tcp-ok");
-    const auto overlaps =
-        bench::smoke_pick(std::vector<double>{-50.0, 0.0, 100.0},
-                          std::vector<double>{100.0});
-    const auto speeds = bench::smoke_pick(std::vector<double>{10.0, 30.0, 60.0},
-                                          std::vector<double>{60.0});
+    const auto overlaps = opt.pick(std::vector<double>{-50.0, 0.0, 100.0},
+                                   std::vector<double>{100.0});
+    const auto speeds = opt.pick(std::vector<double>{10.0, 30.0, 60.0},
+                                 std::vector<double>{60.0});
     for (double overlap : overlaps) {
         for (double speed : speeds) {
-            const MotionOutcome o = run_journey(speed, overlap);
+            const MotionOutcome o = run_journey(speed, overlap, opt);
             std::printf("%5.0f m/s  %7.0f m  %8zu  %5zu  %11.1f  %8zu  %9.1f  %7s\n",
                         speed, overlap, o.handoffs, o.dead_zones, o.avg_reg_ms,
                         o.gap_loss, 100.0 * o.ping_delivery, bench::yn(o.tcp_ok));

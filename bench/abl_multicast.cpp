@@ -26,7 +26,8 @@ struct McastOutcome {
 /// @p local_join: the mobile host joins on the visited LAN (paper's way);
 /// otherwise the home agent relays the home network's session through the
 /// tunnel. @p packets are sent either way.
-McastOutcome run_session(bool local_join, int packets) {
+McastOutcome run_session(bool local_join, int packets,
+                         const bench::HarnessOptions& opt = {}) {
     WorldConfig cfg;
     if (!local_join) {
         cfg.home_agent.multicast_relay_groups = {kGroup};
@@ -70,19 +71,19 @@ McastOutcome run_session(bool local_join, int packets) {
     }
     out.wire_bytes = world.trace.ip_tx_bytes();
     out.avg_latency_ms = out.received ? total_ms / out.received : 0.0;
-    bench::export_metrics(world, "abl_multicast", local_join ? "local" : "relay");
+    bench::export_metrics(opt, world, "abl_multicast", local_join ? "local" : "relay");
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A6 (§6.4): multicast — join locally vs tunnel from home",
         "Twenty 512-byte packets of one multicast session, received by the\n"
         "away mobile host two ways.");
 
-    const int packets = bench::smoke_pick(20, 5);
-    const auto local = run_session(/*local_join=*/true, packets);
-    const auto relayed = run_session(/*local_join=*/false, packets);
+    const int packets = opt.pick(20, 5);
+    const auto local = run_session(/*local_join=*/true, packets, opt);
+    const auto relayed = run_session(/*local_join=*/false, packets, opt);
 
     std::printf("%-34s  %9s  %12s  %12s\n", "subscription", "received",
                 "latency(ms)", "wire-bytes");

@@ -9,6 +9,7 @@
 // through the home tunnel, and report per-object latency and wire cost —
 // plus what happens to in-flight fetches when the host moves.
 #include "common.h"
+#include "obs/metrics_view.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -35,7 +36,8 @@ struct FetchSeries {
     std::size_t ha_packets = 0;  ///< home agent involvement (tunneled + reverse)
 };
 
-FetchSeries run_series(bool use_mobile_ip, int fetches) {
+FetchSeries run_series(bool use_mobile_ip, int fetches,
+                       const bench::HarnessOptions& opt = {}) {
     WorldConfig cfg;
     cfg.backbone_routers = 6;
     World world{cfg};
@@ -71,24 +73,24 @@ FetchSeries run_series(bool use_mobile_ip, int fetches) {
     }
     out.avg_fetch_ms = out.completed ? total_ms / out.completed : 0.0;
     out.wire_bytes = world.trace.ip_tx_bytes();
-    out.ha_packets = static_cast<std::size_t>(
-        world.metrics.gauge_value("home-agent", "tunnel", "packets_tunneled") +
-        world.metrics.gauge_value("home-agent", "tunnel", "packets_reverse_forwarded"));
-    bench::export_metrics(world, "abl_row_d_http",
+    const auto ha = obs::MetricsView(world.metrics).node("home-agent").layer("tunnel");
+    out.ha_packets = static_cast<std::size_t>(ha.gauge("packets_tunneled") +
+                                              ha.gauge("packets_reverse_forwarded"));
+    bench::export_metrics(opt, world, "abl_row_d_http",
                           use_mobile_ip ? "tunnel" : "direct");
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A4 (Row D, §7.1.1): Web browsing with and without Mobile IP",
         "Ten sequential 8 KiB fetches from a Web server across the backbone.");
 
     std::printf("%-26s  %10s  %13s  %12s  %10s\n", "policy", "completed",
                 "avg fetch(ms)", "wire-bytes", "HA-packets");
-    const int fetches = bench::smoke_pick(10, 3);
-    const auto direct = run_series(/*use_mobile_ip=*/false, fetches);
-    const auto tunneled = run_series(/*use_mobile_ip=*/true, fetches);
+    const int fetches = opt.pick(10, 3);
+    const auto direct = run_series(/*use_mobile_ip=*/false, fetches, opt);
+    const auto tunneled = run_series(/*use_mobile_ip=*/true, fetches, opt);
     std::printf("%-26s  %8d/%d  %13.1f  %12zu  %10zu\n", "Out-DT (port heuristic)",
                 direct.completed, fetches, direct.avg_fetch_ms, direct.wire_bytes,
                 direct.ha_packets);

@@ -41,7 +41,8 @@ std::unique_ptr<SelectionStrategy> make_strategy(int kind, const World& world) {
     }
 }
 
-StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
+StrategyOutcome run_strategy(int kind, bool ch_in_home_domain,
+                             const bench::HarnessOptions& opt = {}) {
     World world;  // home boundary filters on by default
     CorrespondentHost& ch = world.create_correspondent(
         {}, ch_in_home_domain ? Placement::HomeLan : Placement::CorrLan);
@@ -78,7 +79,7 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     out.connect_ms = sim::to_milliseconds(world.sim.now() - start);
     // Exercise the steady state a little (gives conservative-first room to
     // probe upward on permissive paths).
-    const int rounds = bench::smoke_pick(20, 5);
+    const int rounds = opt.pick(20, 5);
     for (int i = 0; i < rounds && conn.alive(); ++i) {
         conn.send(std::vector<std::uint8_t>(400, 1));
         world.run_for(sim::milliseconds(400));
@@ -92,19 +93,19 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain) {
     static const char* kLabels[] = {"conservative", "aggressive", "rule_based"};
     const std::string label = std::string(kLabels[kind]) +
                               (ch_in_home_domain ? "_filtered" : "_permissive");
-    bench::export_metrics(world, "abl_selection_strategy", label);
-    bench::export_timeseries(sampler, "abl_selection_strategy", label);
-    bench::export_decisions(world.decisions, "abl_selection_strategy", label);
-    if (std::getenv("M4X4_PERFETTO_DIR") != nullptr) {
+    bench::export_metrics(opt, world, "abl_selection_strategy", label);
+    bench::export_timeseries(opt, sampler, "abl_selection_strategy", label);
+    bench::export_decisions(opt, world.decisions, "abl_selection_strategy", label);
+    if (opt.perfetto_enabled()) {
         mip::obs::ChromeTraceWriter writer;
         writer.add_series(sampler);
         writer.add_decisions(world.decisions);
-        bench::export_perfetto(writer, "abl_selection_strategy", label);
+        bench::export_perfetto(opt, writer, "abl_selection_strategy", label);
     }
     return out;
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Ablation A1 (§7.1.2): method-selection strategies",
         "Two environments: 'permissive' (CH across the open backbone, every\n"
@@ -119,7 +120,7 @@ void print_figure() {
         std::printf("  %-20s  %9s  %12s  %7s  %-7s  %10s  %7s\n", "strategy", "connected",
                     "connect(ms)", "waste", "final", "downgrades", "probes");
         for (int kind = 0; kind < 3; ++kind) {
-            const StrategyOutcome o = run_strategy(kind, filtered);
+            const StrategyOutcome o = run_strategy(kind, filtered, opt);
             std::printf("  %-20s  %9s  %12.1f  %7zu  %-7s  %10zu  %7zu\n", kNames[kind],
                         bench::yn(o.connected), o.connect_ms, o.retransmissions,
                         to_string(o.final_mode).c_str(), o.downgrades, o.probes);

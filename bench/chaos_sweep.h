@@ -1,0 +1,248 @@
+// The chaos-convergence seed job, shared between abl_chaos (the figure
+// and CI assertion) and bench_perf (the sweep-scaling measurement).
+//
+// Per seed: build a world, attach the mobile host to the foreign segment,
+// generate FaultPlan::random(seed) (link flaps, burst loss, corruption,
+// duplication, reorder, jitter, home-agent crashes, boundary filter
+// churn), hand it to a FaultInjector, and probe end-to-end delivery with
+// a periodic ICMP echo from the mobile host's *home address* to a
+// correspondent across the backbone — the path that exercises the full
+// Mobile IP machinery (binding at the home agent, outgoing-mode
+// selection, boundary filters). Recovery time is the gap between the
+// plan's last clearing action and the first successful round trip that
+// started after it. A seed converges iff that happens within the bound.
+//
+// Each job builds its World inside the run callback and communicates
+// only through its JobResult — the SweepRunner determinism contract
+// (DESIGN.md §10) — so the per-seed report, metrics snapshot and
+// exported artifacts are byte-identical for any --jobs value.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "sweep/sweep.h"
+
+namespace bench::chaos {
+
+/// How long after the last clearing action delivery must be restored.
+inline constexpr mip::sim::Duration kRecoveryBound = mip::sim::seconds(10);
+inline constexpr mip::sim::Duration kProbeInterval = mip::sim::milliseconds(250);
+inline constexpr mip::sim::Duration kProbeTimeout = mip::sim::seconds(1);
+
+/// Attribution: the class of the plan's last-clearing fault — the fault
+/// whose disappearance recovery is measured from. (With overlapping
+/// windows other faults may still share blame; the decision log has the
+/// full timeline when the aggregate is not enough.)
+inline const char* fault_class(mip::fault::FaultKind kind) {
+    using mip::fault::FaultKind;
+    switch (mip::fault::clearing_kind(kind)) {
+        case FaultKind::LinkUp: return "link-flap";
+        case FaultKind::BurstLossOff: return "burst-loss";
+        case FaultKind::CorruptionOff: return "corruption";
+        case FaultKind::DuplicationOff: return "duplication";
+        case FaultKind::ReorderOff: return "reorder";
+        case FaultKind::JitterOff: return "jitter";
+        case FaultKind::AgentRestart: return "agent-crash";
+        case FaultKind::FilterChurnOff: return "filter-churn";
+        default: return "none";
+    }
+}
+
+inline const char* last_fault_class(const mip::fault::FaultPlan& plan) {
+    const mip::fault::FaultAction* last = nullptr;
+    for (const mip::fault::FaultAction& a : plan.actions()) {
+        if (!mip::fault::is_clearing(a.kind)) continue;
+        if (last == nullptr || a.at >= last->at) last = &a;
+    }
+    return last != nullptr ? fault_class(last->kind) : "none";
+}
+
+struct SeedOutcome {
+    std::uint64_t seed = 0;
+    std::size_t plan_size = 0;
+    double last_clear_s = 0.0;
+    std::string fault_class = "none";
+    bool converged = false;
+    double recovery_ms = 0.0;
+    std::size_t probes_failed = 0;
+    std::size_t cancelled_backlog = 0;
+};
+
+/// Runs one seeded chaos scenario to completion. @p export_artifacts
+/// gates the per-seed metrics/decisions/timeseries files — bench_perf's
+/// scaling runs pass exports-disabled options so repeated sweeps measure
+/// pure compute and never clobber the figure's artifacts.
+inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions& opt,
+                            mip::sweep::JobResult* job = nullptr) {
+    using namespace mip;
+    using namespace mip::core;
+
+    WorldConfig cfg;
+    cfg.backbone_routers = smoke ? 2 : 4;
+    cfg.seed = seed;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+
+    MobileHostConfig mcfg = world.mobile_config();
+    // Short lifetime + capped backoff: recovery from a home-agent crash
+    // rides the ordinary re-registration cycle instead of waiting out the
+    // default 300 s binding.
+    mcfg.registration_lifetime = 5;
+    mcfg.registration_backoff_cap = sim::seconds(2);
+    // Stale cached modes re-probe the strategy's initial pick, so a host
+    // that downgraded under filter churn climbs back up once it clears.
+    mcfg.cache.mode_ttl = sim::seconds(5);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    world.enable_decision_log();
+
+    SeedOutcome out;
+    out.seed = seed;
+    if (!world.attach_mobile_foreign()) return out;
+
+    fault::ChaosProfile profile;
+    profile.horizon = smoke ? sim::seconds(8) : sim::seconds(15);
+    if (smoke) profile.impairments = 1;
+    fault::FaultPlan plan = fault::FaultPlan::random(seed, profile);
+    out.plan_size = plan.size();
+    out.fault_class = last_fault_class(plan);
+    const sim::TimePoint last_clear = plan.last_clear_time();
+    out.last_clear_s = sim::to_seconds(last_clear);
+
+    fault::FaultInjector injector(world, /*seed=*/seed ^ 0xc4a05);
+    injector.execute(plan);
+
+    // Optional deep-dive exports: a metrics time series (and its Perfetto
+    // rendering) of the whole chaos run, so a recovery can be inspected
+    // alongside the fault counters on one timeline.
+    mip::obs::MetricsSampler sampler(world.sim, world.metrics,
+                                     {.interval = sim::milliseconds(100)});
+    const bool deep_export = opt.metrics_enabled() || opt.perfetto_enabled();
+    if (deep_export) sampler.start();
+
+    // Periodic end-to-end probe, self-scheduling from t=now. Recovery is
+    // the completion time of the first successful exchange *sent* at or
+    // after last_clear (an exchange that straddles the boundary proves
+    // nothing about the fault-free network).
+    mip::transport::Pinger pinger(mh.stack());
+    bool recovered = false;
+    sim::TimePoint recovered_at = 0;
+    std::size_t failed = 0;
+    std::function<void()> probe = [&] {
+        const sim::TimePoint sent_at = world.sim.now();
+        pinger.ping(
+            ch.address(),
+            [&, sent_at](std::optional<sim::Duration> rtt) {
+                if (rtt.has_value()) {
+                    mh.method_cache().report_success(ch.address(), world.sim.now());
+                    if (!recovered && sent_at >= last_clear) {
+                        recovered = true;
+                        recovered_at = world.sim.now();
+                    }
+                } else {
+                    ++failed;
+                    mh.method_cache().report_failure(ch.address(), world.sim.now(),
+                                                     "chaos-probe-timeout");
+                }
+            },
+            kProbeTimeout, 56, mh.home_address());
+        if (!recovered) {
+            world.sim.schedule_in(kProbeInterval, probe, "chaos-probe");
+        }
+    };
+    world.sim.schedule_in(0, probe, "chaos-probe");
+
+    const sim::TimePoint deadline = last_clear + kRecoveryBound;
+    while (!recovered && world.sim.now() < deadline) {
+        world.run_for(kProbeInterval);
+    }
+    // Let the last in-flight echo resolve.
+    world.run_for(kProbeTimeout + kProbeInterval);
+
+    out.converged = recovered;
+    out.recovery_ms =
+        recovered ? sim::to_milliseconds(std::max<sim::Duration>(
+                        0, recovered_at - last_clear))
+                  : sim::to_milliseconds(kRecoveryBound);
+    out.probes_failed = failed;
+    out.cancelled_backlog = world.sim.cancelled_backlog();
+
+    world.metrics
+        .histogram("mobile-host", "chaos", "recovery_ms",
+                   {50, 100, 250, 500, 1000, 2000, 5000, 10000})
+        .observe(out.recovery_ms);
+    mip::obs::DecisionEvent ev;
+    ev.when = world.sim.now();
+    ev.node = "chaos-harness";
+    ev.correspondent = out.fault_class;
+    ev.trigger = "recovery";
+    ev.test = "delivery-restored";
+    ev.input = "bound=" +
+               std::to_string(static_cast<long long>(sim::to_milliseconds(kRecoveryBound))) +
+               "ms";
+    ev.passed = out.converged;
+    ev.detail = out.converged
+                    ? "end-to-end delivery restored after last fault cleared"
+                    : "no successful round trip inside the recovery bound";
+    world.decisions.record(std::move(ev));
+
+    const std::string label = "seed" + std::to_string(seed);
+    export_metrics(opt, world, "abl_chaos", label);
+    export_decisions(opt, world.decisions, "abl_chaos", label);
+    if (deep_export) {
+        sampler.stop();
+        export_timeseries(opt, sampler, "abl_chaos", label);
+        mip::obs::ChromeTraceWriter writer;
+        writer.add_series(sampler);
+        export_perfetto(opt, writer, "abl_chaos", label);
+    }
+
+    if (job != nullptr) {
+        job->metrics = world.metrics.snapshot("abl_chaos", label, world.sim.now());
+        job->decision_count = world.decisions.size();
+    }
+    return out;
+}
+
+/// The sweep job for one seed: deterministic report row + metrics
+/// snapshot for the merge stage.
+inline mip::sweep::JobSpec seed_job(std::uint64_t seed, bool smoke,
+                                    const HarnessOptions& opt) {
+    mip::sweep::JobSpec spec;
+    spec.id = seed;
+    spec.label = "seed" + std::to_string(seed);
+    spec.run = [seed, smoke, opt]() {
+        mip::sweep::JobResult r;
+        const SeedOutcome out = run_seed(seed, smoke, opt, &r);
+        r.report["seed"] = out.seed;
+        r.report["plan_size"] = static_cast<std::uint64_t>(out.plan_size);
+        r.report["last_clear_s"] = out.last_clear_s;
+        r.report["fault_class"] = out.fault_class;
+        r.report["converged"] = out.converged;
+        r.report["recovery_ms"] = out.recovery_ms;
+        r.report["probes_failed"] = static_cast<std::uint64_t>(out.probes_failed);
+        r.report["cancelled_backlog"] =
+            static_cast<std::uint64_t>(out.cancelled_backlog);
+        return r;
+    };
+    return spec;
+}
+
+/// Seeds 1..@p seeds as a job list ready for SweepRunner::run.
+inline std::vector<mip::sweep::JobSpec> seed_jobs(int seeds, bool smoke,
+                                                  const HarnessOptions& opt) {
+    std::vector<mip::sweep::JobSpec> jobs;
+    jobs.reserve(static_cast<std::size_t>(seeds));
+    for (int s = 1; s <= seeds; ++s) {
+        jobs.push_back(seed_job(static_cast<std::uint64_t>(s), smoke, opt));
+    }
+    return jobs;
+}
+
+}  // namespace bench::chaos

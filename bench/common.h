@@ -4,128 +4,25 @@
 // figure's scenario on the simulator, measures deliverability / latency /
 // hops / wire bytes, prints the figure's table, and then runs its
 // google-benchmark microbenchmarks.
+//
+// The CLI/environment contract (--smoke, --seeds, --jobs, --metrics-dir,
+// --perfetto and their M4X4_* equivalents), the export_* helpers and the
+// M4X4_BENCH_MAIN macro live in harness.h — figures receive a parsed
+// bench::HarnessOptions instead of reading getenv themselves.
 #pragma once
 
-// Environment contract (consumed by bench_smoke, see docs/TRACE_FORMAT.md §4–§6):
-//   M4X4_METRICS_DIR  if set, export_metrics() / export_timeseries() /
-//                     export_decisions() write one JSON document per
-//                     (bench, label) into this directory; no-ops when
-//                     unset. bench_smoke validates everything found there.
-//   M4X4_PERFETTO_DIR if set, export_perfetto() writes Chrome-trace JSON
-//                     (openable in ui.perfetto.dev) into this directory;
-//                     a no-op when unset.
-//   M4X4_SMOKE        if set (non-empty), smoke_mode() is true: benches
-//                     shrink their heavyweight scenarios and the
-//                     google-benchmark microbenchmarks are skipped, so
-//                     every bench finishes in seconds.
 #include <benchmark/benchmark.h>
 
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <optional>
 #include <string>
 
 #include "core/scenario.h"
-#include "obs/decision.h"
-#include "obs/perfetto.h"
-#include "obs/timeseries.h"
+#include "harness.h"
 #include "transport/pinger.h"
 
 namespace bench {
-
-/// True when M4X4_SMOKE is set to a non-empty value.
-inline bool smoke_mode() {
-    const char* v = std::getenv("M4X4_SMOKE");
-    return v != nullptr && v[0] != '\0';
-}
-
-/// Pick @p full normally, @p smoke under M4X4_SMOKE.
-template <typename T>
-inline T smoke_pick(T full, T smoke) {
-    return smoke_mode() ? smoke : full;
-}
-
-/// Writes the world's metrics snapshot to $M4X4_METRICS_DIR/<bench>_<label>.json
-/// (creating the directory if needed); a no-op when the variable is unset.
-/// Every bench calls this once per scenario it runs, so bench_smoke can
-/// validate the documents against the docs/TRACE_FORMAT.md §4 schema.
-inline void export_metrics(const mip::obs::MetricsRegistry& metrics,
-                           const std::string& bench, const std::string& label,
-                           mip::sim::TimePoint now) {
-    const char* dir = std::getenv("M4X4_METRICS_DIR");
-    if (dir == nullptr || dir[0] == '\0') return;
-    std::string file = bench;
-    if (!label.empty()) file += "_" + label;
-    for (char& c : file) {
-        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
-        if (!ok) c = '_';
-    }
-    std::filesystem::create_directories(dir);
-    const std::filesystem::path path = std::filesystem::path(dir) / (file + ".json");
-    std::ofstream out(path);
-    out << metrics.snapshot_json(bench, label, now);
-}
-
-inline void export_metrics(mip::core::World& world, const std::string& bench,
-                           const std::string& label) {
-    export_metrics(world.metrics, bench, label, world.sim.now());
-}
-
-/// Shared filename scheme for the per-(bench, label) exports: sanitizes
-/// like export_metrics and returns "" when @p env_var is unset.
-inline std::string export_path(const char* env_var, const std::string& bench,
-                               const std::string& label, const char* suffix) {
-    const char* dir = std::getenv(env_var);
-    if (dir == nullptr || dir[0] == '\0') return {};
-    std::string file = bench;
-    if (!label.empty()) file += "_" + label;
-    for (char& c : file) {
-        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
-        if (!ok) c = '_';
-    }
-    std::filesystem::create_directories(dir);
-    return (std::filesystem::path(dir) / (file + suffix)).string();
-}
-
-/// Writes a sampler's time-series document (docs/TRACE_FORMAT.md §5) to
-/// $M4X4_METRICS_DIR/<bench>_<label>.timeseries.json; no-op when unset.
-inline void export_timeseries(const mip::obs::MetricsSampler& sampler,
-                              const std::string& bench, const std::string& label) {
-    const std::string path =
-        export_path("M4X4_METRICS_DIR", bench, label, ".timeseries.json");
-    if (path.empty()) return;
-    std::ofstream out(path);
-    out << sampler.to_json_string(bench, label);
-}
-
-/// Writes a decision log's document (docs/TRACE_FORMAT.md §6) to
-/// $M4X4_METRICS_DIR/<bench>_<label>.decisions.json; no-op when unset or
-/// when the log is empty (an empty log means auditing was never enabled).
-inline void export_decisions(const mip::obs::DecisionLog& log, const std::string& bench,
-                             const std::string& label) {
-    if (log.size() == 0) return;
-    const std::string path =
-        export_path("M4X4_METRICS_DIR", bench, label, ".decisions.json");
-    if (path.empty()) return;
-    std::ofstream out(path);
-    out << log.to_json_string(bench, label);
-}
-
-/// Writes a Chrome-trace document to
-/// $M4X4_PERFETTO_DIR/<bench>_<label>.perfetto.json (open it at
-/// ui.perfetto.dev); no-op when the variable is unset.
-inline void export_perfetto(const mip::obs::ChromeTraceWriter& writer,
-                            const std::string& bench, const std::string& label) {
-    const std::string path =
-        export_path("M4X4_PERFETTO_DIR", bench, label, ".perfetto.json");
-    if (path.empty()) return;
-    writer.write(path);
-}
 
 struct PingResult {
     bool delivered = false;
@@ -234,18 +131,3 @@ inline void print_header(const char* figure, const char* caption) {
 inline const char* yn(bool b) { return b ? "yes" : "no"; }
 
 }  // namespace bench
-
-/// Standard main: print the figure's table, then run the registered
-/// google-benchmark microbenchmarks. Under M4X4_SMOKE the microbenchmarks
-/// are skipped — bench_smoke only needs the figure tables and the metrics
-/// snapshots they export.
-#define M4X4_BENCH_MAIN(print_figure_fn)                       \
-    int main(int argc, char** argv) {                          \
-        print_figure_fn();                                     \
-        if (bench::smoke_mode()) return 0;                     \
-        ::benchmark::Initialize(&argc, argv);                  \
-        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-        ::benchmark::RunSpecifiedBenchmarks();                 \
-        ::benchmark::Shutdown();                               \
-        return 0;                                              \
-    }

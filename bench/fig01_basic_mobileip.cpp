@@ -14,7 +14,7 @@ using namespace mip::core;
 
 namespace {
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 1: Basic Mobile IP (triangle routing)",
         "CH -> MH travels via the home agent; MH -> CH travels directly.\n"
@@ -24,7 +24,7 @@ void print_figure() {
     std::printf("%10s  %14s  %14s  %12s  %12s\n", "backbone", "in-via-HA(ms)",
                 "out-direct(ms)", "rtt(ms)", "stretch");
     const std::vector<int> lengths =
-        bench::smoke_mode() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+        opt.pick(std::vector<int>{1, 2, 4, 8, 16}, std::vector<int>{1, 4});
     for (int len : lengths) {
         WorldConfig cfg;
         cfg.backbone_routers = len;
@@ -44,7 +44,7 @@ void print_figure() {
         const auto direct =
             bench::measure_ping(world, ch.stack(), world.mh_care_of_addr());
 
-        bench::export_metrics(world, "fig01", "bb" + std::to_string(len));
+        bench::export_metrics(opt, world, "fig01", "bb" + std::to_string(len));
         if (!triangle.delivered || !direct.delivered) {
             std::printf("%10d  delivery failed\n", len);
             continue;

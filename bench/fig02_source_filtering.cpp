@@ -7,6 +7,7 @@
 // will never reach the correspondent host".
 #include "common.h"
 #include "obs/journey.h"
+#include "obs/metrics_view.h"
 
 using namespace mip;
 using namespace mip::core;
@@ -28,7 +29,8 @@ const char* mode_label(OutMode mode) {
     return "?";
 }
 
-Cell run_case(bool foreign_filter, bool ch_in_home_domain, OutMode mode) {
+Cell run_case(const bench::HarnessOptions& opt, bool foreign_filter,
+              bool ch_in_home_domain, OutMode mode) {
     WorldConfig cfg;
     cfg.foreign_egress_antispoof = foreign_filter;
     World world{cfg};
@@ -44,10 +46,11 @@ Cell run_case(bool foreign_filter, bool ch_in_home_domain, OutMode mode) {
                                        world.mh_home_addr(), /*warm_up=*/false);
     // Boundary drops, read from the metrics registry rather than each
     // router's Stats struct — the same numbers the exported snapshot holds.
+    const obs::MetricsView view(world.metrics);
     const std::size_t drops = static_cast<std::size_t>(
-        world.metrics.gauge_value("foreign-gw", "ip", "egress_filter_drops") +
-        world.metrics.gauge_value("home-gw", "ip", "ingress_filter_drops"));
-    bench::export_metrics(world, "fig02",
+        view.node("foreign-gw").gauge("ip", "egress_filter_drops") +
+        view.node("home-gw").gauge("ip", "ingress_filter_drops"));
+    bench::export_metrics(opt, world, "fig02",
                           std::string(foreign_filter ? "ff" : "nf") +
                               (ch_in_home_domain ? "_home_" : "_corr_") + mode_label(mode));
     return {r.delivered, drops};
@@ -91,7 +94,7 @@ void print_journey_story() {
     }
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 2: Source address filtering kills plain home-sourced packets",
         "Delivery of MH->CH echo by outgoing mode, under boundary policies.\n"
@@ -109,9 +112,9 @@ void print_figure() {
           PolicyRow{"foreign egress filter", true, false},
           PolicyRow{"CH inside home domain", false, true},
           PolicyRow{"both filters", true, true}}) {
-        const Cell dh = run_case(row.foreign_filter, row.ch_in_home, OutMode::DH);
-        const Cell de = run_case(row.foreign_filter, row.ch_in_home, OutMode::DE);
-        const Cell ie = run_case(row.foreign_filter, row.ch_in_home, OutMode::IE);
+        const Cell dh = run_case(opt, row.foreign_filter, row.ch_in_home, OutMode::DH);
+        const Cell de = run_case(opt, row.foreign_filter, row.ch_in_home, OutMode::DE);
+        const Cell ie = run_case(opt, row.foreign_filter, row.ch_in_home, OutMode::IE);
         // Out-DE to a conventional CH is expected to fail at the host (no
         // decapsulation), not at a router.
         std::printf("%-28s  %8s  %8s  %8s\n", row.name, bench::yn(dh.delivered),

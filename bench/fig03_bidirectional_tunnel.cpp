@@ -12,7 +12,7 @@ using namespace mip::core;
 
 namespace {
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 3: Bi-directional tunneling — deliverable, at a path cost",
         "All boundary filters on. Out-IE (tunnel both ways) vs Out-DH\n"
@@ -22,7 +22,7 @@ void print_figure() {
     std::printf("%10s  %11s  %11s  %13s  %13s  %11s\n", "backbone", "IE-works",
                 "DH-works", "IE-rtt(ms)", "ref-rtt(ms)", "stretch");
     const std::vector<int> lengths =
-        bench::smoke_mode() ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8, 16};
+        opt.pick(std::vector<int>{1, 4, 8, 16}, std::vector<int>{1, 4});
     for (int len : lengths) {
         WorldConfig cfg;
         cfg.backbone_routers = len;
@@ -53,7 +53,7 @@ void print_figure() {
         const auto ref = bench::measure_ping(ref_world, ref_world.mobile_host().stack(),
                                              ref_ch.address(), ref_world.mh_home_addr());
 
-        bench::export_metrics(world, "fig03", "bb" + std::to_string(len));
+        bench::export_metrics(opt, world, "fig03", "bb" + std::to_string(len));
         std::printf("%10d  %11s  %11s  %13.3f  %13.3f  %10.2fx\n", len,
                     bench::yn(ie.delivered), bench::yn(dh.delivered), ie.rtt_ms,
                     ref.rtt_ms, ie.delivered && ref.delivered ? ie.rtt_ms / ref.rtt_ms : 0.0);

@@ -13,7 +13,7 @@ using namespace mip::core;
 
 namespace {
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 4: Correspondent close to mobile host, home agent far away",
         "CH and the visited network attach to the same backbone router; the\n"
@@ -22,9 +22,8 @@ void print_figure() {
 
     std::printf("%10s  %14s  %14s  %11s\n", "distance", "In-IE rtt(ms)",
                 "In-DE rtt(ms)", "penalty");
-    const std::vector<int> distances = bench::smoke_mode()
-                                           ? std::vector<int>{1, 4}
-                                           : std::vector<int>{1, 2, 4, 8, 16, 32};
+    const std::vector<int> distances = opt.pick(std::vector<int>{1, 2, 4, 8, 16, 32},
+                 std::vector<int>{1, 4});
     for (int distance : distances) {
         WorldConfig cfg;
         cfg.backbone_routers = distance + 1;
@@ -47,7 +46,7 @@ void print_figure() {
                          sim::seconds(600));
         const auto direct = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
 
-        bench::export_metrics(world, "fig04", "dist" + std::to_string(distance));
+        bench::export_metrics(opt, world, "fig04", "dist" + std::to_string(distance));
         std::printf("%10d  %14.3f  %14.3f  %10.2fx\n", distance, naive.rtt_ms,
                     direct.rtt_ms,
                     direct.delivered && naive.delivered ? naive.rtt_ms / direct.rtt_ms : 0.0);

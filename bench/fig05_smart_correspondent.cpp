@@ -7,13 +7,14 @@
 // care-of advert and the DNS TA record — and measure the route
 // optimization they unlock.
 #include "common.h"
+#include "obs/metrics_view.h"
 
 using namespace mip;
 using namespace mip::core;
 
 namespace {
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 5: Smart correspondent — route optimization",
         "Ping RTT from correspondent to the mobile host's home address,\n"
@@ -50,8 +51,10 @@ void print_figure() {
             std::printf("  correspondent mode now: %s, adverts learned: %zu\n\n",
                         to_string(ch.mode_for(world.mh_home_addr())).c_str(),
                         static_cast<std::size_t>(
-                            world.metrics.gauge_value("ch0", "mobileip", "adverts_learned")));
-            bench::export_metrics(world, "fig05", "icmp_advert");
+                            obs::MetricsView(world.metrics)
+                                .node("ch0")
+                                .gauge("mobileip", "adverts_learned")));
+            bench::export_metrics(opt, world, "fig05", "icmp_advert");
         }
     }
 
@@ -95,7 +98,7 @@ void print_figure() {
                         after.rtt_ms, after.ip_hops);
             std::printf("  %-34s %10.2fx\n\n", "improvement:",
                         after.rtt_ms > 0 ? before.rtt_ms / after.rtt_ms : 0.0);
-            bench::export_metrics(world, "fig05", "dns_ta");
+            bench::export_metrics(opt, world, "fig05", "dns_ta");
         }
     }
     std::printf(

@@ -20,7 +20,7 @@ net::Packet inner_for(std::size_t payload) {
                             std::vector<std::uint8_t>(payload, 0), 64, 321);
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figures 6-7: Outgoing packet formats — exact wire sizes",
         "Wire bytes per packet for each outgoing mode (payload = transport\n"
@@ -73,7 +73,7 @@ void print_figure() {
             metrics.counter("formats", "encap", std::string(e->name()) + "_overhead_bytes")
                 .add(e->encapsulate(probe, coa, ha).wire_size() - probe.wire_size());
         }
-        bench::export_metrics(metrics, "fig06", "overheads", 0);
+        bench::export_metrics(opt, metrics, "fig06", "overheads", 0);
     }
 }
 

@@ -18,7 +18,7 @@ struct InModeRow {
     std::size_t ip_bytes = 0;
 };
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figures 8-9: Incoming packet formats — end-to-end wire cost",
         "One 56-byte echo exchange per mode (request path is the mode under\n"
@@ -36,7 +36,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-IE (via home agent)", r.delivered, r.rtt_ms, r.ip_hops,
                             r.ip_bytes});
-            bench::export_metrics(world, "fig08", "in_ie");
+            bench::export_metrics(opt, world, "fig08", "in_ie");
         }
     }
     // In-DE: mobile-aware correspondent across the backbone.
@@ -53,7 +53,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-DE (direct, encapsulated)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
-            bench::export_metrics(world, "fig08", "in_de");
+            bench::export_metrics(opt, world, "fig08", "in_de");
         }
     }
     // In-DH: correspondent on the same segment.
@@ -70,7 +70,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_home_addr());
             rows.push_back({"In-DH (same segment, home addr)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
-            bench::export_metrics(world, "fig08", "in_dh");
+            bench::export_metrics(opt, world, "fig08", "in_dh");
         }
     }
     // In-DT: plain packets to the care-of address (no Mobile IP).
@@ -82,7 +82,7 @@ void print_figure() {
             const auto r = bench::measure_ping(world, ch.stack(), world.mh_care_of_addr());
             rows.push_back({"In-DT (direct, care-of addr)", r.delivered, r.rtt_ms,
                             r.ip_hops, r.ip_bytes});
-            bench::export_metrics(world, "fig08", "in_dt");
+            bench::export_metrics(opt, world, "fig08", "in_dt");
         }
     }
 

@@ -36,7 +36,8 @@ struct CellResult {
 
 constexpr std::uint16_t kServicePort = 7000;
 
-CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
+CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false,
+                    const bench::HarnessOptions& opt = {}) {
     WorldConfig cfg;
     cfg.foreign_egress_antispoof = foreign_filter;
     World world{cfg};
@@ -127,8 +128,8 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false) {
     r.decision_chain = world.decisions.chain_string(ch.address().to_string());
     const std::string label =
         to_string(in) + "_" + to_string(out) + (foreign_filter ? "_filtered" : "");
-    bench::export_metrics(world, "fig10", label);
-    bench::export_decisions(world.decisions, "fig10", label);
+    bench::export_metrics(opt, world, "fig10", label);
+    bench::export_decisions(opt, world.decisions, "fig10", label);
     return r;
 }
 
@@ -141,7 +142,7 @@ const char* class_mark(ComboClass c) {
     return "?";
 }
 
-void print_figure() {
+void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "Figure 10: Internet Mobility 4x4 — the measured grid",
         "Each cell: measured works/FAILS (+ RTT ms, IPv4 bytes on all\n"
@@ -160,7 +161,7 @@ void print_figure() {
     for (InMode in : kAllInModes) {
         std::printf("%-8s", to_string(in).c_str());
         for (OutMode out : kAllOutModes) {
-            const CellResult cell = run_cell(in, out);
+            const CellResult cell = run_cell(in, out, /*foreign_filter=*/false, opt);
             chains.emplace_back("In-" + to_string(in) + " x Out-" + to_string(out),
                                 cell.decision_chain);
             const ComboClass predicted = classify_combo(in, out);
@@ -216,7 +217,7 @@ void print_figure() {
     for (InMode in : kAllInModes) {
         std::printf("%-8s", to_string(in).c_str());
         for (OutMode out : kAllOutModes) {
-            const bool works = run_cell(in, out, /*foreign_filter=*/true).works;
+            const bool works = run_cell(in, out, /*foreign_filter=*/true, opt).works;
             if (!works && out == OutMode::DH &&
                 classify_combo(in, out) != ComboClass::Broken && in != InMode::DH) {
                 ++filtered_dh_failures;

@@ -1,0 +1,157 @@
+#include "harness.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/scenario.h"
+
+namespace bench {
+
+namespace {
+
+const char* env_or_empty(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? v : "";
+}
+
+[[noreturn]] void usage_error(const char* flag, const char* why) {
+    std::fprintf(stderr,
+                 "error: %s %s\n"
+                 "usage: [--smoke] [--seeds N] [--jobs N] [--metrics-dir DIR] "
+                 "[--perfetto DIR] [google-benchmark flags...]\n",
+                 flag, why);
+    std::exit(2);
+}
+
+/// Parses the decimal value following @p flag; dies with usage on junk.
+int int_value(const char* flag, const char* value) {
+    if (value == nullptr) usage_error(flag, "needs a value");
+    char* end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 0) usage_error(flag, "needs a non-negative integer");
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+HarnessOptions parse_harness_options(int* argc, char** argv) {
+    HarnessOptions opt;
+    // Environment first (the bench_smoke.sh / CI contract) ...
+    opt.smoke = env_or_empty("M4X4_SMOKE")[0] != '\0';
+    opt.metrics_dir = env_or_empty("M4X4_METRICS_DIR");
+    opt.perfetto_dir = env_or_empty("M4X4_PERFETTO_DIR");
+
+    // ... then flags override, compacting argv so google-benchmark never
+    // sees the harness's arguments.
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char* a = argv[i];
+        const auto value = [&]() -> const char* {
+            return i + 1 < *argc ? argv[++i] : nullptr;
+        };
+        if (std::strcmp(a, "--smoke") == 0) {
+            opt.smoke = true;
+        } else if (std::strcmp(a, "--seeds") == 0) {
+            opt.seeds = int_value("--seeds", value());
+        } else if (std::strcmp(a, "--jobs") == 0) {
+            opt.jobs = int_value("--jobs", value());
+            if (opt.jobs < 1) opt.jobs = 1;
+        } else if (std::strcmp(a, "--metrics-dir") == 0) {
+            const char* v = value();
+            if (v == nullptr) usage_error("--metrics-dir", "needs a directory");
+            opt.metrics_dir = v;
+        } else if (std::strcmp(a, "--perfetto") == 0) {
+            const char* v = value();
+            if (v == nullptr) usage_error("--perfetto", "needs a directory");
+            opt.perfetto_dir = v;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+    return opt;
+}
+
+std::string export_path(const std::string& dir, const std::string& bench,
+                        const std::string& label, const char* suffix) {
+    if (dir.empty()) return {};
+    std::string file = bench;
+    if (!label.empty()) file += "_" + label;
+    for (char& c : file) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+        if (!ok) c = '_';
+    }
+    std::filesystem::create_directories(dir);
+    return (std::filesystem::path(dir) / (file + suffix)).string();
+}
+
+void export_metrics(const HarnessOptions& opt, const mip::obs::MetricsRegistry& metrics,
+                    const std::string& bench, const std::string& label,
+                    mip::sim::TimePoint now) {
+    const std::string path = export_path(opt.metrics_dir, bench, label, ".json");
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << metrics.snapshot_json(bench, label, now);
+}
+
+void export_metrics(const HarnessOptions& opt, mip::core::World& world,
+                    const std::string& bench, const std::string& label) {
+    export_metrics(opt, world.metrics, bench, label, world.sim.now());
+}
+
+void export_timeseries(const HarnessOptions& opt, const mip::obs::MetricsSampler& sampler,
+                       const std::string& bench, const std::string& label) {
+    const std::string path =
+        export_path(opt.metrics_dir, bench, label, ".timeseries.json");
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << sampler.to_json_string(bench, label);
+}
+
+void export_decisions(const HarnessOptions& opt, const mip::obs::DecisionLog& log,
+                      const std::string& bench, const std::string& label) {
+    if (log.size() == 0) return;
+    const std::string path =
+        export_path(opt.metrics_dir, bench, label, ".decisions.json");
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << log.to_json_string(bench, label);
+}
+
+void export_perfetto(const HarnessOptions& opt, const mip::obs::ChromeTraceWriter& writer,
+                     const std::string& bench, const std::string& label) {
+    const std::string path =
+        export_path(opt.perfetto_dir, bench, label, ".perfetto.json");
+    if (path.empty()) return;
+    writer.write(path);
+}
+
+void export_text(const std::string& dir, const std::string& bench,
+                 const std::string& label, const char* suffix, const std::string& text) {
+    const std::string path = export_path(dir, bench, label, suffix);
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << text;
+}
+
+int bench_main(int argc, char** argv, void (*run)(const HarnessOptions&)) {
+    const HarnessOptions opt = parse_harness_options(&argc, argv);
+    run(opt);
+    // Under --smoke the microbenchmarks are skipped — bench_smoke only
+    // needs the figure tables and the snapshots they export.
+    if (opt.smoke) return 0;
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace bench

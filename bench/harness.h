@@ -1,0 +1,114 @@
+// bench::Harness — the one place the bench binaries' CLI/environment
+// contract lives (ISSUE 5 satellite: extract the argv/env boilerplate).
+//
+// Every figure binary used to read M4X4_SMOKE / M4X4_METRICS_DIR /
+// M4X4_PERFETTO_DIR on its own and hand-roll `--smoke` parsing. Now a
+// single parse builds a HarnessOptions and each figure registers a
+//
+//     void print_figure(const bench::HarnessOptions& opt);
+//
+// callback via M4X4_BENCH_MAIN(print_figure). The flags:
+//
+//   --smoke            shrink scenarios, skip the google-benchmark
+//                      microbenchmarks (same as M4X4_SMOKE=1)
+//   --seeds N          seed count for sweep-style benches (abl_chaos);
+//                      0 keeps the bench's own default
+//   --jobs N           worker threads for SweepRunner-backed benches;
+//                      1 (the default) runs serially on the caller thread
+//   --metrics-dir DIR  export metrics/timeseries/decision JSON here
+//                      (same as M4X4_METRICS_DIR=DIR)
+//   --perfetto DIR     export Chrome-trace JSON here
+//                      (same as M4X4_PERFETTO_DIR=DIR)
+//
+// Environment variables are read first, flags override them — so
+// bench_smoke.sh keeps driving everything through the environment while
+// a human at a shell can type flags. The export_* helpers take the
+// options explicitly; nothing outside parse_harness_options() touches
+// getenv for these knobs.
+#pragma once
+
+#include <string>
+
+#include "obs/decision.h"
+#include "obs/metrics.h"
+#include "obs/perfetto.h"
+#include "obs/timeseries.h"
+#include "sim/time.h"
+
+namespace mip::core {
+class World;
+}
+
+namespace bench {
+
+struct HarnessOptions {
+    bool smoke = false;         ///< --smoke / M4X4_SMOKE: tiny scenarios
+    int seeds = 0;              ///< --seeds N: sweep seed count (0 = bench default)
+    int jobs = 1;               ///< --jobs N: SweepRunner worker threads
+    std::string metrics_dir;    ///< --metrics-dir / M4X4_METRICS_DIR ("" = off)
+    std::string perfetto_dir;   ///< --perfetto / M4X4_PERFETTO_DIR ("" = off)
+
+    /// Pick @p full normally, @p small under --smoke.
+    template <typename T>
+    T pick(T full, T small) const {
+        return smoke ? small : full;
+    }
+
+    bool metrics_enabled() const { return !metrics_dir.empty(); }
+    bool perfetto_enabled() const { return !perfetto_dir.empty(); }
+};
+
+/// Builds the options from the environment, then applies recognized flags
+/// from argv — removing them so the remaining arguments can be handed to
+/// google-benchmark untouched. Unknown flags are left in place. Exits
+/// with a usage message on a malformed value (e.g. `--jobs banana`).
+HarnessOptions parse_harness_options(int* argc, char** argv);
+
+/// Shared filename scheme for the per-(bench, label) exports:
+/// <dir>/<bench>_<label><suffix>, with the stem sanitized to
+/// [A-Za-z0-9._-]. Creates @p dir; returns "" when @p dir is empty.
+std::string export_path(const std::string& dir, const std::string& bench,
+                        const std::string& label, const char* suffix);
+
+/// Writes the registry's snapshot (docs/TRACE_FORMAT.md §4) to
+/// <metrics_dir>/<bench>_<label>.json; a no-op when metrics are disabled.
+void export_metrics(const HarnessOptions& opt, const mip::obs::MetricsRegistry& metrics,
+                    const std::string& bench, const std::string& label,
+                    mip::sim::TimePoint now);
+
+/// Convenience overload pulling the registry and clock out of a World.
+void export_metrics(const HarnessOptions& opt, mip::core::World& world,
+                    const std::string& bench, const std::string& label);
+
+/// Writes a sampler's time-series document (§5) to
+/// <metrics_dir>/<bench>_<label>.timeseries.json; no-op when disabled.
+void export_timeseries(const HarnessOptions& opt, const mip::obs::MetricsSampler& sampler,
+                       const std::string& bench, const std::string& label);
+
+/// Writes a decision log (§6) to <metrics_dir>/<bench>_<label>.decisions.json;
+/// no-op when disabled or when the log is empty.
+void export_decisions(const HarnessOptions& opt, const mip::obs::DecisionLog& log,
+                      const std::string& bench, const std::string& label);
+
+/// Writes a Chrome-trace document to
+/// <perfetto_dir>/<bench>_<label>.perfetto.json; no-op when disabled.
+void export_perfetto(const HarnessOptions& opt, const mip::obs::ChromeTraceWriter& writer,
+                     const std::string& bench, const std::string& label);
+
+/// Writes @p text to <dir>/<bench>_<label><suffix>; no-op when @p dir is
+/// empty. The raw-string cousin of the typed export_* helpers, used for
+/// sweep reports and other already-serialized documents.
+void export_text(const std::string& dir, const std::string& bench,
+                 const std::string& label, const char* suffix, const std::string& text);
+
+/// The standard figure main: parse the harness options, print the
+/// figure's table via @p run, then (outside --smoke) hand the remaining
+/// argv to google-benchmark. M4X4_BENCH_MAIN expands to exactly this.
+int bench_main(int argc, char** argv, void (*run)(const HarnessOptions&));
+
+}  // namespace bench
+
+#define M4X4_BENCH_MAIN(print_figure_fn)        \
+    int main(int argc, char** argv) {           \
+        return bench::bench_main(argc, argv, print_figure_fn); \
+    }

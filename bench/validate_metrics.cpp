@@ -1,7 +1,8 @@
 // Schema validator for exported observability documents: metrics
-// snapshots (docs/TRACE_FORMAT.md §4), time-series exports (§5) and
-// delivery-decision logs (§6), dispatched by each document's top-level
-// "kind" field (absent = §4 snapshot, the original format).
+// snapshots (docs/TRACE_FORMAT.md §4), time-series exports (§5),
+// delivery-decision logs (§6), merged sweep reports (§8) and
+// BENCH_perf.json performance reports, dispatched by each document's
+// top-level "kind" field (absent = §4 snapshot, the original format).
 //
 // Usage: validate_metrics <dir-or-file>...
 //
@@ -23,6 +24,8 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "sweep/bench_report.h"
+#include "sweep/sweep.h"
 
 namespace fs = std::filesystem;
 
@@ -55,6 +58,10 @@ int check_file(const fs::path& path) {
         problems = mip::obs::validate_timeseries_document(doc);
     } else if (kind == "decisions") {
         problems = mip::obs::validate_decisions_document(doc);
+    } else if (kind == "sweep") {
+        problems = mip::sweep::validate_sweep_document(doc);
+    } else if (kind == "bench_perf") {
+        problems = mip::sweep::validate_bench_perf_document(doc);
     } else {
         problems = mip::obs::validate_metrics_document(doc);
     }

@@ -25,6 +25,13 @@ class BufferWriter {
 public:
     BufferWriter() = default;
     explicit BufferWriter(std::size_t reserve) { buf_.reserve(reserve); }
+    /// Adopts @p storage (cleared, capacity kept) as the output buffer —
+    /// the hook net::BufferPool recycling plugs into: serialize into a
+    /// pooled vector, take() it into a frame payload, and the link layer
+    /// releases it back to the pool after delivery.
+    explicit BufferWriter(std::vector<std::uint8_t> storage) : buf_(std::move(storage)) {
+        buf_.clear();
+    }
 
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u16(std::uint16_t v);

@@ -30,6 +30,15 @@ std::vector<std::uint8_t> Packet::to_wire() const {
     return w.take();
 }
 
+std::vector<std::uint8_t> Packet::to_wire(BufferPool& pool) const {
+    BufferWriter w(pool.acquire(wire_size()));
+    Ipv4Header h = header_;
+    h.total_length = static_cast<std::uint16_t>(wire_size());
+    h.serialize(w);
+    w.bytes(payload_);
+    return w.take();
+}
+
 bool Packet::decrement_ttl() noexcept {
     if (header_.ttl <= 1) {
         header_.ttl = 0;

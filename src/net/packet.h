@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/ipv4_header.h"
+#include "net/pool.h"
 
 namespace mip::net {
 
@@ -34,6 +35,9 @@ public:
 
     /// Serializes header (with fresh checksum) followed by payload.
     std::vector<std::uint8_t> to_wire() const;
+    /// Same, but the output vector's storage is drawn from @p pool (the
+    /// caller — in practice the link layer — releases it back after use).
+    std::vector<std::uint8_t> to_wire(BufferPool& pool) const;
 
     const Ipv4Header& header() const noexcept { return header_; }
     Ipv4Header& header() noexcept { return header_; }

@@ -1,0 +1,30 @@
+#include "net/pool.h"
+
+namespace mip::net {
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t reserve) {
+    ++stats_.acquires;
+    if (!free_.empty()) {
+        ++stats_.reuses;
+        std::vector<std::uint8_t> buf = std::move(free_.back());
+        free_.pop_back();
+        buf.reserve(reserve);
+        return buf;
+    }
+    std::vector<std::uint8_t> buf;
+    buf.reserve(reserve);
+    return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) {
+    ++stats_.releases;
+    if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedCapacity ||
+        free_.size() >= kMaxFreeListSize) {
+        ++stats_.discarded;
+        return;
+    }
+    buf.clear();
+    free_.push_back(std::move(buf));
+}
+
+}  // namespace mip::net

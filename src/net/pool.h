@@ -1,0 +1,52 @@
+// Freelist recycler for the byte vectors that carry packets through the
+// simulated network (ISSUE 5: hot-path allocation reuse).
+//
+// Every IP datagram serialization and every per-receiver frame copy used
+// to allocate a fresh std::vector and free it moments later — for a
+// TCP-heavy scenario that is three heap round trips per link hop. A
+// BufferPool keeps the storage of retired payload vectors and hands it
+// back to the next acquire(), so steady-state traffic runs with zero
+// payload allocations.
+//
+// One pool per Simulator (and therefore per World): the simulator is
+// single-threaded, so the pool needs no locking, and parallel sweep jobs
+// each recycle through their own pool — nothing is shared across worlds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mip::net {
+
+class BufferPool {
+public:
+    /// Vectors whose capacity exceeds this are not retained on release()
+    /// (a one-off jumbo buffer must not pin its storage forever).
+    static constexpr std::size_t kMaxRetainedCapacity = 64 * 1024;
+    /// Upper bound on freelist length; beyond it release() just frees.
+    static constexpr std::size_t kMaxFreeListSize = 256;
+
+    /// Returns an empty vector with capacity >= @p reserve: recycled
+    /// storage when the freelist has any, a fresh allocation otherwise.
+    std::vector<std::uint8_t> acquire(std::size_t reserve);
+
+    /// Retires a payload vector, keeping its storage for the next
+    /// acquire(). The vector is cleared; accepting a moved-from or empty
+    /// vector is harmless (its capacity is simply not worth retaining).
+    void release(std::vector<std::uint8_t>&& buf);
+
+    struct Stats {
+        std::uint64_t acquires = 0;   ///< total acquire() calls
+        std::uint64_t reuses = 0;     ///< acquires served from the freelist
+        std::uint64_t releases = 0;   ///< total release() calls
+        std::uint64_t discarded = 0;  ///< releases dropped (full list / jumbo)
+    };
+    const Stats& stats() const noexcept { return stats_; }
+    std::size_t free_count() const noexcept { return free_.size(); }
+
+private:
+    std::vector<std::vector<std::uint8_t>> free_;
+    Stats stats_;
+};
+
+}  // namespace mip::net

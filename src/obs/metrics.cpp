@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics_view.h"
+
 namespace mip::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -51,60 +53,11 @@ void MetricsRegistry::register_gauge(const std::string& node, const std::string&
     gauges_[Key{node, layer, name}] = std::move(provider);
 }
 
-namespace {
-
-/// Levenshtein distance, the usual two-row dynamic program.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
-}
-
-std::string key_string(const MetricsRegistry::Key& key) {
-    return std::get<0>(key) + "/" + std::get<1>(key) + "/" + std::get<2>(key);
-}
-
-}  // namespace
-
 double MetricsRegistry::gauge_value(const std::string& node, const std::string& layer,
                                     const std::string& name) const {
-    const auto it = gauges_.find(Key{node, layer, name});
-    if (it != gauges_.end() && it->second) {
-        return it->second();
-    }
-    // Miss: rank every registered key by edit distance to the request and
-    // name the closest few, so the caller's next attempt is informed
-    // rather than another guess (ISSUE satellite: gauge_value errors).
-    const std::string wanted = node + "/" + layer + "/" + name;
-    std::vector<std::pair<std::size_t, std::string>> ranked;
-    const auto consider = [&](const Key& key, const char* kind) {
-        const std::string k = key_string(key);
-        ranked.emplace_back(edit_distance(wanted, k), k + " (" + kind + ")");
-    };
-    for (const auto& [key, _] : gauges_) consider(key, "gauge");
-    for (const auto& [key, _] : counters_) consider(key, "counter");
-    for (const auto& [key, _] : histograms_) consider(key, "histogram");
-    std::sort(ranked.begin(), ranked.end());
-
-    std::string msg = "no gauge registered for " + wanted;
-    if (ranked.empty()) {
-        msg += " (the registry is empty)";
-    } else {
-        msg += "; closest available keys:";
-        const std::size_t shown = std::min<std::size_t>(ranked.size(), 5);
-        for (std::size_t i = 0; i < shown; ++i) {
-            msg += "\n  " + ranked[i].second;
-        }
-    }
-    throw JsonError(msg);
+    // Deprecated wrapper: the typed query API (scoped selectors, per-kind
+    // accessors, the same closest-key miss errors) lives in MetricsView.
+    return MetricsView(*this).gauge(node, layer, name);
 }
 
 namespace {

@@ -101,12 +101,10 @@ public:
     void register_gauge(const std::string& node, const std::string& layer,
                         const std::string& name, GaugeFn provider);
 
-    /// Polls the gauge registered for (node, layer, name) right now;
-    /// throws JsonError when no such gauge exists — the error message
-    /// lists the closest registered keys, so a bench that asks for a
-    /// mistyped or renamed metric fails with the fix in hand. The
-    /// query-side twin of register_gauge — benches read figures from here
-    /// instead of reaching into individual Stats structs.
+    /// DEPRECATED: thin wrapper over obs::MetricsView::gauge(), kept so
+    /// old call sites compile. New code should build a MetricsView — it
+    /// adds typed counter/histogram accessors and scoped node/layer
+    /// selectors with the same closest-key miss errors.
     double gauge_value(const std::string& node, const std::string& layer,
                        const std::string& name) const;
 

@@ -1,0 +1,100 @@
+#include "obs/metrics_view.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mip::obs {
+
+namespace {
+
+/// Levenshtein distance, the usual two-row dynamic program.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string key_string(const MetricsRegistry::Key& key) {
+    return std::get<0>(key) + "/" + std::get<1>(key) + "/" + std::get<2>(key);
+}
+
+}  // namespace
+
+void MetricsView::miss(const char* kind, const std::string& node,
+                       const std::string& layer, const std::string& name) const {
+    // Rank every registered key of every kind by edit distance to the
+    // request and name the closest few, so the caller's next attempt is
+    // informed rather than another guess.
+    const std::string wanted = node + "/" + layer + "/" + name;
+    std::vector<std::pair<std::size_t, std::string>> ranked;
+    const auto consider = [&](const MetricsRegistry::Key& key, const char* k) {
+        const std::string s = key_string(key);
+        ranked.emplace_back(edit_distance(wanted, s), s + " (" + k + ")");
+    };
+    for (const auto& [key, _] : registry_->gauges()) consider(key, "gauge");
+    for (const auto& [key, _] : registry_->counters()) consider(key, "counter");
+    for (const auto& [key, _] : registry_->histograms()) consider(key, "histogram");
+    std::sort(ranked.begin(), ranked.end());
+
+    std::string msg = std::string("no ") + kind + " registered for " + wanted;
+    if (ranked.empty()) {
+        msg += " (the registry is empty)";
+    } else {
+        msg += "; closest available keys:";
+        const std::size_t shown = std::min<std::size_t>(ranked.size(), 5);
+        for (std::size_t i = 0; i < shown; ++i) {
+            msg += "\n  " + ranked[i].second;
+        }
+    }
+    throw MetricsError(msg);
+}
+
+std::uint64_t MetricsView::counter(const std::string& node, const std::string& layer,
+                                   const std::string& name) const {
+    const auto it = registry_->counters().find({node, layer, name});
+    if (it == registry_->counters().end()) miss("counter", node, layer, name);
+    return it->second.value();
+}
+
+double MetricsView::gauge(const std::string& node, const std::string& layer,
+                          const std::string& name) const {
+    const auto it = registry_->gauges().find({node, layer, name});
+    if (it == registry_->gauges().end() || !it->second) {
+        miss("gauge", node, layer, name);
+    }
+    return it->second();
+}
+
+const Histogram& MetricsView::histogram(const std::string& node,
+                                        const std::string& layer,
+                                        const std::string& name) const {
+    const auto it = registry_->histograms().find({node, layer, name});
+    if (it == registry_->histograms().end()) miss("histogram", node, layer, name);
+    return it->second;
+}
+
+bool MetricsView::has_counter(const std::string& node, const std::string& layer,
+                              const std::string& name) const noexcept {
+    return registry_->counters().contains({node, layer, name});
+}
+
+bool MetricsView::has_gauge(const std::string& node, const std::string& layer,
+                            const std::string& name) const noexcept {
+    return registry_->gauges().contains({node, layer, name});
+}
+
+bool MetricsView::has_histogram(const std::string& node, const std::string& layer,
+                                const std::string& name) const noexcept {
+    return registry_->histograms().contains({node, layer, name});
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,133 @@
+// Typed, scoped query API over a MetricsRegistry (ISSUE 5 satellite:
+// replace stringly-typed gauge_value() lookups).
+//
+// Where benches used to write
+//     world.metrics.gauge_value("mobile-host", "ip", "packets_sent")
+// — one untyped entry point that only knew about gauges — a MetricsView
+// gives kind-typed accessors and scoped selectors:
+//
+//     obs::MetricsView view(world.metrics);
+//     auto mh = view.node("mobile-host").layer("ip");
+//     double sent   = mh.gauge("packets_sent");
+//     auto   drops  = view.counter("foreign-gw", "ip", "filter_drops");
+//     const obs::Histogram& rtt = view.node("corr").layer("probe").histogram("rtt_ns");
+//
+// Misses throw MetricsError naming the closest registered keys of every
+// kind, so a mistyped or renamed metric fails with the fix in hand.
+// MetricsRegistry::gauge_value() survives as a thin deprecated wrapper
+// over MetricsView::gauge().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mip::obs {
+
+/// Thrown on a lookup miss. Derives from JsonError so call sites that
+/// caught gauge_value()'s misses keep working unchanged.
+class MetricsError : public JsonError {
+public:
+    using JsonError::JsonError;
+};
+
+class MetricsView {
+public:
+    /// The view borrows the registry; it must outlive the view.
+    explicit MetricsView(const MetricsRegistry& registry) : registry_(&registry) {}
+
+    // ---- typed accessors (full triple) -------------------------------------
+
+    /// Value of the counter at (node, layer, name); throws MetricsError
+    /// (with closest-key suggestions) when no such counter exists.
+    std::uint64_t counter(const std::string& node, const std::string& layer,
+                          const std::string& name) const;
+
+    /// Polls the gauge at (node, layer, name) right now; throws
+    /// MetricsError with suggestions on a miss.
+    double gauge(const std::string& node, const std::string& layer,
+                 const std::string& name) const;
+
+    /// The histogram at (node, layer, name); throws MetricsError with
+    /// suggestions on a miss. The reference is valid for the registry's
+    /// lifetime.
+    const Histogram& histogram(const std::string& node, const std::string& layer,
+                               const std::string& name) const;
+
+    // ---- presence probes (no throw) ----------------------------------------
+
+    bool has_counter(const std::string& node, const std::string& layer,
+                     const std::string& name) const noexcept;
+    bool has_gauge(const std::string& node, const std::string& layer,
+                   const std::string& name) const noexcept;
+    bool has_histogram(const std::string& node, const std::string& layer,
+                       const std::string& name) const noexcept;
+
+    // ---- scoped selectors --------------------------------------------------
+
+    /// A (node, layer) scope: the accessors take just the metric name.
+    /// Borrows only the registry, so a scope outlives the expression that
+    /// built it — `MetricsView(reg).node("mh").layer("ip")` stored in a
+    /// local stays valid for the registry's lifetime.
+    class Scope {
+    public:
+        std::uint64_t counter(const std::string& name) const {
+            return MetricsView(*registry_).counter(node_, layer_, name);
+        }
+        double gauge(const std::string& name) const {
+            return MetricsView(*registry_).gauge(node_, layer_, name);
+        }
+        const Histogram& histogram(const std::string& name) const {
+            return MetricsView(*registry_).histogram(node_, layer_, name);
+        }
+        const std::string& node() const noexcept { return node_; }
+        const std::string& layer() const noexcept { return layer_; }
+
+    private:
+        friend class MetricsView;
+        Scope(const MetricsRegistry& registry, std::string node, std::string layer)
+            : registry_(&registry), node_(std::move(node)), layer_(std::move(layer)) {}
+        const MetricsRegistry* registry_;
+        std::string node_;
+        std::string layer_;
+    };
+
+    /// A node scope: narrow to a layer, or query with (layer, name).
+    class NodeScope {
+    public:
+        Scope layer(const std::string& layer) const {
+            return {*registry_, node_, layer};
+        }
+        std::uint64_t counter(const std::string& layer, const std::string& name) const {
+            return MetricsView(*registry_).counter(node_, layer, name);
+        }
+        double gauge(const std::string& layer, const std::string& name) const {
+            return MetricsView(*registry_).gauge(node_, layer, name);
+        }
+        const Histogram& histogram(const std::string& layer,
+                                   const std::string& name) const {
+            return MetricsView(*registry_).histogram(node_, layer, name);
+        }
+
+    private:
+        friend class MetricsView;
+        NodeScope(const MetricsRegistry& registry, std::string node)
+            : registry_(&registry), node_(std::move(node)) {}
+        const MetricsRegistry* registry_;
+        std::string node_;
+    };
+
+    NodeScope node(const std::string& node) const { return {*registry_, node}; }
+
+    const MetricsRegistry& registry() const noexcept { return *registry_; }
+
+private:
+    [[noreturn]] void miss(const char* kind, const std::string& node,
+                           const std::string& layer, const std::string& name) const;
+
+    const MetricsRegistry* registry_;
+};
+
+}  // namespace mip::obs

@@ -71,6 +71,7 @@ void Link::transmit(const Nic& sender, Frame frame) {
         if (verdict.drop) {
             emit(TraceKind::FrameLost, &sender, frame,
                  verdict.drop_reason != nullptr ? verdict.drop_reason : "fault");
+            simulator_.buffer_pool().release(std::move(frame.payload));
             return;
         }
         fault_delay = verdict.extra_delay;
@@ -81,6 +82,7 @@ void Link::transmit(const Nic& sender, Frame frame) {
         std::bernoulli_distribution lost(config_.loss_rate);
         if (lost(rng_)) {
             emit(TraceKind::FrameLost, &sender, frame);
+            simulator_.buffer_pool().release(std::move(frame.payload));
             return;
         }
     }
@@ -90,32 +92,63 @@ void Link::transmit(const Nic& sender, Frame frame) {
     const TimePoint start = std::max(simulator_.now(), busy_until_);
     busy_until_ = start + transmission_delay(frame.wire_size());
     const Duration delay = (busy_until_ - simulator_.now()) + config_.latency + fault_delay;
-    for (Nic* nic : nics_) {
-        if (nic == &sender) continue;
-        // Group-addressed frames (broadcast and multicast) reach every
-        // station; the IP layer filters multicast by joined groups.
-        const bool addressed_here = frame.dst.is_group() || frame.dst == nic->mac();
-        if (!addressed_here && !nic->promiscuous()) continue;
-        // Copy per receiver; delivery happens at simulated arrival time. A
-        // NIC that detached (or moved to another segment) while the frame
-        // was in flight must not receive it.
-        simulator_.schedule_in(delay, [nic, frame, this] {
-            if (nic->link() != this) return;
-            emit(TraceKind::FrameRx, nic, frame);
-            nic->deliver(frame);
+
+    // Group-addressed frames (broadcast and multicast) reach every
+    // station; the IP layer filters multicast by joined groups. First find
+    // the last receiver so the original frame can be moved to it.
+    const auto receives = [&frame, &sender](const Nic* nic) {
+        if (nic == &sender) return false;
+        return frame.dst.is_group() || frame.dst == nic->mac() || nic->promiscuous();
+    };
+    const Nic* last_receiver = nullptr;
+    for (const Nic* nic : nics_) {
+        if (receives(nic)) last_receiver = nic;
+    }
+
+    // Delivery happens at simulated arrival time; each receiver needs its
+    // own copy of the frame because a NIC that detached (or moved to
+    // another segment) while the frame was in flight must not receive it
+    // and the others still must. Copies draw their payload storage from
+    // the simulator's buffer pool and return it right after delivery, so
+    // steady-state traffic recycles instead of allocating; the final
+    // receiver takes the original frame by move (the unicast common case
+    // never copies at all).
+    const auto schedule_delivery = [this](Nic* nic, Duration after, Frame&& f) {
+        simulator_.schedule_in(after, [nic, this, f = std::move(f)]() mutable {
+            if (nic->link() == this) {
+                emit(TraceKind::FrameRx, nic, f);
+                nic->deliver(f);
+            }
+            simulator_.buffer_pool().release(std::move(f.payload));
         },
         "frame-delivery");
+    };
+    const auto pooled_copy = [this](const Frame& f) {
+        Frame c;
+        c.dst = f.dst;
+        c.src = f.src;
+        c.type = f.type;
+        c.journey = f.journey;
+        c.payload = simulator_.buffer_pool().acquire(f.payload.size());
+        c.payload.assign(f.payload.begin(), f.payload.end());
+        return c;
+    };
+
+    if (last_receiver == nullptr) {
+        simulator_.buffer_pool().release(std::move(frame.payload));
+        return;
+    }
+    const Duration dup_delay = delay + transmission_delay(frame.wire_size());
+    for (Nic* nic : nics_) {
+        if (!receives(nic)) continue;
         if (fault_duplicate) {
-            // The duplicate trails the original by one serialization time,
-            // as if the frame had been put on the wire twice back-to-back.
-            simulator_.schedule_in(delay + transmission_delay(frame.wire_size()),
-                                   [nic, frame, this] {
-                if (nic->link() != this) return;
-                emit(TraceKind::FrameRx, nic, frame);
-                nic->deliver(frame);
-            },
-            "frame-delivery");
+            // The duplicate trails the original by one serialization
+            // time, as if the frame had been put on the wire twice
+            // back-to-back.
+            schedule_delivery(nic, dup_delay, pooled_copy(frame));
         }
+        schedule_delivery(nic, delay,
+                          nic == last_receiver ? std::move(frame) : pooled_copy(frame));
     }
 }
 

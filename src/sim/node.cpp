@@ -1,8 +1,8 @@
 #include "sim/node.h"
 
-namespace mip::sim {
+#include "sim/simulator.h"
 
-std::uint32_t Node::next_mac_id_ = 1;
+namespace mip::sim {
 
 Node::Node(Simulator& simulator, std::string name)
     : simulator_(simulator), name_(std::move(name)) {}
@@ -11,8 +11,10 @@ Nic& Node::add_nic(std::string nic_name) {
     if (nic_name.empty()) {
         nic_name = name_ + "-eth" + std::to_string(nics_.size());
     }
-    nics_.push_back(
-        std::make_unique<Nic>(*this, MacAddress::from_id(next_mac_id_++), std::move(nic_name)));
+    // MAC ids come from the simulator, so they are deterministic per world
+    // and race-free when sweep jobs build worlds on several threads.
+    nics_.push_back(std::make_unique<Nic>(
+        *this, MacAddress::from_id(simulator_.next_mac_id()), std::move(nic_name)));
     return *nics_.back();
 }
 

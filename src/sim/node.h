@@ -33,8 +33,6 @@ private:
     Simulator& simulator_;
     std::string name_;
     std::vector<std::unique_ptr<Nic>> nics_;
-
-    static std::uint32_t next_mac_id_;
 };
 
 }  // namespace mip::sim

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/pool.h"
 #include "sim/time.h"
 
 namespace mip::sim {
@@ -64,6 +65,24 @@ public:
     /// run to run.
     std::uint64_t next_packet_id() noexcept { return next_packet_id_++; }
 
+    /// Hands out the next NIC MAC id (1, 2, 3, ...). Scoped to this
+    /// simulator — not process-global — so a World's MAC addresses depend
+    /// only on its own construction order, never on how many other worlds
+    /// this process (or a parallel sweep job on another thread) built
+    /// first. That scoping is what makes sweep shards byte-identical to a
+    /// serial run.
+    std::uint32_t next_mac_id() noexcept { return next_mac_id_++; }
+
+    /// Hands out the next ICMP echo identifier. Per-simulator for the same
+    /// reproducibility reason as next_mac_id().
+    std::uint16_t next_ping_ident() noexcept { return next_ping_ident_++; }
+
+    /// The world's packet-payload recycler (see net::BufferPool): the link
+    /// layer and the IP serialization path draw payload storage from here
+    /// and return it after delivery. Single-threaded like the simulator.
+    net::BufferPool& buffer_pool() noexcept { return buffer_pool_; }
+    const net::BufferPool& buffer_pool() const noexcept { return buffer_pool_; }
+
     std::size_t pending_events() const noexcept { return queue_.size(); }
     /// Cancellations not yet matched to their event (pending or stale).
     /// Observability hook for the leak regression tests.
@@ -102,6 +121,9 @@ private:
     TimePoint now_ = 0;
     EventId next_id_ = 1;
     std::uint64_t next_packet_id_ = 1;
+    std::uint32_t next_mac_id_ = 1;
+    std::uint16_t next_ping_ident_ = 1;
+    net::BufferPool buffer_pool_;
     std::uint64_t events_fired_ = 0;
     SimProfiler* profiler_ = nullptr;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -335,7 +335,9 @@ void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
     arp::ArpEngine* arp = out.arp();
     sim::Nic* nic = out.nic();
     const std::uint64_t journey = fragment.journey();
-    auto wire = fragment.to_wire();
+    // Wire bytes come out of the world's buffer pool; the link layer
+    // releases them back once the frame is delivered (or dropped).
+    auto wire = fragment.to_wire(simulator_.buffer_pool());
     if (next_hop.is_broadcast() || next_hop.is_multicast()) {
         sim::Frame frame;
         frame.dst = next_hop.is_broadcast()
@@ -348,16 +350,17 @@ void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
         return;
     }
     arp->resolve(next_hop, [this, nic, journey, wire = std::move(wire)](
-                               std::optional<sim::MacAddress> mac) {
+                               std::optional<sim::MacAddress> mac) mutable {
         if (!mac) {
             ++stats_.arp_failures;
             emit_trace(sim::TraceKind::NoRoute, nullptr, "ARP resolution failed");
+            simulator_.buffer_pool().release(std::move(wire));
             return;
         }
         sim::Frame frame;
         frame.dst = *mac;
         frame.type = net::EtherType::Ipv4;
-        frame.payload = wire;
+        frame.payload = std::move(wire);
         frame.journey = journey;
         nic->send(std::move(frame));
     });

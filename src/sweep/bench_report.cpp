@@ -1,0 +1,115 @@
+#include "sweep/bench_report.h"
+
+namespace mip::sweep {
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+}
+
+/// Reps recorded for one run object; 1 when absent (the pre-v2 format
+/// measured once and did not say so).
+double reps_of(const obs::JsonValue& run) {
+    if (run.is_object() && run.contains("reps") && run.at("reps").is_number()) {
+        return run.at("reps").as_number();
+    }
+    return 1.0;
+}
+
+void check_run(std::vector<std::string>& problems, const obs::JsonValue& sc,
+               const char* key, const std::string& where) {
+    if (!sc.contains(key) || !sc.at(key).is_object()) {
+        problems.push_back(where + "." + key + " must be an object");
+        return;
+    }
+    const obs::JsonValue& run = sc.at(key);
+    for (const char* field : {"events", "wall_ms", "events_per_sec", "sim_seconds"}) {
+        require(problems, run.contains(field) && run.at(field).is_number(),
+                where + "." + key + "." + field + " must be a number");
+    }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc) {
+    std::vector<std::string> problems;
+    if (!doc.is_object()) {
+        problems.push_back("document is not a JSON object");
+        return problems;
+    }
+    require(problems,
+            doc.contains("kind") && doc.at("kind").is_string() &&
+                doc.at("kind").as_string() == "bench_perf",
+            "kind must be \"bench_perf\"");
+    require(problems,
+            doc.contains("schema_version") && doc.at("schema_version").is_number(),
+            "schema_version must be a number");
+    if (!doc.contains("scenarios") || !doc.at("scenarios").is_array()) {
+        problems.push_back("scenarios must be an array");
+        return problems;
+    }
+    std::size_t i = 0;
+    for (const obs::JsonValue& sc : doc.at("scenarios").as_array()) {
+        const std::string where = "scenarios[" + std::to_string(i++) + "]";
+        if (!sc.is_object()) {
+            problems.push_back(where + " is not an object");
+            continue;
+        }
+        require(problems, sc.contains("name") && sc.at("name").is_string(),
+                where + ".name must be a string");
+        check_run(problems, sc, "baseline", where);
+        check_run(problems, sc, "fault_attached", where);
+        check_run(problems, sc, "instrumented", where);
+
+        // The point of schema v2: an overhead percentage is a *difference
+        // of medians* and is meaningless from one sample of each side.
+        const auto overhead_needs = [&](const char* pct_field, const char* run_a,
+                                        const char* run_b) {
+            if (!sc.contains(pct_field)) return;
+            require(problems, sc.at(pct_field).is_number(),
+                    where + "." + pct_field + " must be a number");
+            const bool enough = sc.contains(run_a) && sc.contains(run_b) &&
+                                reps_of(sc.at(run_a)) >= 2 && reps_of(sc.at(run_b)) >= 2;
+            require(problems, enough,
+                    where + "." + pct_field +
+                        ": overhead fields require >= 2 reps on both runs "
+                        "(single-sample wall-clock deltas are noise)");
+        };
+        overhead_needs("fault_attached_overhead_pct", "baseline", "fault_attached");
+        overhead_needs("instrumentation_overhead_pct", "baseline", "instrumented");
+    }
+
+    if (doc.contains("sweep_scaling")) {
+        const obs::JsonValue& sw = doc.at("sweep_scaling");
+        if (!sw.is_object()) {
+            problems.push_back("sweep_scaling must be an object");
+            return problems;
+        }
+        require(problems, sw.contains("seeds") && sw.at("seeds").is_number(),
+                "sweep_scaling.seeds must be a number");
+        require(problems,
+                sw.contains("serial_wall_ms") && sw.at("serial_wall_ms").is_number(),
+                "sweep_scaling.serial_wall_ms must be a number");
+        require(problems,
+                sw.contains("artifacts_identical") &&
+                    sw.at("artifacts_identical").is_bool(),
+                "sweep_scaling.artifacts_identical must be a boolean");
+        if (sw.contains("parallel") && sw.at("parallel").is_array()) {
+            std::size_t j = 0;
+            for (const obs::JsonValue& p : sw.at("parallel").as_array()) {
+                const std::string pwhere = "sweep_scaling.parallel[" + std::to_string(j++) + "]";
+                require(problems,
+                        p.is_object() && p.contains("jobs") && p.at("jobs").is_number() &&
+                            p.contains("wall_ms") && p.at("wall_ms").is_number() &&
+                            p.contains("speedup") && p.at("speedup").is_number(),
+                        pwhere + " must be {jobs, wall_ms, speedup}");
+            }
+        } else {
+            problems.push_back("sweep_scaling.parallel must be an array");
+        }
+    }
+    return problems;
+}
+
+}  // namespace mip::sweep

@@ -1,0 +1,24 @@
+// Schema checker for BENCH_perf.json (EXPERIMENTS.md "Simulator
+// performance baseline"), shared by the unit tests and the
+// validate_metrics binary.
+//
+// Wall-clock numbers are inherently noisy, which is why the schema
+// (version 2) requires every run object to carry the repetition count it
+// was measured over and forbids overhead percentages derived from a
+// single rep — a lone timing sample once recorded a *negative* fault-hook
+// overhead, which is measurement noise presented as a result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mip::sweep {
+
+/// Checks a parsed BENCH_perf.json against the schema. Empty vector =
+/// valid. In particular: any `*_overhead_pct` field whose underlying runs
+/// report fewer than 2 reps (or no rep count at all) is rejected.
+std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc);
+
+}  // namespace mip::sweep

@@ -2,9 +2,11 @@
 
 namespace mip::transport {
 
-std::uint16_t Pinger::next_ident_ = 1;
-
-Pinger::Pinger(stack::IpStack& ip) : ip_(ip), ident_(next_ident_++) {
+// Echo identifiers are allocated by the simulator so that a pinger's
+// identity depends only on construction order inside its own world — a
+// process-global counter would race across parallel sweep jobs and make
+// shard traces diverge from a serial run.
+Pinger::Pinger(stack::IpStack& ip) : ip_(ip), ident_(ip.simulator().next_ping_ident()) {
     ip_.add_icmp_observer([this](const net::IcmpMessage& msg, const net::Packet& packet) {
         on_icmp(msg, packet);
     });

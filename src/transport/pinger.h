@@ -44,8 +44,6 @@ private:
     std::map<std::uint16_t, Outstanding> outstanding_;  ///< keyed by sequence
     std::size_t sent_ = 0;
     std::size_t received_ = 0;
-
-    static std::uint16_t next_ident_;
 };
 
 }  // namespace mip::transport

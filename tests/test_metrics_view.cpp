@@ -1,0 +1,107 @@
+// obs::MetricsView (ISSUE 5 satellite): typed counter/gauge/histogram
+// accessors, scoped node/layer selectors, closest-key miss errors, and
+// the deprecated gauge_value() wrapper staying equivalent.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/metrics_view.h"
+
+using namespace mip;
+
+namespace {
+
+/// A registry with one metric of each kind under (mh, ip) plus a second
+/// node so scoping is observable.
+obs::MetricsRegistry make_registry() {
+    obs::MetricsRegistry reg;
+    reg.counter("mh", "ip", "packets_sent").add(42);
+    reg.register_gauge("mh", "ip", "queue_depth", [] { return 7.5; });
+    reg.histogram("mh", "ip", "rtt_ms", {10.0, 100.0}).observe(55.0);
+    reg.counter("gw", "tunnel", "packets_tunneled").add(3);
+    return reg;
+}
+
+}  // namespace
+
+TEST(MetricsViewTest, TypedAccessorsReturnRegisteredValues) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    EXPECT_EQ(view.counter("mh", "ip", "packets_sent"), 42u);
+    EXPECT_DOUBLE_EQ(view.gauge("mh", "ip", "queue_depth"), 7.5);
+    const obs::Histogram& h = view.histogram("mh", "ip", "rtt_ms");
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 55.0);
+}
+
+TEST(MetricsViewTest, PresenceProbesDoNotThrow) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    EXPECT_TRUE(view.has_counter("mh", "ip", "packets_sent"));
+    EXPECT_FALSE(view.has_counter("mh", "ip", "no_such"));
+    EXPECT_TRUE(view.has_gauge("mh", "ip", "queue_depth"));
+    EXPECT_FALSE(view.has_gauge("gw", "ip", "queue_depth"));
+    EXPECT_TRUE(view.has_histogram("mh", "ip", "rtt_ms"));
+    EXPECT_FALSE(view.has_histogram("mh", "ip", "rtt_ns"));
+}
+
+TEST(MetricsViewTest, ScopedSelectorsReachTheSameMetrics) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    const auto mh = view.node("mh").layer("ip");
+    EXPECT_EQ(mh.counter("packets_sent"), 42u);
+    EXPECT_DOUBLE_EQ(mh.gauge("queue_depth"), 7.5);
+    EXPECT_EQ(mh.histogram("rtt_ms").count(), 1u);
+    EXPECT_EQ(mh.node(), "mh");
+    EXPECT_EQ(mh.layer(), "ip");
+
+    const auto gw = view.node("gw");
+    EXPECT_EQ(gw.counter("tunnel", "packets_tunneled"), 3u);
+}
+
+// The regression behind abl_row_d_http's segfault: a scope built from a
+// *temporary* view and stored in a local must stay valid — scopes borrow
+// only the registry, never the view expression that built them.
+TEST(MetricsViewTest, ScopeOutlivesTemporaryView) {
+    const obs::MetricsRegistry reg = make_registry();
+    const auto scope = obs::MetricsView(reg).node("mh").layer("ip");
+    EXPECT_EQ(scope.counter("packets_sent"), 42u);
+    const auto node_scope = obs::MetricsView(reg).node("gw");
+    EXPECT_EQ(node_scope.counter("tunnel", "packets_tunneled"), 3u);
+}
+
+TEST(MetricsViewTest, MissThrowsWithClosestKeySuggestions) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    try {
+        view.counter("mh", "ip", "packets_snet");  // transposition typo
+        FAIL() << "expected MetricsError";
+    } catch (const obs::MetricsError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("packets_snet"), std::string::npos)
+            << "error does not name the missing key: " << what;
+        EXPECT_NE(what.find("packets_sent"), std::string::npos)
+            << "error does not suggest the closest key: " << what;
+    }
+    // Wrong *kind* is also a miss: queue_depth exists, but as a gauge.
+    EXPECT_THROW(view.counter("mh", "ip", "queue_depth"), obs::MetricsError);
+    EXPECT_THROW(view.gauge("mh", "ip", "packets_sent"), obs::MetricsError);
+    EXPECT_THROW(view.histogram("zz", "ip", "rtt_ms"), obs::MetricsError);
+}
+
+// MetricsError derives from JsonError, so pre-existing catch sites that
+// guarded gauge_value() keep working.
+TEST(MetricsViewTest, MetricsErrorIsAJsonError) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    EXPECT_THROW(view.gauge("mh", "ip", "nope"), obs::JsonError);
+}
+
+TEST(MetricsViewTest, DeprecatedGaugeValueWrapperMatchesView) {
+    const obs::MetricsRegistry reg = make_registry();
+    const obs::MetricsView view(reg);
+    EXPECT_DOUBLE_EQ(reg.gauge_value("mh", "ip", "queue_depth"),
+                     view.gauge("mh", "ip", "queue_depth"));
+    EXPECT_THROW(reg.gauge_value("mh", "ip", "nope"), obs::JsonError);
+}
