@@ -1,0 +1,368 @@
+// bench_city — the city-scale metro scenario (ISSUE 6 tentpole cap).
+//
+// Four sections, one JSON "city" block in BENCH_perf.json:
+//
+//   seed sweep     SweepRunner drives one CitySim per seed (full: 4 seeds
+//                  x 12,000 hosts across 144 cells; smoke: 2 x 600 across
+//                  36). Each job exports per-cell handoff/storm counters,
+//                  per-home-agent binding pressure and the aggregate
+//                  deliverability probes through the standard metrics /
+//                  timeseries / decision pipelines, all validated by
+//                  validate_metrics via bench_smoke.
+//   determinism    the whole sweep re-runs with --jobs >= 2 and every
+//                  artifact (merged report + per-job snapshots) must be
+//                  byte-identical to the serial run — the DESIGN §10
+//                  contract at city scale.
+//   find_link      before/after microbenchmark of World::find_link on a
+//                  256-router backbone: the name index vs the seed's
+//                  linear scan (ISSUE 6 satellite).
+//   scheduler      the same city under SchedulerKind::BinaryHeap vs the
+//                  calendar queue: identical events and byte-identical
+//                  snapshots required, median wall times compared. The
+//                  calendar run's events/sec is the single-core city
+//                  figure the perf trendline tracks.
+//
+// Wall-clock numbers land in BENCH_perf.json next to bench_perf's
+// (merged, not overwritten); everything else the binary emits is
+// deterministic.
+#include "common.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "metro/city.h"
+#include "sweep/sweep.h"
+
+using namespace mip;
+
+namespace {
+
+struct CityParams {
+    int seeds;
+    std::size_t hosts;
+    int grid;           ///< grid x grid radio cells
+    double cell_m;
+    int metro_lines;
+    sim::Duration duration;
+    sim::Duration registration_lifetime;
+    std::uint32_t storm_threshold;
+    sim::Duration metrics_interval;
+    std::size_t probes_per_sweep;
+};
+
+CityParams params(const bench::HarnessOptions& opt) {
+    CityParams p = opt.smoke
+                       ? CityParams{2, 600, 6, 400.0, 2, sim::seconds(120),
+                                    sim::seconds(60), 25, sim::seconds(15), 64}
+                       : CityParams{4, 12000, 12, 500.0, 4, sim::seconds(600),
+                                    sim::seconds(120), 50, sim::seconds(30), 256};
+    if (opt.seeds > 0) p.seeds = opt.seeds;
+    return p;
+}
+
+metro::CityConfig city_config(const CityParams& p, std::uint64_t seed,
+                              sim::SchedulerKind scheduler) {
+    metro::CityConfig cfg;
+    cfg.metro.cells_x = p.grid;
+    cfg.metro.cells_y = p.grid;
+    cfg.metro.cell_size_m = p.cell_m;
+    cfg.population.hosts = p.hosts;
+    cfg.population.seed = seed;
+    cfg.population.metro_lines = p.metro_lines;
+    cfg.scheduler = scheduler;
+    cfg.duration = p.duration;
+    cfg.registration_lifetime = p.registration_lifetime;
+    cfg.storm_threshold = p.storm_threshold;
+    cfg.metrics_interval = p.metrics_interval;
+    cfg.probes_per_sweep = p.probes_per_sweep;
+    return cfg;
+}
+
+std::uint64_t city_counter(metro::CitySim& city, const char* name) {
+    return city.metrics().counter("city", "metro", name).value();
+}
+
+/// One JobSpec per seed. Exports go through @p opt — pass a quiet options
+/// struct for comparison runs so parallel jobs never race on artifact
+/// files with the reference run.
+std::vector<sweep::JobSpec> seed_jobs(const CityParams& p,
+                                      const bench::HarnessOptions& opt) {
+    std::vector<sweep::JobSpec> jobs;
+    for (int s = 0; s < p.seeds; ++s) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+        const std::string label = "seed" + std::to_string(seed);
+        jobs.push_back({static_cast<std::uint64_t>(s), label, [p, seed, label, opt] {
+            metro::CitySim city(city_config(p, seed, sim::SchedulerKind::Calendar));
+            city.run();
+
+            sweep::JobResult r;
+            r.report["seed"] = seed;
+            r.report["hosts"] = static_cast<std::uint64_t>(p.hosts);
+            r.report["cells"] = static_cast<std::uint64_t>(city.topology().cells().size());
+            r.report["events"] = city.events_fired();
+            r.report["handoffs"] = city.handoffs_total();
+            r.report["registrations"] = city.registrations_total();
+            r.report["probes"] = city.probes_total();
+            const std::uint64_t delivered = city_counter(city, "probes_delivered");
+            r.report["probes_delivered"] = delivered;
+            r.report["deliverability"] =
+                city.probes_total() > 0
+                    ? static_cast<double>(delivered) / static_cast<double>(city.probes_total())
+                    : 0.0;
+            r.metrics = city.snapshot("bench_city", label);
+            r.decision_count = city.decisions().size();
+
+            bench::export_metrics(opt, city.metrics(), "bench_city", label,
+                                  city.simulator().now());
+            if (city.sampler() != nullptr) {
+                bench::export_timeseries(opt, *city.sampler(), "bench_city", label);
+            }
+            bench::export_decisions(opt, city.decisions(), "bench_city", label);
+            return r;
+        }});
+    }
+    return jobs;
+}
+
+/// ISSUE 6 satellite: World::find_link's name index vs the seed's O(n)
+/// scan over all_links(), on a backbone wide enough for the difference to
+/// matter (the metro hierarchy is hundreds of links).
+obs::JsonValue::Object measure_find_link(const bench::HarnessOptions& opt) {
+    core::WorldConfig cfg;
+    cfg.backbone_routers = opt.pick(256, 32);
+    core::World world{cfg};
+    const std::vector<sim::Link*> links = world.all_links();
+    std::vector<std::string> names;
+    names.reserve(links.size());
+    for (const sim::Link* l : links) names.push_back(l->name());
+
+    const std::size_t lookups = opt.pick<std::size_t>(200000, 20000);
+    const auto bench_ns = [&](auto&& lookup) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lookups; ++i) {
+            benchmark::DoNotOptimize(lookup(names[i % names.size()]));
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+               static_cast<double>(lookups);
+    };
+
+    const double indexed_ns =
+        bench_ns([&](const std::string& name) { return world.find_link(name); });
+    const double linear_ns = bench_ns([&](const std::string& name) -> sim::Link* {
+        for (sim::Link* l : links) {
+            if (l->name() == name) return l;
+        }
+        return nullptr;
+    });
+    const double speedup = indexed_ns > 0 ? linear_ns / indexed_ns : 0.0;
+
+    std::printf("\nfind_link on %zu links (%zu lookups):\n", links.size(), lookups);
+    std::printf("  indexed %8.1f ns/lookup   linear scan %8.1f ns/lookup   %.1fx\n",
+                indexed_ns, linear_ns, speedup);
+
+    obs::JsonValue::Object o;
+    o["links"] = static_cast<std::uint64_t>(links.size());
+    o["lookups"] = static_cast<std::uint64_t>(lookups);
+    o["indexed_ns"] = indexed_ns;
+    o["linear_ns"] = linear_ns;
+    o["speedup"] = speedup;
+    return o;
+}
+
+struct SchedRun {
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    std::string snapshot;
+};
+
+SchedRun run_city_once(const CityParams& p, sim::SchedulerKind kind) {
+    metro::CitySim city(city_config(p, 1, kind));
+    const auto t0 = std::chrono::steady_clock::now();
+    city.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    SchedRun r;
+    r.events = city.events_fired();
+    r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.snapshot = city.snapshot_json("bench_city", "sched");
+    return r;
+}
+
+/// Seed scheduler vs calendar queue on the seed-1 city: byte-identical
+/// behaviour required, median wall times compared.
+obs::JsonValue::Object measure_scheduler(const bench::HarnessOptions& opt,
+                                         const CityParams& p, bool& identical_out,
+                                         double& calendar_events_per_sec) {
+    const int reps = opt.pick(3, 2);
+    const auto median = [&](sim::SchedulerKind kind) {
+        std::vector<SchedRun> runs;
+        run_city_once(p, kind);  // warm-up, discarded
+        for (int i = 0; i < reps; ++i) runs.push_back(run_city_once(p, kind));
+        std::sort(runs.begin(), runs.end(),
+                  [](const SchedRun& a, const SchedRun& b) { return a.wall_ms < b.wall_ms; });
+        return runs[runs.size() / 2];
+    };
+
+    const SchedRun heap = median(sim::SchedulerKind::BinaryHeap);
+    const SchedRun cal = median(sim::SchedulerKind::Calendar);
+    const bool identical = heap.events == cal.events && heap.snapshot == cal.snapshot;
+    const double speedup = cal.wall_ms > 0 ? heap.wall_ms / cal.wall_ms : 0.0;
+    calendar_events_per_sec =
+        cal.wall_ms > 0 ? static_cast<double>(cal.events) / (cal.wall_ms / 1e3) : 0.0;
+    identical_out = identical;
+
+    std::printf("\nscheduler comparison (seed-1 city, %" PRIu64
+                " events, median of %d):\n",
+                cal.events, reps);
+    std::printf("  binary heap %10.1f ms   calendar queue %10.1f ms   %.2fx   identical=%s\n",
+                heap.wall_ms, cal.wall_ms, speedup, bench::yn(identical));
+
+    obs::JsonValue::Object o;
+    o["events"] = cal.events;
+    o["heap_wall_ms"] = heap.wall_ms;
+    o["calendar_wall_ms"] = cal.wall_ms;
+    o["speedup"] = speedup;
+    o["identical"] = identical;
+    o["reps"] = reps;
+    return o;
+}
+
+/// Merges the city block into BENCH_perf.json without clobbering the
+/// bench_perf scenario data already there (the two binaries share the
+/// file; CI runs them back to back into M4X4_BENCH_PERF_OUT). Smoke runs
+/// write only when the override is set, same rule as bench_perf.
+void merge_into_perf_report(const bench::HarnessOptions& opt,
+                            obs::JsonValue::Object city) {
+    const char* out = std::getenv("M4X4_BENCH_PERF_OUT");
+    if (opt.smoke && (out == nullptr || out[0] == '\0')) return;
+    const std::string path = (out != nullptr && out[0] != '\0') ? out : "BENCH_perf.json";
+
+    obs::JsonValue doc;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            try {
+                doc = obs::JsonValue::parse(buf.str());
+            } catch (const obs::JsonError&) {
+                doc = obs::JsonValue();
+            }
+        }
+    }
+    if (!doc.is_object()) {
+        obs::JsonValue::Object fresh;
+        fresh["schema_version"] = 2;
+        fresh["kind"] = "bench_perf";
+        fresh["smoke"] = opt.smoke;
+        fresh["scenarios"] = obs::JsonValue::Array{};
+        doc = obs::JsonValue(std::move(fresh));
+    }
+    doc["hardware_concurrency"] =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+    doc["city"] = obs::JsonValue(std::move(city));
+
+    std::ofstream f(path);
+    f << doc.dump(2) << "\n";
+    std::printf("merged city block into %s\n", path.c_str());
+}
+
+void print_figure(const bench::HarnessOptions& opt) {
+    bench::print_header(
+        "bench_city: city-scale metro scenario",
+        "A hierarchical metro topology (backbone -> regionals -> radio\n"
+        "cells) carrying a seeded population of commuter flocks, transit\n"
+        "riders and solo walkers. The seed sweep must be byte-identical\n"
+        "at any --jobs; the scheduler section runs the same city on the\n"
+        "seed binary heap and the calendar queue and requires identical\n"
+        "behaviour before comparing wall clocks.");
+
+    const CityParams p = params(opt);
+    const int compare_jobs = opt.jobs > 1 ? opt.jobs : 2;
+
+    // Section 1: the seed sweep (serial reference run exports artifacts).
+    const sweep::SweepRunner serial_runner({.jobs = 1});
+    const sweep::SweepOutcome serial = serial_runner.run(seed_jobs(p, opt));
+    std::printf("%6s %10s %10s %10s %10s %8s\n", "seed", "events", "handoffs",
+                "regs", "probes", "deliv");
+    std::uint64_t events_total = 0;
+    double deliv_min = 1.0;
+    for (const sweep::JobResult& r : serial.results) {
+        if (!r.ok) {
+            std::printf("JOB FAILED: %s\n", r.error.c_str());
+            continue;
+        }
+        const double deliv = r.report.at("deliverability").as_number();
+        deliv_min = std::min(deliv_min, deliv);
+        events_total += static_cast<std::uint64_t>(r.report.at("events").as_number());
+        std::printf("%6.0f %10.0f %10.0f %10.0f %10.0f %7.1f%%\n",
+                    r.report.at("seed").as_number(), r.report.at("events").as_number(),
+                    r.report.at("handoffs").as_number(),
+                    r.report.at("registrations").as_number(),
+                    r.report.at("probes").as_number(), deliv * 100.0);
+    }
+    bench::export_text(opt.metrics_dir, "bench_city", "sweep", ".json",
+                       serial.report("bench_city", "sweep").dump(2) + "\n");
+
+    // Section 2: byte-identity at --jobs >= 2 (quiet: no artifact races).
+    const bench::HarnessOptions quiet{.smoke = opt.smoke, .seeds = opt.seeds};
+    const sweep::SweepRunner par_runner({.jobs = compare_jobs});
+    const sweep::SweepOutcome par = par_runner.run(seed_jobs(p, quiet));
+    bool identical_sweep =
+        par.report("bench_city", "sweep").dump(2) == serial.report("bench_city", "sweep").dump(2) &&
+        par.results.size() == serial.results.size();
+    if (identical_sweep) {
+        for (std::size_t i = 0; i < par.results.size(); ++i) {
+            if (par.results[i].metrics.dump(2) != serial.results[i].metrics.dump(2)) {
+                identical_sweep = false;
+                break;
+            }
+        }
+    }
+    std::printf("\nsweep determinism: jobs=1 vs jobs=%d artifacts identical: %s\n",
+                compare_jobs, bench::yn(identical_sweep));
+
+    // Sections 3 and 4.
+    obs::JsonValue::Object find_link = measure_find_link(opt);
+    bool sched_identical = false;
+    double events_per_sec = 0.0;
+    obs::JsonValue::Object scheduler =
+        measure_scheduler(opt, p, sched_identical, events_per_sec);
+
+    obs::JsonValue::Object city;
+    city["smoke"] = opt.smoke;
+    city["seeds"] = p.seeds;
+    city["hosts"] = static_cast<std::uint64_t>(p.hosts);
+    city["cells"] = static_cast<std::uint64_t>(p.grid) * static_cast<std::uint64_t>(p.grid);
+    city["sim_seconds"] = sim::to_seconds(p.duration);
+    city["events"] = events_total;
+    city["sweep_wall_ms"] = serial.wall_ms;
+    city["events_per_sec"] = events_per_sec;
+    city["deliverability_min"] = deliv_min;
+    city["artifacts_identical"] = identical_sweep;
+    city["compare_jobs"] = compare_jobs;
+    city["find_link"] = std::move(find_link);
+    city["scheduler"] = std::move(scheduler);
+    merge_into_perf_report(opt, std::move(city));
+
+    std::printf("\ncity events/sec (single core, calendar queue): %.0f\n", events_per_sec);
+
+    if (serial.failures() > 0 || !identical_sweep || !sched_identical) {
+        std::printf("\nFAIL: %zu job failures, sweep identical=%s, scheduler identical=%s\n",
+                    serial.failures(), bench::yn(identical_sweep),
+                    bench::yn(sched_identical));
+        std::exit(1);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::HarnessOptions opt = bench::parse_harness_options(&argc, argv);
+    print_figure(opt);
+    return 0;
+}

@@ -21,7 +21,7 @@ trap 'rm -rf "$outdir"' EXIT
 
 status=0
 ran=0
-for bench in "$bindir"/fig* "$bindir"/abl_* "$bindir"/bench_perf; do
+for bench in "$bindir"/fig* "$bindir"/abl_* "$bindir"/bench_perf "$bindir"/bench_city; do
     [ -x "$bench" ] || continue
     case $(basename "$bench") in
         validate_metrics) continue ;;

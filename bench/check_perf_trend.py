@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf trendline gate (ISSUE 6 satellite): compare a freshly measured
+BENCH_perf.json against the committed baseline and fail when events/sec
+regressed by more than the threshold on any scenario.
+
+Usage: check_perf_trend.py <baseline.json> <fresh.json> [--threshold 0.20]
+
+Rules:
+  - Only documents with matching "smoke" flags are compared. A smoke run
+    measured against a full-scenario baseline (or vice versa) says
+    nothing about performance, so the mismatch is reported and the gate
+    passes vacuously rather than lying either way.
+  - Compared rates: scenarios[].baseline.events_per_sec (bench_perf's
+    ladder, keyed by scenario name) and city.events_per_sec (bench_city's
+    single-core figure). Scenarios present on only one side are listed
+    but not gated — adding or retiring a scenario must not break CI.
+  - Wall-clock noise is real even at 2 reps; the default threshold (20%)
+    is deliberately loose. Tighten it only with a quieter runner.
+
+Exit status: 0 = no regression (or vacuous), 1 = regression, 2 = usage.
+"""
+
+import json
+import sys
+
+
+def rates_of(doc):
+    """name -> events/sec for every comparable figure in the document."""
+    rates = {}
+    for sc in doc.get("scenarios", []):
+        base = sc.get("baseline", {})
+        if "name" in sc and "events_per_sec" in base:
+            rates["scenario:" + sc["name"]] = base["events_per_sec"]
+    city = doc.get("city", {})
+    if "events_per_sec" in city:
+        rates["city"] = city["events_per_sec"]
+    return rates
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    for a in argv[1:]:
+        if a.startswith("--threshold"):
+            threshold = float(a.split("=", 1)[1] if "=" in a else args.pop())
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = args
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    if baseline.get("smoke") != fresh.get("smoke"):
+        print(
+            "check_perf_trend: smoke flags differ "
+            f"(baseline={baseline.get('smoke')}, fresh={fresh.get('smoke')}); "
+            "nothing comparable — passing vacuously."
+        )
+        return 0
+
+    base_rates = rates_of(baseline)
+    fresh_rates = rates_of(fresh)
+    regressions = []
+    print(f"{'figure':<20} {'baseline':>14} {'fresh':>14} {'delta':>8}")
+    for name in sorted(set(base_rates) | set(fresh_rates)):
+        if name not in base_rates:
+            print(f"{name:<20} {'-':>14} {fresh_rates[name]:>14.0f}   (new)")
+            continue
+        if name not in fresh_rates:
+            print(f"{name:<20} {base_rates[name]:>14.0f} {'-':>14}   (gone)")
+            continue
+        base, cur = base_rates[name], fresh_rates[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        mark = ""
+        if base > 0 and cur < base * (1.0 - threshold):
+            regressions.append((name, base, cur, delta))
+            mark = "  REGRESSION"
+        print(f"{name:<20} {base:>14.0f} {cur:>14.0f} {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(
+            f"\ncheck_perf_trend: FAIL — {len(regressions)} figure(s) regressed "
+            f"more than {threshold:.0%} vs {baseline_path}"
+        )
+        return 1
+    print(f"\ncheck_perf_trend: OK (threshold {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,12 @@
 #include "core/binding.h"
 
+#include <algorithm>
+
 namespace mip::core {
 
 void BindingTable::set(net::Ipv4Address home, net::Ipv4Address care_of,
                        sim::TimePoint expires) {
-    bindings_[home] = Binding{home, care_of, expires};
+    bindings_.insert_or_assign(home, Binding{home, care_of, expires});
 }
 
 void BindingTable::remove(net::Ipv4Address home) {
@@ -12,22 +14,22 @@ void BindingTable::remove(net::Ipv4Address home) {
 }
 
 std::optional<Binding> BindingTable::lookup(net::Ipv4Address home, sim::TimePoint now) const {
-    auto it = bindings_.find(home);
-    if (it == bindings_.end() || it->second.expires <= now) {
+    const Binding* b = bindings_.find(home);
+    if (b == nullptr || b->expires <= now) {
         return std::nullopt;
     }
-    return it->second;
+    return *b;
 }
 
 std::size_t BindingTable::expire(sim::TimePoint now) {
-    return std::erase_if(bindings_,
-                         [now](const auto& kv) { return kv.second.expires <= now; });
+    return bindings_.erase_if(
+        [now](net::Ipv4Address, const Binding& b) { return b.expires <= now; });
 }
 
 std::optional<sim::TimePoint> BindingTable::earliest_expiry() const {
     std::optional<sim::TimePoint> earliest;
-    for (const auto& [home, b] : bindings_) {
-        if (!earliest || b.expires < *earliest) earliest = b.expires;
+    for (const auto& entry : bindings_.entries()) {
+        if (!earliest || entry.value.expires < *earliest) earliest = entry.value.expires;
     }
     return earliest;
 }
@@ -35,9 +37,12 @@ std::optional<sim::TimePoint> BindingTable::earliest_expiry() const {
 std::vector<Binding> BindingTable::snapshot() const {
     std::vector<Binding> out;
     out.reserve(bindings_.size());
-    for (const auto& [home, b] : bindings_) {
-        out.push_back(b);
+    for (const auto& entry : bindings_.entries()) {
+        out.push_back(entry.value);
     }
+    std::sort(out.begin(), out.end(), [](const Binding& a, const Binding& b) {
+        return a.home_address < b.home_address;
+    });
     return out;
 }
 

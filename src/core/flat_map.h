@@ -1,0 +1,139 @@
+// FlatAddressMap — an insertion-ordered open-addressing hash map keyed
+// by net::Ipv4Address (ISSUE 6: std::map-style agent registries become
+// flat maps for the city-scale scenario).
+//
+// The node-based std::map behind the home agent's binding table costs an
+// allocation plus pointer-chasing per operation; a city-scale run doing
+// millions of registrations against tables holding thousands of bindings
+// turns that into the dominant cost. This map keeps entries contiguous:
+//
+//   entries_   the live (key, value) pairs, in strict insertion order —
+//              which is what "stable iteration order" means here: the
+//              order never depends on hash seeding or capacity, so any
+//              artifact derived from a walk is deterministic
+//   slots_     power-of-two open-addressing index (linear probing) of
+//              entry positions, value = index + 1, 0 = empty
+//
+// Lookups are one hash + a short linear probe over a contiguous array;
+// insertions amortize O(1). Erase preserves insertion order by erasing
+// from entries_ and rebuilding the index — O(n), the right trade for
+// tables whose removals (deregistration, crash wipe, lifetime GC) are
+// rare next to their lookups.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4_address.h"
+
+namespace mip::core {
+
+template <typename Value>
+class FlatAddressMap {
+public:
+    struct Entry {
+        net::Ipv4Address key;
+        Value value;
+    };
+
+    Value* find(net::Ipv4Address key) noexcept {
+        const std::size_t e = slot_of(key);
+        return e == kNone ? nullptr : &entries_[e].value;
+    }
+    const Value* find(net::Ipv4Address key) const noexcept {
+        const std::size_t e = slot_of(key);
+        return e == kNone ? nullptr : &entries_[e].value;
+    }
+    bool contains(net::Ipv4Address key) const noexcept { return slot_of(key) != kNone; }
+
+    /// Inserts or overwrites; returns the stored value. A new key is
+    /// appended to the iteration order, an existing key keeps its place.
+    Value& insert_or_assign(net::Ipv4Address key, Value value) {
+        if (Value* existing = find(key)) {
+            *existing = std::move(value);
+            return *existing;
+        }
+        if ((entries_.size() + 1) * 4 > slots_.size() * 3) {
+            grow(slots_.empty() ? kMinSlots : slots_.size() * 2);
+        }
+        entries_.push_back(Entry{key, std::move(value)});
+        place(key, entries_.size() - 1);
+        return entries_.back().value;
+    }
+
+    /// Removes @p key; returns whether it was present. Later entries keep
+    /// their relative order.
+    bool erase(net::Ipv4Address key) {
+        const std::size_t e = slot_of(key);
+        if (e == kNone) return false;
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(e));
+        reindex();
+        return true;
+    }
+
+    /// Removes every entry for which @p pred(key, value) is true, keeping
+    /// the survivors' order; returns how many were removed.
+    template <typename Pred>
+    std::size_t erase_if(Pred pred) {
+        const std::size_t before = entries_.size();
+        std::erase_if(entries_, [&](const Entry& e) { return pred(e.key, e.value); });
+        if (entries_.size() != before) reindex();
+        return before - entries_.size();
+    }
+
+    void clear() {
+        entries_.clear();
+        slots_.assign(slots_.size(), 0);
+    }
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+
+    /// The live entries in insertion order. Stable across rehashes; the
+    /// reference invalidates on any mutation, like a vector's.
+    const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+private:
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    static constexpr std::size_t kMinSlots = 16;
+
+    static std::size_t hash(net::Ipv4Address key) noexcept {
+        // Multiplicative (Fibonacci) hash; IPv4 keys differing only in
+        // low bits spread across the table.
+        return static_cast<std::size_t>(key.value() * 0x9E3779B9u);
+    }
+
+    std::size_t slot_of(net::Ipv4Address key) const noexcept {
+        if (slots_.empty()) return kNone;
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            const std::uint32_t s = slots_[i];
+            if (s == 0) return kNone;
+            const std::size_t e = s - 1;
+            if (entries_[e].key == key) return e;
+        }
+    }
+
+    void place(net::Ipv4Address key, std::size_t entry_index) noexcept {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (slots_[i] != 0) i = (i + 1) & mask;
+        slots_[i] = static_cast<std::uint32_t>(entry_index + 1);
+    }
+
+    void grow(std::size_t nslots) {
+        slots_.assign(nslots, 0);
+        for (std::size_t e = 0; e < entries_.size(); ++e) {
+            place(entries_[e].key, e);
+        }
+    }
+
+    void reindex() { grow(slots_.empty() ? kMinSlots : slots_.size()); }
+
+    std::vector<Entry> entries_;
+    std::vector<std::uint32_t> slots_;
+};
+
+}  // namespace mip::core

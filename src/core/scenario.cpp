@@ -16,7 +16,7 @@ int resolve_attach(int requested, int backbone_len) {
 }
 }  // namespace
 
-World::World(WorldConfig config) : config_(std::move(config)) {
+World::World(WorldConfig config) : sim(config.scheduler), config_(std::move(config)) {
     if (config_.backbone_routers < 1) {
         throw std::invalid_argument("backbone needs at least one router");
     }
@@ -163,14 +163,13 @@ sim::Link& World::make_link(std::string name, sim::Duration latency, double band
     cfg.seed = config_.seed + links_.size();
     links_.push_back(std::make_unique<sim::Link>(sim, cfg));
     links_.back()->set_trace(trace.sink());
+    link_index_.emplace(links_.back()->name(), links_.size() - 1);
     return *links_.back();
 }
 
 sim::Link* World::find_link(const std::string& name) {
-    for (const auto& link : links_) {
-        if (link->name() == name) return link.get();
-    }
-    return nullptr;
+    const auto it = link_index_.find(name);
+    return it == link_index_.end() ? nullptr : links_[it->second].get();
 }
 
 std::vector<sim::Link*> World::all_links() {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/correspondent.h"
@@ -63,6 +64,12 @@ struct WorldConfig {
     std::size_t backbone_mtu = 1500;
     double loss_rate = 0.0;
     std::uint64_t seed = 1;
+
+    /// Event-queue structure for this world's simulator. Either kind
+    /// dispatches the identical event sequence (sim/event_queue.h); the
+    /// BinaryHeap seed scheduler is kept selectable for the equivalence
+    /// tests and before/after benchmarks.
+    sim::SchedulerKind scheduler = sim::SchedulerKind::Calendar;
 
     HomeAgentConfig home_agent;
 };
@@ -129,7 +136,9 @@ public:
 
     /// Looks a link up by its configured name ("home-lan", "foreign-lan",
     /// "bb-link0", "home-gw-uplink", ...); nullptr when absent. The fault
-    /// injector resolves FaultPlan targets through this.
+    /// injector resolves FaultPlan targets through this. O(1): backed by
+    /// the name index make_link maintains (ISSUE 6 — the O(n) scan this
+    /// replaces is benchmarked against it in bench_city).
     sim::Link* find_link(const std::string& name);
     /// Every link in the world, in creation order.
     std::vector<sim::Link*> all_links();
@@ -235,6 +244,9 @@ private:
 
     WorldConfig config_;
     std::vector<std::unique_ptr<sim::Link>> links_;
+    /// name -> index into links_, maintained by make_link. all_links()
+    /// still reports creation order, so iteration stays deterministic.
+    std::unordered_map<std::string, std::size_t> link_index_;
     sim::Link* home_lan_ = nullptr;
     sim::Link* foreign_lan_ = nullptr;
     sim::Link* corr_lan_ = nullptr;

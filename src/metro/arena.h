@@ -1,0 +1,91 @@
+// Bump-pointer arena for per-host simulation state (ISSUE 6).
+//
+// A city-scale run owns tens of thousands of hosts, each a small bundle
+// of mobility model + addressing + registration state. Allocating those
+// individually scatters them across the heap and pays a malloc round
+// trip per object; at teardown, 50k frees dominate shutdown. The arena
+// carves objects out of large contiguous blocks instead: allocation is
+// a pointer bump, locality follows construction order (the population
+// builder constructs hosts in index order, so iteration during the
+// simulation walks memory sequentially), and the whole population is
+// released in a handful of frees.
+//
+// Non-trivially-destructible objects register their destructor at
+// create<T>() time and are destroyed in reverse construction order when
+// the arena dies — so host state may hold vectors or shared_ptrs
+// without leaking. The arena is not thread-safe; each sweep job owns a
+// private one, matching the SweepRunner isolation contract (DESIGN §10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mip::metro {
+
+class Arena {
+public:
+    explicit Arena(std::size_t block_bytes = 1 << 20) : block_bytes_(block_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    ~Arena() {
+        // Reverse construction order, like stack unwinding.
+        for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+            it->destroy(it->object);
+        }
+    }
+
+    /// Raw storage of @p size bytes aligned to @p align. Oversized
+    /// requests get a dedicated block; normal ones bump the current one.
+    void* allocate(std::size_t size, std::size_t align) {
+        std::uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+        if (p + size > block_end_) {
+            const std::size_t want = size + align > block_bytes_ ? size + align : block_bytes_;
+            blocks_.push_back(std::make_unique<std::byte[]>(want));
+            cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+            block_end_ = cursor_ + want;
+            allocated_bytes_ += want;
+            p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+        }
+        cursor_ = p + size;
+        used_bytes_ += size;
+        return reinterpret_cast<void*>(p);
+    }
+
+    /// Constructs a T in the arena. The pointer stays valid for the
+    /// arena's lifetime; never delete it.
+    template <typename T, typename... Args>
+    T* create(Args&&... args) {
+        T* obj = new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+        if constexpr (!std::is_trivially_destructible_v<T>) {
+            dtors_.push_back({obj, [](void* o) { static_cast<T*>(o)->~T(); }});
+        }
+        return obj;
+    }
+
+    std::size_t blocks() const noexcept { return blocks_.size(); }
+    std::size_t allocated_bytes() const noexcept { return allocated_bytes_; }
+    std::size_t used_bytes() const noexcept { return used_bytes_; }
+
+private:
+    struct Dtor {
+        void* object;
+        void (*destroy)(void*);
+    };
+
+    std::size_t block_bytes_;
+    std::vector<std::unique_ptr<std::byte[]>> blocks_;
+    std::uintptr_t cursor_ = 0;
+    std::uintptr_t block_end_ = 0;
+    std::size_t allocated_bytes_ = 0;
+    std::size_t used_bytes_ = 0;
+    std::vector<Dtor> dtors_;
+};
+
+}  // namespace mip::metro

@@ -1,0 +1,230 @@
+#include "metro/city.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mip::metro {
+
+namespace {
+// Domain tags for the engine's deterministic draws (sample stagger,
+// registration jitter, probe selection) — disjoint from the ones the
+// population builder uses.
+constexpr std::uint64_t kStaggerTag = 0x53414D50ull;  // "SAMP"
+constexpr std::uint64_t kProbeTag = 0x50524F42ull;    // "PROB"
+constexpr std::uint64_t kJitterTag = 0x4A495454ull;   // "JITT"
+}  // namespace
+
+CitySim::CitySim(CityConfig config)
+    : config_(config),
+      topo_(config.metro),
+      pop_(topo_, config.population),
+      sim_(config.scheduler),
+      tables_(static_cast<std::size_t>(config.metro.home_agents)) {
+    if (config_.duration <= 0 || config_.sample_interval <= 0 ||
+        config_.storm_window <= 0 || config_.registration_lifetime <= 0) {
+        throw std::invalid_argument("CitySim: durations must be > 0");
+    }
+
+    // Per-cell and per-agent metric handles are resolved once here; the
+    // hot path bumps cached Counter references instead of re-hashing
+    // (node, layer, name) keys millions of times. The stats vectors are
+    // never resized after this loop, so the gauge lambdas' pointers into
+    // them stay valid for the registry's lifetime.
+    cells_.resize(topo_.cells().size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        const std::string& node = topo_.cells()[c].name;
+        CellStats& cs = cells_[c];
+        cs.handoffs = &registry_.counter(node, "metro", "handoffs");
+        cs.storms = &registry_.counter(node, "metro", "storms");
+        registry_.register_gauge(node, "metro", "occupancy",
+                                 [p = &cs] { return static_cast<double>(p->occupancy); });
+        registry_.register_gauge(node, "metro", "storm_peak",
+                                 [p = &cs] { return static_cast<double>(p->window_peak); });
+    }
+    agents_.resize(tables_.size());
+    for (std::size_t a = 0; a < agents_.size(); ++a) {
+        const std::string node = "ha-" + std::to_string(a);
+        AgentStats& as = agents_[a];
+        as.registrations = &registry_.counter(node, "metro", "registrations");
+        as.renewals = &registry_.counter(node, "metro", "renewals");
+        as.expired = &registry_.counter(node, "metro", "bindings_expired");
+        registry_.register_gauge(node, "metro", "bindings",
+                                 [t = &tables_[a]] { return static_cast<double>(t->size()); });
+    }
+    probes_ = &registry_.counter("city", "metro", "probes");
+    delivered_ = &registry_.counter("city", "metro", "probes_delivered");
+    stale_ = &registry_.counter("city", "metro", "probes_stale");
+    unbound_ = &registry_.counter("city", "metro", "probes_unbound");
+    reg_latency_ = &registry_.histogram("city", "metro", "registration_latency_ns",
+                                        obs::rtt_bounds_ns());
+    reg_hops_ = &registry_.histogram("city", "metro", "registration_hops",
+                                     obs::hop_bounds());
+}
+
+CitySim::~CitySim() = default;
+
+sim::Duration CitySim::member_jitter(std::size_t host_index, std::uint32_t epoch) const {
+    const std::uint64_t m = mobility::mix_seed(
+        config_.population.seed ^ kJitterTag ^ (static_cast<std::uint64_t>(host_index) << 20) ^
+        (static_cast<std::uint64_t>(epoch) << 44));
+    return static_cast<sim::Duration>(m % 1'000'000);  // < 1 ms
+}
+
+void CitySim::sample_host(MetroHost* host) {
+    const sim::TimePoint now = sim_.now();
+    const mobility::Position p = host->model->position_at(now);
+    const MetroCell& cell = topo_.cell_at(p);
+    if (static_cast<std::int32_t>(cell.index) != host->cell) {
+        const std::int32_t old = host->cell;
+        host->cell = static_cast<std::int32_t>(cell.index);
+        if (old >= 0) --cells_[static_cast<std::size_t>(old)].occupancy;
+        CellStats& cs = cells_[cell.index];
+        ++cs.occupancy;
+        if (old >= 0) {
+            // The first association is an attach, not a handoff.
+            cs.handoffs->add();
+            ++handoffs_total_;
+            ++cs.window;
+            if (cs.window > cs.window_peak) cs.window_peak = cs.window;
+            if (cs.window == config_.storm_threshold) {
+                cs.storms->add();
+                decisions_.record({now, cell.name, "city", "handoff-storm",
+                                   "window-threshold",
+                                   "window=" + std::to_string(cs.window) + "/" +
+                                       std::to_string(config_.storm_threshold),
+                                   true, "calm", "storm", "",
+                                   "handoff rate crossed the storm threshold"});
+            }
+            sim_.schedule_in(config_.storm_window,
+                             [this, idx = cell.index] { --cells_[idx].window; },
+                             "storm-decay");
+        }
+        begin_registration(host, /*renewal=*/false);
+    }
+    sim_.schedule_in(config_.sample_interval, [this, host] { sample_host(host); },
+                     "city-sample");
+}
+
+void CitySim::begin_registration(MetroHost* host, bool renewal) {
+    ++host->epoch;  // any in-flight completion for an older epoch is now stale
+    const std::uint32_t epoch = host->epoch;
+    const std::int32_t cell = host->cell;
+    const int hops =
+        topo_.hop_count(static_cast<std::size_t>(cell), topo_.home_agent_cell(host->home_agent));
+    const sim::Duration latency = config_.reg_base_latency +
+                                  hops * config_.reg_hop_latency +
+                                  member_jitter(host->index, epoch);
+    reg_hops_->observe(static_cast<double>(hops));
+    reg_latency_->observe(static_cast<double>(latency));
+    sim_.schedule_in(latency,
+                     [this, host, epoch, cell, renewal] {
+                         finish_registration(host, epoch, cell, renewal);
+                     },
+                     "registration");
+}
+
+void CitySim::finish_registration(MetroHost* host, std::uint32_t epoch,
+                                  std::int32_t cell, bool renewal) {
+    if (host->epoch != epoch) return;  // superseded by a later handoff
+    const sim::TimePoint expires = sim_.now() + config_.registration_lifetime;
+    tables_[host->home_agent].set(host->home_address,
+                                  topo_.cells()[static_cast<std::size_t>(cell)].care_of,
+                                  expires);
+    host->binding_expires = expires;
+    AgentStats& as = agents_[host->home_agent];
+    (renewal ? *as.renewals : *as.registrations).add();
+    ++registrations_total_;
+    sim_.schedule_in(config_.registration_lifetime / 5 * 4,
+                     [this, host, epoch] {
+                         if (host->epoch == epoch) begin_registration(host, /*renewal=*/true);
+                     },
+                     "reg-renewal");
+}
+
+void CitySim::probe_sweep(std::uint64_t sweep_index) {
+    const auto& hosts = pop_.hosts();
+    const sim::TimePoint now = sim_.now();
+    for (std::size_t k = 0; k < config_.probes_per_sweep; ++k) {
+        const std::uint64_t draw = mobility::mix_seed(
+            config_.population.seed ^ kProbeTag ^ (sweep_index * 0x10001ull + k));
+        MetroHost* host = hosts[draw % hosts.size()];
+        probes_->add();
+        ++probes_total_;
+        if (host->cell < 0) {
+            unbound_->add();
+            continue;
+        }
+        const auto binding =
+            tables_[host->home_agent].lookup(host->home_address, now);
+        if (!binding) {
+            unbound_->add();
+        } else if (binding->care_of_address ==
+                   topo_.cells()[static_cast<std::size_t>(host->cell)].care_of) {
+            delivered_->add();
+        } else {
+            stale_->add();  // binding points at a cell the host already left
+        }
+    }
+    if (now + config_.probe_interval <= config_.duration) {
+        sim_.schedule_in(config_.probe_interval,
+                         [this, next = sweep_index + 1] { probe_sweep(next); },
+                         "deliverability-probe");
+    }
+}
+
+void CitySim::run() {
+    if (ran_) throw std::logic_error("CitySim::run called twice");
+    ran_ = true;
+
+    if (config_.metrics_interval > 0) {
+        sampler_ = std::make_unique<obs::MetricsSampler>(
+            sim_, registry_, obs::SamplerConfig{config_.metrics_interval, 4096});
+        sampler_->start();
+    }
+
+    // Stagger every host's sampling phase inside the interval so 10k
+    // timers spread across it instead of beating on the same instant —
+    // exactly the access pattern the calendar queue is built for.
+    for (MetroHost* host : pop_.hosts()) {
+        const sim::Duration stagger = static_cast<sim::Duration>(
+            mobility::mix_seed(config_.population.seed ^ kStaggerTag ^ host->index) %
+            static_cast<std::uint64_t>(config_.sample_interval));
+        sim_.schedule_at(stagger, [this, host] { sample_host(host); }, "city-sample");
+    }
+    if (config_.probes_per_sweep > 0 && config_.probe_interval > 0) {
+        sim_.schedule_at(config_.probe_interval, [this] { probe_sweep(0); },
+                         "deliverability-probe");
+    }
+    // Home-agent GC: a lazy sweep twice per lifetime counts what expired
+    // without renewal (binding-table pressure from churned-out hosts).
+    const sim::Duration gc_interval = config_.registration_lifetime / 2;
+    struct GcTick {
+        CitySim* city;
+        sim::Duration interval;
+        void operator()() const {
+            const sim::TimePoint now = city->sim_.now();
+            for (std::size_t a = 0; a < city->tables_.size(); ++a) {
+                const std::size_t dropped = city->tables_[a].expire(now);
+                if (dropped > 0) city->agents_[a].expired->add(dropped);
+            }
+            if (now + interval <= city->config_.duration) {
+                city->sim_.schedule_in(interval, GcTick{city, interval}, "ha-gc");
+            }
+        }
+    };
+    sim_.schedule_at(gc_interval, GcTick{this, gc_interval}, "ha-gc");
+
+    sim_.run_until(config_.duration);
+    if (sampler_) sampler_->stop();
+}
+
+obs::JsonValue CitySim::snapshot(const std::string& bench, const std::string& label) const {
+    return registry_.snapshot(bench, label, sim_.now());
+}
+
+std::string CitySim::snapshot_json(const std::string& bench,
+                                   const std::string& label) const {
+    return registry_.snapshot_json(bench, label, sim_.now());
+}
+
+}  // namespace mip::metro

@@ -1,0 +1,148 @@
+// City-scale metro simulation engine (ISSUE 6 tentpole).
+//
+// CitySim drives a Population across a MetroTopology on one Simulator
+// and exports the three metric families the city-scale experiments are
+// about, all through the existing observability pipelines:
+//
+//   handoff storms   per-cell handoff counters plus a sliding storm
+//                    window (handoffs in the last storm_window); the
+//                    peak is exported as a gauge and threshold
+//                    crossings are recorded in the DecisionLog — the
+//                    audit trail answers "which cells melted down, when"
+//   binding pressure per-home-agent registration/renewal counters and a
+//                    live table-size gauge over real core::BindingTable
+//                    instances (the flat-map structure the refactor in
+//                    core/flat_map.h exists for)
+//   deliverability   periodic probe sweeps that check a deterministic
+//                    host sample against its home agent's table: is the
+//                    registered care-of the cell the host is actually
+//                    in? counters split delivered / stale / unbound
+//
+// The engine is event-driven end to end: per-host position samples
+// (staggered so 10k timers do not beat on one instant), in-flight
+// registrations with hop-proportional latency and epoch guards against
+// stale completions, 80%-of-lifetime renewals, storm-window decay, home
+// agent GC, and probe sweeps. Everything is a pure function of the
+// config, so runs are byte-reproducible under either SchedulerKind and
+// at any SweepRunner --jobs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binding.h"
+#include "metro/population.h"
+#include "metro/topology.h"
+#include "obs/decision.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace mip::metro {
+
+struct CityConfig {
+    MetroConfig metro;
+    PopulationConfig population;
+    sim::SchedulerKind scheduler = sim::SchedulerKind::Calendar;
+    /// Simulated span of the run.
+    sim::Duration duration = sim::seconds(600);
+    /// Per-host radio sampling interval (each host is staggered inside it).
+    sim::Duration sample_interval = sim::seconds(2);
+    /// Registration lifetime granted by home agents; hosts renew at 80%.
+    sim::Duration registration_lifetime = sim::seconds(120);
+    /// Registration latency = base + hops * per_hop + jitter(<1ms).
+    sim::Duration reg_base_latency = sim::milliseconds(4);
+    sim::Duration reg_hop_latency = sim::milliseconds(3);
+    /// Handoff-storm window: per-cell handoffs within the last
+    /// storm_window; crossing storm_threshold records a decision event.
+    sim::Duration storm_window = sim::seconds(10);
+    std::uint32_t storm_threshold = 40;
+    /// Deliverability probe sweeps: every interval, probes_per_sweep
+    /// hosts are drawn deterministically and checked against their HA.
+    sim::Duration probe_interval = sim::seconds(15);
+    std::size_t probes_per_sweep = 256;
+    /// Attach a MetricsSampler at this interval (0 = off).
+    sim::Duration metrics_interval = 0;
+};
+
+class CitySim {
+public:
+    explicit CitySim(CityConfig config);
+    ~CitySim();
+
+    CitySim(const CitySim&) = delete;
+    CitySim& operator=(const CitySim&) = delete;
+
+    /// Runs the full configured duration. Callable once.
+    void run();
+
+    const CityConfig& config() const noexcept { return config_; }
+    const MetroTopology& topology() const noexcept { return topo_; }
+    const Population& population() const noexcept { return pop_; }
+    sim::Simulator& simulator() noexcept { return sim_; }
+    obs::MetricsRegistry& metrics() noexcept { return registry_; }
+    const obs::DecisionLog& decisions() const noexcept { return decisions_; }
+    const obs::MetricsSampler* sampler() const noexcept { return sampler_.get(); }
+
+    std::uint64_t events_fired() const noexcept { return sim_.events_fired(); }
+    std::uint64_t handoffs_total() const noexcept { return handoffs_total_; }
+    std::uint64_t registrations_total() const noexcept { return registrations_total_; }
+    std::uint64_t probes_total() const noexcept { return probes_total_; }
+
+    /// The home agent tables (index = home-agent index) — tests assert
+    /// against them directly.
+    const std::vector<core::BindingTable>& binding_tables() const noexcept {
+        return tables_;
+    }
+
+    /// End-of-run metrics document / JSON (docs/TRACE_FORMAT.md §4).
+    obs::JsonValue snapshot(const std::string& bench, const std::string& label) const;
+    std::string snapshot_json(const std::string& bench, const std::string& label) const;
+
+private:
+    struct CellStats {
+        obs::Counter* handoffs = nullptr;
+        obs::Counter* storms = nullptr;
+        std::uint32_t occupancy = 0;
+        std::uint32_t window = 0;      ///< handoffs inside the storm window
+        std::uint32_t window_peak = 0;
+    };
+    struct AgentStats {
+        obs::Counter* registrations = nullptr;
+        obs::Counter* renewals = nullptr;
+        obs::Counter* expired = nullptr;
+    };
+
+    void sample_host(MetroHost* host);
+    void begin_registration(MetroHost* host, bool renewal);
+    void finish_registration(MetroHost* host, std::uint32_t epoch,
+                             std::int32_t cell, bool renewal);
+    void probe_sweep(std::uint64_t sweep_index);
+    sim::Duration member_jitter(std::size_t host_index, std::uint32_t epoch) const;
+
+    CityConfig config_;
+    MetroTopology topo_;
+    Population pop_;
+    sim::Simulator sim_;
+    obs::MetricsRegistry registry_;
+    obs::DecisionLog decisions_;
+    std::unique_ptr<obs::MetricsSampler> sampler_;
+    std::vector<core::BindingTable> tables_;
+    std::vector<CellStats> cells_;
+    std::vector<AgentStats> agents_;
+    obs::Counter* probes_ = nullptr;
+    obs::Counter* delivered_ = nullptr;
+    obs::Counter* stale_ = nullptr;
+    obs::Counter* unbound_ = nullptr;
+    obs::Histogram* reg_latency_ = nullptr;
+    obs::Histogram* reg_hops_ = nullptr;
+    std::uint64_t handoffs_total_ = 0;
+    std::uint64_t registrations_total_ = 0;
+    std::uint64_t probes_total_ = 0;
+    bool ran_ = false;
+};
+
+}  // namespace mip::metro

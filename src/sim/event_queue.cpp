@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace mip::sim {
+
+namespace {
+/// Bucket storage order: descending (when, id), so back() is earliest.
+bool stored_before(const SchedEvent& a, const SchedEvent& b) noexcept {
+    return fires_before(b, a);
+}
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+void CalendarQueue::push(SchedEvent ev) {
+    if (count_ == 0 || ev.when < cur_top_ - width_) {
+        // First event, or one scheduled before the scan's current day
+        // (possible during setup, when a near event follows a far one):
+        // park the scan on it so nothing later is popped first.
+        aim_at(ev.when);
+    }
+    std::vector<SchedEvent>& b = buckets_[bucket_of(ev.when)];
+    b.insert(std::upper_bound(b.begin(), b.end(), ev, stored_before), std::move(ev));
+    ++count_;
+    if (count_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+        rebuild(buckets_.size() * 2);
+    }
+}
+
+bool CalendarQueue::pop_if(TimePoint limit, SchedEvent& out) {
+    if (count_ == 0) return false;
+    std::size_t scanned = 0;
+    while (true) {
+        std::vector<SchedEvent>& b = buckets_[cur_];
+        // The year guard: only events inside the current one-day window
+        // belong to this visit; a far-future event hashing into this
+        // bucket waits for its own year.
+        if (!b.empty() && b.back().when < cur_top_) {
+            if (b.back().when > limit) return false;
+            out = std::move(b.back());
+            b.pop_back();
+            --count_;
+            if (count_ > 0 && count_ * 4 < buckets_.size() &&
+                buckets_.size() > kMinBuckets) {
+                rebuild(buckets_.size() / 2);
+            }
+            return true;
+        }
+        ++scanned;
+        cur_ = (cur_ + 1) & mask_;
+        cur_top_ += width_;
+        if (scanned >= buckets_.size()) {
+            // A whole year scanned dry: the next event is over a year
+            // away. Find it directly (each bucket's back() is its
+            // earliest, so the minimum over backs is the global one)
+            // and jump the scan straight to its day.
+            const SchedEvent* min = nullptr;
+            for (const std::vector<SchedEvent>& bucket : buckets_) {
+                if (!bucket.empty() &&
+                    (min == nullptr || fires_before(bucket.back(), *min))) {
+                    min = &bucket.back();
+                }
+            }
+            aim_at(min->when);
+            scanned = 0;
+        }
+    }
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+    std::vector<SchedEvent> all;
+    all.reserve(count_);
+    TimePoint min_when = 0, max_when = 0;
+    bool first = true;
+    for (std::vector<SchedEvent>& b : buckets_) {
+        for (SchedEvent& ev : b) {
+            if (first || ev.when < min_when) min_when = ev.when;
+            if (first || ev.when > max_when) max_when = ev.when;
+            first = false;
+            all.push_back(std::move(ev));
+        }
+    }
+    buckets_.assign(nbuckets, {});
+    mask_ = nbuckets - 1;
+    // Width ~ the average gap between consecutive pending events keeps
+    // roughly one event per bucket-day. A bad estimate costs speed, not
+    // correctness: ordering never depends on the width.
+    width_ = std::max<Duration>(
+        1, (max_when - min_when) / static_cast<Duration>(count_) + 1);
+    for (SchedEvent& ev : all) {
+        std::vector<SchedEvent>& b = buckets_[bucket_of(ev.when)];
+        b.insert(std::upper_bound(b.begin(), b.end(), ev, stored_before),
+                 std::move(ev));
+    }
+    aim_at(min_when);
+}
+
+}  // namespace mip::sim

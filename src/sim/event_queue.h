@@ -1,0 +1,102 @@
+// Event-queue structures behind sim::Simulator (ISSUE 6: the city-scale
+// scenario forces an indexed calendar queue).
+//
+// The simulator's ordering contract is a *total* order — (when, id)
+// ascending, ids unique — so any correct priority structure dispatches
+// the exact same event sequence and every artifact stays byte-identical.
+// That is what lets the queue implementation be swapped for speed:
+//
+//   BinaryHeap  the seed scheduler: std::priority_queue, O(log n) per
+//               operation. Fine for hundreds of pending events, but a
+//               city-scale run keeps tens of thousands of host timers
+//               pending and the percolation (moving std::function
+//               closures up and down the heap) starts to dominate.
+//
+//   Calendar    Brown's indexed calendar queue (CACM 1988): a hash of
+//               time-ordered buckets, one "day" wide each, scanned like
+//               a desk calendar. Enqueue hashes the timestamp to a
+//               bucket (amortized O(1)); dequeue pops the current
+//               bucket's earliest event or advances to the next day.
+//               Bucket count and width resize from the live event
+//               population, keeping ~O(1) events per bucket.
+//
+// CalendarQueue preserves the (when, id) total order exactly — each
+// bucket is kept sorted, and the year guard (`when < cur_top_`) defers
+// far-future events that hash into a near bucket — so BinaryHeap and
+// Calendar runs are interchangeable bit for bit (asserted by
+// tests/test_sim.cpp and the scheduler-equivalence suite).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mip::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// One scheduled callback, as stored by whichever queue is active.
+struct SchedEvent {
+    TimePoint when = 0;
+    EventId id = 0;
+    std::function<void()> action;
+    const char* kind = nullptr;  ///< profiler tag; nullptr = generic "event"
+};
+
+/// True when @p a must fire before @p b (the simulator's total order).
+inline bool fires_before(const SchedEvent& a, const SchedEvent& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.id < b.id;
+}
+
+/// Indexed calendar queue over SchedEvents. Not a template: the
+/// simulator is its only client, and a concrete type keeps the hot
+/// push/pop paths inlineable without header-spraying the bucket logic.
+class CalendarQueue {
+public:
+    CalendarQueue();
+
+    void push(SchedEvent ev);
+
+    /// Moves the earliest event into @p out if its timestamp is <= @p
+    /// limit; returns false (leaving the queue untouched) otherwise.
+    bool pop_if(TimePoint limit, SchedEvent& out);
+
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+
+    /// Bucket count right now (resize observability for the tests).
+    std::size_t buckets() const noexcept { return buckets_.size(); }
+    Duration bucket_width() const noexcept { return width_; }
+
+private:
+    static constexpr std::size_t kMinBuckets = 16;
+    static constexpr std::size_t kMaxBuckets = 1 << 20;
+
+    std::size_t bucket_of(TimePoint when) const noexcept {
+        return static_cast<std::size_t>(when / width_) & mask_;
+    }
+
+    /// Re-buckets every event into @p nbuckets buckets with a width set
+    /// to the live population's average inter-event gap.
+    void rebuild(std::size_t nbuckets);
+
+    /// Points the scan at @p when's bucket and year.
+    void aim_at(TimePoint when) noexcept {
+        cur_ = bucket_of(when);
+        cur_top_ = (when / width_ + 1) * width_;
+    }
+
+    // Each bucket is sorted DESCENDING by (when, id): back() is the
+    // bucket's earliest event, so the common dequeue is a pop_back.
+    std::vector<std::vector<SchedEvent>> buckets_;
+    std::size_t mask_ = kMinBuckets - 1;
+    Duration width_ = milliseconds(1);
+    std::size_t count_ = 0;
+    std::size_t cur_ = 0;        ///< bucket the scan is parked on
+    TimePoint cur_top_ = 0;      ///< end of cur_'s active one-day window
+};
+
+}  // namespace mip::sim

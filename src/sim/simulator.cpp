@@ -14,14 +14,27 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> action,
         throw std::logic_error("Simulator::schedule_at in the past");
     }
     const EventId id = next_id_++;
-    queue_.push(Event{when, id, std::move(action), kind});
+    if (kind_ == SchedulerKind::Calendar) {
+        calendar_.push(SchedEvent{when, id, std::move(action), kind});
+    } else {
+        heap_.push(SchedEvent{when, id, std::move(action), kind});
+    }
     return id;
 }
 
+bool Simulator::pop_next(TimePoint limit, SchedEvent& out) {
+    if (kind_ == SchedulerKind::Calendar) {
+        return calendar_.pop_if(limit, out);
+    }
+    if (heap_.empty() || heap_.top().when > limit) return false;
+    out = heap_.top();
+    heap_.pop();
+    return true;
+}
+
 bool Simulator::fire_next(TimePoint limit) {
-    while (!queue_.empty() && queue_.top().when <= limit) {
-        Event ev = queue_.top();
-        queue_.pop();
+    SchedEvent ev;
+    while (pop_next(limit, ev)) {
         if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             continue;
@@ -39,7 +52,7 @@ bool Simulator::fire_next(TimePoint limit) {
                 ev.kind,
                 static_cast<std::uint64_t>(
                     std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
-                queue_.size(), cancelled_.size());
+                pending_events(), cancelled_.size());
         } else {
             ev.action();
         }
@@ -47,7 +60,7 @@ bool Simulator::fire_next(TimePoint limit) {
     }
     // Queue drained: every surviving cancellation is stale (its event
     // already fired before cancel() was called) and can never match again.
-    if (queue_.empty()) cancelled_.clear();
+    if (pending_events() == 0) cancelled_.clear();
     return false;
 }
 

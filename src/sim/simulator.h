@@ -4,6 +4,13 @@
 // is an event on one Simulator's queue. Events scheduled for the same
 // instant fire in scheduling order (a monotonically increasing sequence
 // number breaks ties), which makes whole-network runs bit-reproducible.
+//
+// The queue behind that contract is selectable at construction (see
+// event_queue.h): the default is the indexed calendar queue, which keeps
+// enqueue/dequeue ~O(1) when a city-scale scenario parks tens of
+// thousands of host timers in flight; SchedulerKind::BinaryHeap is the
+// seed std::priority_queue, kept for equivalence tests and before/after
+// benchmarking. Both dispatch the identical event sequence.
 #pragma once
 
 #include <cstdint>
@@ -13,22 +20,29 @@
 #include <vector>
 
 #include "net/pool.h"
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace mip::sim {
 
 class SimProfiler;
 
-/// Handle for cancelling a scheduled event.
-using EventId = std::uint64_t;
+/// Which priority structure orders the event queue. The choice never
+/// changes behaviour — (when, id) is a total order — only speed.
+enum class SchedulerKind {
+    BinaryHeap,  ///< seed scheduler: std::priority_queue, O(log n)
+    Calendar,    ///< indexed calendar queue, amortized O(1) (default)
+};
 
 class Simulator {
 public:
-    Simulator() = default;
+    explicit Simulator(SchedulerKind scheduler = SchedulerKind::Calendar)
+        : kind_(scheduler) {}
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
     TimePoint now() const noexcept { return now_; }
+    SchedulerKind scheduler() const noexcept { return kind_; }
 
     /// Schedules @p action to run at absolute time @p when (>= now).
     /// @p kind tags the event for the self-profiler ("frame-delivery",
@@ -83,7 +97,9 @@ public:
     net::BufferPool& buffer_pool() noexcept { return buffer_pool_; }
     const net::BufferPool& buffer_pool() const noexcept { return buffer_pool_; }
 
-    std::size_t pending_events() const noexcept { return queue_.size(); }
+    std::size_t pending_events() const noexcept {
+        return kind_ == SchedulerKind::Calendar ? calendar_.size() : heap_.size();
+    }
     /// Cancellations not yet matched to their event (pending or stale).
     /// Observability hook for the leak regression tests.
     std::size_t cancelled_backlog() const noexcept { return cancelled_.size(); }
@@ -101,17 +117,15 @@ public:
     static constexpr std::size_t kDefaultEventLimit = 10'000'000;
 
 private:
-    struct Event {
-        TimePoint when;
-        EventId id;
-        std::function<void()> action;
-        const char* kind;  ///< profiler tag; nullptr = generic "event"
-    };
     struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            return a.when != b.when ? a.when > b.when : a.id > b.id;
+        bool operator()(const SchedEvent& a, const SchedEvent& b) const noexcept {
+            return fires_before(b, a);
         }
     };
+
+    /// Moves the earliest event with timestamp <= @p limit into @p out,
+    /// whichever queue holds it. False when none qualifies.
+    bool pop_next(TimePoint limit, SchedEvent& out);
 
     /// Fires the next non-cancelled event with timestamp <= @p limit.
     /// Returns false when none qualifies (cancelled events up to the limit
@@ -126,7 +140,9 @@ private:
     net::BufferPool buffer_pool_;
     std::uint64_t events_fired_ = 0;
     SimProfiler* profiler_ = nullptr;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SchedulerKind kind_;
+    std::priority_queue<SchedEvent, std::vector<SchedEvent>, Later> heap_;
+    CalendarQueue calendar_;
     std::unordered_set<EventId> cancelled_;
 };
 

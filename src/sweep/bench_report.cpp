@@ -45,6 +45,14 @@ std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc)
     require(problems,
             doc.contains("schema_version") && doc.at("schema_version").is_number(),
             "schema_version must be a number");
+    // Wall-clock figures are meaningless without knowing how many cores
+    // the box had (the EXPERIMENTS sweep-scaling caveat): every report
+    // must say what it ran on.
+    require(problems,
+            doc.contains("hardware_concurrency") &&
+                doc.at("hardware_concurrency").is_number() &&
+                doc.at("hardware_concurrency").as_number() >= 1,
+            "hardware_concurrency must be a number >= 1");
     if (!doc.contains("scenarios") || !doc.at("scenarios").is_array()) {
         problems.push_back("scenarios must be an array");
         return problems;
@@ -107,6 +115,51 @@ std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc)
             }
         } else {
             problems.push_back("sweep_scaling.parallel must be an array");
+        }
+    }
+
+    // bench_city's block (merged into the same document): the city sweep
+    // summary plus the scheduler and find_link before/after sections.
+    if (doc.contains("city")) {
+        const obs::JsonValue& city = doc.at("city");
+        if (!city.is_object()) {
+            problems.push_back("city must be an object");
+            return problems;
+        }
+        for (const char* field :
+             {"seeds", "hosts", "cells", "sim_seconds", "events", "events_per_sec"}) {
+            require(problems, city.contains(field) && city.at(field).is_number(),
+                    std::string("city.") + field + " must be a number");
+        }
+        require(problems,
+                city.contains("artifacts_identical") &&
+                    city.at("artifacts_identical").is_bool(),
+                "city.artifacts_identical must be a boolean");
+        if (city.contains("scheduler") && city.at("scheduler").is_object()) {
+            const obs::JsonValue& sc = city.at("scheduler");
+            for (const char* field : {"heap_wall_ms", "calendar_wall_ms", "speedup"}) {
+                require(problems, sc.contains(field) && sc.at(field).is_number(),
+                        std::string("city.scheduler.") + field + " must be a number");
+            }
+            require(problems, sc.contains("identical") && sc.at("identical").is_bool(),
+                    "city.scheduler.identical must be a boolean");
+            // A speedup is a ratio of medians; one sample of each side is
+            // noise — the same rule as the overhead percentages above.
+            require(problems,
+                    sc.contains("reps") && sc.at("reps").is_number() &&
+                        sc.at("reps").as_number() >= 2,
+                    "city.scheduler.speedup requires reps >= 2");
+        } else {
+            problems.push_back("city.scheduler must be an object");
+        }
+        if (city.contains("find_link") && city.at("find_link").is_object()) {
+            const obs::JsonValue& fl = city.at("find_link");
+            for (const char* field : {"links", "indexed_ns", "linear_ns", "speedup"}) {
+                require(problems, fl.contains(field) && fl.at(field).is_number(),
+                        std::string("city.find_link.") + field + " must be a number");
+            }
+        } else {
+            problems.push_back("city.find_link must be an object");
         }
     }
     return problems;

@@ -1,0 +1,110 @@
+// core::FlatAddressMap — the open-addressing flat hash map behind the
+// binding tables (ISSUE 6): O(1) lookup with insertion-ordered,
+// hash-independent iteration, so city-scale tables stay fast without
+// perturbing any artifact bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/binding.h"
+#include "core/flat_map.h"
+#include "net/ipv4_address.h"
+
+using namespace mip;
+using namespace mip::core;
+using namespace mip::net::literals;
+
+namespace {
+
+net::Ipv4Address addr(std::uint32_t n) { return net::Ipv4Address(0x0A000000u + n); }
+
+}  // namespace
+
+TEST(FlatMap, InsertFindAssign) {
+    FlatAddressMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.contains(addr(1)));
+    EXPECT_EQ(m.find(addr(1)), nullptr);
+
+    m.insert_or_assign(addr(1), 10);
+    m.insert_or_assign(addr(2), 20);
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(addr(1)), nullptr);
+    EXPECT_EQ(*m.find(addr(1)), 10);
+
+    m.insert_or_assign(addr(1), 11);  // overwrite, not duplicate
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(*m.find(addr(1)), 11);
+}
+
+TEST(FlatMap, IterationIsInsertionOrdered) {
+    FlatAddressMap<int> m;
+    // Deliberately decreasing keys: a sorted map would invert this order,
+    // a bucket-ordered hash map would scramble it.
+    for (std::uint32_t i = 50; i >= 1; --i) m.insert_or_assign(addr(i), static_cast<int>(i));
+    std::vector<std::uint32_t> seen;
+    for (const auto& e : m.entries()) seen.push_back(e.key.value() & 0xFF);
+    ASSERT_EQ(seen.size(), 50u);
+    for (std::size_t k = 0; k < seen.size(); ++k) {
+        EXPECT_EQ(seen[k], 50u - k) << "entry order must be insertion order";
+    }
+}
+
+TEST(FlatMap, GrowsThroughManyInserts) {
+    FlatAddressMap<std::uint32_t> m;
+    constexpr std::uint32_t kN = 10'000;
+    for (std::uint32_t i = 0; i < kN; ++i) m.insert_or_assign(addr(i), i * 3);
+    EXPECT_EQ(m.size(), kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+        const std::uint32_t* v = m.find(addr(i));
+        ASSERT_NE(v, nullptr) << "key " << i << " lost during growth";
+        EXPECT_EQ(*v, i * 3);
+    }
+    EXPECT_FALSE(m.contains(addr(kN)));
+}
+
+TEST(FlatMap, EraseAndEraseIf) {
+    FlatAddressMap<int> m;
+    for (std::uint32_t i = 1; i <= 9; ++i) m.insert_or_assign(addr(i), static_cast<int>(i));
+
+    EXPECT_TRUE(m.erase(addr(5)));
+    EXPECT_FALSE(m.erase(addr(5)));  // already gone
+    EXPECT_EQ(m.size(), 8u);
+    EXPECT_EQ(m.find(addr(5)), nullptr);
+    ASSERT_NE(m.find(addr(9)), nullptr);  // neighbours must survive reindexing
+
+    const std::size_t dropped =
+        m.erase_if([](net::Ipv4Address, const int& v) { return v % 2 == 0; });
+    EXPECT_EQ(dropped, 4u);  // 2, 4, 6, 8
+    EXPECT_EQ(m.size(), 4u);
+    std::vector<int> left;
+    for (const auto& e : m.entries()) left.push_back(e.value);
+    EXPECT_EQ(left, (std::vector<int>{1, 3, 7, 9}));  // order preserved
+}
+
+TEST(FlatMap, ClearResets) {
+    FlatAddressMap<int> m;
+    for (std::uint32_t i = 0; i < 100; ++i) m.insert_or_assign(addr(i), 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(addr(3)), nullptr);
+    m.insert_or_assign(addr(3), 7);  // usable after clear
+    EXPECT_EQ(*m.find(addr(3)), 7);
+}
+
+// The consumer contract: BindingTable::snapshot() must sort by home
+// address (the old std::map iteration order) regardless of insertion
+// order, so exported artifacts stayed byte-identical across the
+// flat-map refactor.
+TEST(FlatMap, BindingSnapshotSortedByHomeAddress) {
+    BindingTable table;
+    table.set("10.0.0.9"_ip, "172.16.0.1"_ip, sim::seconds(100));
+    table.set("10.0.0.1"_ip, "172.16.0.2"_ip, sim::seconds(100));
+    table.set("10.0.0.5"_ip, "172.16.0.3"_ip, sim::seconds(100));
+    const std::vector<Binding> snap = table.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].home_address, "10.0.0.1"_ip);
+    EXPECT_EQ(snap[1].home_address, "10.0.0.5"_ip);
+    EXPECT_EQ(snap[2].home_address, "10.0.0.9"_ip);
+}

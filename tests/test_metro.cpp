@@ -1,0 +1,284 @@
+// The city-scale metro subsystem (ISSUE 6): hierarchical topology,
+// seeded population, arena lifetime, and the CitySim engine's
+// determinism and exported-document conformance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "metro/arena.h"
+#include "metro/city.h"
+#include "metro/population.h"
+#include "metro/topology.h"
+#include "mobility/group.h"
+#include "obs/decision.h"
+#include "obs/metrics.h"
+
+using namespace mip;
+using namespace mip::metro;
+
+namespace {
+
+/// A small-but-real city: 36 cells, hundreds of hosts, a couple of
+/// simulated minutes — big enough to exercise handoffs, renewals, storm
+/// windows and probes, small enough for the unit-test budget.
+CityConfig small_city(std::uint64_t seed,
+                      sim::SchedulerKind kind = sim::SchedulerKind::Calendar) {
+    CityConfig cfg;
+    cfg.metro.cells_x = 6;
+    cfg.metro.cells_y = 6;
+    cfg.metro.cell_size_m = 400.0;
+    cfg.population.hosts = 400;
+    cfg.population.seed = seed;
+    cfg.population.metro_lines = 2;
+    cfg.scheduler = kind;
+    cfg.duration = sim::seconds(120);
+    cfg.registration_lifetime = sim::seconds(60);
+    cfg.storm_threshold = 25;
+    cfg.metrics_interval = sim::seconds(20);
+    cfg.probes_per_sweep = 64;
+    return cfg;
+}
+
+}  // namespace
+
+// ---- topology ---------------------------------------------------------------
+
+TEST(MetroTopology, BuildsThreeTiersDeterministically) {
+    MetroConfig cfg;
+    cfg.cells_x = 12;
+    cfg.cells_y = 12;
+    cfg.cells_per_regional = 16;
+    cfg.regionals_per_backbone = 4;
+    const MetroTopology a(cfg);
+    const MetroTopology b(cfg);
+
+    EXPECT_EQ(a.cells().size(), 144u);
+    EXPECT_EQ(a.regionals().size(), 9u);   // ceil(144/16)
+    EXPECT_EQ(a.backbones().size(), 3u);   // ceil(9/4)
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+    std::set<std::uint32_t> care_ofs;
+    for (std::size_t i = 0; i < a.cells().size(); ++i) {
+        EXPECT_EQ(a.cells()[i].name, b.cells()[i].name);
+        EXPECT_EQ(a.cells()[i].care_of, b.cells()[i].care_of);
+        EXPECT_EQ(a.cells()[i].center, b.cells()[i].center);
+        care_ofs.insert(a.cells()[i].care_of.value());
+    }
+    EXPECT_EQ(care_ofs.size(), a.cells().size()) << "care-of addresses must be unique";
+}
+
+TEST(MetroTopology, CellLookupIsGridExactAndClamps) {
+    MetroConfig cfg;
+    cfg.cells_x = 4;
+    cfg.cells_y = 3;
+    cfg.cell_size_m = 100.0;
+    const MetroTopology topo(cfg);
+
+    EXPECT_EQ(topo.cell_at({50, 50}).index, 0u);
+    EXPECT_EQ(topo.cell_at({350, 50}).index, 3u);    // last column, first row
+    EXPECT_EQ(topo.cell_at({50, 250}).index, 8u);    // first column, last row
+    EXPECT_EQ(topo.cell_at({150, 150}).index, 5u);
+    // Outside the grid: clamp to the nearest edge cell, no dead zones.
+    EXPECT_EQ(topo.cell_at({-40, -40}).index, 0u);
+    EXPECT_EQ(topo.cell_at({10'000, 10'000}).index, 11u);
+}
+
+TEST(MetroTopology, HopCountReflectsTierDivergence) {
+    MetroConfig cfg;
+    cfg.cells_x = 8;
+    cfg.cells_y = 8;
+    cfg.cells_per_regional = 8;   // 8 regionals
+    cfg.regionals_per_backbone = 2;  // 4 backbones
+    const MetroTopology topo(cfg);
+
+    EXPECT_EQ(topo.hop_count(0, 0), 2);    // same cell
+    EXPECT_EQ(topo.hop_count(0, 7), 4);    // same regional (cells 0..7)
+    EXPECT_EQ(topo.hop_count(0, 8), 6);    // regional 1, same backbone 0
+    EXPECT_EQ(topo.hop_count(0, 63), 8);   // across the backbone
+}
+
+TEST(MetroTopology, RejectsBadConfig) {
+    MetroConfig cfg;
+    cfg.cells_x = 0;
+    EXPECT_THROW(MetroTopology{cfg}, std::invalid_argument);
+    cfg = MetroConfig{};
+    cfg.cell_size_m = -1;
+    EXPECT_THROW(MetroTopology{cfg}, std::invalid_argument);
+    cfg = MetroConfig{};
+    cfg.home_agents = 0;
+    EXPECT_THROW(MetroTopology{cfg}, std::invalid_argument);
+}
+
+// ---- arena ------------------------------------------------------------------
+
+TEST(Arena, RunsDestructorsInReverseOrder) {
+    std::vector<int> order;
+    struct Tracked {
+        std::vector<int>* order;
+        int id;
+        ~Tracked() { order->push_back(id); }
+    };
+    {
+        Arena arena(256);  // tiny blocks force multi-block allocation
+        for (int i = 0; i < 50; ++i) arena.create<Tracked>(&order, i);
+        EXPECT_GT(arena.blocks(), 1u);
+        EXPECT_TRUE(order.empty()) << "nothing destroyed while the arena lives";
+    }
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], 49 - i);
+}
+
+TEST(Arena, AlignsAndServesOversizedRequests) {
+    Arena arena(64);
+    auto* d = static_cast<double*>(arena.allocate(sizeof(double), alignof(double)));
+    *d = 1.5;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    // Larger than the block size: gets a dedicated block, still usable.
+    auto* big = static_cast<char*>(arena.allocate(1024, 16));
+    big[0] = 'x';
+    big[1023] = 'y';
+    EXPECT_EQ(*d, 1.5);
+}
+
+// ---- population -------------------------------------------------------------
+
+TEST(Population, DeterministicFromSeedAndKindsPartition) {
+    MetroConfig mc;
+    mc.cells_x = 6;
+    mc.cells_y = 6;
+    const MetroTopology topo(mc);
+    PopulationConfig pc;
+    pc.hosts = 500;
+    pc.seed = 11;
+    const Population a(topo, pc);
+    const Population b(topo, pc);
+
+    EXPECT_EQ(a.hosts().size(), 500u);
+    EXPECT_EQ(a.flock_count(), b.flock_count());
+    EXPECT_EQ(a.solo_hosts() + a.transit_hosts() +
+                  (500 - a.solo_hosts() - a.transit_hosts()),
+              500u);
+    bool any_moved = false;
+    for (std::size_t i = 0; i < a.hosts().size(); i += 17) {
+        const MetroHost* ha = a.hosts()[i];
+        const MetroHost* hb = b.hosts()[i];
+        EXPECT_EQ(ha->kind, hb->kind);
+        EXPECT_EQ(ha->home_address, hb->home_address);
+        EXPECT_EQ(ha->home_agent, hb->home_agent);
+        for (sim::TimePoint t : {sim::seconds(0), sim::seconds(30), sim::seconds(90)}) {
+            EXPECT_EQ(ha->model->position_at(t), hb->model->position_at(t))
+                << "host " << i << " diverged at t=" << t;
+        }
+        any_moved = any_moved ||
+                    !(ha->model->position_at(0) == ha->model->position_at(sim::seconds(90)));
+    }
+    EXPECT_TRUE(any_moved);
+}
+
+TEST(Population, FlockMembersCohereToTheirLeader) {
+    MetroConfig mc;
+    mc.cells_x = 6;
+    mc.cells_y = 6;
+    const MetroTopology topo(mc);
+    PopulationConfig pc;
+    pc.hosts = 200;
+    pc.seed = 5;
+    pc.cohesion_radius_m = 80.0;
+    const Population pop(topo, pc);
+
+    std::size_t flock_members = 0;
+    for (const MetroHost* host : pop.hosts()) {
+        if (host->kind != MetroHost::Kind::Flock) continue;
+        ++flock_members;
+        auto* member = dynamic_cast<mobility::GroupMemberMobility*>(host->model);
+        ASSERT_NE(member, nullptr);
+        for (sim::TimePoint t = 0; t <= sim::seconds(300); t += sim::seconds(5)) {
+            const double d = mobility::distance(member->position_at(t),
+                                                member->leader().position_at(t));
+            ASSERT_LE(d, 80.0) << "host " << host->index << " broke cohesion at " << t;
+        }
+    }
+    EXPECT_GT(flock_members, 0u);
+}
+
+// ---- city engine ------------------------------------------------------------
+
+TEST(CitySim, RunIsDeterministicAndPopulatesEveryPipeline) {
+    CitySim a(small_city(3));
+    CitySim b(small_city(3));
+    a.run();
+    b.run();
+
+    EXPECT_GT(a.events_fired(), 10'000u);
+    EXPECT_GT(a.handoffs_total(), 0u);
+    EXPECT_GT(a.registrations_total(), 0u);
+    EXPECT_GT(a.probes_total(), 0u);
+    EXPECT_EQ(a.events_fired(), b.events_fired());
+    EXPECT_EQ(a.snapshot_json("test", "x"), b.snapshot_json("test", "x"));
+    EXPECT_EQ(a.decisions().size(), b.decisions().size());
+
+    // Binding pressure is real: the home agents hold live entries.
+    std::size_t bindings = 0;
+    for (const auto& table : a.binding_tables()) bindings += table.size();
+    EXPECT_GT(bindings, 0u);
+
+    // Deliverability: the overwhelming majority of probes must find a
+    // fresh binding pointing at the host's actual cell.
+    const std::uint64_t delivered =
+        a.metrics().counter("city", "metro", "probes_delivered").value();
+    EXPECT_GT(delivered * 10, a.probes_total() * 9)
+        << "fewer than 90% of probes deliverable";
+}
+
+TEST(CitySim, ExportedDocumentsConformToSchemas) {
+    CitySim city(small_city(4));
+    city.run();
+
+    const obs::JsonValue metrics = city.snapshot("bench_city", "seed4");
+    EXPECT_TRUE(obs::validate_metrics_document(metrics).empty());
+
+    ASSERT_NE(city.sampler(), nullptr);
+    const obs::JsonValue series =
+        obs::JsonValue::parse(city.sampler()->to_json_string("bench_city", "seed4"));
+    EXPECT_TRUE(obs::validate_timeseries_document(series).empty());
+
+    if (city.decisions().size() > 0) {
+        const obs::JsonValue decisions =
+            obs::JsonValue::parse(city.decisions().to_json_string("bench_city", "seed4"));
+        EXPECT_TRUE(obs::validate_decisions_document(decisions).empty());
+    }
+}
+
+TEST(CitySim, RegistrationEpochGuardSupersedesStaleCompletions) {
+    // A host that hands off twice in quick succession must end bound to
+    // the *latest* cell, never the intermediate one. Drive with sampling
+    // fast enough for a transit rider to cross cells repeatedly.
+    CityConfig cfg = small_city(6);
+    cfg.duration = sim::seconds(60);
+    cfg.population.transit_fraction = 0.5;  // plenty of fast movers
+    CitySim city(cfg);
+    city.run();
+
+    std::size_t checked = 0;
+    for (const MetroHost* host : city.population().hosts()) {
+        if (host->cell < 0) continue;
+        const auto binding = city.binding_tables()[host->home_agent].lookup(
+            host->home_address, city.simulator().now());
+        if (!binding) continue;
+        ++checked;
+        EXPECT_EQ(binding->care_of_address,
+                  city.topology().cells()[static_cast<std::size_t>(host->cell)].care_of)
+            << "host " << host->index << " bound to a cell it already left";
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(CitySim, RunTwiceThrows) {
+    CityConfig cfg = small_city(1);
+    cfg.population.hosts = 20;
+    cfg.duration = sim::seconds(5);
+    CitySim city(cfg);
+    city.run();
+    EXPECT_THROW(city.run(), std::logic_error);
+}

@@ -4,10 +4,12 @@
 // applications whenever they change location"), and dead-zone crossings.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
 
 #include "core/scenario.h"
 #include "mobility/coverage.h"
+#include "mobility/group.h"
 #include "mobility/handoff.h"
 #include "mobility/motion.h"
 #include "transport/pinger.h"
@@ -275,4 +277,89 @@ TEST(Handoff, WithMobilityRequiresAMobileHost) {
                      std::make_unique<LinearMobility>(Position{0, 0}, 1.0, 0.0),
                      CoverageMap{}),
                  std::logic_error);
+}
+
+// ---- trace edge cases (ISSUE 6 satellite) -----------------------------------
+
+TEST(Motion, TraceSingleWaypointHoldsForever) {
+    TraceMobility m(std::vector<TraceMobility::Waypoint>{{sim::seconds(2), {30, 40}}});
+    EXPECT_EQ(m.position_at(0), (Position{30, 40}));
+    EXPECT_EQ(m.position_at(sim::seconds(2)), (Position{30, 40}));
+    EXPECT_EQ(m.position_at(sim::seconds(3600)), (Position{30, 40}));
+}
+
+TEST(Motion, TraceEqualTimestampsJumpLandsOnLaterWaypoint) {
+    // An instantaneous jump: two waypoints at the same instant. Before
+    // the instant we sit on the first; from the instant on, the later
+    // one wins (no division by a zero-length segment).
+    TraceMobility m({{0, {0, 0}},
+                     {sim::seconds(1), {10, 0}},
+                     {sim::seconds(1), {500, 500}},
+                     {sim::seconds(2), {500, 600}}});
+    EXPECT_EQ(m.position_at(sim::milliseconds(500)), (Position{5, 0}));
+    EXPECT_EQ(m.position_at(sim::seconds(1)), (Position{500, 500}));
+    EXPECT_EQ(m.position_at(sim::milliseconds(1500)), (Position{500, 550}));
+}
+
+// ---- group mobility ---------------------------------------------------------
+
+TEST(Group, MemberNeverStraysBeyondCohesionRadius) {
+    auto leader = std::make_shared<RandomWaypointMobility>(RandomWaypointMobility::Config{
+        .max_x = 2000, .max_y = 2000, .min_speed_mps = 5, .max_speed_mps = 20, .seed = 7});
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        GroupMemberMobility member(leader, {.max_radius_m = 50.0, .seed = seed});
+        for (sim::TimePoint t = 0; t <= sim::seconds(600); t += sim::milliseconds(250)) {
+            const double d = distance(member.position_at(t), leader->position_at(t));
+            ASSERT_LE(d, 50.0) << "member " << seed << " broke cohesion at t=" << t;
+        }
+    }
+}
+
+TEST(Group, SameSeedSameTrajectoryDifferentSeedDiffers) {
+    const auto make_leader = [] {
+        return std::make_shared<RandomWaypointMobility>(
+            RandomWaypointMobility::Config{.max_x = 1000, .max_y = 1000, .seed = 3});
+    };
+    GroupMemberMobility a(make_leader(), {.seed = 11});
+    GroupMemberMobility b(make_leader(), {.seed = 11});
+    GroupMemberMobility c(make_leader(), {.seed = 12});
+    bool any_differs = false;
+    for (sim::TimePoint t = 0; t <= sim::seconds(120); t += sim::seconds(1)) {
+        ASSERT_EQ(a.position_at(t), b.position_at(t));
+        any_differs = any_differs || !(a.position_at(t) == c.position_at(t));
+    }
+    EXPECT_TRUE(any_differs) << "distinct member seeds must yield distinct offsets";
+}
+
+TEST(Group, SharedLeaderUnaffectedByMemberQueryOrder) {
+    // Two members share one memoized leader; querying them interleaved,
+    // out of time order, must match querying them separately (the lazy
+    // leader trajectory is a pure function of its seed).
+    const auto leader = std::make_shared<RandomWaypointMobility>(
+        RandomWaypointMobility::Config{.max_x = 500, .max_y = 500, .seed = 9});
+    GroupMemberMobility m1(leader, {.seed = 1});
+    GroupMemberMobility m2(leader, {.seed = 2});
+    std::vector<Position> interleaved;
+    for (int i = 10; i >= 0; --i) {  // backwards in time, alternating members
+        interleaved.push_back(m1.position_at(sim::seconds(i * 7)));
+        interleaved.push_back(m2.position_at(sim::seconds(i * 3)));
+    }
+    const auto fresh_leader = std::make_shared<RandomWaypointMobility>(
+        RandomWaypointMobility::Config{.max_x = 500, .max_y = 500, .seed = 9});
+    GroupMemberMobility f1(fresh_leader, {.seed = 1});
+    GroupMemberMobility f2(fresh_leader, {.seed = 2});
+    std::size_t k = 0;
+    for (int i = 10; i >= 0; --i) {
+        EXPECT_EQ(interleaved[k++], f1.position_at(sim::seconds(i * 7)));
+        EXPECT_EQ(interleaved[k++], f2.position_at(sim::seconds(i * 3)));
+    }
+}
+
+TEST(Group, RejectsBadConfig) {
+    const auto leader = std::make_shared<LinearMobility>(Position{0, 0}, 1.0, 0.0);
+    EXPECT_THROW(GroupMemberMobility(nullptr, {}), std::invalid_argument);
+    EXPECT_THROW(GroupMemberMobility(leader, {.max_radius_m = 0}), std::invalid_argument);
+    EXPECT_THROW(GroupMemberMobility(leader, {.anchor_fraction = 1.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(GroupMemberMobility(leader, {.wander_period = 0}), std::invalid_argument);
 }

@@ -1,0 +1,136 @@
+// Calendar-queue equivalence (ISSUE 6 satellite): the indexed calendar
+// scheduler must be a drop-in replacement for the seed binary heap —
+// not "statistically similar", but firing the *identical* event
+// sequence, so every artifact a scenario exports is byte-identical
+// under either SchedulerKind. Each scenario here runs twice, once per
+// kind, and compares events_fired plus the full metrics snapshot JSON.
+//
+// (The pure queue-ordering properties live in test_sim.cpp; the
+// city-scale run is compared the same way inside bench_city.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.h"
+#include "mobility/motion.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+struct RunResult {
+    std::uint64_t events = 0;
+    std::string metrics_json;
+    std::uint64_t payload = 0;  ///< scenario-specific progress figure
+};
+
+void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
+    ch.tcp().listen(port, [](transport::TcpConnection& c) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
+        });
+    });
+}
+
+/// Registration plus a paced ping train across the backbone.
+RunResult run_ping_scenario(sim::SchedulerKind kind) {
+    WorldConfig cfg;
+    cfg.scheduler = kind;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    MobileHost& mh = world.create_mobile_host();
+    EXPECT_TRUE(world.attach_mobile_foreign());
+
+    std::uint64_t replies = 0;
+    transport::Pinger pinger(mh.stack());
+    for (int i = 0; i < 8; ++i) {
+        pinger.ping(
+            ch.address(), [&](auto rtt) { replies += rtt.has_value() ? 1 : 0; },
+            sim::seconds(2), 56, world.mh_home_addr());
+        world.run_for(sim::milliseconds(700));
+    }
+    world.run_for(sim::seconds(3));
+    EXPECT_GT(replies, 0u);
+    return {world.sim.events_fired(),
+            world.metrics.snapshot_json("equiv", "ping", world.sim.now()), replies};
+}
+
+/// A TCP echo conversation through the home-agent tunnel.
+RunResult run_tcp_scenario(sim::SchedulerKind kind) {
+    WorldConfig cfg;
+    cfg.scheduler = kind;
+    World world{cfg};
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    serve_echo(ch, 7601);
+    MobileHost& mh = world.create_mobile_host();
+    EXPECT_TRUE(world.attach_mobile_foreign());
+    mh.force_mode(ch.address(), OutMode::IE);
+
+    auto& conn = mh.tcp().connect(ch.address(), 7601);
+    std::uint64_t echoed = 0;
+    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.send(std::vector<std::uint8_t>(4000, 6));
+    world.run_for(sim::seconds(15));
+    EXPECT_EQ(echoed, 4000u);
+    return {world.sim.events_fired(),
+            world.metrics.snapshot_json("equiv", "tcp", world.sim.now()), echoed};
+}
+
+/// A random-waypoint journey under the handoff controller: stochastic
+/// motion, registrations, renewals and tunnelling all on one queue.
+RunResult run_mobility_scenario(sim::SchedulerKind kind) {
+    WorldConfig cfg;
+    cfg.scheduler = kind;
+    World world{cfg};
+    world.create_mobile_host();
+
+    mobility::RandomWaypointMobility::Config mc;
+    mc.max_x = 1000;
+    mc.max_y = 100;
+    mc.min_speed_mps = 30;   // brisk, so 30 s of sim time crosses cells
+    mc.max_speed_mps = 60;
+    mc.start = mobility::Position{100, 50};
+    mc.seed = 42;
+    auto model = std::make_unique<mobility::RandomWaypointMobility>(mc);
+    mobility::CoverageMap map;
+    map.add(world.home_cell(mobility::Region::rect(0, 0, 280, 100), /*priority=*/1))
+        .add(world.foreign_cell(mobility::Region::rect(250, 0, 600, 100)))
+        .add(world.corr_cell(mobility::Region::rect(600.001, 0, 1000, 100)));
+    auto& hc = world.with_mobility(std::move(model), std::move(map));
+    world.run_for(sim::seconds(30));
+
+    EXPECT_GE(hc.stats().handoff_count(), 1u);
+    return {world.sim.events_fired(),
+            world.metrics.snapshot_json("equiv", "journey", world.sim.now()),
+            hc.stats().handoff_count()};
+}
+
+void expect_identical(const RunResult& heap, const RunResult& calendar) {
+    EXPECT_EQ(heap.payload, calendar.payload);
+    EXPECT_EQ(heap.events, calendar.events)
+        << "scheduler kinds fired different numbers of events";
+    EXPECT_EQ(heap.metrics_json, calendar.metrics_json)
+        << "metrics artifact must be byte-identical across scheduler kinds";
+}
+
+}  // namespace
+
+TEST(SchedulerEquivalence, PingTrainIsByteIdentical) {
+    expect_identical(run_ping_scenario(sim::SchedulerKind::BinaryHeap),
+                     run_ping_scenario(sim::SchedulerKind::Calendar));
+}
+
+TEST(SchedulerEquivalence, TcpEchoIsByteIdentical) {
+    expect_identical(run_tcp_scenario(sim::SchedulerKind::BinaryHeap),
+                     run_tcp_scenario(sim::SchedulerKind::Calendar));
+}
+
+TEST(SchedulerEquivalence, RandomWaypointJourneyIsByteIdentical) {
+    expect_identical(run_mobility_scenario(sim::SchedulerKind::BinaryHeap),
+                     run_mobility_scenario(sim::SchedulerKind::Calendar));
+}

@@ -288,3 +288,147 @@ TEST(Simulator, CancelOfNeverScheduledIdIsIgnoredOutright) {
     s.cancel(0);
     EXPECT_EQ(s.cancelled_backlog(), 0u);
 }
+
+// ---- calendar queue (ISSUE 6: the indexed event queue) ----------------------
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace {
+
+/// Pops everything <= limit and returns the (when, id) sequence.
+std::vector<std::pair<TimePoint, EventId>> drain(CalendarQueue& q,
+                                                 TimePoint limit =
+                                                     std::numeric_limits<TimePoint>::max()) {
+    std::vector<std::pair<TimePoint, EventId>> out;
+    SchedEvent ev;
+    while (q.pop_if(limit, ev)) out.emplace_back(ev.when, ev.id);
+    return out;
+}
+
+}  // namespace
+
+TEST(CalendarQueue, PopsInTotalEventOrder) {
+    CalendarQueue q;
+    std::mt19937_64 rng(42);
+    // Timestamps spanning ns to minutes: wildly non-uniform bucket load.
+    std::vector<std::pair<TimePoint, EventId>> expect;
+    for (EventId id = 1; id <= 2000; ++id) {
+        const TimePoint when =
+            static_cast<TimePoint>(rng() % static_cast<std::uint64_t>(seconds(90)));
+        q.push({when, id, [] {}, nullptr});
+        expect.emplace_back(when, id);
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(q.size(), 2000u);
+    EXPECT_EQ(drain(q), expect);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, SameInstantPopsInIdOrder) {
+    CalendarQueue q;
+    for (EventId id = 10; id >= 1; --id) q.push({seconds(1), id, [] {}, nullptr});
+    const auto got = drain(q);
+    ASSERT_EQ(got.size(), 10u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].second, static_cast<EventId>(i + 1));
+    }
+}
+
+TEST(CalendarQueue, PopIfRespectsLimit) {
+    CalendarQueue q;
+    q.push({seconds(5), 1, [] {}, nullptr});
+    SchedEvent ev;
+    EXPECT_FALSE(q.pop_if(seconds(4), ev)) << "earliest event is beyond the limit";
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.pop_if(seconds(5), ev));
+    EXPECT_EQ(ev.id, 1u);
+}
+
+TEST(CalendarQueue, FarFutureEventDoesNotBlockNearOnes) {
+    CalendarQueue q;
+    // A far-future event hashes into some bucket modulo the bucket count;
+    // the year guard must defer it past every nearer event.
+    q.push({seconds(3600), 1, [] {}, nullptr});
+    for (EventId id = 2; id <= 64; ++id) {
+        q.push({milliseconds(static_cast<std::int64_t>(id)), id, [] {}, nullptr});
+    }
+    const auto got = drain(q);
+    ASSERT_EQ(got.size(), 64u);
+    EXPECT_EQ(got.back().second, 1u) << "the distant event must pop last";
+    for (std::size_t i = 0; i + 1 < got.size(); ++i) {
+        EXPECT_LE(got[i].first, got[i + 1].first);
+    }
+}
+
+TEST(CalendarQueue, InterleavedPushPopStaysOrdered) {
+    // The simulator's real access pattern: pop one, schedule a few more
+    // (sometimes earlier than the current scan position), repeat — with
+    // grows and shrinks happening along the way.
+    CalendarQueue q;
+    std::mt19937_64 rng(7);
+    EventId next_id = 1;
+    TimePoint now = 0;
+    std::vector<std::pair<TimePoint, EventId>> reference;  // what a sorted pop yields
+    for (int i = 0; i < 200; ++i) {
+        q.push({static_cast<TimePoint>(rng() % seconds(10)), next_id, [] {}, nullptr});
+        ++next_id;
+    }
+    std::vector<std::pair<TimePoint, EventId>> popped;
+    SchedEvent ev;
+    while (q.pop_if(std::numeric_limits<TimePoint>::max(), ev)) {
+        EXPECT_GE(ev.when, now) << "time went backwards";
+        now = ev.when;
+        popped.emplace_back(ev.when, ev.id);
+        if (next_id <= 5000 && rng() % 3 != 0) {
+            const TimePoint when = now + static_cast<TimePoint>(rng() % seconds(2));
+            q.push({when, next_id, [] {}, nullptr});
+            ++next_id;
+        }
+    }
+    EXPECT_TRUE(q.empty());
+    // Every pop respected the total order relative to what was pending:
+    // verified by the monotone `now` above plus exact id coverage here.
+    EXPECT_EQ(popped.size(), static_cast<std::size_t>(next_id - 1));
+    reference = popped;
+    std::sort(reference.begin(), reference.end());
+    EXPECT_EQ(popped, reference) << "(when, id) pops must already be sorted";
+}
+
+TEST(Simulator, HeapAndCalendarFireIdenticalSequences) {
+    const auto run = [](SchedulerKind kind) {
+        Simulator s(kind);
+        std::vector<EventId> fired;
+        std::mt19937_64 rng(99);
+        // Seed events that themselves schedule more events, some at the
+        // same instant, some cancelled.
+        std::function<void(int)> spawn = [&](int depth) {
+            fired.push_back(static_cast<EventId>(depth));
+            if (depth >= 3) return;
+            for (int i = 0; i < 3; ++i) {
+                const Duration d = static_cast<Duration>(rng() % seconds(1));
+                s.schedule_in(d, [&spawn, depth] { spawn(depth + 1); });
+            }
+            const EventId doomed =
+                s.schedule_in(milliseconds(1), [&fired] { fired.push_back(9999); });
+            s.cancel(doomed);
+        };
+        for (int i = 0; i < 5; ++i) {
+            s.schedule_at(static_cast<TimePoint>(rng() % seconds(2)),
+                          [&spawn] { spawn(1); });
+        }
+        s.run();
+        return fired;
+    };
+    const auto heap = run(SchedulerKind::BinaryHeap);
+    const auto calendar = run(SchedulerKind::Calendar);
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap, calendar);
+    EXPECT_EQ(std::count(heap.begin(), heap.end(), 9999), 0)
+        << "cancelled events must not fire under either scheduler";
+}

@@ -334,3 +334,106 @@ TEST(SweepDeterminismTest, ProfilerAttachmentDoesNotChangeMetrics) {
     EXPECT_EQ(detached.second, attached.second)
         << "attaching the profiler changed the sampled timeseries";
 }
+
+// ---------------------------------------------------------------------------
+// BENCH_perf.json schema: hardware_concurrency and the city block (ISSUE 6)
+// ---------------------------------------------------------------------------
+
+#include "sweep/bench_report.h"
+
+namespace {
+
+/// The smallest document validate_bench_perf_document accepts.
+obs::JsonValue minimal_perf_doc() {
+    obs::JsonValue doc{obs::JsonValue::Object{}};
+    doc["kind"] = obs::JsonValue("bench_perf");
+    doc["schema_version"] = obs::JsonValue(2.0);
+    doc["hardware_concurrency"] = obs::JsonValue(4.0);
+    doc["scenarios"] = obs::JsonValue(obs::JsonValue::Array{});
+    return doc;
+}
+
+obs::JsonValue valid_city_block() {
+    obs::JsonValue city{obs::JsonValue::Object{}};
+    city["seeds"] = obs::JsonValue(4.0);
+    city["hosts"] = obs::JsonValue(12000.0);
+    city["cells"] = obs::JsonValue(144.0);
+    city["sim_seconds"] = obs::JsonValue(600.0);
+    city["events"] = obs::JsonValue(4.0e6);
+    city["events_per_sec"] = obs::JsonValue(2.4e6);
+    city["artifacts_identical"] = obs::JsonValue(true);
+    obs::JsonValue sched{obs::JsonValue::Object{}};
+    sched["heap_wall_ms"] = obs::JsonValue(2700.0);
+    sched["calendar_wall_ms"] = obs::JsonValue(1700.0);
+    sched["speedup"] = obs::JsonValue(1.58);
+    sched["identical"] = obs::JsonValue(true);
+    sched["reps"] = obs::JsonValue(3.0);
+    city["scheduler"] = sched;
+    obs::JsonValue fl{obs::JsonValue::Object{}};
+    fl["links"] = obs::JsonValue(261.0);
+    fl["indexed_ns"] = obs::JsonValue(26.0);
+    fl["linear_ns"] = obs::JsonValue(289.0);
+    fl["speedup"] = obs::JsonValue(11.0);
+    city["find_link"] = fl;
+    return city;
+}
+
+bool mentions(const std::vector<std::string>& problems, const std::string& needle) {
+    for (const auto& p : problems) {
+        if (p.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+TEST(BenchPerfSchemaTest, RequiresHardwareConcurrency) {
+    obs::JsonValue doc = minimal_perf_doc();
+    EXPECT_TRUE(sweep::validate_bench_perf_document(doc).empty());
+
+    obs::JsonValue::Object broken = doc.as_object();
+    broken.erase("hardware_concurrency");
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(obs::JsonValue(broken)),
+                         "hardware_concurrency"));
+
+    doc["hardware_concurrency"] = obs::JsonValue(0.0);  // a 0-core box is a lie
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(doc),
+                         "hardware_concurrency"));
+}
+
+TEST(BenchPerfSchemaTest, AcceptsValidCityBlock) {
+    obs::JsonValue doc = minimal_perf_doc();
+    doc["city"] = valid_city_block();
+    const auto problems = sweep::validate_bench_perf_document(doc);
+    EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchPerfSchemaTest, CityBlockNamesItsOffendingFields) {
+    obs::JsonValue doc = minimal_perf_doc();
+
+    obs::JsonValue city = valid_city_block();
+    obs::JsonValue::Object c = city.as_object();
+    c.erase("events_per_sec");
+    doc["city"] = obs::JsonValue(c);
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(doc),
+                         "city.events_per_sec"));
+
+    city = valid_city_block();
+    c = city.as_object();
+    c.erase("scheduler");
+    doc["city"] = obs::JsonValue(c);
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(doc), "city.scheduler"));
+
+    // One sample per side is not a speedup: reps < 2 must be rejected.
+    city = valid_city_block();
+    city["scheduler"]["reps"] = obs::JsonValue(1.0);
+    doc["city"] = city;
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(doc),
+                         "reps >= 2"));
+
+    city = valid_city_block();
+    c = city.as_object();
+    c.erase("find_link");
+    doc["city"] = obs::JsonValue(c);
+    EXPECT_TRUE(mentions(sweep::validate_bench_perf_document(doc), "city.find_link"));
+}
