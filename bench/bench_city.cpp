@@ -1,6 +1,6 @@
 // bench_city — the city-scale metro scenario (ISSUE 6 tentpole cap).
 //
-// Four sections, one JSON "city" block in BENCH_perf.json:
+// Five sections, one JSON "city" block in BENCH_perf.json:
 //
 //   seed sweep     SweepRunner drives one CitySim per seed (full: 4 seeds
 //                  x 12,000 hosts across 144 cells; smoke: 2 x 600 across
@@ -21,6 +21,9 @@
 //                  snapshots required, median wall times compared. The
 //                  calendar run's events/sec is the single-core city
 //                  figure the perf trendline tracks.
+//   observability  the seed-1 city with the MetricsSampler on vs off —
+//                  the city-scale observability overhead, gated at 10%
+//                  by check_perf_trend.py (ISSUE 7).
 //
 // Wall-clock numbers land in BENCH_perf.json next to bench_perf's
 // (merged, not overwritten); everything else the binary emits is
@@ -231,6 +234,49 @@ obs::JsonValue::Object measure_scheduler(const bench::HarnessOptions& opt,
     return o;
 }
 
+/// ISSUE 7: the city-scale observability overhead — the same seed-1 city
+/// with the MetricsSampler ticking (the product default) vs metrics
+/// sampling off entirely. check_perf_trend.py gates the percentage at
+/// 10%. (CitySim has no per-packet trace recorder — its observability
+/// cost is the sampler walk plus the arena-backed decision log, which is
+/// exactly what this isolates.)
+obs::JsonValue::Object measure_observability(const bench::HarnessOptions& opt,
+                                             const CityParams& p) {
+    const int reps = opt.pick(3, 2);
+    CityParams off = p;
+    off.metrics_interval = 0;  // sampler never constructed
+
+    // Interleaved reps (off, on, off, on, ...): measuring all reps of one
+    // configuration in a block lets machine-state drift across the blocks
+    // masquerade as sampler overhead; alternating spreads it over both.
+    run_city_once(off, sim::SchedulerKind::Calendar);  // warm-up, discarded
+    run_city_once(p, sim::SchedulerKind::Calendar);
+    std::vector<double> off_walls, on_walls;
+    for (int i = 0; i < reps; ++i) {
+        off_walls.push_back(run_city_once(off, sim::SchedulerKind::Calendar).wall_ms);
+        on_walls.push_back(run_city_once(p, sim::SchedulerKind::Calendar).wall_ms);
+    }
+    const auto median = [](std::vector<double>& walls) {
+        std::sort(walls.begin(), walls.end());
+        return walls[walls.size() / 2];
+    };
+    const double off_ms = median(off_walls);
+    const double on_ms = median(on_walls);
+    const double pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+
+    std::printf("\nobservability overhead (seed-1 city, median of %d):\n", reps);
+    std::printf("  sampler off %10.1f ms   sampler on %10.1f ms   %+.1f%%\n", off_ms,
+                on_ms, pct);
+
+    obs::JsonValue::Object o;
+    o["sampler_off_wall_ms"] = off_ms;
+    o["sampler_on_wall_ms"] = on_ms;
+    o["overhead_pct"] = pct;
+    o["metrics_interval_s"] = sim::to_seconds(p.metrics_interval);
+    o["reps"] = reps;
+    return o;
+}
+
 /// Merges the city block into BENCH_perf.json without clobbering the
 /// bench_perf scenario data already there (the two binaries share the
 /// file; CI runs them back to back into M4X4_BENCH_PERF_OUT). Smoke runs
@@ -256,7 +302,7 @@ void merge_into_perf_report(const bench::HarnessOptions& opt,
     }
     if (!doc.is_object()) {
         obs::JsonValue::Object fresh;
-        fresh["schema_version"] = 2;
+        fresh["schema_version"] = 3;
         fresh["kind"] = "bench_perf";
         fresh["smoke"] = opt.smoke;
         fresh["scenarios"] = obs::JsonValue::Array{};
@@ -332,6 +378,7 @@ void print_figure(const bench::HarnessOptions& opt) {
     double events_per_sec = 0.0;
     obs::JsonValue::Object scheduler =
         measure_scheduler(opt, p, sched_identical, events_per_sec);
+    obs::JsonValue::Object observability = measure_observability(opt, p);
 
     obs::JsonValue::Object city;
     city["smoke"] = opt.smoke;
@@ -347,6 +394,7 @@ void print_figure(const bench::HarnessOptions& opt) {
     city["compare_jobs"] = compare_jobs;
     city["find_link"] = std::move(find_link);
     city["scheduler"] = std::move(scheduler);
+    city["observability"] = std::move(observability);
     merge_into_perf_report(opt, std::move(city));
 
     std::printf("\ncity events/sec (single core, calendar queue): %.0f\n", events_per_sec);

@@ -15,6 +15,13 @@
 //   instrumented   SimProfiler attached and a MetricsSampler ticking —
 //                  per-kind dispatch timing, queue-depth gauges, series
 //
+// A separate overhead block (schema_version 3, ISSUE 7) isolates the cost
+// of the trace recorder itself: untraced (recorder detached — every trace
+// seam is one pointer compare), traced (the baseline: binary records into
+// the per-simulator arena at sample rate 1.0) and sampled (journey
+// sampling at rate 0.1). check_perf_trend.py gates traced_overhead_pct
+// at 25% per scenario.
+//
 // Every configuration runs >= 2 reps (5 by default) and reports the
 // MEDIAN wall time with the rep count in the JSON — a single wall-clock
 // sample is noise, and validate_metrics rejects overhead percentages
@@ -67,11 +74,23 @@ struct RunStats {
     // Buffer-pool counters from the run's simulator (hot-path evidence):
     std::uint64_t pool_acquires = 0;
     std::uint64_t pool_reuses = 0;
+    // Record-arena counters (trace/decision chunk recycling, ISSUE 7):
+    std::uint64_t arena_acquires = 0;
+    std::uint64_t arena_allocations = 0;
+    std::uint64_t trace_records = 0;
+    std::uint64_t trace_sampled_out = 0;
     // Instrumented runs only:
     std::size_t max_queue_depth = 0;
     std::size_t max_cancelled = 0;
     std::uint64_t samples = 0;
     std::string profile_summary;
+};
+
+/// Tracing configuration for one measured run — the three legs of the
+/// overhead block (docs/OBSERVABILITY.md §6).
+struct TraceMode {
+    bool tracing = true;
+    double sample_rate = 1.0;
 };
 
 std::vector<PerfScenario> scenarios(const bench::HarnessOptions& opt) {
@@ -90,9 +109,13 @@ std::vector<PerfScenario> scenarios(const bench::HarnessOptions& opt) {
 }
 
 RunStats run_scenario(const bench::HarnessOptions& opt, const PerfScenario& sc,
-                      bool instrumented, bool fault_attached = false) {
+                      bool instrumented, bool fault_attached = false,
+                      TraceMode trace_mode = {}) {
     WorldConfig cfg;
     cfg.backbone_routers = sc.backbone_routers;
+    cfg.tracing = trace_mode.tracing;
+    cfg.trace_sample_rate = trace_mode.sample_rate;
+    cfg.trace_sample_seed = 1;
     World world{cfg};
 
     std::vector<CorrespondentHost*> correspondents;
@@ -162,6 +185,10 @@ RunStats run_scenario(const bench::HarnessOptions& opt, const PerfScenario& sc,
     r.sim_seconds = static_cast<double>(world.sim.now() - sim_start) / 1e9;
     r.pool_acquires = world.sim.buffer_pool().stats().acquires;
     r.pool_reuses = world.sim.buffer_pool().stats().reuses;
+    r.arena_acquires = world.sim.record_arena().stats().acquires;
+    r.arena_allocations = world.sim.record_arena().stats().allocations;
+    r.trace_records = world.trace.record_count();
+    r.trace_sampled_out = world.trace.records_sampled_out();
 
     if (instrumented) {
         world.sim.set_profiler(nullptr);
@@ -185,32 +212,6 @@ RunStats run_scenario(const bench::HarnessOptions& opt, const PerfScenario& sc,
     return r;
 }
 
-/// Runs the configuration @p reps times and returns the run whose wall
-/// time is the median. Deterministic fields (events, sim_seconds, pool
-/// counters) are identical across reps — asserted implicitly by the
-/// determinism test suite — so only the wall-derived numbers differ.
-RunStats median_run(const bench::HarnessOptions& opt, const PerfScenario& sc,
-                    bool instrumented, bool fault_attached, int reps) {
-    // One discarded warm-up rep: the first run of a configuration pays
-    // process-wide costs (allocator arenas, page faults, icache) that
-    // would otherwise land entirely on whichever configuration happens
-    // to run first and skew the overhead deltas negative.
-    run_scenario(opt, sc, instrumented, fault_attached);
-    std::vector<RunStats> runs;
-    runs.reserve(static_cast<std::size_t>(reps));
-    for (int i = 0; i < reps; ++i) {
-        runs.push_back(run_scenario(opt, sc, instrumented, fault_attached));
-    }
-    std::sort(runs.begin(), runs.end(),
-              [](const RunStats& a, const RunStats& b) { return a.wall_ms < b.wall_ms; });
-    RunStats median = runs[runs.size() / 2];
-    median.events_per_sec = median.wall_ms > 0
-                                ? static_cast<double>(median.events) / (median.wall_ms / 1e3)
-                                : 0;
-    median.reps = reps;
-    return median;
-}
-
 obs::JsonValue::Object run_to_json(const RunStats& r) {
     obs::JsonValue::Object o;
     o["events"] = r.events;
@@ -220,6 +221,79 @@ obs::JsonValue::Object run_to_json(const RunStats& r) {
     o["reps"] = r.reps;
     o["pool_acquires"] = r.pool_acquires;
     o["pool_reuses"] = r.pool_reuses;
+    return o;
+}
+
+/// The tracing-overhead block (schema_version 3): the same workload with
+/// tracing detached entirely, fully traced (the product default), and
+/// journey-sampled at kSampleRate. The traced percentage is the one
+/// check_perf_trend.py gates at 25%.
+constexpr double kSampleRate = 0.1;
+
+/// One measured configuration of a scenario.
+struct LegSpec {
+    bool instrumented = false;
+    bool fault_attached = false;
+    TraceMode trace_mode = {};
+};
+
+/// Measures every leg with round-robin interleaved reps: leg 0, leg 1,
+/// ..., leg N-1, repeat. Block-ordered measurement (all reps of one leg,
+/// then the next) lets slow machine-state drift — CPU frequency,
+/// container throttling — land entirely on whichever leg ran first and
+/// masquerade as overhead; interleaving spreads it across all legs so
+/// the deltas isolate the configuration cost. One discarded warm-up rep
+/// per leg pays the process-wide first-run costs (allocator arenas,
+/// page faults, icache).
+std::vector<RunStats> measure_legs(const bench::HarnessOptions& opt,
+                                   const PerfScenario& sc,
+                                   const std::vector<LegSpec>& legs, int reps) {
+    for (const LegSpec& leg : legs) {
+        run_scenario(opt, sc, leg.instrumented, leg.fault_attached, leg.trace_mode);
+    }
+    std::vector<std::vector<RunStats>> runs(legs.size());
+    for (int i = 0; i < reps; ++i) {
+        for (std::size_t l = 0; l < legs.size(); ++l) {
+            runs[l].push_back(run_scenario(opt, sc, legs[l].instrumented,
+                                           legs[l].fault_attached, legs[l].trace_mode));
+        }
+    }
+    std::vector<RunStats> medians;
+    for (std::vector<RunStats>& leg_runs : runs) {
+        std::sort(leg_runs.begin(), leg_runs.end(),
+                  [](const RunStats& a, const RunStats& b) { return a.wall_ms < b.wall_ms; });
+        RunStats m = leg_runs[leg_runs.size() / 2];
+        m.events_per_sec =
+            m.wall_ms > 0 ? static_cast<double>(m.events) / (m.wall_ms / 1e3) : 0;
+        m.reps = reps;
+        medians.push_back(std::move(m));
+    }
+    return medians;
+}
+
+obs::JsonValue::Object overhead_to_json(const RunStats& untraced, const RunStats& traced,
+                                        const RunStats& sampled) {
+    const auto pct = [&untraced](const RunStats& r) {
+        return untraced.wall_ms > 0
+                   ? (r.wall_ms - untraced.wall_ms) / untraced.wall_ms * 100.0
+                   : 0.0;
+    };
+    obs::JsonValue::Object untr = run_to_json(untraced);
+    obs::JsonValue::Object tr = run_to_json(traced);
+    tr["trace_records"] = traced.trace_records;
+    tr["arena_acquires"] = traced.arena_acquires;
+    tr["arena_allocations"] = traced.arena_allocations;
+    obs::JsonValue::Object sm = run_to_json(sampled);
+    sm["sample_rate"] = kSampleRate;
+    sm["trace_records"] = sampled.trace_records;
+    sm["trace_sampled_out"] = sampled.trace_sampled_out;
+
+    obs::JsonValue::Object o;
+    o["untraced"] = std::move(untr);
+    o["traced"] = std::move(tr);
+    o["sampled"] = std::move(sm);
+    o["traced_overhead_pct"] = pct(traced);
+    o["sampled_overhead_pct"] = pct(sampled);
     return o;
 }
 
@@ -298,12 +372,15 @@ void write_report(const bench::HarnessOptions& opt, const obs::JsonValue& doc) {
 void print_figure(const bench::HarnessOptions& opt) {
     bench::print_header(
         "bench_perf: simulator self-measurement",
-        "Each scenario runs the same simulated workload three ways:\n"
+        "Each scenario runs the same simulated workload five ways:\n"
         "baseline (profiler, sampler and fault hooks detached — the\n"
-        "default), fault-attached (a benign FaultChain on every link) and\n"
+        "default), fault-attached (a benign FaultChain on every link),\n"
         "instrumented (SimProfiler attached, MetricsSampler ticking every\n"
-        "100ms); wall times are medians over the rep count. events/sec is\n"
-        "the discrete-event dispatch rate in wall time.");
+        "100ms), untraced (TraceRecorder detached) and sampled (journey\n"
+        "sampling). Reps are interleaved round-robin across the legs so\n"
+        "machine drift cancels out of the deltas; wall times are medians\n"
+        "over the rep count. events/sec is the discrete-event dispatch\n"
+        "rate in wall time.");
 
     const int reps = opt.pick(5, 2);
     obs::JsonValue::Array rows;
@@ -311,13 +388,33 @@ void print_figure(const bench::HarnessOptions& opt) {
     std::printf("%-8s %6s %10s %12s %14s %12s %9s %12s %9s\n", "size", "sim(s)",
                 "events", "base wall ms", "base ev/s", "fault wall", "fault +%",
                 "inst wall ms", "inst +%");
+    struct OverheadRow {
+        const char* name;
+        RunStats untraced, traced, sampled;
+    };
+    std::vector<OverheadRow> overhead_rows;
     for (const PerfScenario& sc : scenarios(opt)) {
-        const RunStats base =
-            median_run(opt, sc, /*instrumented=*/false, /*fault_attached=*/false, reps);
-        const RunStats fault =
-            median_run(opt, sc, /*instrumented=*/false, /*fault_attached=*/true, reps);
-        const RunStats inst =
-            median_run(opt, sc, /*instrumented=*/true, /*fault_attached=*/false, reps);
+        // All five configurations of a scenario are measured in one
+        // interleaved group (see measure_legs). The baseline — recorder
+        // attached, nothing sampled out — doubles as the traced leg of
+        // the overhead block, since it is the same configuration and the
+        // interleaving keeps the comparison drift-free.
+        const std::vector<RunStats> measured = measure_legs(
+            opt, sc,
+            {
+                LegSpec{},                                            // baseline / traced
+                LegSpec{.fault_attached = true},                      // fault-attached
+                LegSpec{.instrumented = true},                        // instrumented
+                LegSpec{.trace_mode = {.tracing = false}},            // untraced
+                LegSpec{.trace_mode = {.sample_rate = kSampleRate}},  // sampled
+            },
+            reps);
+        const RunStats& base = measured[0];
+        const RunStats& fault = measured[1];
+        const RunStats& inst = measured[2];
+        struct {
+            RunStats untraced, traced, sampled;
+        } legs{measured[3], measured[0], measured[4]};
         const double overhead_pct =
             base.wall_ms > 0 ? (inst.wall_ms - base.wall_ms) / base.wall_ms * 100.0 : 0.0;
         const double fault_pct =
@@ -343,15 +440,34 @@ void print_figure(const bench::HarnessOptions& opt) {
         instr["sampler_samples"] = inst.samples;
         row["instrumented"] = std::move(instr);
         row["instrumentation_overhead_pct"] = overhead_pct;
+        row["overhead"] = overhead_to_json(legs.untraced, legs.traced, legs.sampled);
         rows.emplace_back(std::move(row));
+        overhead_rows.push_back({sc.name, legs.untraced, legs.traced, legs.sampled});
         largest_profile = inst.profile_summary;
+    }
+
+    std::printf("\ntracing overhead (untraced = recorder detached; traced = the\n"
+                "product default; sampled = journey sampling at rate %.2f;\n"
+                "interleaved reps):\n",
+                kSampleRate);
+    std::printf("%-8s %14s %13s %9s %13s %9s %12s\n", "size", "untraced ms",
+                "traced ms", "traced+%", "sampled ms", "sampl+%", "records");
+    for (const OverheadRow& row : overhead_rows) {
+        const auto pct = [&row](const RunStats& r) {
+            return row.untraced.wall_ms > 0
+                       ? (r.wall_ms - row.untraced.wall_ms) / row.untraced.wall_ms * 100.0
+                       : 0.0;
+        };
+        std::printf("%-8s %14.1f %13.1f %8.1f%% %13.1f %8.1f%% %12" PRIu64 "\n",
+                    row.name, row.untraced.wall_ms, row.traced.wall_ms, pct(row.traced),
+                    row.sampled.wall_ms, pct(row.sampled), row.traced.trace_records);
     }
 
     std::printf("\nper-kind profile of the largest scenario (instrumented run):\n%s\n",
                 largest_profile.c_str());
 
     obs::JsonValue::Object doc;
-    doc["schema_version"] = 2;
+    doc["schema_version"] = 3;
     doc["kind"] = "bench_perf";
     doc["smoke"] = opt.smoke;
     doc["reps"] = reps;

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Docs-vs-schema gate (ISSUE 7 satellite): fail CI when a docs/ markdown
+field table references a field name the exporters no longer emit.
+
+Usage: check_docs_schema.py <validate_metrics-binary> [docs-dir]
+
+How it works:
+  - `validate_metrics --dump-schema` prints one "section field" pair per
+    line for every exported document kind plus the binary trace/decision
+    record layouts. That table lives next to the C++ validators, so it
+    moves in the same commit as the schema itself.
+  - Every markdown table in docs/*.md whose header row contains a column
+    named "Field" is parsed; the first backtick code span in that column
+    of each body row is taken as a claimed field name.
+  - A claimed name absent from the dumped schema is an error: the doc
+    describes a field that no exporter writes (renamed, removed, or a
+    typo). Extra exported fields the docs do not mention are fine —
+    docs may be selective, they just may not be wrong.
+
+Exit status: 0 = docs consistent, 1 = stale reference found, 2 = usage.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+CODE_SPAN = re.compile(r"`([A-Za-z0-9_.]+)`")
+
+
+def dumped_fields(binary):
+    out = subprocess.run(
+        [binary, "--dump-schema"], capture_output=True, text=True, check=True
+    ).stdout
+    fields = set()
+    for line in out.splitlines():
+        parts = line.split()
+        if len(parts) == 2:
+            fields.add(parts[1])
+    if not fields:
+        raise RuntimeError(f"{binary} --dump-schema printed no fields")
+    return fields
+
+
+def field_refs(md_path):
+    """Yield (line_number, field_name) for each row of each Field table."""
+    lines = md_path.read_text(encoding="utf-8").splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        # A markdown table header looks like `| Field | ... |` followed by
+        # a separator row of dashes.
+        if "|" in line and i + 1 < len(lines) and re.match(
+            r"^\s*\|[\s:|-]+\|\s*$", lines[i + 1]
+        ):
+            headers = [c.strip().lower() for c in line.strip().strip("|").split("|")]
+            if "field" in headers:
+                col = headers.index("field")
+                j = i + 2
+                while j < len(lines) and "|" in lines[j]:
+                    cells = lines[j].strip().strip("|").split("|")
+                    if col < len(cells):
+                        m = CODE_SPAN.search(cells[col])
+                        if m:
+                            # Dotted paths document nesting; every segment
+                            # must be a real exported field.
+                            for seg in m.group(1).split("."):
+                                yield j + 1, seg
+                    j += 1
+                i = j
+                continue
+        i += 1
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = argv[1]
+    docs_dir = Path(argv[2] if len(argv) == 3 else "docs")
+
+    schema = dumped_fields(binary)
+    md_files = sorted(docs_dir.glob("*.md"))
+    if not md_files:
+        print(f"check_docs_schema: no markdown files under {docs_dir}", file=sys.stderr)
+        return 2
+
+    stale = []
+    checked = 0
+    for md in md_files:
+        for line_no, field in field_refs(md):
+            checked += 1
+            if field not in schema:
+                stale.append(f"{md}:{line_no}: `{field}` is not an exported field")
+    for s in stale:
+        print(s, file=sys.stderr)
+    print(
+        f"check_docs_schema: {checked} field reference(s) across "
+        f"{len(md_files)} file(s), {len(stale)} stale"
+    )
+    return 1 if stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,8 +16,16 @@ Rules:
     but not gated — adding or retiring a scenario must not break CI.
   - Wall-clock noise is real even at 2 reps; the default threshold (20%)
     is deliberately loose. Tighten it only with a quieter runner.
+  - Tracing-overhead budgets (ISSUE 7): on non-smoke fresh documents,
+    scenarios[].overhead.traced_overhead_pct must stay <= 25% and
+    city.observability.overhead_pct <= 10%. Smoke runs are millisecond-
+    scale and the ratios are dominated by noise, so the budgets only
+    apply to full-scale documents. Budgets are absolute properties of
+    the fresh run — no baseline needed — so they are still enforced
+    when the trendline comparison passes vacuously.
 
-Exit status: 0 = no regression (or vacuous), 1 = regression, 2 = usage.
+Exit status: 0 = no regression (or vacuous), 1 = regression or budget
+exceeded, 2 = usage.
 """
 
 import json
@@ -37,6 +45,50 @@ def rates_of(doc):
     return rates
 
 
+TRACED_BUDGET_PCT = 25.0
+CITY_OBS_BUDGET_PCT = 10.0
+
+
+def check_overhead_budgets(fresh):
+    """Absolute tracing-overhead budgets on a full-scale fresh document.
+
+    Returns a list of violation strings (empty = within budget). Smoke
+    documents are skipped by the caller. Documents predating the
+    overhead block (schema_version < 3) have nothing to check and pass.
+    """
+    violations = []
+    rows = []
+    for sc in fresh.get("scenarios", []):
+        overhead = sc.get("overhead")
+        if not overhead:
+            continue
+        name = "scenario:" + sc.get("name", "?")
+        pct = overhead.get("traced_overhead_pct")
+        if pct is None:
+            continue
+        rows.append((name, pct, TRACED_BUDGET_PCT))
+        if pct > TRACED_BUDGET_PCT:
+            violations.append(
+                f"{name}: traced overhead {pct:+.1f}% exceeds "
+                f"budget {TRACED_BUDGET_PCT:.0f}%"
+            )
+    obs = fresh.get("city", {}).get("observability")
+    if obs and "overhead_pct" in obs:
+        pct = obs["overhead_pct"]
+        rows.append(("city:observability", pct, CITY_OBS_BUDGET_PCT))
+        if pct > CITY_OBS_BUDGET_PCT:
+            violations.append(
+                f"city:observability: sampler overhead {pct:+.1f}% exceeds "
+                f"budget {CITY_OBS_BUDGET_PCT:.0f}%"
+            )
+    if rows:
+        print(f"\n{'overhead budget':<22} {'measured':>10} {'budget':>8}")
+        for name, pct, budget in rows:
+            mark = "  OVER BUDGET" if pct > budget else ""
+            print(f"{name:<22} {pct:>+9.1f}% {budget:>7.0f}%{mark}")
+    return violations
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.20
@@ -53,38 +105,49 @@ def main(argv):
     with open(fresh_path) as f:
         fresh = json.load(f)
 
+    regressions = []
     if baseline.get("smoke") != fresh.get("smoke"):
         print(
             "check_perf_trend: smoke flags differ "
             f"(baseline={baseline.get('smoke')}, fresh={fresh.get('smoke')}); "
-            "nothing comparable — passing vacuously."
+            "nothing comparable — trendline passes vacuously."
         )
-        return 0
+    else:
+        base_rates = rates_of(baseline)
+        fresh_rates = rates_of(fresh)
+        print(f"{'figure':<20} {'baseline':>14} {'fresh':>14} {'delta':>8}")
+        for name in sorted(set(base_rates) | set(fresh_rates)):
+            if name not in base_rates:
+                print(f"{name:<20} {'-':>14} {fresh_rates[name]:>14.0f}   (new)")
+                continue
+            if name not in fresh_rates:
+                print(f"{name:<20} {base_rates[name]:>14.0f} {'-':>14}   (gone)")
+                continue
+            base, cur = base_rates[name], fresh_rates[name]
+            delta = (cur - base) / base if base > 0 else 0.0
+            mark = ""
+            if base > 0 and cur < base * (1.0 - threshold):
+                regressions.append((name, base, cur, delta))
+                mark = "  REGRESSION"
+            print(f"{name:<20} {base:>14.0f} {cur:>14.0f} {delta:>+7.1%}{mark}")
 
-    base_rates = rates_of(baseline)
-    fresh_rates = rates_of(fresh)
-    regressions = []
-    print(f"{'figure':<20} {'baseline':>14} {'fresh':>14} {'delta':>8}")
-    for name in sorted(set(base_rates) | set(fresh_rates)):
-        if name not in base_rates:
-            print(f"{name:<20} {'-':>14} {fresh_rates[name]:>14.0f}   (new)")
-            continue
-        if name not in fresh_rates:
-            print(f"{name:<20} {base_rates[name]:>14.0f} {'-':>14}   (gone)")
-            continue
-        base, cur = base_rates[name], fresh_rates[name]
-        delta = (cur - base) / base if base > 0 else 0.0
-        mark = ""
-        if base > 0 and cur < base * (1.0 - threshold):
-            regressions.append((name, base, cur, delta))
-            mark = "  REGRESSION"
-        print(f"{name:<20} {base:>14.0f} {cur:>14.0f} {delta:>+7.1%}{mark}")
-
-    if regressions:
+    if fresh.get("smoke"):
         print(
-            f"\ncheck_perf_trend: FAIL — {len(regressions)} figure(s) regressed "
-            f"more than {threshold:.0%} vs {baseline_path}"
+            "check_perf_trend: fresh document is a smoke run — "
+            "overhead budgets not enforced."
         )
+        violations = []
+    else:
+        violations = check_overhead_budgets(fresh)
+
+    if regressions or violations:
+        if regressions:
+            print(
+                f"\ncheck_perf_trend: FAIL — {len(regressions)} figure(s) "
+                f"regressed more than {threshold:.0%} vs {baseline_path}"
+            )
+        for v in violations:
+            print(f"check_perf_trend: FAIL — {v}")
         return 1
     print(f"\ncheck_perf_trend: OK (threshold {threshold:.0%})")
     return 0

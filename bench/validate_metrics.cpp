@@ -5,6 +5,7 @@
 // top-level "kind" field (absent = §4 snapshot, the original format).
 //
 // Usage: validate_metrics <dir-or-file>...
+//        validate_metrics --dump-schema
 //
 // Parses every *.json under each argument and runs it through the
 // matching obs::validate_*_document — the same checkers the unit tests
@@ -12,6 +13,12 @@
 // enforces cannot drift apart. Exits non-zero if any file is unparsable
 // or non-conforming, or if no file was found at all (an empty run means
 // the benches silently stopped exporting, which is itself a failure).
+//
+// --dump-schema prints every exported field name (one "section field"
+// pair per line) for all document kinds plus the binary trace/decision
+// record layouts. bench/check_docs_schema.py diffs the docs/ markdown
+// field tables against this output so prose cannot reference a field
+// the exporters no longer emit.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -71,11 +78,80 @@ int check_file(const fs::path& path) {
     return problems.empty() ? 0 : 1;
 }
 
+/// One exported-schema section: a document kind (or binary record
+/// layout) and the field names it emits. Kept next to the validator
+/// dispatch above so a new exporter field lands in the same review as
+/// its validation — and so docs tables checked by check_docs_schema.py
+/// can only name fields that actually exist.
+struct SchemaSection {
+    const char* section;
+    std::vector<const char*> fields;
+};
+
+const std::vector<SchemaSection>& exported_schema() {
+    static const std::vector<SchemaSection> sections = {
+        {"metrics_snapshot",  // TRACE_FORMAT.md §4
+         {"schema_version", "bench", "label", "time_ns", "metrics", "node", "layer",
+          "name", "kind", "value", "count", "sum", "min", "max", "mean", "buckets",
+          "le"}},
+        {"timeseries",  // §5
+         {"schema_version", "kind", "bench", "label", "interval_ns", "samples",
+          "series", "points", "t_ns", "v", "node", "layer", "name", "field",
+          "dropped"}},
+        {"decisions",  // §6
+         {"schema_version", "kind", "bench", "label", "events", "t_ns", "node",
+          "correspondent", "trigger", "test", "input", "passed", "from_mode",
+          "to_mode", "in_mode", "detail"}},
+        {"trace_events",  // §2/§3 event stream + Perfetto/journey exports
+         {"when", "kind", "node", "link", "bytes", "ethertype", "packet_id",
+          "detail", "ts", "ph", "pid", "tid", "cat", "args", "dur", "id", "hops",
+          "wire_bytes", "packets_lost_in_gap"}},
+        {"trace_record",  // §9 binary record (hot-path layout)
+         {"when", "packet_id", "link", "node", "bytes", "a", "b", "c", "text",
+          "ethertype", "kind", "detail_kind"}},
+        {"decision_record",  // §9 binary record (decision layout)
+         {"when", "node", "correspondent", "trigger", "test", "input", "from_mode",
+          "to_mode", "in_mode", "detail", "passed"}},
+        {"sweep",  // §8 merged sweep report
+         {"schema_version", "kind", "jobs_total", "jobs_failed", "jobs", "id",
+          "label", "ok", "error", "aggregates", "histograms", "decision_count",
+          "bench", "node", "layer", "name", "count", "sum", "min", "max", "mean",
+          "buckets", "le"}},
+        {"bench_perf",
+         {"schema_version", "kind", "smoke", "hardware_concurrency", "scenarios",
+          "name", "baseline", "fault_attached", "instrumented", "events",
+          "wall_ms", "events_per_sec", "sim_seconds", "reps", "pool_acquires",
+          "pool_reuses", "fault_attached_overhead_pct",
+          "instrumentation_overhead_pct", "overhead", "untraced", "traced",
+          "sampled", "sample_rate", "trace_records", "trace_sampled_out",
+          "arena_acquires", "arena_allocations", "traced_overhead_pct",
+          "sampled_overhead_pct", "sweep_scaling", "serial_wall_ms",
+          "artifacts_identical", "parallel", "speedup", "city", "hosts", "cells",
+          "scheduler", "heap_wall_ms", "calendar_wall_ms", "identical",
+          "find_link", "links", "indexed_ns", "linear_ns", "lookups",
+          "observability", "sampler_off_wall_ms", "sampler_on_wall_ms",
+          "overhead_pct", "metrics_interval_s", "sweep_wall_ms", "handoffs",
+          "registrations", "probes", "probes_delivered", "deliverability",
+          "compare_jobs"}},
+    };
+    return sections;
+}
+
+int dump_schema() {
+    for (const SchemaSection& s : exported_schema()) {
+        for (const char* f : s.fields) std::printf("%s %s\n", s.section, f);
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc == 2 && std::string(argv[1]) == "--dump-schema") {
+        return dump_schema();
+    }
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <dir-or-file>...\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <dir-or-file>... | --dump-schema\n", argv[0]);
         return 2;
     }
     std::vector<fs::path> files;

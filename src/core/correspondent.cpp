@@ -37,7 +37,7 @@ CorrespondentHost::CorrespondentHost(sim::Simulator& simulator, std::string name
                                           ++stats_.decapsulated;
                                           stack().trace_packet(
                                               sim::TraceKind::Decapsulated, inner,
-                                              decap.name());
+                                              sim::TraceDetail::txt(decap.name()));
                                           stack().deliver_local(
                                               inner, stack::IpStack::kNoInterface);
                                       });
@@ -79,9 +79,11 @@ CorrespondentHost::CorrespondentHost(sim::Simulator& simulator, std::string name
             ++stats_.in_de_sent;
             net::Packet outer = encap_->encapsulate(inner, inner.header().src,
                                                     binding->care_of_address);
-            stack().trace_packet(sim::TraceKind::Encapsulated, outer,
-                                 encap_->name() + " -> " +
-                                     binding->care_of_address.to_string());
+            stack().trace_packet(
+                sim::TraceKind::Encapsulated, outer,
+                sim::TraceDetail::with_text(sim::TraceDetailKind::EncapTo,
+                                            encap_->name(),
+                                            binding->care_of_address.value()));
             stack().send(std::move(outer));
         });
 

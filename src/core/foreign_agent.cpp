@@ -169,9 +169,10 @@ void ForeignAgent::on_tunneled(const net::Packet& outer) {
     if (it == visitors_.end() || it->second.expires <= simulator().now()) {
         return;  // not (or no longer) one of our visitors
     }
-    stack().trace_packet(sim::TraceKind::Decapsulated, inner,
-                         encap_->name() + " for visitor " +
-                             inner.header().dst.to_string());
+    stack().trace_packet(
+        sim::TraceKind::Decapsulated, inner,
+        sim::TraceDetail::with_text(sim::TraceDetailKind::DecapForVisitor,
+                                    encap_->name(), inner.header().dst.value()));
     deliver_to_visitor(inner, it->second);
 }
 
@@ -195,9 +196,11 @@ bool ForeignAgent::intercept_forward(const net::Packet& packet, std::size_t in_i
         ++stats_.packets_reverse_tunneled;
         net::Packet outer =
             encap_->encapsulate(packet, care_of_address(), it->second.home_agent);
-        stack().trace_packet(sim::TraceKind::Encapsulated, outer,
-                             encap_->name() + " reverse -> " +
-                                 it->second.home_agent.to_string());
+        stack().trace_packet(
+            sim::TraceKind::Encapsulated, outer,
+            sim::TraceDetail::with_text(sim::TraceDetailKind::EncapReverseTo,
+                                        encap_->name(),
+                                        it->second.home_agent.value()));
         stack().send(std::move(outer));
         return true;
     }

@@ -49,7 +49,9 @@ std::size_t HomeAgent::attach_home(sim::Link& link, net::Ipv4Address addr,
                     encap_->encapsulate(packet, our_addr, binding.care_of_address);
                 stack().trace_packet(
                     sim::TraceKind::Encapsulated, outer,
-                    encap_->name() + " relay -> " + binding.care_of_address.to_string());
+                    sim::TraceDetail::with_text(sim::TraceDetailKind::EncapRelayTo,
+                                                encap_->name(),
+                                                binding.care_of_address.value()));
                 stack().send(std::move(outer));
             }
         });
@@ -179,8 +181,10 @@ bool HomeAgent::intercept_forward(const net::Packet& packet, std::size_t) {
     net::Packet outer =
         encap_->encapsulate(packet, our_addr, binding->care_of_address);
     ++stats_.packets_tunneled;
-    stack().trace_packet(sim::TraceKind::Encapsulated, outer,
-                         encap_->name() + " -> " + binding->care_of_address.to_string());
+    stack().trace_packet(
+        sim::TraceKind::Encapsulated, outer,
+        sim::TraceDetail::with_text(sim::TraceDetailKind::EncapTo, encap_->name(),
+                                    binding->care_of_address.value()));
     stack().send(std::move(outer));
 
     if (config_.send_care_of_adverts) {
@@ -220,8 +224,10 @@ void HomeAgent::on_encapsulated(const net::Packet& packet) {
         return;
     }
     ++stats_.packets_reverse_forwarded;
-    stack().trace_packet(sim::TraceKind::Decapsulated, inner,
-                         encap_->name() + " reverse tunnel");
+    stack().trace_packet(
+        sim::TraceKind::Decapsulated, inner,
+        sim::TraceDetail::with_text(sim::TraceDetailKind::DecapReverseTunnel,
+                                    encap_->name()));
     stack().send(std::move(inner));
 }
 

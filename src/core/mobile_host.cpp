@@ -113,8 +113,10 @@ MobileHost::~MobileHost() {
 
 void MobileHost::send_tunneled(net::Packet inner, net::Ipv4Address outer_dst) {
     net::Packet outer = encap_->encapsulate(inner, care_of_, outer_dst);
-    stack().trace_packet(sim::TraceKind::Encapsulated, outer,
-                         encap_->name() + " -> " + outer_dst.to_string());
+    stack().trace_packet(
+        sim::TraceKind::Encapsulated, outer,
+        sim::TraceDetail::with_text(sim::TraceDetailKind::EncapTo, encap_->name(),
+                                    outer_dst.value()));
     stack().send(std::move(outer));
 }
 
@@ -125,7 +127,8 @@ void MobileHost::on_decap_packet(const net::Packet& outer, const tunnel::Encapsu
     } catch (const net::ParseError&) {
         return;
     }
-    stack().trace_packet(sim::TraceKind::Decapsulated, inner, decap.name());
+    stack().trace_packet(sim::TraceKind::Decapsulated, inner,
+                         sim::TraceDetail::txt(decap.name()));
     // Resubmit to IP, as the paper's virtual interface does on receive.
     stack().deliver_local(inner, stack::IpStack::kNoInterface);
 }

@@ -16,10 +16,15 @@ int resolve_attach(int requested, int backbone_len) {
 }
 }  // namespace
 
-World::World(WorldConfig config) : sim(config.scheduler), config_(std::move(config)) {
+World::World(WorldConfig config)
+    : sim(config.scheduler),
+      trace(&sim.record_arena()),
+      decisions(&sim.record_arena()),
+      config_(std::move(config)) {
     if (config_.backbone_routers < 1) {
         throw std::invalid_argument("backbone needs at least one router");
     }
+    trace.set_sampling(config_.trace_sample_rate, config_.trace_sample_seed);
 
     home_lan_ = &make_link("home-lan", config_.lan_latency, config_.lan_bandwidth_bps,
                            config_.lan_mtu);
@@ -132,7 +137,7 @@ World::World(WorldConfig config) : sim(config.scheduler), config_(std::move(conf
 }
 
 void World::adopt_stack(stack::IpStack& stack) {
-    stack.set_trace(trace.sink());
+    stack.set_trace(config_.tracing ? &trace : nullptr);
     const std::string node = stack.node().name();
     const stack::IpStack* s = &stack;
     const auto gauge = [&](const char* name, auto field) {
@@ -162,7 +167,7 @@ sim::Link& World::make_link(std::string name, sim::Duration latency, double band
     cfg.loss_rate = config_.loss_rate;
     cfg.seed = config_.seed + links_.size();
     links_.push_back(std::make_unique<sim::Link>(sim, cfg));
-    links_.back()->set_trace(trace.sink());
+    links_.back()->set_trace(config_.tracing ? &trace : nullptr);
     link_index_.emplace(links_.back()->name(), links_.size() - 1);
     return *links_.back();
 }

@@ -71,6 +71,16 @@ struct WorldConfig {
     /// tests and before/after benchmarks.
     sim::SchedulerKind scheduler = sim::SchedulerKind::Calendar;
 
+    /// Observability knobs (docs/OBSERVABILITY.md). With tracing off,
+    /// links and stacks get no recorder attached and every trace seam in
+    /// the hot path is a single pointer compare — the "untraced" leg of
+    /// bench_perf's overhead block. Sampling (rate < 1) retains only a
+    /// deterministic, seeded subset of journeys while keeping the wire
+    /// aggregates exact; rate 1.0 is byte-identical to full tracing.
+    bool tracing = true;
+    double trace_sample_rate = 1.0;
+    std::uint64_t trace_sample_seed = 0;
+
     HomeAgentConfig home_agent;
 };
 
@@ -88,6 +98,9 @@ public:
     World& operator=(const World&) = delete;
 
     sim::Simulator sim;
+    /// Backed by sim.record_arena() — declared right after `sim` so records
+    /// die before their chunks' arena. Attached to links and stacks only
+    /// when config.tracing is on.
     sim::TraceRecorder trace;
     /// Every node the world creates publishes its counters here (gauges
     /// mirroring the node Stats structs, grouped into "ip", "tunnel",

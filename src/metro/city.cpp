@@ -19,6 +19,7 @@ CitySim::CitySim(CityConfig config)
       topo_(config.metro),
       pop_(topo_, config.population),
       sim_(config.scheduler),
+      decisions_(&sim_.record_arena()),
       tables_(static_cast<std::size_t>(config.metro.home_agents)) {
     if (config_.duration <= 0 || config_.sample_interval <= 0 ||
         config_.storm_window <= 0 || config_.registration_lifetime <= 0) {

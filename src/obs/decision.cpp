@@ -27,14 +27,58 @@ std::string DecisionEvent::to_string() const {
     return out;
 }
 
+DecisionLog::DecisionLog(sim::RecordArena* arena)
+    : arena_(arena != nullptr ? arena : &owned_arena_), records_(*arena_) {}
+
 void DecisionLog::record(DecisionEvent ev) {
-    events_.push_back(std::move(ev));
+    // Decisions are rare (mode changes, probes), so interning nine strings
+    // here is fine — what matters is that nothing else allocates and the
+    // record itself lands in a recycled arena chunk.
+    DecisionRecord rec;
+    rec.when = ev.when;
+    rec.node = strings_.intern(ev.node);
+    rec.correspondent = strings_.intern(ev.correspondent);
+    rec.trigger = strings_.intern(ev.trigger);
+    rec.test = strings_.intern(ev.test);
+    rec.input = strings_.intern(ev.input);
+    rec.from_mode = strings_.intern(ev.from_mode);
+    rec.to_mode = strings_.intern(ev.to_mode);
+    rec.in_mode = strings_.intern(ev.in_mode);
+    rec.detail = strings_.intern(ev.detail);
+    rec.passed = ev.passed;
+    records_.push_back(rec);
+}
+
+const std::vector<DecisionEvent>& DecisionLog::events() const {
+    for (; materialized_upto_ < records_.size(); ++materialized_upto_) {
+        const DecisionRecord& rec = records_[materialized_upto_];
+        DecisionEvent ev;
+        ev.when = rec.when;
+        ev.node = strings_.text(rec.node);
+        ev.correspondent = strings_.text(rec.correspondent);
+        ev.trigger = strings_.text(rec.trigger);
+        ev.test = strings_.text(rec.test);
+        ev.input = strings_.text(rec.input);
+        ev.passed = rec.passed;
+        ev.from_mode = strings_.text(rec.from_mode);
+        ev.to_mode = strings_.text(rec.to_mode);
+        ev.in_mode = strings_.text(rec.in_mode);
+        ev.detail = strings_.text(rec.detail);
+        materialized_.push_back(std::move(ev));
+    }
+    return materialized_;
+}
+
+void DecisionLog::clear() {
+    records_.clear();
+    materialized_.clear();
+    materialized_upto_ = 0;
 }
 
 std::vector<DecisionEvent> DecisionLog::for_correspondent(
     const std::string& correspondent) const {
     std::vector<DecisionEvent> out;
-    for (const DecisionEvent& ev : events_) {
+    for (const DecisionEvent& ev : events()) {
         if (ev.correspondent == correspondent) out.push_back(ev);
     }
     return out;
@@ -42,7 +86,7 @@ std::vector<DecisionEvent> DecisionLog::for_correspondent(
 
 std::vector<std::string> DecisionLog::correspondents() const {
     std::vector<std::string> out;
-    for (const DecisionEvent& ev : events_) out.push_back(ev.correspondent);
+    for (const DecisionEvent& ev : events()) out.push_back(ev.correspondent);
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
@@ -51,7 +95,7 @@ std::vector<std::string> DecisionLog::correspondents() const {
 std::string DecisionLog::chain_string(const std::string& correspondent,
                                       const std::string& line_prefix) const {
     std::string out;
-    for (const DecisionEvent& ev : events_) {
+    for (const DecisionEvent& ev : events()) {
         if (ev.correspondent != correspondent) continue;
         out += line_prefix + ev.to_string() + "\n";
     }
@@ -60,8 +104,8 @@ std::string DecisionLog::chain_string(const std::string& correspondent,
 
 JsonValue DecisionLog::to_json(const std::string& bench,
                                const std::string& label) const {
-    JsonValue::Array events;
-    for (const DecisionEvent& ev : events_) {
+    JsonValue::Array rendered;
+    for (const DecisionEvent& ev : events()) {
         JsonValue::Object e;
         e["t_ns"] = static_cast<std::uint64_t>(ev.when);
         e["node"] = ev.node;
@@ -74,7 +118,7 @@ JsonValue DecisionLog::to_json(const std::string& bench,
         e["to_mode"] = ev.to_mode;
         e["in_mode"] = ev.in_mode;
         e["detail"] = ev.detail;
-        events.emplace_back(std::move(e));
+        rendered.emplace_back(std::move(e));
     }
 
     JsonValue::Object doc;
@@ -82,7 +126,7 @@ JsonValue DecisionLog::to_json(const std::string& bench,
     doc["kind"] = "decisions";
     doc["bench"] = bench;
     doc["label"] = label;
-    doc["events"] = std::move(events);
+    doc["events"] = std::move(rendered);
     return JsonValue(std::move(doc));
 }
 

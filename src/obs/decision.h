@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "sim/record_arena.h"
 #include "sim/time.h"
 
 namespace mip::obs {
@@ -61,17 +62,45 @@ struct DecisionEvent {
     std::string to_string() const;
 };
 
+/// The compact stored form of a DecisionEvent: every string interned to
+/// a u32 id, the record itself written once into an arena chunk. Like
+/// the trace layer's TraceRecord, nothing JSON-shaped or string-valued
+/// exists until export time (ISSUE 7).
+struct DecisionRecord {
+    sim::TimePoint when = 0;
+    std::uint32_t node = 0;
+    std::uint32_t correspondent = 0;
+    std::uint32_t trigger = 0;
+    std::uint32_t test = 0;
+    std::uint32_t input = 0;
+    std::uint32_t from_mode = 0;
+    std::uint32_t to_mode = 0;
+    std::uint32_t in_mode = 0;
+    std::uint32_t detail = 0;
+    bool passed = false;
+};
+
 /// Append-only log of DecisionEvents, indexed per correspondent on
 /// demand. Attach one to the producing objects (DeliveryMethodCache,
 /// CapabilityProber) to turn recording on; detached, they pay one null
 /// pointer compare per decision.
+///
+/// Storage mirrors TraceRecorder: compact DecisionRecords in arena
+/// chunks (pass the per-Simulator arena; with none given the log owns a
+/// private arena), strings interned once, classic DecisionEvents
+/// materialized lazily by events(). The returned reference is
+/// invalidated by the next record() or clear().
 class DecisionLog {
 public:
+    explicit DecisionLog(sim::RecordArena* arena = nullptr);
+    DecisionLog(const DecisionLog&) = delete;
+    DecisionLog& operator=(const DecisionLog&) = delete;
+
     void record(DecisionEvent ev);
 
-    const std::vector<DecisionEvent>& events() const noexcept { return events_; }
-    std::size_t size() const noexcept { return events_.size(); }
-    void clear() { events_.clear(); }
+    const std::vector<DecisionEvent>& events() const;
+    std::size_t size() const noexcept { return records_.size(); }
+    void clear();
 
     /// Events about one correspondent, in record order.
     std::vector<DecisionEvent> for_correspondent(const std::string& correspondent) const;
@@ -96,7 +125,12 @@ public:
     std::string to_json_string(const std::string& bench, const std::string& label) const;
 
 private:
-    std::vector<DecisionEvent> events_;
+    sim::RecordArena owned_arena_;  ///< used when no arena is injected
+    sim::RecordArena* arena_;
+    sim::RecordLog<DecisionRecord> records_;
+    sim::StringInterner strings_;
+    mutable std::vector<DecisionEvent> materialized_;
+    mutable std::size_t materialized_upto_ = 0;
 };
 
 /// Checks a parsed document against the decision-event schema in

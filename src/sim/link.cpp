@@ -38,25 +38,20 @@ Duration Link::transmission_delay(std::size_t bytes) const {
 }
 
 void Link::emit(TraceKind kind, const Nic* at, const Frame& frame,
-                std::string detail) const {
-    if (!trace_) return;
-    TraceEvent ev;
-    ev.kind = kind;
-    ev.when = simulator_.now();
-    ev.node = at != nullptr ? at->owner().name() : std::string{};
-    ev.link = this;
-    ev.bytes = frame.wire_size();
-    ev.ethertype = static_cast<std::uint16_t>(frame.type);
-    ev.packet_id = frame.journey;
-    ev.detail = std::move(detail);
-    trace_(ev);
+                const TraceDetail& detail) const {
+    if (trace_ == nullptr) return;
+    trace_->record(kind, simulator_.now(),
+                   at != nullptr ? trace_->node_id(at->owner()) : 0, this,
+                   static_cast<std::uint32_t>(frame.wire_size()),
+                   static_cast<std::uint16_t>(frame.type), frame.journey, detail);
 }
 
 void Link::transmit(const Nic& sender, Frame frame) {
     if (frame.payload.size() > config_.mtu) {
         emit(TraceKind::FrameTooBig, &sender, frame,
-             "payload " + std::to_string(frame.payload.size()) + " > mtu " +
-                 std::to_string(config_.mtu));
+             TraceDetail::args(TraceDetailKind::PayloadExceedsMtu,
+                               static_cast<std::uint32_t>(frame.payload.size()),
+                               static_cast<std::uint32_t>(config_.mtu)));
         return;
     }
     emit(TraceKind::FrameTx, &sender, frame);
@@ -70,7 +65,8 @@ void Link::transmit(const Nic& sender, Frame frame) {
         const FaultVerdict verdict = fault_->on_transmit(frame, simulator_.now());
         if (verdict.drop) {
             emit(TraceKind::FrameLost, &sender, frame,
-                 verdict.drop_reason != nullptr ? verdict.drop_reason : "fault");
+                 TraceDetail::txt(verdict.drop_reason != nullptr ? verdict.drop_reason
+                                                                 : "fault"));
             simulator_.buffer_pool().release(std::move(frame.payload));
             return;
         }

@@ -64,7 +64,12 @@ public:
     std::size_t mtu() const noexcept { return config_.mtu; }
     const LinkConfig& config() const noexcept { return config_; }
 
-    void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+    /// Attaches (or, with nullptr, detaches) the trace recorder. Off by
+    /// default; when detached the per-frame cost is one pointer compare,
+    /// matching the fault-hook contract below. The recorder must outlive
+    /// its attachment.
+    void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+    TraceRecorder* trace() const noexcept { return trace_; }
 
     /// Installs a raw-frame observer (see obs::PcapWriter). The tap sees
     /// every frame offered to the wire — including frames the loss model
@@ -96,13 +101,13 @@ public:
 private:
     Duration transmission_delay(std::size_t bytes) const;
     void emit(TraceKind kind, const Nic* at, const Frame& frame,
-              std::string detail = {}) const;
+              const TraceDetail& detail = {}) const;
 
     Simulator& simulator_;
     LinkConfig config_;
     std::vector<Nic*> nics_;
     mutable std::mt19937_64 rng_;
-    TraceSink trace_;
+    TraceRecorder* trace_ = nullptr;
     FrameTap tap_;
     LinkFault* fault_ = nullptr;
     /// The shared medium serializes transmissions: the time until which the

@@ -8,6 +8,7 @@
 
 #include "sim/nic.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace mip::sim {
 
@@ -29,10 +30,17 @@ public:
     Nic& nic(std::size_t index) { return *nics_.at(index); }
     const Nic& nic(std::size_t index) const { return *nics_.at(index); }
 
+    /// Scratch slot used by TraceRecorder::node_id() to cache this node's
+    /// interned-name id: a hot-path trace event resolves the node name
+    /// with one u64 compare instead of a hash lookup. Owned logically by
+    /// the tracing layer; mutable because tracing never changes the node.
+    NodeInternCache& trace_cache() const noexcept { return trace_cache_; }
+
 private:
     Simulator& simulator_;
     std::string name_;
     std::vector<std::unique_ptr<Nic>> nics_;
+    mutable NodeInternCache trace_cache_;
 };
 
 }  // namespace mip::sim

@@ -1,0 +1,170 @@
+// Per-simulator arena for observability records (ISSUE 7 tentpole).
+//
+// The BufferPool (net/pool.h) recycles packet payload storage; this is
+// the same idea one layer up, for the fixed-size binary records the
+// trace recorder and decision log append on the hot path. Records live
+// in 64 KiB chunks drawn from the arena; clearing a log returns its
+// chunks to the freelist, so the steady state of a bench loop (record a
+// window, clear, record the next) allocates nothing after warm-up.
+//
+// One arena per Simulator, like the buffer pool: single-threaded by
+// construction, nothing shared across parallel sweep jobs. A RecordLog
+// may also be given no arena, in which case its owner provides one (see
+// TraceRecorder's owned fallback) — either way the log must not outlive
+// the arena it borrows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace mip::sim {
+
+class RecordArena {
+public:
+    /// Chunk size in bytes. 64 KiB holds ~1100 trace records; small runs
+    /// never need a second chunk, city-scale runs amortize the allocation
+    /// over a thousand appends.
+    static constexpr std::size_t kChunkBytes = 64 * 1024;
+    /// Freelist bound, after which released chunks are simply freed.
+    static constexpr std::size_t kMaxFreeChunks = 64;
+
+    using Chunk = std::unique_ptr<std::byte[]>;
+
+    /// A chunk from the freelist when one is available, else fresh.
+    Chunk acquire() {
+        ++stats_.acquires;
+        if (!free_.empty()) {
+            ++stats_.reuses;
+            Chunk chunk = std::move(free_.back());
+            free_.pop_back();
+            return chunk;
+        }
+        ++stats_.allocations;
+        return std::make_unique<std::byte[]>(kChunkBytes);
+    }
+
+    /// Retires a chunk; its storage feeds the next acquire().
+    void release(Chunk chunk) {
+        if (chunk == nullptr) return;
+        ++stats_.releases;
+        if (free_.size() >= kMaxFreeChunks) {
+            ++stats_.discarded;
+            return;
+        }
+        free_.push_back(std::move(chunk));
+    }
+
+    struct Stats {
+        std::uint64_t acquires = 0;     ///< total acquire() calls
+        std::uint64_t reuses = 0;       ///< acquires served from the freelist
+        std::uint64_t allocations = 0;  ///< acquires that hit the heap
+        std::uint64_t releases = 0;     ///< total release() calls
+        std::uint64_t discarded = 0;    ///< releases dropped (freelist full)
+    };
+    const Stats& stats() const noexcept { return stats_; }
+    std::size_t free_count() const noexcept { return free_.size(); }
+
+private:
+    std::vector<Chunk> free_;
+    Stats stats_;
+};
+
+/// Append-only sequence of trivially-copyable records backed by arena
+/// chunks. No per-record allocation, no reallocation-and-copy growth the
+/// way std::vector grows; clear() hands every chunk back to the arena.
+template <typename T>
+class RecordLog {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "RecordLog records are raw POD stored in byte chunks");
+
+public:
+    static constexpr std::size_t kPerChunk = RecordArena::kChunkBytes / sizeof(T);
+
+    explicit RecordLog(RecordArena& arena) : arena_(&arena) {}
+    RecordLog(const RecordLog&) = delete;
+    RecordLog& operator=(const RecordLog&) = delete;
+    ~RecordLog() { clear(); }
+
+    void push_back(const T& value) {
+        if (size_ == chunks_.size() * kPerChunk) {
+            chunks_.push_back(arena_->acquire());
+        }
+        ::new (chunks_[size_ / kPerChunk].get() + (size_ % kPerChunk) * sizeof(T))
+            T(value);
+        ++size_;
+    }
+
+    const T& operator[](std::size_t i) const {
+        return *std::launder(reinterpret_cast<const T*>(
+            chunks_[i / kPerChunk].get() + (i % kPerChunk) * sizeof(T)));
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    void clear() {
+        for (auto& chunk : chunks_) {
+            arena_->release(std::move(chunk));
+        }
+        chunks_.clear();
+        size_ = 0;
+    }
+
+private:
+    RecordArena* arena_;
+    std::vector<RecordArena::Chunk> chunks_;
+    std::size_t size_ = 0;
+};
+
+/// String interning table shared by the trace recorder and the decision
+/// log: stores each distinct string once, hands out stable dense ids.
+/// Id 0 is always the empty string, so zero-initialized records read
+/// back as "".
+class StringInterner {
+public:
+    StringInterner() { texts_.emplace_back(); }
+
+    std::uint32_t intern(std::string_view text) {
+        if (text.empty()) return 0;
+        const auto it = ids_.find(text);
+        if (it != ids_.end()) return it->second;
+        const auto id = static_cast<std::uint32_t>(texts_.size());
+        texts_.emplace_back(text);
+        ids_.emplace(texts_.back(), id);
+        return id;
+    }
+
+    const std::string& text(std::uint32_t id) const { return texts_.at(id); }
+    std::size_t size() const noexcept { return texts_.size(); }
+
+private:
+    struct Hash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct Eq {
+        using is_transparent = void;
+        bool operator()(std::string_view a, std::string_view b) const noexcept {
+            return a == b;
+        }
+    };
+
+    /// id -> text. The map stores its own key copies in node-stable
+    /// storage, so vector growth moving the texts_ entries is harmless;
+    /// the duplication is cheap because the interned set is tiny (node
+    /// names, encapsulation-scheme names, filter-rule descriptions).
+    std::vector<std::string> texts_;
+    std::unordered_map<std::string, std::uint32_t, Hash, Eq> ids_;
+};
+
+}  // namespace mip::sim

@@ -21,6 +21,7 @@
 
 #include "net/pool.h"
 #include "sim/event_queue.h"
+#include "sim/record_arena.h"
 #include "sim/time.h"
 
 namespace mip::sim {
@@ -97,6 +98,13 @@ public:
     net::BufferPool& buffer_pool() noexcept { return buffer_pool_; }
     const net::BufferPool& buffer_pool() const noexcept { return buffer_pool_; }
 
+    /// The world's observability-record arena (see sim::RecordArena): the
+    /// trace recorder and decision log draw their chunk storage from here,
+    /// so clearing a window recycles storage instead of freeing it.
+    /// Single-threaded like the simulator and the buffer pool.
+    RecordArena& record_arena() noexcept { return record_arena_; }
+    const RecordArena& record_arena() const noexcept { return record_arena_; }
+
     std::size_t pending_events() const noexcept {
         return kind_ == SchedulerKind::Calendar ? calendar_.size() : heap_.size();
     }
@@ -138,6 +146,7 @@ private:
     std::uint32_t next_mac_id_ = 1;
     std::uint16_t next_ping_ident_ = 1;
     net::BufferPool buffer_pool_;
+    RecordArena record_arena_;
     std::uint64_t events_fired_ = 0;
     SimProfiler* profiler_ = nullptr;
     SchedulerKind kind_;

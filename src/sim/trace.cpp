@@ -1,6 +1,30 @@
 #include "sim/trace.h"
 
+#include <atomic>
+#include <cmath>
+
+#include "net/ipv4_address.h"
+#include "sim/node.h"
+
 namespace mip::sim {
+
+namespace {
+
+/// Recorder serial numbers for the NodeInternCache handshake. Process-wide
+/// and monotonically increasing, so a cache slot written by one recorder
+/// can never be mistaken as valid by another (including a recorder later
+/// constructed at the same address). Does not affect artifact bytes —
+/// only cache validity.
+std::uint64_t next_recorder_serial() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string ip(std::uint32_t host_order) {
+    return net::Ipv4Address(host_order).to_string();
+}
+
+}  // namespace
 
 const char* to_string(TraceKind kind) {
     switch (kind) {
@@ -20,24 +44,131 @@ const char* to_string(TraceKind kind) {
     return "?";
 }
 
-TraceSink TraceRecorder::sink() {
-    return [this](const TraceEvent& ev) { record(ev); };
-}
+TraceRecorder::TraceRecorder(RecordArena* arena)
+    : arena_(arena != nullptr ? arena : &owned_arena_),
+      records_(*arena_),
+      serial_(next_recorder_serial()) {}
 
-void TraceRecorder::record(const TraceEvent& ev) {
-    events_.push_back(ev);
-    ++counts_[static_cast<std::size_t>(ev.kind)];
-    if (ev.kind == TraceKind::FrameTx) {
-        total_tx_bytes_ += ev.bytes;
-        if (ev.ethertype == 0x0800) {
+void TraceRecorder::record(TraceKind kind, TimePoint when, std::uint32_t node_id,
+                           const Link* link, std::uint32_t bytes, std::uint16_t ethertype,
+                           std::uint64_t packet_id, const TraceDetail& detail) {
+    // Aggregates stay exact whatever the sampling rate: they are what the
+    // figure benches and metrics gauges read.
+    ++counts_[static_cast<std::size_t>(kind)];
+    if (kind == TraceKind::FrameTx) {
+        total_tx_bytes_ += bytes;
+        if (ethertype == 0x0800) {
             ++ip_hops_;
-            ip_tx_bytes_ += ev.bytes;
+            ip_tx_bytes_ += bytes;
         }
     }
+    if (!keeps(packet_id)) {
+        ++sampled_out_;
+        return;
+    }
+    TraceRecord rec;
+    rec.when = when;
+    rec.packet_id = packet_id;
+    rec.link = link;
+    rec.node = node_id;
+    rec.bytes = bytes;
+    rec.a = detail.a;
+    rec.b = detail.b;
+    rec.c = detail.c;
+    rec.text = detail.text.empty() ? 0 : names_.intern(detail.text);
+    rec.ethertype = ethertype;
+    rec.kind = static_cast<std::uint8_t>(kind);
+    rec.detail_kind = static_cast<std::uint8_t>(detail.kind);
+    records_.push_back(rec);
+}
+
+std::uint32_t TraceRecorder::node_id(const Node& node) {
+    NodeInternCache& cache = node.trace_cache();
+    if (cache.owner != serial_) {
+        cache.owner = serial_;
+        cache.id = names_.intern(node.name());
+    }
+    return cache.id;
+}
+
+void TraceRecorder::set_sampling(double rate, std::uint64_t seed) {
+    sample_rate_ = rate;
+    sample_seed_ = seed;
+    // keeps() compares the top 53 bits of the journey hash (uniform in
+    // [0, 2^53)) against rate * 2^53; 53 bits because that is the double
+    // mantissa, so every representable rate maps to a distinct threshold.
+    const double clamped = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+    sample_threshold_ = static_cast<std::uint64_t>(std::ldexp(clamped, 53));
+}
+
+const std::vector<TraceEvent>& TraceRecorder::events() const {
+    for (; materialized_upto_ < records_.size(); ++materialized_upto_) {
+        const TraceRecord& rec = records_[materialized_upto_];
+        TraceEvent ev;
+        ev.kind = static_cast<TraceKind>(rec.kind);
+        ev.when = rec.when;
+        ev.node = names_.text(rec.node);
+        ev.link = rec.link;
+        ev.bytes = rec.bytes;
+        ev.ethertype = rec.ethertype;
+        ev.packet_id = rec.packet_id;
+        ev.detail = format_detail(rec);
+        materialized_.push_back(std::move(ev));
+    }
+    return materialized_;
+}
+
+std::string TraceRecorder::format_detail(const TraceRecord& rec) const {
+    // Renders exactly the strings the pre-refactor eager path built at the
+    // call sites (tests/golden/ holds the byte-identity proof).
+    switch (static_cast<TraceDetailKind>(rec.detail_kind)) {
+        case TraceDetailKind::None:
+            return {};
+        case TraceDetailKind::Text:
+            return names_.text(rec.text);
+        case TraceDetailKind::PayloadExceedsMtu:
+            return "payload " + std::to_string(rec.a) + " > mtu " + std::to_string(rec.b);
+        case TraceDetailKind::ProtoSrcDst:
+            return "proto " + std::to_string(rec.a) + " " + ip(rec.b) + " -> " +
+                   ip(rec.c);
+        case TraceDetailKind::Proto:
+            return "proto " + std::to_string(rec.a);
+        case TraceDetailKind::Dst:
+            return "dst " + ip(rec.a);
+        case TraceDetailKind::DstVia:
+            return "dst " + ip(rec.a) + " via " + ip(rec.b);
+        case TraceDetailKind::NoRouteSend:
+            return "send: no route to " + ip(rec.a);
+        case TraceDetailKind::NoRouteForward:
+            return "forward: no route to " + ip(rec.a);
+        case TraceDetailKind::InterfaceDown:
+            return "transmit: interface down";
+        case TraceDetailKind::ArpFailed:
+            return "ARP resolution failed";
+        case TraceDetailKind::DfExceedsMtu:
+            return "DF set and packet exceeds MTU";
+        case TraceDetailKind::FilterRule:
+            return names_.text(rec.text) + " [src " + ip(rec.a) + " dst " + ip(rec.b) +
+                   "]";
+        case TraceDetailKind::EncapTo:
+            return names_.text(rec.text) + " -> " + ip(rec.a);
+        case TraceDetailKind::EncapRelayTo:
+            return names_.text(rec.text) + " relay -> " + ip(rec.a);
+        case TraceDetailKind::EncapReverseTo:
+            return names_.text(rec.text) + " reverse -> " + ip(rec.a);
+        case TraceDetailKind::DecapForVisitor:
+            return names_.text(rec.text) + " for visitor " + ip(rec.a);
+        case TraceDetailKind::DecapReverseTunnel:
+            return names_.text(rec.text) + " reverse tunnel";
+    }
+    return {};
 }
 
 void TraceRecorder::clear() {
-    events_.clear();
+    records_.clear();
+    materialized_.clear();
+    materialized_upto_ = 0;
+    sampled_out_ = 0;
     counts_.fill(0);
     total_tx_bytes_ = 0;
     ip_hops_ = 0;
@@ -46,9 +177,11 @@ void TraceRecorder::clear() {
 
 std::vector<std::string> TraceRecorder::ip_tx_nodes() const {
     std::vector<std::string> out;
-    for (const auto& ev : events_) {
-        if (ev.kind == TraceKind::FrameTx && ev.ethertype == 0x0800) {
-            out.push_back(ev.node);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const TraceRecord& rec = records_[i];
+        if (static_cast<TraceKind>(rec.kind) == TraceKind::FrameTx &&
+            rec.ethertype == 0x0800) {
+            out.push_back(names_.text(rec.node));
         }
     }
     return out;

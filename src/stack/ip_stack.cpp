@@ -114,32 +114,28 @@ void IpStack::register_protocol(net::IpProto proto, ProtocolHandler handler) {
 }
 
 void IpStack::emit_trace(sim::TraceKind kind, const net::Packet* packet,
-                         std::string detail) {
-    if (!trace_) return;
-    sim::TraceEvent ev;
-    ev.kind = kind;
-    ev.when = simulator_.now();
-    ev.node = node_.name();
-    if (packet != nullptr) {
-        ev.packet_id = packet->journey();
-        ev.bytes = packet->wire_size();
-    }
-    ev.detail = std::move(detail);
-    trace_(ev);
+                         const sim::TraceDetail& detail) {
+    if (trace_ == nullptr) return;
+    trace_->record(kind, simulator_.now(), trace_->node_id(node_), nullptr,
+                   packet != nullptr
+                       ? static_cast<std::uint32_t>(packet->wire_size())
+                       : 0,
+                   0, packet != nullptr ? packet->journey() : 0, detail);
 }
 
 void IpStack::trace_packet(sim::TraceKind kind, const net::Packet& packet,
-                           std::string detail) {
-    emit_trace(kind, &packet, std::move(detail));
+                           const sim::TraceDetail& detail) {
+    emit_trace(kind, &packet, detail);
 }
 
 void IpStack::begin_journey(net::Packet& packet) {
     if (packet.journey() != 0) return;  // mid-journey (forward/encap/resend)
     packet.set_journey(simulator_.next_packet_id());
     emit_trace(sim::TraceKind::PacketSent, &packet,
-               "proto " + std::to_string(static_cast<int>(packet.header().protocol)) +
-                   " " + packet.header().src.to_string() + " -> " +
-                   packet.header().dst.to_string());
+               sim::TraceDetail::args(
+                   sim::TraceDetailKind::ProtoSrcDst,
+                   static_cast<std::uint32_t>(packet.header().protocol),
+                   packet.header().src.value(), packet.header().dst.value()));
 }
 
 FlowKey IpStack::flow_from_packet(const net::Packet& packet) {
@@ -271,7 +267,8 @@ void IpStack::send(net::Packet packet, std::optional<FlowKey> flow_opt) {
     if (!entry) {
         ++stats_.no_route_drops;
         emit_trace(sim::TraceKind::NoRoute, &packet,
-                   "send: no route to " + packet.header().dst.to_string());
+                   sim::TraceDetail::args(sim::TraceDetailKind::NoRouteSend,
+                                          packet.header().dst.value()));
         return;
     }
     Interface& out = iface(entry->interface_index);
@@ -291,7 +288,8 @@ void IpStack::transmit(net::Packet packet, std::size_t interface_index,
     Interface& out = iface(interface_index);
     if (!out.is_physical() || out.nic() == nullptr || !out.nic()->connected()) {
         ++stats_.no_route_drops;
-        emit_trace(sim::TraceKind::NoRoute, &packet, "transmit: interface down");
+        emit_trace(sim::TraceKind::NoRoute, &packet,
+                   sim::TraceDetail::args(sim::TraceDetailKind::InterfaceDown, 0));
         return;
     }
     // Egress filters run on the full datagram before fragmentation.
@@ -304,7 +302,8 @@ void IpStack::transmit(net::Packet packet, std::size_t interface_index,
     try {
         pieces = net::fragment(packet, mtu);
     } catch (const std::invalid_argument&) {
-        emit_trace(sim::TraceKind::FrameTooBig, &packet, "DF set and packet exceeds MTU");
+        emit_trace(sim::TraceKind::FrameTooBig, &packet,
+                   sim::TraceDetail::args(sim::TraceDetailKind::DfExceedsMtu, 0));
         return;
     }
     if (pieces.size() > 1) {
@@ -353,7 +352,8 @@ void IpStack::transmit_one(net::Packet fragment, std::size_t interface_index,
                                std::optional<sim::MacAddress> mac) mutable {
         if (!mac) {
             ++stats_.arp_failures;
-            emit_trace(sim::TraceKind::NoRoute, nullptr, "ARP resolution failed");
+            emit_trace(sim::TraceKind::NoRoute, nullptr,
+                       sim::TraceDetail::args(sim::TraceDetailKind::ArpFailed, 0));
             simulator_.buffer_pool().release(std::move(wire));
             return;
         }
@@ -423,20 +423,23 @@ void IpStack::forward(net::Packet packet, std::size_t in_interface) {
     if (!packet.decrement_ttl()) {
         ++stats_.ttl_drops;
         emit_trace(sim::TraceKind::TtlExpired, &packet,
-                   "dst " + packet.header().dst.to_string());
+                   sim::TraceDetail::args(sim::TraceDetailKind::Dst,
+                                          packet.header().dst.value()));
         return;
     }
     auto entry = routes_.lookup(packet.header().dst);
     if (!entry) {
         ++stats_.no_route_drops;
         emit_trace(sim::TraceKind::NoRoute, &packet,
-                   "forward: no route to " + packet.header().dst.to_string());
+                   sim::TraceDetail::args(sim::TraceDetailKind::NoRouteForward,
+                                          packet.header().dst.value()));
         return;
     }
     ++stats_.packets_forwarded;
     const net::Ipv4Address next_hop = entry->on_link() ? packet.header().dst : entry->gateway;
     emit_trace(sim::TraceKind::PacketForwarded, &packet,
-               "dst " + packet.header().dst.to_string() + " via " + next_hop.to_string());
+               sim::TraceDetail::args(sim::TraceDetailKind::DstVia,
+                                      packet.header().dst.value(), next_hop.value()));
     transmit(std::move(packet), entry->interface_index, next_hop);
 }
 
@@ -447,9 +450,13 @@ bool IpStack::run_filters(
     for (const auto& rule : rules) {
         if (rule->evaluate(header) == routing::FilterVerdict::Drop) {
             ++*drop_counter;
+            // describe() allocates, but only on the (cold) drop path; the
+            // view is interned before this full-expression ends.
+            const std::string rule_text = rule->describe();
             emit_trace(sim::TraceKind::FilterDrop, &packet,
-                       rule->describe() + " [src " + header.src.to_string() + " dst " +
-                           header.dst.to_string() + "]");
+                       sim::TraceDetail::with_text(sim::TraceDetailKind::FilterRule,
+                                                   rule_text, header.src.value(),
+                                                   header.dst.value()));
             if (filter_feedback_) {
                 send_filter_feedback(packet);
             }
@@ -502,7 +509,9 @@ void IpStack::deliver_local(const net::Packet& packet, std::size_t in_interface)
     }
     ++stats_.packets_delivered;
     emit_trace(sim::TraceKind::PacketDelivered, &*complete,
-               "proto " + std::to_string(static_cast<int>(complete->header().protocol)));
+               sim::TraceDetail::args(
+                   sim::TraceDetailKind::Proto,
+                   static_cast<std::uint32_t>(complete->header().protocol)));
     if (complete->header().dst.is_multicast() && multicast_observer_) {
         multicast_observer_(*complete);
     }

@@ -157,13 +157,20 @@ public:
 
     // ---- observability ----------------------------------------------------
 
-    void set_trace(sim::TraceSink sink) { trace_ = std::move(sink); }
+    /// Attaches (or, with nullptr, detaches) the trace recorder. Off by
+    /// default; when detached every trace seam in the stack costs a single
+    /// pointer compare and builds nothing — detail arguments are packed
+    /// lazily on the recorder side (see sim::TraceDetail). The recorder
+    /// must outlive its attachment.
+    void set_trace(sim::TraceRecorder* trace) noexcept { trace_ = trace; }
+    sim::TraceRecorder* trace() const noexcept { return trace_; }
 
     /// Emits a packet-level trace event attributed to this node. The tunnel
     /// layer uses this to report Encapsulated/Decapsulated milestones that
     /// happen above the stack proper (virtual-interface senders, protocol
     /// handlers) so they land in the same journey as the stack's own events.
-    void trace_packet(sim::TraceKind kind, const net::Packet& packet, std::string detail);
+    void trace_packet(sim::TraceKind kind, const net::Packet& packet,
+                      const sim::TraceDetail& detail);
 
     struct Stats {
         std::size_t packets_sent = 0;
@@ -200,7 +207,8 @@ private:
     /// source (when filter feedback is on).
     void send_filter_feedback(const net::Packet& dropped);
     void handle_icmp(const net::Packet& packet, std::size_t in_interface);
-    void emit_trace(sim::TraceKind kind, const net::Packet* packet, std::string detail);
+    void emit_trace(sim::TraceKind kind, const net::Packet* packet,
+                    const sim::TraceDetail& detail);
     /// Assigns a journey id if the packet doesn't have one yet (i.e. this
     /// stack is the datagram's origin) and emits the PacketSent milestone.
     void begin_journey(net::Packet& packet);
@@ -224,7 +232,7 @@ private:
     std::map<net::IpProto, ProtocolHandler> protocols_;
     std::vector<IcmpObserver> icmp_observers_;
     net::Reassembler reassembler_;
-    sim::TraceSink trace_;
+    sim::TraceRecorder* trace_ = nullptr;
     Stats stats_;
     std::uint16_t next_ip_id_ = 1;
 };

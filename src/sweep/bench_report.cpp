@@ -45,6 +45,15 @@ std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc)
     require(problems,
             doc.contains("schema_version") && doc.at("schema_version").is_number(),
             "schema_version must be a number");
+    // Schema v3 (ISSUE 7) adds the tracing-overhead block: every scenario
+    // carries {untraced, traced, sampled} runs plus the two percentages,
+    // and the city block carries an observability section. Older
+    // documents (v2) stay valid — the extra requirements only kick in
+    // when the document claims the newer version.
+    const double schema_version =
+        doc.contains("schema_version") && doc.at("schema_version").is_number()
+            ? doc.at("schema_version").as_number()
+            : 0.0;
     // Wall-clock figures are meaningless without knowing how many cores
     // the box had (the EXPERIMENTS sweep-scaling caveat): every report
     // must say what it ran on.
@@ -86,6 +95,38 @@ std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc)
         };
         overhead_needs("fault_attached_overhead_pct", "baseline", "fault_attached");
         overhead_needs("instrumentation_overhead_pct", "baseline", "instrumented");
+
+        if (schema_version >= 3.0) {
+            if (sc.contains("overhead") && sc.at("overhead").is_object()) {
+                const obs::JsonValue& oh = sc.at("overhead");
+                const std::string owhere = where + ".overhead";
+                check_run(problems, oh, "untraced", owhere);
+                check_run(problems, oh, "traced", owhere);
+                check_run(problems, oh, "sampled", owhere);
+                for (const char* pct : {"traced_overhead_pct", "sampled_overhead_pct"}) {
+                    require(problems, oh.contains(pct) && oh.at(pct).is_number(),
+                            owhere + "." + pct + " must be a number");
+                }
+                // Same medians rule as v2: a percentage from one sample of
+                // each side is noise, not a measurement.
+                const bool enough =
+                    oh.contains("untraced") && oh.contains("traced") &&
+                    oh.contains("sampled") && reps_of(oh.at("untraced")) >= 2 &&
+                    reps_of(oh.at("traced")) >= 2 && reps_of(oh.at("sampled")) >= 2;
+                require(problems, enough,
+                        owhere + ": overhead percentages require >= 2 reps on "
+                                 "untraced, traced and sampled runs");
+                if (oh.contains("sampled") && oh.at("sampled").is_object()) {
+                    require(problems,
+                            oh.at("sampled").contains("sample_rate") &&
+                                oh.at("sampled").at("sample_rate").is_number(),
+                            owhere + ".sampled.sample_rate must be a number");
+                }
+            } else {
+                problems.push_back(where +
+                                   ".overhead must be an object (schema_version >= 3)");
+            }
+        }
     }
 
     if (doc.contains("sweep_scaling")) {
@@ -160,6 +201,24 @@ std::vector<std::string> validate_bench_perf_document(const obs::JsonValue& doc)
             }
         } else {
             problems.push_back("city.find_link must be an object");
+        }
+        if (schema_version >= 3.0) {
+            if (city.contains("observability") && city.at("observability").is_object()) {
+                const obs::JsonValue& ob = city.at("observability");
+                for (const char* field : {"sampler_off_wall_ms", "sampler_on_wall_ms",
+                                          "overhead_pct", "metrics_interval_s"}) {
+                    require(problems, ob.contains(field) && ob.at(field).is_number(),
+                            std::string("city.observability.") + field +
+                                " must be a number");
+                }
+                require(problems,
+                        ob.contains("reps") && ob.at("reps").is_number() &&
+                            ob.at("reps").as_number() >= 2,
+                        "city.observability.overhead_pct requires reps >= 2");
+            } else {
+                problems.push_back(
+                    "city.observability must be an object (schema_version >= 3)");
+            }
         }
     }
     return problems;

@@ -101,7 +101,7 @@ struct TestRig {
 
     explicit TestRig(LinkConfig cfg = {})
         : link(sim, cfg), nic_a(a.add_nic()), nic_b(b.add_nic()) {
-        link.set_trace(trace.sink());
+        link.set_trace(&trace);
         nic_a.connect(link);
         nic_b.connect(link);
     }

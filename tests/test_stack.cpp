@@ -22,11 +22,11 @@ struct TwoLanRig {
     stack::Router r{sim, "router"};
 
     TwoLanRig() {
-        lan_a.set_trace(trace.sink());
-        lan_b.set_trace(trace.sink());
+        lan_a.set_trace(&trace);
+        lan_b.set_trace(&trace);
         r.attach(lan_a, "10.0.1.1"_ip, "10.0.1.0/24"_net);
         r.attach(lan_b, "10.0.2.1"_ip, "10.0.2.0/24"_net);
-        r.stack().set_trace(trace.sink());
+        r.stack().set_trace(&trace);
         a.attach(lan_a, "10.0.1.2"_ip, "10.0.1.0/24"_net, "10.0.1.1"_ip);
         b.attach(lan_b, "10.0.2.2"_ip, "10.0.2.0/24"_net, "10.0.2.1"_ip);
     }

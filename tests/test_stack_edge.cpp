@@ -21,7 +21,7 @@ struct LanRig {
     stack::Host a{sim, "a"}, b{sim, "b"};
 
     explicit LanRig(sim::LinkConfig cfg = {}) : lan(sim, cfg) {
-        lan.set_trace(trace.sink());
+        lan.set_trace(&trace);
         a.attach(lan, "10.0.0.1"_ip, "10.0.0.0/24"_net);
         b.attach(lan, "10.0.0.2"_ip, "10.0.0.0/24"_net);
     }

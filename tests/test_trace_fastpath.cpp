@@ -1,0 +1,263 @@
+// ISSUE 7: tests for the binary-record trace fast path — arena recycling,
+// detached-recorder neutrality, seeded sampling determinism, and the
+// deferred detail formatting contract (docs/TRACE_FORMAT.md §9).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "sim/record_arena.h"
+#include "sim/trace.h"
+#include "transport/pinger.h"
+
+using namespace mip;
+using namespace mip::core;
+
+namespace {
+
+/// Runs the same short ping exchange in a fresh world and returns it.
+std::unique_ptr<World> run_ping_world(WorldConfig config) {
+    auto world = std::make_unique<World>(std::move(config));
+    CorrespondentHost& ch = world->create_correspondent({}, Placement::CorrLan);
+    world->create_mobile_host();
+    if (!world->attach_mobile_foreign()) {
+        throw std::runtime_error("attach failed");
+    }
+    transport::Pinger pinger(ch.stack());
+    pinger.ping(world->mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    world->run_for(sim::seconds(4));
+    return world;
+}
+
+}  // namespace
+
+// ---- arena ---------------------------------------------------------------
+
+TEST(RecordArena, RecyclesChunksThroughClear) {
+    sim::RecordArena arena;
+    sim::RecordLog<sim::TraceRecord> log(arena);
+    const std::size_t two_chunks = sim::RecordLog<sim::TraceRecord>::kPerChunk * 2;
+    for (std::size_t i = 0; i < two_chunks; ++i) {
+        log.push_back({});
+    }
+    EXPECT_EQ(arena.stats().allocations, 2u);
+    log.clear();
+    EXPECT_EQ(arena.stats().releases, 2u);
+    EXPECT_EQ(arena.free_count(), 2u);
+    // The second fill must be served entirely from the freelist.
+    for (std::size_t i = 0; i < two_chunks; ++i) {
+        log.push_back({});
+    }
+    EXPECT_EQ(arena.stats().allocations, 2u) << "refill allocated fresh chunks";
+    EXPECT_EQ(arena.stats().reuses, 2u);
+}
+
+TEST(RecordArena, WorldTraceRecycledAcrossClear) {
+    World world;
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    world.create_mobile_host();
+    ASSERT_TRUE(world.attach_mobile_foreign());
+    transport::Pinger pinger(ch.stack());
+    pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    world.run_for(sim::seconds(4));
+    ASSERT_GT(world.trace.record_count(), 0u);
+    const auto before = world.sim.record_arena().stats();
+    world.trace.clear();
+    // A second burst of traffic must reuse the released chunks.
+    pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    world.run_for(sim::seconds(4));
+    const auto after = world.sim.record_arena().stats();
+    EXPECT_GT(after.reuses, before.reuses)
+        << "steady-state tracing should recycle arena chunks, not allocate";
+    EXPECT_EQ(after.allocations, before.allocations);
+}
+
+// ---- detached neutrality --------------------------------------------------
+
+TEST(TraceFastPath, DetachedRecorderIsNeutral) {
+    WorldConfig off;
+    off.tracing = false;
+    auto traced = run_ping_world({});
+    auto untraced = run_ping_world(off);
+
+    // Tracing off: nothing recorded, nothing counted.
+    EXPECT_EQ(untraced->trace.record_count(), 0u);
+    EXPECT_EQ(untraced->trace.events().size(), 0u);
+    EXPECT_EQ(untraced->trace.ip_hops(), 0u);
+    EXPECT_EQ(untraced->trace.total_tx_bytes(), 0u);
+
+    // ...and the simulation itself is bit-identical: same event count,
+    // same per-node IP statistics, same clock.
+    EXPECT_EQ(untraced->sim.events_fired(), traced->sim.events_fired());
+    EXPECT_EQ(untraced->sim.now(), traced->sim.now());
+    const auto& a = untraced->mobile_host().stack().stats();
+    const auto& b = traced->mobile_host().stack().stats();
+    EXPECT_EQ(a.packets_sent, b.packets_sent);
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+    EXPECT_GT(traced->trace.record_count(), 0u);
+}
+
+// ---- sampling -------------------------------------------------------------
+
+TEST(TraceSampling, DeterministicForSeedAndRate) {
+    sim::TraceRecorder a;
+    sim::TraceRecorder b;
+    a.set_sampling(0.3, 42);
+    b.set_sampling(0.3, 42);
+    for (std::uint64_t id = 1; id <= 10'000; ++id) {
+        ASSERT_EQ(a.keeps(id), b.keeps(id)) << "id " << id;
+    }
+    sim::TraceRecorder c;
+    c.set_sampling(0.3, 43);
+    bool any_difference = false;
+    for (std::uint64_t id = 1; id <= 10'000; ++id) {
+        if (a.keeps(id) != c.keeps(id)) any_difference = true;
+    }
+    EXPECT_TRUE(any_difference) << "different seeds should pick different journeys";
+}
+
+TEST(TraceSampling, RatesAreNestedAndProportional) {
+    sim::TraceRecorder low;
+    sim::TraceRecorder high;
+    low.set_sampling(0.2, 7);
+    high.set_sampling(0.6, 7);
+    std::size_t kept_low = 0;
+    std::size_t kept_high = 0;
+    for (std::uint64_t id = 1; id <= 50'000; ++id) {
+        const bool l = low.keeps(id);
+        const bool h = high.keeps(id);
+        if (l) {
+            ++kept_low;
+            // Same seed: a journey kept at 0.2 is kept at every higher rate,
+            // so refining the rate only extends the retained set.
+            EXPECT_TRUE(h) << "id " << id << " kept at 0.2 but not 0.6";
+        }
+        if (h) ++kept_high;
+    }
+    EXPECT_NEAR(double(kept_low) / 50'000, 0.2, 0.01);
+    EXPECT_NEAR(double(kept_high) / 50'000, 0.6, 0.01);
+}
+
+TEST(TraceSampling, BoundaryRates) {
+    sim::TraceRecorder rec;
+    rec.set_sampling(0.0, 1);
+    EXPECT_TRUE(rec.keeps(0)) << "journey-less events (ARP) are always kept";
+    EXPECT_FALSE(rec.keeps(1));
+    rec.set_sampling(1.0, 1);
+    for (std::uint64_t id = 1; id <= 1000; ++id) {
+        ASSERT_TRUE(rec.keeps(id));
+    }
+}
+
+TEST(TraceSampling, AggregatesExactAndJourneysComplete) {
+    WorldConfig sampled_cfg;
+    sampled_cfg.trace_sample_rate = 0.5;
+    sampled_cfg.trace_sample_seed = 9;
+    auto full = run_ping_world({});
+    auto sampled = run_ping_world(sampled_cfg);
+
+    // Aggregates never depend on the sampling rate.
+    EXPECT_EQ(sampled->trace.ip_hops(), full->trace.ip_hops());
+    EXPECT_EQ(sampled->trace.total_tx_bytes(), full->trace.total_tx_bytes());
+    EXPECT_EQ(sampled->trace.count(sim::TraceKind::FrameTx),
+              full->trace.count(sim::TraceKind::FrameTx));
+
+    // Retained journeys are complete: for every retained journey id, the
+    // sampled world holds exactly the events the full world holds.
+    std::map<std::uint64_t, std::size_t> full_counts;
+    for (const auto& ev : full->trace.events()) ++full_counts[ev.packet_id];
+    std::map<std::uint64_t, std::size_t> sampled_counts;
+    for (const auto& ev : sampled->trace.events()) ++sampled_counts[ev.packet_id];
+    ASSERT_FALSE(sampled_counts.empty());
+    for (const auto& [id, n] : sampled_counts) {
+        EXPECT_EQ(n, full_counts.at(id)) << "journey " << id << " truncated";
+        EXPECT_TRUE(sampled->trace.keeps(id));
+    }
+    for (const auto& [id, n] : full_counts) {
+        if (id != 0 && !sampled->trace.keeps(id)) {
+            EXPECT_EQ(sampled_counts.count(id), 0u)
+                << "journey " << id << " should have been sampled out";
+        }
+    }
+    EXPECT_GT(sampled->trace.records_sampled_out(), 0u);
+}
+
+// ---- deferred detail formatting -------------------------------------------
+
+TEST(TraceDetail, FormatsExactlyLikeTheEagerPath) {
+    sim::TraceRecorder rec;
+    const auto emit = [&rec](sim::TraceDetail d) {
+        rec.record(sim::TraceKind::PacketSent, 0, 0, nullptr, 0, 0, 0, d);
+    };
+    const std::uint32_t ip_a = net::Ipv4Address(10, 1, 0, 2).value();
+    const std::uint32_t ip_b = net::Ipv4Address(10, 2, 0, 10).value();
+
+    emit(sim::TraceDetail::none());
+    emit(sim::TraceDetail::txt("gre"));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::PayloadExceedsMtu, 3000, 1500));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::ProtoSrcDst, 17, ip_a, ip_b));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::Proto, 6));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::Dst, ip_a));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::DstVia, ip_a, ip_b));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::NoRouteSend, ip_b));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::NoRouteForward, ip_b));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::InterfaceDown, 0));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::ArpFailed, 0));
+    emit(sim::TraceDetail::args(sim::TraceDetailKind::DfExceedsMtu, 0));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::FilterRule,
+                                     "ingress-spoof 10.1.0.0/16", ip_a, ip_b));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::EncapTo, "ip-in-ip", ip_b));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::EncapRelayTo, "ip-in-ip",
+                                     ip_b));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::EncapReverseTo, "ip-in-ip",
+                                     ip_b));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::DecapForVisitor, "ip-in-ip",
+                                     ip_a));
+    emit(sim::TraceDetail::with_text(sim::TraceDetailKind::DecapReverseTunnel,
+                                     "ip-in-ip"));
+
+    const std::vector<std::string> expected = {
+        "",
+        "gre",
+        "payload 3000 > mtu 1500",
+        "proto 17 10.1.0.2 -> 10.2.0.10",
+        "proto 6",
+        "dst 10.1.0.2",
+        "dst 10.1.0.2 via 10.2.0.10",
+        "send: no route to 10.2.0.10",
+        "forward: no route to 10.2.0.10",
+        "transmit: interface down",
+        "ARP resolution failed",
+        "DF set and packet exceeds MTU",
+        "ingress-spoof 10.1.0.0/16 [src 10.1.0.2 dst 10.2.0.10]",
+        "ip-in-ip -> 10.2.0.10",
+        "ip-in-ip relay -> 10.2.0.10",
+        "ip-in-ip reverse -> 10.2.0.10",
+        "ip-in-ip for visitor 10.1.0.2",
+        "ip-in-ip reverse tunnel",
+    };
+    const auto& events = rec.events();
+    ASSERT_EQ(events.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(events[i].detail, expected[i]) << "detail kind index " << i;
+    }
+}
+
+TEST(TraceFastPath, LazyMaterializationIsIncremental) {
+    sim::TraceRecorder rec;
+    rec.record(sim::TraceKind::PacketSent, 1, 0, nullptr, 60, 0, 1,
+               sim::TraceDetail::args(sim::TraceDetailKind::Proto, 17));
+    EXPECT_EQ(rec.events().size(), 1u);
+    const std::string first_detail = rec.events()[0].detail;
+    rec.record(sim::TraceKind::PacketDelivered, 2, 0, nullptr, 60, 0, 1,
+               sim::TraceDetail::args(sim::TraceDetailKind::Proto, 17));
+    // A later materialization extends the cache; earlier entries persist.
+    ASSERT_EQ(rec.events().size(), 2u);
+    EXPECT_EQ(rec.events()[0].detail, first_detail);
+    rec.clear();
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_EQ(rec.count(sim::TraceKind::PacketSent), 0u);
+}
