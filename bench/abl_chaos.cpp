@@ -9,8 +9,14 @@
 // per-class aggregates and the exported sweep report are byte-identical
 // for any --jobs value.
 //
-// Exit status: 0 iff every seed converged — CI runs `abl_chaos --smoke`
-// in the default job, the full sweep with --jobs under sanitizers.
+// Exit status (PR 8 adds the monitor contract): 0 iff every seed
+// converged AND tripped at least one health monitor matching its fault
+// class before recovery, AND a fault-free control leg (same world, same
+// probes, monitors armed, no injector) produced zero trips — CI runs
+// `abl_chaos --smoke` in the default job, the full sweep with --jobs
+// under sanitizers. Every trip captures an incident bundle; with a
+// metrics dir set the bundles are exported and schema-validated by
+// bench_smoke / uploaded by CI on failure.
 #include "chaos_sweep.h"
 
 #include <algorithm>
@@ -42,16 +48,26 @@ int main(int argc, char** argv) {
         "end-to-end echo (home address -> correspondent) succeeds within\n"
         "10 s of the last fault clearing.");
 
+    // Fault-free control leg: identical world, probes and armed monitors,
+    // but the plan is never injected. Any trip here is a false positive
+    // and fails the bench — the detectors must stay quiet on a clean run.
+    const bench::chaos::SeedOutcome control =
+        bench::chaos::run_seed(1, opt.smoke, opt, nullptr, /*inject=*/false);
+    std::printf("control (no faults): %llu monitor trip(s)%s\n\n",
+                static_cast<unsigned long long>(control.monitor_trips),
+                control.monitor_trips == 0 ? "" : "  <-- FALSE TRIPS");
+
     const sweep::SweepRunner runner({.jobs = opt.jobs});
     const sweep::SweepOutcome outcome =
         runner.run(bench::chaos::seed_jobs(seeds, opt.smoke, opt));
 
-    std::printf("%-6s  %5s  %13s  %-12s  %9s  %12s  %6s  %9s\n", "seed", "plan",
-                "last-clear(s)", "last-fault", "converged", "recovery(ms)", "fails",
-                "cancelled");
+    std::printf("%-6s  %5s  %13s  %-12s  %9s  %12s  %6s  %5s  %8s  %13s\n", "seed",
+                "plan", "last-clear(s)", "last-fault", "converged", "recovery(ms)",
+                "fails", "trips", "matched", "1st-trip(ms)");
     std::map<std::string, std::vector<double>> by_class;
     std::vector<double> all;
     int failures = 0;
+    int unmatched = 0;
     for (const sweep::JobResult& r : outcome.results) {
         if (!r.ok) {
             std::printf("job failed: %s\n", r.error.c_str());
@@ -60,17 +76,19 @@ int main(int argc, char** argv) {
         }
         const obs::JsonValue::Object& row = r.report;
         const bool converged = row.at("converged").as_bool();
+        const bool matched = row.at("monitor_matched").as_bool();
         const double recovery_ms = row.at("recovery_ms").as_number();
         const std::string& cls = row.at("fault_class").as_string();
-        std::printf("%-6llu  %5llu  %13.3f  %-12s  %9s  %12.1f  %6llu  %9llu\n",
+        std::printf("%-6llu  %5llu  %13.3f  %-12s  %9s  %12.1f  %6llu  %5llu  %8s  %13.1f\n",
                     static_cast<unsigned long long>(row.at("seed").as_number()),
                     static_cast<unsigned long long>(row.at("plan_size").as_number()),
                     row.at("last_clear_s").as_number(), cls.c_str(),
                     bench::yn(converged), recovery_ms,
                     static_cast<unsigned long long>(row.at("probes_failed").as_number()),
-                    static_cast<unsigned long long>(
-                        row.at("cancelled_backlog").as_number()));
+                    static_cast<unsigned long long>(row.at("monitor_trips").as_number()),
+                    bench::yn(matched), row.at("first_trip_ms").as_number());
         if (!converged) ++failures;
+        if (!matched) ++unmatched;
         by_class[cls].push_back(recovery_ms);
         all.push_back(recovery_ms);
     }
@@ -91,11 +109,25 @@ int main(int argc, char** argv) {
     bench::export_text(opt.metrics_dir, "abl_chaos", "sweep", ".json",
                        outcome.report("abl_chaos", "sweep").dump(2) + "\n");
 
+    int rc = 0;
     if (failures > 0) {
         std::printf("\nFAIL: %d/%d seeds did not converge inside the bound.\n", failures,
                     seeds);
-        return 1;
+        rc = 1;
     }
-    std::printf("\nAll %d seeds converged.\n", seeds);
-    return 0;
+    if (unmatched > 0) {
+        std::printf("\nFAIL: %d/%d seeds tripped no matching monitor before recovery.\n",
+                    unmatched, seeds);
+        rc = 1;
+    }
+    if (control.monitor_trips > 0) {
+        std::printf("\nFAIL: fault-free control leg tripped %llu monitor(s).\n",
+                    static_cast<unsigned long long>(control.monitor_trips));
+        rc = 1;
+    }
+    if (rc == 0) {
+        std::printf("\nAll %d seeds converged; every seed tripped a matching monitor, "
+                    "control leg clean.\n", seeds);
+    }
+    return rc;
 }

@@ -55,6 +55,7 @@ struct CityParams {
     std::uint32_t storm_threshold;
     sim::Duration metrics_interval;
     std::size_t probes_per_sweep;
+    bool sampler_delta = true;  ///< delta vs full-walk sampler (obs section)
 };
 
 CityParams params(const bench::HarnessOptions& opt) {
@@ -82,6 +83,15 @@ metro::CityConfig city_config(const CityParams& p, std::uint64_t seed,
     cfg.storm_threshold = p.storm_threshold;
     cfg.metrics_interval = p.metrics_interval;
     cfg.probes_per_sweep = p.probes_per_sweep;
+    cfg.sampler_delta = p.sampler_delta;
+    // The online storm detector (ISSUE 8): a rate-spike monitor over the
+    // aggregate handoff counter, evaluated every 5 s. The floor scales
+    // with the population so the smoke city's waves register too.
+    cfg.monitor_interval = sim::seconds(5);
+    cfg.storm_rate_floor =
+        static_cast<double>(p.hosts) / 40.0;  // 300/eval full, 15/eval smoke
+    cfg.storm_spike_factor = 3.0;
+    cfg.label = "seed" + std::to_string(seed);
     return cfg;
 }
 
@@ -116,6 +126,8 @@ std::vector<sweep::JobSpec> seed_jobs(const CityParams& p,
                 city.probes_total() > 0
                     ? static_cast<double>(delivered) / static_cast<double>(city.probes_total())
                     : 0.0;
+            r.report["storm_trips"] =
+                city.monitor() != nullptr ? city.monitor()->trips() : 0;
             r.metrics = city.snapshot("bench_city", label);
             r.decision_count = city.decisions().size();
 
@@ -125,6 +137,9 @@ std::vector<sweep::JobSpec> seed_jobs(const CityParams& p,
                 bench::export_timeseries(opt, *city.sampler(), "bench_city", label);
             }
             bench::export_decisions(opt, city.decisions(), "bench_city", label);
+            if (city.incidents() != nullptr) {
+                bench::export_incidents(opt, *city.incidents(), "bench_city", label);
+            }
             return r;
         }});
     }
@@ -234,44 +249,56 @@ obs::JsonValue::Object measure_scheduler(const bench::HarnessOptions& opt,
     return o;
 }
 
-/// ISSUE 7: the city-scale observability overhead — the same seed-1 city
-/// with the MetricsSampler ticking (the product default) vs metrics
-/// sampling off entirely. check_perf_trend.py gates the percentage at
-/// 10%. (CitySim has no per-packet trace recorder — its observability
-/// cost is the sampler walk plus the arena-backed decision log, which is
-/// exactly what this isolates.)
+/// ISSUE 7 / PR 8: the city-scale observability overhead — the same
+/// seed-1 city under three sampling strategies: off entirely, the
+/// delta-sampled dirty feed (the product default since PR 8), and the
+/// full-walk reference path. overhead_pct (delta vs off) is the number
+/// check_perf_trend.py gates; fullwalk_overhead_pct documents what the
+/// dirty-feed rebuild buys at city scale. (CitySim has no per-packet
+/// trace recorder — its observability cost is the sampler plus the
+/// arena-backed decision log, which is exactly what this isolates.)
 obs::JsonValue::Object measure_observability(const bench::HarnessOptions& opt,
                                              const CityParams& p) {
     const int reps = opt.pick(3, 2);
     CityParams off = p;
     off.metrics_interval = 0;  // sampler never constructed
+    CityParams delta = p;
+    delta.sampler_delta = true;
+    CityParams walk = p;
+    walk.sampler_delta = false;
 
-    // Interleaved reps (off, on, off, on, ...): measuring all reps of one
-    // configuration in a block lets machine-state drift across the blocks
-    // masquerade as sampler overhead; alternating spreads it over both.
+    // Interleaved reps (off, delta, walk, off, ...): measuring all reps
+    // of one configuration in a block lets machine-state drift across the
+    // blocks masquerade as sampler overhead; alternating spreads it.
     run_city_once(off, sim::SchedulerKind::Calendar);  // warm-up, discarded
-    run_city_once(p, sim::SchedulerKind::Calendar);
-    std::vector<double> off_walls, on_walls;
+    run_city_once(delta, sim::SchedulerKind::Calendar);
+    std::vector<double> off_walls, delta_walls, walk_walls;
     for (int i = 0; i < reps; ++i) {
         off_walls.push_back(run_city_once(off, sim::SchedulerKind::Calendar).wall_ms);
-        on_walls.push_back(run_city_once(p, sim::SchedulerKind::Calendar).wall_ms);
+        delta_walls.push_back(run_city_once(delta, sim::SchedulerKind::Calendar).wall_ms);
+        walk_walls.push_back(run_city_once(walk, sim::SchedulerKind::Calendar).wall_ms);
     }
     const auto median = [](std::vector<double>& walls) {
         std::sort(walls.begin(), walls.end());
         return walls[walls.size() / 2];
     };
     const double off_ms = median(off_walls);
-    const double on_ms = median(on_walls);
-    const double pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+    const double delta_ms = median(delta_walls);
+    const double walk_ms = median(walk_walls);
+    const double pct = off_ms > 0 ? (delta_ms - off_ms) / off_ms * 100.0 : 0.0;
+    const double walk_pct = off_ms > 0 ? (walk_ms - off_ms) / off_ms * 100.0 : 0.0;
 
     std::printf("\nobservability overhead (seed-1 city, median of %d):\n", reps);
-    std::printf("  sampler off %10.1f ms   sampler on %10.1f ms   %+.1f%%\n", off_ms,
-                on_ms, pct);
+    std::printf("  sampler off %10.1f ms   delta %10.1f ms (%+.1f%%)   full walk "
+                "%10.1f ms (%+.1f%%)\n",
+                off_ms, delta_ms, pct, walk_ms, walk_pct);
 
     obs::JsonValue::Object o;
     o["sampler_off_wall_ms"] = off_ms;
-    o["sampler_on_wall_ms"] = on_ms;
+    o["sampler_on_wall_ms"] = delta_ms;
+    o["fullwalk_wall_ms"] = walk_ms;
     o["overhead_pct"] = pct;
+    o["fullwalk_overhead_pct"] = walk_pct;
     o["metrics_interval_s"] = sim::to_seconds(p.metrics_interval);
     o["reps"] = reps;
     return o;
@@ -333,9 +360,10 @@ void print_figure(const bench::HarnessOptions& opt) {
     // Section 1: the seed sweep (serial reference run exports artifacts).
     const sweep::SweepRunner serial_runner({.jobs = 1});
     const sweep::SweepOutcome serial = serial_runner.run(seed_jobs(p, opt));
-    std::printf("%6s %10s %10s %10s %10s %8s\n", "seed", "events", "handoffs",
-                "regs", "probes", "deliv");
+    std::printf("%6s %10s %10s %10s %10s %8s %7s\n", "seed", "events", "handoffs",
+                "regs", "probes", "deliv", "storms");
     std::uint64_t events_total = 0;
+    std::uint64_t storm_trips_total = 0;
     double deliv_min = 1.0;
     for (const sweep::JobResult& r : serial.results) {
         if (!r.ok) {
@@ -345,11 +373,14 @@ void print_figure(const bench::HarnessOptions& opt) {
         const double deliv = r.report.at("deliverability").as_number();
         deliv_min = std::min(deliv_min, deliv);
         events_total += static_cast<std::uint64_t>(r.report.at("events").as_number());
-        std::printf("%6.0f %10.0f %10.0f %10.0f %10.0f %7.1f%%\n",
+        storm_trips_total +=
+            static_cast<std::uint64_t>(r.report.at("storm_trips").as_number());
+        std::printf("%6.0f %10.0f %10.0f %10.0f %10.0f %7.1f%% %7.0f\n",
                     r.report.at("seed").as_number(), r.report.at("events").as_number(),
                     r.report.at("handoffs").as_number(),
                     r.report.at("registrations").as_number(),
-                    r.report.at("probes").as_number(), deliv * 100.0);
+                    r.report.at("probes").as_number(), deliv * 100.0,
+                    r.report.at("storm_trips").as_number());
     }
     bench::export_text(opt.metrics_dir, "bench_city", "sweep", ".json",
                        serial.report("bench_city", "sweep").dump(2) + "\n");
@@ -390,6 +421,7 @@ void print_figure(const bench::HarnessOptions& opt) {
     city["sweep_wall_ms"] = serial.wall_ms;
     city["events_per_sec"] = events_per_sec;
     city["deliverability_min"] = deliv_min;
+    city["storm_trips"] = storm_trips_total;
     city["artifacts_identical"] = identical_sweep;
     city["compare_jobs"] = compare_jobs;
     city["find_link"] = std::move(find_link);

@@ -27,6 +27,8 @@
 #include "common.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
+#include "obs/incident.h"
+#include "obs/monitor.h"
 #include "sweep/sweep.h"
 
 namespace bench::chaos {
@@ -73,14 +75,103 @@ struct SeedOutcome {
     double recovery_ms = 0.0;
     std::size_t probes_failed = 0;
     std::size_t cancelled_backlog = 0;
+    // Health-monitor outcome (PR 8): total trips across all monitors, did
+    // a monitor matching the seed's fault class trip before recovery, when
+    // that first matching trip fired, and how many incident bundles the
+    // flight recorder captured.
+    std::uint64_t monitor_trips = 0;
+    bool monitor_matched = false;
+    double first_trip_ms = -1.0;
+    std::uint64_t incidents = 0;
 };
+
+/// The monitors every chaos run arms, and which fault classes each one is
+/// evidence for. "probe-failures" is the end-to-end canary — any injected
+/// fault that breaks delivery shows up there — while the others pin the
+/// symptom to a mechanism (registration machinery, binding lifetime, RTT
+/// inflation).
+inline bool monitor_matches_class(const std::string& monitor, const std::string& cls) {
+    if (monitor == "probe-failures") return true;  // delivery canary: any class
+    if (monitor == "registration-backoff") {
+        return cls == "agent-crash" || cls == "link-flap" || cls == "burst-loss" ||
+               cls == "corruption" || cls == "filter-churn";
+    }
+    if (monitor == "binding-expiry") {
+        return cls == "agent-crash" || cls == "link-flap";
+    }
+    if (monitor == "probe-rtt-p95") {
+        return cls == "jitter" || cls == "reorder" || cls == "duplication" ||
+               cls == "burst-loss";
+    }
+    return false;
+}
+
+inline const char* const kChaosMonitors[] = {
+    "probe-failures", "registration-backoff", "binding-expiry", "probe-rtt-p95"};
+
+/// p95 end-to-end RTT SLO for the chaos probes (the "p95 delivery within
+/// bound" style of rule from the issue). The clean tunnel path (MH home
+/// address -> HA -> backbone -> correspondent and back) has a p95 around
+/// 45 ms, so 500 ms flags only genuine degradation — queueing pileups or
+/// repeated near-timeout exchanges — with >10x margin against false
+/// trips on the fault-free control leg.
+inline constexpr double kRttSloNs = 5.0e8;
+
+/// Arms the standard chaos monitor set on @p monitor (see
+/// monitor_matches_class for the class attribution).
+inline void arm_chaos_monitors(mip::obs::HealthMonitor& monitor) {
+    using namespace mip;
+    obs::RateSpikeRule probe;
+    probe.name = "probe-failures";
+    probe.node = "mobile-host";
+    probe.layer = "chaos";
+    probe.metric = "probe_failures";
+    probe.source = obs::MetricSource::Counter;
+    probe.min_rate = 1.0;
+    probe.detail = "end-to-end chaos probe timed out";
+    monitor.add_rate_spike(probe);
+
+    obs::RateSpikeRule backoff;
+    backoff.name = "registration-backoff";
+    backoff.node = "mobile-host";
+    backoff.layer = "mobileip";
+    backoff.metric = "registration_backoffs";
+    backoff.source = obs::MetricSource::Gauge;
+    backoff.min_rate = 1.0;
+    backoff.detail = "registration request went unanswered";
+    monitor.add_rate_spike(backoff);
+
+    obs::WatermarkRule expiry;
+    expiry.name = "binding-expiry";
+    expiry.node = "mobile-host";
+    expiry.layer = "mobileip";
+    expiry.metric = "binding_expiries";
+    expiry.source = obs::MetricSource::Gauge;
+    expiry.trip_at = 1.0;
+    expiry.detail = "home binding expired without renewal";
+    monitor.add_watermark(expiry);
+
+    obs::QuantileSloRule rtt;
+    rtt.name = "probe-rtt-p95";
+    rtt.quantile = 0.95;
+    rtt.bound = kRttSloNs;
+    rtt.min_samples = 20;
+    rtt.unit = "ns";
+    rtt.detail = "p95 end-to-end probe RTT above SLO";
+    monitor.add_quantile_slo(rtt);
+}
 
 /// Runs one seeded chaos scenario to completion. @p export_artifacts
 /// gates the per-seed metrics/decisions/timeseries files — bench_perf's
 /// scaling runs pass exports-disabled options so repeated sweeps measure
 /// pure compute and never clobber the figure's artifacts.
+///
+/// Monitors and the flight recorder are always armed (that is the PR 8
+/// point: detection is cheap enough to leave on). @p inject false runs
+/// the identical scenario with the fault plan generated but never
+/// executed — the fault-free control leg that must produce zero trips.
 inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions& opt,
-                            mip::sweep::JobResult* job = nullptr) {
+                            mip::sweep::JobResult* job = nullptr, bool inject = true) {
     using namespace mip;
     using namespace mip::core;
 
@@ -116,15 +207,29 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
     out.last_clear_s = sim::to_seconds(last_clear);
 
     fault::FaultInjector injector(world, /*seed=*/seed ^ 0xc4a05);
-    injector.execute(plan);
+    if (inject) injector.execute(plan);
 
-    // Optional deep-dive exports: a metrics time series (and its Perfetto
-    // rendering) of the whole chaos run, so a recovery can be inspected
-    // alongside the fault counters on one timeline.
+    const std::string label = inject ? "seed" + std::to_string(seed) : "control";
+
+    // Always-on observability: the delta-sampled time series feeds the
+    // flight recorder's excerpts, and the health monitors watch the run
+    // live. Deep exports (the full timeseries + Perfetto files) stay
+    // gated on the metrics dir.
     mip::obs::MetricsSampler sampler(world.sim, world.metrics,
                                      {.interval = sim::milliseconds(100)});
     const bool deep_export = opt.metrics_enabled() || opt.perfetto_enabled();
-    if (deep_export) sampler.start();
+    sampler.start();
+
+    mip::obs::HealthMonitor monitor(world.sim, world.metrics,
+                                    {.interval = sim::milliseconds(250)});
+    arm_chaos_monitors(monitor);
+    monitor.set_decision_log(&world.decisions);
+    mip::obs::IncidentRecorder recorder;
+    recorder.attach_trace(&world.trace);
+    recorder.attach_decisions(&world.decisions);
+    recorder.attach_sampler(&sampler);
+    recorder.arm(monitor, "abl_chaos", label);
+    monitor.start();
 
     // Periodic end-to-end probe, self-scheduling from t=now. Recovery is
     // the completion time of the first successful exchange *sent* at or
@@ -141,12 +246,14 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
             [&, sent_at](std::optional<sim::Duration> rtt) {
                 if (rtt.has_value()) {
                     mh.method_cache().report_success(ch.address(), world.sim.now());
+                    monitor.observe("probe-rtt-p95", static_cast<double>(*rtt));
                     if (!recovered && sent_at >= last_clear) {
                         recovered = true;
                         recovered_at = world.sim.now();
                     }
                 } else {
                     ++failed;
+                    world.metrics.counter("mobile-host", "chaos", "probe_failures").add();
                     mh.method_cache().report_failure(ch.address(), world.sim.now(),
                                                      "chaos-probe-timeout");
                 }
@@ -173,6 +280,21 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
     out.probes_failed = failed;
     out.cancelled_backlog = world.sim.cancelled_backlog();
 
+    // Monitor outcome: did a monitor whose class set covers this seed's
+    // fault class trip, and did its first trip precede recovery?
+    out.monitor_trips = monitor.trips();
+    out.incidents = recorder.captured();
+    const sim::TimePoint recovery_cutoff = recovered ? recovered_at : deadline;
+    sim::TimePoint first_match = -1;
+    for (const char* name : kChaosMonitors) {
+        if (monitor.trip_count(name) == 0) continue;
+        if (!monitor_matches_class(name, out.fault_class)) continue;
+        const sim::TimePoint ft = monitor.first_trip_at(name);
+        if (ft >= 0 && (first_match < 0 || ft < first_match)) first_match = ft;
+    }
+    out.monitor_matched = first_match >= 0 && first_match <= recovery_cutoff;
+    if (first_match >= 0) out.first_trip_ms = sim::to_milliseconds(first_match);
+
     world.metrics
         .histogram("mobile-host", "chaos", "recovery_ms",
                    {50, 100, 250, 500, 1000, 2000, 5000, 10000})
@@ -192,11 +314,12 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
                     : "no successful round trip inside the recovery bound";
     world.decisions.record(std::move(ev));
 
-    const std::string label = "seed" + std::to_string(seed);
+    monitor.stop();
+    sampler.stop();
     export_metrics(opt, world, "abl_chaos", label);
     export_decisions(opt, world.decisions, "abl_chaos", label);
+    export_incidents(opt, recorder, "abl_chaos", label);
     if (deep_export) {
-        sampler.stop();
         export_timeseries(opt, sampler, "abl_chaos", label);
         mip::obs::ChromeTraceWriter writer;
         writer.add_series(sampler);
@@ -229,6 +352,10 @@ inline mip::sweep::JobSpec seed_job(std::uint64_t seed, bool smoke,
         r.report["probes_failed"] = static_cast<std::uint64_t>(out.probes_failed);
         r.report["cancelled_backlog"] =
             static_cast<std::uint64_t>(out.cancelled_backlog);
+        r.report["monitor_trips"] = out.monitor_trips;
+        r.report["monitor_matched"] = out.monitor_matched;
+        r.report["first_trip_ms"] = out.first_trip_ms;
+        r.report["incidents"] = out.incidents;
         return r;
     };
     return spec;

@@ -18,7 +18,9 @@ Rules:
     is deliberately loose. Tighten it only with a quieter runner.
   - Tracing-overhead budgets (ISSUE 7): on non-smoke fresh documents,
     scenarios[].overhead.traced_overhead_pct must stay <= 25% and
-    city.observability.overhead_pct <= 10%. Smoke runs are millisecond-
+    city.observability.overhead_pct <= 8% (the delta-feed sampler's
+    wall vs sampler-off; measured 5% on the full city, where the run
+    is mutation-dominated). Smoke runs are millisecond-
     scale and the ratios are dominated by noise, so the budgets only
     apply to full-scale documents. Budgets are absolute properties of
     the fresh run — no baseline needed — so they are still enforced
@@ -46,7 +48,7 @@ def rates_of(doc):
 
 
 TRACED_BUDGET_PCT = 25.0
-CITY_OBS_BUDGET_PCT = 10.0
+CITY_OBS_BUDGET_PCT = 8.0
 
 
 def check_overhead_budgets(fresh):

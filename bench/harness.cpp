@@ -133,6 +133,20 @@ void export_perfetto(const HarnessOptions& opt, const mip::obs::ChromeTraceWrite
     writer.write(path);
 }
 
+void export_incidents(const HarnessOptions& opt,
+                      const mip::obs::IncidentRecorder& recorder,
+                      const std::string& bench, const std::string& label) {
+    if (!opt.metrics_enabled()) return;
+    std::size_t n = 0;
+    for (const mip::obs::JsonValue& bundle : recorder.bundles()) {
+        const std::string suffix = ".incident" + std::to_string(++n) + ".json";
+        const std::string path = export_path(opt.metrics_dir, bench, label, suffix.c_str());
+        if (path.empty()) return;
+        std::ofstream out(path);
+        out << bundle.dump(2) << "\n";
+    }
+}
+
 void export_text(const std::string& dir, const std::string& bench,
                  const std::string& label, const char* suffix, const std::string& text) {
     const std::string path = export_path(dir, bench, label, suffix);

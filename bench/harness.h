@@ -30,6 +30,7 @@
 #include <string>
 
 #include "obs/decision.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/perfetto.h"
 #include "obs/timeseries.h"
@@ -88,6 +89,13 @@ void export_timeseries(const HarnessOptions& opt, const mip::obs::MetricsSampler
 /// Writes a decision log (§6) to <metrics_dir>/<bench>_<label>.decisions.json;
 /// no-op when disabled or when the log is empty.
 void export_decisions(const HarnessOptions& opt, const mip::obs::DecisionLog& log,
+                      const std::string& bench, const std::string& label);
+
+/// Writes each captured incident bundle (§10) to
+/// <metrics_dir>/<bench>_<label>.incidentN.json (N = 1-based capture
+/// order); no-op when metrics are disabled or nothing was captured.
+void export_incidents(const HarnessOptions& opt,
+                      const mip::obs::IncidentRecorder& recorder,
                       const std::string& bench, const std::string& label);
 
 /// Writes a Chrome-trace document to

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/decision.h"
+#include "obs/incident.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -65,6 +66,8 @@ int check_file(const fs::path& path) {
         problems = mip::obs::validate_timeseries_document(doc);
     } else if (kind == "decisions") {
         problems = mip::obs::validate_decisions_document(doc);
+    } else if (kind == "incident") {
+        problems = mip::obs::validate_incident_document(doc);
     } else if (kind == "sweep") {
         problems = mip::sweep::validate_sweep_document(doc);
     } else if (kind == "bench_perf") {
@@ -96,8 +99,15 @@ const std::vector<SchemaSection>& exported_schema() {
           "le"}},
         {"timeseries",  // §5
          {"schema_version", "kind", "bench", "label", "interval_ns", "samples",
-          "series", "points", "t_ns", "v", "node", "layer", "name", "field",
-          "dropped"}},
+          "ring_capacity", "series", "points", "t_ns", "v", "node", "layer",
+          "name", "field", "dropped_points"}},
+        {"incident",  // §10 incident flight-recorder bundle
+         {"schema_version", "kind", "bench", "label", "sequence", "monitor",
+          "name", "rule", "value", "threshold", "detail", "tripped_at_ns",
+          "captured_at_ns", "window_ns", "trace", "decisions", "series", "total",
+          "included", "truncated", "events", "points", "t_ns", "v", "node",
+          "layer", "field", "bytes", "packet_id", "correspondent", "trigger",
+          "test", "input", "passed"}},
         {"decisions",  // §6
          {"schema_version", "kind", "bench", "label", "events", "t_ns", "node",
           "correspondent", "trigger", "test", "input", "passed", "from_mode",
@@ -130,8 +140,9 @@ const std::vector<SchemaSection>& exported_schema() {
           "scheduler", "heap_wall_ms", "calendar_wall_ms", "identical",
           "find_link", "links", "indexed_ns", "linear_ns", "lookups",
           "observability", "sampler_off_wall_ms", "sampler_on_wall_ms",
-          "overhead_pct", "metrics_interval_s", "sweep_wall_ms", "handoffs",
-          "registrations", "probes", "probes_delivered", "deliverability",
+          "fullwalk_wall_ms", "fullwalk_overhead_pct", "overhead_pct",
+          "metrics_interval_s", "sweep_wall_ms", "handoffs", "registrations",
+          "probes", "probes_delivered", "deliverability", "storm_trips",
           "compare_jobs"}},
     };
     return sections;

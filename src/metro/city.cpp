@@ -52,6 +52,7 @@ CitySim::CitySim(CityConfig config)
         registry_.register_gauge(node, "metro", "bindings",
                                  [t = &tables_[a]] { return static_cast<double>(t->size()); });
     }
+    handoffs_agg_ = &registry_.counter("city", "metro", "handoffs");
     probes_ = &registry_.counter("city", "metro", "probes");
     delivered_ = &registry_.counter("city", "metro", "probes_delivered");
     stale_ = &registry_.counter("city", "metro", "probes_stale");
@@ -84,6 +85,7 @@ void CitySim::sample_host(MetroHost* host) {
         if (old >= 0) {
             // The first association is an attach, not a handoff.
             cs.handoffs->add();
+            handoffs_agg_->add();
             ++handoffs_total_;
             ++cs.window;
             if (cs.window > cs.window_peak) cs.window_peak = cs.window;
@@ -179,8 +181,29 @@ void CitySim::run() {
 
     if (config_.metrics_interval > 0) {
         sampler_ = std::make_unique<obs::MetricsSampler>(
-            sim_, registry_, obs::SamplerConfig{config_.metrics_interval, 4096});
+            sim_, registry_,
+            obs::SamplerConfig{config_.metrics_interval, 4096, config_.sampler_delta});
         sampler_->start();
+    }
+    if (config_.monitor_interval > 0) {
+        monitor_ = std::make_unique<obs::HealthMonitor>(
+            sim_, registry_, obs::MonitorConfig{config_.monitor_interval});
+        monitor_->add_rate_spike(
+            {.name = "handoff-storm",
+             .node = "city",
+             .layer = "metro",
+             .metric = "handoffs",
+             .min_rate = config_.storm_rate_floor,
+             .spike_factor = config_.storm_spike_factor,
+             .alpha = 0.3,
+             .warmup_evals = 2,
+             .detail = "citywide handoff wave above the EWMA baseline"});
+        monitor_->set_decision_log(&decisions_);
+        incidents_ = std::make_unique<obs::IncidentRecorder>();
+        incidents_->attach_decisions(&decisions_);
+        if (sampler_) incidents_->attach_sampler(sampler_.get());
+        incidents_->arm(*monitor_, "bench_city", config_.label);
+        monitor_->start();
     }
 
     // Stagger every host's sampling phase inside the interval so 10k
@@ -216,6 +239,7 @@ void CitySim::run() {
     sim_.schedule_at(gc_interval, GcTick{this, gc_interval}, "ha-gc");
 
     sim_.run_until(config_.duration);
+    if (monitor_) monitor_->stop();
     if (sampler_) sampler_->stop();
 }
 

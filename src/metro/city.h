@@ -36,7 +36,9 @@
 #include "metro/population.h"
 #include "metro/topology.h"
 #include "obs/decision.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/timeseries.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -66,6 +68,21 @@ struct CityConfig {
     std::size_t probes_per_sweep = 256;
     /// Attach a MetricsSampler at this interval (0 = off).
     sim::Duration metrics_interval = 0;
+    /// Delta-sampled (dirty-feed) vs full-walk sampler — same bytes, see
+    /// obs/timeseries.h. Exposed so bench_city can measure both paths.
+    bool sampler_delta = true;
+    /// Attach a HealthMonitor at this interval (0 = off). The monitor
+    /// watches the citywide handoff wave: an EWMA rate-spike rule over
+    /// the aggregate city/metro/handoffs counter trips when one
+    /// evaluation's handoffs exceed max(storm_rate_floor,
+    /// storm_spike_factor x baseline) — the online cousin of the
+    /// per-cell sliding-window storm counters. Trips are audited in the
+    /// DecisionLog and captured as §10 incident bundles.
+    sim::Duration monitor_interval = 0;
+    double storm_spike_factor = 3.0;
+    double storm_rate_floor = 50.0;
+    /// (bench, label) stamped into captured incident bundles.
+    std::string label = "city";
 };
 
 class CitySim {
@@ -86,6 +103,10 @@ public:
     obs::MetricsRegistry& metrics() noexcept { return registry_; }
     const obs::DecisionLog& decisions() const noexcept { return decisions_; }
     const obs::MetricsSampler* sampler() const noexcept { return sampler_.get(); }
+    /// The storm monitor / flight recorder (nullptr when monitor_interval
+    /// is 0).
+    const obs::HealthMonitor* monitor() const noexcept { return monitor_.get(); }
+    const obs::IncidentRecorder* incidents() const noexcept { return incidents_.get(); }
 
     std::uint64_t events_fired() const noexcept { return sim_.events_fired(); }
     std::uint64_t handoffs_total() const noexcept { return handoffs_total_; }
@@ -130,9 +151,12 @@ private:
     obs::MetricsRegistry registry_;
     obs::DecisionLog decisions_;
     std::unique_ptr<obs::MetricsSampler> sampler_;
+    std::unique_ptr<obs::HealthMonitor> monitor_;
+    std::unique_ptr<obs::IncidentRecorder> incidents_;
     std::vector<core::BindingTable> tables_;
     std::vector<CellStats> cells_;
     std::vector<AgentStats> agents_;
+    obs::Counter* handoffs_agg_ = nullptr;
     obs::Counter* probes_ = nullptr;
     obs::Counter* delivered_ = nullptr;
     obs::Counter* stale_ = nullptr;

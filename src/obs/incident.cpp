@@ -1,0 +1,302 @@
+#include "obs/incident.h"
+
+#include <algorithm>
+
+namespace mip::obs {
+
+IncidentRecorder::IncidentRecorder(IncidentConfig config) : config_(config) {}
+
+void IncidentRecorder::arm(HealthMonitor& monitor, std::string bench,
+                           std::string label) {
+    monitor.on_trip([this, bench = std::move(bench),
+                     label = std::move(label)](const MonitorTrip& trip) {
+        ++captured_;
+        if (bundles_.size() >= config_.max_bundles) return;  // counted above
+        bundles_.push_back(capture(trip, trip.when, bench, label));
+    });
+}
+
+JsonValue IncidentRecorder::capture(const MonitorTrip& trip, sim::TimePoint now,
+                                    const std::string& bench,
+                                    const std::string& label) const {
+    const sim::TimePoint window_start =
+        now >= config_.window ? now - config_.window : 0;
+
+    JsonValue::Object doc;
+    doc["schema_version"] = 1;
+    doc["kind"] = "incident";
+    doc["bench"] = bench;
+    doc["label"] = label;
+    doc["sequence"] = trip.sequence;
+
+    JsonValue::Object monitor;
+    monitor["name"] = trip.monitor;
+    monitor["rule"] = trip.rule;
+    monitor["value"] = trip.value;
+    monitor["threshold"] = trip.threshold;
+    monitor["detail"] = trip.detail;
+    doc["monitor"] = std::move(monitor);
+
+    doc["tripped_at_ns"] = static_cast<std::uint64_t>(trip.when);
+    doc["captured_at_ns"] = static_cast<std::uint64_t>(now);
+    doc["window_ns"] = static_cast<std::uint64_t>(config_.window);
+
+    // Trace excerpt: every event inside the window, newest-tail capped.
+    // `total` counts the in-window events before the cap so truncation is
+    // explicit in the artifact, never silent.
+    {
+        JsonValue::Object section;
+        JsonValue::Array events;
+        std::uint64_t in_window = 0;
+        if (trace_ != nullptr) {
+            const auto& all = trace_->events();
+            std::size_t first = all.size();
+            while (first > 0 && all[first - 1].when >= window_start) --first;
+            in_window = static_cast<std::uint64_t>(all.size() - first);
+            std::size_t start = first;
+            if (all.size() - first > config_.max_trace_events) {
+                start = all.size() - config_.max_trace_events;
+            }
+            for (std::size_t i = start; i < all.size(); ++i) {
+                const sim::TraceEvent& ev = all[i];
+                JsonValue::Object e;
+                e["t_ns"] = static_cast<std::uint64_t>(ev.when);
+                e["kind"] = sim::to_string(ev.kind);
+                e["node"] = ev.node;
+                e["bytes"] = static_cast<std::uint64_t>(ev.bytes);
+                e["packet_id"] = ev.packet_id;
+                e["detail"] = ev.detail;
+                events.emplace_back(std::move(e));
+            }
+        }
+        section["total"] = in_window;
+        section["included"] = static_cast<std::uint64_t>(events.size());
+        section["truncated"] =
+            in_window > static_cast<std::uint64_t>(events.size());
+        section["events"] = std::move(events);
+        doc["trace"] = std::move(section);
+    }
+
+    // Decision excerpt: same windowing over the DecisionLog tail.
+    {
+        JsonValue::Object section;
+        JsonValue::Array events;
+        std::uint64_t in_window = 0;
+        if (decisions_ != nullptr) {
+            const auto& all = decisions_->events();
+            std::size_t first = all.size();
+            while (first > 0 && all[first - 1].when >= window_start) --first;
+            in_window = static_cast<std::uint64_t>(all.size() - first);
+            std::size_t start = first;
+            if (all.size() - first > config_.max_decisions) {
+                start = all.size() - config_.max_decisions;
+            }
+            for (std::size_t i = start; i < all.size(); ++i) {
+                const DecisionEvent& ev = all[i];
+                JsonValue::Object e;
+                e["t_ns"] = static_cast<std::uint64_t>(ev.when);
+                e["node"] = ev.node;
+                e["correspondent"] = ev.correspondent;
+                e["trigger"] = ev.trigger;
+                e["test"] = ev.test;
+                e["input"] = ev.input;
+                e["passed"] = ev.passed;
+                e["detail"] = ev.detail;
+                events.emplace_back(std::move(e));
+            }
+        }
+        section["total"] = in_window;
+        section["included"] = static_cast<std::uint64_t>(events.size());
+        section["truncated"] =
+            in_window > static_cast<std::uint64_t>(events.size());
+        section["events"] = std::move(events);
+        doc["decisions"] = std::move(section);
+    }
+
+    // Time-series excerpt: per series, the in-window tail of the ring.
+    {
+        JsonValue::Array rendered;
+        if (sampler_ != nullptr) {
+            for (const auto& [key, ring] : sampler_->series()) {
+                std::size_t first = ring.size();
+                while (first > 0 && ring.at(first - 1).t_ns >= window_start) --first;
+                const std::size_t in_window = ring.size() - first;
+                if (in_window == 0) continue;  // nothing from this series
+                std::size_t start = first;
+                if (in_window > config_.max_points_per_series) {
+                    start = ring.size() - config_.max_points_per_series;
+                }
+                JsonValue::Object s;
+                s["node"] = std::get<0>(key);
+                s["layer"] = std::get<1>(key);
+                s["name"] = std::get<2>(key);
+                s["field"] = std::get<3>(key);
+                s["total"] = static_cast<std::uint64_t>(in_window);
+                JsonValue::Array points;
+                for (std::size_t i = start; i < ring.size(); ++i) {
+                    const SeriesPoint& p = ring.at(i);
+                    JsonValue::Object point;
+                    point["t_ns"] = static_cast<std::uint64_t>(p.t_ns);
+                    point["v"] = p.value;
+                    points.emplace_back(std::move(point));
+                }
+                s["included"] = static_cast<std::uint64_t>(points.size());
+                s["truncated"] = in_window > points.size();
+                s["points"] = std::move(points);
+                rendered.emplace_back(std::move(s));
+            }
+        }
+        doc["series"] = std::move(rendered);
+    }
+
+    return JsonValue(std::move(doc));
+}
+
+// ---- schema validation ------------------------------------------------------
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+}
+
+bool is_uint(const JsonValue& v) {
+    return v.is_number() && v.as_number() >= 0;
+}
+
+// Validates one {total, included, truncated, events|points} excerpt
+// section; `time_key` is the timestamp member of each entry.
+void validate_excerpt(std::vector<std::string>& problems, const JsonValue& section,
+                      const std::string& where, const char* list_key,
+                      const std::vector<const char*>& string_keys) {
+    if (!section.is_object()) {
+        problems.push_back(where + " must be an object");
+        return;
+    }
+    for (const char* key : {"total", "included"}) {
+        require(problems, section.contains(key) && is_uint(section.at(key)),
+                where + "." + key + " must be a non-negative number");
+    }
+    require(problems, section.contains("truncated") && section.at("truncated").is_bool(),
+            where + ".truncated must be a boolean");
+    if (!section.contains(list_key) || !section.at(list_key).is_array()) {
+        problems.push_back(where + "." + list_key + " must be an array");
+        return;
+    }
+    const auto& list = section.at(list_key).as_array();
+    if (section.contains("included") && is_uint(section.at("included"))) {
+        require(problems,
+                section.at("included").as_number() ==
+                    static_cast<double>(list.size()),
+                where + ".included must equal the " + list_key + " length");
+    }
+    if (section.contains("total") && section.contains("truncated") &&
+        is_uint(section.at("total")) && section.at("truncated").is_bool()) {
+        const bool cut =
+            section.at("total").as_number() > static_cast<double>(list.size());
+        require(problems, section.at("truncated").as_bool() == cut,
+                where + ".truncated must reflect total vs included");
+    }
+    double prev_t = -1.0;
+    std::size_t i = 0;
+    for (const JsonValue& e : list) {
+        const std::string ewhere =
+            where + "." + list_key + "[" + std::to_string(i++) + "]";
+        if (!e.is_object() || !e.contains("t_ns") || !is_uint(e.at("t_ns"))) {
+            problems.push_back(ewhere + ".t_ns must be a non-negative number");
+            continue;
+        }
+        const double t = e.at("t_ns").as_number();
+        require(problems, t >= prev_t, ewhere + ": timestamps must be non-decreasing");
+        prev_t = t;
+        for (const char* key : string_keys) {
+            require(problems, e.contains(key) && e.at(key).is_string(),
+                    ewhere + "." + key + " must be a string");
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_incident_document(const JsonValue& doc) {
+    std::vector<std::string> problems;
+    if (!doc.is_object()) {
+        problems.push_back("document is not a JSON object");
+        return problems;
+    }
+    require(problems,
+            doc.contains("schema_version") && doc.at("schema_version").is_number() &&
+                doc.at("schema_version").as_number() == 1,
+            "schema_version must be the number 1");
+    require(problems,
+            doc.contains("kind") && doc.at("kind").is_string() &&
+                doc.at("kind").as_string() == "incident",
+            "kind must be the string \"incident\"");
+    for (const char* key : {"bench", "label"}) {
+        require(problems, doc.contains(key) && doc.at(key).is_string(),
+                std::string(key) + " must be a string");
+    }
+    require(problems, doc.contains("sequence") && is_uint(doc.at("sequence")) &&
+                          doc.at("sequence").as_number() >= 1,
+            "sequence must be a number >= 1");
+    for (const char* key : {"tripped_at_ns", "captured_at_ns", "window_ns"}) {
+        require(problems, doc.contains(key) && is_uint(doc.at(key)),
+                std::string(key) + " must be a non-negative number");
+    }
+
+    if (!doc.contains("monitor") || !doc.at("monitor").is_object()) {
+        problems.push_back("monitor must be an object");
+    } else {
+        const JsonValue& m = doc.at("monitor");
+        for (const char* key : {"name", "rule", "detail"}) {
+            require(problems, m.contains(key) && m.at(key).is_string(),
+                    std::string("monitor.") + key + " must be a string");
+        }
+        if (m.contains("rule") && m.at("rule").is_string()) {
+            const std::string& rule = m.at("rule").as_string();
+            require(problems,
+                    rule == "watermark" || rule == "rate-spike" ||
+                        rule == "quantile-slo",
+                    "monitor.rule must be watermark, rate-spike or quantile-slo");
+        }
+        for (const char* key : {"value", "threshold"}) {
+            require(problems, m.contains(key) && m.at(key).is_number(),
+                    std::string("monitor.") + key + " must be a number");
+        }
+    }
+
+    if (doc.contains("trace")) {
+        validate_excerpt(problems, doc.at("trace"), "trace", "events",
+                         {"kind", "node", "detail"});
+    } else {
+        problems.push_back("trace section missing");
+    }
+    if (doc.contains("decisions")) {
+        validate_excerpt(problems, doc.at("decisions"), "decisions", "events",
+                         {"node", "correspondent", "trigger", "test", "input",
+                          "detail"});
+    } else {
+        problems.push_back("decisions section missing");
+    }
+
+    if (!doc.contains("series") || !doc.at("series").is_array()) {
+        problems.push_back("series must be an array");
+        return problems;
+    }
+    std::size_t i = 0;
+    for (const JsonValue& s : doc.at("series").as_array()) {
+        const std::string where = "series[" + std::to_string(i++) + "]";
+        if (!s.is_object()) {
+            problems.push_back(where + " is not an object");
+            continue;
+        }
+        for (const char* key : {"node", "layer", "name", "field"}) {
+            require(problems, s.contains(key) && s.at(key).is_string(),
+                    where + "." + key + " must be a string");
+        }
+        validate_excerpt(problems, s, where, "points", {});
+    }
+    return problems;
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,94 @@
+// Incident flight recorder (ISSUE 8: observability tentpole, part b).
+//
+// When a HealthMonitor trips mid-run, the interesting evidence — the
+// trace records, delivery decisions and metric time-series leading up to
+// the trip — is already sitting in memory: arena-backed TraceRecords,
+// the DecisionLog tail, and the sampler's bounded rings (PR 7 made all
+// of them cheap enough to leave armed). IncidentRecorder snapshots that
+// recent history into a *self-contained* deterministic JSON bundle: one
+// document holding the trip that caused it, a bounded window of trace
+// events, the decision tail, and per-series time-series excerpts, each
+// with explicit truncation accounting (nothing is silently capped).
+//
+// Bundles follow the docs/TRACE_FORMAT.md §10 schema;
+// validate_incident_document() is the schema authority, and the
+// validate_metrics binary dispatches on kind == "incident", so bundles
+// dropped into a bench metrics dir are schema-checked by bench_smoke
+// like every other artifact. CI uploads them as workflow artifacts on
+// bench failure — a failing run ships its own flight-recorder dump.
+//
+// Sources are nullable: attach whatever the run has armed; absent
+// sources export as empty sections. arm() subscribes the recorder to a
+// monitor's trip callback so every trip captures a bundle automatically
+// (bounded by max_bundles, overflow counted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/decision.h"
+#include "obs/json.h"
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
+#include "sim/trace.h"
+
+namespace mip::obs {
+
+struct IncidentConfig {
+    /// How far back from the trip the excerpts reach (sim time).
+    sim::Duration window = sim::seconds(5);
+    /// Caps on excerpt sizes; the newest entries win, and the bundle
+    /// records how many in-window entries were cut.
+    std::size_t max_trace_events = 512;
+    std::size_t max_decisions = 128;
+    std::size_t max_points_per_series = 64;
+    /// Bundles retained per recorder; later trips are counted, not kept.
+    std::size_t max_bundles = 16;
+};
+
+/// Captures deterministic incident bundles from the observability state
+/// already in memory. All attached sources must outlive the recorder.
+class IncidentRecorder {
+public:
+    explicit IncidentRecorder(IncidentConfig config = {});
+
+    void attach_trace(const sim::TraceRecorder* trace) { trace_ = trace; }
+    void attach_decisions(const DecisionLog* decisions) { decisions_ = decisions; }
+    void attach_sampler(const MetricsSampler* sampler) { sampler_ = sampler; }
+
+    /// Subscribes to the monitor's on_trip hook: every trip captures a
+    /// bundle tagged (bench, label). Replaces any previous on_trip
+    /// callback on the monitor.
+    void arm(HealthMonitor& monitor, std::string bench, std::string label);
+
+    /// Builds one bundle for `trip` right now (capture time = trip
+    /// time when called from the trip hook).
+    JsonValue capture(const MonitorTrip& trip, sim::TimePoint now,
+                      const std::string& bench, const std::string& label) const;
+
+    /// Bundles captured via arm(), oldest first (bounded by max_bundles).
+    const std::vector<JsonValue>& bundles() const noexcept { return bundles_; }
+    std::uint64_t captured() const noexcept { return captured_; }
+    /// Trips whose bundles were not retained (captured - bundles kept).
+    std::uint64_t overflowed() const noexcept {
+        return captured_ - static_cast<std::uint64_t>(bundles_.size());
+    }
+
+    const IncidentConfig& config() const noexcept { return config_; }
+
+private:
+    IncidentConfig config_;
+    const sim::TraceRecorder* trace_ = nullptr;
+    const DecisionLog* decisions_ = nullptr;
+    const MetricsSampler* sampler_ = nullptr;
+    std::vector<JsonValue> bundles_;
+    std::uint64_t captured_ = 0;
+};
+
+/// Checks a parsed document against the incident-bundle schema in
+/// docs/TRACE_FORMAT.md §10. Empty result = valid. Shared by the unit
+/// tests and the validate_metrics binary, like the other validators.
+std::vector<std::string> validate_incident_document(const JsonValue& doc);
+
+}  // namespace mip::obs

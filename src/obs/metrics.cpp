@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "obs/metrics_view.h"
-
 namespace mip::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -17,6 +15,10 @@ void Histogram::observe(double value) noexcept {
     // Cumulative buckets: bump every bucket whose bound admits the value.
     for (std::size_t i = 0; i < bounds_.size(); ++i) {
         if (value <= bounds_[i]) ++counts_[i];
+    }
+    if (!dirty_ && dirty_list_ != nullptr) {
+        dirty_ = true;
+        dirty_list_->push_back(this);
     }
 }
 
@@ -34,7 +36,12 @@ std::vector<double> hop_bounds() {
 
 Counter& MetricsRegistry::counter(const std::string& node, const std::string& layer,
                                   const std::string& name) {
-    return counters_[Key{node, layer, name}];
+    auto [it, fresh] = counters_.try_emplace(Key{node, layer, name});
+    if (fresh) {
+        it->second.dirty_list_ = &dirty_counters_;
+        ++structure_generation_;
+    }
+    return it->second;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& node, const std::string& layer,
@@ -44,20 +51,37 @@ Histogram& MetricsRegistry::histogram(const std::string& node, const std::string
     auto it = histograms_.find(key);
     if (it == histograms_.end()) {
         it = histograms_.emplace(key, Histogram(std::move(bounds))).first;
+        it->second.dirty_list_ = &dirty_histograms_;
+        ++structure_generation_;
     }
     return it->second;
 }
 
 void MetricsRegistry::register_gauge(const std::string& node, const std::string& layer,
                                      const std::string& name, GaugeFn provider) {
-    gauges_[Key{node, layer, name}] = std::move(provider);
+    auto [it, fresh] = gauges_.try_emplace(Key{node, layer, name});
+    it->second = std::move(provider);
+    if (fresh) ++structure_generation_;
 }
 
-double MetricsRegistry::gauge_value(const std::string& node, const std::string& layer,
-                                    const std::string& name) const {
-    // Deprecated wrapper: the typed query API (scoped selectors, per-kind
-    // accessors, the same closest-key miss errors) lives in MetricsView.
-    return MetricsView(*this).gauge(node, layer, name);
+bool MetricsRegistry::claim_dirty_consumer(const void* who) const noexcept {
+    if (dirty_consumer_ != nullptr && dirty_consumer_ != who) return false;
+    dirty_consumer_ = who;
+    return true;
+}
+
+void MetricsRegistry::release_dirty_consumer(const void* who) const noexcept {
+    if (dirty_consumer_ == who) dirty_consumer_ = nullptr;
+}
+
+void MetricsRegistry::drain_dirty(std::vector<Counter*>& counters,
+                                  std::vector<Histogram*>& histograms) const {
+    counters.clear();
+    histograms.clear();
+    counters.swap(dirty_counters_);
+    histograms.swap(dirty_histograms_);
+    for (Counter* c : counters) c->dirty_ = false;
+    for (Histogram* h : histograms) h->dirty_ = false;
 }
 
 namespace {

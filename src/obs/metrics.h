@@ -33,13 +33,28 @@ namespace mip::obs {
 
 /// Monotonic counter. References returned by MetricsRegistry::counter()
 /// stay valid for the registry's lifetime (node-based map storage).
+///
+/// Counters participate in the registry's dirty-marking protocol: the
+/// first add() after a drain appends the counter to the registry's dirty
+/// list, so a delta consumer (MetricsSampler) can visit only the metrics
+/// that actually moved since its last tick instead of walking the whole
+/// registry. Quiet counters cost one branch per add().
 class Counter {
 public:
-    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+    void add(std::uint64_t n = 1) noexcept {
+        value_ += n;
+        if (!dirty_ && dirty_list_ != nullptr) {
+            dirty_ = true;
+            dirty_list_->push_back(this);
+        }
+    }
     std::uint64_t value() const noexcept { return value_; }
 
 private:
+    friend class MetricsRegistry;
     std::uint64_t value_ = 0;
+    bool dirty_ = false;
+    std::vector<Counter*>* dirty_list_ = nullptr;  // wired by the registry
 };
 
 /// Distribution with cumulative ("le") buckets, Prometheus style: each
@@ -62,12 +77,15 @@ public:
     const std::vector<std::uint64_t>& bucket_counts() const noexcept { return counts_; }
 
 private:
+    friend class MetricsRegistry;
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;  // parallel to bounds_, cumulative
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    bool dirty_ = false;
+    std::vector<Histogram*>* dirty_list_ = nullptr;  // wired by the registry
 };
 
 /// Bucket bounds tuned for simulated RTTs: 1 ms .. ~4 s, doubling.
@@ -83,6 +101,12 @@ public:
     using GaugeFn = std::function<double()>;
     /// (node, layer, name) — the identity of every metric.
     using Key = std::tuple<std::string, std::string, std::string>;
+
+    MetricsRegistry() = default;
+    // Counters/histograms hold back-pointers into this registry's dirty
+    // lists, so the registry must stay at one address for its lifetime.
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
     /// Returns the counter for (node, layer, name), creating it on first
     /// use. The reference stays valid for the registry's lifetime.
@@ -100,13 +124,6 @@ public:
     /// owns. Re-registering the same triple replaces the provider.
     void register_gauge(const std::string& node, const std::string& layer,
                         const std::string& name, GaugeFn provider);
-
-    /// DEPRECATED: thin wrapper over obs::MetricsView::gauge(), kept so
-    /// old call sites compile. New code should build a MetricsView — it
-    /// adds typed counter/histogram accessors and scoped node/layer
-    /// selectors with the same closest-key miss errors.
-    double gauge_value(const std::string& node, const std::string& layer,
-                       const std::string& name) const;
 
     /// Renders every metric into the docs/TRACE_FORMAT.md §4 document:
     ///   {"schema_version":1, "bench":..., "label":..., "time_ns":...,
@@ -129,10 +146,44 @@ public:
     const std::map<Key, GaugeFn>& gauges() const noexcept { return gauges_; }
     const std::map<Key, Histogram>& histograms() const noexcept { return histograms_; }
 
+    // ---- delta-snapshot feed (dirty marking) --------------------------------
+    //
+    // Counters and histograms flag themselves on first mutation after a
+    // drain; a single delta consumer (obs::MetricsSampler in delta mode)
+    // drains the flagged entries each tick instead of walking every
+    // metric. Gauges are excluded: they are polled provider callbacks and
+    // cannot observe their own mutation. The dirty lists are bounded by
+    // the number of distinct metrics regardless of how many consumers (or
+    // none) drain them — a metric enqueues itself at most once per drain.
+
+    /// Bumped whenever a *new* counter/gauge/histogram key is created, so
+    /// delta consumers know when to re-scan the stores for new series.
+    std::uint64_t structure_generation() const noexcept { return structure_generation_; }
+
+    /// Claims the (single) delta-consumer slot for `who`. Returns true if
+    /// `who` now holds it (or already did); false when another consumer
+    /// holds it — the caller must then fall back to full walks.
+    bool claim_dirty_consumer(const void* who) const noexcept;
+    /// Releases the slot if `who` holds it; no-op otherwise.
+    void release_dirty_consumer(const void* who) const noexcept;
+
+    /// Moves the dirty entries into `counters` / `histograms` (replacing
+    /// their contents) and clears the dirty flags. Only the claimed
+    /// consumer should drain; anyone may call without corrupting state.
+    void drain_dirty(std::vector<Counter*>& counters,
+                     std::vector<Histogram*>& histograms) const;
+
 private:
     std::map<Key, Counter> counters_;
     std::map<Key, GaugeFn> gauges_;
     std::map<Key, Histogram> histograms_;
+    std::uint64_t structure_generation_ = 0;
+    // The dirty feed mutates under const reads (drain from a const
+    // registry reference held by the sampler); mutable keeps the public
+    // observable state — metric values — logically const.
+    mutable std::vector<Counter*> dirty_counters_;
+    mutable std::vector<Histogram*> dirty_histograms_;
+    mutable const void* dirty_consumer_ = nullptr;
 };
 
 /// Checks a parsed document against the metrics schema in

@@ -14,8 +14,8 @@
 //
 // Misses throw MetricsError naming the closest registered keys of every
 // kind, so a mistyped or renamed metric fails with the fix in hand.
-// MetricsRegistry::gauge_value() survives as a thin deprecated wrapper
-// over MetricsView::gauge().
+// This is the only query API: the stringly-typed
+// MetricsRegistry::gauge_value() wrapper is gone (PR 8 satellite).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,347 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mip::obs {
+
+// ---- P2Quantile -------------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+    if (!(q > 0.0 && q < 1.0)) {
+        throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+    }
+}
+
+void P2Quantile::add(double value) {
+    if (count_ < 5) {
+        heights_[count_++] = value;
+        if (count_ == 5) {
+            std::sort(heights_, heights_ + 5);
+            desired_[0] = 1;
+            desired_[1] = 1 + 2 * q_;
+            desired_[2] = 1 + 4 * q_;
+            desired_[3] = 3 + 2 * q_;
+            desired_[4] = 5;
+            increment_[0] = 0;
+            increment_[1] = q_ / 2;
+            increment_[2] = q_;
+            increment_[3] = (1 + q_) / 2;
+            increment_[4] = 1;
+        }
+        return;
+    }
+    ++count_;
+
+    // Locate the cell and stretch the extremes.
+    int k;
+    if (value < heights_[0]) {
+        heights_[0] = value;
+        k = 0;
+    } else if (value >= heights_[4]) {
+        heights_[4] = value;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && value >= heights_[k + 1]) ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+    for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+    // Adjust the interior markers toward their desired positions with
+    // piecewise-parabolic (P^2) interpolation, falling back to linear
+    // when the parabola would leave the bracketing heights.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = desired_[i] - positions_[i];
+        const double right = positions_[i + 1] - positions_[i];
+        const double left = positions_[i - 1] - positions_[i];
+        if ((d >= 1 && right > 1) || (d <= -1 && left < -1)) {
+            const double s = d >= 1 ? 1.0 : -1.0;
+            const double qp =
+                heights_[i] +
+                s / (positions_[i + 1] - positions_[i - 1]) *
+                    ((positions_[i] - positions_[i - 1] + s) *
+                         (heights_[i + 1] - heights_[i]) / right +
+                     (positions_[i + 1] - positions_[i] - s) *
+                         (heights_[i] - heights_[i - 1]) / -left);
+            if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+                heights_[i] = qp;
+            } else {
+                // Linear toward the neighbor in the adjustment direction.
+                const int j = i + static_cast<int>(s);
+                heights_[i] += s * (heights_[j] - heights_[i]) /
+                               (positions_[j] - positions_[i]);
+            }
+            positions_[i] += s;
+        }
+    }
+}
+
+double P2Quantile::estimate() const {
+    if (count_ == 0) return 0.0;
+    if (count_ >= 5) return heights_[2];
+    // Exact small-sample estimate: sort what we have and index by rank.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double rank = q_ * static_cast<double>(count_);
+    std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+    if (idx >= count_) idx = count_ - 1;
+    return sorted[idx];
+}
+
+// ---- HealthMonitor ----------------------------------------------------------
+
+namespace {
+
+std::string format_value(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(sim::Simulator& sim, MetricsRegistry& registry,
+                             MonitorConfig config)
+    : sim_(sim), registry_(registry), config_(std::move(config)) {
+    if (config_.interval <= 0) {
+        throw std::invalid_argument("HealthMonitor: interval must be positive");
+    }
+}
+
+HealthMonitor::~HealthMonitor() {
+    stop();
+}
+
+void HealthMonitor::add_watermark(WatermarkRule rule) {
+    RuleState st;
+    st.kind = RuleState::Kind::Watermark;
+    st.name = std::move(rule.name);
+    st.detail = std::move(rule.detail);
+    st.node = std::move(rule.node);
+    st.layer = std::move(rule.layer);
+    st.metric = std::move(rule.metric);
+    st.source = rule.source;
+    st.trip_at = rule.trip_at;
+    st.clear_at = std::isnan(rule.clear_at) ? rule.trip_at : rule.clear_at;
+    rules_.push_back(std::move(st));
+}
+
+void HealthMonitor::add_rate_spike(RateSpikeRule rule) {
+    RuleState st;
+    st.kind = RuleState::Kind::RateSpike;
+    st.name = std::move(rule.name);
+    st.detail = std::move(rule.detail);
+    st.node = std::move(rule.node);
+    st.layer = std::move(rule.layer);
+    st.metric = std::move(rule.metric);
+    st.source = rule.source;
+    st.min_rate = rule.min_rate;
+    st.spike_factor = rule.spike_factor;
+    st.alpha = rule.alpha;
+    st.warmup_evals = rule.warmup_evals;
+    rules_.push_back(std::move(st));
+}
+
+void HealthMonitor::add_quantile_slo(QuantileSloRule rule) {
+    RuleState st;
+    st.kind = RuleState::Kind::QuantileSlo;
+    st.name = std::move(rule.name);
+    st.detail = std::move(rule.detail);
+    st.quantile = rule.quantile;
+    st.bound = rule.bound;
+    st.min_samples = rule.min_samples;
+    st.unit = std::move(rule.unit);
+    st.sketch = P2Quantile(rule.quantile);
+    rules_.push_back(std::move(st));
+}
+
+std::size_t HealthMonitor::rules() const noexcept {
+    return rules_.size();
+}
+
+void HealthMonitor::observe(const std::string& name, double value) {
+    for (RuleState& rule : rules_) {
+        if (rule.kind == RuleState::Kind::QuantileSlo && rule.name == name) {
+            rule.sketch.add(value);
+        }
+    }
+}
+
+void HealthMonitor::start() {
+    if (running_) return;
+    running_ = true;
+    timer_ = sim_.schedule_in(config_.interval, [this] { tick(); }, "health-monitor");
+}
+
+void HealthMonitor::stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(timer_);
+}
+
+void HealthMonitor::tick() {
+    if (!running_) return;
+    evaluate_now();
+    timer_ = sim_.schedule_in(config_.interval, [this] { tick(); }, "health-monitor");
+}
+
+void HealthMonitor::evaluate_now() {
+    for (RuleState& rule : rules_) evaluate(rule);
+    ++evaluations_;
+}
+
+// Resolves (and caches) the rule's source metric; metrics referenced
+// before they exist — counters are created on first bump — read as 0
+// until they appear, so a counter's whole value becomes its first delta,
+// matching the sampler's first-seen rule.
+bool HealthMonitor::read_source(RuleState& rule, double& out) {
+    if (rule.source == MetricSource::Counter) {
+        if (rule.counter == nullptr) {
+            const auto it = registry_.counters().find(
+                MetricsRegistry::Key{rule.node, rule.layer, rule.metric});
+            if (it != registry_.counters().end()) rule.counter = &it->second;
+        }
+        out = rule.counter != nullptr ? static_cast<double>(rule.counter->value()) : 0.0;
+        return true;
+    }
+    if (rule.gauge == nullptr) {
+        const auto it = registry_.gauges().find(
+            MetricsRegistry::Key{rule.node, rule.layer, rule.metric});
+        if (it != registry_.gauges().end()) rule.gauge = &it->second;
+    }
+    out = (rule.gauge != nullptr && *rule.gauge) ? (*rule.gauge)() : 0.0;
+    return true;
+}
+
+void HealthMonitor::evaluate(RuleState& rule) {
+    switch (rule.kind) {
+        case RuleState::Kind::Watermark: {
+            double v = 0.0;
+            read_source(rule, v);
+            if (!rule.is_tripped && v >= rule.trip_at) {
+                transition(rule, true, v, rule.trip_at, "watermark");
+            } else if (rule.is_tripped && v < rule.clear_at) {
+                transition(rule, false, v, rule.clear_at, "watermark");
+            }
+            break;
+        }
+        case RuleState::Kind::RateSpike: {
+            double v = 0.0;
+            read_source(rule, v);
+            const double delta = v - rule.last_value;
+            rule.last_value = v;
+            double threshold = rule.min_rate;
+            if (rule.spike_factor > 0.0) {
+                threshold = std::max(threshold, rule.spike_factor * rule.ewma);
+            }
+            const bool warmed = rule.evals_seen >= rule.warmup_evals;
+            ++rule.evals_seen;
+            rule.ewma = rule.alpha * delta + (1.0 - rule.alpha) * rule.ewma;
+            if (!warmed) break;  // baseline still settling: no transitions
+            if (!rule.is_tripped && delta >= threshold) {
+                transition(rule, true, delta, threshold, "rate-spike");
+            } else if (rule.is_tripped && delta < rule.min_rate) {
+                transition(rule, false, delta, rule.min_rate, "rate-spike");
+            }
+            break;
+        }
+        case RuleState::Kind::QuantileSlo: {
+            if (rule.sketch.count() < rule.min_samples) break;
+            const double est = rule.sketch.estimate();
+            if (!rule.is_tripped && est > rule.bound) {
+                transition(rule, true, est, rule.bound, "quantile-slo");
+            } else if (rule.is_tripped && est <= rule.bound) {
+                transition(rule, false, est, rule.bound, "quantile-slo");
+            }
+            break;
+        }
+    }
+}
+
+void HealthMonitor::transition(RuleState& rule, bool trip, double value,
+                               double threshold, const char* rule_kind) {
+    const sim::TimePoint now = sim_.now();
+    rule.is_tripped = trip;
+    if (trip) {
+        ++rule.trip_count;
+        if (rule.first_trip < 0) rule.first_trip = now;
+        MonitorTrip t;
+        t.when = now;
+        t.sequence = static_cast<std::uint64_t>(trip_log_.size()) + 1;
+        t.monitor = rule.name;
+        t.rule = rule_kind;
+        t.value = value;
+        t.threshold = threshold;
+        t.detail = rule.detail;
+        registry_.counter(config_.node, "monitor", "trips").add();
+        registry_.counter(config_.node, "monitor", rule.name + "_trips").add();
+        trip_log_.push_back(t);
+        if (decisions_ != nullptr) {
+            DecisionEvent ev;
+            ev.when = now;
+            ev.node = config_.node;
+            ev.correspondent = rule.name;
+            ev.trigger = "monitor-trip";
+            ev.test = rule_kind;
+            ev.input = "value=" + format_value(value) +
+                       " threshold=" + format_value(threshold);
+            ev.passed = false;
+            ev.detail = rule.detail;
+            decisions_->record(std::move(ev));
+        }
+        if (on_trip_) on_trip_(trip_log_.back());
+    } else {
+        ++clears_;
+        registry_.counter(config_.node, "monitor", "clears").add();
+        if (decisions_ != nullptr) {
+            DecisionEvent ev;
+            ev.when = now;
+            ev.node = config_.node;
+            ev.correspondent = rule.name;
+            ev.trigger = "monitor-clear";
+            ev.test = rule_kind;
+            ev.input = "value=" + format_value(value) +
+                       " threshold=" + format_value(threshold);
+            ev.passed = true;
+            ev.detail = rule.detail;
+            decisions_->record(std::move(ev));
+        }
+    }
+}
+
+bool HealthMonitor::tripped(const std::string& name) const {
+    for (const RuleState& rule : rules_) {
+        if (rule.name == name) return rule.is_tripped;
+    }
+    return false;
+}
+
+std::uint64_t HealthMonitor::trip_count(const std::string& name) const {
+    for (const RuleState& rule : rules_) {
+        if (rule.name == name) return rule.trip_count;
+    }
+    return 0;
+}
+
+sim::TimePoint HealthMonitor::first_trip_at(const std::string& name) const {
+    for (const RuleState& rule : rules_) {
+        if (rule.name == name) return rule.first_trip;
+    }
+    return -1;
+}
+
+double HealthMonitor::quantile_estimate(const std::string& name) const {
+    for (const RuleState& rule : rules_) {
+        if (rule.kind == RuleState::Kind::QuantileSlo && rule.name == name) {
+            return rule.sketch.estimate();
+        }
+    }
+    return 0.0;
+}
+
+}  // namespace mip::obs

@@ -1,0 +1,242 @@
+// Online health monitors (ISSUE 8: observability tentpole, part a).
+//
+// Everything below PR 8 in the observability stack is post-hoc: run a
+// bench, export JSON, grep for the anomaly afterwards. HealthMonitor is
+// the online layer — a set of streaming detectors evaluated against the
+// MetricsRegistry on a sim-time interval, so the signals a production
+// mobility system must watch live (registration storms, handoff churn,
+// probe deliverability, latency SLOs) are detected *while the run is
+// happening*, deterministically, inside simulated time.
+//
+// Three detector families:
+//
+//   watermark     absolute value of a gauge/counter crossed trip_at, with
+//                 clear_at hysteresis ("binding table above 10k entries")
+//   rate spike    per-evaluation delta of a monotone counter (or gauge)
+//                 against an EWMA baseline: trip when the rate exceeds
+//                 max(min_rate, spike_factor x ewma) after warmup
+//                 ("registration storm", "handoff churn", probe failures)
+//   quantile SLO  a P^2 streaming quantile sketch (Jain & Chlamtac 1985,
+//                 five markers, O(1) memory) over values push-fed via
+//                 observe(): trip when the running estimate exceeds the
+//                 SLO bound ("p95 handoff recovery <= 2 s")
+//
+// Every trip/clear transition is audited as a DecisionEvent (§6 schema,
+// node "health-monitor") and counted in the registry, and a registered
+// on_trip callback receives the MonitorTrip — that is the hook the
+// incident flight recorder (obs/incident.h) hangs off.
+//
+// Determinism: evaluation happens on the simulated clock, detectors are
+// pure arithmetic over registry state, and trips are sequence-numbered —
+// two runs of the same seed produce byte-identical trip logs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/decision.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace mip::obs {
+
+/// Streaming quantile estimate via the P^2 algorithm: five markers track
+/// (min, p/2, p, (1+p)/2, max) with parabolic interpolation — no stored
+/// samples, O(1) per observation. Estimates are exact until five
+/// observations, then approximate.
+class P2Quantile {
+public:
+    /// `q` in (0, 1), e.g. 0.95 for p95.
+    explicit P2Quantile(double q);
+
+    void add(double value);
+    /// The current estimate; 0 when empty. Exact for < 5 observations.
+    double estimate() const;
+    std::uint64_t count() const noexcept { return count_; }
+
+private:
+    double q_;
+    std::uint64_t count_ = 0;
+    double heights_[5] = {0, 0, 0, 0, 0};   // marker heights
+    double positions_[5] = {1, 2, 3, 4, 5}; // actual marker positions (1-based)
+    double desired_[5] = {1, 2, 3, 4, 5};   // desired marker positions
+    double increment_[5] = {0, 0, 0, 0, 0}; // desired-position increments
+};
+
+/// Where a rule reads its signal from.
+enum class MetricSource : std::uint8_t {
+    Counter,  ///< registry counter (monotone)
+    Gauge,    ///< polled gauge provider
+};
+
+/// Absolute-threshold rule with hysteresis: trips when the metric's
+/// value reaches `trip_at`, clears when it falls below `clear_at`
+/// (defaults to trip_at when NaN).
+struct WatermarkRule {
+    std::string name;  // unique monitor name, e.g. "binding-pressure"
+    std::string node, layer, metric;
+    MetricSource source = MetricSource::Gauge;
+    double trip_at = 0.0;
+    double clear_at = std::numeric_limits<double>::quiet_NaN();
+    std::string detail;  // free-form, copied into trips and bundles
+};
+
+/// EWMA rate-spike rule: each evaluation computes the metric's delta
+/// since the previous evaluation, trips when
+///   delta >= max(min_rate, spike_factor * ewma_before)
+/// after `warmup_evals` evaluations have fed the baseline, and clears
+/// when the delta falls below min_rate. spike_factor 0 degenerates to a
+/// fixed per-evaluation rate threshold.
+struct RateSpikeRule {
+    std::string name;
+    std::string node, layer, metric;
+    MetricSource source = MetricSource::Counter;
+    double min_rate = 1.0;
+    double spike_factor = 0.0;
+    double alpha = 0.3;  // EWMA smoothing factor in (0, 1]
+    std::uint32_t warmup_evals = 0;
+    std::string detail;
+};
+
+/// Streaming-quantile SLO rule over push-fed observations (see
+/// HealthMonitor::observe): trips when the P^2 estimate of `quantile`
+/// exceeds `bound` once `min_samples` observations have arrived. The
+/// sketch is cumulative over the whole run.
+struct QuantileSloRule {
+    std::string name;  // also the observe() feed name
+    double quantile = 0.95;
+    double bound = 0.0;
+    std::uint64_t min_samples = 16;
+    std::string unit;  // rendered in details, e.g. "ns"
+    std::string detail;
+};
+
+/// One monitor trip (or the state behind it), as delivered to on_trip
+/// callbacks and summarized in incident bundles.
+struct MonitorTrip {
+    sim::TimePoint when = 0;
+    std::uint64_t sequence = 0;  // 1-based, total order over all trips
+    std::string monitor;         // rule name
+    std::string rule;            // "watermark" | "rate-spike" | "quantile-slo"
+    double value = 0.0;          // observed value that tripped
+    double threshold = 0.0;      // effective bound it crossed
+    std::string detail;          // rule's free-form detail
+};
+
+struct MonitorConfig {
+    /// Simulated time between evaluations.
+    sim::Duration interval = sim::milliseconds(250);
+    /// Node name used for the monitor's own registry counters and
+    /// DecisionEvents.
+    std::string node = "health-monitor";
+};
+
+/// Evaluates a set of detector rules against a MetricsRegistry on a
+/// sim-time interval. Off until start(); stop() (or destruction)
+/// disarms. The registry and simulator must outlive the monitor.
+///
+/// Metrics referenced by rules may not exist yet at start() — counters
+/// are created lazily on first bump — so resolution retries every
+/// evaluation until the metric appears; a missing metric reads as 0.
+class HealthMonitor {
+public:
+    using TripCallback = std::function<void(const MonitorTrip&)>;
+
+    HealthMonitor(sim::Simulator& sim, MetricsRegistry& registry,
+                  MonitorConfig config = {});
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor&) = delete;
+    HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+    void add_watermark(WatermarkRule rule);
+    void add_rate_spike(RateSpikeRule rule);
+    void add_quantile_slo(QuantileSloRule rule);
+    std::size_t rules() const noexcept;
+
+    /// Push one observation into the quantile-SLO rule named `name`
+    /// (no-op when no such rule). SLO rules evaluate on the shared
+    /// interval like everything else; observe() only feeds the sketch.
+    void observe(const std::string& name, double value);
+
+    /// Attach the decision audit trail (nullable; off by default).
+    void set_decision_log(DecisionLog* log) { decisions_ = log; }
+    /// Register the trip hook (the incident recorder's entry point).
+    void on_trip(TripCallback cb) { on_trip_ = std::move(cb); }
+
+    void start();
+    void stop();
+    bool running() const noexcept { return running_; }
+    /// Evaluates every rule immediately (also usable without start()).
+    void evaluate_now();
+
+    // ---- queries ------------------------------------------------------------
+    std::uint64_t evaluations() const noexcept { return evaluations_; }
+    std::uint64_t trips() const noexcept { return trip_log_.size(); }
+    std::uint64_t clears() const noexcept { return clears_; }
+    /// All trips, in sequence order.
+    const std::vector<MonitorTrip>& trip_log() const noexcept { return trip_log_; }
+    /// Is the named monitor currently in the tripped state?
+    bool tripped(const std::string& name) const;
+    /// How many times has the named monitor tripped?
+    std::uint64_t trip_count(const std::string& name) const;
+    /// Sim time of the first trip of the named monitor, or -1 when it
+    /// never tripped.
+    sim::TimePoint first_trip_at(const std::string& name) const;
+    /// The quantile estimate of an SLO rule's sketch (0 when unknown).
+    double quantile_estimate(const std::string& name) const;
+
+private:
+    struct RuleState {
+        enum class Kind : std::uint8_t { Watermark, RateSpike, QuantileSlo } kind;
+        std::string name;
+        std::string detail;
+        // source metric (watermark / rate-spike)
+        std::string node, layer, metric;
+        MetricSource source = MetricSource::Counter;
+        const Counter* counter = nullptr;        // resolved lazily
+        const MetricsRegistry::GaugeFn* gauge = nullptr;
+        // watermark
+        double trip_at = 0.0, clear_at = 0.0;
+        // rate spike
+        double min_rate = 0.0, spike_factor = 0.0, alpha = 0.3;
+        std::uint32_t warmup_evals = 0;
+        std::uint32_t evals_seen = 0;
+        double last_value = 0.0;
+        bool have_last = false;
+        double ewma = 0.0;
+        // quantile SLO
+        double quantile = 0.95, bound = 0.0;
+        std::uint64_t min_samples = 0;
+        std::string unit;
+        P2Quantile sketch{0.95};
+        // shared
+        bool is_tripped = false;
+        std::uint64_t trip_count = 0;
+        sim::TimePoint first_trip = -1;
+    };
+
+    void tick();
+    bool read_source(RuleState& rule, double& out);
+    void evaluate(RuleState& rule);
+    void transition(RuleState& rule, bool trip, double value, double threshold,
+                    const char* rule_kind);
+
+    sim::Simulator& sim_;
+    MetricsRegistry& registry_;
+    MonitorConfig config_;
+    bool running_ = false;
+    sim::EventId timer_ = 0;
+    std::uint64_t evaluations_ = 0;
+    std::uint64_t clears_ = 0;
+    std::vector<RuleState> rules_;
+    std::vector<MonitorTrip> trip_log_;
+    DecisionLog* decisions_ = nullptr;
+    TripCallback on_trip_;
+};
+
+}  // namespace mip::obs

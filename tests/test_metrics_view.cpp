@@ -1,6 +1,7 @@
 // obs::MetricsView (ISSUE 5 satellite): typed counter/gauge/histogram
-// accessors, scoped node/layer selectors, closest-key miss errors, and
-// the deprecated gauge_value() wrapper staying equivalent.
+// accessors, scoped node/layer selectors and closest-key miss errors.
+// This is the registry's only query API — the stringly-typed
+// gauge_value() wrapper was deleted in PR 8.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -13,20 +14,26 @@ using namespace mip;
 namespace {
 
 /// A registry with one metric of each kind under (mh, ip) plus a second
-/// node so scoping is observable.
-obs::MetricsRegistry make_registry() {
-    obs::MetricsRegistry reg;
+/// node so scoping is observable. The registry is address-stable (PR 8:
+/// metrics self-report into registry-owned dirty lists), so it cannot be
+/// returned by value — the fixture owns one and tests populate it.
+void populate(obs::MetricsRegistry& reg) {
     reg.counter("mh", "ip", "packets_sent").add(42);
     reg.register_gauge("mh", "ip", "queue_depth", [] { return 7.5; });
     reg.histogram("mh", "ip", "rtt_ms", {10.0, 100.0}).observe(55.0);
     reg.counter("gw", "tunnel", "packets_tunneled").add(3);
-    return reg;
 }
+
+class MetricsViewTest : public ::testing::Test {
+protected:
+    MetricsViewTest() { populate(reg_); }
+    obs::MetricsRegistry reg_;
+};
 
 }  // namespace
 
-TEST(MetricsViewTest, TypedAccessorsReturnRegisteredValues) {
-    const obs::MetricsRegistry reg = make_registry();
+TEST_F(MetricsViewTest, TypedAccessorsReturnRegisteredValues) {
+    const obs::MetricsRegistry& reg = reg_;
     const obs::MetricsView view(reg);
     EXPECT_EQ(view.counter("mh", "ip", "packets_sent"), 42u);
     EXPECT_DOUBLE_EQ(view.gauge("mh", "ip", "queue_depth"), 7.5);
@@ -35,8 +42,8 @@ TEST(MetricsViewTest, TypedAccessorsReturnRegisteredValues) {
     EXPECT_DOUBLE_EQ(h.sum(), 55.0);
 }
 
-TEST(MetricsViewTest, PresenceProbesDoNotThrow) {
-    const obs::MetricsRegistry reg = make_registry();
+TEST_F(MetricsViewTest, PresenceProbesDoNotThrow) {
+    const obs::MetricsRegistry& reg = reg_;
     const obs::MetricsView view(reg);
     EXPECT_TRUE(view.has_counter("mh", "ip", "packets_sent"));
     EXPECT_FALSE(view.has_counter("mh", "ip", "no_such"));
@@ -46,8 +53,8 @@ TEST(MetricsViewTest, PresenceProbesDoNotThrow) {
     EXPECT_FALSE(view.has_histogram("mh", "ip", "rtt_ns"));
 }
 
-TEST(MetricsViewTest, ScopedSelectorsReachTheSameMetrics) {
-    const obs::MetricsRegistry reg = make_registry();
+TEST_F(MetricsViewTest, ScopedSelectorsReachTheSameMetrics) {
+    const obs::MetricsRegistry& reg = reg_;
     const obs::MetricsView view(reg);
     const auto mh = view.node("mh").layer("ip");
     EXPECT_EQ(mh.counter("packets_sent"), 42u);
@@ -63,16 +70,16 @@ TEST(MetricsViewTest, ScopedSelectorsReachTheSameMetrics) {
 // The regression behind abl_row_d_http's segfault: a scope built from a
 // *temporary* view and stored in a local must stay valid — scopes borrow
 // only the registry, never the view expression that built them.
-TEST(MetricsViewTest, ScopeOutlivesTemporaryView) {
-    const obs::MetricsRegistry reg = make_registry();
+TEST_F(MetricsViewTest, ScopeOutlivesTemporaryView) {
+    const obs::MetricsRegistry& reg = reg_;
     const auto scope = obs::MetricsView(reg).node("mh").layer("ip");
     EXPECT_EQ(scope.counter("packets_sent"), 42u);
     const auto node_scope = obs::MetricsView(reg).node("gw");
     EXPECT_EQ(node_scope.counter("tunnel", "packets_tunneled"), 3u);
 }
 
-TEST(MetricsViewTest, MissThrowsWithClosestKeySuggestions) {
-    const obs::MetricsRegistry reg = make_registry();
+TEST_F(MetricsViewTest, MissThrowsWithClosestKeySuggestions) {
+    const obs::MetricsRegistry& reg = reg_;
     const obs::MetricsView view(reg);
     try {
         view.counter("mh", "ip", "packets_snet");  // transposition typo
@@ -90,18 +97,10 @@ TEST(MetricsViewTest, MissThrowsWithClosestKeySuggestions) {
     EXPECT_THROW(view.histogram("zz", "ip", "rtt_ms"), obs::MetricsError);
 }
 
-// MetricsError derives from JsonError, so pre-existing catch sites that
-// guarded gauge_value() keep working.
-TEST(MetricsViewTest, MetricsErrorIsAJsonError) {
-    const obs::MetricsRegistry reg = make_registry();
+// MetricsError derives from JsonError, so catch sites that predate the
+// view (and guarded the old wrapper) keep working.
+TEST_F(MetricsViewTest, MetricsErrorIsAJsonError) {
+    const obs::MetricsRegistry& reg = reg_;
     const obs::MetricsView view(reg);
     EXPECT_THROW(view.gauge("mh", "ip", "nope"), obs::JsonError);
-}
-
-TEST(MetricsViewTest, DeprecatedGaugeValueWrapperMatchesView) {
-    const obs::MetricsRegistry reg = make_registry();
-    const obs::MetricsView view(reg);
-    EXPECT_DOUBLE_EQ(reg.gauge_value("mh", "ip", "queue_depth"),
-                     view.gauge("mh", "ip", "queue_depth"));
-    EXPECT_THROW(reg.gauge_value("mh", "ip", "nope"), obs::JsonError);
 }

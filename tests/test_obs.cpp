@@ -12,6 +12,7 @@
 #include "obs/journey.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_view.h"
 #include "obs/pcap.h"
 #include "transport/pinger.h"
 
@@ -266,7 +267,7 @@ TEST(MetricsTest, SnapshotRoundTripsThroughJson) {
 
     // Gauges are polled at snapshot time, not registration time.
     g = 9.0;
-    EXPECT_EQ(reg.gauge_value("node-b", "handoff", "handoffs"), 9.0);
+    EXPECT_EQ(obs::MetricsView(reg).gauge("node-b", "handoff", "handoffs"), 9.0);
 }
 
 TEST(MetricsTest, HistogramBucketsAreCumulative) {
@@ -333,17 +334,17 @@ TEST(MetricsTest, ValidatorRejectsNonConformingDocuments) {
     EXPECT_FALSE(obs::validate_metrics_document(obs::JsonValue("not an object")).empty());
 }
 
-TEST(MetricsTest, GaugeValueThrowsOnUnknownTriple) {
+TEST(MetricsTest, GaugeLookupThrowsOnUnknownTriple) {
     obs::MetricsRegistry reg;
-    EXPECT_THROW(reg.gauge_value("no", "such", "gauge"), obs::JsonError);
+    EXPECT_THROW(obs::MetricsView(reg).gauge("no", "such", "gauge"), obs::JsonError);
 }
 
-TEST(MetricsTest, GaugeValueErrorSuggestsClosestKeys) {
+TEST(MetricsTest, GaugeLookupErrorSuggestsClosestKeys) {
     obs::MetricsRegistry reg;
     reg.register_gauge("mobile-host", "handoff", "handoffs", [] { return 1.0; });
     reg.register_gauge("mobile-host", "handoff", "dead_zone_entries", [] { return 0.0; });
     try {
-        reg.gauge_value("mobile-host", "handoff", "handofs");  // typo
+        obs::MetricsView(reg).gauge("mobile-host", "handoff", "handofs");  // typo
         FAIL() << "expected JsonError";
     } catch (const obs::JsonError& e) {
         const std::string what = e.what();
@@ -376,7 +377,8 @@ TEST(MetricsTest, WorldSnapshotIsSchemaValid) {
     EXPECT_GT(doc.at("metrics").as_array().size(), 20u)
         << "expected ip/tunnel/mobileip/wire gauges from every node";
     // The registry view agrees with the node's own Stats struct.
-    EXPECT_EQ(world.metrics.gauge_value("home-agent", "tunnel", "packets_tunneled"),
+    EXPECT_EQ(obs::MetricsView(world.metrics).gauge("home-agent", "tunnel",
+                                                    "packets_tunneled"),
               double(world.home_agent().stats().packets_tunneled));
 }
 

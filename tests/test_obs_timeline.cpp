@@ -12,6 +12,7 @@
 #include "obs/decision.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_view.h"
 #include "obs/perfetto.h"
 #include "obs/profile.h"
 #include "obs/timeseries.h"
@@ -154,7 +155,8 @@ TEST(SamplerTest, ToJsonIsSchemaValidAndRoundTrips) {
     const auto& series = parsed.at("series").as_array();
     ASSERT_EQ(series.size(), 1u);
     EXPECT_EQ(series[0].at("field").as_string(), "rate");
-    EXPECT_EQ(series[0].at("dropped").as_number(), 0.0);
+    EXPECT_EQ(series[0].at("dropped_points").as_number(), 0.0);
+    EXPECT_EQ(parsed.at("ring_capacity").as_number(), 4096.0);
     const auto& points = series[0].at("points").as_array();
     EXPECT_EQ(points.size(), sampler.samples_taken());
 }
@@ -461,14 +463,16 @@ TEST(ProfilerTest, PublishProfilerExposesGaugesInTheRegistry) {
 
     obs::MetricsRegistry reg;
     obs::publish_profiler(profiler, simulator, reg);
-    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "dispatches"), 2.0);
-    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "kind/frame-delivery"), 2.0);
-    EXPECT_EQ(reg.gauge_value("simulator", "queue", "depth"), 0.0);
+    const obs::MetricsView view(reg);
+    const auto prof = view.node("simulator").layer("profiler");
+    EXPECT_EQ(prof.gauge("dispatches"), 2.0);
+    EXPECT_EQ(prof.gauge("kind/frame-delivery"), 2.0);
+    EXPECT_EQ(view.gauge("simulator", "queue", "depth"), 0.0);
 
     // The gauges are live: more dispatches show up without re-publishing.
     simulator.schedule_in(1, [] {}, "frame-delivery");
     simulator.run();
-    EXPECT_EQ(reg.gauge_value("simulator", "profiler", "dispatches"), 3.0);
+    EXPECT_EQ(prof.gauge("dispatches"), 3.0);
 }
 
 }  // namespace
