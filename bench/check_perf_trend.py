@@ -44,6 +44,9 @@ def rates_of(doc):
     city = doc.get("city", {})
     if "events_per_sec" in city:
         rates["city"] = city["events_per_sec"]
+    overload = doc.get("overload", {})
+    if "events_per_sec" in overload:
+        rates["overload"] = overload["events_per_sec"]
     return rates
 
 

@@ -43,7 +43,7 @@ def run_main(module, argv):
 
 
 def perf_doc(*, smoke, scenario_rate=1000.0, city_rate=5000.0,
-             traced_pct=None, obs_pct=None):
+             traced_pct=None, obs_pct=None, overload_rate=None):
     """A minimal BENCH_perf.json document with the fields the gate reads."""
     scenario = {"name": "basic", "baseline": {"events_per_sec": scenario_rate}}
     if traced_pct is not None:
@@ -51,8 +51,11 @@ def perf_doc(*, smoke, scenario_rate=1000.0, city_rate=5000.0,
     city = {"events_per_sec": city_rate}
     if obs_pct is not None:
         city["observability"] = {"overhead_pct": obs_pct}
-    return {"kind": "bench_perf", "smoke": smoke,
-            "scenarios": [scenario], "city": city}
+    doc = {"kind": "bench_perf", "smoke": smoke,
+           "scenarios": [scenario], "city": city}
+    if overload_rate is not None:
+        doc["overload"] = {"events_per_sec": overload_rate}
+    return doc
 
 
 class PerfTrendTest(unittest.TestCase):
@@ -101,6 +104,21 @@ class PerfTrendTest(unittest.TestCase):
                            ["--threshold=0.20"])
         self.assertEqual(at_edge[0], 0)
         self.assertEqual(below[0], 1)
+
+    def test_overload_headline_is_gated(self):
+        # The abl_overload block's events/sec headline participates in
+        # the trendline like the city figure does: a collapse in the
+        # storm-ablation throughput goes red even when every other
+        # figure holds.
+        code, out, _ = self.check(
+            perf_doc(smoke=True, overload_rate=2000.0),
+            perf_doc(smoke=True, overload_rate=1200.0))  # -40%
+        self.assertEqual(code, 1)
+        self.assertIn("overload", out)
+        code, _, _ = self.check(
+            perf_doc(smoke=True, overload_rate=2000.0),
+            perf_doc(smoke=True, overload_rate=1900.0))
+        self.assertEqual(code, 0)
 
     def test_threshold_space_separated_form(self):
         code, _, _ = self.check(perf_doc(smoke=True, scenario_rate=1000.0),

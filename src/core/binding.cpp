@@ -6,10 +6,26 @@ namespace mip::core {
 
 void BindingTable::set(net::Ipv4Address home, net::Ipv4Address care_of,
                        sim::TimePoint expires) {
+    if (cache_valid_) {
+        const Binding* existing = bindings_.find(home);
+        if (existing != nullptr && cached_min_ && existing->expires == *cached_min_) {
+            // Overwriting the entry that (may) hold the minimum: the new
+            // expiry could be later, so the cache must be rebuilt.
+            cache_valid_ = false;
+        } else if (!cached_min_ || expires < *cached_min_) {
+            cached_min_ = expires;
+        }
+    }
     bindings_.insert_or_assign(home, Binding{home, care_of, expires});
 }
 
 void BindingTable::remove(net::Ipv4Address home) {
+    if (cache_valid_ && cached_min_) {
+        const Binding* existing = bindings_.find(home);
+        if (existing != nullptr && existing->expires == *cached_min_) {
+            cache_valid_ = false;
+        }
+    }
     bindings_.erase(home);
 }
 
@@ -22,16 +38,35 @@ std::optional<Binding> BindingTable::lookup(net::Ipv4Address home, sim::TimePoin
 }
 
 std::size_t BindingTable::expire(sim::TimePoint now) {
-    return bindings_.erase_if(
-        [now](net::Ipv4Address, const Binding& b) { return b.expires <= now; });
+    return expire(now, nullptr);
+}
+
+std::size_t BindingTable::expire(sim::TimePoint now,
+                                 const std::function<void(const Binding&)>& on_expired) {
+    const std::size_t removed = bindings_.erase_if(
+        [now, &on_expired](net::Ipv4Address, const Binding& b) {
+            if (b.expires > now) return false;
+            if (on_expired) on_expired(b);
+            return true;
+        });
+    if (removed > 0 && cache_valid_ && cached_min_ && *cached_min_ <= now) {
+        // The cached minimum was among the expired: rebuild lazily.
+        cache_valid_ = false;
+    }
+    return removed;
 }
 
 std::optional<sim::TimePoint> BindingTable::earliest_expiry() const {
-    std::optional<sim::TimePoint> earliest;
-    for (const auto& entry : bindings_.entries()) {
-        if (!earliest || entry.value.expires < *earliest) earliest = entry.value.expires;
+    if (!cache_valid_) {
+        cached_min_.reset();
+        for (const auto& entry : bindings_.entries()) {
+            if (!cached_min_ || entry.value.expires < *cached_min_) {
+                cached_min_ = entry.value.expires;
+            }
+        }
+        cache_valid_ = true;
     }
-    return earliest;
+    return cached_min_;
 }
 
 std::vector<Binding> BindingTable::snapshot() const {

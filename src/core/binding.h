@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -24,7 +25,11 @@ class BindingTable {
 public:
     void set(net::Ipv4Address home, net::Ipv4Address care_of, sim::TimePoint expires);
     void remove(net::Ipv4Address home);
-    void clear() { bindings_.clear(); }
+    void clear() {
+        bindings_.clear();
+        cached_min_.reset();
+        cache_valid_ = true;
+    }
 
     /// Current care-of address for @p home, if registered and unexpired.
     std::optional<Binding> lookup(net::Ipv4Address home, sim::TimePoint now) const;
@@ -32,8 +37,21 @@ public:
     /// Drops expired entries; returns how many were removed.
     std::size_t expire(sim::TimePoint now);
 
+    /// Single-pass variant (ISSUE 9, GC thundering herd): invokes
+    /// @p on_expired for every entry it drops, so the caller can undo
+    /// side state (proxy-ARP captures) without a second full snapshot of
+    /// the table — 10k simultaneous expiries are one O(n) sweep.
+    std::size_t expire(sim::TimePoint now,
+                       const std::function<void(const Binding&)>& on_expired);
+
     /// Soonest expiry over all entries (nullopt when empty). The home
     /// agent's lazy GC timer re-arms from this instead of polling.
+    ///
+    /// O(1) amortized: the minimum is cached and maintained incrementally
+    /// by set(), and only recomputed (one linear scan) after an operation
+    /// that may have removed the minimum's holder. Without the cache the
+    /// agent's per-registration re-arm was an O(n) scan — O(n^2) across a
+    /// city-scale registration storm.
     std::optional<sim::TimePoint> earliest_expiry() const;
 
     std::size_t size() const noexcept { return bindings_.size(); }
@@ -47,6 +65,10 @@ private:
     /// hash-independent iteration — the city-scale registration storm
     /// hits this table millions of times per run.
     FlatAddressMap<Binding> bindings_;
+    /// Cached earliest expiry; meaningful only when cache_valid_. nullopt
+    /// with a valid cache means the table is empty.
+    mutable std::optional<sim::TimePoint> cached_min_;
+    mutable bool cache_valid_ = true;
 };
 
 }  // namespace mip::core

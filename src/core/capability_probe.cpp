@@ -15,6 +15,9 @@ struct CapabilityProber::Session {
     net::Ipv4Address dst;
     std::size_t next_mode = 0;
     unsigned attempt = 0;  ///< retries already burned on the current mode
+    /// Seeded decorrelated-jitter stream for retry backoff (ISSUE 9);
+    /// empty when retry_jitter is off (legacy synchronized doubling).
+    std::optional<DecorrelatedBackoff> jitter;
     ProbeReport report;
     Callback done;
     bool apply_to_cache = false;
@@ -57,11 +60,31 @@ void CapabilityProber::note(net::Ipv4Address dst, const char* test, std::string 
 
 void CapabilityProber::probe(net::Ipv4Address correspondent, Callback done,
                              bool apply_to_cache) {
+    if (mh_.registration_circuit_open()) {
+        // The registration retry budget is exhausted and the host is
+        // parked: the control plane is the thing that is down, so adding
+        // probe echoes to it only feeds the storm. Refuse immediately.
+        ++suppressed_;
+        ProbeReport empty;
+        empty.correspondent = correspondent;
+        note(correspondent, "circuit-suppressed", "registration circuit open", false,
+             empty.recommended, "probe refused while parked; no traffic sent");
+        if (done) done(empty);
+        return;
+    }
     auto s = std::make_shared<Session>();
     s->dst = correspondent;
     s->report.correspondent = correspondent;
     s->done = std::move(done);
     s->apply_to_cache = apply_to_cache;
+    if (config_.retry_jitter && config_.retries_per_mode > 0) {
+        const std::uint64_t seed =
+            config_.retry_jitter_seed != 0
+                ? config_.retry_jitter_seed
+                : mix64(0x70726f62656a6974ull ^ mh_.home_address().value());
+        s->jitter.emplace(mix64(seed ^ correspondent.value()), config_.retry_backoff,
+                          config_.retry_backoff * 8);
+    }
     if (const auto* entry = mh_.method_cache().find(correspondent)) {
         s->had_entry = true;
         s->saved_entry = *entry;
@@ -144,8 +167,13 @@ void CapabilityProber::launch(std::shared_ptr<Session> s, OutMode mode,
                 // One lost echo is weak evidence during a loss burst: back
                 // off and try the same mode again before condemning it.
                 ++s->attempt;
-                sim::Duration delay = config_.retry_backoff;
-                for (unsigned i = 1; i < s->attempt; ++i) delay *= 2;
+                sim::Duration delay;
+                if (s->jitter) {
+                    delay = s->jitter->next();
+                } else {
+                    delay = config_.retry_backoff;
+                    for (unsigned i = 1; i < s->attempt; ++i) delay *= 2;
+                }
                 note(s->dst, "probe-retry",
                      "attempt=" + std::to_string(s->attempt) + "/" +
                          std::to_string(config_.retries_per_mode),

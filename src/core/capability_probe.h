@@ -28,8 +28,15 @@ struct ProbeConfig {
     /// doesn't misclassify a working mode as broken. 0 = single shot (the
     /// pre-fault-subsystem behaviour).
     unsigned retries_per_mode = 0;
-    /// Delay before the first retry; doubles per subsequent attempt.
+    /// Base delay before the first retry.
     sim::Duration retry_backoff = sim::milliseconds(500);
+    /// Seeded decorrelated jitter on probe retries (ISSUE 9): each delay
+    /// is drawn from [retry_backoff, 3 x previous), capped at 8x the
+    /// base, so a fleet probing through the same loss burst doesn't
+    /// re-synchronize. false = the legacy synchronized doubling.
+    bool retry_jitter = true;
+    /// Jitter seed; 0 derives one from the host's home address.
+    std::uint64_t retry_jitter_seed = 0;
 };
 
 struct ProbeReport {
@@ -59,9 +66,16 @@ public:
     /// parallel; invokes @p done once all probes conclude.
     /// @p apply_to_cache seeds the delivery-method cache with the
     /// recommendation (force-pinning it).
+    /// While the host's registration circuit is open (retry budget
+    /// exhausted, agent unreachable) the probe is suppressed: @p done
+    /// fires immediately with an empty report and the cache is left
+    /// untouched — probe traffic must not pile onto a control plane that
+    /// is already failing (ISSUE 9).
     void probe(net::Ipv4Address correspondent, Callback done, bool apply_to_cache = false);
 
     std::size_t probes_in_flight() const noexcept { return in_flight_; }
+    /// Probes refused because the registration circuit was open.
+    std::size_t probes_suppressed() const noexcept { return suppressed_; }
 
 private:
     struct Session;
@@ -79,6 +93,7 @@ private:
     ProbeConfig config_;
     transport::Pinger pinger_;
     std::size_t in_flight_ = 0;
+    std::size_t suppressed_ = 0;
 };
 
 }  // namespace mip::core

@@ -9,6 +9,10 @@ ForeignAgent::ForeignAgent(sim::Simulator& simulator, std::string name,
     : stack::Host(simulator, std::move(name)),
       config_(config),
       encap_(tunnel::make_encapsulator(config.encap_scheme)) {
+    if (config_.overload) {
+        overload_queue_ =
+            std::make_unique<RegistrationQueue>(simulator, *config_.overload);
+    }
     stack().set_forwarding(true);  // the agent routes for its visitors
     udp_ = std::make_unique<transport::UdpService>(stack());
     reg_socket_ = udp_->open(net::ports::kMobileIpRegistration);
@@ -75,6 +79,7 @@ void ForeignAgent::crash() {
     ++stats_.crashes;
     visitors_.clear();
     pending_.clear();
+    if (overload_queue_) overload_queue_->clear();
 }
 
 void ForeignAgent::restart() {
@@ -122,19 +127,32 @@ void ForeignAgent::on_registration_frame(std::span<const std::uint8_t> data,
         // Only relay requests from hosts on our segment that name us as the
         // care-of address.
         if (req.care_of_address != care_of_address()) return;
-        Visitor v;
-        v.home_address = req.home_address;
-        v.home_agent = req.home_agent;
-        v.reply_port = from.port;
-        pending_[req.home_address] = v;
-        ++stats_.registrations_relayed;
-        // Relay the request (verbatim) to the home agent from our address.
-        reg_socket_->send_to(req.home_agent, net::ports::kMobileIpRegistration,
-                             std::vector<std::uint8_t>(data.begin(), data.end()));
+        std::vector<std::uint8_t> raw(data.begin(), data.end());
+        if (!overload_queue_) {
+            relay_request(req, from.port, std::move(raw));
+            return;
+        }
+        // A refresh (or deregistration) from a current visitor is a
+        // Renewal; a first contact is New and bears the overload.
+        const bool renewal =
+            req.is_deregistration() || has_visitor(req.home_address) ||
+            pending_.contains(req.home_address);
+        const std::uint16_t reply_port = from.port;
+        overload_queue_->submit(
+            renewal ? RequestClass::Renewal : RequestClass::New,
+            req.home_address.to_string(),
+            [this, req, reply_port, raw = std::move(raw)]() mutable {
+                if (crashed_) return;
+                relay_request(req, reply_port, std::move(raw));
+            });
         return;
     }
 
     if (type == RegistrationMessageType::Reply) {
+        // Replies ride the home agent's acceptance straight through: the
+        // expensive admission decision already happened on the request
+        // path, and delaying the reply would only widen the visitor's
+        // retry window.
         RegistrationReply reply;
         try {
             reply = RegistrationReply::parse(peek);
@@ -155,6 +173,20 @@ void ForeignAgent::on_registration_frame(std::span<const std::uint8_t> data,
         reg_socket_->send_to(v.home_address, v.reply_port,
                              std::vector<std::uint8_t>(data.begin(), data.end()));
     }
+}
+
+void ForeignAgent::relay_request(const RegistrationRequest& req,
+                                 std::uint16_t reply_port,
+                                 std::vector<std::uint8_t> raw) {
+    Visitor v;
+    v.home_address = req.home_address;
+    v.home_agent = req.home_agent;
+    v.reply_port = reply_port;
+    pending_[req.home_address] = v;
+    ++stats_.registrations_relayed;
+    // Relay the request (verbatim) to the home agent from our address.
+    reg_socket_->send_to(req.home_agent, net::ports::kMobileIpRegistration,
+                         std::move(raw));
 }
 
 void ForeignAgent::on_tunneled(const net::Packet& outer) {

@@ -16,8 +16,10 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "core/binding.h"
+#include "core/overload.h"
 #include "core/registration.h"
 #include "stack/host.h"
 #include "transport/udp_service.h"
@@ -35,6 +37,13 @@ struct ForeignAgentConfig {
     /// home-sourced packets back to their home agents, so they survive
     /// egress anti-spoofing at the visited network's boundary.
     bool reverse_tunnel = false;
+
+    /// Overload protection for the registration relay path (ISSUE 9):
+    /// same contract as HomeAgentConfig::overload — refreshes from
+    /// current visitors outrank first-contact registrations, a bounded
+    /// queue sheds, a token bucket admission-limits the new class.
+    /// nullopt = the historical synchronous relay.
+    std::optional<OverloadConfig> overload;
 };
 
 class ForeignAgent : public stack::Host, private stack::RouteResolver {
@@ -79,6 +88,10 @@ public:
     const Stats& stats() const noexcept { return stats_; }
     const ForeignAgentConfig& config() const noexcept { return config_; }
 
+    /// The overload-protection queue, or nullptr when config.overload is
+    /// unset (synchronous relay).
+    RegistrationQueue* overload_queue() noexcept { return overload_queue_.get(); }
+
     ~ForeignAgent() override;
 
 private:
@@ -86,6 +99,10 @@ private:
     void send_advertisement(bool solicited);
     void on_registration_frame(std::span<const std::uint8_t> data,
                                transport::UdpEndpoint from, net::Ipv4Address local_dst);
+    /// The actual relay work for an inbound registration request (record
+    /// the pending visitor, forward verbatim to the home agent).
+    void relay_request(const RegistrationRequest& req, std::uint16_t reply_port,
+                       std::vector<std::uint8_t> raw);
     void on_tunneled(const net::Packet& outer);
     bool intercept_forward(const net::Packet& packet, std::size_t in_interface);
     /// Final-hop delivery: the inner packet goes out in one link-layer
@@ -96,6 +113,7 @@ private:
     std::unique_ptr<tunnel::Encapsulator> encap_;
     std::unique_ptr<transport::UdpService> udp_;
     std::unique_ptr<transport::UdpSocket> reg_socket_;
+    std::unique_ptr<RegistrationQueue> overload_queue_;  ///< null = synchronous
     std::size_t serving_interface_ = stack::IpStack::kNoInterface;
     std::map<net::Ipv4Address, Visitor> visitors_;  ///< keyed by home address
     /// Registrations in flight: home address -> requesting visitor.

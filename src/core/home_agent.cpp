@@ -9,6 +9,10 @@ HomeAgent::HomeAgent(sim::Simulator& simulator, std::string name, HomeAgentConfi
     : stack::Host(simulator, std::move(name)),
       config_(config),
       encap_(tunnel::make_encapsulator(config.encap_scheme)) {
+    if (config_.overload) {
+        overload_queue_ =
+            std::make_unique<RegistrationQueue>(simulator, *config_.overload);
+    }
     udp_ = std::make_unique<transport::UdpService>(stack());
     reg_socket_ = udp_->open(net::ports::kMobileIpRegistration);
     reg_socket_->set_receiver([this](std::span<const std::uint8_t> data,
@@ -74,10 +78,22 @@ void HomeAgent::crash() {
     }
     bindings_.clear();
     last_advert_.clear();
+    if (overload_queue_) overload_queue_->clear();
     if (gc_armed_) {
         simulator().cancel(gc_timer_);
         gc_armed_ = false;
     }
+}
+
+void HomeAgent::restore_binding(net::Ipv4Address home, net::Ipv4Address care_of,
+                                std::uint16_t lifetime_seconds) {
+    bindings_.set(home, care_of, simulator().now() + sim::seconds(lifetime_seconds));
+    if (home_interface_ != stack::IpStack::kNoInterface) {
+        if (arp::ArpEngine* arp = stack().iface(home_interface_).arp()) {
+            arp->add_proxy(home);
+        }
+    }
+    arm_binding_gc();
 }
 
 void HomeAgent::restart() {
@@ -91,6 +107,7 @@ void HomeAgent::arm_binding_gc() {
     if (gc_armed_) simulator().cancel(gc_timer_);
     gc_at_ = *next;
     gc_armed_ = true;
+    ++stats_.gc_rearms;
     gc_timer_ = simulator().schedule_at(*next, [this] {
         gc_armed_ = false;
         expire_bindings();
@@ -106,13 +123,12 @@ void HomeAgent::expire_bindings() {
                               : nullptr;
     // Stop answering ARP for hosts whose registration lapsed — a mobile
     // host that went silent must become reachable again the moment it
-    // walks back in the door unregistered.
-    for (const auto& binding : bindings_.snapshot()) {
-        if (binding.expires <= now && arp != nullptr) {
-            arp->remove_proxy(binding.home_address);
-        }
-    }
-    stats_.bindings_expired += bindings_.expire(now);
+    // walks back in the door unregistered. One pass over the table does
+    // both the erase and the proxy teardown (ISSUE 9: a city-scale mass
+    // expiry used to snapshot + sort the whole table first).
+    stats_.bindings_expired += bindings_.expire(now, [arp](const Binding& b) {
+        if (arp != nullptr) arp->remove_proxy(b.home_address);
+    });
 }
 
 void HomeAgent::on_registration(std::span<const std::uint8_t> data,
@@ -125,6 +141,34 @@ void HomeAgent::on_registration(std::span<const std::uint8_t> data,
     } catch (const net::ParseError&) {
         return;
     }
+    if (!overload_queue_) {
+        // Historical synchronous path: serve inline, unbounded.
+        process_registration(req, data, from);
+        return;
+    }
+    // Classify before admission: a request touching a live binding (a
+    // refresh or an explicit deregistration) is a Renewal — shedding it
+    // breaks a host that is currently working — while a first contact is
+    // New and bears the brunt of overload. Classification is a cheap
+    // table lookup; the expensive work (authentication, table mutation,
+    // the reply send) is deferred into the queue as the serviced work.
+    const bool renewal =
+        req.is_deregistration() ||
+        bindings_.lookup(req.home_address, simulator().now()).has_value();
+    std::vector<std::uint8_t> raw(data.begin(), data.end());
+    overload_queue_->submit(
+        renewal ? RequestClass::Renewal : RequestClass::New,
+        req.home_address.to_string(),
+        [this, req, raw = std::move(raw), from] {
+            // The agent may have crashed between admission and service.
+            if (crashed_) return;
+            process_registration(req, raw, from);
+        });
+}
+
+void HomeAgent::process_registration(const RegistrationRequest& req,
+                                     std::span<const std::uint8_t> data,
+                                     transport::UdpEndpoint from) {
     const bool authentic =
         RegistrationRequest::authenticate(data, config_.registration_key);
 
@@ -151,6 +195,9 @@ void HomeAgent::on_registration(std::span<const std::uint8_t> data,
         reply.lifetime = 0;
     } else {
         const std::uint16_t granted = std::min(req.lifetime, config_.max_lifetime_seconds);
+        if (bindings_.lookup(req.home_address, simulator().now())) {
+            ++stats_.registrations_renewed;
+        }
         bindings_.set(req.home_address, req.care_of_address,
                       simulator().now() + sim::seconds(granted));
         if (arp != nullptr) {

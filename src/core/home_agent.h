@@ -12,9 +12,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "core/binding.h"
+#include "core/overload.h"
 #include "core/registration.h"
 #include "stack/host.h"
 #include "transport/udp_service.h"
@@ -42,6 +44,14 @@ struct HomeAgentConfig {
     /// subscription of §6.4, implemented so its self-defeating cost can be
     /// measured against joining on the visited network directly.
     std::set<net::Ipv4Address> multicast_relay_groups;
+
+    /// Overload protection for the registration path (ISSUE 9). nullopt =
+    /// the historical synchronous path: every request is processed inline
+    /// on arrival, unbounded — existing scenarios are byte-identical.
+    /// When set, requests flow through a RegistrationQueue: renewals of
+    /// live bindings outrank new registrations, the queue sheds when
+    /// full, and an optional token bucket admission-limits the new class.
+    std::optional<OverloadConfig> overload;
 };
 
 class HomeAgent : public stack::Host {
@@ -65,8 +75,22 @@ public:
     void restart();
     bool crashed() const noexcept { return crashed_; }
 
+    /// Warm-restart helper: installs a binding directly (as if a valid
+    /// registration for @p lifetime_seconds had just been accepted),
+    /// including the proxy-ARP capture and GC arming, without a wire
+    /// exchange. Lets tests and recovery tooling rebuild a table whose
+    /// entries share one expiry tick — the mass-expiry shape wire
+    /// delivery can't produce (serialization staggers arrivals).
+    void restore_binding(net::Ipv4Address home, net::Ipv4Address care_of,
+                         std::uint16_t lifetime_seconds);
+
+    /// The overload-protection queue, or nullptr when config.overload is
+    /// unset (synchronous processing).
+    RegistrationQueue* overload_queue() noexcept { return overload_queue_.get(); }
+
     struct Stats {
         std::size_t registrations_accepted = 0;
+        std::size_t registrations_renewed = 0;  ///< accepted refreshes of live bindings
         std::size_t registrations_denied_auth = 0;
         std::size_t deregistrations = 0;
         std::size_t packets_tunneled = 0;      ///< captured & forwarded to COA
@@ -75,6 +99,7 @@ public:
         std::size_t multicast_relayed = 0;  ///< group packets re-tunneled to MHs
         std::size_t crashes = 0;
         std::size_t bindings_expired = 0;  ///< GC'd after their lifetime lapsed
+        std::size_t gc_rearms = 0;  ///< GC timer (re)schedules — O(1) per mass expiry
     };
     const Stats& stats() const noexcept { return stats_; }
 
@@ -83,6 +108,12 @@ public:
 
 private:
     void on_registration(std::span<const std::uint8_t> data, transport::UdpEndpoint from);
+    /// The actual registration service work (authenticate, mutate the
+    /// binding table, reply). Runs inline on arrival without overload
+    /// protection; dequeued after the queueing delay with it.
+    void process_registration(const RegistrationRequest& req,
+                              std::span<const std::uint8_t> data,
+                              transport::UdpEndpoint from);
     bool intercept_forward(const net::Packet& packet, std::size_t in_interface);
     void on_encapsulated(const net::Packet& packet);
     void maybe_send_advert(net::Ipv4Address correspondent, const Binding& binding);
@@ -96,6 +127,7 @@ private:
     std::unique_ptr<tunnel::Encapsulator> encap_;
     std::unique_ptr<transport::UdpService> udp_;
     std::unique_ptr<transport::UdpSocket> reg_socket_;
+    std::unique_ptr<RegistrationQueue> overload_queue_;  ///< null = synchronous
     BindingTable bindings_;
     std::size_t home_interface_ = stack::IpStack::kNoInterface;
     std::map<net::Ipv4Address, sim::TimePoint> last_advert_;

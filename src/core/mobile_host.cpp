@@ -41,6 +41,16 @@ MobileHost::MobileHost(sim::Simulator& simulator, std::string name, MobileHostCo
     udp_ = std::make_unique<transport::UdpService>(stack());
     tcp_ = std::make_unique<transport::TcpService>(stack(), config_.tcp);
 
+    // Seeded decorrelated-jitter stream for registration retries: derive
+    // the default seed from the home address so a fleet built from one
+    // config template still de-correlates host by host (ISSUE 9).
+    const std::uint64_t jitter_seed =
+        config_.registration_jitter_seed != 0
+            ? config_.registration_jitter_seed
+            : mix64(0x6d68726567726574ull ^ config_.home_address.value());
+    jitter_.emplace(jitter_seed, config_.registration_retry,
+                    config_.registration_backoff_cap);
+
     // §7.1.2 delivery-failure signals. Outbound retransmissions reach the
     // policy through the per-packet FlowKey::retransmission flag (see
     // resolve()); the observer covers the *inbound* half: "repeated
@@ -149,6 +159,35 @@ void MobileHost::cancel_registration_timers() {
         expiry_timer_armed_ = false;
     }
     registration_pending_ = false;
+    circuit_open_ = false;
+    jitter_->reset();
+}
+
+sim::Duration MobileHost::retry_delay(unsigned attempt) {
+    if (config_.registration_jitter) {
+        return jitter_->next();
+    }
+    // Legacy synchronized doubling (the bug the jitter fixes), kept for
+    // the ablation's protection-off leg and byte-compatibility studies.
+    sim::Duration delay = config_.registration_retry;
+    for (unsigned i = 0; i < attempt && delay < config_.registration_backoff_cap; ++i) {
+        delay *= 2;
+    }
+    return std::min(delay, config_.registration_backoff_cap);
+}
+
+sim::Duration MobileHost::circuit_probe_delay() {
+    // Base interval +-25%, drawn from a tagged stream off the same seed
+    // as the jitter ramp (monotone counter: deterministic, never reused).
+    const sim::Duration base = config_.registration_circuit_probe;
+    const std::uint64_t seed =
+        config_.registration_jitter_seed != 0
+            ? config_.registration_jitter_seed
+            : mix64(0x6d68726567726574ull ^ config_.home_address.value());
+    const std::uint64_t draw =
+        mix64(seed ^ (0x70726f6265ull + circuit_probe_draws_++));
+    const sim::Duration span = std::max<sim::Duration>(base / 2, 1);
+    return base * 3 / 4 + static_cast<sim::Duration>(draw % static_cast<std::uint64_t>(span));
 }
 
 void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> gateway) {
@@ -308,7 +347,9 @@ void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
         return;
     }
     registration_pending_ = true;
+    if (attempt == 0) jitter_->reset();  // fresh exchange: restart the ramp
     if (attempt > 0) ++stats_.registration_backoffs;
+    if (circuit_open_) ++stats_.registration_circuit_probes;
 
     RegistrationRequest req;
     req.lifetime = lifetime;
@@ -330,15 +371,25 @@ void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
     const net::Ipv4Address dst = reg_dst_.is_unspecified() ? config_.home_agent : reg_dst_;
     reg_socket_->send_to(dst, net::ports::kMobileIpRegistration, w.take());
 
-    // Exponential backoff: retry interval doubles per attempt up to the cap.
-    sim::Duration delay = config_.registration_retry;
-    for (unsigned i = 0; i < attempt && delay < config_.registration_backoff_cap; ++i) {
-        delay *= 2;
-    }
-    delay = std::min(delay, config_.registration_backoff_cap);
     // Cap the attempt counter once the backoff has saturated, so an
     // indefinitely retrying refresh can't overflow it.
     const unsigned next_attempt = std::min(attempt + 1, 16u);
+
+    // Backoff with seeded decorrelated jitter (or the legacy doubling).
+    // A background refresh that has burned its retry budget opens the
+    // circuit instead: park, and probe at a slow jittered interval — the
+    // recovering agent meets a trickle, not the whole orphaned fleet.
+    sim::Duration delay;
+    if (!done && config_.registration_retry_budget > 0 &&
+        next_attempt > config_.registration_retry_budget) {
+        if (!circuit_open_) {
+            circuit_open_ = true;
+            ++stats_.registration_circuit_opens;
+        }
+        delay = circuit_probe_delay();
+    } else {
+        delay = retry_delay(attempt);
+    }
 
     registration_timer_ = simulator().schedule_in(
         delay,
@@ -378,6 +429,8 @@ void MobileHost::on_registration_reply(std::span<const std::uint8_t> data,
     }
     if (reply.lifetime > 0) {
         registered_ = true;
+        circuit_open_ = false;  // the agent answered: close the circuit
+        jitter_->reset();
         arm_binding_expiry(reply.lifetime);
         schedule_reregistration(reply.lifetime);
         if (done) done(true);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "core/overload.h"
 #include "core/registration.h"
 #include "core/selection.h"
 #include "dns/resolver.h"
@@ -51,10 +52,34 @@ struct MobileHostConfig {
     std::uint16_t registration_lifetime = 300;  ///< seconds requested
     sim::Duration registration_retry = sim::milliseconds(500);
     unsigned registration_max_retries = 10;
-    /// Retries double the retry interval each attempt, up to this cap —
-    /// so a mobile host orphaned by a home-agent crash keeps probing at a
-    /// polite rate until the agent returns.
+    /// Retries back off up to this cap — so a mobile host orphaned by a
+    /// home-agent crash keeps probing at a polite rate until the agent
+    /// returns.
     sim::Duration registration_backoff_cap = sim::seconds(8);
+
+    /// Deterministic seeded decorrelated jitter on the retry backoff
+    /// (ISSUE 9). The synchronized-retry bug: plain doubling makes every
+    /// host orphaned by the same crash retry at identical offsets, so the
+    /// whole population hammers the recovering agent in lockstep. With
+    /// jitter each delay is drawn uniformly from [retry, 3 x previous)
+    /// (capped), seeded per host — byte-identical per seed, at any sweep
+    /// --jobs. false = the legacy synchronized doubling.
+    bool registration_jitter = true;
+    /// Jitter stream seed; 0 derives one from the home address, so a
+    /// fleet sharing a config still de-correlates host by host.
+    std::uint64_t registration_jitter_seed = 0;
+
+    /// Retry budget for background refreshes (ISSUE 9): after this many
+    /// consecutive unanswered retries the host opens its registration
+    /// circuit — it parks and probes at ~registration_circuit_probe
+    /// intervals instead of retrying on the backoff ramp forever. A
+    /// successful reply closes the circuit. 0 = no budget (retry forever,
+    /// the historical behaviour). Initial attaches are unaffected (they
+    /// give up after registration_max_retries as before).
+    unsigned registration_retry_budget = 0;
+    /// Park-and-probe re-arm interval while the circuit is open; each
+    /// probe is jittered to +-25% so parked fleets stay de-correlated.
+    sim::Duration registration_circuit_probe = sim::seconds(8);
 
     /// Parameters for the host's TCP service (timeouts matter to how fast
     /// the §7.1.2 failure signals arrive).
@@ -97,6 +122,12 @@ public:
 
     bool at_home() const noexcept { return at_home_; }
     bool registered() const noexcept { return registered_; }
+    /// True while the registration retry budget is exhausted and the host
+    /// is parked, probing slowly (see registration_retry_budget). Active
+    /// probing (CapabilityProber) is suppressed in this state — the
+    /// control plane is the thing that is down, so adding probe traffic
+    /// to it only feeds the storm.
+    bool registration_circuit_open() const noexcept { return circuit_open_; }
     net::Ipv4Address home_address() const noexcept { return config_.home_address; }
     net::Ipv4Address care_of_address() const noexcept { return care_of_; }
 
@@ -134,6 +165,8 @@ public:
         std::size_t out_dt = 0;  ///< packets sent plain with care-of source
         std::size_t registrations_sent = 0;
         std::size_t registration_backoffs = 0;  ///< retries beyond the first send
+        std::size_t registration_circuit_opens = 0;  ///< budget exhaustions
+        std::size_t registration_circuit_probes = 0;  ///< slow probes while parked
         std::size_t binding_expiries = 0;  ///< lifetimes that lapsed unrefreshed
         std::size_t failure_signals = 0;
         std::size_t success_signals = 0;
@@ -160,6 +193,12 @@ private:
     /// Cancels the retry/refresh/expiry timers and abandons any pending
     /// registration (every attach/detach transition starts from here).
     void cancel_registration_timers();
+    /// Next retry delay for @p attempt: the seeded decorrelated-jitter
+    /// stream when registration_jitter is on, the legacy synchronized
+    /// doubling otherwise.
+    sim::Duration retry_delay(unsigned attempt);
+    /// Jittered park-and-probe interval while the circuit is open.
+    sim::Duration circuit_probe_delay();
 
     MobileHostConfig config_;
     std::unique_ptr<tunnel::Encapsulator> encap_;
@@ -193,6 +232,12 @@ private:
     /// unanswered — the retry loop keys off this, not off registered_,
     /// because a refresh runs while registered_ is still true.
     bool registration_pending_ = false;
+    /// Seeded decorrelated-jitter stream for retry backoff (ISSUE 9).
+    std::optional<DecorrelatedBackoff> jitter_;
+    /// Monotone draw counter for circuit-probe jitter (shares the seed
+    /// with jitter_ but is a distinct tagged stream).
+    std::uint64_t circuit_probe_draws_ = 0;
+    bool circuit_open_ = false;
     sim::TimePoint binding_expires_ = 0;
     sim::EventId expiry_timer_ = 0;
     bool expiry_timer_armed_ = false;

@@ -116,10 +116,19 @@ World::World(WorldConfig config)
         gauge("packets_reverse_forwarded", &HomeAgent::Stats::packets_reverse_forwarded);
         gauge("multicast_relayed", &HomeAgent::Stats::multicast_relayed);
         gauge("registrations_accepted", &HomeAgent::Stats::registrations_accepted);
+        gauge("registrations_renewed", &HomeAgent::Stats::registrations_renewed);
         gauge("registrations_denied_auth", &HomeAgent::Stats::registrations_denied_auth);
         gauge("adverts_sent", &HomeAgent::Stats::adverts_sent);
         gauge("crashes", &HomeAgent::Stats::crashes);
         gauge("bindings_expired", &HomeAgent::Stats::bindings_expired);
+        gauge("gc_rearms", &HomeAgent::Stats::gc_rearms);
+        // Overload protection (ISSUE 9): when the agent runs a
+        // registration queue, export its depth/shed/token gauges and
+        // audit its sheds into the World's decision log.
+        if (RegistrationQueue* q = ha_->overload_queue()) {
+            q->attach_metrics(metrics, "home-agent");
+            q->set_decision_log(&decisions, "home-agent");
+        }
     }
 
     // Network-wide wire-layer aggregates, derived from the trace recorder.
@@ -277,6 +286,8 @@ MobileHost& World::create_mobile_host(MobileHostConfig config) {
     gauge("out_dt", &MobileHost::Stats::out_dt);
     gauge("registrations_sent", &MobileHost::Stats::registrations_sent);
     gauge("registration_backoffs", &MobileHost::Stats::registration_backoffs);
+    gauge("registration_circuit_opens", &MobileHost::Stats::registration_circuit_opens);
+    gauge("registration_circuit_probes", &MobileHost::Stats::registration_circuit_probes);
     gauge("binding_expiries", &MobileHost::Stats::binding_expiries);
     gauge("failure_signals", &MobileHost::Stats::failure_signals);
     gauge("success_signals", &MobileHost::Stats::success_signals);
@@ -366,6 +377,10 @@ ForeignAgent& World::create_foreign_agent(ForeignAgentConfig config) {
     gauge("packets_delivered_final_hop", &ForeignAgent::Stats::packets_delivered_final_hop);
     gauge("packets_reverse_tunneled", &ForeignAgent::Stats::packets_reverse_tunneled);
     gauge("crashes", &ForeignAgent::Stats::crashes);
+    if (RegistrationQueue* q = fa_->overload_queue()) {
+        q->attach_metrics(metrics, "foreign-agent");
+        q->set_decision_log(&decisions, "foreign-agent");
+    }
     return *fa_;
 }
 

@@ -1,5 +1,6 @@
 #include "metro/city.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -7,11 +8,17 @@ namespace mip::metro {
 
 namespace {
 // Domain tags for the engine's deterministic draws (sample stagger,
-// registration jitter, probe selection) — disjoint from the ones the
-// population builder uses.
+// registration jitter, probe selection, overload retries, flap notice) —
+// disjoint from the ones the population builder uses.
 constexpr std::uint64_t kStaggerTag = 0x53414D50ull;  // "SAMP"
 constexpr std::uint64_t kProbeTag = 0x50524F42ull;    // "PROB"
 constexpr std::uint64_t kJitterTag = 0x4A495454ull;   // "JITT"
+constexpr std::uint64_t kRetryTag = 0x52545259ull;    // "RTRY"
+constexpr std::uint64_t kRenewTag = 0x52454E57ull;    // "RENW"
+constexpr std::uint64_t kFlapTag = 0x464C4150ull;     // "FLAP"
+
+/// Recovery poll cadence after an agent flap.
+constexpr sim::Duration kRecoveryPoll = sim::milliseconds(250);
 }  // namespace
 
 CitySim::CitySim(CityConfig config)
@@ -51,6 +58,30 @@ CitySim::CitySim(CityConfig config)
         as.expired = &registry_.counter(node, "metro", "bindings_expired");
         registry_.register_gauge(node, "metro", "bindings",
                                  [t = &tables_[a]] { return static_cast<double>(t->size()); });
+    }
+    if (config_.overload.enabled) {
+        // One bounded queue per home agent. The unprotected ablation leg
+        // keeps the same finite service rate but loses the bound and the
+        // admission bucket — that is the whole experiment.
+        core::OverloadConfig qc = config_.overload.agent;
+        if (!config_.overload.protection) {
+            qc.queue_capacity = 0;
+            qc.new_tokens_per_sec = 0.0;
+        }
+        queues_.reserve(tables_.size());
+        for (std::size_t a = 0; a < tables_.size(); ++a) {
+            auto q = std::make_unique<core::RegistrationQueue>(sim_, qc);
+            const std::string node = "ha-" + std::to_string(a);
+            q->attach_metrics(registry_, node);
+            q->set_decision_log(&decisions_, node);
+            queues_.push_back(std::move(q));
+        }
+        clients_.resize(pop_.hosts().size());
+        ov_retries_ = &registry_.counter("city", "overload", "retries");
+        ov_timeouts_ = &registry_.counter("city", "overload", "timeouts");
+        ov_circuit_opens_ = &registry_.counter("city", "overload", "circuit_opens");
+        ov_circuit_probes_ = &registry_.counter("city", "overload", "circuit_probes");
+        ov_flaps_ = &registry_.counter("city", "overload", "flaps");
     }
     handoffs_agg_ = &registry_.counter("city", "metro", "handoffs");
     probes_ = &registry_.counter("city", "metro", "probes");
@@ -109,6 +140,10 @@ void CitySim::sample_host(MetroHost* host) {
 }
 
 void CitySim::begin_registration(MetroHost* host, bool renewal) {
+    if (config_.overload.enabled) {
+        client_start(host, renewal, /*attempt=*/0);
+        return;
+    }
     ++host->epoch;  // any in-flight completion for an older epoch is now stale
     const std::uint32_t epoch = host->epoch;
     const std::int32_t cell = host->cell;
@@ -142,6 +177,221 @@ void CitySim::finish_registration(MetroHost* host, std::uint32_t epoch,
                          if (host->epoch == epoch) begin_registration(host, /*renewal=*/true);
                      },
                      "reg-renewal");
+}
+
+// ---- overload model (ISSUE 9) ---------------------------------------------
+//
+// With overload.enabled the analytic always-succeeds exchange above is
+// replaced by a full request/reply loop: the request takes the same
+// hop-proportional latency to reach the home agent, queues in that
+// agent's RegistrationQueue (where it can be shed), and the reply takes
+// the latency back. The client keeps a per-host reply timeout; losses —
+// shed requests, flap-wiped state — surface as timeouts and drive the
+// retry policy under ablation: seeded decorrelated jitter plus a retry
+// budget opening a park-and-probe circuit (protection on), or
+// synchronized exponential doubling forever (protection off).
+
+void CitySim::client_start(MetroHost* host, bool renewal, std::uint32_t attempt) {
+    if (host->cell < 0) return;
+    ClientState& c = clients_[host->index];
+    if (attempt == 0) {
+        ++host->epoch;     // supersede any in-flight exchange
+        c.prev_delay = 0;  // fresh exchange: the jitter ramp restarts
+    }
+    const std::uint32_t epoch = host->epoch;
+    const std::int32_t cell = host->cell;
+    const int hops = topo_.hop_count(static_cast<std::size_t>(cell),
+                                     topo_.home_agent_cell(host->home_agent));
+    const sim::Duration latency = config_.reg_base_latency +
+                                  hops * config_.reg_hop_latency +
+                                  member_jitter(host->index, epoch);
+    reg_hops_->observe(static_cast<double>(hops));
+    reg_latency_->observe(static_cast<double>(latency));
+    c.pending = true;
+    const std::uint64_t xid = ++c.last_xid;
+    if (c.circuit_open) ov_circuit_probes_->add();
+    sim_.schedule_in(latency,
+                     [this, host, epoch, cell, renewal, xid] {
+                         server_arrival(host, epoch, cell, renewal, xid);
+                     },
+                     "registration");
+    // The timeout covers the round trip plus the expected queueing delay;
+    // a request stuck deeper than reply_timeout is retried even though it
+    // may still be served (the duplicate converges via the xid guard).
+    sim_.schedule_in(2 * latency + config_.overload.reply_timeout,
+                     [this, host, epoch, renewal, attempt, xid] {
+                         client_timeout(host, epoch, renewal, attempt, xid);
+                     },
+                     "reg-timeout");
+}
+
+void CitySim::server_arrival(MetroHost* host, std::uint32_t epoch, std::int32_t cell,
+                             bool renewal, std::uint64_t xid) {
+    // Classify against the agent's *actual* table: after a flap the whole
+    // homed population arrives as New — exactly the class the bounded
+    // queue sheds first while renewals from other hosts keep flowing.
+    const bool bound =
+        tables_[host->home_agent].lookup(host->home_address, sim_.now()).has_value();
+    queues_[host->home_agent]->submit(
+        bound ? core::RequestClass::Renewal : core::RequestClass::New,
+        host->home_address.to_string(),
+        [this, host, epoch, cell, renewal, xid] {
+            serve_registration(host, epoch, cell, renewal, xid);
+        });
+    // A shed submit needs no handling here: shedding is silent and the
+    // client recovers through its reply timeout.
+}
+
+void CitySim::serve_registration(MetroHost* host, std::uint32_t epoch,
+                                 std::int32_t cell, bool renewal, std::uint64_t xid) {
+    if (host->epoch != epoch) return;  // superseded by a later handoff
+    const sim::TimePoint expires = sim_.now() + config_.registration_lifetime;
+    tables_[host->home_agent].set(host->home_address,
+                                  topo_.cells()[static_cast<std::size_t>(cell)].care_of,
+                                  expires);
+    AgentStats& as = agents_[host->home_agent];
+    (renewal ? *as.renewals : *as.registrations).add();
+    ++registrations_total_;
+    const int hops = topo_.hop_count(static_cast<std::size_t>(cell),
+                                     topo_.home_agent_cell(host->home_agent));
+    const sim::Duration back = config_.reg_base_latency + hops * config_.reg_hop_latency +
+                               member_jitter(host->index, epoch);
+    sim_.schedule_in(back, [this, host, epoch, xid] { client_reply(host, epoch, xid); },
+                     "reg-reply");
+}
+
+void CitySim::client_reply(MetroHost* host, std::uint32_t epoch, std::uint64_t xid) {
+    ClientState& c = clients_[host->index];
+    if (host->epoch != epoch || !c.pending || c.last_xid != xid) return;
+    c.pending = false;
+    c.prev_delay = 0;
+    c.circuit_open = false;  // a served exchange closes the circuit
+    host->binding_expires = sim_.now() + config_.registration_lifetime;
+    // Renewal point. The protected leg draws it from [0.6, 0.9) of the
+    // lifetime: cohorts that registered together (initial attach, the
+    // post-flap storm) would otherwise renew together forever, and a
+    // synchronized renewal wave overflows even a healthy agent's bounded
+    // queue. The OFF leg renews at the fixed 4/5 point, keeping the
+    // cohorts aligned — part of what the unprotected storm collapses under.
+    sim::Duration renew_in = config_.registration_lifetime / 5 * 4;
+    if (config_.overload.protection) {
+        const std::uint64_t draw = mobility::mix_seed(
+            config_.population.seed ^ kRenewTag ^
+            (static_cast<std::uint64_t>(host->index) << 20) ^ c.draws++);
+        const auto span = static_cast<std::uint64_t>(
+            std::max<sim::Duration>(config_.registration_lifetime * 3 / 10, 1));
+        renew_in = config_.registration_lifetime * 3 / 5 +
+                   static_cast<sim::Duration>(draw % span);
+    }
+    sim_.schedule_in(renew_in,
+                     [this, host, epoch] {
+                         if (host->epoch == epoch) begin_registration(host, /*renewal=*/true);
+                     },
+                     "reg-renewal");
+}
+
+void CitySim::client_timeout(MetroHost* host, std::uint32_t epoch, bool renewal,
+                             std::uint32_t attempt, std::uint64_t xid) {
+    ClientState& c = clients_[host->index];
+    if (host->epoch != epoch || !c.pending || c.last_xid != xid) {
+        return;  // answered or superseded meanwhile
+    }
+    ov_timeouts_->add();
+    const CityOverloadConfig& ov = config_.overload;
+    const std::uint32_t next = std::min<std::uint32_t>(attempt + 1, 16);
+    const bool park = ov.protection && ov.retry_budget > 0 && next > ov.retry_budget;
+    sim::Duration delay;
+    if (park) {
+        if (!c.circuit_open) {
+            c.circuit_open = true;
+            ov_circuit_opens_->add();
+            decisions_.record({sim_.now(), "host-" + std::to_string(host->index),
+                               "ha-" + std::to_string(host->home_agent), "overload",
+                               "retry-budget",
+                               "attempts=" + std::to_string(next) + "/" +
+                                   std::to_string(ov.retry_budget),
+                               false, "retrying", "parked", "",
+                               "retry budget exhausted; parking with slow probes"});
+        }
+        // Park-and-probe, jittered +-25% so parked hosts stay decorrelated.
+        const std::uint64_t draw = mobility::mix_seed(
+            config_.population.seed ^ kRetryTag ^
+            (static_cast<std::uint64_t>(host->index) << 20) ^ c.draws++);
+        const auto span =
+            static_cast<std::uint64_t>(std::max<sim::Duration>(ov.circuit_probe / 2, 1));
+        delay = ov.circuit_probe * 3 / 4 + static_cast<sim::Duration>(draw % span);
+    } else if (ov.protection) {
+        ov_retries_->add();
+        // Seeded decorrelated jitter: uniform(base, 3 x previous), capped
+        // (core::DecorrelatedBackoff's policy, inlined over ClientState).
+        const sim::Duration base = ov.reply_timeout;
+        const sim::Duration prev = c.prev_delay == 0 ? base : c.prev_delay;
+        const sim::Duration hi = std::max<sim::Duration>(3 * prev, base + 1);
+        const std::uint64_t draw = mobility::mix_seed(
+            config_.population.seed ^ kRetryTag ^
+            (static_cast<std::uint64_t>(host->index) << 20) ^ c.draws++);
+        delay = std::min<sim::Duration>(
+            base + static_cast<sim::Duration>(draw % static_cast<std::uint64_t>(hi - base)),
+            ov.retry_cap);
+        c.prev_delay = delay;
+    } else {
+        ov_retries_->add();
+        // Ablation OFF leg: synchronized exponential doubling — every host
+        // that timed out together retries together, feeding the storm.
+        delay = ov.reply_timeout;
+        for (std::uint32_t i = 0; i < attempt && delay < ov.retry_cap; ++i) delay *= 2;
+        delay = std::min(delay, ov.retry_cap);
+    }
+    sim_.schedule_in(delay,
+                     [this, host, epoch, renewal, next] {
+                         if (host->epoch == epoch) client_start(host, renewal, next);
+                     },
+                     "reg-retry");
+}
+
+void CitySim::flap_agent_now() {
+    const std::size_t a = config_.overload.flap_agent;
+    pre_flap_bindings_ = tables_[a].size();
+    tables_[a].clear();
+    queues_[a]->clear();
+    ov_flaps_->add();
+    decisions_.record({sim_.now(), "ha-" + std::to_string(a), "city", "fault",
+                       "agent-flap", "bindings=" + std::to_string(pre_flap_bindings_),
+                       true, "up", "flapped", "",
+                       "binding table wiped; homed population storms back"});
+    // Every attached host homed at the flapped agent notices — its renewal
+    // or traffic fails — within the notice window and re-registers. The
+    // notice offsets are seeded draws, not policy: this is the arrival
+    // process of the storm the retry policy is then measured against.
+    const auto window = static_cast<std::uint64_t>(
+        std::max<sim::Duration>(config_.overload.flap_notice_window, 1));
+    for (MetroHost* host : pop_.hosts()) {
+        if (host->home_agent != a || host->cell < 0) continue;
+        const sim::Duration offset = static_cast<sim::Duration>(
+            mobility::mix_seed(config_.population.seed ^ kFlapTag ^ host->index) % window);
+        sim_.schedule_in(offset,
+                         [this, host] { begin_registration(host, /*renewal=*/false); },
+                         "flap-rereg");
+    }
+    sim_.schedule_in(kRecoveryPoll, [this] { check_recovery(); }, "storm-recovery");
+}
+
+void CitySim::check_recovery() {
+    if (storm_recovery_) return;
+    const std::size_t a = config_.overload.flap_agent;
+    if (queues_[a]->depth() == 0 && tables_[a].size() * 10 >= pre_flap_bindings_ * 9) {
+        storm_recovery_ = sim_.now() - config_.overload.flap_at;
+        decisions_.record({sim_.now(), "ha-" + std::to_string(a), "city", "overload",
+                           "storm-recovered",
+                           "bindings=" + std::to_string(tables_[a].size()) + "/" +
+                               std::to_string(pre_flap_bindings_),
+                           true, "flapped", "recovered", "",
+                           "table back above 90% of pre-flap size with a drained queue"});
+        return;
+    }
+    if (sim_.now() + kRecoveryPoll <= config_.duration) {
+        sim_.schedule_in(kRecoveryPoll, [this] { check_recovery(); }, "storm-recovery");
+    }
 }
 
 void CitySim::probe_sweep(std::uint64_t sweep_index) {
@@ -198,6 +448,16 @@ void CitySim::run() {
              .alpha = 0.3,
              .warmup_evals = 2,
              .detail = "citywide handoff wave above the EWMA baseline"});
+        if (config_.overload.enabled) {
+            // Shed-spike + queue watermark on the agent the ablation flaps.
+            // The watermark trips only when the queue outruns 4x the
+            // protected capacity — collapse evidence on the unbounded leg.
+            core::arm_overload_monitors(
+                *monitor_, "ha-" + std::to_string(config_.overload.flap_agent),
+                4.0 * static_cast<double>(
+                          std::max<std::size_t>(config_.overload.agent.queue_capacity, 16)),
+                config_.overload.shed_rate_floor);
+        }
         monitor_->set_decision_log(&decisions_);
         incidents_ = std::make_unique<obs::IncidentRecorder>();
         incidents_->attach_decisions(&decisions_);
@@ -237,6 +497,13 @@ void CitySim::run() {
         }
     };
     sim_.schedule_at(gc_interval, GcTick{this, gc_interval}, "ha-gc");
+
+    if (config_.overload.enabled && config_.overload.flap_at > 0 &&
+        config_.overload.flap_at < config_.duration &&
+        config_.overload.flap_agent < tables_.size()) {
+        sim_.schedule_at(config_.overload.flap_at, [this] { flap_agent_now(); },
+                         "agent-flap");
+    }
 
     sim_.run_until(config_.duration);
     if (monitor_) monitor_->stop();

@@ -29,10 +29,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/binding.h"
+#include "core/overload.h"
 #include "metro/population.h"
 #include "metro/topology.h"
 #include "obs/decision.h"
@@ -44,6 +46,44 @@
 #include "sim/time.h"
 
 namespace mip::metro {
+
+/// Control-plane overload model for the city (ISSUE 9): when enabled,
+/// every registration exchange runs through a per-home-agent
+/// core::RegistrationQueue (bounded, renewal-priority, token-bucket
+/// admission) with an explicit client loop — reply timeout, seeded
+/// decorrelated-jitter retries, a retry budget opening a park-and-probe
+/// circuit — instead of the analytic always-succeeds exchange. An
+/// optional agent flap wipes one agent's table mid-run so its whole
+/// homed population re-registers inside flap_notice_window: the
+/// registration storm the protections exist for. `protection` selects
+/// the ablation leg — the same storm with the guards on or off.
+struct CityOverloadConfig {
+    bool enabled = false;
+    /// true = protected leg (bounded queue + token bucket + jittered
+    /// retries + retry budget); false = collapse leg (unbounded queue,
+    /// synchronized doubling retries, no budget).
+    bool protection = true;
+    /// Agent-side queue shape, applied to every home agent. On the
+    /// unprotected leg queue_capacity and new_tokens_per_sec are forced
+    /// to 0 (unbounded, no admission).
+    core::OverloadConfig agent;
+    /// Client reply timeout (beyond the round-trip) before a retry.
+    sim::Duration reply_timeout = sim::milliseconds(500);
+    /// Retry backoff cap (both legs).
+    sim::Duration retry_cap = sim::seconds(8);
+    /// Protected leg: retries before the circuit opens (0 = no budget).
+    unsigned retry_budget = 6;
+    /// Park-and-probe interval while the circuit is open (jittered ±25%).
+    sim::Duration circuit_probe = sim::seconds(10);
+    /// Agent flap: at flap_at (0 = never) flap_agent's binding table is
+    /// wiped; its homed hosts notice within flap_notice_window and storm
+    /// back in. Recovery is self-measured (see storm_recovery()).
+    sim::Duration flap_at = 0;
+    std::uint32_t flap_agent = 0;
+    sim::Duration flap_notice_window = sim::seconds(2);
+    /// Shed-rate floor for the flapped agent's spike monitor.
+    double shed_rate_floor = 4.0;
+};
 
 struct CityConfig {
     MetroConfig metro;
@@ -83,6 +123,9 @@ struct CityConfig {
     double storm_rate_floor = 50.0;
     /// (bench, label) stamped into captured incident bundles.
     std::string label = "city";
+    /// Overload protection + registration-storm model (ISSUE 9). Off by
+    /// default: the analytic exchange below stays byte-identical.
+    CityOverloadConfig overload;
 };
 
 class CitySim {
@@ -119,6 +162,18 @@ public:
         return tables_;
     }
 
+    /// Per-agent overload queue (nullptr when the overload model is off).
+    const core::RegistrationQueue* overload_queue(std::size_t agent) const {
+        return agent < queues_.size() ? queues_[agent].get() : nullptr;
+    }
+    /// Time from the agent flap to recovery (flapped agent's table back
+    /// to >= 90% of its pre-flap size with a drained queue); nullopt when
+    /// no flap was configured or recovery never happened within the run.
+    std::optional<sim::Duration> storm_recovery() const noexcept {
+        return storm_recovery_;
+    }
+    std::size_t pre_flap_bindings() const noexcept { return pre_flap_bindings_; }
+
     /// End-of-run metrics document / JSON (docs/TRACE_FORMAT.md §4).
     obs::JsonValue snapshot(const std::string& bench, const std::string& label) const;
     std::string snapshot_json(const std::string& bench, const std::string& label) const;
@@ -137,12 +192,36 @@ private:
         obs::Counter* expired = nullptr;
     };
 
+    /// Per-host client-side exchange state for the overload model (held
+    /// here, not in MetroHost: the arena-built host record stays POD).
+    struct ClientState {
+        std::uint64_t last_xid = 0;  ///< latest send; stale replies dropped
+        std::uint64_t draws = 0;     ///< monotone jitter-draw counter
+        sim::Duration prev_delay = 0;  ///< decorrelated ramp (0 = fresh)
+        bool pending = false;
+        bool circuit_open = false;
+    };
+
     void sample_host(MetroHost* host);
     void begin_registration(MetroHost* host, bool renewal);
     void finish_registration(MetroHost* host, std::uint32_t epoch,
                              std::int32_t cell, bool renewal);
     void probe_sweep(std::uint64_t sweep_index);
     sim::Duration member_jitter(std::size_t host_index, std::uint32_t epoch) const;
+
+    // --- overload model (ISSUE 9; all no-ops unless overload.enabled) ---
+    /// Launches one wire exchange (send + reply timeout). attempt 0 opens
+    /// a new epoch; retries keep the epoch and bump the xid.
+    void client_start(MetroHost* host, bool renewal, std::uint32_t attempt);
+    void client_timeout(MetroHost* host, std::uint32_t epoch, bool renewal,
+                        std::uint32_t attempt, std::uint64_t xid);
+    void client_reply(MetroHost* host, std::uint32_t epoch, std::uint64_t xid);
+    void server_arrival(MetroHost* host, std::uint32_t epoch, std::int32_t cell,
+                        bool renewal, std::uint64_t xid);
+    void serve_registration(MetroHost* host, std::uint32_t epoch, std::int32_t cell,
+                            bool renewal, std::uint64_t xid);
+    void flap_agent_now();
+    void check_recovery();
 
     CityConfig config_;
     MetroTopology topo_;
@@ -156,6 +235,16 @@ private:
     std::vector<core::BindingTable> tables_;
     std::vector<CellStats> cells_;
     std::vector<AgentStats> agents_;
+    /// Overload model state (empty when overload.enabled is false).
+    std::vector<std::unique_ptr<core::RegistrationQueue>> queues_;
+    std::vector<ClientState> clients_;
+    obs::Counter* ov_retries_ = nullptr;
+    obs::Counter* ov_timeouts_ = nullptr;
+    obs::Counter* ov_circuit_opens_ = nullptr;
+    obs::Counter* ov_circuit_probes_ = nullptr;
+    obs::Counter* ov_flaps_ = nullptr;
+    std::size_t pre_flap_bindings_ = 0;
+    std::optional<sim::Duration> storm_recovery_;
     obs::Counter* handoffs_agg_ = nullptr;
     obs::Counter* probes_ = nullptr;
     obs::Counter* delivered_ = nullptr;

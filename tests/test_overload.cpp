@@ -1,0 +1,410 @@
+// Control-plane overload protection (ISSUE 9): the building blocks —
+// DecorrelatedBackoff, TokenBucket, RegistrationQueue — and the two
+// system-level contracts they exist for:
+//
+//   degradation   an overloaded home agent keeps serving renewals of
+//                 live bindings while shedding new arrivals (the queue
+//                 never grows past its bound), instead of collapsing
+//                 under the whole backlog;
+//   desync        a fleet orphaned by one agent crash retries at
+//                 distinct, seed-deterministic times — never in the
+//                 lockstep wave the legacy synchronized doubling
+//                 produced.
+//
+// Plus the binding-GC mass-expiry shape: 10k bindings sharing one expiry
+// tick are swept in a single pass with O(1) GC timer rearms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/overload.h"
+#include "core/registration.h"
+#include "core/scenario.h"
+#include "net/protocol.h"
+#include "transport/udp_service.h"
+
+using namespace mip;
+using namespace mip::core;
+
+// ---------------------------------------------------------------------------
+// DecorrelatedBackoff
+// ---------------------------------------------------------------------------
+
+TEST(DecorrelatedBackoff, DelaysStayWithinBaseAndCap) {
+    const sim::Duration base = sim::milliseconds(100);
+    const sim::Duration cap = sim::seconds(2);
+    DecorrelatedBackoff backoff(7, base, cap);
+    sim::Duration peak = 0;
+    for (int i = 0; i < 50; ++i) {
+        const sim::Duration d = backoff.next();
+        EXPECT_GE(d, base);
+        EXPECT_LE(d, cap);
+        peak = std::max(peak, d);
+    }
+    // The ramp actually ramps: uniform(base, 3 x prev) must escape the
+    // first rung within 50 draws.
+    EXPECT_GT(peak, 2 * base);
+    EXPECT_EQ(backoff.draws(), 50u);
+}
+
+TEST(DecorrelatedBackoff, StreamIsAPureFunctionOfTheSeed) {
+    const sim::Duration base = sim::milliseconds(500);
+    const sim::Duration cap = sim::seconds(8);
+    DecorrelatedBackoff a(42, base, cap);
+    DecorrelatedBackoff b(42, base, cap);
+    DecorrelatedBackoff c(43, base, cap);
+    bool differs = false;
+    for (int i = 0; i < 20; ++i) {
+        const sim::Duration da = a.next();
+        EXPECT_EQ(da, b.next());
+        differs |= da != c.next();
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(DecorrelatedBackoff, ResetRestartsTheRampNotTheStream) {
+    const sim::Duration base = sim::milliseconds(500);
+    DecorrelatedBackoff backoff(9, base, sim::seconds(8));
+    std::vector<sim::Duration> first;
+    for (int i = 0; i < 5; ++i) first.push_back(backoff.next());
+    backoff.reset();
+    // Fresh ramp: the next draw is back on the first rung [base, 3 x base).
+    const sim::Duration d = backoff.next();
+    EXPECT_GE(d, base);
+    EXPECT_LT(d, 3 * base);
+    // But the draw counter kept counting — the post-reset stream is not a
+    // replay of the first one (monotone counter, DESIGN §10 determinism).
+    EXPECT_EQ(backoff.draws(), 6u);
+    EXPECT_NE(d, first[0]);
+}
+
+// The regression the jitter exists for: >= 100 hosts orphaned by the
+// same agent crash must NOT retry in lockstep. Seeds are derived exactly
+// as MobileHost derives them (mix64 over a tag and the home address), so
+// a fleet stamped from one config template still de-correlates.
+TEST(DecorrelatedBackoff, FleetOfHostsSharingACrashEpochDesynchronizes) {
+    constexpr int kHosts = 128;
+    const sim::Duration base = sim::milliseconds(500);
+    const sim::Duration cap = sim::seconds(8);
+
+    std::set<sim::Duration> jittered;
+    sim::Duration lo = cap, hi = 0;
+    for (int i = 0; i < kHosts; ++i) {
+        const net::Ipv4Address home = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(10 + i));
+        const std::uint64_t seed = mix64(0x6d68726567726574ull ^ home.value());
+        DecorrelatedBackoff backoff(seed, base, cap);
+        const sim::Duration d = backoff.next();  // the shared-epoch first retry
+        jittered.insert(d);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    // Essentially all first retries are distinct instants...
+    EXPECT_GE(jittered.size(), static_cast<std::size_t>(kHosts - 4));
+    // ...spread across a meaningful share of the first rung, not bunched.
+    EXPECT_GT(hi - lo, sim::milliseconds(500));
+
+    // Contrast: the legacy synchronized doubling puts every host's first
+    // retry on the same instant — the thundering-herd bug.
+    std::set<sim::Duration> synchronized;
+    for (int i = 0; i < kHosts; ++i) synchronized.insert(base);
+    EXPECT_EQ(synchronized.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucket, BurstAdmitsThenDeniesUntilRefill) {
+    TokenBucket bucket(10.0, 4.0);  // 10 tokens/s, burst 4
+    const sim::TimePoint t0 = 0;
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.try_take(t0));
+    EXPECT_FALSE(bucket.try_take(t0));
+    // 100 ms refills exactly one token.
+    EXPECT_TRUE(bucket.try_take(t0 + sim::milliseconds(100)));
+    EXPECT_FALSE(bucket.try_take(t0 + sim::milliseconds(100)));
+}
+
+TEST(TokenBucket, RefillIsCappedAtBurst) {
+    TokenBucket bucket(100.0, 2.0);
+    EXPECT_TRUE(bucket.try_take(0));
+    // An hour of refill still caps at burst = 2.
+    const sim::TimePoint later = sim::seconds(3600);
+    EXPECT_TRUE(bucket.try_take(later));
+    EXPECT_TRUE(bucket.try_take(later));
+    EXPECT_FALSE(bucket.try_take(later));
+}
+
+// ---------------------------------------------------------------------------
+// RegistrationQueue
+// ---------------------------------------------------------------------------
+
+namespace {
+
+OverloadConfig queue_config(std::size_t capacity, double tokens_per_sec = 0.0) {
+    OverloadConfig qc;
+    qc.service_time = sim::milliseconds(10);
+    qc.queue_capacity = capacity;
+    qc.new_tokens_per_sec = tokens_per_sec;
+    qc.new_token_burst = 2.0;
+    return qc;
+}
+
+}  // namespace
+
+TEST(RegistrationQueue, RenewalsOutrankEarlierQueuedNews) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(8));
+    std::vector<std::string> order;
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n1", [&] { order.push_back("n1"); }));
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n2", [&] { order.push_back("n2"); }));
+    EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r1", [&] { order.push_back("r1"); }));
+    sim.run_until(sim::seconds(1));
+    ASSERT_EQ(order.size(), 3u);
+    // The renewal jumped the two News that arrived before it.
+    EXPECT_EQ(order[0], "r1");
+    EXPECT_EQ(queue.stats().served_renewal, 1u);
+    EXPECT_EQ(queue.stats().served_new, 2u);
+    EXPECT_EQ(queue.stats().deferred, 2u);  // n2 and r1 queued behind a waiter
+}
+
+TEST(RegistrationQueue, FullQueueShedsNewsAndNeverEvictsRenewalsForThem) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(2));
+    int renewals_served = 0;
+    EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r1", [&] { ++renewals_served; }));
+    EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r2", [&] { ++renewals_served; }));
+    // Queue full of renewals: an arriving New is refused outright — it
+    // may never evict a renewal.
+    EXPECT_FALSE(queue.submit(RequestClass::New, "n1", [] {}));
+    EXPECT_EQ(queue.stats().shed_new_queue, 1u);
+    // An arriving renewal sheds the oldest queued renewal (drop-oldest
+    // within class) once there is no New left to evict.
+    EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r3", [&] { ++renewals_served; }));
+    EXPECT_EQ(queue.stats().shed_renewal_queue, 1u);
+    sim.run_until(sim::seconds(1));
+    EXPECT_EQ(renewals_served, 2);  // r1 was evicted by r3
+    EXPECT_EQ(queue.stats().queue_peak, 2u);
+}
+
+TEST(RegistrationQueue, ArrivingRenewalEvictsTheOldestQueuedNew) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(2));
+    bool n1_ran = false;
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n1", [&] { n1_ran = true; }));
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n2", [] {}));
+    EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r1", [] {}));
+    EXPECT_EQ(queue.stats().shed_new_queue, 1u);  // n1 made room for r1
+    sim.run_until(sim::seconds(1));
+    EXPECT_FALSE(n1_ran);
+    EXPECT_EQ(queue.stats().served_renewal, 1u);
+    EXPECT_EQ(queue.stats().served_new, 1u);
+}
+
+TEST(RegistrationQueue, TokenBucketLimitsOnlyTheNewClass) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(16, /*tokens_per_sec=*/1.0));
+    // Burst 2: the first two News are admitted, the third is denied by
+    // the bucket even though the queue has room.
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n1", [] {}));
+    EXPECT_TRUE(queue.submit(RequestClass::New, "n2", [] {}));
+    EXPECT_FALSE(queue.submit(RequestClass::New, "n3", [] {}));
+    EXPECT_EQ(queue.stats().shed_new_bucket, 1u);
+    // Renewals bypass the bucket entirely.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(queue.submit(RequestClass::Renewal, "r", [] {}));
+    }
+    EXPECT_EQ(queue.stats().shed_new_bucket, 1u);
+    sim.run_until(sim::seconds(1));
+    EXPECT_EQ(queue.stats().served_renewal, 8u);
+    EXPECT_EQ(queue.stats().served_new, 2u);
+}
+
+TEST(RegistrationQueue, CapacityZeroMeansUnboundedNoShedding) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(0));
+    int served = 0;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(queue.submit(RequestClass::New, "n", [&] { ++served; }));
+    }
+    EXPECT_EQ(queue.depth(), 100u);  // the whole backlog is held
+    sim.run_until(sim::seconds(2));
+    EXPECT_EQ(served, 100);
+    EXPECT_EQ(queue.shed_total(), 0u);
+    EXPECT_EQ(queue.stats().queue_peak, 100u);
+}
+
+TEST(RegistrationQueue, ClearDropsTheBacklog) {
+    sim::Simulator sim;
+    RegistrationQueue queue(sim, queue_config(8));
+    int served = 0;
+    for (int i = 0; i < 5; ++i) {
+        queue.submit(RequestClass::New, "n", [&] { ++served; });
+    }
+    queue.clear();
+    EXPECT_EQ(queue.depth(), 0u);
+    sim.run_until(sim::seconds(1));
+    EXPECT_EQ(served, 0);  // the crash dropped everything queued
+}
+
+// ---------------------------------------------------------------------------
+// Degradation semantics: a saturating storm of forged new registrations
+// against a protected agent — renewals keep landing, News get shed, the
+// queue never grows past its bound. The unprotected shape holds the
+// whole backlog instead.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StormResult {
+    RegistrationQueue::Stats queue;
+    std::size_t renewals_during = 0;
+    std::size_t tenant_expiries = 0;
+    std::size_t overload_decisions = 0;
+};
+
+StormResult run_storm(bool prot) {
+    WorldConfig cfg;
+    cfg.seed = 1;
+    OverloadConfig qc;
+    qc.service_time = sim::milliseconds(10);
+    qc.queue_capacity = prot ? 16 : 0;
+    qc.new_tokens_per_sec = prot ? 40.0 : 0.0;
+    qc.new_token_burst = 8.0;
+    cfg.home_agent.overload = qc;
+    World world{cfg};
+
+    // The tenant: a short-lifetime host whose renewals must survive.
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_lifetime = 2;
+    mcfg.registration_backoff_cap = sim::seconds(2);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    world.enable_decision_log();
+    EXPECT_TRUE(world.attach_mobile_foreign());
+
+    // The storm: 120 forged first-contact registrations inside 300 ms —
+    // 400/s against a 100/s agent.
+    CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
+    transport::UdpService storm_udp(ch.stack());
+    auto socket = storm_udp.open(4434);
+    const net::Ipv4Address ha_addr = world.home_agent_addr();
+    world.run_for(sim::seconds(1));
+    const std::size_t renewed_before =
+        world.home_agent().stats().registrations_renewed;
+    for (std::size_t k = 0; k < 120; ++k) {
+        const sim::Duration at = static_cast<sim::Duration>(
+            mix64(0x73746f726dull ^ k) % sim::milliseconds(300));
+        world.sim.schedule_in(at, [&, k] {
+            RegistrationRequest req;
+            req.lifetime = 30;
+            req.home_address = world.home_domain.host(2000 + static_cast<std::uint32_t>(k));
+            req.home_agent = ha_addr;
+            req.care_of_address = ch.address();
+            req.id = k;
+            net::BufferWriter w;
+            req.serialize(w, world.config().home_agent.registration_key);
+            socket->send_to(ha_addr, net::ports::kMobileIpRegistration, w.take());
+        });
+    }
+    world.run_for(sim::seconds(5));
+
+    StormResult r;
+    r.queue = world.home_agent().overload_queue()->stats();
+    r.renewals_during =
+        world.home_agent().stats().registrations_renewed - renewed_before;
+    r.tenant_expiries = mh.stats().binding_expiries;
+    for (const auto& ev : world.decisions.events()) {
+        r.overload_decisions += ev.trigger == "overload";
+    }
+    return r;
+}
+
+}  // namespace
+
+TEST(OverloadDegradation, ProtectedAgentServesRenewalsWhileSheddingNews) {
+    const StormResult r = run_storm(/*prot=*/true);
+    // The tenant renewed through the storm and never lost its binding.
+    EXPECT_GE(r.renewals_during, 2u);
+    EXPECT_EQ(r.tenant_expiries, 0u);
+    EXPECT_EQ(r.queue.shed_renewal_queue, 0u);
+    // The storm was genuinely shed, not absorbed...
+    EXPECT_GT(r.queue.shed_new_bucket + r.queue.shed_new_queue, 50u);
+    EXPECT_LT(r.queue.served_new, 120u);
+    // ...the queue stayed inside its bound, and every shed was audited.
+    EXPECT_LE(r.queue.queue_peak, 16u);
+    EXPECT_GE(r.overload_decisions, r.queue.shed_new_bucket + r.queue.shed_new_queue);
+}
+
+TEST(OverloadDegradation, UnprotectedQueueHoldsTheWholeBacklog) {
+    const StormResult r = run_storm(/*prot=*/false);
+    EXPECT_EQ(r.queue.shed_new_bucket + r.queue.shed_new_queue, 0u);
+    // No shedding: the backlog piles far past the protected bound (the
+    // collapse leg of the ablation).
+    EXPECT_GT(r.queue.queue_peak, 48u);
+    // Every forged arrival is eventually served (the tenant's own attach
+    // adds one more New on top of the 120 storm arrivals).
+    EXPECT_GE(r.queue.served_new, 120u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget: after the budget is spent against a dead agent the host
+// opens its circuit — parked, probing slowly — and recovers when the
+// agent returns.
+// ---------------------------------------------------------------------------
+
+TEST(OverloadCircuit, RetryBudgetOpensParkAndProbeThenRecovers) {
+    World world;
+    MobileHostConfig mcfg = world.mobile_config();
+    mcfg.registration_lifetime = 5;  // renewal fires at 4 s
+    mcfg.registration_retry = sim::milliseconds(200);
+    mcfg.registration_backoff_cap = sim::seconds(1);
+    mcfg.registration_retry_budget = 2;
+    mcfg.registration_circuit_probe = sim::seconds(2);
+    MobileHost& mh = world.create_mobile_host(std::move(mcfg));
+    ASSERT_TRUE(world.attach_mobile_foreign());
+
+    world.home_agent().crash();
+    // The renewal fires at 80% of the *granted* lifetime, burns its two
+    // retries against the dead agent, parks, and probes every ~2 s.
+    world.run_for(sim::seconds(20));
+    // Budget spent: the circuit opened and the host fell back to slow
+    // probes instead of hammering the dead agent.
+    EXPECT_TRUE(mh.registration_circuit_open());
+    EXPECT_EQ(mh.stats().registration_circuit_opens, 1u);
+    EXPECT_GE(mh.stats().registration_circuit_probes, 2u);
+    const std::size_t probes_parked = mh.stats().registration_circuit_probes;
+
+    world.home_agent().restart();
+    world.run_for(sim::seconds(6));
+    // A probe landed, the agent answered, the circuit closed.
+    EXPECT_FALSE(mh.registration_circuit_open());
+    EXPECT_TRUE(world.home_agent().is_registered(world.mh_home_addr()));
+    EXPECT_GE(mh.stats().registration_circuit_probes, probes_parked + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Binding GC mass expiry: 10k bindings sharing one expiry tick are swept
+// in a single pass — one GC arm, one sweep, zero per-binding timers.
+// ---------------------------------------------------------------------------
+
+TEST(BindingGc, TenThousandBindingsExpireInOneSweep) {
+    World world;
+    HomeAgent& ha = world.home_agent();
+    const std::size_t rearms_before = ha.stats().gc_rearms;
+    for (std::uint32_t i = 0; i < 10000; ++i) {
+        ha.restore_binding(world.home_domain.host(3000 + i),
+                           world.corr_domain.host(10), /*lifetime_seconds=*/5);
+    }
+    EXPECT_EQ(ha.bindings().size(), 10000u);
+    // All 10k share one expiry tick: exactly one GC arm covers them all.
+    EXPECT_EQ(ha.stats().gc_rearms - rearms_before, 1u);
+
+    world.run_for(sim::seconds(6));
+    EXPECT_EQ(ha.bindings().size(), 0u);
+    EXPECT_EQ(ha.stats().bindings_expired, 10000u);
+    // And the sweep itself rearmed nothing — the table emptied in one
+    // pass (O(1) rearms per mass expiry, not O(n) timer churn).
+    EXPECT_EQ(ha.stats().gc_rearms - rearms_before, 1u);
+}
