@@ -36,7 +36,7 @@ AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tu
     }
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(80, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(4096, 0x77));
         });
     });
@@ -51,7 +51,7 @@ AttachOutcome run_attachment(bool via_agent, bool egress_filter, bool reverse_tu
     const auto start = world.sim.now();
     auto& conn = mh.tcp().connect(ch.address(), 80);
     std::size_t got = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { got += d.size(); });
     conn.send({'G'});
     while (got < 4096 && conn.alive() && world.sim.now() < start + sim::seconds(30)) {
         world.run_for(sim::milliseconds(20));

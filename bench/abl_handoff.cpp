@@ -25,7 +25,7 @@ HandoffOutcome run_handoffs(OutMode mode, int moves,
     World world;
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7300, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -38,7 +38,7 @@ HandoffOutcome run_handoffs(OutMode mode, int moves,
 
     std::size_t echoed = 0;
     auto& conn = mh.tcp().connect(ch.address(), 7300);
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(500, 1));
     world.run_for(sim::seconds(3));
     if (!conn.established()) return {};

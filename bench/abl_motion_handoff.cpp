@@ -36,7 +36,7 @@ MotionOutcome run_journey(double speed_mps, double overlap_m,
     World world;
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7700, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -69,7 +69,7 @@ MotionOutcome run_journey(double speed_mps, double overlap_m,
 
     auto& conn = mh.tcp().connect(ch.address(), 7700);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
 
     transport::Pinger pinger(ch.stack());
     std::size_t pings_sent = 0, pings_delivered = 0;
@@ -78,7 +78,7 @@ MotionOutcome run_journey(double speed_mps, double overlap_m,
     const int steps = static_cast<int>(journey_s / 0.2) + 1;
     for (int i = 0; i < steps; ++i) {
         pinger.ping(mh.home_address(),
-                    [&](auto rtt) { pings_delivered += rtt.has_value(); },
+                    [&](auto rtt, auto&&) { pings_delivered += rtt.has_value(); },
                     sim::seconds(2));
         ++pings_sent;
         if (i % 5 == 0) {  // 1 KB of TCP payload per simulated second

@@ -43,8 +43,7 @@ McastOutcome run_session(bool local_join, int packets,
     auto sock = mh.udp().open(kPort);
     sim::TimePoint sent_at = 0;
     double total_ms = 0;
-    sock->set_receiver([&](std::span<const std::uint8_t>, transport::UdpEndpoint,
-                           net::Ipv4Address) {
+    sock->set_receiver([&](std::span<const std::uint8_t>, const transport::RxMeta&) {
         ++out.received;
         total_ms += sim::to_milliseconds(world.sim.now() - sent_at);
     });

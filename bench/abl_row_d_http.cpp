@@ -22,7 +22,7 @@ constexpr std::size_t kObjectSize = 8 * 1024;
 /// An HTTP-ish server: on any data, streams back one object and closes.
 void serve_objects(CorrespondentHost& ch) {
     ch.tcp().listen(kHttpPort, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(kObjectSize, 0x77));
             c.close();
         });
@@ -59,7 +59,7 @@ FetchSeries run_series(bool use_mobile_ip, int fetches,
         const auto start = world.sim.now();
         auto& conn = mh.tcp().connect(ch.address(), kHttpPort);
         std::size_t got = 0;
-        conn.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+        conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { got += d.size(); });
         conn.send({'G', 'E', 'T', ' ', '/'});
         while (got < kObjectSize && conn.alive() &&
                world.sim.now() < start + sim::seconds(20)) {
@@ -120,7 +120,7 @@ void print_figure(const bench::HarnessOptions& opt) {
         if (world.attach_mobile_foreign()) {
             auto& conn = mh.tcp().connect(ch.address(), kHttpPort);
             std::size_t got = 0;
-            conn.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+            conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { got += d.size(); });
             conn.send({'G', 'E', 'T', ' ', '/'});
             world.run_for(sim::milliseconds(120));  // move mid-fetch
             mh.attach_foreign(world.corr_lan(), world.corr_domain.host(10),

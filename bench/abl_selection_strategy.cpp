@@ -47,7 +47,7 @@ StrategyOutcome run_strategy(int kind, bool ch_in_home_domain,
     CorrespondentHost& ch = world.create_correspondent(
         {}, ch_in_home_domain ? Placement::HomeLan : Placement::CorrLan);
     ch.tcp().listen(7100, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });

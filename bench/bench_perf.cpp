@@ -123,7 +123,7 @@ RunStats run_scenario(const bench::HarnessOptions& opt, const PerfScenario& sc,
         CorrespondentHost& ch = world.create_correspondent(
             {}, Placement::CorrLan, static_cast<std::uint32_t>(20 + i));
         ch.tcp().listen(7200, [](transport::TcpConnection& c) {
-            c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+            c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
                 c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
             });
         });

@@ -103,11 +103,18 @@ inline bool monitor_matches_class(const std::string& monitor, const std::string&
         return cls == "jitter" || cls == "reorder" || cls == "duplication" ||
                cls == "burst-loss";
     }
+    if (monitor == "transport-give-up") {
+        // The TCP canary gives up only after a sustained delivery outage —
+        // the same fault classes that starve the registration machinery.
+        return cls == "agent-crash" || cls == "link-flap" || cls == "burst-loss" ||
+               cls == "corruption" || cls == "filter-churn";
+    }
     return false;
 }
 
 inline const char* const kChaosMonitors[] = {
-    "probe-failures", "registration-backoff", "binding-expiry", "probe-rtt-p95"};
+    "probe-failures", "registration-backoff", "binding-expiry", "probe-rtt-p95",
+    "transport-give-up"};
 
 /// p95 end-to-end RTT SLO for the chaos probes (the "p95 delivery within
 /// bound" style of rule from the issue). The clean tunnel path (MH home
@@ -151,6 +158,20 @@ inline void arm_chaos_monitors(mip::obs::HealthMonitor& monitor) {
     expiry.detail = "home binding expired without renewal";
     monitor.add_watermark(expiry);
 
+    // PR 10: the transport give-up audit. TcpService counts every
+    // connection that exhausts its retransmission budget under
+    // ("mobile-host","transport","give_ups") and records a cc-give-up
+    // decision event; one give-up on the canary flow trips this rule.
+    obs::WatermarkRule give_up;
+    give_up.name = "transport-give-up";
+    give_up.node = "mobile-host";
+    give_up.layer = "transport";
+    give_up.metric = "give_ups";
+    give_up.source = obs::MetricSource::Counter;
+    give_up.trip_at = 1.0;
+    give_up.detail = "tcp canary exhausted its retransmission budget";
+    monitor.add_watermark(give_up);
+
     obs::QuantileSloRule rtt;
     rtt.name = "probe-rtt-p95";
     rtt.quantile = 0.95;
@@ -190,6 +211,12 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
     // Stale cached modes re-probe the strategy's initial pick, so a host
     // that downgraded under filter churn climbs back up once it clears.
     mcfg.cache.mode_ttl = sim::seconds(5);
+    // Short give-up fuse for the TCP canary below: four doubling RTOs
+    // (~3 s of sustained outage) before the transport declares the path
+    // dead — well inside any fault window that also breaks the probes,
+    // and unreachable on the fault-free control leg.
+    mcfg.tcp.rto = sim::milliseconds(200);
+    mcfg.tcp.max_retries = 4;
     MobileHost& mh = world.create_mobile_host(std::move(mcfg));
     world.enable_decision_log();
 
@@ -210,6 +237,26 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
     if (inject) injector.execute(plan);
 
     const std::string label = inject ? "seed" + std::to_string(seed) : "control";
+
+    // TCP canary (PR 10): a persistent trickle flow from the mobile host's
+    // home address to the correspondent. Any fault that severs delivery
+    // long enough exhausts the short retransmission fuse above; the
+    // give-up is audited as a counter + decision event by TcpService and
+    // the transport-give-up watermark turns it into a monitor trip. The
+    // fault-free control leg must keep the counter at zero.
+    mh.tcp().set_observability("mobile-host", &world.metrics, &world.decisions);
+    ch.tcp().listen(7500, [](transport::TcpConnection& c) {
+        c.set_data_callback([](std::span<const std::uint8_t>, auto&&...) {});
+    });
+    transport::TcpConnection& canary = mh.tcp().connect(ch.address(), 7500);
+    std::function<void()> canary_tick = [&] {
+        if (!canary.alive()) return;  // gave up: the watermark has its trip
+        if (canary.established()) {
+            canary.send(std::vector<std::uint8_t>(64, 0xca));
+        }
+        world.sim.schedule_in(sim::milliseconds(500), canary_tick, "chaos-canary");
+    };
+    world.sim.schedule_in(sim::milliseconds(500), canary_tick, "chaos-canary");
 
     // Always-on observability: the delta-sampled time series feeds the
     // flight recorder's excerpts, and the health monitors watch the run
@@ -243,7 +290,7 @@ inline SeedOutcome run_seed(std::uint64_t seed, bool smoke, const HarnessOptions
         const sim::TimePoint sent_at = world.sim.now();
         pinger.ping(
             ch.address(),
-            [&, sent_at](std::optional<sim::Duration> rtt) {
+            [&, sent_at](std::optional<sim::Duration> rtt, const transport::RxMeta&) {
                 if (rtt.has_value()) {
                     mh.method_cache().report_success(ch.address(), world.sim.now());
                     monitor.observe("probe-rtt-p95", static_cast<double>(*rtt));

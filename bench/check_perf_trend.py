@@ -47,6 +47,9 @@ def rates_of(doc):
     overload = doc.get("overload", {})
     if "events_per_sec" in overload:
         rates["overload"] = overload["events_per_sec"]
+    cc = doc.get("cc", {})
+    if "events_per_sec" in cc:
+        rates["cc"] = cc["events_per_sec"]
     return rates
 
 

@@ -49,7 +49,7 @@ inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& fro
                                std::size_t payload = 56) {
     mip::transport::Pinger pinger(from);
     if (warm_up) {
-        pinger.ping(dst, [](auto) {}, mip::sim::seconds(5), payload, src);
+        pinger.ping(dst, [](auto, auto&&) {}, mip::sim::seconds(5), payload, src);
         world.run_for(mip::sim::seconds(6));
     }
     world.trace.clear();
@@ -60,7 +60,7 @@ inline PingResult measure_ping(mip::core::World& world, mip::stack::IpStack& fro
     std::optional<mip::sim::Duration> measured_rtt;
     pinger.ping(
         dst,
-        [&](std::optional<mip::sim::Duration> rtt) {
+        [&](std::optional<mip::sim::Duration> rtt, const mip::transport::RxMeta&) {
             result.delivered = rtt.has_value();
             measured_rtt = rtt;
             if (rtt) result.rtt_ms = mip::sim::to_milliseconds(*rtt);

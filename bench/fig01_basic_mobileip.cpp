@@ -78,7 +78,7 @@ void BM_TriangleRoutingExchange(benchmark::State& state) {
     for (auto _ : state) {
         pinger.ping(
             world.mh_home_addr(),
-            [&](std::optional<sim::Duration> rtt) {
+            [&](std::optional<sim::Duration> rtt, const transport::RxMeta&) {
                 if (rtt) {
                     total_rtt_ms += sim::to_milliseconds(*rtt);
                     ++delivered;

@@ -154,7 +154,7 @@ void BM_FilteredDeliveryAttempt(benchmark::State& state) {
     world.mobile_host().force_mode(ch.address(), OutMode::DH);
     transport::Pinger pinger(world.mobile_host().stack());
     for (auto _ : state) {
-        pinger.ping(ch.address(), [](auto) {}, sim::milliseconds(500), 56,
+        pinger.ping(ch.address(), [](auto, auto&&) {}, sim::milliseconds(500), 56,
                     world.mh_home_addr());
         world.run_for(sim::milliseconds(600));
     }

@@ -81,7 +81,7 @@ void BM_BidirectionalTunnelExchange(benchmark::State& state) {
     std::size_t delivered = 0;
     for (auto _ : state) {
         pinger.ping(
-            ch.address(), [&](auto rtt) { delivered += rtt.has_value(); },
+            ch.address(), [&](auto rtt, auto&&) { delivered += rtt.has_value(); },
             sim::seconds(2), 56, world.mh_home_addr());
         world.run_for(sim::seconds(3));
     }

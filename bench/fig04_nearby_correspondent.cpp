@@ -83,7 +83,7 @@ void BM_NearbyDelivery(benchmark::State& state) {
     for (auto _ : state) {
         pinger.ping(
             world.mh_home_addr(),
-            [&](auto rtt) {
+            [&](auto rtt, auto&&) {
                 if (rtt) {
                     total_ms += sim::to_milliseconds(*rtt);
                     ++n;

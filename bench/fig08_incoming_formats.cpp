@@ -121,7 +121,7 @@ void BM_InModeExchange(benchmark::State& state) {
     transport::Pinger pinger(ch.stack());
     std::size_t ok = 0;
     for (auto _ : state) {
-        pinger.ping(target, [&](auto r) { ok += r.has_value(); }, sim::seconds(2));
+        pinger.ping(target, [&](auto r, auto&&) { ok += r.has_value(); }, sim::seconds(2));
         world.run_for(sim::seconds(3));
     }
     static const char* kNames[] = {"In-IE", "In-DE", "In-DH", "In-DT"};

@@ -90,8 +90,8 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false,
         mh.force_mode(ch.address(), out);
     }
     responder->set_receiver([&](std::span<const std::uint8_t> data,
-                                transport::UdpEndpoint from, net::Ipv4Address) {
-        responder->send_to(from.addr, from.port,
+                                const transport::RxMeta& meta) {
+        responder->send_to(meta.peer.addr, meta.peer.port,
                            std::vector<std::uint8_t>(data.begin(), data.end()));
     });
 
@@ -103,9 +103,8 @@ CellResult run_cell(InMode in, OutMode out, bool foreign_filter = false,
     bool accepted = false;
     sim::TimePoint sent_at = 0;
     sim::TimePoint got_at = 0;
-    client->set_receiver([&](std::span<const std::uint8_t>, transport::UdpEndpoint from,
-                             net::Ipv4Address) {
-        if (from.addr == target && from.port == kServicePort) {
+    client->set_receiver([&](std::span<const std::uint8_t>, const transport::RxMeta& meta) {
+        if (meta.peer.addr == target && meta.peer.port == kServicePort) {
             accepted = true;
             got_at = world.sim.now();
         }

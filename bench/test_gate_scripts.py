@@ -43,7 +43,7 @@ def run_main(module, argv):
 
 
 def perf_doc(*, smoke, scenario_rate=1000.0, city_rate=5000.0,
-             traced_pct=None, obs_pct=None, overload_rate=None):
+             traced_pct=None, obs_pct=None, overload_rate=None, cc_rate=None):
     """A minimal BENCH_perf.json document with the fields the gate reads."""
     scenario = {"name": "basic", "baseline": {"events_per_sec": scenario_rate}}
     if traced_pct is not None:
@@ -55,6 +55,8 @@ def perf_doc(*, smoke, scenario_rate=1000.0, city_rate=5000.0,
            "scenarios": [scenario], "city": city}
     if overload_rate is not None:
         doc["overload"] = {"events_per_sec": overload_rate}
+    if cc_rate is not None:
+        doc["cc"] = {"events_per_sec": cc_rate}
     return doc
 
 
@@ -118,6 +120,21 @@ class PerfTrendTest(unittest.TestCase):
         code, _, _ = self.check(
             perf_doc(smoke=True, overload_rate=2000.0),
             perf_doc(smoke=True, overload_rate=1900.0))
+        self.assertEqual(code, 0)
+
+    def test_cc_headline_is_gated(self):
+        # The abl_cc_handoff block's events/sec headline is a trendline
+        # figure too: the congestion-control hot path (feedback taps,
+        # pacing timers, pooled buffers) regressing by more than the
+        # threshold goes red on its own.
+        code, out, _ = self.check(
+            perf_doc(smoke=True, cc_rate=3000.0),
+            perf_doc(smoke=True, cc_rate=1800.0))  # -40%
+        self.assertEqual(code, 1)
+        self.assertIn("cc", out)
+        code, _, _ = self.check(
+            perf_doc(smoke=True, cc_rate=3000.0),
+            perf_doc(smoke=True, cc_rate=2850.0))
         self.assertEqual(code, 0)
 
     def test_threshold_space_separated_form(self):

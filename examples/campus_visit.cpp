@@ -19,7 +19,7 @@ namespace {
 double ping_ms(World& world, stack::IpStack& from, net::Ipv4Address dst) {
     transport::Pinger pinger(from);
     double ms = -1;
-    pinger.ping(dst, [&](auto rtt) { if (rtt) ms = sim::to_milliseconds(*rtt); },
+    pinger.ping(dst, [&](auto rtt, auto&&) { if (rtt) ms = sim::to_milliseconds(*rtt); },
                 sim::seconds(5));
     world.run_for(sim::seconds(6));
     return ms;

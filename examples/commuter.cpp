@@ -33,7 +33,7 @@ int main() {
     // The office file server sits on the mobile host's own home LAN.
     CorrespondentHost& server = world.create_correspondent({}, Placement::HomeLan);
     server.tcp().listen(9000, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -81,7 +81,7 @@ int main() {
     // the journey unfolds.
     auto& conn = mh.tcp().connect(server.address(), 9000);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
 
     constexpr std::size_t kChunk = 1500;
     constexpr std::size_t kTotal = 60 * 1000;

@@ -23,7 +23,7 @@ int main() {
     // The "home file server", protected by the home boundary router.
     CorrespondentHost& server = world.create_correspondent({}, Placement::HomeLan);
     server.tcp().listen(2049, [](transport::TcpConnection& conn) {
-        conn.set_data_callback([&conn](std::span<const std::uint8_t> d) {
+        conn.set_data_callback([&conn](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             conn.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -43,7 +43,7 @@ int main() {
 
     auto& conn = mh.tcp().connect(server.address(), 2049);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
 
     OutMode last = mh.mode_for(server.address());
     const auto deadline = world.sim.now() + sim::seconds(90);

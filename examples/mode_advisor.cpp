@@ -18,7 +18,7 @@ using namespace mip::core;
 namespace {
 void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
     ch.tcp().listen(port, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -81,7 +81,7 @@ int main() {
     for (auto& t : targets) {
         auto& conn = mh.tcp().connect(t.ch->address(), 7);
         std::size_t echoed = 0;
-        conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+        conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
         conn.send(std::vector<std::uint8_t>(512, 'p'));
         world.run_for(sim::seconds(10));
         const bool ok = conn.established() && echoed == 512;

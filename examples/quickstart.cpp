@@ -22,7 +22,7 @@ int main() {
     //    host: no Mobile IP software at all.
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7, [](transport::TcpConnection& conn) {
-        conn.set_data_callback([&conn](std::span<const std::uint8_t> data) {
+        conn.set_data_callback([&conn](std::span<const std::uint8_t> data, const transport::RxMeta&) {
             conn.send(std::vector<std::uint8_t>(data.begin(), data.end()));
         });
     });
@@ -42,7 +42,7 @@ int main() {
     //    home address as the endpoint — the connection is move-proof.
     auto& conn = mh.tcp().connect(ch.address(), 7);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(2000, 'a'));
     world.run_for(sim::seconds(5));
     std::printf("connected via %s as %s; echoed %zu bytes (mode %s)\n",

@@ -41,7 +41,7 @@ int main() {
     auto ping = [&](const char* label) {
         double ms = -1;
         pinger.ping(mh.home_address(),
-                    [&](auto rtt) { if (rtt) ms = sim::to_milliseconds(*rtt); },
+                    [&](auto rtt, auto&&) { if (rtt) ms = sim::to_milliseconds(*rtt); },
                     sim::seconds(5));
         world.run_for(sim::seconds(6));
         std::printf("%-44s %8.3f ms   CH mode: %s\n", label, ms,

@@ -25,13 +25,13 @@ int main() {
 
     CorrespondentHost& web = world.create_correspondent({}, Placement::CorrLan);
     web.tcp().listen(80, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(16 * 1024, 'Z'));  // one page
             c.close();
         });
     });
     web.tcp().listen(23, [](transport::TcpConnection& c) {  // telnet
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -55,7 +55,7 @@ int main() {
     // it gets the home address and is move-proof.
     auto& telnet = mh.tcp().connect(www, 23);
     std::size_t telnet_echo = 0;
-    telnet.set_data_callback([&](std::span<const std::uint8_t> d) { telnet_echo += d.size(); });
+    telnet.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { telnet_echo += d.size(); });
     telnet.send({'l', 's', '\n'});
     world.run_for(sim::seconds(2));
     std::printf("telnet session endpoint: %s (home address)\n",
@@ -66,7 +66,7 @@ int main() {
     for (int i = 0; i < 3; ++i) {
         auto& fetch = mh.tcp().connect(www, 80);
         std::size_t got = 0;
-        fetch.set_data_callback([&](std::span<const std::uint8_t> d) { got += d.size(); });
+        fetch.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { got += d.size(); });
         fetch.send({'G', 'E', 'T'});
         world.run_for(sim::seconds(5));
         pages += got >= 16 * 1024;
@@ -78,7 +78,7 @@ int main() {
     // Move mid-fetch: the Out-DT fetch breaks (click Reload); telnet lives.
     auto& doomed = mh.tcp().connect(www, 80);
     std::size_t doomed_got = 0;
-    doomed.set_data_callback([&](std::span<const std::uint8_t> d) { doomed_got += d.size(); });
+    doomed.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { doomed_got += d.size(); });
     doomed.send({'G', 'E', 'T'});
     world.run_for(sim::milliseconds(45));
     std::puts("\nmoving networks mid-fetch...");
@@ -94,7 +94,7 @@ int main() {
                 doomed_got, to_string(doomed.state()).c_str());
     auto& reload = mh.tcp().connect(www, 80);
     std::size_t reload_got = 0;
-    reload.set_data_callback([&](std::span<const std::uint8_t> d) { reload_got += d.size(); });
+    reload.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { reload_got += d.size(); });
     reload.send({'G', 'E', 'T'});
     world.run_for(sim::seconds(5));
     std::printf("reload: %zu bytes from new endpoint %s\n", reload_got,

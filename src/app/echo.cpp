@@ -6,7 +6,8 @@ TcpEchoServer::TcpEchoServer(transport::TcpService& tcp, std::uint16_t port)
     : tcp_(tcp), port_(port) {
     tcp_.listen(port_, [this](transport::TcpConnection& conn) {
         ++accepted_;
-        conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data) {
+        conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data,
+                                             const transport::RxMeta&) {
             bytes_ += data.size();
             conn.send(std::vector<std::uint8_t>(data.begin(), data.end()));
         });
@@ -26,9 +27,9 @@ TcpEchoServer::~TcpEchoServer() {
 UdpEchoServer::UdpEchoServer(transport::UdpService& udp, std::uint16_t port) {
     socket_ = udp.open(port);
     socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                 transport::UdpEndpoint from, net::Ipv4Address) {
+                                 const transport::RxMeta& meta) {
         ++count_;
-        socket_->send_to(from.addr, from.port,
+        socket_->send_to(meta.peer.addr, meta.peer.port,
                          std::vector<std::uint8_t>(data.begin(), data.end()));
     });
 }

@@ -42,7 +42,8 @@ HttpServer::Handler HttpServer::static_site(
 
 void HttpServer::on_connection(transport::TcpConnection& conn) {
     partial_.erase(&conn);
-    conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data) {
+    conn.set_data_callback([this, &conn](std::span<const std::uint8_t> data,
+                                         const transport::RxMeta&) {
         std::string& buf = partial_[&conn];
         buf.append(reinterpret_cast<const char*>(data.data()), data.size());
         const auto eol = buf.find("\r\n");
@@ -117,7 +118,8 @@ void HttpClient::get(net::Ipv4Address server, std::uint16_t port, const std::str
     fetch->done = std::move(done);
 
     auto& conn = tcp_.connect(server, port, bind_src);
-    conn.set_data_callback([fetch](std::span<const std::uint8_t> data) {
+    conn.set_data_callback([fetch](std::span<const std::uint8_t> data,
+                                   const transport::RxMeta&) {
         fetch->buffer.append(reinterpret_cast<const char*>(data.data()), data.size());
         if (auto r = fetch->try_parse()) {
             fetch->finish(std::move(*r));

@@ -8,7 +8,7 @@ RpcClient::RpcClient(transport::UdpService& udp, RpcConfig config)
     : udp_(udp), config_(config) {
     socket_ = udp_.open();
     socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                 transport::UdpEndpoint, net::Ipv4Address) {
+                                 const transport::RxMeta&) {
         on_datagram(data);
     });
 }
@@ -73,7 +73,7 @@ RpcServer::RpcServer(transport::UdpService& udp, std::uint16_t port, Handler han
     : handler_(std::move(handler)) {
     socket_ = udp.open(port);
     socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                 transport::UdpEndpoint from, net::Ipv4Address) {
+                                 const transport::RxMeta& meta) {
         if (data.size() < 4) return;
         ++handled_;
         net::BufferReader r(data);
@@ -83,7 +83,7 @@ RpcServer::RpcServer(transport::UdpService& udp, std::uint16_t port, Handler han
         net::BufferWriter w(4 + response.size());
         w.u32(id);
         w.bytes(response);
-        socket_->send_to(from.addr, from.port, w.take());
+        socket_->send_to(meta.peer.addr, meta.peer.port, w.take());
     });
 }
 

@@ -151,7 +151,8 @@ void CapabilityProber::launch(std::shared_ptr<Session> s, OutMode mode,
     }
     pinger_.ping(
         s->dst,
-        [this, s, mode, src](std::optional<sim::Duration> rtt) mutable {
+        [this, s, mode, src](std::optional<sim::Duration> rtt,
+                             const transport::RxMeta&) mutable {
             const auto idx = static_cast<std::size_t>(mode);
             if (rtt) {
                 s->report.mode_works[idx] = true;

@@ -17,8 +17,8 @@ ForeignAgent::ForeignAgent(sim::Simulator& simulator, std::string name,
     udp_ = std::make_unique<transport::UdpService>(stack());
     reg_socket_ = udp_->open(net::ports::kMobileIpRegistration);
     reg_socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                     transport::UdpEndpoint from, net::Ipv4Address local) {
-        on_registration_frame(data, from, local);
+                                     const transport::RxMeta& meta) {
+        on_registration_frame(data, meta.peer, meta.local_addr);
     });
 
     // The home agent tunnels captured packets to us for final-hop delivery.

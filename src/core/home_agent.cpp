@@ -16,8 +16,8 @@ HomeAgent::HomeAgent(sim::Simulator& simulator, std::string name, HomeAgentConfi
     udp_ = std::make_unique<transport::UdpService>(stack());
     reg_socket_ = udp_->open(net::ports::kMobileIpRegistration);
     reg_socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                     transport::UdpEndpoint from, net::Ipv4Address) {
-        on_registration(data, from);
+                                     const transport::RxMeta& meta) {
+        on_registration(data, meta.peer);
     });
 
     // Captured packets (proxy-ARP'd to us but addressed to a mobile host)

@@ -239,6 +239,7 @@ void MobileHost::attach_home(sim::Link& link, std::optional<net::Ipv4Address> ga
         ++stats_.registrations_sent;
         reg_socket_->send_to(config_.home_agent, net::ports::kMobileIpRegistration, w.take());
     }
+    tcp_->notify_route_change();
 }
 
 void MobileHost::attach_foreign(sim::Link& link, net::Ipv4Address care_of, net::Prefix subnet,
@@ -278,6 +279,7 @@ void MobileHost::attach_foreign(sim::Link& link, net::Ipv4Address care_of, net::
     reg_dst_ = config_.home_agent;
     reg_socket_->bind_address(care_of_);
     send_registration(config_.registration_lifetime, 0, std::move(done));
+    tcp_->notify_route_change();
 }
 
 void MobileHost::attach_via_foreign_agent(sim::Link& link, RegistrationCallback done) {
@@ -319,6 +321,7 @@ void MobileHost::attach_via_foreign_agent(sim::Link& link, RegistrationCallback 
                                            net::Ipv4Address(0xffffffffu),
                                            net::IpProto::Icmp, w.take(), /*ttl=*/1);
     stack().send_direct(std::move(solicit), physical_interface_);
+    tcp_->notify_route_change();
 }
 
 void MobileHost::detach_current() {
@@ -331,6 +334,7 @@ void MobileHost::detach_current() {
     }
     registered_ = false;
     care_of_ = net::Ipv4Address{};
+    tcp_->notify_route_change();
 }
 
 // ---- registration client -----------------------------------------------------
@@ -360,7 +364,7 @@ void MobileHost::send_registration(std::uint16_t lifetime, unsigned attempt,
     expected_reply_id_ = req.id;
 
     reg_socket_->set_receiver([this, done](std::span<const std::uint8_t> data,
-                                           transport::UdpEndpoint, net::Ipv4Address) {
+                                           const transport::RxMeta&) {
         RegistrationCallback cb = done;  // copy: the lambda may be replaced below
         on_registration_reply(data, cb);
     });

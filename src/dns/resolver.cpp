@@ -10,8 +10,8 @@ Resolver::Resolver(transport::UdpService& udp, net::Ipv4Address server, Resolver
     if (!config_.bind_source.is_unspecified()) {
         socket_->bind_address(config_.bind_source);
     }
-    socket_->set_receiver([this](std::span<const std::uint8_t> data, transport::UdpEndpoint,
-                                 net::Ipv4Address) { on_datagram(data); });
+    socket_->set_receiver([this](std::span<const std::uint8_t> data,
+                                 const transport::RxMeta&) { on_datagram(data); });
 }
 
 void Resolver::resolve(const std::string& name, RecordType type, Callback cb) {

@@ -7,8 +7,8 @@ namespace mip::dns {
 DnsServer::DnsServer(transport::UdpService& udp, Zone& zone) : zone_(zone) {
     socket_ = udp.open(net::ports::kDns);
     socket_->set_receiver([this](std::span<const std::uint8_t> data,
-                                 transport::UdpEndpoint from, net::Ipv4Address) {
-        on_datagram(data, from);
+                                 const transport::RxMeta& meta) {
+        on_datagram(data, meta.peer);
     });
 }
 

@@ -1,0 +1,24 @@
+#include "transport/cc/controller.h"
+
+#include <stdexcept>
+
+#include "transport/cc/delay_gradient.h"
+#include "transport/cc/loss_rate.h"
+#include "transport/cc/static_controller.h"
+
+namespace mip::transport::cc {
+
+Factory static_factory() {
+    return [](const FactoryContext& ctx) {
+        return std::make_unique<StaticController>(ctx.initial_rto);
+    };
+}
+
+Factory factory_by_name(const std::string& name) {
+    if (name == "static") return static_factory();
+    if (name == "delay") return delay_gradient_factory();
+    if (name == "loss") return loss_rate_factory();
+    throw std::invalid_argument("unknown congestion controller: " + name);
+}
+
+}  // namespace mip::transport::cc

@@ -1,0 +1,201 @@
+#include "transport/cc/delay_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mip::transport::cc {
+
+namespace {
+
+constexpr sim::Duration kMinRto = sim::milliseconds(150);
+constexpr sim::Duration kMaxRto = sim::seconds(8);
+
+std::string rate_detail(double bps) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "rate=%.0fkbps", bps / 1e3);
+    return buf;
+}
+
+}  // namespace
+
+DelayGradientController::DelayGradientController(const FactoryContext& ctx,
+                                                 DelayGradientOptions opt)
+    : mss_(ctx.mss), opt_(opt), rate_bps_(opt.initial_rate_bps),
+      threshold_ms_(opt.initial_threshold_ms) {
+    state_.rto = ctx.initial_rto;
+    state_.pacing_rate_bps = rate_bps_;
+    refresh_cwnd();
+}
+
+void DelayGradientController::refresh_cwnd() {
+    // Allow a little more than one BDP in flight so pacing, not the
+    // window, is the steady-state limiter.
+    const double rtt_s =
+        std::max(sim::to_seconds(min_rtt()), srtt_ms_ > 0 ? srtt_ms_ / 1e3 : 0.05);
+    const double bdp = rate_bps_ * rtt_s / 8.0;
+    state_.cwnd_bytes =
+        static_cast<std::size_t>(bdp * opt_.cwnd_gain) + 3 * mss_;
+    state_.pacing_rate_bps = rate_bps_;
+}
+
+void DelayGradientController::handle_rtt(sim::Duration rtt, sim::TimePoint) {
+    const double ms = sim::to_milliseconds(rtt);
+    if (srtt_ms_ == 0.0) {
+        srtt_ms_ = ms;
+        rttvar_ms_ = ms / 2.0;
+    } else {
+        rttvar_ms_ += 0.25 * (std::abs(srtt_ms_ - ms) - rttvar_ms_);
+        srtt_ms_ += 0.125 * (ms - srtt_ms_);
+    }
+    const double rto_ms = srtt_ms_ + 4.0 * std::max(rttvar_ms_, 1.0);
+    state_.rto = std::clamp(
+        static_cast<sim::Duration>(rto_ms * 1e6), kMinRto, kMaxRto);
+}
+
+void DelayGradientController::handle_ack(const AckSample& s) {
+    if (s.delivery_rate_bps > 0.0) {
+        recent_delivery_bps_ = recent_delivery_bps_ == 0.0
+                                   ? s.delivery_rate_bps
+                                   : 0.8 * recent_delivery_bps_ + 0.2 * s.delivery_rate_bps;
+    }
+    if (s.send_time == 0) return;  // Karn-excluded: no timestamp pair
+
+    if (!have_prev_) {
+        have_prev_ = true;
+        prev_send_ = s.send_time;
+        prev_recv_ = s.recv_time;
+        window_epoch_ = s.recv_time;
+        return;
+    }
+    // Inter-arrival delay variation: how much more this segment queued
+    // than the previous one.
+    const double d_ms = sim::to_milliseconds((s.recv_time - prev_recv_) -
+                                             (s.send_time - prev_send_));
+    prev_send_ = s.send_time;
+    prev_recv_ = s.recv_time;
+
+    accum_delay_ms_ += d_ms;
+    smoothed_delay_ms_ = 0.9 * smoothed_delay_ms_ + 0.1 * accum_delay_ms_;
+    samples_.emplace_back(sim::to_milliseconds(s.recv_time - window_epoch_),
+                          smoothed_delay_ms_);
+    while (samples_.size() > opt_.window) samples_.pop_front();
+    if (samples_.size() < 4) return;
+
+    // Least-squares slope of smoothed delay over arrival time.
+    double mx = 0, my = 0;
+    for (const auto& [x, y] : samples_) {
+        mx += x;
+        my += y;
+    }
+    mx /= static_cast<double>(samples_.size());
+    my /= static_cast<double>(samples_.size());
+    double num = 0, den = 0;
+    for (const auto& [x, y] : samples_) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    const double slope = den > 0 ? num / den : 0.0;
+    const double trend =
+        slope * static_cast<double>(samples_.size()) * opt_.threshold_gain;
+    last_trend_ms_ = trend;
+
+    // Adaptive threshold (goog_cc): track |trend| slowly upward, fast
+    // downward, so a persistent small offset doesn't desensitize the
+    // detector.
+    const double k = std::abs(trend) > threshold_ms_ ? 0.01 : 0.004;
+    threshold_ms_ += k * (std::abs(trend) - threshold_ms_);
+    threshold_ms_ = std::clamp(threshold_ms_, 3.0, 60.0);
+
+    Signal next = Signal::Normal;
+    if (trend > threshold_ms_) {
+        if (overuse_since_ == 0) overuse_since_ = s.recv_time;
+        if (s.recv_time - overuse_since_ >= opt_.overuse_time) next = Signal::Overuse;
+    } else {
+        overuse_since_ = 0;
+        if (trend < -threshold_ms_) next = Signal::Underuse;
+    }
+    signal_ = next;
+    update_rate(s.recv_time);
+}
+
+void DelayGradientController::update_rate(sim::TimePoint now) {
+    switch (signal_) {
+        case Signal::Overuse: {
+            // Back off toward what the path actually delivered; rate-limit
+            // backoffs to one per smoothed RTT so a single deep queue
+            // doesn't collapse the rate to the floor.
+            const sim::Duration spacing =
+                std::max<sim::Duration>(sim::milliseconds(static_cast<std::int64_t>(srtt_ms_)),
+                                        sim::milliseconds(50));
+            if (now - last_backoff_ < spacing) return;
+            last_backoff_ = now;
+            const double target = recent_delivery_bps_ > 0 ? recent_delivery_bps_ : rate_bps_;
+            const double next = std::max(opt_.min_rate_bps, opt_.beta * target);
+            if (next < rate_bps_) {
+                rate_bps_ = next;
+                push_transition("overuse-backoff", rate_detail(rate_bps_));
+            }
+            // Restart the trendline: the backoff changes the process the
+            // window was fitted to.
+            samples_.clear();
+            accum_delay_ms_ = 0;
+            smoothed_delay_ms_ = 0;
+            overuse_since_ = 0;
+            break;
+        }
+        case Signal::Underuse:
+            // Queues are draining; hold and let them empty.
+            break;
+        case Signal::Normal: {
+            const sim::Duration interval =
+                std::max<sim::Duration>(sim::milliseconds(static_cast<std::int64_t>(srtt_ms_)),
+                                        sim::milliseconds(20));
+            if (now - last_update_ < interval) return;
+            last_update_ = now;
+            rate_bps_ = std::min(opt_.max_rate_bps, rate_bps_ * opt_.eta);
+            break;
+        }
+    }
+    refresh_cwnd();
+}
+
+void DelayGradientController::handle_loss(const LossSample& s) {
+    // An RTO under a delay-based controller usually means the path went
+    // away (handoff gap) rather than overflow; halve once per event.
+    rate_bps_ = std::max(opt_.min_rate_bps, rate_bps_ * 0.5);
+    push_transition("rto-backoff",
+                    rate_detail(rate_bps_) + " timeouts=" +
+                        std::to_string(s.consecutive_timeouts));
+    refresh_cwnd();
+}
+
+void DelayGradientController::handle_route_change(sim::TimePoint) {
+    have_prev_ = false;
+    samples_.clear();
+    accum_delay_ms_ = 0;
+    smoothed_delay_ms_ = 0;
+    overuse_since_ = 0;
+    signal_ = Signal::Normal;
+    threshold_ms_ = opt_.initial_threshold_ms;
+    // The RTT step on the new path must not fire the retransmission
+    // timer before a fresh sample arrives: widen the variance term the
+    // way a fresh connection would start.
+    if (srtt_ms_ > 0) {
+        rttvar_ms_ = std::max(rttvar_ms_, srtt_ms_);
+        const double rto_ms = srtt_ms_ + 4.0 * std::max(rttvar_ms_, 1.0);
+        state_.rto = std::clamp(
+            static_cast<sim::Duration>(rto_ms * 1e6), kMinRto, kMaxRto);
+    }
+    push_transition("route-change-reset", rate_detail(rate_bps_));
+}
+
+Factory delay_gradient_factory(DelayGradientOptions opt) {
+    return [opt](const FactoryContext& ctx) {
+        return std::make_unique<DelayGradientController>(ctx, opt);
+    };
+}
+
+Factory delay_gradient_factory() { return delay_gradient_factory(DelayGradientOptions{}); }
+
+}  // namespace mip::transport::cc

@@ -1,0 +1,96 @@
+// Delay-gradient controller (ISSUE 10): the structure of WebRTC's
+// goog_cc ported to this transport's ack stream. An inter-arrival
+// estimator turns each (send_time, recv_time) pair into a one-way delay
+// variation sample; a least-squares trendline over the recent samples
+// estimates the queue-growth slope; an adaptive-threshold overuse
+// detector turns a sustained positive slope into a multiplicative rate
+// backoff *before* the queue grows deep enough to cost latency — which is
+// exactly what the abl_cc_handoff congested rows measure against the
+// loss-rate controller.
+//
+// Handoffs: a route change discards the estimator history and delay
+// floor. The old path's inter-arrival baseline is meaningless on the new
+// path, and feeding the RTT step into the trendline would read as a
+// (spurious) overuse; the regression test in test_cc.cpp pins this.
+#pragma once
+
+#include <deque>
+
+#include "transport/cc/controller.h"
+
+namespace mip::transport::cc {
+
+struct DelayGradientOptions {
+    double initial_rate_bps = 600e3;
+    double min_rate_bps = 80e3;
+    double max_rate_bps = 100e6;
+    /// Trendline window (delay-variation samples).
+    std::size_t window = 20;
+    /// Gain applied to the raw slope before the threshold compare.
+    double threshold_gain = 4.0;
+    /// Initial adaptive threshold, in ms of modified trend.
+    double initial_threshold_ms = 12.5;
+    /// Multiplicative increase per update interval while the path is calm.
+    double eta = 1.08;
+    /// Backoff factor applied to the measured delivery rate on overuse.
+    double beta = 0.85;
+    /// Overuse must persist this long before the detector fires.
+    sim::Duration overuse_time = sim::milliseconds(10);
+    /// cwnd = pacing_rate * rtt * this slack factor (plus a few mss).
+    double cwnd_gain = 1.25;
+};
+
+class DelayGradientController final : public CongestionController {
+public:
+    DelayGradientController(const FactoryContext& ctx, DelayGradientOptions opt = {});
+
+    const char* name() const override { return "delay-gradient"; }
+
+    /// Detector state, exposed for the unit tests.
+    enum class Signal { Normal, Overuse, Underuse };
+    Signal signal() const noexcept { return signal_; }
+    double trend_ms() const noexcept { return last_trend_ms_; }
+    double threshold_ms() const noexcept { return threshold_ms_; }
+
+protected:
+    void handle_ack(const AckSample& s) override;
+    void handle_loss(const LossSample& s) override;
+    void handle_rtt(sim::Duration rtt, sim::TimePoint now) override;
+    void handle_route_change(sim::TimePoint now) override;
+
+private:
+    void update_rate(sim::TimePoint now);
+    void refresh_cwnd();
+
+    std::size_t mss_;
+    DelayGradientOptions opt_;
+    double rate_bps_;
+
+    // Inter-arrival estimator: previous ack's (send, recv) pair and the
+    // accumulated/smoothed delay variation.
+    bool have_prev_ = false;
+    sim::TimePoint prev_send_ = 0;
+    sim::TimePoint prev_recv_ = 0;
+    double accum_delay_ms_ = 0.0;
+    double smoothed_delay_ms_ = 0.0;
+
+    /// (arrival ms since first sample in window, smoothed delay ms).
+    std::deque<std::pair<double, double>> samples_;
+    sim::TimePoint window_epoch_ = 0;
+
+    double threshold_ms_;
+    double last_trend_ms_ = 0.0;
+    Signal signal_ = Signal::Normal;
+    sim::TimePoint overuse_since_ = 0;   ///< first sample of the current run
+    sim::TimePoint last_update_ = 0;     ///< last rate increase
+    sim::TimePoint last_backoff_ = 0;
+    double recent_delivery_bps_ = 0.0;   ///< EMA of delivery-rate samples
+
+    // Jacobson RTT estimation for the adaptive RTO.
+    double srtt_ms_ = 0.0;
+    double rttvar_ms_ = 0.0;
+};
+
+Factory delay_gradient_factory(DelayGradientOptions opt);
+
+}  // namespace mip::transport::cc

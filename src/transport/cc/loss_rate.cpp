@@ -1,0 +1,152 @@
+#include "transport/cc/loss_rate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mip::transport::cc {
+
+namespace {
+
+constexpr sim::Duration kMinRto = sim::milliseconds(150);
+constexpr sim::Duration kMaxRto = sim::seconds(8);
+
+std::string bw_detail(double bps, double loss) {
+    char buf[80];
+    std::snprintf(buf, sizeof buf, "bw=%.0fkbps loss=%.1f%%", bps / 1e3, loss * 100.0);
+    return buf;
+}
+
+}  // namespace
+
+LossRateController::LossRateController(const FactoryContext& ctx, LossRateOptions opt)
+    : mss_(ctx.mss), opt_(opt) {
+    state_.rto = ctx.initial_rto;
+    state_.pacing_rate_bps = opt_.initial_rate_bps;
+    state_.cwnd_bytes = 10 * mss_;
+}
+
+double LossRateController::loss_rate() const noexcept {
+    if (loss_events_.empty()) return 0.0;
+    std::size_t losses = 0;
+    for (const auto& [when, was_loss] : loss_events_) {
+        if (was_loss) ++losses;
+    }
+    return static_cast<double>(losses) / static_cast<double>(loss_events_.size());
+}
+
+void LossRateController::trim_loss_window(sim::TimePoint now) {
+    while (!loss_events_.empty() && now - loss_events_.front().first > opt_.loss_window) {
+        loss_events_.pop_front();
+    }
+}
+
+void LossRateController::handle_rtt(sim::Duration rtt, sim::TimePoint) {
+    const double ms = sim::to_milliseconds(rtt);
+    if (srtt_ms_ == 0.0) {
+        srtt_ms_ = ms;
+        rttvar_ms_ = ms / 2.0;
+    } else {
+        rttvar_ms_ += 0.25 * (std::abs(srtt_ms_ - ms) - rttvar_ms_);
+        srtt_ms_ += 0.125 * (ms - srtt_ms_);
+    }
+    const double rto_ms = srtt_ms_ + 4.0 * std::max(rttvar_ms_, 1.0);
+    state_.rto = std::clamp(
+        static_cast<sim::Duration>(rto_ms * 1e6), kMinRto, kMaxRto);
+}
+
+void LossRateController::handle_ack(const AckSample& s) {
+    loss_events_.emplace_back(s.recv_time, false);
+    trim_loss_window(s.recv_time);
+    if (s.delivery_rate_bps > 0.0) {
+        bw_samples_.emplace_back(s.recv_time, s.delivery_rate_bps);
+        while (!bw_samples_.empty() &&
+               s.recv_time - bw_samples_.front().first > opt_.bw_window) {
+            bw_samples_.pop_front();
+        }
+        double mx = 0.0;
+        for (const auto& [when, rate] : bw_samples_) mx = std::max(mx, rate);
+        max_bw_bps_ = mx;
+    }
+    refresh(s.recv_time);
+}
+
+void LossRateController::refresh(sim::TimePoint now) {
+    // One gain decision per smoothed RTT.
+    const sim::Duration interval =
+        std::max<sim::Duration>(sim::milliseconds(static_cast<std::int64_t>(srtt_ms_)),
+                                sim::milliseconds(20));
+    if (now - last_update_ < interval) return;
+    last_update_ = now;
+    ++update_count_;
+
+    const double bw = max_bw_bps_ > 0 ? max_bw_bps_ : opt_.initial_rate_bps;
+    const double lr = loss_rate();
+    const bool lossy = lr > opt_.loss_threshold;
+    if (lossy != lossy_) {
+        lossy_ = lossy;
+        if (lossy) push_transition("loss-dampen", bw_detail(bw, lr));
+    }
+
+    double gain = 1.0;
+    if (lossy) {
+        gain = opt_.loss_gain;
+    } else if (update_count_ % opt_.probe_period == 0) {
+        gain = opt_.probe_gain;
+    }
+    state_.pacing_rate_bps =
+        std::clamp(gain * bw, opt_.min_rate_bps, opt_.max_rate_bps);
+
+    const double rtt_s =
+        std::max(sim::to_seconds(min_rtt()), srtt_ms_ > 0 ? srtt_ms_ / 1e3 : 0.05);
+    const double bdp = bw * rtt_s / 8.0;
+    state_.cwnd_bytes =
+        std::max<std::size_t>(static_cast<std::size_t>(bdp * opt_.cwnd_gain), 4 * mss_);
+}
+
+void LossRateController::handle_loss(const LossSample& s) {
+    // The windowed filter sees the loss; the estimate itself also backs
+    // off — an RTO means the pipe estimate was wrong, wireless or not.
+    // (On GE burst loss this is the controller being *wrong*, and the
+    // point of the ablation's wireless rows.)
+    if (s.at > 0) {
+        loss_events_.emplace_back(s.at, true);
+        trim_loss_window(s.at);
+    }
+    if (max_bw_bps_ > 0) {
+        max_bw_bps_ = std::max(opt_.min_rate_bps, max_bw_bps_ * opt_.rto_beta);
+        for (auto& [when, rate] : bw_samples_) rate = std::min(rate, max_bw_bps_);
+    }
+    state_.pacing_rate_bps =
+        std::max(opt_.min_rate_bps,
+                 std::min(state_.pacing_rate_bps, max_bw_bps_ > 0 ? max_bw_bps_
+                                                                  : opt_.initial_rate_bps));
+    push_transition("rto-backoff",
+                    bw_detail(max_bw_bps_, loss_rate()) + " timeouts=" +
+                        std::to_string(s.consecutive_timeouts));
+}
+
+void LossRateController::handle_route_change(sim::TimePoint) {
+    bw_samples_.clear();
+    loss_events_.clear();
+    lossy_ = false;
+    // Keep the last bandwidth estimate as a starting point but widen the
+    // RTO the way a fresh path deserves.
+    if (srtt_ms_ > 0) {
+        rttvar_ms_ = std::max(rttvar_ms_, srtt_ms_);
+        const double rto_ms = srtt_ms_ + 4.0 * std::max(rttvar_ms_, 1.0);
+        state_.rto = std::clamp(
+            static_cast<sim::Duration>(rto_ms * 1e6), kMinRto, kMaxRto);
+    }
+    push_transition("route-change-reset", bw_detail(max_bw_bps_, 0.0));
+}
+
+Factory loss_rate_factory(LossRateOptions opt) {
+    return [opt](const FactoryContext& ctx) {
+        return std::make_unique<LossRateController>(ctx, opt);
+    };
+}
+
+Factory loss_rate_factory() { return loss_rate_factory(LossRateOptions{}); }
+
+}  // namespace mip::transport::cc

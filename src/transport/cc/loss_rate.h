@@ -1,0 +1,83 @@
+// Loss/delivery-rate controller (ISSUE 10): BBR's skeleton — a windowed
+// max filter over delivery-rate samples estimates the bottleneck
+// bandwidth; pacing runs at that estimate with a small periodic probe;
+// the congestion window is a multiple of the estimated BDP. Loss feeds in
+// two ways: a windowed loss-rate filter dampens the pacing gain when
+// losses are frequent, and a retransmission timeout backs the bandwidth
+// estimate off multiplicatively.
+//
+// Because it ignores delay entirely, this controller keeps a standing
+// queue at the bottleneck (cwnd_gain x BDP of it) — the congested rows of
+// abl_cc_handoff show it paying ~2x the p95 queueing delay of the
+// delay-gradient controller — and it mistakes Gilbert-Elliott wireless
+// burst loss for congestion, which the GE-vs-queue-loss unit test pins.
+#pragma once
+
+#include <deque>
+
+#include "transport/cc/controller.h"
+
+namespace mip::transport::cc {
+
+struct LossRateOptions {
+    double initial_rate_bps = 600e3;
+    double min_rate_bps = 80e3;
+    double max_rate_bps = 100e6;
+    /// Max-filter window over delivery-rate samples.
+    sim::Duration bw_window = sim::seconds(2);
+    /// Loss-rate filter window (acks and losses).
+    sim::Duration loss_window = sim::seconds(1);
+    /// Loss rate above which the pacing gain is reduced.
+    double loss_threshold = 0.10;
+    /// Pacing gain while probing (every probe_period-th update) and the
+    /// dampened gain under heavy loss.
+    double probe_gain = 1.25;
+    double loss_gain = 0.7;
+    /// Updates between bandwidth probes.
+    unsigned probe_period = 8;
+    /// cwnd = cwnd_gain x estimated BDP.
+    double cwnd_gain = 2.0;
+    /// Bandwidth-estimate backoff on a retransmission timeout.
+    double rto_beta = 0.7;
+};
+
+class LossRateController final : public CongestionController {
+public:
+    LossRateController(const FactoryContext& ctx, LossRateOptions opt = {});
+
+    const char* name() const override { return "loss-rate"; }
+
+    double max_bandwidth_bps() const noexcept { return max_bw_bps_; }
+    double loss_rate() const noexcept;
+
+protected:
+    void handle_ack(const AckSample& s) override;
+    void handle_loss(const LossSample& s) override;
+    void handle_rtt(sim::Duration rtt, sim::TimePoint now) override;
+    void handle_route_change(sim::TimePoint now) override;
+
+private:
+    void refresh(sim::TimePoint now);
+    void trim_loss_window(sim::TimePoint now);
+
+    std::size_t mss_;
+    LossRateOptions opt_;
+
+    /// (sample time, delivery rate) — max over the window is the estimate.
+    std::deque<std::pair<sim::TimePoint, double>> bw_samples_;
+    double max_bw_bps_ = 0.0;
+
+    /// (event time, was_loss) for the loss-rate filter.
+    std::deque<std::pair<sim::TimePoint, bool>> loss_events_;
+    bool lossy_ = false;  ///< last refresh crossed loss_threshold
+
+    unsigned update_count_ = 0;
+    sim::TimePoint last_update_ = 0;
+
+    double srtt_ms_ = 0.0;
+    double rttvar_ms_ = 0.0;
+};
+
+Factory loss_rate_factory(LossRateOptions opt);
+
+}  // namespace mip::transport::cc

@@ -1,0 +1,54 @@
+// Segment release pacing (ISSUE 10): instead of bursting every segment
+// the window allows in one simulator timestamp, a paced connection
+// releases them on a token-time schedule at the controller's pacing
+// rate. PacedSender is pure policy — it computes *when* the next segment
+// may go; the owning TcpConnection schedules the actual release through
+// the Simulator event queue ("tcp-pace" events), keeping this class
+// trivially unit-testable and the determinism contract intact.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace mip::transport::cc {
+
+class PacedSender {
+public:
+    /// How far the release schedule may lag behind `now` before the debt
+    /// is forgiven — permits a small catch-up burst after an idle period
+    /// instead of an artificial post-idle rate spike.
+    static constexpr sim::Duration kMaxBurstDebt = sim::milliseconds(5);
+
+    void set_rate(double bps) noexcept { rate_bps_ = bps; }
+    double rate() const noexcept { return rate_bps_; }
+    bool enabled() const noexcept { return rate_bps_ > 0.0; }
+
+    /// May a segment be released at @p now?
+    bool can_send(sim::TimePoint now) const noexcept {
+        return !enabled() || next_release_ <= now;
+    }
+
+    /// Earliest time the next segment may be released.
+    sim::TimePoint next_release() const noexcept { return next_release_; }
+
+    /// Accounts a released segment of @p bytes at @p now, advancing the
+    /// schedule by its serialization time at the pacing rate.
+    void on_sent(std::size_t bytes, sim::TimePoint now) noexcept {
+        if (!enabled()) return;
+        const sim::TimePoint base =
+            next_release_ < now - kMaxBurstDebt ? now - kMaxBurstDebt : next_release_;
+        const auto serialize_ns = static_cast<sim::Duration>(
+            static_cast<double>(bytes) * 8.0 * 1e9 / rate_bps_);
+        next_release_ = base + serialize_ns;
+    }
+
+    /// Forgives accumulated debt (e.g. after a handoff gap).
+    void reset(sim::TimePoint now) noexcept { next_release_ = now; }
+
+private:
+    double rate_bps_ = 0.0;
+    sim::TimePoint next_release_ = 0;
+};
+
+}  // namespace mip::transport::cc

@@ -1,0 +1,22 @@
+// The pre-ISSUE-10 transport behaviour as a CongestionController: a fixed
+// RTO, no congestion window, no pacing. This is the default controller —
+// a connection driving it produces a bit-identical event stream to the
+// seed transport (bench/golden/cc_static.txt pins this), so every golden
+// artifact in the repo survives the refactor.
+#pragma once
+
+#include "transport/cc/controller.h"
+
+namespace mip::transport::cc {
+
+class StaticController final : public CongestionController {
+public:
+    explicit StaticController(sim::Duration rto) {
+        state_.rto = rto;
+        // cwnd stays "unlimited", pacing stays off: ControlState defaults.
+    }
+
+    const char* name() const override { return "static"; }
+};
+
+}  // namespace mip::transport::cc

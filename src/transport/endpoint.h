@@ -1,0 +1,39 @@
+// The one endpoint shape every transport receive callback speaks (ISSUE
+// 10 satellite): TcpConnection, UdpSocket and Pinger used to hand their
+// consumers three different argument lists; they now all deliver
+// (payload-first, RxMeta-second) with the peer and the packet's journey
+// id in the same place.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4_address.h"
+
+namespace mip::transport {
+
+/// An (address, port) pair. Port 0 means "not applicable" (e.g. ICMP).
+struct Endpoint {
+    net::Ipv4Address addr;
+    std::uint16_t port = 0;
+
+    auto operator<=>(const Endpoint&) const = default;
+    std::string to_string() const {
+        return addr.to_string() + ":" + std::to_string(port);
+    }
+};
+
+/// Delivery metadata passed to every transport receive callback.
+struct RxMeta {
+    /// Who sent it (the remote endpoint as seen in the packet).
+    Endpoint peer;
+    /// The destination address the packet actually carried — which of this
+    /// host's addresses was used (a mobile host owns several).
+    net::Ipv4Address local_addr;
+    /// Trace journey id of the delivering datagram (0 = untraced /
+    /// unknown, e.g. a locally synthesized timeout).
+    std::uint64_t journey = 0;
+};
+
+}  // namespace mip::transport

@@ -24,23 +24,40 @@ void Pinger::ping(net::Ipv4Address dst, Callback cb, sim::Duration timeout,
     Outstanding out;
     out.sent_at = ip_.simulator().now();
     out.callback = std::move(cb);
+    out.dst = dst;
+    out.payload_size = payload_size;
     out.timeout_event = ip_.simulator().schedule_in(
         timeout,
         [this, seq] {
             auto it = outstanding_.find(seq);
             if (it == outstanding_.end()) return;
             auto callback = std::move(it->second.callback);
+            const RxMeta meta{Endpoint{it->second.dst, 0}, {}, 0};
+            if (feedback_ != nullptr) {
+                cc::LossSample loss;
+                loss.bytes = it->second.payload_size;
+                loss.consecutive_timeouts = 1;
+                loss.at = ip_.simulator().now();
+                feedback_->on_loss(loss);
+            }
             outstanding_.erase(it);
-            callback(std::nullopt);
+            callback(std::nullopt, meta);
         },
         "ping-timeout");
     outstanding_[seq] = std::move(out);
     ++sent_;
 
+    if (feedback_ != nullptr) {
+        cc::SentSample sample;
+        sample.bytes = payload_size;
+        sample.sent_at = ip_.simulator().now();
+        feedback_->on_packet_sent(sample);
+    }
+
     ip_.send_icmp(dst, msg, src);
 }
 
-void Pinger::on_icmp(const net::IcmpMessage& msg, const net::Packet&) {
+void Pinger::on_icmp(const net::IcmpMessage& msg, const net::Packet& packet) {
     if (msg.type != net::IcmpType::EchoReply) return;
     const std::uint16_t ident = static_cast<std::uint16_t>(msg.rest_of_header >> 16);
     const std::uint16_t seq = static_cast<std::uint16_t>(msg.rest_of_header & 0xffff);
@@ -50,9 +67,13 @@ void Pinger::on_icmp(const net::IcmpMessage& msg, const net::Packet&) {
     ip_.simulator().cancel(it->second.timeout_event);
     const sim::Duration rtt = ip_.simulator().now() - it->second.sent_at;
     auto callback = std::move(it->second.callback);
+    const RxMeta meta{Endpoint{packet.header().src, 0}, packet.header().dst, packet.journey()};
     outstanding_.erase(it);
     ++received_;
-    callback(rtt);
+    if (feedback_ != nullptr) {
+        feedback_->on_rtt_sample(rtt, ip_.simulator().now());
+    }
+    callback(rtt, meta);
 }
 
 }  // namespace mip::transport

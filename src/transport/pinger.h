@@ -9,13 +9,18 @@
 #include <optional>
 
 #include "stack/ip_stack.h"
+#include "transport/cc/controller.h"
+#include "transport/endpoint.h"
 
 namespace mip::transport {
 
 class Pinger {
 public:
-    /// Called with the round-trip time, or nullopt on timeout.
-    using Callback = std::function<void(std::optional<sim::Duration> rtt)>;
+    /// Called with the round-trip time (nullopt on timeout) and the
+    /// unified delivery metadata (transport/endpoint.h): meta.peer is the
+    /// echo target (port 0), meta.local_addr/journey describe the reply
+    /// datagram — both unset on timeout.
+    using Callback = std::function<void(std::optional<sim::Duration> rtt, const RxMeta& meta)>;
 
     explicit Pinger(stack::IpStack& ip);
 
@@ -26,6 +31,12 @@ public:
               sim::Duration timeout = sim::seconds(2), std::size_t payload_size = 56,
               net::Ipv4Address src = {});
 
+    /// Optional congestion-feedback tap (ISSUE 10): when set, replies feed
+    /// the controller RTT samples and timeouts feed it loss samples — an
+    /// out-of-band probe stream for a controller whose connection idles.
+    /// The caller owns the controller's lifetime.
+    void set_feedback(cc::CongestionController* cc) noexcept { feedback_ = cc; }
+
     std::size_t sent() const noexcept { return sent_; }
     std::size_t received() const noexcept { return received_; }
 
@@ -34,6 +45,8 @@ private:
         sim::TimePoint sent_at;
         Callback callback;
         sim::EventId timeout_event;
+        net::Ipv4Address dst;
+        std::size_t payload_size = 0;
     };
 
     void on_icmp(const net::IcmpMessage& msg, const net::Packet& packet);
@@ -44,6 +57,7 @@ private:
     std::map<std::uint16_t, Outstanding> outstanding_;  ///< keyed by sequence
     std::size_t sent_ = 0;
     std::size_t received_ = 0;
+    cc::CongestionController* feedback_ = nullptr;
 };
 
 }  // namespace mip::transport

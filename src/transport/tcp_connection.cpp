@@ -1,6 +1,9 @@
 #include "transport/tcp_connection.h"
 
+#include <algorithm>
+
 #include "net/packet.h"
+#include "net/pool.h"
 #include "transport/tcp_service.h"
 
 namespace mip::transport {
@@ -25,12 +28,16 @@ std::string to_string(TcpState s) {
     return "?";
 }
 
-TcpConnection::TcpConnection(TcpService& service, TcpEndpoints endpoints, TcpConfig config,
+TcpConnection::TcpConnection(TcpService& service, TcpEndpoints endpoints, const Config& config,
                              bool active)
     : service_(service),
       endpoints_(endpoints),
       config_(config),
       state_(active ? TcpState::SynSent : TcpState::SynReceived) {
+    const cc::FactoryContext ctx{config_.mss, config_.rto};
+    cc_ = config_.controller ? config_.controller(ctx)
+                             : cc::static_factory()(ctx);
+    pacer_.set_rate(cc_->state().pacing_rate_bps);
     snd_una_ = config_.initial_seq;
     snd_nxt_ = config_.initial_seq;
     snd_base_ = config_.initial_seq + 1;  // SYN consumes one sequence number
@@ -41,6 +48,7 @@ void TcpConnection::enter(TcpState next) {
     state_ = next;
     if (!alive()) {
         cancel_timer();
+        cancel_pace_timer();
     }
     if (on_state_) on_state_(next);
 }
@@ -55,7 +63,7 @@ void TcpConnection::start_active_open() {
     arm_timer();
 }
 
-void TcpConnection::send(std::vector<std::uint8_t> data) {
+void TcpConnection::send(std::span<const std::uint8_t> data) {
     if (!alive() || fin_queued_) {
         return;  // sending after close() is a programming error; drop quietly
     }
@@ -64,6 +72,11 @@ void TcpConnection::send(std::vector<std::uint8_t> data) {
     if (state_ == TcpState::Established || state_ == TcpState::CloseWait) {
         pump();
     }
+}
+
+void TcpConnection::send(std::vector<std::uint8_t> data) {
+    send(std::span<const std::uint8_t>(data));
+    service_.ip().simulator().buffer_pool().release(std::move(data));
 }
 
 void TcpConnection::close() {
@@ -81,14 +94,30 @@ void TcpConnection::abort() {
 }
 
 void TcpConnection::pump() {
-    // Transmit all queued data not yet sent (no congestion/flow control).
+    // Transmit queued data as far as the congestion window and the pacer
+    // allow. The default StaticController publishes an unlimited window
+    // and no pacing rate, so this degenerates to the historical
+    // "transmit everything immediately" loop.
     while (snd_nxt_ < snd_base_ + sendbuf_.size()) {
         const std::uint32_t offset = snd_nxt_ - snd_base_;
         const std::size_t n =
             std::min<std::size_t>(config_.mss, sendbuf_.size() - offset);
-        std::vector<std::uint8_t> chunk(sendbuf_.begin() + offset,
-                                        sendbuf_.begin() + offset + static_cast<long>(n));
+        const std::size_t in_flight = snd_nxt_ - snd_una_;
+        if (in_flight + n > cc_->state().cwnd_bytes) break;
+        if (pacing_active()) {
+            const sim::TimePoint now = service_.ip().simulator().now();
+            if (!pacer_.can_send(now)) {
+                arm_pace_timer();
+                break;
+            }
+            pacer_.on_sent(n, now);
+        }
+        net::BufferPool& pool = service_.ip().simulator().buffer_pool();
+        std::vector<std::uint8_t> chunk = pool.acquire(n);
+        chunk.assign(sendbuf_.begin() + offset,
+                     sendbuf_.begin() + offset + static_cast<long>(n));
         send_segment(net::kTcpAck | net::kTcpPsh, snd_nxt_, chunk, false);
+        pool.release(std::move(chunk));
         snd_nxt_ += static_cast<std::uint32_t>(n);
     }
     if (fin_queued_ && !fin_sent_ && snd_nxt_ == snd_base_ + sendbuf_.size()) {
@@ -107,6 +136,29 @@ void TcpConnection::pump() {
     }
 }
 
+void TcpConnection::record_sent(std::uint32_t end_seq, std::size_t payload_bytes,
+                                bool retransmission) {
+    const sim::TimePoint now = service_.ip().simulator().now();
+    if (retransmission) {
+        // Karn's algorithm: a retransmitted range can never yield a clean
+        // RTT or timestamp sample — mark every record it covers.
+        for (SentRecord& rec : sent_records_) {
+            if (rec.end_seq > snd_una_ && rec.end_seq <= end_seq) {
+                rec.retransmitted = true;
+            }
+        }
+    } else {
+        sent_records_.push_back(
+            {end_seq, payload_bytes, now, false, delivered_bytes_});
+    }
+    cc::SentSample sample;
+    sample.bytes = payload_bytes;
+    sample.sent_at = now;
+    sample.retransmission = retransmission;
+    sample.in_flight_bytes = end_seq - snd_una_;
+    cc_->on_packet_sent(sample);
+}
+
 void TcpConnection::send_segment(std::uint8_t flags, std::uint32_t seq,
                                  std::span<const std::uint8_t> payload, bool retransmission) {
     net::TcpHeader seg;
@@ -118,7 +170,8 @@ void TcpConnection::send_segment(std::uint8_t flags, std::uint32_t seq,
         seg.ack = rcv_nxt_;
     }
 
-    net::BufferWriter w(net::kTcpHeaderSize + payload.size());
+    net::BufferPool& pool = service_.ip().simulator().buffer_pool();
+    net::BufferWriter w(pool.acquire(net::kTcpHeaderSize + payload.size()));
     seg.serialize(w, endpoints_.local_addr, endpoints_.remote_addr, payload);
 
     stack::FlowKey flow;
@@ -134,6 +187,11 @@ void TcpConnection::send_segment(std::uint8_t flags, std::uint32_t seq,
         ++stats_.retransmissions;
         service_.notify_retransmit(endpoints_, /*inbound=*/false);
     }
+    const std::uint32_t seq_consumed = static_cast<std::uint32_t>(payload.size()) +
+                                       ((flags & (net::kTcpSyn | net::kTcpFin)) ? 1u : 0u);
+    if (seq_consumed > 0) {
+        record_sent(seq + seq_consumed, payload.size(), retransmission);
+    }
 
     net::Packet packet = net::make_packet(endpoints_.local_addr, endpoints_.remote_addr,
                                           net::IpProto::Tcp, w.take());
@@ -146,7 +204,7 @@ void TcpConnection::send_ack() {
 
 void TcpConnection::arm_timer() {
     cancel_timer();
-    const sim::Duration timeout = config_.rto << std::min(backoff_, 16u);
+    const sim::Duration timeout = cc_->state().rto << std::min(backoff_, 16u);
     rto_timer_ = service_.ip().simulator().schedule_in(
         timeout,
         [this] {
@@ -164,15 +222,68 @@ void TcpConnection::cancel_timer() {
     }
 }
 
+void TcpConnection::arm_pace_timer() {
+    if (pace_timer_armed_) return;
+    pace_timer_ = service_.ip().simulator().schedule_at(
+        pacer_.next_release(),
+        [this] {
+            pace_timer_armed_ = false;
+            if (state_ == TcpState::Established || state_ == TcpState::CloseWait ||
+                state_ == TcpState::FinWait) {
+                pump();
+            }
+        },
+        "tcp-pace");
+    pace_timer_armed_ = true;
+}
+
+void TcpConnection::cancel_pace_timer() {
+    if (pace_timer_armed_) {
+        service_.ip().simulator().cancel(pace_timer_);
+        pace_timer_armed_ = false;
+    }
+}
+
+void TcpConnection::sync_controller_outputs() {
+    pacer_.set_rate(cc_->state().pacing_rate_bps);
+    for (cc::Transition& t : cc_->take_transitions()) {
+        service_.notify_cc_transition(endpoints_, cc_->name(), t);
+    }
+}
+
+void TcpConnection::notify_route_change() {
+    if (!alive()) return;
+    const sim::TimePoint now = service_.ip().simulator().now();
+    const sim::Duration rto_before = cc_->state().rto;
+    cc_->on_route_change(now);
+    pacer_.reset(now);
+    sync_controller_outputs();
+    // Re-arm a pending retransmission with the controller's widened RTO
+    // so the new path's RTT step doesn't fire a spurious timeout. Guarded
+    // on an actual rto change: the static controller never moves it, and
+    // its timer sequence must stay bit-identical to the seed transport.
+    if (cc_->state().rto != rto_before && timer_armed_ && snd_una_ < snd_nxt_) {
+        arm_timer();
+    }
+}
+
 void TcpConnection::on_timeout() {
     if (!alive() || snd_una_ == snd_nxt_) {
         return;  // everything acked in the meantime
     }
     ++backoff_;
     if (backoff_ > config_.max_retries) {
+        service_.notify_give_up(endpoints_, backoff_ - 1);
         enter(TcpState::Failed);
         return;
     }
+
+    cc::LossSample loss;
+    loss.bytes = std::min<std::size_t>(config_.mss, snd_nxt_ - snd_una_);
+    loss.consecutive_timeouts = backoff_;
+    loss.at = service_.ip().simulator().now();
+    cc_->on_loss(loss);
+    sync_controller_outputs();
 
     // Retransmit the oldest unacknowledged item.
     if (snd_una_ < snd_base_) {
@@ -186,18 +297,55 @@ void TcpConnection::on_timeout() {
         const std::uint32_t offset = snd_una_ - snd_base_;
         const std::size_t n =
             std::min<std::size_t>(config_.mss, sendbuf_.size() - offset);
-        std::vector<std::uint8_t> chunk(sendbuf_.begin() + offset,
-                                        sendbuf_.begin() + offset + static_cast<long>(n));
+        net::BufferPool& pool = service_.ip().simulator().buffer_pool();
+        std::vector<std::uint8_t> chunk = pool.acquire(n);
+        chunk.assign(sendbuf_.begin() + offset,
+                     sendbuf_.begin() + offset + static_cast<long>(n));
         send_segment(net::kTcpAck | net::kTcpPsh, snd_una_, chunk, true);
+        pool.release(std::move(chunk));
     } else if (fin_sent_) {
         send_segment(net::kTcpFin | net::kTcpAck, snd_una_, {}, true);
     }
     arm_timer();
 }
 
+void TcpConnection::process_ack_feedback(std::uint32_t ack, std::uint32_t acked_data) {
+    const sim::TimePoint now = service_.ip().simulator().now();
+    SentRecord newest{};
+    bool have_newest = false;
+    while (!sent_records_.empty() && sent_records_.front().end_seq <= ack) {
+        newest = sent_records_.front();
+        have_newest = true;
+        sent_records_.pop_front();
+    }
+    delivered_bytes_ += acked_data;
+
+    cc::AckSample sample;
+    sample.acked_bytes = acked_data;
+    sample.recv_time = now;
+    sample.delivered_bytes = delivered_bytes_;
+    if (have_newest && !newest.retransmitted) {
+        const sim::Duration rtt = now - newest.sent_at;
+        sample.send_time = newest.sent_at;
+        sample.rtt = rtt;
+        if (now > newest.sent_at) {
+            sample.delivery_rate_bps =
+                static_cast<double>(delivered_bytes_ - newest.delivered_at_send) * 8.0 *
+                1e9 / static_cast<double>(now - newest.sent_at);
+        }
+        ++stats_.rtt_samples;
+        cc_->on_rtt_sample(rtt, now);
+        service_.notify_rtt(endpoints_, rtt, rtt - cc_->min_rtt());
+    }
+    cc_->on_ack(sample);
+    sync_controller_outputs();
+}
+
 void TcpConnection::on_segment(const net::TcpHeader& seg,
-                               std::span<const std::uint8_t> payload) {
+                               std::span<const std::uint8_t> payload,
+                               std::uint64_t journey) {
     if (!alive()) return;
+    rx_journey_ = journey;
 
     if (seg.rst()) {
         enter(TcpState::Reset);
@@ -211,6 +359,7 @@ void TcpConnection::on_segment(const net::TcpHeader& seg,
             snd_una_ = seg.ack;
             backoff_ = 0;
             cancel_timer();
+            process_ack_feedback(seg.ack, 0);
             enter(TcpState::Established);
             service_.notify_progress(endpoints_);
             send_ack();
@@ -228,6 +377,7 @@ void TcpConnection::on_segment(const net::TcpHeader& seg,
             snd_una_ = seg.ack;
             backoff_ = 0;
             cancel_timer();
+            process_ack_feedback(seg.ack, 0);
             enter(TcpState::Established);
             // fall through: the ACK may carry data
         } else {
@@ -241,12 +391,14 @@ void TcpConnection::on_segment(const net::TcpHeader& seg,
         backoff_ = 0;
         service_.notify_progress(endpoints_);
         const std::uint32_t data_end = snd_base_ + static_cast<std::uint32_t>(sendbuf_.size());
+        std::uint32_t acked_data = 0;
         if (snd_una_ > snd_base_) {
-            const std::uint32_t acked_data = std::min(snd_una_, data_end) - snd_base_;
+            acked_data = std::min(snd_una_, data_end) - snd_base_;
             sendbuf_.erase(sendbuf_.begin(), sendbuf_.begin() + acked_data);
             snd_base_ += acked_data;
             stats_.bytes_acked += acked_data;
         }
+        process_ack_feedback(seg.ack, acked_data);
         if (snd_una_ == snd_nxt_) {
             cancel_timer();
             if (fin_sent_) {
@@ -258,6 +410,13 @@ void TcpConnection::on_segment(const net::TcpHeader& seg,
             }
         } else {
             arm_timer();
+        }
+        // The ack may have opened the congestion window: release what it
+        // admits. With the static controller everything admissible was
+        // already sent, so this is a no-op (and must stay one — the seed
+        // golden artifacts pin that event stream).
+        if (state_ == TcpState::Established || state_ == TcpState::CloseWait) {
+            pump();
         }
     }
 
@@ -273,7 +432,10 @@ void TcpConnection::on_segment(const net::TcpHeader& seg,
         if (!payload.empty()) {
             rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
             stats_.bytes_received += payload.size();
-            if (on_data_) on_data_(payload);
+            if (on_data_) {
+                const RxMeta meta{endpoints_.remote(), endpoints_.local_addr, rx_journey_};
+                on_data_(payload, meta);
+            }
         }
         if (has_fin) {
             rcv_nxt_ += 1;

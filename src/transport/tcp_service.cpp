@@ -4,7 +4,7 @@
 
 namespace mip::transport {
 
-TcpService::TcpService(stack::IpStack& ip, TcpConfig config) : ip_(ip), config_(config) {
+TcpService::TcpService(stack::IpStack& ip, Config config) : ip_(ip), config_(std::move(config)) {
     ip_.register_protocol(net::IpProto::Tcp,
                           [this](const net::Packet& p, std::size_t) { on_packet(p); });
 }
@@ -66,6 +66,46 @@ void TcpService::reap() {
     std::erase_if(connections_, [](const auto& kv) { return !kv.second->alive(); });
 }
 
+void TcpService::set_observability(std::string node, obs::MetricsRegistry* metrics,
+                                   obs::DecisionLog* decisions) {
+    obs_node_ = std::move(node);
+    metrics_ = metrics;
+    decisions_ = decisions;
+    if (metrics_ == nullptr) return;
+    // Create the audited counters eagerly so monitors can watch them from
+    // time zero, and publish the controller outputs as polled gauges.
+    metrics_->counter(obs_node_, "transport", "give_ups");
+    metrics_->register_gauge(obs_node_, "cc", "connections_alive", [this] {
+        double n = 0;
+        for (const auto& [ep, conn] : connections_) n += conn->alive() ? 1 : 0;
+        return n;
+    });
+    metrics_->register_gauge(obs_node_, "cc", "cwnd_bytes", [this] {
+        double total = 0;
+        for (const auto& [ep, conn] : connections_) {
+            if (!conn->alive()) continue;
+            const std::size_t cwnd = conn->controller().state().cwnd_bytes;
+            if (cwnd != std::numeric_limits<std::size_t>::max()) {
+                total += static_cast<double>(cwnd);
+            }
+        }
+        return total;
+    });
+    metrics_->register_gauge(obs_node_, "cc", "pacing_rate_bps", [this] {
+        double total = 0;
+        for (const auto& [ep, conn] : connections_) {
+            if (conn->alive()) total += conn->controller().state().pacing_rate_bps;
+        }
+        return total;
+    });
+}
+
+void TcpService::notify_route_change() {
+    for (auto& [ep, conn] : connections_) {
+        conn->notify_route_change();
+    }
+}
+
 void TcpService::notify_retransmit(const TcpEndpoints& ep, bool inbound) {
     if (retransmit_observer_) {
         retransmit_observer_(ep, inbound);
@@ -75,6 +115,53 @@ void TcpService::notify_retransmit(const TcpEndpoints& ep, bool inbound) {
 void TcpService::notify_progress(const TcpEndpoints& ep) {
     if (progress_observer_) {
         progress_observer_(ep);
+    }
+}
+
+void TcpService::notify_give_up(const TcpEndpoints& ep, unsigned retries) {
+    if (metrics_ != nullptr) {
+        metrics_->counter(obs_node_, "transport", "give_ups").add();
+    }
+    if (decisions_ != nullptr) {
+        obs::DecisionEvent ev;
+        ev.when = ip_.simulator().now();
+        ev.node = obs_node_;
+        ev.correspondent = ep.remote().to_string();
+        ev.trigger = "failure";
+        ev.test = "cc-give-up";
+        ev.input = "retries=" + std::to_string(retries);
+        ev.passed = false;
+        ev.detail = ep.to_string();
+        decisions_->record(std::move(ev));
+    }
+}
+
+void TcpService::notify_cc_transition(const TcpEndpoints& ep, const char* controller,
+                                      const cc::Transition& t) {
+    if (metrics_ != nullptr) {
+        metrics_->counter(obs_node_, "cc", t.kind).add();
+    }
+    if (decisions_ != nullptr) {
+        obs::DecisionEvent ev;
+        ev.when = ip_.simulator().now();
+        ev.node = obs_node_;
+        ev.correspondent = ep.remote().to_string();
+        ev.trigger = "cc";
+        ev.test = std::string("cc-") + t.kind;
+        ev.input = t.detail;
+        ev.passed = true;
+        ev.detail = controller;
+        decisions_->record(std::move(ev));
+    }
+}
+
+void TcpService::notify_rtt(const TcpEndpoints& ep, sim::Duration rtt, sim::Duration queue_delay) {
+    if (rtt_observer_) {
+        rtt_observer_(ep, rtt, queue_delay);
+    }
+    if (metrics_ != nullptr) {
+        metrics_->histogram(obs_node_, "cc", "queue_delay_ms")
+            .observe(sim::to_milliseconds(queue_delay));
     }
 }
 
@@ -110,7 +197,7 @@ void TcpService::on_packet(const net::Packet& packet) {
     ep.remote_port = seg.src_port;
 
     if (auto it = connections_.find(ep); it != connections_.end()) {
-        it->second->on_segment(seg, payload);
+        it->second->on_segment(seg, payload, packet.journey());
         return;
     }
 

@@ -4,7 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 
+#include "obs/decision.h"
+#include "obs/metrics.h"
 #include "stack/ip_stack.h"
 #include "transport/tcp_connection.h"
 
@@ -23,8 +26,14 @@ public:
     /// or new data acknowledged) — the positive counterpart of the
     /// retransmission signal, used to confirm a delivery method works.
     using ProgressObserver = std::function<void(const TcpEndpoints&)>;
+    /// Invoked for every clean (Karn-filtered) RTT sample with the sample
+    /// itself and its queueing component (sample minus the controller's
+    /// min-RTT estimate). Benches use this to compare standing queues
+    /// across congestion controllers.
+    using RttObserver =
+        std::function<void(const TcpEndpoints&, sim::Duration rtt, sim::Duration queue_delay)>;
 
-    explicit TcpService(stack::IpStack& ip, TcpConfig config = {});
+    explicit TcpService(stack::IpStack& ip, Config config = {});
     TcpService(const TcpService&) = delete;
     TcpService& operator=(const TcpService&) = delete;
 
@@ -39,6 +48,19 @@ public:
 
     void set_retransmit_observer(RetransmitObserver obs) { retransmit_observer_ = std::move(obs); }
     void set_progress_observer(ProgressObserver obs) { progress_observer_ = std::move(obs); }
+    void set_rtt_observer(RttObserver obs) { rtt_observer_ = std::move(obs); }
+
+    /// Attaches audit sinks for congestion-control decisions (cc-*
+    /// DecisionEvents, (node,"cc") counters/gauges, the transport give-up
+    /// counter). Deliberately opt-in — World never wires it — so runs that
+    /// pin metric snapshots byte-for-byte are unaffected. Either sink may
+    /// be null.
+    void set_observability(std::string node, obs::MetricsRegistry* metrics,
+                           obs::DecisionLog* decisions);
+
+    /// Signals every live connection that the path beneath it changed
+    /// (handoff or connectivity loss) — see TcpConnection::notify_route_change.
+    void notify_route_change();
 
     /// Destroys a dead connection's state (optional; the service also keeps
     /// finished connections around for inspection until cleared).
@@ -46,22 +68,33 @@ public:
 
     std::size_t connection_count() const noexcept { return connections_.size(); }
     stack::IpStack& ip() noexcept { return ip_; }
-    const TcpConfig& config() const noexcept { return config_; }
+    const Config& config() const noexcept { return config_; }
 
 private:
     friend class TcpConnection;
     void on_packet(const net::Packet& packet);
     void notify_retransmit(const TcpEndpoints& ep, bool inbound);
     void notify_progress(const TcpEndpoints& ep);
+    /// Audits a connection giving up (max_retries RTOs exhausted): a
+    /// "cc-give-up" DecisionEvent plus the (node,"transport","give_ups")
+    /// counter the chaos canary watches.
+    void notify_give_up(const TcpEndpoints& ep, unsigned retries);
+    void notify_cc_transition(const TcpEndpoints& ep, const char* controller,
+                              const cc::Transition& t);
+    void notify_rtt(const TcpEndpoints& ep, sim::Duration rtt, sim::Duration queue_delay);
     void send_rst(const net::Packet& packet, const net::TcpHeader& seg);
     std::uint16_t ephemeral_port();
 
     stack::IpStack& ip_;
-    TcpConfig config_;
+    Config config_;
     std::map<TcpEndpoints, std::unique_ptr<TcpConnection>> connections_;
     std::map<std::uint16_t, AcceptCallback> listeners_;
     RetransmitObserver retransmit_observer_;
     ProgressObserver progress_observer_;
+    RttObserver rtt_observer_;
+    std::string obs_node_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::DecisionLog* decisions_ = nullptr;
     std::uint16_t next_ephemeral_ = 40000;
 };
 

@@ -29,6 +29,14 @@ void UdpSocket::send_to(net::Ipv4Address dst, std::uint16_t dst_port,
     net::BufferWriter w(net::kUdpHeaderSize + data.size());
     udp.serialize(w, src, dst, data);
 
+    if (feedback_ != nullptr) {
+        cc::SentSample sample;
+        sample.bytes = data.size();
+        sample.sent_at = ip.simulator().now();
+        sample.retransmission = retransmission;
+        feedback_->on_packet_sent(sample);
+    }
+
     net::Packet packet = net::make_packet(src, dst, net::IpProto::Udp, w.take());
     ip.send(std::move(packet), flow);
 }
@@ -71,8 +79,9 @@ void UdpService::on_packet(const net::Packet& packet) {
     }
     const auto data = packet.payload().subspan(net::kUdpHeaderSize,
                                                udp.length - net::kUdpHeaderSize);
-    it->second->receiver_(data, UdpEndpoint{packet.header().src, udp.src_port},
-                          packet.header().dst);
+    const RxMeta meta{Endpoint{packet.header().src, udp.src_port}, packet.header().dst,
+                      packet.journey()};
+    it->second->receiver_(data, meta);
 }
 
 }  // namespace mip::transport

@@ -15,22 +15,24 @@
 #include <vector>
 
 #include "stack/ip_stack.h"
+#include "transport/cc/controller.h"
+#include "transport/endpoint.h"
 
 namespace mip::transport {
 
 class UdpService;
 
-struct UdpEndpoint {
-    net::Ipv4Address addr;
-    std::uint16_t port = 0;
-};
+/// Deprecated name for transport::Endpoint (pre-ISSUE-10). Will be
+/// removed next release.
+using UdpEndpoint = Endpoint;
 
 class UdpSocket {
 public:
-    /// data, source endpoint, and the *destination address the datagram
-    /// carried* (so services can see which of their addresses was used).
-    using Receiver = std::function<void(std::span<const std::uint8_t> data, UdpEndpoint from,
-                                        net::Ipv4Address local_dst)>;
+    /// Unified receive contract (transport/endpoint.h): payload first,
+    /// delivery metadata second. meta.peer is the sender, meta.local_addr
+    /// the *destination address the datagram carried* (so services can see
+    /// which of their addresses was used), meta.journey its trace journey.
+    using Receiver = std::function<void(std::span<const std::uint8_t> data, const RxMeta& meta)>;
 
     ~UdpSocket();
     UdpSocket(const UdpSocket&) = delete;
@@ -50,6 +52,12 @@ public:
     void send_to(net::Ipv4Address dst, std::uint16_t dst_port,
                  std::vector<std::uint8_t> data, bool retransmission = false);
 
+    /// Optional congestion-feedback tap (ISSUE 10): when set, every
+    /// datagram this socket sends is reported to the controller as a sent
+    /// sample. UDP has no acks, so this is send-side-only telemetry; the
+    /// caller owns the controller's lifetime.
+    void set_feedback(cc::CongestionController* cc) noexcept { feedback_ = cc; }
+
     std::uint16_t port() const noexcept { return port_; }
 
 private:
@@ -60,6 +68,7 @@ private:
     std::uint16_t port_;
     net::Ipv4Address bound_addr_;
     Receiver receiver_;
+    cc::CongestionController* feedback_ = nullptr;
 };
 
 class UdpService {

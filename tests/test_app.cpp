@@ -35,7 +35,7 @@ TEST(EchoApp, TcpEchoRoundTrip) {
     app::TcpEchoServer server(rig.tcp_b, 7);
     auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 7);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(bytes(2222));
     rig.sim.run_until(sim::seconds(10));
     EXPECT_EQ(echoed, 2222u);
@@ -52,8 +52,7 @@ TEST(EchoApp, UdpEchoRoundTrip) {
     app::UdpEchoServer server(rig.udp_b, 7);
     auto client = rig.udp_a.open();
     std::vector<std::uint8_t> got;
-    client->set_receiver([&](std::span<const std::uint8_t> d, transport::UdpEndpoint,
-                             net::Ipv4Address) { got.assign(d.begin(), d.end()); });
+    client->set_receiver([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { got.assign(d.begin(), d.end()); });
     client->send_to("10.0.0.2"_ip, 7, {5, 6, 7});
     rig.sim.run();
     EXPECT_EQ(got, (std::vector<std::uint8_t>{5, 6, 7}));
@@ -240,7 +239,7 @@ TEST(HttpApp, RequestSplitAcrossSegmentsIsReassembled) {
     // Speak the protocol by hand, splitting the request line mid-token.
     auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 80);
     std::string got;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) {
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) {
         got.append(reinterpret_cast<const char*>(d.data()), d.size());
     });
     conn.send({'G', 'E'});
@@ -257,7 +256,7 @@ TEST(HttpApp, GarbageRequestGets404) {
                            app::HttpServer::static_site({{"/x", bytes(8)}}));
     auto& conn = rig.tcp_a.connect("10.0.0.2"_ip, 80);
     std::string got;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) {
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) {
         got.append(reinterpret_cast<const char*>(d.data()), d.size());
     });
     conn.send({'P', 'U', 'T', ' ', '/', 'x', '\r', '\n'});

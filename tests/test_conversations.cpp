@@ -15,7 +15,7 @@ using namespace mip::net::literals;
 namespace {
 void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
     ch.tcp().listen(port, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -49,9 +49,9 @@ TEST(Conversations, SimultaneousPerCorrespondentModes) {
     auto& c_near = mh.tcp().connect(near_ch.address(), 23);
     auto& c_web = mh.tcp().connect(web_ch.address(), 80);
     std::size_t far_echo = 0, near_echo = 0, web_echo = 0;
-    c_far.set_data_callback([&](std::span<const std::uint8_t> d) { far_echo += d.size(); });
-    c_near.set_data_callback([&](std::span<const std::uint8_t> d) { near_echo += d.size(); });
-    c_web.set_data_callback([&](std::span<const std::uint8_t> d) { web_echo += d.size(); });
+    c_far.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { far_echo += d.size(); });
+    c_near.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { near_echo += d.size(); });
+    c_web.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { web_echo += d.size(); });
     c_far.send(std::vector<std::uint8_t>(700, 1));
     c_near.send(std::vector<std::uint8_t>(700, 2));
     c_web.send(std::vector<std::uint8_t>(700, 3));
@@ -91,7 +91,7 @@ TEST(Conversations, FirewallAsHomeAgent) {
     const auto dh = [&] {
         transport::Pinger p(mh.stack());
         std::optional<sim::Duration> rtt;
-        p.ping(inside.address(), [&](auto r) { rtt = r; }, sim::seconds(3), 56,
+        p.ping(inside.address(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(3), 56,
                world.mh_home_addr());
         world.run_for(sim::seconds(4));
         return rtt.has_value();
@@ -102,7 +102,7 @@ TEST(Conversations, FirewallAsHomeAgent) {
     mh.force_mode(inside.address(), OutMode::IE);
     auto& conn = mh.tcp().connect(inside.address(), 2049);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(2048, 9));
     world.run_for(sim::seconds(15));
     EXPECT_TRUE(conn.established());
@@ -124,7 +124,7 @@ TEST(Conversations, MinimalEncapsulationEndToEnd) {
 
     auto& conn = mh.tcp().connect(ch.address(), 7001);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(3000, 5));
     world.run_for(sim::seconds(15));
     EXPECT_EQ(echoed, 3000u);
@@ -145,7 +145,7 @@ TEST(Conversations, GreEncapsulationEndToEnd) {
 
     auto& conn = mh.tcp().connect(ch.address(), 7001);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(3000, 5));
     world.run_for(sim::seconds(15));
     EXPECT_EQ(echoed, 3000u);
@@ -171,7 +171,7 @@ TEST(Conversations, LossyWirelessLinkStillDelivers) {
 
     auto& conn = mh.tcp().connect(ch.address(), 7002);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(4000, 6));
     world.run_for(sim::seconds(120));
     EXPECT_EQ(echoed, 4000u);
@@ -194,7 +194,7 @@ TEST(Conversations, CorrespondentFallsBackWhenBindingExpires) {
     // And delivery still works, via the home agent.
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_for(sim::seconds(6));
     EXPECT_TRUE(rtt.has_value());
 }

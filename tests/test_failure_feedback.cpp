@@ -13,7 +13,7 @@ using namespace mip::net::literals;
 namespace {
 void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
     ch.tcp().listen(port, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -67,7 +67,7 @@ TEST(FilterFeedback, NoIcmpErrorsAboutIcmp) {
     mh.force_mode(world.corr_domain.host(2), OutMode::DH);
 
     transport::Pinger pinger(mh.stack());
-    pinger.ping(world.corr_domain.host(2), [](auto) {}, sim::seconds(1), 56,
+    pinger.ping(world.corr_domain.host(2), [](auto, auto&&) {}, sim::seconds(1), 56,
                 world.mh_home_addr());
     world.run_for(sim::seconds(2));
     EXPECT_EQ(mh.stats().icmp_feedback_signals, 0u);

@@ -36,7 +36,7 @@ bool ping_ok(World& world, MobileHost& mh, net::Ipv4Address dst,
     bool ok = false;
     pinger.ping(
         dst,
-        [&](std::optional<sim::Duration> rtt) {
+        [&](std::optional<sim::Duration> rtt, const transport::RxMeta&) {
             done = true;
             ok = rtt.has_value();
         },

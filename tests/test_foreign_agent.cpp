@@ -75,7 +75,7 @@ TEST(ForeignAgentE2E, InboundPacketsDeliveredFinalHop) {
 
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_for(sim::seconds(6));
     ASSERT_TRUE(rtt.has_value());
     // The chain worked: HA tunneled to the agent; the agent decapsulated
@@ -89,7 +89,7 @@ TEST(ForeignAgentE2E, TcpThroughAgentWorksAndSurvivesLeavingForCoLocated) {
     world.create_foreign_agent();
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(5005, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -98,7 +98,7 @@ TEST(ForeignAgentE2E, TcpThroughAgentWorksAndSurvivesLeavingForCoLocated) {
 
     auto& conn = mh.tcp().connect(ch.address(), 5005);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(1500, 1));
     world.run_for(sim::seconds(10));
     EXPECT_TRUE(conn.established());
@@ -136,7 +136,7 @@ TEST(ForeignAgentE2E, ReverseTunnelSurvivesEgressFiltering) {
 
         transport::Pinger pinger(world.mobile_host().stack());
         std::optional<sim::Duration> rtt;
-        pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(5),
+        pinger.ping(ch.address(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5),
                     56, world.mh_home_addr());
         world.run_for(sim::seconds(6));
         EXPECT_EQ(rtt.has_value(), reverse)
@@ -157,7 +157,7 @@ TEST(ForeignAgentE2E, AgentsRestrictOptimizationFreedom) {
     world.create_foreign_agent();
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(80, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });

@@ -45,9 +45,9 @@ TEST(HomeAgentDetail, ServesMultipleMobileHosts) {
     mh2.force_mode(world.home_domain.host(99), OutMode::IE);
     transport::Pinger pinger(probe.stack());
     int replies = 0;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { replies += r.has_value(); },
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { replies += r.has_value(); },
                 sim::seconds(5));
-    pinger.ping(world.home_domain.host(11), [&](auto r) { replies += r.has_value(); },
+    pinger.ping(world.home_domain.host(11), [&](auto r, auto&&) { replies += r.has_value(); },
                 sim::seconds(5));
     world.run_for(sim::seconds(6));
     EXPECT_EQ(replies, 2);
@@ -91,7 +91,7 @@ TEST(HomeAgentDetail, CareOfAdvertsAreRateLimited) {
     // request transits the home agent, but only one advert goes back.
     transport::Pinger pinger(ch.stack());
     for (int i = 0; i < 5; ++i) {
-        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2));
         world.run_for(sim::milliseconds(400));
     }
     world.run_for(sim::seconds(3));
@@ -129,14 +129,14 @@ TEST(HomeAgentDetail, BothHostsMobile) {
 
     // B runs an echo service on its home address; A connects to it.
     mh_b.tcp().listen(6000, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
     mh_a.force_mode(b_home, OutMode::IE);
     auto& conn = mh_a.tcp().connect(b_home, 6000);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(1200, 7));
     world.run_for(sim::seconds(30));
 

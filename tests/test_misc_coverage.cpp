@@ -24,14 +24,14 @@ TEST(NoTransitPolicy, KillsOutDHLikeEgressAntispoof) {
 
     transport::Pinger pinger(mh.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(3), 56,
+    pinger.ping(ch.address(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(3), 56,
                 world.mh_home_addr());
     world.run_for(sim::seconds(4));
     EXPECT_FALSE(rtt.has_value());
 
     // Out-IE still works: the outer packets always have one local endpoint.
     mh.force_mode(ch.address(), OutMode::IE);
-    pinger.ping(ch.address(), [&](auto r) { rtt = r; }, sim::seconds(5), 56,
+    pinger.ping(ch.address(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5), 56,
                 world.mh_home_addr());
     world.run_for(sim::seconds(6));
     EXPECT_TRUE(rtt.has_value());
@@ -60,13 +60,13 @@ TEST(Detach, UnpluggedMobileIsUnreachableUntilReattach) {
     EXPECT_FALSE(mh.registered());
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(3));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(3));
     world.run_for(sim::seconds(4));
     EXPECT_FALSE(rtt.has_value());  // tunneled into the void
 
     // Re-attach and re-register: reachable again.
     ASSERT_TRUE(world.attach_mobile_foreign());
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_for(sim::seconds(6));
     EXPECT_TRUE(rtt.has_value());
 }
@@ -116,10 +116,10 @@ TEST(Selection, RuleBasedEndToEnd) {
     // And both choices deliver on the first try.
     transport::Pinger pinger(mh.stack());
     int delivered = 0;
-    pinger.ping(inside.address(), [&](auto r) { delivered += r.has_value(); },
+    pinger.ping(inside.address(), [&](auto r, auto&&) { delivered += r.has_value(); },
                 sim::seconds(5), 56, world.mh_home_addr());
     world.run_for(sim::seconds(6));
-    pinger.ping(outside.address(), [&](auto r) { delivered += r.has_value(); },
+    pinger.ping(outside.address(), [&](auto r, auto&&) { delivered += r.has_value(); },
                 sim::seconds(5), 56, world.mh_home_addr());
     world.run_for(sim::seconds(6));
     EXPECT_EQ(delivered, 2);

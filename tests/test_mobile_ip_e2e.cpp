@@ -18,7 +18,7 @@ std::vector<std::uint8_t> bytes(std::size_t n) {
 /// Runs a TCP echo server on @p ch at @p port that acks data back.
 void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
     ch.tcp().listen(port, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -37,7 +37,7 @@ TEST(E2E, InIE_ConventionalCorrespondentReachesAwayMobile) {
 
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_all();
     ASSERT_TRUE(rtt.has_value()) << "In-IE ping via home agent failed";
     EXPECT_GE(world.home_agent().stats().packets_tunneled, 1u);
@@ -59,7 +59,7 @@ TEST(E2E, OutIE_WorksThroughSourceFilteringNetworks) {
 
     auto& conn = mh.tcp().connect(ch.address(), 5001);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(bytes(4000));
     world.run_for(sim::seconds(20));
     EXPECT_TRUE(conn.established());
@@ -101,7 +101,7 @@ TEST(E2E, OutDH_WorksWithoutFiltering) {
 
     auto& conn = mh.tcp().connect(ch.address(), 5001);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(bytes(2000));
     world.run_for(sim::seconds(10));
     EXPECT_TRUE(conn.established());
@@ -153,14 +153,14 @@ TEST(E2E, InDE_RouteOptimizationViaIcmpAdverts) {
     // address back to the correspondent.
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> first, second;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { first = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { first = r; }, sim::seconds(5));
     world.run_all();
     ASSERT_TRUE(first.has_value());
     EXPECT_EQ(ch.mode_for(world.mh_home_addr()), InMode::DE);
     EXPECT_GE(ch.stats().adverts_learned, 1u);
 
     const auto tunneled_before = world.home_agent().stats().packets_tunneled;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { second = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { second = r; }, sim::seconds(5));
     world.run_all();
     ASSERT_TRUE(second.has_value());
     // The second ping bypassed the home agent entirely...
@@ -212,7 +212,7 @@ TEST(E2E, InDH_SameSegmentBypassesAllRouters) {
 
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_all();
 
     ASSERT_TRUE(rtt.has_value());
@@ -288,7 +288,7 @@ TEST(E2E, TcpSurvivesHandoffOnHomeAddress) {
 
     auto& conn = mh.tcp().connect(ch.address(), 5001);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(bytes(1000));
     world.run_for(sim::seconds(5));
     ASSERT_TRUE(conn.established());
@@ -320,7 +320,7 @@ TEST(E2E, ReturningHomeRestoresNormalOperation) {
 
     transport::Pinger pinger(ch.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(world.mh_home_addr(), [&](auto r) { rtt = r; }, sim::seconds(5));
+    pinger.ping(world.mh_home_addr(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
     world.run_all();
     ASSERT_TRUE(rtt.has_value());
     // No tunneling involved: the mobile host answered directly at home.

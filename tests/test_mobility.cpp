@@ -150,7 +150,7 @@ TEST(Handoff, TcpTransferSurvivesAutomaticHandoff) {
     World world;
     CorrespondentHost& ch = world.create_correspondent({}, Placement::CorrLan);
     ch.tcp().listen(7600, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -174,7 +174,7 @@ TEST(Handoff, TcpTransferSurvivesAutomaticHandoff) {
 
     auto& conn = mh.tcp().connect(ch.address(), 7600);
     std::size_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     std::size_t sent = 0;
     for (int i = 0; i < 20; ++i) {  // paced sends spanning the move
         conn.send(std::vector<std::uint8_t>(200, 7));
@@ -216,7 +216,7 @@ TEST(Handoff, DeadZoneCrossingReregistersAndCountsGapLoss) {
     transport::Pinger pinger(ch.stack());
     std::size_t delivered = 0;
     for (int i = 0; i < 100; ++i) {
-        pinger.ping(mh.home_address(), [&](auto rtt) { delivered += rtt.has_value(); },
+        pinger.ping(mh.home_address(), [&](auto rtt, auto&&) { delivered += rtt.has_value(); },
                     sim::seconds(2));
         world.run_for(sim::milliseconds(200));
     }

@@ -44,9 +44,9 @@ TEST(Multicast, JoinedHostsReceive) {
 
     int b_got = 0, c_got = 0;
     auto sb = ub.open(kPort);
-    sb->set_receiver([&](auto, auto, auto) { ++b_got; });
+    sb->set_receiver([&](auto, auto&&) { ++b_got; });
     auto sc = uc.open(kPort);
-    sc->set_receiver([&](auto, auto, auto) { ++c_got; });
+    sc->set_receiver([&](auto, auto&&) { ++c_got; });
 
     send_to_group(ua, {1, 2, 3});
     sim.run();
@@ -64,7 +64,7 @@ TEST(Multicast, NonMembersIgnoreGroupTraffic) {
 
     int got = 0;
     auto sb = ub.open(kPort);
-    sb->set_receiver([&](auto, auto, auto) { ++got; });
+    sb->set_receiver([&](auto, auto&&) { ++got; });
     send_to_group(ua, {1});
     sim.run();
     EXPECT_EQ(got, 0);
@@ -98,7 +98,7 @@ TEST(Multicast, RoutersDoNotForwardGroups) {
     transport::UdpService us(sender.stack()), uf(far.stack());
     int got = 0;
     auto sock = uf.open(kPort);
-    sock->set_receiver([&](auto, auto, auto) { ++got; });
+    sock->set_receiver([&](auto, auto&&) { ++got; });
     send_to_group(us, {1});
     world.run_for(sim::seconds(2));
     EXPECT_EQ(got, 0);  // link scope: no router carried it off-segment
@@ -113,7 +113,7 @@ TEST(MulticastMobility, LocalJoinOnVisitedNetwork) {
 
     int got = 0;
     auto sock = mh.udp().open(kPort);
-    sock->set_receiver([&](auto, auto, auto) { ++got; });
+    sock->set_receiver([&](auto, auto&&) { ++got; });
 
     // A session source on the visited LAN.
     stack::Host source(world.sim, "mbone-src");
@@ -138,7 +138,7 @@ TEST(MulticastMobility, HomeAgentRelayTunnelsGroupTraffic) {
 
     int got = 0;
     auto sock = mh.udp().open(kPort);
-    sock->set_receiver([&](auto, auto, auto) { ++got; });
+    sock->set_receiver([&](auto, auto&&) { ++got; });
 
     // The session source is on the *home* LAN.
     stack::Host source(world.sim, "home-src");

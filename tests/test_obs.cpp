@@ -51,7 +51,7 @@ TEST(JourneyTest, IdSurvivesEncapsulationAndFragmentation) {
     transport::Pinger pinger(ch.stack());
     bool answered = false;
     pinger.ping(world.mh_home_addr(),
-                [&](auto rtt) { answered = rtt.has_value(); }, sim::seconds(5),
+                [&](auto rtt, auto&&) { answered = rtt.has_value(); }, sim::seconds(5),
                 /*payload_size=*/3000);
     world.run_for(sim::seconds(6));
     ASSERT_TRUE(answered);
@@ -93,7 +93,7 @@ TEST(JourneyTest, IdSurvivesReverseTunnel) {
 
     transport::Pinger pinger(world.mobile_host().stack());
     bool answered = false;
-    pinger.ping(ch.address(), [&](auto rtt) { answered = rtt.has_value(); },
+    pinger.ping(ch.address(), [&](auto rtt, auto&&) { answered = rtt.has_value(); },
                 sim::seconds(5), 56, world.mh_home_addr());
     world.run_for(sim::seconds(6));
     ASSERT_TRUE(answered);
@@ -124,7 +124,7 @@ TEST(JourneyTest, FilterDropNamesRouterAndRule) {
 
     transport::Pinger pinger(world.mobile_host().stack());
     bool answered = false;
-    pinger.ping(ch.address(), [&](auto rtt) { answered = rtt.has_value(); },
+    pinger.ping(ch.address(), [&](auto rtt, auto&&) { answered = rtt.has_value(); },
                 sim::seconds(2), 56, world.mh_home_addr());
     world.run_for(sim::seconds(3));
     EXPECT_FALSE(answered);  // the filter must have eaten the request
@@ -368,7 +368,7 @@ TEST(MetricsTest, WorldSnapshotIsSchemaValid) {
     world.create_mobile_host();
     ASSERT_TRUE(world.attach_mobile_foreign());
     transport::Pinger pinger(world.mobile_host().stack());
-    pinger.ping(ch.address(), [](auto) {}, sim::seconds(2), 56, world.mh_home_addr());
+    pinger.ping(ch.address(), [](auto, auto&&) {}, sim::seconds(2), 56, world.mh_home_addr());
     world.run_for(sim::seconds(3));
 
     const obs::JsonValue doc = world.metrics.snapshot("test", "world", world.sim.now());
@@ -410,7 +410,7 @@ TEST(PcapTest, FileParsesBackToTheCapturedFrames) {
         writer.attach(world.home_lan());
         ASSERT_TRUE(world.attach_mobile_foreign());
         transport::Pinger pinger(ch.stack());
-        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2));
         world.run_for(sim::seconds(3));
         ASSERT_GT(writer.frames_written(), 0u);
         writer.close();
@@ -471,7 +471,7 @@ TEST(PcapTest, NanosecondModeWritesNsMagicAndFullPrecisionTimestamps) {
         writer.attach(world.home_lan());
         ASSERT_TRUE(world.attach_mobile_foreign());
         transport::Pinger pinger(ch.stack());
-        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2));
+        pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2));
         world.run_for(sim::seconds(3));
         ASSERT_GT(writer.frames_written(), 0u);
         writer.close();

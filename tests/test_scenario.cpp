@@ -26,7 +26,7 @@ TEST(World, CrossDomainConnectivity) {
 
     transport::Pinger pinger(probe.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(ch.address(), [&](auto r) { rtt = r; });
+    pinger.ping(ch.address(), [&](auto r, auto&&) { rtt = r; });
     world.run_all();
     ASSERT_TRUE(rtt.has_value()) << "foreign -> corr ping failed";
     EXPECT_GT(*rtt, 0);
@@ -42,7 +42,7 @@ TEST(World, HomeToForeignConnectivity) {
              world.foreign_domain.prefix, world.foreign_gateway_addr());
     transport::Pinger pinger(h.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping(f.address(), [&](auto r) { rtt = r; });
+    pinger.ping(f.address(), [&](auto r, auto&&) { rtt = r; });
     world.run_all();
     ASSERT_TRUE(rtt.has_value());
 }
@@ -61,7 +61,7 @@ TEST(World, BackboneLengthStretchesLatency) {
                  world.foreign_domain.prefix, world.foreign_gateway_addr());
         transport::Pinger pinger(h.stack());
         std::optional<sim::Duration> rtt;
-        pinger.ping(f.address(), [&](auto r) { rtt = r; });
+        pinger.ping(f.address(), [&](auto r, auto&&) { rtt = r; });
         world.run_all();
         ASSERT_TRUE(rtt.has_value());
         (len == 1 ? short_rtt : long_rtt) = rtt;
@@ -91,10 +91,10 @@ TEST(World, AttachPointsChangeProximity) {
 
     transport::Pinger pf(f.stack());
     std::optional<sim::Duration> near, far;
-    pf.ping(c.address(), [&](auto r) { near = r; });
+    pf.ping(c.address(), [&](auto r, auto&&) { near = r; });
     world.run_all();
     transport::Pinger pf2(f.stack());
-    pf2.ping(h.address(), [&](auto r) { far = r; });
+    pf2.ping(h.address(), [&](auto r, auto&&) { far = r; });
     world.run_all();
     ASSERT_TRUE(near.has_value());
     ASSERT_TRUE(far.has_value());

@@ -31,7 +31,7 @@ struct RunResult {
 
 void serve_echo(CorrespondentHost& ch, std::uint16_t port) {
     ch.tcp().listen(port, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -50,7 +50,7 @@ RunResult run_ping_scenario(sim::SchedulerKind kind) {
     transport::Pinger pinger(mh.stack());
     for (int i = 0; i < 8; ++i) {
         pinger.ping(
-            ch.address(), [&](auto rtt) { replies += rtt.has_value() ? 1 : 0; },
+            ch.address(), [&](auto rtt, auto&&) { replies += rtt.has_value() ? 1 : 0; },
             sim::seconds(2), 56, world.mh_home_addr());
         world.run_for(sim::milliseconds(700));
     }
@@ -73,7 +73,7 @@ RunResult run_tcp_scenario(sim::SchedulerKind kind) {
 
     auto& conn = mh.tcp().connect(ch.address(), 7601);
     std::uint64_t echoed = 0;
-    conn.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    conn.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     conn.send(std::vector<std::uint8_t>(4000, 6));
     world.run_for(sim::seconds(15));
     EXPECT_EQ(echoed, 4000u);

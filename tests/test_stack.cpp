@@ -38,7 +38,7 @@ TEST(Stack, PingAcrossRouter) {
     TwoLanRig rig;
     transport::Pinger pinger(rig.a.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping("10.0.2.2"_ip, [&](auto r) { rtt = r; });
+    pinger.ping("10.0.2.2"_ip, [&](auto r, auto&&) { rtt = r; });
     rig.sim.run();
     ASSERT_TRUE(rtt.has_value());
     EXPECT_GT(*rtt, 0);
@@ -51,7 +51,7 @@ TEST(Stack, PingOnLinkNeighborDoesNotTouchRouter) {
     c.attach(rig.lan_a, "10.0.1.3"_ip, "10.0.1.0/24"_net, "10.0.1.1"_ip);
     transport::Pinger pinger(rig.a.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping("10.0.1.3"_ip, [&](auto r) { rtt = r; });
+    pinger.ping("10.0.1.3"_ip, [&](auto r, auto&&) { rtt = r; });
     rig.sim.run();
     ASSERT_TRUE(rtt.has_value());
     EXPECT_EQ(rig.r.stack().stats().packets_forwarded, 0u);
@@ -61,7 +61,7 @@ TEST(Stack, NoRouteToUnknownDestination) {
     TwoLanRig rig;
     transport::Pinger pinger(rig.a.stack());
     std::optional<sim::Duration> rtt = sim::seconds(99);
-    pinger.ping("172.16.0.1"_ip, [&](auto r) { rtt = r; }, sim::seconds(1));
+    pinger.ping("172.16.0.1"_ip, [&](auto r, auto&&) { rtt = r; }, sim::seconds(1));
     rig.sim.run();
     EXPECT_FALSE(rtt.has_value());  // timed out
     EXPECT_GE(rig.r.stack().stats().no_route_drops, 1u);
@@ -249,7 +249,7 @@ TEST(Stack, HostMoveChangesSegmentAndAddress) {
 
     transport::Pinger pinger(rig.a.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping("10.0.2.50"_ip, [&](auto r) { rtt = r; });
+    pinger.ping("10.0.2.50"_ip, [&](auto r, auto&&) { rtt = r; });
     rig.sim.run();
     EXPECT_TRUE(rtt.has_value());
 }

@@ -127,7 +127,7 @@ TEST(StackEdge, EchoReplyMirrorsPayload) {
     LanRig rig;
     transport::Pinger pinger(rig.a.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping("10.0.0.2"_ip, [&](auto r) { rtt = r; }, sim::seconds(1),
+    pinger.ping("10.0.0.2"_ip, [&](auto r, auto&&) { rtt = r; }, sim::seconds(1),
                 /*payload=*/500);
     rig.sim.run();
     ASSERT_TRUE(rtt.has_value());
@@ -140,8 +140,8 @@ TEST(StackEdge, MultiplePingersCoexist) {
     transport::Pinger p1(rig.a.stack());
     transport::Pinger p2(rig.a.stack());
     int done = 0;
-    p1.ping("10.0.0.2"_ip, [&](auto r) { done += r.has_value(); });
-    p2.ping("10.0.0.2"_ip, [&](auto r) { done += r.has_value(); });
+    p1.ping("10.0.0.2"_ip, [&](auto r, auto&&) { done += r.has_value(); });
+    p2.ping("10.0.0.2"_ip, [&](auto r, auto&&) { done += r.has_value(); });
     rig.sim.run();
     EXPECT_EQ(done, 2);
     EXPECT_EQ(p1.received(), 1u);
@@ -184,7 +184,7 @@ TEST(StackEdge, ReconfigureReplacesAddress) {
 
     transport::Pinger pinger(rig.b.stack());
     std::optional<sim::Duration> rtt;
-    pinger.ping("10.0.0.9"_ip, [&](auto r) { rtt = r; });
+    pinger.ping("10.0.0.9"_ip, [&](auto r, auto&&) { rtt = r; });
     rig.sim.run();
     EXPECT_TRUE(rtt.has_value());
 }
@@ -202,7 +202,7 @@ TEST(StackEdge, UdpOverBroadcastDelivery) {
     transport::UdpService ua(rig.a.stack()), ub(rig.b.stack());
     auto server = ub.open(5000);
     int got = 0;
-    server->set_receiver([&](auto, auto, auto) { ++got; });
+    server->set_receiver([&](auto, auto&&) { ++got; });
 
     net::UdpHeader u;
     u.src_port = 1111;

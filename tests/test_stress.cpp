@@ -49,7 +49,7 @@ TEST(Stress, FleetOfMobileHostsRoamsWithLiveTraffic) {
         auto& mh = *fleet[static_cast<std::size_t>(i)];
         mh.force_mode(ch.address(), OutMode::IE);
         auto& c = mh.tcp().connect(ch.address(), 7);
-        c.set_data_callback([&echoed, i](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&echoed, i](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             echoed[static_cast<std::size_t>(i)] += d.size();
         });
         c.send(std::vector<std::uint8_t>(500, static_cast<std::uint8_t>(i)));

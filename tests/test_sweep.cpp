@@ -47,7 +47,7 @@ std::pair<std::string, std::string> run_scenario(std::uint64_t seed, int pings,
         // if every seed ran the same traffic).
         const std::size_t payload = 56 + static_cast<std::size_t>(seed % 32);
         pinger.ping(world.mh_home_addr(),
-                    [&](auto rtt) { delivered += rtt.has_value() ? 1 : 0; },
+                    [&](auto rtt, auto&&) { delivered += rtt.has_value() ? 1 : 0; },
                     sim::seconds(5), payload);
         world.run_for(sim::seconds(2));
     }
@@ -309,7 +309,7 @@ TEST(BufferPoolTest, SimulatorTrafficReusesBuffers) {
     ASSERT_TRUE(world.attach_mobile_foreign());
     transport::Pinger pinger(ch.stack());
     for (int i = 0; i < 5; ++i) {
-        pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(5));
+        pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(5));
         world.run_for(sim::seconds(2));
     }
     const net::BufferPool::Stats& stats = world.sim.buffer_pool().stats();

@@ -45,7 +45,7 @@ TEST_P(TcpTransferProperty, DeliversExactlyAndInOrder) {
 
     std::vector<std::uint8_t> received;
     tcp_b.listen(80, [&](transport::TcpConnection& c) {
-        c.set_data_callback([&](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             received.insert(received.end(), d.begin(), d.end());
         });
     });
@@ -83,13 +83,13 @@ TEST_P(TcpBidirProperty, EchoRoundTripIsLossless) {
     transport::TcpService tcp_a(a.stack()), tcp_b(b.stack());
 
     tcp_b.listen(80, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
     auto& client = tcp_a.connect("10.0.0.2"_ip, 80);
     std::size_t echoed = 0;
-    client.set_data_callback([&](std::span<const std::uint8_t> d) { echoed += d.size(); });
+    client.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) { echoed += d.size(); });
     client.send(std::vector<std::uint8_t>(n, 0x3c));
     sim.run_until(sim::seconds(60));
     EXPECT_EQ(echoed, n);

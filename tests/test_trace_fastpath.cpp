@@ -27,7 +27,7 @@ std::unique_ptr<World> run_ping_world(WorldConfig config) {
         throw std::runtime_error("attach failed");
     }
     transport::Pinger pinger(ch.stack());
-    pinger.ping(world->mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    pinger.ping(world->mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2), 56);
     world->run_for(sim::seconds(4));
     return world;
 }
@@ -61,13 +61,13 @@ TEST(RecordArena, WorldTraceRecycledAcrossClear) {
     world.create_mobile_host();
     ASSERT_TRUE(world.attach_mobile_foreign());
     transport::Pinger pinger(ch.stack());
-    pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2), 56);
     world.run_for(sim::seconds(4));
     ASSERT_GT(world.trace.record_count(), 0u);
     const auto before = world.sim.record_arena().stats();
     world.trace.clear();
     // A second burst of traffic must reuse the released chunks.
-    pinger.ping(world.mh_home_addr(), [](auto) {}, sim::seconds(2), 56);
+    pinger.ping(world.mh_home_addr(), [](auto, auto&&) {}, sim::seconds(2), 56);
     world.run_for(sim::seconds(4));
     const auto after = world.sim.record_arena().stats();
     EXPECT_GT(after.reuses, before.reuses)

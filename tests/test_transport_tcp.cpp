@@ -52,7 +52,7 @@ TEST(Tcp, DataTransfer) {
     TcpRig rig;
     std::vector<std::uint8_t> received;
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
-        c.set_data_callback([&](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             received.insert(received.end(), d.begin(), d.end());
         });
     });
@@ -68,14 +68,14 @@ TEST(Tcp, BidirectionalTransfer) {
     TcpRig rig;
     std::size_t server_got = 0, client_got = 0;
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
-        c.set_data_callback([&, &c = c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&, &c = c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             server_got += d.size();
             c.send(bytes(d.size() * 2, 0x62));  // reply with double
         });
     });
     auto& client = rig.tcp_a.connect("10.0.0.2"_ip, 80);
     client.set_data_callback(
-        [&](std::span<const std::uint8_t> d) { client_got += d.size(); });
+        [&](std::span<const std::uint8_t> d, const transport::RxMeta&) { client_got += d.size(); });
     client.send(bytes(1000));
     rig.sim.run();
     EXPECT_EQ(server_got, 1000u);
@@ -86,7 +86,7 @@ TEST(Tcp, RetransmissionRecoversFromLoss) {
     TcpRig rig(/*loss=*/0.15);
     std::vector<std::uint8_t> received;
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
-        c.set_data_callback([&](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             received.insert(received.end(), d.begin(), d.end());
         });
     });
@@ -155,7 +155,7 @@ TEST(Tcp, RetransmitObserverSeesOutboundAndInbound) {
     rig.tcp_a.set_retransmit_observer(
         [&](const transport::TcpEndpoints&, bool in) { in ? ++inbound : ++outbound; });
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
-        c.set_data_callback([](auto) {});
+        c.set_data_callback([](auto, auto&&) {});
     });
     auto& client = rig.tcp_a.connect("10.0.0.2"_ip, 80);
     client.send(bytes(30000));
@@ -227,7 +227,7 @@ TEST(Tcp, ManySimultaneousConnections) {
     std::size_t accepted = 0;
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
         ++accepted;
-        c.set_data_callback([&c](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&c](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             c.send(std::vector<std::uint8_t>(d.begin(), d.end()));
         });
     });
@@ -235,7 +235,7 @@ TEST(Tcp, ManySimultaneousConnections) {
     std::vector<std::size_t> echoed(10, 0);
     for (int i = 0; i < 10; ++i) {
         auto& c = rig.tcp_a.connect("10.0.0.2"_ip, 80);
-        c.set_data_callback([&echoed, i](std::span<const std::uint8_t> d) {
+        c.set_data_callback([&echoed, i](std::span<const std::uint8_t> d, const transport::RxMeta&) {
             echoed[static_cast<std::size_t>(i)] += d.size();
         });
         c.send(bytes(100 * (i + 1)));
@@ -263,7 +263,7 @@ TEST(Tcp, DistinctEphemeralPortsAcrossConnections) {
 TEST(Tcp, ServerInitiatedClose) {
     TcpRig rig;
     rig.tcp_b.listen(80, [](transport::TcpConnection& c) {
-        c.set_data_callback([&c](std::span<const std::uint8_t>) {
+        c.set_data_callback([&c](std::span<const std::uint8_t>, const transport::RxMeta&) {
             c.send(bytes(10));
             c.close();  // server closes first
         });
@@ -287,7 +287,7 @@ TEST(Tcp, DataWhileClosingIsStillDelivered) {
     std::size_t server_got = 0;
     rig.tcp_b.listen(80, [&](transport::TcpConnection& c) {
         c.set_data_callback(
-            [&](std::span<const std::uint8_t> d) { server_got += d.size(); });
+            [&](std::span<const std::uint8_t> d, const transport::RxMeta&) { server_got += d.size(); });
     });
     auto& client = rig.tcp_a.connect("10.0.0.2"_ip, 80);
     client.send(bytes(4000));

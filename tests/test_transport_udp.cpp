@@ -27,9 +27,9 @@ TEST(Udp, DatagramDelivery) {
     auto server = rig.udp_b.open(7777);
     std::vector<std::uint8_t> got;
     transport::UdpEndpoint from;
-    server->set_receiver([&](auto data, transport::UdpEndpoint ep, net::Ipv4Address) {
+    server->set_receiver([&](auto data, const transport::RxMeta& meta) {
         got.assign(data.begin(), data.end());
-        from = ep;
+        from = meta.peer;
     });
 
     auto client = rig.udp_a.open();
@@ -44,13 +44,13 @@ TEST(Udp, DatagramDelivery) {
 TEST(Udp, ReplyPath) {
     UdpRig rig;
     auto server = rig.udp_b.open(7777);
-    server->set_receiver([&](auto data, transport::UdpEndpoint from, net::Ipv4Address) {
+    server->set_receiver([&](auto data, const transport::RxMeta& meta) {
         std::vector<std::uint8_t> echo(data.begin(), data.end());
-        server->send_to(from.addr, from.port, std::move(echo));
+        server->send_to(meta.peer.addr, meta.peer.port, std::move(echo));
     });
     auto client = rig.udp_a.open();
     std::vector<std::uint8_t> reply;
-    client->set_receiver([&](auto data, transport::UdpEndpoint, net::Ipv4Address) {
+    client->set_receiver([&](auto data, const transport::RxMeta&) {
         reply.assign(data.begin(), data.end());
     });
     client->send_to("10.0.0.2"_ip, 7777, {9, 9});
@@ -90,8 +90,8 @@ TEST(Udp, BoundSourceAddressUsed) {
     rig.a.stack().add_local_address("172.16.5.5"_ip);
     auto server = rig.udp_b.open(7777);
     net::Ipv4Address seen_src;
-    server->set_receiver([&](auto, transport::UdpEndpoint from, net::Ipv4Address) {
-        seen_src = from.addr;
+    server->set_receiver([&](auto, const transport::RxMeta& meta) {
+        seen_src = meta.peer.addr;
     });
     auto client = rig.udp_a.open();
     client->bind_address("172.16.5.5"_ip);
@@ -105,8 +105,8 @@ TEST(Udp, ReceiverSeesDestinationAddress) {
     rig.b.stack().add_local_address("10.9.9.9"_ip);
     auto server = rig.udp_b.open(7777);
     net::Ipv4Address seen_dst;
-    server->set_receiver([&](auto, transport::UdpEndpoint, net::Ipv4Address local) {
-        seen_dst = local;
+    server->set_receiver([&](auto, const transport::RxMeta& meta) {
+        seen_dst = meta.local_addr;
     });
 
     // Deliver a datagram addressed to the extra local address by link-layer

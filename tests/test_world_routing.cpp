@@ -14,11 +14,11 @@ std::vector<std::string> ping_path(World& world, stack::IpStack& from,
                                    net::Ipv4Address dst) {
     transport::Pinger pinger(from);
     // Warm ARP first so the measured path has no resolution chatter.
-    pinger.ping(dst, [](auto) {}, sim::seconds(5));
+    pinger.ping(dst, [](auto, auto&&) {}, sim::seconds(5));
     world.run_for(sim::seconds(6));
     world.trace.clear();
     bool ok = false;
-    pinger.ping(dst, [&](auto r) { ok = r.has_value(); }, sim::seconds(5));
+    pinger.ping(dst, [&](auto r, auto&&) { ok = r.has_value(); }, sim::seconds(5));
     world.run_for(sim::seconds(6));
     EXPECT_TRUE(ok);
     return world.trace.ip_tx_nodes();
@@ -55,7 +55,7 @@ TEST_P(WorldRouting, AllDomainPairsConnected) {
                           Pair{&ff, &hh}, Pair{&cc, &hh}, Pair{&cc, &ff}}) {
         transport::Pinger pinger(p.from->stack());
         std::optional<sim::Duration> rtt;
-        pinger.ping(p.to->address(), [&](auto r) { rtt = r; }, sim::seconds(5));
+        pinger.ping(p.to->address(), [&](auto r, auto&&) { rtt = r; }, sim::seconds(5));
         world.run_for(sim::seconds(6));
         ASSERT_TRUE(rtt.has_value())
             << p.from->name() << " -> " << p.to->name() << " (len=" << len << " h=" << h
